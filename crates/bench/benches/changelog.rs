@@ -1,0 +1,67 @@
+//! B2 — Changelog encodings: retraction vs. upsert streams (App. B.2.3).
+//!
+//! "While retraction streams are more general because they do not require a
+//! unique key, they are less efficient than upsert streams." We measure
+//! both directions of the conversion and report the message-count ratio.
+//! Expected shape: upsert message count ≈ ⅔ of the retraction count for an
+//! update-heavy keyed history (each update collapses DELETE+INSERT into one
+//! UPSERT), and conversion throughput in the millions of changes/s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onesql_tvr::{retractions_to_upserts, upserts_to_retractions, Change};
+use onesql_types::{row, Row};
+
+/// A keyed history of `n` operations over `keys` keys where every
+/// operation after the first per key is an update (DELETE + INSERT).
+fn keyed_history(n: usize, keys: i64) -> Vec<Change> {
+    let mut live: std::collections::BTreeMap<i64, i64> = Default::default();
+    let mut out = Vec::with_capacity(2 * n);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for i in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = (state >> 33) as i64 % keys;
+        let value = i as i64;
+        if let Some(old) = live.insert(key, value) {
+            out.push(Change::retract(kv(key, old)));
+        }
+        out.push(Change::insert(kv(key, value)));
+    }
+    out
+}
+
+fn kv(k: i64, v: i64) -> Row {
+    row!(k, v)
+}
+
+fn bench_changelog(c: &mut Criterion) {
+    let history = keyed_history(20_000, 64);
+    let upserts = retractions_to_upserts(&history, &[0]).unwrap();
+    eprintln!(
+        "\nB2 message counts (20k ops, 64 keys): retraction stream = {}, \
+         upsert stream = {} ({:.2}x smaller)",
+        history.len(),
+        upserts.len(),
+        history.len() as f64 / upserts.len() as f64
+    );
+
+    let mut group = c.benchmark_group("changelog_encoding");
+    for n in [1_000usize, 10_000] {
+        let history = keyed_history(n, 64);
+        group.bench_with_input(
+            BenchmarkId::new("retractions_to_upserts", n),
+            &history,
+            |b, h| b.iter(|| retractions_to_upserts(h, &[0]).unwrap()),
+        );
+        let ups = retractions_to_upserts(&history, &[0]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("upserts_to_retractions", n),
+            &ups,
+            |b, u| b.iter(|| upserts_to_retractions(u).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_changelog);
+criterion_main!(benches);

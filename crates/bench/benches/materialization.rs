@@ -1,0 +1,56 @@
+//! B1 — "Torrents of updates" (§3.3.2 / §6.5.2).
+//!
+//! Measures how the EMIT materialization strategy shapes the output volume
+//! and runtime of a windowed aggregation over a NEXMark bid stream:
+//! continuous (instantaneous view) vs. `AFTER DELAY d` (periodic) vs.
+//! `AFTER WATERMARK` (final only). The paper's claim: delayed
+//! materialization "can be limited to fewer and more relevant updates".
+//! Expected shape: changelog rows continuous > delay(short) > delay(long) >
+//! watermark; runtimes in the same order or flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onesql_bench::{nexmark_engine, nexmark_events, run_nexmark};
+use onesql_types::Duration;
+
+const BASE: &str = "\
+SELECT auction, wend, MAX(price), COUNT(*)
+FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime),
+            dur => INTERVAL '1' MINUTE)
+GROUP BY auction, wend";
+
+const STRATEGIES: [(&str, &str); 4] = [
+    ("continuous", ""),
+    ("delay_10s", " EMIT STREAM AFTER DELAY INTERVAL '10' SECONDS"),
+    ("delay_60s", " EMIT STREAM AFTER DELAY INTERVAL '60' SECONDS"),
+    ("after_watermark", " EMIT STREAM AFTER WATERMARK"),
+];
+
+fn run_strategy(suffix: &str, n: usize) -> usize {
+    let events = nexmark_events(n, 11, Duration::from_seconds(5));
+    let engine = nexmark_engine();
+    let sql = format!("{BASE}{suffix}");
+    let mut q = engine.execute(&sql).unwrap();
+    run_nexmark(&mut q, &events, Duration::from_seconds(5));
+    q.changelog().len()
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    // Report the update-volume series once (the B1 "figure").
+    eprintln!("\nB1 update volume (changelog rows, 5k events):");
+    for (name, suffix) in STRATEGIES {
+        eprintln!("  {name:>16}: {}", run_strategy(suffix, 5_000));
+    }
+
+    let mut group = c.benchmark_group("materialization");
+    group.sample_size(10);
+    for (name, suffix) in STRATEGIES {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &suffix, |b, suffix| {
+            b.iter(|| run_strategy(suffix, 2_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_materialization);
+criterion_main!(benches);

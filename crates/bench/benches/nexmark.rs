@@ -1,0 +1,71 @@
+//! B4 — NEXMark query throughput (§4; NEXMark is the paper's benchmark of
+//! reference for stream query systems).
+//!
+//! End-to-end events/second for the query suite on the proposed engine,
+//! plus the CQL baseline on Query 7 over the same bid stream. Expected
+//! shape: stateless queries (q0–q2) fastest; windowed aggregations next;
+//! the self-joining q7 slowest; CQL-q7 (one pass, tumbling, no incremental
+//! updates) is cheap but produces only final answers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use onesql_bench::{nexmark_engine, nexmark_events, run_nexmark};
+use onesql_cql::CqlQuery7;
+use onesql_nexmark::{queries, NexmarkEvent};
+use onesql_types::{Duration, Ts};
+
+const N: usize = 5_000;
+const SKEW: Duration = Duration(2_000);
+
+fn run_sql(sql: &str, events: &[(Ts, NexmarkEvent)]) -> usize {
+    let engine = nexmark_engine();
+    let mut q = engine.execute(sql).unwrap();
+    run_nexmark(&mut q, events, SKEW);
+    q.changelog().len()
+}
+
+fn run_cql_q7(events: &[(Ts, NexmarkEvent)]) -> usize {
+    let mut q = CqlQuery7::new();
+    let mut max_seen = Ts::MIN;
+    for (i, (_, event)) in events.iter().enumerate() {
+        if let NexmarkEvent::Bid(b) = event {
+            q.bid(b.date_time, b.price, &b.auction.to_string());
+            max_seen = max_seen.max(b.date_time);
+            // Periodic heartbeats at the skew bound, like STREAM's.
+            if i % 64 == 0 {
+                q.heartbeat(max_seen - SKEW);
+            }
+        }
+    }
+    q.finish(max_seen + Duration::from_minutes(10));
+    q.results().unwrap().len()
+}
+
+fn bench_nexmark(c: &mut Criterion) {
+    let events = nexmark_events(N, 3, SKEW);
+
+    let suite: Vec<(&str, &str)> = queries::all()
+        .into_iter()
+        .filter(|(name, _)| *name != "q4_avg_by_category") // slowest join; covered by q3/q7
+        .collect();
+
+    eprintln!("\nB4 changelog sizes over {N} events:");
+    for (name, sql) in &suite {
+        eprintln!("  {name:>14}: {} output changes", run_sql(sql, &events));
+    }
+    eprintln!("  {:>14}: {} output rows", "q7_cql", run_cql_q7(&events));
+
+    let mut group = c.benchmark_group("nexmark");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for (name, sql) in &suite {
+        group.bench_with_input(BenchmarkId::from_parameter(name), sql, |b, sql| {
+            b.iter(|| run_sql(sql, &events));
+        });
+    }
+    group.bench_function("q7_cql_baseline", |b| b.iter(|| run_cql_q7(&events)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_nexmark);
+criterion_main!(benches);

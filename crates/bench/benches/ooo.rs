@@ -1,0 +1,86 @@
+//! B6 — In-order buffering (CQL/STREAM) vs. direct out-of-order processing
+//! (§2.1.1 vs. §3.2).
+//!
+//! STREAM "accommodates out-of-order data by buffering it on intake"; the
+//! paper's approach computes directly on out-of-order data with watermarks.
+//! We sweep the skew bound and compare (a) the CQL pipeline's buffering
+//! cost (peak buffered tuples — released only at heartbeats, i.e. added
+//! latency) against (b) the direct engine's flat behavior. Expected shape:
+//! peak buffer grows linearly with the skew bound; the direct engine's
+//! state is governed by open windows, not skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use onesql_bench::{nexmark_engine, nexmark_events, run_nexmark};
+use onesql_cql::CqlQuery7;
+use onesql_nexmark::NexmarkEvent;
+use onesql_types::{Duration, Ts};
+
+const N: usize = 4_000;
+
+fn cql_with_skew(events: &[(Ts, NexmarkEvent)], skew: Duration) -> usize {
+    let mut q = CqlQuery7::new();
+    let mut max_seen = Ts::MIN;
+    for (_, event) in events {
+        if let NexmarkEvent::Bid(b) = event {
+            q.bid(b.date_time, b.price, "item");
+            max_seen = max_seen.max(b.date_time);
+            q.heartbeat(max_seen - skew);
+        }
+    }
+    q.finish(max_seen + Duration::from_minutes(10));
+    q.peak_buffered()
+}
+
+fn direct_with_skew(events: &[(Ts, NexmarkEvent)], skew: Duration) -> usize {
+    let engine = nexmark_engine();
+    let mut q = engine
+        .execute(
+            "SELECT wend, MAX(price) FROM Tumble(data => TABLE(Bid), \
+             timecol => DESCRIPTOR(dateTime), dur => INTERVAL '10' MINUTE) \
+             GROUP BY wend",
+        )
+        .unwrap();
+    run_nexmark(&mut q, events, skew);
+    q.state_metrics().keys
+}
+
+fn bench_ooo(c: &mut Criterion) {
+    eprintln!("\nB6 buffering cost vs. skew ({N} events):");
+    eprintln!(
+        "  {:>10} {:>24} {:>26}",
+        "skew", "CQL peak buffered tuples", "direct engine state (keys)"
+    );
+    for secs in [1i64, 10, 60, 300] {
+        let skew = Duration::from_seconds(secs);
+        let events = nexmark_events(N, 13, skew);
+        eprintln!(
+            "  {:>10} {:>24} {:>26}",
+            format!("{secs}s"),
+            cql_with_skew(&events, skew),
+            direct_with_skew(&events, skew)
+        );
+    }
+
+    let mut group = c.benchmark_group("out_of_order");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for secs in [1i64, 60] {
+        let skew = Duration::from_seconds(secs);
+        let events = nexmark_events(N, 13, skew);
+        group.bench_with_input(
+            BenchmarkId::new("cql_buffered", secs),
+            &events,
+            |b, e| b.iter(|| cql_with_skew(e, skew)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct", secs),
+            &events,
+            |b, e| b.iter(|| direct_with_skew(e, skew)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ooo);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! B7 — Keyed parallelism (Appendix B: the engines scale by hash-
+//! partitioning keyed operators across workers).
+//!
+//! A grouped aggregation partitioned by its grouping key runs as n
+//! independent pipelines; correctness is unchanged (partition-aligned keys
+//! never interact) and throughput scales with cores until coordination
+//! dominates. Expected shape: speedup > 1 from 1 → 2 → 4 partitions on a
+//! multi-core host, with identical results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use onesql_core::{Engine, PartitionedQuery, StreamBuilder};
+use onesql_types::{row, DataType, Ts};
+
+const SQL: &str = "SELECT auction, COUNT(*), SUM(price), MAX(price) FROM Bid GROUP BY auction";
+const N: i64 = 20_000;
+const KEYS: i64 = 256;
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .column("auction", DataType::Int)
+            .column("price", DataType::Int)
+            .event_time_column("ts"),
+    );
+    e
+}
+
+fn run(partitions: usize) -> usize {
+    let e = engine();
+    let pq = PartitionedQuery::start(&e, SQL, partitions, 0).unwrap();
+    for i in 0..N {
+        pq.insert("Bid", Ts(i), row!(i % KEYS, i * 31 % 997, Ts(i)))
+            .unwrap();
+    }
+    pq.finish(Ts(N)).unwrap().len()
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    // Sanity: identical results across partition counts.
+    let baseline = run(1);
+    for p in [2usize, 4] {
+        assert_eq!(run(p), baseline, "partitioned result diverged at {p}");
+    }
+    eprintln!("\nB7 partitioned aggregation: {baseline} groups over {N} events");
+
+    let mut group = c.benchmark_group("parallel_partitions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for partitions in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitions),
+            &partitions,
+            |b, &p| b.iter(|| run(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

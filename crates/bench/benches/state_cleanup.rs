@@ -1,0 +1,74 @@
+//! B3 — Watermark-driven state cleanup (§5, lesson 1).
+//!
+//! "State for an ongoing aggregation or stateful operator can be freed when
+//! the watermark is sufficiently advanced that the state won't be accessed
+//! again." We run the same windowed aggregation over a long bid stream
+//! twice: with bounded-out-of-orderness watermarks (state retired as
+//! windows close) and without any watermarks (state grows with every new
+//! window). Expected shape: peak state with watermarks is O(windows open at
+//! once) — flat in stream length — while without watermarks it grows
+//! linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use onesql_bench::{nexmark_engine, nexmark_events};
+use onesql_nexmark::NexmarkEvent;
+use onesql_time::BoundedOutOfOrderness;
+use onesql_types::Duration;
+
+const SQL: &str = "\
+SELECT auction, wend, COUNT(*), MAX(price)
+FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime),
+            dur => INTERVAL '30' SECONDS)
+GROUP BY auction, wend";
+
+/// Run the query over `n` events; returns (final state keys, peak keys).
+fn run(n: usize, with_watermarks: bool) -> (usize, usize) {
+    let events = nexmark_events(n, 5, Duration::from_seconds(2));
+    let engine = nexmark_engine();
+    let mut q = engine.execute(SQL).unwrap();
+    if with_watermarks {
+        q.set_watermark_generator(
+            "Bid",
+            Box::new(BoundedOutOfOrderness::new(Duration::from_seconds(2))),
+        )
+        .unwrap();
+    }
+    let mut peak = 0usize;
+    for (i, (ptime, event)) in events.iter().enumerate() {
+        if let NexmarkEvent::Bid(bid) = event {
+            q.insert("Bid", *ptime, bid.to_row()).unwrap();
+        }
+        if i % 512 == 0 {
+            peak = peak.max(q.state_metrics().keys);
+        }
+    }
+    let final_keys = q.state_metrics().keys;
+    (final_keys, peak.max(final_keys))
+}
+
+fn bench_state_cleanup(c: &mut Criterion) {
+    eprintln!("\nB3 state size (keys) with 30s windows:");
+    eprintln!("  {:>8} {:>22} {:>22}", "events", "with watermarks", "without watermarks");
+    for n in [2_000usize, 8_000, 32_000] {
+        let (wf, wp) = run(n, true);
+        let (nf, np) = run(n, false);
+        eprintln!(
+            "  {n:>8} {:>10} (peak {:>5}) {:>10} (peak {:>5})",
+            wf, wp, nf, np
+        );
+    }
+
+    let mut group = c.benchmark_group("state_cleanup");
+    group.sample_size(10);
+    for with_wm in [true, false] {
+        let label = if with_wm { "with_watermarks" } else { "without_watermarks" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &with_wm, |b, &w| {
+            b.iter(|| run(4_000, w));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_cleanup);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! B5 — Windowing TVF cost (§6.4).
+//!
+//! `Tumble` assigns each row to exactly one window; `Hop` multiplies each
+//! row by ~`dur / hopsize` windows ("a multiplication of the rows", App.
+//! B.3.1). We sweep the overlap factor and measure both the raw assignment
+//! functions and an end-to-end windowed aggregation. Expected shape: cost
+//! grows linearly with the overlap factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use onesql_bench::{nexmark_engine, nexmark_events, run_nexmark};
+use onesql_exec::window::{hop_windows, tumble_window};
+use onesql_types::{Duration, Ts};
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_assignment");
+    group.throughput(Throughput::Elements(1));
+    let dur = Duration::from_minutes(10);
+    group.bench_function("tumble", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 61_000;
+            tumble_window(Ts(t), dur, Duration::ZERO)
+        });
+    });
+    for overlap in [2i64, 5, 10] {
+        let hop = Duration(dur.millis() / overlap);
+        group.bench_with_input(BenchmarkId::new("hop", overlap), &hop, |b, &hop| {
+            let mut t = 0i64;
+            b.iter(|| {
+                t += 61_000;
+                hop_windows(Ts(t), dur, hop, Duration::ZERO)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    const N: usize = 2_000;
+    let skew = Duration::from_seconds(2);
+    let events = nexmark_events(N, 9, skew);
+    let mut group = c.benchmark_group("window_query");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("tumble_1m", |b| {
+        b.iter(|| {
+            let engine = nexmark_engine();
+            let mut q = engine
+                .execute(
+                    "SELECT wend, COUNT(*) FROM Tumble(data => TABLE(Bid), \
+                     timecol => DESCRIPTOR(dateTime), dur => INTERVAL '1' MINUTE) \
+                     GROUP BY wend",
+                )
+                .unwrap();
+            run_nexmark(&mut q, &events, skew);
+            q.changelog().len()
+        });
+    });
+    for (label, hop) in [("hop_1m_over_2", "30"), ("hop_1m_over_4", "15")] {
+        let sql = format!(
+            "SELECT wend, COUNT(*) FROM Hop(data => TABLE(Bid), \
+             timecol => DESCRIPTOR(dateTime), dur => INTERVAL '1' MINUTE, \
+             hopsize => INTERVAL '{hop}' SECONDS) GROUP BY wend"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sql, |b, sql| {
+            b.iter(|| {
+                let engine = nexmark_engine();
+                let mut q = engine.execute(sql).unwrap();
+                run_nexmark(&mut q, &events, skew);
+                q.changelog().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,397 @@
+//! Regenerate every listing of the paper and check it against the expected
+//! output.
+//!
+//! ```text
+//! cargo run -p onesql-bench --bin experiments            # all listings
+//! cargo run -p onesql-bench --bin experiments -- 9       # just Listing 9
+//! ```
+//!
+//! Exits non-zero if any listing diverges from the paper. `EXPERIMENTS.md`
+//! records the output of a full run.
+
+use onesql_bench::{money, paper_engine, run_over_paper_timeline};
+use onesql_cql::CqlQuery7;
+use onesql_nexmark::paper::{paper_timeline, PaperEvent, PAPER_Q7_CQL, PAPER_Q7_SQL};
+use onesql_types::{format_table, row, Row, Ts};
+
+struct Experiment {
+    listing: u32,
+    title: &'static str,
+    run: fn() -> (String, bool),
+}
+
+fn q7_row(ws: (i64, i64), we: (i64, i64), bt: (i64, i64), price: i64, item: &str) -> Row {
+    row!(
+        Ts::hm(ws.0, ws.1),
+        Ts::hm(we.0, we.1),
+        Ts::hm(bt.0, bt.1),
+        price,
+        item
+    )
+}
+
+/// Render Q7-shaped rows in the paper's format ($ prices).
+fn render_q7(rows: &[Row]) -> String {
+    let headers = ["wstart", "wend", "bidtime", "price", "item"];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| if i == 3 { money(v) } else { v.to_string() })
+                .collect()
+        })
+        .collect();
+    format_table(&headers, &cells)
+}
+
+/// Render stream rows (undo/ptime/ver) in the paper's format.
+fn render_stream_rows(rows: &[onesql_core::StreamRow], price_col: Option<usize>) -> String {
+    let headers = ["wstart", "wend", "bidtime", "price", "item", "undo", "ptime", "ver"];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut c: Vec<String> = r
+                .row
+                .values()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    if price_col == Some(i) {
+                        money(v)
+                    } else {
+                        v.to_string()
+                    }
+                })
+                .collect();
+            c.push(if r.undo { "undo".into() } else { String::new() });
+            c.push(r.ptime.to_string());
+            c.push(r.ver.to_string());
+            c
+        })
+        .collect();
+    format_table(&headers, &cells)
+}
+
+fn stream_tuples(
+    rows: &[onesql_core::StreamRow],
+) -> Vec<(Row, bool, Ts, u64)> {
+    rows.iter()
+        .map(|r| (r.row.clone(), r.undo, r.ptime, r.ver))
+        .collect()
+}
+
+// --- Listing 1: CQL baseline -------------------------------------------
+
+fn listing_1() -> (String, bool) {
+    let mut q = CqlQuery7::new();
+    for event in paper_timeline() {
+        match event {
+            PaperEvent::Insert { row, .. } => {
+                let bidtime = row.value(0).unwrap().as_ts().unwrap();
+                let price = row.value(1).unwrap().as_int().unwrap();
+                let item = row.value(2).unwrap().as_str().unwrap().to_string();
+                q.bid(bidtime, price, &item);
+            }
+            PaperEvent::Watermark { wm, .. } => q.heartbeat(wm),
+        }
+    }
+    q.finish(Ts::hm(8, 20));
+    let results = q.results().unwrap();
+    let expected = vec![
+        (Ts::hm(8, 10), row!(5i64, "D")),
+        (Ts::hm(8, 20), row!(6i64, "F")),
+    ];
+    let cells: Vec<Vec<String>> = results
+        .iter()
+        .map(|(t, r)| {
+            vec![
+                t.to_string(),
+                money(r.value(0).unwrap()),
+                r.value(1).unwrap().to_string(),
+            ]
+        })
+        .collect();
+    let out = format!(
+        "CQL: {PAPER_Q7_CQL}\n\nRstream output (one final answer per window):\n{}",
+        format_table(&["time", "price", "itemid"], &cells)
+    );
+    (out, results == expected)
+}
+
+// --- Listings 3/4: table views of Q7 ------------------------------------
+
+fn listing_3() -> (String, bool) {
+    let q = run_over_paper_timeline(PAPER_Q7_SQL);
+    let rows = q.table_at(Ts::hm(8, 21)).unwrap();
+    let expected = vec![
+        q7_row((8, 0), (8, 10), (8, 9), 5, "D"),
+        q7_row((8, 10), (8, 20), (8, 17), 6, "F"),
+    ];
+    (
+        format!("8:21 > SELECT ...;\n{}", render_q7(&rows)),
+        rows == expected,
+    )
+}
+
+fn listing_4() -> (String, bool) {
+    let q = run_over_paper_timeline(PAPER_Q7_SQL);
+    let rows = q.table_at(Ts::hm(8, 13)).unwrap();
+    let expected = vec![
+        q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+        q7_row((8, 10), (8, 20), (8, 11), 3, "B"),
+    ];
+    (
+        format!("8:13 > SELECT ...;\n{}", render_q7(&rows)),
+        rows == expected,
+    )
+}
+
+// --- Listings 5-8: windowing TVFs ---------------------------------------
+
+fn listing_5() -> (String, bool) {
+    let q = run_over_paper_timeline(
+        "SELECT * FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime),
+         dur => INTERVAL '10' MINUTES, offset => INTERVAL '0' MINUTES)",
+    );
+    let rows = q.table_at(Ts::hm(8, 21)).unwrap();
+    let headers = ["bidtime", "price", "item", "wstart", "wend"];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| if i == 1 { money(v) } else { v.to_string() })
+                .collect()
+        })
+        .collect();
+    let pass = rows.len() == 6
+        && rows.contains(&row!(Ts::hm(8, 7), 2i64, "A", Ts::hm(8, 0), Ts::hm(8, 10)))
+        && rows.contains(&row!(Ts::hm(8, 17), 6i64, "F", Ts::hm(8, 10), Ts::hm(8, 20)));
+    (
+        format!("8:21 > SELECT * FROM Tumble(...);\n{}", format_table(&headers, &cells)),
+        pass,
+    )
+}
+
+fn listing_6() -> (String, bool) {
+    let q = run_over_paper_timeline(
+        "SELECT MAX(wstart), wend, SUM(price) FROM Tumble(data => TABLE(Bid),
+         timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES) GROUP BY wend",
+    );
+    let rows = q.table_at(Ts::hm(8, 21)).unwrap();
+    let expected = vec![
+        row!(Ts::hm(8, 0), Ts::hm(8, 10), 11i64),
+        row!(Ts::hm(8, 10), Ts::hm(8, 20), 10i64),
+    ];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| if i == 2 { money(v) } else { v.to_string() })
+                .collect()
+        })
+        .collect();
+    (
+        format!(
+            "8:21 > SELECT MAX(wstart), wend, SUM(price) ... GROUP BY wend;\n{}",
+            format_table(&["wstart", "wend", "price"], &cells)
+        ),
+        rows == expected,
+    )
+}
+
+fn listing_7() -> (String, bool) {
+    let q = run_over_paper_timeline(
+        "SELECT * FROM Hop(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime),
+         dur => INTERVAL '10' MINUTES, hopsize => INTERVAL '5' MINUTES)",
+    );
+    let rows = q.table_at(Ts::hm(8, 21)).unwrap();
+    let pass = rows.len() == 12
+        && rows.contains(&row!(Ts::hm(8, 7), 2i64, "A", Ts::hm(8, 0), Ts::hm(8, 10)))
+        && rows.contains(&row!(Ts::hm(8, 7), 2i64, "A", Ts::hm(8, 5), Ts::hm(8, 15)));
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| if i == 1 { money(v) } else { v.to_string() })
+                .collect()
+        })
+        .collect();
+    (
+        format!(
+            "8:21 > SELECT * FROM Hop(...);\n{}",
+            format_table(&["bidtime", "price", "item", "wstart", "wend"], &cells)
+        ),
+        pass,
+    )
+}
+
+fn listing_8() -> (String, bool) {
+    let q = run_over_paper_timeline(
+        "SELECT MAX(wstart), wend, SUM(price) FROM Hop(data => TABLE(Bid),
+         timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTES,
+         hopsize => INTERVAL '5' MINUTES) GROUP BY wend",
+    );
+    let rows = q.table_at(Ts::hm(8, 21)).unwrap();
+    let expected = vec![
+        row!(Ts::hm(8, 0), Ts::hm(8, 10), 11i64),
+        row!(Ts::hm(8, 5), Ts::hm(8, 15), 15i64),
+        row!(Ts::hm(8, 10), Ts::hm(8, 20), 10i64),
+        row!(Ts::hm(8, 15), Ts::hm(8, 25), 6i64),
+    ];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| if i == 2 { money(v) } else { v.to_string() })
+                .collect()
+        })
+        .collect();
+    (
+        format!(
+            "8:21 > SELECT MAX(wstart), wend, SUM(price) FROM Hop(...) GROUP BY wend;\n{}",
+            format_table(&["wstart", "wend", "price"], &cells)
+        ),
+        rows == expected,
+    )
+}
+
+// --- Listings 9-14: materialization control ------------------------------
+
+fn listing_9() -> (String, bool) {
+    let q = run_over_paper_timeline(&format!("{PAPER_Q7_SQL} EMIT STREAM"));
+    let rows = q.stream_rows().unwrap();
+    let expected = vec![
+        (q7_row((8, 0), (8, 10), (8, 7), 2, "A"), false, Ts::hm(8, 8), 0),
+        (q7_row((8, 10), (8, 20), (8, 11), 3, "B"), false, Ts::hm(8, 12), 0),
+        (q7_row((8, 0), (8, 10), (8, 7), 2, "A"), true, Ts::hm(8, 13), 1),
+        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), false, Ts::hm(8, 13), 2),
+        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), true, Ts::hm(8, 15), 3),
+        (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 15), 4),
+        (q7_row((8, 10), (8, 20), (8, 11), 3, "B"), true, Ts::hm(8, 18), 1),
+        (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 18), 2),
+    ];
+    (
+        format!(
+            "8:08 > SELECT ... EMIT STREAM;\n{}",
+            render_stream_rows(&rows, Some(3))
+        ),
+        stream_tuples(&rows) == expected,
+    )
+}
+
+fn listing_10_11_12() -> (String, bool) {
+    let q = run_over_paper_timeline(&format!("{PAPER_Q7_SQL} EMIT AFTER WATERMARK"));
+    let at_13 = q.table_at(Ts::hm(8, 13)).unwrap();
+    let at_16 = q.table_at(Ts::hm(8, 16)).unwrap();
+    let at_21 = q.table_at(Ts::hm(8, 21)).unwrap();
+    let pass = at_13.is_empty()
+        && at_16 == vec![q7_row((8, 0), (8, 10), (8, 9), 5, "D")]
+        && at_21
+            == vec![
+                q7_row((8, 0), (8, 10), (8, 9), 5, "D"),
+                q7_row((8, 10), (8, 20), (8, 17), 6, "F"),
+            ];
+    (
+        format!(
+            "8:13 > SELECT ... EMIT AFTER WATERMARK;\n{}\n\
+             8:16 > SELECT ... EMIT AFTER WATERMARK;\n{}\n\
+             8:21 > SELECT ... EMIT AFTER WATERMARK;\n{}",
+            render_q7(&at_13),
+            render_q7(&at_16),
+            render_q7(&at_21)
+        ),
+        pass,
+    )
+}
+
+fn listing_13() -> (String, bool) {
+    let q = run_over_paper_timeline(&format!("{PAPER_Q7_SQL} EMIT STREAM AFTER WATERMARK"));
+    let rows = q.stream_rows().unwrap();
+    let expected = vec![
+        (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 16), 0),
+        (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 21), 0),
+    ];
+    (
+        format!(
+            "8:08 > SELECT ... EMIT STREAM AFTER WATERMARK;\n{}",
+            render_stream_rows(&rows, Some(3))
+        ),
+        stream_tuples(&rows) == expected,
+    )
+}
+
+fn listing_14() -> (String, bool) {
+    let engine = paper_engine();
+    let mut q = engine
+        .execute(&format!(
+            "{PAPER_Q7_SQL} EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES"
+        ))
+        .unwrap();
+    onesql_bench::feed_paper_timeline(&mut q);
+    q.advance_to(Ts::hm(8, 22)).unwrap();
+    let rows = q.stream_rows().unwrap();
+    let expected = vec![
+        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), false, Ts::hm(8, 14), 0),
+        (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 18), 0),
+        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), true, Ts::hm(8, 21), 1),
+        (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 21), 2),
+    ];
+    (
+        format!(
+            "8:08 > SELECT ... EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES;\n{}",
+            render_stream_rows(&rows, Some(3))
+        ),
+        stream_tuples(&rows) == expected,
+    )
+}
+
+fn main() {
+    let filter: Option<u32> = std::env::args()
+        .nth(1)
+        .map(|a| a.trim_start_matches("--listing").trim().parse().expect("listing number"));
+
+    let experiments = [
+        Experiment { listing: 1, title: "NEXMark Q7 in CQL (baseline)", run: listing_1 },
+        Experiment { listing: 3, title: "Q7 table view over the full dataset", run: listing_3 },
+        Experiment { listing: 4, title: "Q7 table view over the partial dataset (8:13)", run: listing_4 },
+        Experiment { listing: 5, title: "Applying the Tumble TVF", run: listing_5 },
+        Experiment { listing: 6, title: "Tumble combined with GROUP BY", run: listing_6 },
+        Experiment { listing: 7, title: "Applying the Hop TVF", run: listing_7 },
+        Experiment { listing: 8, title: "Hop combined with GROUP BY", run: listing_8 },
+        Experiment { listing: 9, title: "Stream changelog materialization (EMIT STREAM)", run: listing_9 },
+        Experiment { listing: 10, title: "Watermark materialization: incomplete/partial/complete (Listings 10-12)", run: listing_10_11_12 },
+        Experiment { listing: 13, title: "Watermark materialization of a stream", run: listing_13 },
+        Experiment { listing: 14, title: "Periodic delayed stream materialization", run: listing_14 },
+    ];
+
+    let mut failures = 0;
+    for e in &experiments {
+        if filter.is_some_and(|f| f != e.listing) {
+            continue;
+        }
+        let (output, pass) = (e.run)();
+        println!("=== Listing {}: {} ===", e.listing, e.title);
+        println!("{output}");
+        println!(
+            "paper-vs-measured: {}\n",
+            if pass { "MATCH" } else { "MISMATCH" }
+        );
+        if !pass {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} listing(s) diverged from the paper");
+        std::process::exit(1);
+    }
+}

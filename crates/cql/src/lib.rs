@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! The CQL baseline: STREAM-style continuous query execution.
+//!
+//! The paper's §2.1.1 and §4 contrast its proposal against CQL (Arasu, Babu
+//! & Widom), whose Listing 1 defines NEXMark Query 7. This crate implements
+//! CQL's published semantics as the comparison baseline:
+//!
+//! - **Implicit, in-order time**: CQL's logical clock requires tuples in
+//!   timestamp order. The STREAM system handled skew by *buffering*
+//!   out-of-order input and releasing it in order on heartbeats
+//!   ([`buffer::InOrderBuffer`]) — the approach the paper's watermarks
+//!   replace.
+//! - **Stream-to-relation operators** ([`window`]): `[RANGE l SLIDE s]`,
+//!   `[ROWS n]`, `[NOW]`, `[UNBOUNDED]` windows producing instantaneous
+//!   relations.
+//! - **Relation-to-stream operators** ([`rstream`]): `Istream`, `Dstream`,
+//!   `Rstream` over a sequence of instantaneous relations.
+//! - **Query 7** ([`q7`]): the Listing 1 query, end to end.
+
+pub mod buffer;
+pub mod q7;
+pub mod rstream;
+pub mod window;
+
+pub use buffer::InOrderBuffer;
+pub use q7::CqlQuery7;
+pub use rstream::{dstream, istream};
+pub use window::{RangeWindow, RowsWindow};

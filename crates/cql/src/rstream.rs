@@ -1,0 +1,118 @@
+//! CQL relation-to-stream operators.
+//!
+//! Over a sequence of instantaneous relations `R(T)` (§2.1.1):
+//!
+//! - `Istream(R)` contains `(r, T)` when `r ∈ R(T)` but `r ∉ R(T-1)`;
+//! - `Dstream(R)` contains `(r, T)` when `r ∈ R(T-1)` but `r ∉ R(T)`;
+//! - `Rstream(R)` contains `(r, T)` whenever `r ∈ R(T)`.
+//!
+//! These operate on multisets: multiplicities difference per CQL's bag
+//! semantics.
+
+use onesql_tvr::Bag;
+use onesql_types::{Row, Ts};
+
+/// `Istream`: rows inserted at each evaluation, relative to the previous.
+pub fn istream(evaluations: &[(Ts, Bag)]) -> Vec<(Ts, Row)> {
+    diff_stream(evaluations, false)
+}
+
+/// `Dstream`: rows deleted at each evaluation, relative to the previous.
+pub fn dstream(evaluations: &[(Ts, Bag)]) -> Vec<(Ts, Row)> {
+    diff_stream(evaluations, true)
+}
+
+/// `Rstream`: every row of every evaluation, stamped with its time.
+pub fn rstream(evaluations: &[(Ts, Bag)]) -> Vec<(Ts, Row)> {
+    let mut out = Vec::new();
+    for (t, bag) in evaluations {
+        for row in bag.rows() {
+            out.push((*t, row.clone()));
+        }
+    }
+    out
+}
+
+fn diff_stream(evaluations: &[(Ts, Bag)], deletions: bool) -> Vec<(Ts, Row)> {
+    let mut out = Vec::new();
+    let empty = Bag::new();
+    let mut prev = &empty;
+    for (t, bag) in evaluations {
+        let changes = prev.diff(bag);
+        for change in changes {
+            let (wanted, count) = if deletions {
+                (change.diff < 0, (-change.diff).max(0))
+            } else {
+                (change.diff > 0, change.diff.max(0))
+            };
+            if wanted {
+                for _ in 0..count {
+                    out.push((*t, change.row.clone()));
+                }
+            }
+        }
+        prev = bag;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::row;
+
+    fn evals() -> Vec<(Ts, Bag)> {
+        vec![
+            (Ts(1), Bag::from_rows(vec![row!("a")])),
+            (Ts(2), Bag::from_rows(vec![row!("a"), row!("b")])),
+            (Ts(3), Bag::from_rows(vec![row!("b")])),
+        ]
+    }
+
+    #[test]
+    fn istream_reports_insertions() {
+        assert_eq!(
+            istream(&evals()),
+            vec![(Ts(1), row!("a")), (Ts(2), row!("b"))]
+        );
+    }
+
+    #[test]
+    fn dstream_reports_deletions() {
+        assert_eq!(dstream(&evals()), vec![(Ts(3), row!("a"))]);
+    }
+
+    #[test]
+    fn rstream_reports_everything() {
+        assert_eq!(
+            rstream(&evals()),
+            vec![
+                (Ts(1), row!("a")),
+                (Ts(2), row!("a")),
+                (Ts(2), row!("b")),
+                (Ts(3), row!("b")),
+            ]
+        );
+    }
+
+    #[test]
+    fn multiplicities_respected() {
+        let evals = vec![
+            (Ts(1), Bag::from_rows(vec![row!("a"), row!("a")])),
+            (Ts(2), Bag::from_rows(vec![row!("a")])),
+        ];
+        // One copy deleted at T=2.
+        assert_eq!(dstream(&evals), vec![(Ts(2), row!("a"))]);
+        assert_eq!(
+            istream(&evals),
+            vec![(Ts(1), row!("a")), (Ts(1), row!("a"))]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(istream(&[]).is_empty());
+        assert!(dstream(&[]).is_empty());
+        assert!(rstream(&[]).is_empty());
+    }
+}

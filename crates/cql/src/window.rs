@@ -1,0 +1,217 @@
+//! CQL stream-to-relation operators.
+//!
+//! A CQL window specification turns a stream into a sequence of
+//! *instantaneous relations* (§2.1.1). `[RANGE l SLIDE s]` re-evaluates
+//! every `s` and contains the tuples of the trailing `l`; `[ROWS n]`
+//! contains the latest `n` tuples; `[NOW]` is `[RANGE 0]`; `[UNBOUNDED]`
+//! accumulates everything.
+
+use std::collections::VecDeque;
+
+use onesql_tvr::Bag;
+use onesql_types::{Duration, Row, Ts};
+
+/// `[RANGE range SLIDE slide]`: a time-based sliding window over an
+/// in-order stream. With `range == slide` this is CQL's tumbling form, as
+/// in Listing 1's `Bid [RANGE 10 MINUTE SLIDE 10 MINUTE]`.
+#[derive(Debug, Clone)]
+pub struct RangeWindow {
+    range: Duration,
+    slide: Duration,
+    /// In-order retained tuples (those that may still be in some window).
+    tuples: VecDeque<(Ts, Row)>,
+    /// Next slide boundary to evaluate at.
+    next_eval: Option<Ts>,
+}
+
+impl RangeWindow {
+    /// Create with window length `range` re-evaluated every `slide`.
+    /// Panics if either is non-positive.
+    pub fn new(range: Duration, slide: Duration) -> RangeWindow {
+        assert!(range.is_positive(), "RANGE must be positive");
+        assert!(slide.is_positive(), "SLIDE must be positive");
+        RangeWindow {
+            range,
+            slide,
+            tuples: VecDeque::new(),
+            next_eval: None,
+        }
+    }
+
+    /// Accept the next in-order tuple, returning any `(evaluation time,
+    /// instantaneous relation)` pairs whose slide boundary it crossed.
+    ///
+    /// CQL's logical clock evaluates the relation at each multiple of
+    /// `slide`; a window evaluated at time `t` contains tuples with
+    /// timestamps in `(t - range, t]`.
+    pub fn push(&mut self, ts: Ts, row: Row) -> Vec<(Ts, Bag)> {
+        let mut out = Vec::new();
+        // Emit evaluations for boundaries passed before this tuple.
+        while let Some(eval_at) = self.next_eval {
+            if ts > eval_at {
+                out.push((eval_at, self.relation_at(eval_at)));
+                self.next_eval = Some(eval_at + self.slide);
+            } else {
+                break;
+            }
+        }
+        if self.next_eval.is_none() {
+            // First tuple: next boundary is the first multiple of slide at
+            // or after ts (a tuple exactly on a boundary belongs to that
+            // evaluation — windows are `(t - range, t]`).
+            let s = self.slide.millis();
+            let floor = ts.millis().div_euclid(s) * s;
+            let next = if floor == ts.millis() { floor } else { floor + s };
+            self.next_eval = Some(Ts(next));
+        }
+        self.tuples.push_back((ts, row));
+        out
+    }
+
+    /// Declare the stream finished at `end`: evaluate all remaining slide
+    /// boundaries up to and including the first at or after `end`.
+    pub fn finish(&mut self, end: Ts) -> Vec<(Ts, Bag)> {
+        let mut out = Vec::new();
+        while let Some(eval_at) = self.next_eval {
+            let done = eval_at >= end;
+            out.push((eval_at, self.relation_at(eval_at)));
+            self.next_eval = Some(eval_at + self.slide);
+            if done {
+                self.next_eval = None;
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of retained tuples (state size).
+    pub fn retained(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn relation_at(&mut self, at: Ts) -> Bag {
+        // Expire tuples that can never appear again: ts <= at - range.
+        let cutoff = at.saturating_sub(self.range);
+        while self
+            .tuples
+            .front()
+            .is_some_and(|(ts, _)| *ts <= cutoff)
+        {
+            self.tuples.pop_front();
+        }
+        self.tuples
+            .iter()
+            .filter(|(ts, _)| *ts <= at)
+            .map(|(_, row)| row.clone())
+            .collect()
+    }
+}
+
+/// `[ROWS n]`: the latest `n` tuples.
+#[derive(Debug, Clone)]
+pub struct RowsWindow {
+    n: usize,
+    tuples: VecDeque<Row>,
+}
+
+impl RowsWindow {
+    /// Create a window over the latest `n` rows.
+    pub fn new(n: usize) -> RowsWindow {
+        RowsWindow {
+            n,
+            tuples: VecDeque::new(),
+        }
+    }
+
+    /// Accept the next in-order tuple; returns the new instantaneous
+    /// relation (ROWS windows re-evaluate on every tuple).
+    pub fn push(&mut self, row: Row) -> Bag {
+        self.tuples.push_back(row);
+        while self.tuples.len() > self.n {
+            self.tuples.pop_front();
+        }
+        self.tuples.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::row;
+
+    const M10: Duration = Duration(10 * 60_000);
+
+    #[test]
+    fn tumbling_range_matches_listing_1_semantics() {
+        // RANGE 10 SLIDE 10 over the paper's bids, fed in event-time order
+        // (CQL requires in-order input).
+        let mut w = RangeWindow::new(M10, M10);
+        let bids = [
+            (Ts::hm(8, 5), row!(4i64, "C")),
+            (Ts::hm(8, 7), row!(2i64, "A")),
+            (Ts::hm(8, 9), row!(5i64, "D")),
+            (Ts::hm(8, 11), row!(3i64, "B")),
+            (Ts::hm(8, 13), row!(1i64, "E")),
+            (Ts::hm(8, 17), row!(6i64, "F")),
+        ];
+        let mut evals = Vec::new();
+        for (ts, row) in bids {
+            evals.extend(w.push(ts, row));
+        }
+        evals.extend(w.finish(Ts::hm(8, 20)));
+        // Evaluations at 8:10 and 8:20.
+        assert_eq!(evals.len(), 2);
+        assert_eq!(evals[0].0, Ts::hm(8, 10));
+        assert_eq!(evals[0].1.len(), 3); // C, A, D
+        assert!(evals[0].1.contains(&row!(5i64, "D")));
+        assert_eq!(evals[1].0, Ts::hm(8, 20));
+        assert_eq!(evals[1].1.len(), 3); // B, E, F
+        assert!(evals[1].1.contains(&row!(6i64, "F")));
+    }
+
+    #[test]
+    fn sliding_window_overlaps() {
+        // RANGE 10 SLIDE 5: each tuple can appear in two evaluations.
+        let mut w = RangeWindow::new(M10, Duration(5 * 60_000));
+        let mut evals = Vec::new();
+        evals.extend(w.push(Ts::hm(8, 7), row!("A")));
+        evals.extend(w.finish(Ts::hm(8, 20)));
+        let containing: Vec<Ts> = evals
+            .iter()
+            .filter(|(_, bag)| bag.contains(&row!("A")))
+            .map(|(t, _)| *t)
+            .collect();
+        assert_eq!(containing, vec![Ts::hm(8, 10), Ts::hm(8, 15)]);
+    }
+
+    #[test]
+    fn expired_tuples_are_dropped_from_state() {
+        let mut w = RangeWindow::new(M10, M10);
+        w.push(Ts::hm(8, 5), row!("old"));
+        w.push(Ts::hm(8, 25), row!("new")); // crosses 8:10 and 8:20
+        let _ = w.finish(Ts::hm(8, 30));
+        assert!(w.retained() <= 1);
+    }
+
+    #[test]
+    fn window_boundary_inclusive_at_eval_exclusive_after_range() {
+        // Tuple exactly at the boundary 8:10 belongs to the (8:00, 8:10]
+        // evaluation in CQL (inclusive upper).
+        let mut w = RangeWindow::new(M10, M10);
+        w.push(Ts::hm(8, 10), row!("edge"));
+        let evals = w.finish(Ts::hm(8, 10));
+        assert_eq!(evals.len(), 1);
+        assert!(evals[0].1.contains(&row!("edge")));
+    }
+
+    #[test]
+    fn rows_window_keeps_latest_n() {
+        let mut w = RowsWindow::new(2);
+        assert_eq!(w.push(row!(1i64)).len(), 1);
+        assert_eq!(w.push(row!(2i64)).len(), 2);
+        let r = w.push(row!(3i64));
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&row!(1i64)));
+        assert!(r.contains(&row!(3i64)));
+    }
+}

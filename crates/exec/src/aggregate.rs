@@ -1,0 +1,820 @@
+//! Incremental grouped aggregation.
+//!
+//! One operator covers both of the paper's execution regimes:
+//!
+//! - **Updating ("retraction") mode** — the default TVR semantics: every
+//!   input change immediately updates the output relation, emitting
+//!   `retract(old) + insert(new)` per affected group. This is what makes the
+//!   plain table view at 8:13 show *partial* window results (Listing 4).
+//! - **Event-time finalization** (Extension 2) — when a grouping key is a
+//!   watermarked event-time column, the watermark additionally (a) drops
+//!   late inputs for closed groups (modulo configurable allowed lateness)
+//!   and (b) frees group state once a group can no longer change (§5,
+//!   lesson 1). Emission control (only materializing final results) is the
+//!   job of the downstream `EMIT AFTER WATERMARK` gate, not the aggregate.
+
+use std::collections::BTreeMap;
+
+use bytes::BufMut;
+
+use onesql_plan::{AggCall, AggFunc, ScalarExpr};
+use onesql_state::{Checkpoint, Codec, Decoder, KeyedState, StateMetrics};
+use onesql_time::Watermark;
+use onesql_tvr::Element;
+use onesql_types::{Duration, Error, Result, Row, Ts, Value};
+
+use crate::operator::Operator;
+
+/// A retractable accumulator for one aggregate call within one group.
+///
+/// Supports `add(value, ±diff)` for all functions; `MIN`/`MAX` (and all
+/// `DISTINCT` variants) keep a value multiset so retractions are exact.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    distinct: bool,
+    /// True for `COUNT(*)` (no argument): counts rows, not non-null values.
+    count_star: bool,
+    /// Total weighted row count (for `COUNT(*)`).
+    rows: i64,
+    /// Weighted count of non-null argument values.
+    nonnull: i64,
+    /// Integer/interval sum (i128 so transient overflow cannot occur before
+    /// retractions cancel).
+    int_sum: i128,
+    /// Float sum.
+    float_sum: f64,
+    /// Tag remembering the numeric flavor of SUM inputs.
+    sum_kind: Option<SumKind>,
+    /// Value multiset, maintained for MIN/MAX and DISTINCT aggregates.
+    values: Option<BTreeMap<Value, i64>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SumKind {
+    Int,
+    Float,
+    Interval,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for an aggregate call.
+    pub fn new(func: AggFunc, distinct: bool) -> Accumulator {
+        Self::with_count_star(func, distinct, false)
+    }
+
+    /// Fresh accumulator, marking `COUNT(*)` explicitly.
+    pub fn with_count_star(func: AggFunc, distinct: bool, count_star: bool) -> Accumulator {
+        let needs_values =
+            distinct || matches!(func, AggFunc::Min | AggFunc::Max);
+        Accumulator {
+            func,
+            distinct,
+            count_star,
+            rows: 0,
+            nonnull: 0,
+            int_sum: 0,
+            float_sum: 0.0,
+            sum_kind: None,
+            values: needs_values.then(BTreeMap::new),
+        }
+    }
+
+    /// Apply one input row's argument value with a signed weight.
+    /// `value = None` means the call is `COUNT(*)` (no argument).
+    pub fn add(&mut self, value: Option<&Value>, diff: i64) -> Result<()> {
+        self.rows += diff;
+        let Some(v) = value else {
+            return Ok(());
+        };
+        if v.is_null() {
+            return Ok(());
+        }
+        self.nonnull += diff;
+        if let Some(values) = &mut self.values {
+            let e = values.entry(v.clone()).or_insert(0);
+            *e += diff;
+            if *e == 0 {
+                values.remove(v);
+            }
+        }
+        // Sums (only consulted by SUM/AVG, but cheap to maintain).
+        match v {
+            Value::Int(i) => {
+                self.int_sum += i128::from(*i) * i128::from(diff);
+                self.float_sum += *i as f64 * diff as f64;
+                self.sum_kind.get_or_insert(SumKind::Int);
+            }
+            Value::Float(f) => {
+                self.float_sum += f * diff as f64;
+                self.sum_kind = Some(SumKind::Float);
+            }
+            Value::Interval(d) => {
+                self.int_sum += i128::from(d.millis()) * i128::from(diff);
+                self.sum_kind.get_or_insert(SumKind::Interval);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Merge another accumulator of the same shape into this one (used by
+    /// session-window merging, where two sessions' partial aggregates
+    /// combine). Panics if the shapes differ (same plan ⇒ same shape).
+    pub fn merge(&mut self, other: &Accumulator) {
+        assert_eq!(self.func, other.func, "accumulator shape mismatch");
+        assert_eq!(self.distinct, other.distinct, "accumulator shape mismatch");
+        self.rows += other.rows;
+        self.nonnull += other.nonnull;
+        self.int_sum += other.int_sum;
+        self.float_sum += other.float_sum;
+        if self.sum_kind.is_none() {
+            self.sum_kind = other.sum_kind;
+        } else if other.sum_kind == Some(SumKind::Float) {
+            self.sum_kind = Some(SumKind::Float);
+        }
+        if let (Some(mine), Some(theirs)) = (self.values.as_mut(), other.values.as_ref()) {
+            for (v, d) in theirs {
+                let e = mine.entry(v.clone()).or_insert(0);
+                *e += d;
+                if *e == 0 {
+                    mine.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Current aggregate value.
+    pub fn value(&self) -> Result<Value> {
+        match self.func {
+            AggFunc::Count => {
+                if self.distinct {
+                    let n = self
+                        .values
+                        .as_ref()
+                        .expect("distinct keeps values")
+                        .len() as i64;
+                    Ok(Value::Int(n))
+                } else if self.count_star {
+                    Ok(Value::Int(self.rows))
+                } else {
+                    Ok(Value::Int(self.nonnull))
+                }
+            }
+            AggFunc::Sum => self.sum_value(false),
+            AggFunc::Avg => {
+                let (sum, count) = if self.distinct {
+                    let values = self.values.as_ref().expect("distinct keeps values");
+                    let mut s = 0.0;
+                    for v in values.keys() {
+                        s += v.as_float()?;
+                    }
+                    (s, values.len() as i64)
+                } else {
+                    (self.float_sum, self.nonnull)
+                };
+                if count == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(sum / count as f64))
+                }
+            }
+            AggFunc::Min => Ok(self
+                .values
+                .as_ref()
+                .and_then(|m| m.keys().next().cloned())
+                .unwrap_or(Value::Null)),
+            AggFunc::Max => Ok(self
+                .values
+                .as_ref()
+                .and_then(|m| m.keys().next_back().cloned())
+                .unwrap_or(Value::Null)),
+        }
+    }
+
+    fn sum_value(&self, _distinct: bool) -> Result<Value> {
+        if self.distinct {
+            let values = self.values.as_ref().expect("distinct keeps values");
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc: Option<Value> = None;
+            for v in values.keys() {
+                acc = Some(match acc {
+                    None => v.clone(),
+                    Some(a) => a.add(v)?,
+                });
+            }
+            return Ok(acc.unwrap_or(Value::Null));
+        }
+        if self.nonnull == 0 {
+            return Ok(Value::Null);
+        }
+        match self.sum_kind {
+            Some(SumKind::Int) => {
+                let s = i64::try_from(self.int_sum)
+                    .map_err(|_| Error::exec("BIGINT overflow in SUM"))?;
+                Ok(Value::Int(s))
+            }
+            Some(SumKind::Float) => Ok(Value::Float(self.float_sum)),
+            Some(SumKind::Interval) => {
+                let s = i64::try_from(self.int_sum)
+                    .map_err(|_| Error::exec("INTERVAL overflow in SUM"))?;
+                Ok(Value::Interval(Duration(s)))
+            }
+            None => Ok(Value::Null),
+        }
+    }
+}
+
+impl Codec for Accumulator {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        let func_tag: u8 = match self.func {
+            AggFunc::Count => 0,
+            AggFunc::Sum => 1,
+            AggFunc::Min => 2,
+            AggFunc::Max => 3,
+            AggFunc::Avg => 4,
+        };
+        buf.put_u8(func_tag);
+        self.distinct.encode(buf);
+        self.count_star.encode(buf);
+        self.rows.encode(buf);
+        self.nonnull.encode(buf);
+        // i128 as two halves.
+        buf.put_u64_le(self.int_sum as u64);
+        buf.put_u64_le((self.int_sum >> 64) as u64);
+        buf.put_f64_le(self.float_sum);
+        let kind_tag: u8 = match self.sum_kind {
+            None => 0,
+            Some(SumKind::Int) => 1,
+            Some(SumKind::Float) => 2,
+            Some(SumKind::Interval) => 3,
+        };
+        buf.put_u8(kind_tag);
+        let values: Option<Vec<(Value, i64)>> = self
+            .values
+            .as_ref()
+            .map(|m| m.iter().map(|(v, d)| (v.clone(), *d)).collect());
+        values.encode(buf);
+    }
+
+    fn decode(input: &mut Decoder<'_>) -> Result<Self> {
+        let func = match u8::decode(input)? {
+            0 => AggFunc::Count,
+            1 => AggFunc::Sum,
+            2 => AggFunc::Min,
+            3 => AggFunc::Max,
+            4 => AggFunc::Avg,
+            t => return Err(Error::exec(format!("bad aggregate tag {t} in checkpoint"))),
+        };
+        let distinct = bool::decode(input)?;
+        let count_star = bool::decode(input)?;
+        let rows = i64::decode(input)?;
+        let nonnull = i64::decode(input)?;
+        let low = u64::decode(input)? as u128;
+        let high = u64::decode(input)? as u128;
+        let int_sum = ((high << 64) | low) as i128;
+        let float_sum = f64::from_bits(u64::decode(input)?);
+        let sum_kind = match u8::decode(input)? {
+            0 => None,
+            1 => Some(SumKind::Int),
+            2 => Some(SumKind::Float),
+            3 => Some(SumKind::Interval),
+            t => return Err(Error::exec(format!("bad sum-kind tag {t} in checkpoint"))),
+        };
+        let values: Option<Vec<(Value, i64)>> = Codec::decode(input)?;
+        Ok(Accumulator {
+            func,
+            distinct,
+            count_star,
+            rows,
+            nonnull,
+            int_sum,
+            float_sum,
+            sum_kind,
+            values: values.map(|v| v.into_iter().collect()),
+        })
+    }
+}
+
+/// Per-group state: one accumulator per aggregate call plus the live input
+/// row count (a group disappears when its count reaches zero).
+#[derive(Debug, Clone)]
+struct GroupState {
+    accs: Vec<Accumulator>,
+    live_rows: i64,
+}
+
+impl Codec for GroupState {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.accs.encode(buf);
+        self.live_rows.encode(buf);
+    }
+    fn decode(input: &mut Decoder<'_>) -> Result<Self> {
+        Ok(GroupState {
+            accs: Vec::decode(input)?,
+            live_rows: i64::decode(input)?,
+        })
+    }
+}
+
+/// The grouped-aggregation operator.
+pub struct Aggregate {
+    group_exprs: Vec<ScalarExpr>,
+    aggs: Vec<AggCall>,
+    /// Index within the group key of a watermarked event-time column.
+    event_time_key: Option<usize>,
+    /// Extra slack before closed-group state is dropped (Extension 2 notes
+    /// "a configurable amount of allowed lateness is often needed").
+    allowed_lateness: Duration,
+    state: KeyedState<GroupState>,
+    watermark: Watermark,
+    /// Count of inputs dropped as too late (observability).
+    late_dropped: u64,
+}
+
+impl Aggregate {
+    /// Build from plan parameters.
+    pub fn new(
+        group_exprs: Vec<ScalarExpr>,
+        aggs: Vec<AggCall>,
+        event_time_key: Option<usize>,
+        allowed_lateness: Duration,
+    ) -> Aggregate {
+        Aggregate {
+            group_exprs,
+            aggs,
+            event_time_key,
+            allowed_lateness,
+            state: KeyedState::new(),
+            watermark: Watermark::MIN,
+            late_dropped: 0,
+        }
+    }
+
+    /// Inputs dropped because their group was already closed.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    fn key_of(&self, row: &Row) -> Result<Row> {
+        let mut vals = Vec::with_capacity(self.group_exprs.len());
+        for e in &self.group_exprs {
+            vals.push(e.eval(row)?);
+        }
+        Ok(Row::new(vals))
+    }
+
+    fn group_ts(&self, key: &Row) -> Result<Option<Ts>> {
+        match self.event_time_key {
+            None => Ok(None),
+            Some(i) => match key.value(i)? {
+                Value::Ts(t) => Ok(Some(*t)),
+                Value::Null => Err(Error::exec(
+                    "NULL event-time grouping key is not allowed",
+                )),
+                other => Err(Error::exec(format!(
+                    "event-time grouping key must be TIMESTAMP, got {}",
+                    other.data_type()
+                ))),
+            },
+        }
+    }
+
+    fn output_row(&self, key: &Row, group: &GroupState) -> Result<Row> {
+        let mut vals = Vec::with_capacity(key.arity() + group.accs.len());
+        vals.extend_from_slice(key.values());
+        for acc in &group.accs {
+            vals.push(acc.value()?);
+        }
+        Ok(Row::new(vals))
+    }
+
+    fn fresh_group(&self) -> GroupState {
+        GroupState {
+            accs: self
+                .aggs
+                .iter()
+                .map(|a| Accumulator::with_count_star(a.func, a.distinct, a.arg.is_none()))
+                .collect(),
+            live_rows: 0,
+        }
+    }
+
+    /// The event time at which a group's state may be dropped.
+    fn retirement_ts(&self, group_ts: Ts) -> Ts {
+        group_ts.saturating_add(self.allowed_lateness)
+    }
+}
+
+impl Operator for Aggregate {
+    fn initialize(&mut self, _now: Ts, out: &mut Vec<Element>) -> Result<()> {
+        // A global aggregate (no GROUP BY) over an empty input is one row
+        // (COUNT = 0, other aggregates NULL), per standard SQL. Seed it.
+        if self.group_exprs.is_empty() {
+            let key = Row::empty();
+            let group = self.fresh_group();
+            let initial = self.output_row(&key, &group)?;
+            self.state.put(key, group);
+            out.push(Element::insert(initial));
+        }
+        Ok(())
+    }
+
+    fn process(
+        &mut self,
+        _port: usize,
+        elem: Element,
+        _now: Ts,
+        out: &mut Vec<Element>,
+    ) -> Result<()> {
+        match elem {
+            Element::Data(change) => {
+                let key = self.key_of(&change.row)?;
+                let group_ts = self.group_ts(&key)?;
+                // Extension 2: inputs for groups the watermark has closed
+                // (plus lateness) are dropped.
+                if let Some(ts) = group_ts {
+                    if self.watermark.closes(self.retirement_ts(ts)) {
+                        self.late_dropped += 1;
+                        return Ok(());
+                    }
+                }
+                let is_global = self.group_exprs.is_empty();
+                let group_exists = self.state.get(&key).is_some();
+                let old_row = if group_exists {
+                    let g = self.state.get(&key).expect("checked");
+                    if g.live_rows > 0 || is_global {
+                        Some(self.output_row(&key, g)?)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+
+                // Apply the change.
+                {
+                    let fresh = self.fresh_group();
+                    let group = if group_exists {
+                        self.state.get_mut(&key).expect("checked")
+                    } else {
+                        self.state.put(key.clone(), fresh);
+                        self.state.get_mut(&key).expect("just inserted")
+                    };
+                    group.live_rows += change.diff;
+                    for (acc, call) in group.accs.iter_mut().zip(&self.aggs) {
+                        let arg = match &call.arg {
+                            Some(e) => Some(e.eval(&change.row)?),
+                            None => None,
+                        };
+                        acc.add(arg.as_ref(), change.diff)?;
+                    }
+                }
+
+                let group = self.state.get(&key).expect("present");
+                let new_row = if group.live_rows > 0 || is_global {
+                    Some(self.output_row(&key, group)?)
+                } else {
+                    None
+                };
+                if group.live_rows <= 0 && !is_global {
+                    self.state.remove(&key);
+                }
+
+                // Emit the delta (retract before insert so downstream sees a
+                // consistent transition).
+                if old_row != new_row {
+                    if let Some(old) = old_row {
+                        out.push(Element::retract(old));
+                    }
+                    if let Some(new) = new_row {
+                        out.push(Element::insert(new));
+                    }
+                }
+            }
+            Element::Watermark(wm) => {
+                if !self.watermark.advance_to(wm) {
+                    return Ok(());
+                }
+                // Free state for groups that can no longer change (§5).
+                if let Some(key_idx) = self.event_time_key {
+                    let watermark = self.watermark;
+                    let lateness = self.allowed_lateness;
+                    self.state.retire_where(|key, _| {
+                        match key.value(key_idx) {
+                            Ok(Value::Ts(t)) => {
+                                watermark.closes(t.saturating_add(lateness))
+                            }
+                            _ => false,
+                        }
+                    });
+                }
+                out.push(Element::Watermark(self.watermark));
+            }
+        }
+        Ok(())
+    }
+
+    fn state_metrics(&self) -> StateMetrics {
+        StateMetrics {
+            keys: self.state.len(),
+            encoded_bytes: 0,
+        }
+    }
+
+    fn checkpoint(&self) -> Result<Option<Checkpoint>> {
+        let snapshot = (self.watermark.ts(), self.late_dropped, self.state.checkpoint().0);
+        Ok(Some(Checkpoint(snapshot.to_bytes())))
+    }
+
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<()> {
+        let (wm, late, state_bytes): (Ts, u64, bytes::Bytes) =
+            Codec::from_bytes(&checkpoint.0)?;
+        self.watermark = Watermark(wm);
+        self.late_dropped = late;
+        self.state.restore(&Checkpoint(state_bytes))
+    }
+
+    fn name(&self) -> &'static str {
+        "Aggregate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::row;
+
+    fn agg_max_by_key() -> Aggregate {
+        // GROUP BY col0, MAX(col1).
+        Aggregate::new(
+            vec![ScalarExpr::col(0)],
+            vec![AggCall {
+                func: AggFunc::Max,
+                arg: Some(ScalarExpr::col(1)),
+                distinct: false,
+            }],
+            None,
+            Duration::ZERO,
+        )
+    }
+
+    fn push(op: &mut Aggregate, e: Element) -> Vec<Element> {
+        let mut out = Vec::new();
+        op.process(0, e, Ts(0), &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn grouped_max_updates_with_retractions() {
+        let mut agg = agg_max_by_key();
+        // First row creates the group.
+        let out = push(&mut agg, Element::insert(row!("w1", 2i64)));
+        assert_eq!(out, vec![Element::insert(row!("w1", 2i64))]);
+        // Higher value: retract old output, insert new.
+        let out = push(&mut agg, Element::insert(row!("w1", 4i64)));
+        assert_eq!(
+            out,
+            vec![
+                Element::retract(row!("w1", 2i64)),
+                Element::insert(row!("w1", 4i64)),
+            ]
+        );
+        // Lower value: output unchanged, nothing emitted.
+        let out = push(&mut agg, Element::insert(row!("w1", 1i64)));
+        assert!(out.is_empty());
+        // Retract the max: falls back to 2.
+        let out = push(&mut agg, Element::retract(row!("w1", 4i64)));
+        assert_eq!(
+            out,
+            vec![
+                Element::retract(row!("w1", 4i64)),
+                Element::insert(row!("w1", 2i64)),
+            ]
+        );
+    }
+
+    #[test]
+    fn group_disappears_when_empty() {
+        let mut agg = agg_max_by_key();
+        push(&mut agg, Element::insert(row!("w1", 2i64)));
+        let out = push(&mut agg, Element::retract(row!("w1", 2i64)));
+        assert_eq!(out, vec![Element::retract(row!("w1", 2i64))]);
+        assert_eq!(agg.state_metrics().keys, 0);
+    }
+
+    #[test]
+    fn global_aggregate_seeds_initial_row() {
+        // SELECT COUNT(*), MAX(col0) with no GROUP BY.
+        let mut agg = Aggregate::new(
+            vec![],
+            vec![
+                AggCall {
+                    func: AggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                },
+                AggCall {
+                    func: AggFunc::Max,
+                    arg: Some(ScalarExpr::col(0)),
+                    distinct: false,
+                },
+            ],
+            None,
+            Duration::ZERO,
+        );
+        let mut out = Vec::new();
+        agg.initialize(Ts(0), &mut out).unwrap();
+        assert_eq!(out, vec![Element::insert(row!(0i64, Value::Null))]);
+        let out = push(&mut agg, Element::insert(row!(5i64)));
+        assert_eq!(
+            out,
+            vec![
+                Element::retract(row!(0i64, Value::Null)),
+                Element::insert(row!(1i64, 5i64)),
+            ]
+        );
+        // Back to empty: the seeded row returns, not deletion.
+        let out = push(&mut agg, Element::retract(row!(5i64)));
+        assert_eq!(
+            out,
+            vec![
+                Element::retract(row!(1i64, 5i64)),
+                Element::insert(row!(0i64, Value::Null)),
+            ]
+        );
+    }
+
+    #[test]
+    fn count_sum_avg_semantics() {
+        // GROUP BY col0: COUNT(col1), SUM(col1), AVG(col1).
+        let mut agg = Aggregate::new(
+            vec![ScalarExpr::col(0)],
+            vec![
+                AggCall {
+                    func: AggFunc::Count,
+                    arg: Some(ScalarExpr::col(1)),
+                    distinct: false,
+                },
+                AggCall {
+                    func: AggFunc::Sum,
+                    arg: Some(ScalarExpr::col(1)),
+                    distinct: false,
+                },
+                AggCall {
+                    func: AggFunc::Avg,
+                    arg: Some(ScalarExpr::col(1)),
+                    distinct: false,
+                },
+            ],
+            None,
+            Duration::ZERO,
+        );
+        push(&mut agg, Element::insert(row!("k", 10i64)));
+        let out = push(&mut agg, Element::insert(row!("k", 20i64)));
+        assert_eq!(
+            out.last().unwrap(),
+            &Element::insert(row!("k", 2i64, 30i64, 15.0))
+        );
+        // NULL argument: COUNT/SUM/AVG ignore it but the row still counts
+        // for group liveness.
+        let out = push(
+            &mut agg,
+            Element::insert(Row::new(vec![Value::str("k"), Value::Null])),
+        );
+        assert!(out.is_empty(), "null arg leaves aggregates unchanged: {out:?}");
+    }
+
+    #[test]
+    fn distinct_aggregates() {
+        let mut agg = Aggregate::new(
+            vec![],
+            vec![
+                AggCall {
+                    func: AggFunc::Count,
+                    arg: Some(ScalarExpr::col(0)),
+                    distinct: true,
+                },
+                AggCall {
+                    func: AggFunc::Sum,
+                    arg: Some(ScalarExpr::col(0)),
+                    distinct: true,
+                },
+            ],
+            None,
+            Duration::ZERO,
+        );
+        let mut out = Vec::new();
+        agg.initialize(Ts(0), &mut out).unwrap();
+        push(&mut agg, Element::insert(row!(5i64)));
+        push(&mut agg, Element::insert(row!(5i64)));
+        let out = push(&mut agg, Element::insert(row!(7i64)));
+        assert_eq!(
+            out.last().unwrap(),
+            &Element::insert(row!(2i64, 12i64))
+        );
+        // Retract one of the duplicate 5s: distinct values unchanged.
+        let out = push(&mut agg, Element::retract(row!(5i64)));
+        assert!(out.is_empty());
+        // Retract the second 5: now only 7 remains.
+        let out = push(&mut agg, Element::retract(row!(5i64)));
+        assert_eq!(out.last().unwrap(), &Element::insert(row!(1i64, 7i64)));
+    }
+
+    #[test]
+    fn late_inputs_dropped_after_watermark_closes_group() {
+        // GROUP BY event-time col0, COUNT(*).
+        let mut agg = Aggregate::new(
+            vec![ScalarExpr::col(0)],
+            vec![AggCall {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            }],
+            Some(0),
+            Duration::ZERO,
+        );
+        push(&mut agg, Element::insert(row!(Ts::hm(8, 10), 1i64)));
+        assert_eq!(agg.state_metrics().keys, 1);
+        // Watermark passes 8:10: state freed.
+        let out = push(&mut agg, Element::watermark(Ts::hm(8, 12)));
+        assert_eq!(out, vec![Element::watermark(Ts::hm(8, 12))]);
+        assert_eq!(agg.state_metrics().keys, 0);
+        // A late row for the closed group is dropped silently.
+        let out = push(&mut agg, Element::insert(row!(Ts::hm(8, 10), 9i64)));
+        assert!(out.is_empty());
+        assert_eq!(agg.late_dropped(), 1);
+        // A row for an open group still works.
+        let out = push(&mut agg, Element::insert(row!(Ts::hm(8, 20), 1i64)));
+        assert_eq!(out, vec![Element::insert(row!(Ts::hm(8, 20), 1i64))]);
+    }
+
+    #[test]
+    fn allowed_lateness_keeps_groups_open() {
+        let mut agg = Aggregate::new(
+            vec![ScalarExpr::col(0)],
+            vec![AggCall {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            }],
+            Some(0),
+            Duration::from_minutes(5),
+        );
+        push(&mut agg, Element::insert(row!(Ts::hm(8, 10), 1i64)));
+        // Watermark at 8:12 closes the group but is within lateness.
+        push(&mut agg, Element::watermark(Ts::hm(8, 12)));
+        assert_eq!(agg.state_metrics().keys, 1);
+        let out = push(&mut agg, Element::insert(row!(Ts::hm(8, 10), 2i64)));
+        assert_eq!(
+            out,
+            vec![
+                Element::retract(row!(Ts::hm(8, 10), 1i64)),
+                Element::insert(row!(Ts::hm(8, 10), 2i64)),
+            ]
+        );
+        // Watermark past 8:15: now the state goes.
+        push(&mut agg, Element::watermark(Ts::hm(8, 16)));
+        assert_eq!(agg.state_metrics().keys, 0);
+        assert_eq!(agg.late_dropped(), 0);
+    }
+
+    #[test]
+    fn watermark_regressions_ignored() {
+        let mut agg = agg_max_by_key();
+        let out = push(&mut agg, Element::watermark(Ts::hm(8, 10)));
+        assert_eq!(out.len(), 1);
+        let out = push(&mut agg, Element::watermark(Ts::hm(8, 5)));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn min_max_empty_is_null() {
+        let mut acc = Accumulator::new(AggFunc::Max, false);
+        assert_eq!(acc.value().unwrap(), Value::Null);
+        acc.add(Some(&Value::Int(3)), 1).unwrap();
+        assert_eq!(acc.value().unwrap(), Value::Int(3));
+        acc.add(Some(&Value::Int(3)), -1).unwrap();
+        assert_eq!(acc.value().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sum_interval_and_float() {
+        let mut acc = Accumulator::new(AggFunc::Sum, false);
+        acc.add(Some(&Value::Interval(Duration::from_minutes(3))), 1)
+            .unwrap();
+        acc.add(Some(&Value::Interval(Duration::from_minutes(4))), 1)
+            .unwrap();
+        assert_eq!(
+            acc.value().unwrap(),
+            Value::Interval(Duration::from_minutes(7))
+        );
+
+        let mut acc = Accumulator::new(AggFunc::Sum, false);
+        acc.add(Some(&Value::Float(1.5)), 1).unwrap();
+        acc.add(Some(&Value::Int(2)), 1).unwrap();
+        assert_eq!(acc.value().unwrap(), Value::Float(3.5));
+    }
+}

@@ -1,0 +1,470 @@
+//! The executor: an operator tree driven by a virtual processing-time clock.
+
+use onesql_state::StateMetrics;
+use onesql_time::Watermark;
+use onesql_tvr::{Changelog, Element};
+use onesql_types::{Duration, Error, Result, SchemaRef, Ts};
+
+use crate::operator::Operator;
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecConfig {
+    /// Allowed lateness for event-time groupings (Extension 2 notes the
+    /// practical need); groups stay open this long past the watermark.
+    pub allowed_lateness: Duration,
+}
+
+/// Identifies one source leaf of a compiled pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceInfo {
+    /// Source index, usable with [`Executor::feed_source`].
+    pub id: usize,
+    /// Catalog table this leaf scans. Multiple leaves may scan the same
+    /// table (NEXMark Q7 scans `Bid` twice); [`Executor::feed`] fans out.
+    pub table: String,
+    /// `AS OF SYSTEM TIME` snapshot point, if any.
+    pub as_of: Option<Ts>,
+}
+
+/// A node of the compiled operator tree.
+pub struct OpNode {
+    /// The operator.
+    pub op: Box<dyn Operator>,
+    /// Child subtrees; child `i` feeds the operator's port `i`.
+    pub children: Vec<OpNode>,
+    /// Present iff this leaf is a table/stream source.
+    pub source: Option<SourceInfo>,
+}
+
+impl OpNode {
+    /// A leaf node.
+    pub fn leaf(op: Box<dyn Operator>, source: Option<SourceInfo>) -> OpNode {
+        OpNode {
+            op,
+            children: vec![],
+            source,
+        }
+    }
+
+    /// An interior node.
+    pub fn unary(op: Box<dyn Operator>, child: OpNode) -> OpNode {
+        OpNode {
+            op,
+            children: vec![child],
+            source: None,
+        }
+    }
+
+    /// A two-input node.
+    pub fn binary(op: Box<dyn Operator>, left: OpNode, right: OpNode) -> OpNode {
+        OpNode {
+            op,
+            children: vec![left, right],
+            source: None,
+        }
+    }
+
+    fn initialize(&mut self, now: Ts, out: &mut Vec<Element>) -> Result<()> {
+        let mut child_out = Vec::new();
+        for (port, child) in self.children.iter_mut().enumerate() {
+            child_out.clear();
+            child.initialize(now, &mut child_out)?;
+            for e in child_out.drain(..) {
+                self.op.process(port, e, now, out)?;
+            }
+        }
+        self.op.initialize(now, out)
+    }
+
+    fn feed(&mut self, source_id: usize, elem: &Element, now: Ts, out: &mut Vec<Element>) -> Result<()> {
+        if let Some(info) = &self.source {
+            if info.id == source_id {
+                self.op.process(0, elem.clone(), now, out)?;
+            }
+            return Ok(());
+        }
+        let mut child_out = Vec::new();
+        for (port, child) in self.children.iter_mut().enumerate() {
+            child_out.clear();
+            child.feed(source_id, elem, now, &mut child_out)?;
+            for e in child_out.drain(..) {
+                self.op.process(port, e, now, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, now: Ts, out: &mut Vec<Element>) -> Result<()> {
+        let mut child_out = Vec::new();
+        for (port, child) in self.children.iter_mut().enumerate() {
+            child_out.clear();
+            child.tick(now, &mut child_out)?;
+            for e in child_out.drain(..) {
+                self.op.process(port, e, now, out)?;
+            }
+        }
+        self.op.on_processing_time(now, out)
+    }
+
+    fn next_timer(&self) -> Option<Ts> {
+        let own = self.op.next_timer();
+        let children = self.children.iter().filter_map(OpNode::next_timer).min();
+        match (own, children) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn metrics(&self) -> StateMetrics {
+        let mut m = self.op.state_metrics();
+        for c in &self.children {
+            let cm = c.metrics();
+            m.keys += cm.keys;
+            m.encoded_bytes += cm.encoded_bytes;
+        }
+        m
+    }
+
+    fn collect_sources<'a>(&'a self, out: &mut Vec<&'a SourceInfo>) {
+        if let Some(info) = &self.source {
+            out.push(info);
+        }
+        for c in &self.children {
+            c.collect_sources(out);
+        }
+    }
+
+    fn collect_checkpoints(
+        &self,
+        out: &mut Vec<Option<onesql_state::Checkpoint>>,
+    ) -> Result<()> {
+        out.push(self.op.checkpoint()?);
+        for c in &self.children {
+            c.collect_checkpoints(out)?;
+        }
+        Ok(())
+    }
+
+    fn restore_checkpoints(
+        &mut self,
+        cps: &[Option<onesql_state::Checkpoint>],
+        idx: &mut usize,
+    ) -> Result<()> {
+        let cp = cps.get(*idx).ok_or_else(|| {
+            Error::exec("checkpoint has fewer operator entries than the plan")
+        })?;
+        *idx += 1;
+        match cp {
+            Some(cp) => self.op.restore(cp)?,
+            None => {
+                // Stateless in the checkpoint; must be stateless here too.
+                if self.op.checkpoint()?.is_some() {
+                    return Err(Error::exec(format!(
+                        "checkpoint/plan mismatch: operator {} expects state",
+                        self.op.name()
+                    )));
+                }
+            }
+        }
+        for c in &mut self.children {
+            c.restore_checkpoints(cps, idx)?;
+        }
+        Ok(())
+    }
+}
+
+/// Executes a compiled pipeline deterministically: callers feed elements in
+/// processing-time order; the executor stamps root outputs into the result
+/// [`Changelog`] and steps the clock through pending materialization
+/// deadlines so `ptime` metadata is exact.
+pub struct Executor {
+    root: OpNode,
+    schema: SchemaRef,
+    now: Ts,
+    output: Changelog,
+    watermark: Watermark,
+    initialized: bool,
+}
+
+impl Executor {
+    /// Wrap a compiled operator tree.
+    pub fn new(root: OpNode, schema: SchemaRef) -> Executor {
+        Executor {
+            root,
+            schema,
+            now: Ts(0),
+            output: Changelog::new(),
+            watermark: Watermark::MIN,
+            initialized: false,
+        }
+    }
+
+    /// Output schema.
+    pub fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    /// All source leaves in tree order.
+    pub fn sources(&self) -> Vec<SourceInfo> {
+        let mut out = Vec::new();
+        self.root.collect_sources(&mut out);
+        out.into_iter().cloned().collect()
+    }
+
+    /// Current processing time.
+    pub fn now(&self) -> Ts {
+        self.now
+    }
+
+    /// The latest watermark observed at the root (completeness of the
+    /// output relation).
+    pub fn output_watermark(&self) -> Watermark {
+        self.watermark
+    }
+
+    /// The stamped output changelog (the result TVR's stream encoding).
+    pub fn changelog(&self) -> &Changelog {
+        &self.output
+    }
+
+    /// Aggregate state footprint across all operators.
+    pub fn state_metrics(&self) -> StateMetrics {
+        self.root.metrics()
+    }
+
+    /// Run initialization (constant relations, global-aggregate seeds).
+    /// Idempotent; runs automatically on first feed if not called.
+    pub fn initialize(&mut self) -> Result<()> {
+        if self.initialized {
+            return Ok(());
+        }
+        self.initialized = true;
+        let mut out = Vec::new();
+        let now = self.now;
+        self.root.initialize(now, &mut out)?;
+        self.record(out);
+        Ok(())
+    }
+
+    /// Advance the processing-time clock to `to`, firing any delayed
+    /// materialization deadlines on the way (each at its exact instant).
+    ///
+    /// A deadline at exactly `to` does *not* fire yet: elements arriving at
+    /// processing time `to` must be processed first (Listing 14's 8:18
+    /// emission reflects the 8:18 input). It fires as soon as the clock
+    /// moves past `to`, stamped at the deadline.
+    pub fn advance_to(&mut self, to: Ts) -> Result<()> {
+        self.initialize()?;
+        if to < self.now {
+            return Err(Error::exec(format!(
+                "processing time may not regress: now {} > target {}",
+                self.now, to
+            )));
+        }
+        loop {
+            match self.root.next_timer() {
+                Some(deadline) if deadline < to => {
+                    self.now = self.now.max(deadline);
+                    let mut out = Vec::new();
+                    let now = self.now;
+                    self.root.tick(now, &mut out)?;
+                    self.record(out);
+                }
+                _ => break,
+            }
+        }
+        self.now = to;
+        Ok(())
+    }
+
+    /// Feed one element into a specific source leaf at processing time
+    /// `ptime`.
+    pub fn feed_source(&mut self, source_id: usize, ptime: Ts, elem: Element) -> Result<()> {
+        self.advance_to(ptime)?;
+        let mut out = Vec::new();
+        let now = self.now;
+        self.root.feed(source_id, &elem, now, &mut out)?;
+        self.record(out);
+        Ok(())
+    }
+
+    /// Feed one element into every source leaf scanning `table`.
+    pub fn feed(&mut self, table: &str, ptime: Ts, elem: Element) -> Result<()> {
+        self.advance_to(ptime)?;
+        let ids: Vec<usize> = self
+            .sources()
+            .iter()
+            .filter(|s| s.table.eq_ignore_ascii_case(table))
+            .map(|s| s.id)
+            .collect();
+        if ids.is_empty() {
+            // The query does not read this table; ignore.
+            return Ok(());
+        }
+        for id in ids {
+            let mut out = Vec::new();
+            let now = self.now;
+            self.root.feed(id, &elem, now, &mut out)?;
+            self.record(out);
+        }
+        Ok(())
+    }
+
+    /// Fire any remaining timers and deliver final watermarks to all
+    /// sources: the input will never change again.
+    pub fn finish(&mut self, at: Ts) -> Result<()> {
+        self.advance_to(at)?;
+        for info in self.sources() {
+            self.feed_source(info.id, at, Element::Watermark(Watermark::MAX))?;
+        }
+        // Final watermark may have armed last-gasp delay timers.
+        while let Some(deadline) = self.root.next_timer() {
+            self.now = self.now.max(deadline);
+            let mut out = Vec::new();
+            let now = self.now;
+            self.root.tick(now, &mut out)?;
+            self.record(out);
+        }
+        Ok(())
+    }
+
+    /// Take a consistent checkpoint of the whole pipeline: every stateful
+    /// operator's state plus the clock and output watermark (Appendix
+    /// B.2.1's periodic checkpoints). Call between feeds, never mid-feed.
+    pub fn checkpoint(&self) -> Result<onesql_state::Checkpoint> {
+        use onesql_state::Codec;
+        let mut ops = Vec::new();
+        self.root.collect_checkpoints(&mut ops)?;
+        let op_bytes: Vec<Option<bytes::Bytes>> =
+            ops.into_iter().map(|o| o.map(|c| c.0)).collect();
+        let snapshot = (self.now, self.watermark.ts(), op_bytes);
+        Ok(onesql_state::Checkpoint(snapshot.to_bytes()))
+    }
+
+    /// Restore a pipeline compiled from the *same plan* to the exact state
+    /// of a checkpoint. The output changelog restarts empty: it records
+    /// changes from the restore point onward (the pre-checkpoint prefix is
+    /// already owned by whoever consumed it).
+    pub fn restore(&mut self, checkpoint: &onesql_state::Checkpoint) -> Result<()> {
+        use onesql_state::Codec;
+        type Snapshot = (Ts, Ts, Vec<Option<bytes::Bytes>>);
+        let (now, wm, op_bytes): Snapshot = Codec::from_bytes(&checkpoint.0)?;
+        let cps: Vec<Option<onesql_state::Checkpoint>> = op_bytes
+            .into_iter()
+            .map(|o| o.map(onesql_state::Checkpoint))
+            .collect();
+        let mut idx = 0;
+        self.root.restore_checkpoints(&cps, &mut idx)?;
+        if idx != cps.len() {
+            return Err(Error::exec(
+                "checkpoint has more operator entries than the plan",
+            ));
+        }
+        self.now = now;
+        self.watermark = Watermark(wm);
+        self.output = Changelog::new();
+        // A restored pipeline must not replay initialization effects
+        // (constant rows, global-aggregate seeds) — they are part of the
+        // checkpointed state.
+        self.initialized = true;
+        Ok(())
+    }
+
+    fn record(&mut self, elements: Vec<Element>) {
+        for e in elements {
+            match e {
+                Element::Data(change) => {
+                    if change.diff != 0 {
+                        self.output.push(self.now, change);
+                    }
+                }
+                Element::Watermark(wm) => {
+                    self.watermark.advance_to(wm);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::{Filter, Source};
+    use onesql_plan::expr::{BinOp, ScalarExpr};
+    use onesql_types::{row, DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn simple_executor() -> Executor {
+        // Filter(price > 2) over a Bid(price) source.
+        let source = OpNode::leaf(
+            Box::new(Source),
+            Some(SourceInfo {
+                id: 0,
+                table: "bid".into(),
+                as_of: None,
+            }),
+        );
+        let root = OpNode::unary(
+            Box::new(Filter::new(ScalarExpr::binary(
+                ScalarExpr::col(0),
+                BinOp::Gt,
+                ScalarExpr::lit(2i64),
+            ))),
+            source,
+        );
+        Executor::new(
+            root,
+            Arc::new(Schema::new(vec![Field::new("price", DataType::Int)])),
+        )
+    }
+
+    #[test]
+    fn feeds_and_stamps_ptime() {
+        let mut ex = simple_executor();
+        ex.feed("Bid", Ts::hm(8, 8), Element::insert(row!(3i64)))
+            .unwrap();
+        ex.feed("Bid", Ts::hm(8, 9), Element::insert(row!(1i64)))
+            .unwrap();
+        let log = ex.changelog();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entries()[0].ptime, Ts::hm(8, 8));
+    }
+
+    #[test]
+    fn processing_time_cannot_regress() {
+        let mut ex = simple_executor();
+        ex.advance_to(Ts::hm(8, 10)).unwrap();
+        assert!(ex.feed("Bid", Ts::hm(8, 5), Element::insert(row!(3i64))).is_err());
+    }
+
+    #[test]
+    fn watermark_tracked_at_root() {
+        let mut ex = simple_executor();
+        ex.feed("Bid", Ts::hm(8, 7), Element::watermark(Ts::hm(8, 5)))
+            .unwrap();
+        assert_eq!(ex.output_watermark(), Watermark(Ts::hm(8, 5)));
+    }
+
+    #[test]
+    fn unknown_table_feed_is_ignored() {
+        let mut ex = simple_executor();
+        ex.feed("Person", Ts(1), Element::insert(row!(1i64))).unwrap();
+        assert!(ex.changelog().is_empty());
+    }
+
+    #[test]
+    fn sources_enumerated() {
+        let ex = simple_executor();
+        let sources = ex.sources();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].table, "bid");
+    }
+
+    #[test]
+    fn finish_delivers_final_watermark() {
+        let mut ex = simple_executor();
+        ex.finish(Ts::hm(9, 0)).unwrap();
+        assert!(ex.output_watermark().is_final());
+    }
+}

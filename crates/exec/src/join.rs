@@ -1,0 +1,469 @@
+//! Incremental binary joins.
+//!
+//! The join fully materializes both inputs keyed by the equi-join key
+//! (Appendix B.2.3: "a join operator fully materializes both input
+//! relations"), emitting joined changes with multiplied diffs so
+//! retractions compose. Two refinements from the paper:
+//!
+//! - **Time-bounded state expiry** (§5, lesson 1): when the planner
+//!   recognized a `JoinTimeBound` — both sides' event-time columns
+//!   constrained to a bounded interval — watermark advancement retires rows
+//!   that can no longer find a match.
+//! - **Watermark hold-back** (§5, lesson 3): the output watermark is the
+//!   minimum of the inputs' watermarks, keeping every surviving event-time
+//!   column aligned.
+
+use onesql_plan::{JoinKind, JoinTimeBound, ScalarExpr};
+use onesql_state::{Checkpoint, Codec, KeyedState, StateMetrics};
+use onesql_time::{Watermark, WatermarkTracker};
+use onesql_tvr::{Change, Element};
+use onesql_types::{Result, Row, Ts, Value};
+
+use crate::operator::Operator;
+
+/// One side's stored rows for a key: `(row, multiplicity)` pairs.
+type SideState = KeyedState<Vec<(Row, i64)>>;
+
+/// The binary join operator. Port 0 is the left input, port 1 the right.
+pub struct Join {
+    kind: JoinKind,
+    equi: Vec<(usize, usize)>,
+    residual: Option<ScalarExpr>,
+    time_bound: Option<JoinTimeBound>,
+    right_arity: usize,
+    left: SideState,
+    right: SideState,
+    /// For LEFT joins: per left row, the current number of matching right
+    /// rows (weighted), to drive null-extension transitions.
+    match_counts: KeyedState<i64>,
+    tracker: WatermarkTracker,
+}
+
+impl Join {
+    /// Build from plan parameters. `left_arity`/`right_arity` are the
+    /// input schemas' widths.
+    pub fn new(
+        kind: JoinKind,
+        equi: Vec<(usize, usize)>,
+        residual: Option<ScalarExpr>,
+        time_bound: Option<JoinTimeBound>,
+        left_arity: usize,
+        right_arity: usize,
+    ) -> Join {
+        let _ = left_arity; // arity is implicit in the rows; kept for API symmetry
+        Join {
+            kind,
+            equi,
+            residual,
+            time_bound,
+            right_arity,
+            left: KeyedState::new(),
+            right: KeyedState::new(),
+            match_counts: KeyedState::new(),
+            tracker: WatermarkTracker::new(2),
+        }
+    }
+
+    fn key_of(&self, row: &Row, is_left: bool) -> Result<Row> {
+        let mut vals = Vec::with_capacity(self.equi.len());
+        for (l, r) in &self.equi {
+            let idx = if is_left { *l } else { *r };
+            vals.push(row.value(idx)?.clone());
+        }
+        Ok(Row::new(vals))
+    }
+
+    fn residual_passes(&self, joined: &Row) -> Result<bool> {
+        match &self.residual {
+            None => Ok(true),
+            Some(p) => Ok(p.eval(joined)? == Value::Bool(true)),
+        }
+    }
+
+    fn null_extended(&self, left_row: &Row) -> Row {
+        left_row.with_appended(&vec![Value::Null; self.right_arity])
+    }
+
+    /// Apply a change to one side's state, returning the row's multiplicity
+    /// before and after.
+    fn update_side(state: &mut SideState, key: Row, row: &Row, diff: i64) {
+        let entries = state.entry_or_default(key.clone());
+        match entries.iter_mut().find(|(r, _)| r == row) {
+            Some((_, m)) => {
+                *m += diff;
+                if *m == 0 {
+                    entries.retain(|(_, m)| *m != 0);
+                }
+            }
+            None => entries.push((row.clone(), diff)),
+        }
+        if state.get(&key).is_some_and(Vec::is_empty) {
+            state.remove(&key);
+        }
+    }
+
+    fn process_left(&mut self, change: Change, out: &mut Vec<Element>) -> Result<()> {
+        let key = self.key_of(&change.row, true)?;
+        Self::update_side(&mut self.left, key.clone(), &change.row, change.diff);
+
+        // Count matches and emit joined deltas.
+        let mut matches = 0i64;
+        if let Some(right_rows) = self.right.get(&key) {
+            for (rrow, rmult) in right_rows.clone() {
+                let joined = change.row.concat(&rrow);
+                if self.residual_passes(&joined)? {
+                    matches += rmult;
+                    out.push(Element::Data(Change::with_diff(
+                        joined,
+                        change.diff * rmult,
+                    )));
+                }
+            }
+        }
+
+        if self.kind == JoinKind::Left {
+            // Track this left row's match count; emit/retract the
+            // null-extended row on 0-match presence transitions.
+            let existing = self.match_counts.get(&change.row).copied();
+            match existing {
+                None if change.diff > 0 => {
+                    self.match_counts.put(change.row.clone(), matches);
+                    if matches == 0 {
+                        out.push(Element::Data(Change::with_diff(
+                            self.null_extended(&change.row),
+                            change.diff,
+                        )));
+                    }
+                }
+                Some(count) => {
+                    if change.diff < 0 {
+                        // Removing (copies of) the left row: undo its
+                        // null-extension if it had no matches.
+                        if count == 0 {
+                            out.push(Element::Data(Change::with_diff(
+                                self.null_extended(&change.row),
+                                change.diff,
+                            )));
+                        }
+                        // Drop tracking once the row is fully gone.
+                        let still_here = self
+                            .left
+                            .get(&key)
+                            .is_some_and(|rows| rows.iter().any(|(r, _)| r == &change.row));
+                        if !still_here {
+                            self.match_counts.remove(&change.row);
+                        }
+                    } else if count == 0 && matches == 0 {
+                        // Another copy of an unmatched left row.
+                        out.push(Element::Data(Change::with_diff(
+                            self.null_extended(&change.row),
+                            change.diff,
+                        )));
+                    }
+                }
+                None => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn process_right(&mut self, change: Change, out: &mut Vec<Element>) -> Result<()> {
+        let key = self.key_of(&change.row, false)?;
+        Self::update_side(&mut self.right, key.clone(), &change.row, change.diff);
+
+        if let Some(left_rows) = self.left.get(&key) {
+            for (lrow, lmult) in left_rows.clone() {
+                let joined = lrow.concat(&change.row);
+                if !self.residual_passes(&joined)? {
+                    continue;
+                }
+                out.push(Element::Data(Change::with_diff(
+                    joined,
+                    change.diff * lmult,
+                )));
+                if self.kind == JoinKind::Left {
+                    // Maintain match counts; crossing zero toggles the
+                    // null-extended row.
+                    let count = self.match_counts.entry_or_default(lrow.clone());
+                    let old = *count;
+                    *count += change.diff;
+                    let new = *count;
+                    if old == 0 && new > 0 {
+                        out.push(Element::Data(Change::with_diff(
+                            self.null_extended(&lrow),
+                            -lmult,
+                        )));
+                    } else if old > 0 && new == 0 {
+                        out.push(Element::Data(Change::with_diff(
+                            self.null_extended(&lrow),
+                            lmult,
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Retire state that can no longer participate in any future match,
+    /// per the recognized time bound. Returns rows freed (observability).
+    fn cleanup(&mut self) -> usize {
+        let Some(tb) = self.time_bound else {
+            return 0;
+        };
+        let left_wm = self.tracker.input(0);
+        let right_wm = self.tracker.input(1);
+        let mut freed = 0;
+
+        // A left row with time t matches right rows with time in
+        // (t - upper, t - lower]; all such right times are complete once
+        // right_wm >= t - lower, so the left row can go.
+        if right_wm != Watermark::MIN {
+            freed += self.left.retire_where(|_, rows| {
+                rows.iter().all(|(row, _)| match row.value(tb.left_col) {
+                    Ok(Value::Ts(t)) => right_wm.closes(t.saturating_sub(tb.lower)),
+                    _ => false,
+                })
+            });
+        }
+        // A right row with time t matches left rows with time in
+        // [t + lower, t + upper); complete once left_wm reaches t + upper
+        // (inclusive needs one more instant).
+        if left_wm != Watermark::MIN {
+            freed += self.right.retire_where(|_, rows| {
+                rows.iter().all(|(row, _)| match row.value(tb.right_col) {
+                    Ok(Value::Ts(t)) => {
+                        let limit = t.saturating_add(tb.upper);
+                        let limit = if tb.upper_inclusive {
+                            Ts(limit.millis().saturating_add(1))
+                        } else {
+                            limit
+                        };
+                        left_wm.closes(limit)
+                    }
+                    _ => false,
+                })
+            });
+        }
+        freed
+    }
+}
+
+impl Operator for Join {
+    fn process(
+        &mut self,
+        port: usize,
+        elem: Element,
+        _now: Ts,
+        out: &mut Vec<Element>,
+    ) -> Result<()> {
+        match elem {
+            Element::Data(change) => {
+                if port == 0 {
+                    self.process_left(change, out)?;
+                } else {
+                    self.process_right(change, out)?;
+                }
+            }
+            Element::Watermark(wm) => {
+                let advanced = self.tracker.observe(port, wm);
+                self.cleanup();
+                if let Some(w) = advanced {
+                    out.push(Element::Watermark(w));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn state_metrics(&self) -> StateMetrics {
+        let rows = |s: &SideState| -> usize {
+            s.iter().map(|(_, v)| v.len()).sum()
+        };
+        StateMetrics {
+            keys: rows(&self.left) + rows(&self.right),
+            encoded_bytes: 0,
+        }
+    }
+
+    fn checkpoint(&self) -> Result<Option<Checkpoint>> {
+        let snapshot = (
+            self.left.checkpoint().0,
+            self.right.checkpoint().0,
+            self.match_counts.checkpoint().0,
+            (self.tracker.input(0).ts(), self.tracker.input(1).ts()),
+        );
+        Ok(Some(Checkpoint(snapshot.to_bytes())))
+    }
+
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<()> {
+        type Snapshot = (bytes::Bytes, bytes::Bytes, bytes::Bytes, (Ts, Ts));
+        let (left, right, counts, (w0, w1)): Snapshot = Codec::from_bytes(&checkpoint.0)?;
+        self.left.restore(&Checkpoint(left))?;
+        self.right.restore(&Checkpoint(right))?;
+        self.match_counts.restore(&Checkpoint(counts))?;
+        self.tracker = WatermarkTracker::new(2);
+        self.tracker.observe(0, Watermark(w0));
+        self.tracker.observe(1, Watermark(w1));
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            JoinKind::Inner => "InnerJoin",
+            JoinKind::Left => "LeftJoin",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_plan::expr::BinOp;
+    use onesql_types::{row, Duration};
+
+    fn inner_join() -> Join {
+        // left(k, v) JOIN right(k, w) ON left.k = right.k
+        Join::new(JoinKind::Inner, vec![(0, 0)], None, None, 2, 2)
+    }
+
+    fn push(j: &mut Join, port: usize, e: Element) -> Vec<Element> {
+        let mut out = Vec::new();
+        j.process(port, e, Ts(0), &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn inner_join_emits_matches_both_directions() {
+        let mut j = inner_join();
+        assert!(push(&mut j, 0, Element::insert(row!(1i64, "l1"))).is_empty());
+        let out = push(&mut j, 1, Element::insert(row!(1i64, "r1")));
+        assert_eq!(out, vec![Element::insert(row!(1i64, "l1", 1i64, "r1"))]);
+        let out = push(&mut j, 0, Element::insert(row!(1i64, "l2")));
+        assert_eq!(out, vec![Element::insert(row!(1i64, "l2", 1i64, "r1"))]);
+        assert!(push(&mut j, 0, Element::insert(row!(2i64, "lx"))).is_empty());
+    }
+
+    #[test]
+    fn retractions_cancel_joined_rows() {
+        let mut j = inner_join();
+        push(&mut j, 0, Element::insert(row!(1i64, "l1")));
+        push(&mut j, 1, Element::insert(row!(1i64, "r1")));
+        let out = push(&mut j, 0, Element::retract(row!(1i64, "l1")));
+        assert_eq!(out, vec![Element::retract(row!(1i64, "l1", 1i64, "r1"))]);
+        // Right retraction with no remaining left rows emits nothing.
+        let out = push(&mut j, 1, Element::retract(row!(1i64, "r1")));
+        assert!(out.is_empty());
+        assert_eq!(j.state_metrics().keys, 0);
+    }
+
+    #[test]
+    fn duplicate_rows_multiply() {
+        let mut j = inner_join();
+        push(&mut j, 0, Element::insert(row!(1i64, "l")));
+        push(&mut j, 0, Element::insert(row!(1i64, "l")));
+        let out = push(&mut j, 1, Element::insert(row!(1i64, "r")));
+        assert_eq!(
+            out,
+            vec![Element::Data(Change::with_diff(
+                row!(1i64, "l", 1i64, "r"),
+                2
+            ))]
+        );
+    }
+
+    #[test]
+    fn residual_filters_pairs() {
+        // ON l.k = r.k AND l.v < r.w, with v at joined index 1, w at 3.
+        let residual = ScalarExpr::binary(
+            ScalarExpr::col(1),
+            BinOp::Lt,
+            ScalarExpr::col(3),
+        );
+        let mut j = Join::new(JoinKind::Inner, vec![(0, 0)], Some(residual), None, 2, 2);
+        push(&mut j, 0, Element::insert(row!(1i64, 10i64)));
+        let out = push(&mut j, 1, Element::insert(row!(1i64, 5i64)));
+        assert!(out.is_empty(), "10 < 5 fails");
+        let out = push(&mut j, 1, Element::insert(row!(1i64, 20i64)));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn watermarks_merge_with_min() {
+        let mut j = inner_join();
+        assert!(push(&mut j, 0, Element::watermark(Ts::hm(8, 10))).is_empty());
+        let out = push(&mut j, 1, Element::watermark(Ts::hm(8, 4)));
+        assert_eq!(out, vec![Element::watermark(Ts::hm(8, 4))]);
+    }
+
+    #[test]
+    fn left_join_null_extension_transitions() {
+        let mut j = Join::new(JoinKind::Left, vec![(0, 0)], None, None, 2, 1);
+        // Unmatched left row: null-extended immediately.
+        let out = push(&mut j, 0, Element::insert(row!(1i64, "l")));
+        assert_eq!(
+            out,
+            vec![Element::insert(row!(
+                1i64,
+                "l",
+                Value::Null
+            ))]
+        );
+        // Match arrives: retract the null-extension, emit the real join.
+        let out = push(&mut j, 1, Element::insert(row!(1i64)));
+        assert_eq!(
+            out,
+            vec![
+                Element::insert(row!(1i64, "l", 1i64)),
+                Element::retract(row!(1i64, "l", Value::Null)),
+            ]
+        );
+        // Match leaves: joined row retracted, null-extension returns.
+        let out = push(&mut j, 1, Element::retract(row!(1i64)));
+        assert_eq!(
+            out,
+            vec![
+                Element::retract(row!(1i64, "l", 1i64)),
+                Element::insert(row!(1i64, "l", Value::Null)),
+            ]
+        );
+        // Left row leaves entirely.
+        let out = push(&mut j, 0, Element::retract(row!(1i64, "l")));
+        assert_eq!(out, vec![Element::retract(row!(1i64, "l", Value::Null))]);
+    }
+
+    #[test]
+    fn time_bound_cleanup_frees_state() {
+        // Schema: left(ts, k), right(ts2, k); equi on k (idx 1 both sides);
+        // bound: left.ts in [right.ts2 - 10m, right.ts2).
+        let tb = JoinTimeBound {
+            left_col: 0,
+            right_col: 0,
+            lower: Duration::from_minutes(-10),
+            upper: Duration::ZERO,
+            upper_inclusive: false,
+        };
+        let mut j = Join::new(JoinKind::Inner, vec![(1, 1)], None, Some(tb), 2, 2);
+        push(&mut j, 0, Element::insert(row!(Ts::hm(8, 5), 1i64)));
+        push(&mut j, 1, Element::insert(row!(Ts::hm(8, 10), 1i64)));
+        assert_eq!(j.state_metrics().keys, 2);
+
+        // Left row (t=8:05) is dead once right_wm >= 8:05 - (-10m) = 8:15.
+        push(&mut j, 1, Element::watermark(Ts::hm(8, 15)));
+        push(&mut j, 0, Element::watermark(Ts::hm(8, 0)));
+        assert_eq!(j.state_metrics().keys, 1, "left row should be retired");
+
+        // Right row (t=8:10) dead once left_wm >= 8:10 + 0 = 8:10.
+        push(&mut j, 0, Element::watermark(Ts::hm(8, 10)));
+        assert_eq!(j.state_metrics().keys, 0, "right row should be retired");
+    }
+
+    #[test]
+    fn no_time_bound_means_no_cleanup() {
+        let mut j = inner_join();
+        push(&mut j, 0, Element::insert(row!(1i64, "l")));
+        push(&mut j, 0, Element::watermark(Ts::MAX));
+        push(&mut j, 1, Element::watermark(Ts::MAX));
+        assert_eq!(j.state_metrics().keys, 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Event-time windowing TVFs: `Tumble` and `Hop` (paper §6.4, Extension 3).
+//!
+//! Both are *relational* operators: `Tumble` maps each input row to exactly
+//! one output row (input columns + `wstart` + `wend`), `Hop` to
+//! `ceil(dur / hopsize)` rows. Because window assignment is a pure function
+//! of the row's event timestamp, retractions flow through unchanged — the
+//! TVF is pointwise in time, as the paper requires of relational operators
+//! over TVRs.
+
+use onesql_plan::WindowKind;
+use onesql_tvr::{Change, Element};
+use onesql_types::{Duration, Error, Result, Ts, Value};
+
+use crate::operator::Operator;
+
+/// Assign the single tumbling window containing `ts`.
+///
+/// Windows partition event time into `[k*dur + offset, (k+1)*dur + offset)`
+/// intervals; `div_euclid` keeps the math correct for timestamps before the
+/// epoch.
+pub fn tumble_window(ts: Ts, dur: Duration, offset: Duration) -> (Ts, Ts) {
+    let shifted = ts.millis() - offset.millis();
+    let start = shifted.div_euclid(dur.millis()) * dur.millis() + offset.millis();
+    (Ts(start), Ts(start + dur.millis()))
+}
+
+/// Assign all hopping windows containing `ts`, in ascending `wstart` order.
+/// Window starts are the instants `k*hopsize + offset`; a window covers
+/// `[start, start + dur)`.
+pub fn hop_windows(ts: Ts, dur: Duration, hopsize: Duration, offset: Duration) -> Vec<(Ts, Ts)> {
+    let shifted = ts.millis() - offset.millis();
+    // Largest aligned start <= ts.
+    let max_start = shifted.div_euclid(hopsize.millis()) * hopsize.millis() + offset.millis();
+    let mut starts = Vec::new();
+    let mut s = max_start;
+    while s + dur.millis() > ts.millis() {
+        starts.push(s);
+        s -= hopsize.millis();
+    }
+    starts.reverse();
+    starts
+        .into_iter()
+        .map(|s| (Ts(s), Ts(s + dur.millis())))
+        .collect()
+}
+
+/// The windowing operator: appends `wstart`/`wend` columns per assignment.
+pub struct Window {
+    kind: WindowKind,
+    time_col: usize,
+}
+
+impl Window {
+    /// Create from plan parameters.
+    pub fn new(kind: WindowKind, time_col: usize) -> Window {
+        Window { kind, time_col }
+    }
+
+    fn assign(&self, ts: Ts) -> Result<Vec<(Ts, Ts)>> {
+        Ok(match self.kind {
+            WindowKind::Tumble { dur, offset } => vec![tumble_window(ts, dur, offset)],
+            WindowKind::Hop {
+                dur,
+                hopsize,
+                offset,
+            } => hop_windows(ts, dur, hopsize, offset),
+            // Session windows assign a provisional [ts, ts+gap) interval per
+            // row; downstream session-merging is the aggregate's job. The
+            // paper lists full sessionization as future work (§8); we expose
+            // the per-row gap window, which is the standard building block.
+            WindowKind::Session { gap } => vec![(ts, ts + gap)],
+        })
+    }
+}
+
+impl Operator for Window {
+    fn process(
+        &mut self,
+        _port: usize,
+        elem: Element,
+        _now: Ts,
+        out: &mut Vec<Element>,
+    ) -> Result<()> {
+        match elem {
+            Element::Data(change) => {
+                let ts = match change.row.value(self.time_col)? {
+                    Value::Ts(t) => *t,
+                    Value::Null => {
+                        return Err(Error::exec(
+                            "NULL event timestamp in windowing column",
+                        ))
+                    }
+                    other => {
+                        return Err(Error::exec(format!(
+                            "windowing column must be TIMESTAMP, got {}",
+                            other.data_type()
+                        )))
+                    }
+                };
+                for (wstart, wend) in self.assign(ts)? {
+                    let row = change
+                        .row
+                        .with_appended(&[Value::Ts(wstart), Value::Ts(wend)]);
+                    out.push(Element::Data(Change::with_diff(row, change.diff)));
+                }
+            }
+            // Input watermark remains a valid lower bound for `wend`:
+            // future rows have ts > wm, and every window containing such a
+            // row ends strictly after its timestamp, so wend > wm too.
+            wm @ Element::Watermark(_) => out.push(wm),
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            WindowKind::Tumble { .. } => "Tumble",
+            WindowKind::Hop { .. } => "Hop",
+            WindowKind::Session { .. } => "Session",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::row;
+
+    const M10: Duration = Duration(10 * 60_000);
+    const M5: Duration = Duration(5 * 60_000);
+
+    #[test]
+    fn tumble_assignment_matches_listing_5() {
+        // From the paper: 8:07 -> [8:00, 8:10); 8:11 -> [8:10, 8:20).
+        assert_eq!(
+            tumble_window(Ts::hm(8, 7), M10, Duration::ZERO),
+            (Ts::hm(8, 0), Ts::hm(8, 10))
+        );
+        assert_eq!(
+            tumble_window(Ts::hm(8, 11), M10, Duration::ZERO),
+            (Ts::hm(8, 10), Ts::hm(8, 20))
+        );
+        // Boundary: a row at exactly 8:10 belongs to [8:10, 8:20).
+        assert_eq!(
+            tumble_window(Ts::hm(8, 10), M10, Duration::ZERO),
+            (Ts::hm(8, 10), Ts::hm(8, 20))
+        );
+    }
+
+    #[test]
+    fn tumble_with_offset() {
+        let off = Duration::from_minutes(3);
+        assert_eq!(
+            tumble_window(Ts::hm(8, 2), M10, off),
+            (Ts::hm(7, 53), Ts::hm(8, 3))
+        );
+        assert_eq!(
+            tumble_window(Ts::hm(8, 3), M10, off),
+            (Ts::hm(8, 3), Ts::hm(8, 13))
+        );
+    }
+
+    #[test]
+    fn tumble_negative_timestamps() {
+        let (s, e) = tumble_window(Ts::from_minutes(-7), M10, Duration::ZERO);
+        assert_eq!(s, Ts::from_minutes(-10));
+        assert_eq!(e, Ts::from_minutes(0));
+    }
+
+    #[test]
+    fn hop_assignment_matches_listing_7() {
+        // From the paper: bidtime 8:07 with dur 10m hop 5m ->
+        // [8:00, 8:10) and [8:05, 8:15).
+        assert_eq!(
+            hop_windows(Ts::hm(8, 7), M10, M5, Duration::ZERO),
+            vec![
+                (Ts::hm(8, 0), Ts::hm(8, 10)),
+                (Ts::hm(8, 5), Ts::hm(8, 15)),
+            ]
+        );
+        // 8:11 -> [8:05, 8:15) and [8:10, 8:20).
+        assert_eq!(
+            hop_windows(Ts::hm(8, 11), M10, M5, Duration::ZERO),
+            vec![
+                (Ts::hm(8, 5), Ts::hm(8, 15)),
+                (Ts::hm(8, 10), Ts::hm(8, 20)),
+            ]
+        );
+    }
+
+    #[test]
+    fn hop_with_gaps_when_hopsize_exceeds_dur() {
+        // hopsize 10, dur 5: windows [0,5), [10,15), ... — 7 falls in a gap.
+        let dur = Duration::from_minutes(5);
+        let hop = Duration::from_minutes(10);
+        assert!(hop_windows(Ts::from_minutes(7), dur, hop, Duration::ZERO).is_empty());
+        assert_eq!(
+            hop_windows(Ts::from_minutes(12), dur, hop, Duration::ZERO),
+            vec![(Ts::from_minutes(10), Ts::from_minutes(15))]
+        );
+    }
+
+    #[test]
+    fn hop_window_count_is_dur_over_hopsize() {
+        // dur 10m, hop 2m: every instant is covered by 5 windows.
+        let hop = Duration::from_minutes(2);
+        let windows = hop_windows(Ts::hm(8, 7), M10, hop, Duration::ZERO);
+        assert_eq!(windows.len(), 5);
+        for (s, e) in windows {
+            assert!(s <= Ts::hm(8, 7) && Ts::hm(8, 7) < e);
+            assert_eq!(e - s, M10);
+        }
+    }
+
+    #[test]
+    fn tumble_operator_appends_columns_and_preserves_diff() {
+        let mut w = Window::new(
+            WindowKind::Tumble {
+                dur: M10,
+                offset: Duration::ZERO,
+            },
+            0,
+        );
+        let mut out = Vec::new();
+        w.process(
+            0,
+            Element::Data(Change::with_diff(row!(Ts::hm(8, 7), 2i64, "A"), -1)),
+            Ts(0),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![Element::Data(Change::with_diff(
+                row!(Ts::hm(8, 7), 2i64, "A", Ts::hm(8, 0), Ts::hm(8, 10)),
+                -1
+            ))]
+        );
+    }
+
+    #[test]
+    fn hop_operator_multiplies_rows() {
+        let mut w = Window::new(
+            WindowKind::Hop {
+                dur: M10,
+                hopsize: M5,
+                offset: Duration::ZERO,
+            },
+            0,
+        );
+        let mut out = Vec::new();
+        w.process(0, Element::insert(row!(Ts::hm(8, 7), 2i64)), Ts(0), &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn watermark_passes_through() {
+        let mut w = Window::new(
+            WindowKind::Tumble {
+                dur: M10,
+                offset: Duration::ZERO,
+            },
+            0,
+        );
+        let mut out = Vec::new();
+        w.process(0, Element::watermark(Ts::hm(8, 5)), Ts(0), &mut out)
+            .unwrap();
+        assert_eq!(out, vec![Element::watermark(Ts::hm(8, 5))]);
+    }
+
+    #[test]
+    fn bad_time_column_errors() {
+        let mut w = Window::new(
+            WindowKind::Tumble {
+                dur: M10,
+                offset: Duration::ZERO,
+            },
+            0,
+        );
+        let mut out = Vec::new();
+        assert!(w
+            .process(0, Element::insert(row!(42i64)), Ts(0), &mut out)
+            .is_err());
+        assert!(w
+            .process(
+                0,
+                Element::insert(onesql_types::Row::new(vec![Value::Null])),
+                Ts(0),
+                &mut out
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Deterministic NEXMark event generation.
+//!
+//! Substitutes for the original benchmark's data feed (see DESIGN.md):
+//! a seeded PRNG produces the standard 1 person : 3 auctions : 46 bids mix
+//! in *processing-time* order, with configurable bounded event-time skew so
+//! events arrive out of order in event time — the regime the paper's
+//! watermark machinery exists for. The same seed always yields the same
+//! workload, making benchmark runs reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use onesql_types::{Duration, Ts};
+
+use crate::model::{Auction, Bid, Person};
+
+/// Proportions of the standard NEXMark mix (out of 50 events).
+const PERSON_PROPORTION: u64 = 1;
+const AUCTION_PROPORTION: u64 = 3;
+const TOTAL_PROPORTION: u64 = 50;
+
+/// Generator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// PRNG seed; equal seeds give equal workloads.
+    pub seed: u64,
+    /// Processing-time gap between consecutive events.
+    pub inter_event_gap: Duration,
+    /// Maximum event-time skew: each event's event time lags its processing
+    /// time by a uniform amount in `[0, max_skew]`. Zero means in-order.
+    pub max_skew: Duration,
+    /// How many distinct auctions are "hot" (receive most bids).
+    pub hot_auctions: u64,
+    /// Average auction lifetime (expires - dateTime).
+    pub auction_lifetime: Duration,
+    /// First event's processing time.
+    pub start: Ts,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            inter_event_gap: Duration::from_millis(100),
+            max_skew: Duration::from_seconds(5),
+            hot_auctions: 16,
+            auction_lifetime: Duration::from_minutes(10),
+            start: Ts::hm(8, 0),
+        }
+    }
+}
+
+/// One generated event with both time domains attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NexmarkEvent {
+    /// A new person registration.
+    Person(Person),
+    /// A new auction.
+    Auction(Auction),
+    /// A bid.
+    Bid(Bid),
+}
+
+impl NexmarkEvent {
+    /// The event time carried inside the event.
+    pub fn event_time(&self) -> Ts {
+        match self {
+            NexmarkEvent::Person(p) => p.date_time,
+            NexmarkEvent::Auction(a) => a.date_time,
+            NexmarkEvent::Bid(b) => b.date_time,
+        }
+    }
+
+    /// The stream name this event belongs to.
+    pub fn stream(&self) -> &'static str {
+        match self {
+            NexmarkEvent::Person(_) => "Person",
+            NexmarkEvent::Auction(_) => "Auction",
+            NexmarkEvent::Bid(_) => "Bid",
+        }
+    }
+}
+
+/// The generator: an iterator of `(ptime, event)` pairs in processing-time
+/// order.
+pub struct NexmarkGenerator {
+    config: GeneratorConfig,
+    rng: StdRng,
+    sequence: u64,
+    next_person_id: i64,
+    next_auction_id: i64,
+}
+
+const FIRST_NAMES: [&str; 8] = [
+    "ada", "grace", "alan", "edsger", "barbara", "donald", "tony", "leslie",
+];
+const CITIES: [&str; 6] = ["seattle", "berlin", "oakridge", "amsterdam", "phoenix", "kyoto"];
+const STATES: [&str; 6] = ["wa", "be", "tn", "nh", "az", "kp"];
+const ITEMS: [&str; 8] = [
+    "teapot", "vase", "stamp", "comic", "guitar", "lens", "clock", "globe",
+];
+
+impl NexmarkGenerator {
+    /// Create with the given configuration.
+    pub fn new(config: GeneratorConfig) -> NexmarkGenerator {
+        let rng = StdRng::seed_from_u64(config.seed);
+        NexmarkGenerator {
+            config,
+            rng,
+            sequence: 0,
+            next_person_id: 1000,
+            next_auction_id: 5000,
+        }
+    }
+
+    /// Create with default configuration and the given seed.
+    pub fn seeded(seed: u64) -> NexmarkGenerator {
+        NexmarkGenerator::new(GeneratorConfig {
+            seed,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    /// Generate the next `(ptime, event)`.
+    pub fn next_event(&mut self) -> (Ts, NexmarkEvent) {
+        let seq = self.sequence;
+        self.sequence += 1;
+        let ptime = self.config.start
+            + Duration(self.config.inter_event_gap.millis() * seq as i64);
+        let skew = if self.config.max_skew.millis() > 0 {
+            Duration(self.rng.gen_range(0..=self.config.max_skew.millis()))
+        } else {
+            Duration::ZERO
+        };
+        let event_time = ptime - skew;
+
+        let slot = seq % TOTAL_PROPORTION;
+        let event = if slot < PERSON_PROPORTION {
+            NexmarkEvent::Person(self.make_person(event_time))
+        } else if slot < PERSON_PROPORTION + AUCTION_PROPORTION {
+            NexmarkEvent::Auction(self.make_auction(event_time))
+        } else {
+            NexmarkEvent::Bid(self.make_bid(event_time))
+        };
+        (ptime, event)
+    }
+
+    /// Generate a batch of `n` events.
+    pub fn take(&mut self, n: usize) -> Vec<(Ts, NexmarkEvent)> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+
+    fn make_person(&mut self, date_time: Ts) -> Person {
+        let id = self.next_person_id;
+        self.next_person_id += 1;
+        let name = FIRST_NAMES[self.rng.gen_range(0..FIRST_NAMES.len())];
+        let idx = self.rng.gen_range(0..CITIES.len());
+        Person {
+            id,
+            name: name.to_string(),
+            email: format!("{name}{id}@example.com"),
+            city: CITIES[idx].to_string(),
+            state: STATES[idx].to_string(),
+            date_time,
+        }
+    }
+
+    fn make_auction(&mut self, date_time: Ts) -> Auction {
+        let id = self.next_auction_id;
+        self.next_auction_id += 1;
+        let initial_bid = self.rng.gen_range(1..100);
+        Auction {
+            id,
+            item_name: ITEMS[self.rng.gen_range(0..ITEMS.len())].to_string(),
+            initial_bid,
+            reserve: initial_bid + self.rng.gen_range(1..100),
+            date_time,
+            expires: date_time + self.config.auction_lifetime,
+            seller: self.random_person_id(),
+            category: 10 + self.rng.gen_range(0..5),
+        }
+    }
+
+    fn make_bid(&mut self, date_time: Ts) -> Bid {
+        Bid {
+            auction: self.random_auction_id(),
+            bidder: self.random_person_id(),
+            price: self.rng.gen_range(1..10_000),
+            date_time,
+        }
+    }
+
+    fn random_person_id(&mut self) -> i64 {
+        if self.next_person_id == 1000 {
+            return 1000; // before any person exists, reference the first
+        }
+        self.rng.gen_range(1000..self.next_person_id.max(1001))
+    }
+
+    fn random_auction_id(&mut self) -> i64 {
+        if self.next_auction_id == 5000 {
+            return 5000;
+        }
+        // Skew bids towards hot auctions (the most recent ones).
+        let hot = self.config.hot_auctions as i64;
+        if self.rng.gen_bool(0.8) {
+            let lo = (self.next_auction_id - hot).max(5000);
+            self.rng.gen_range(lo..self.next_auction_id.max(lo + 1))
+        } else {
+            self.rng.gen_range(5000..self.next_auction_id.max(5001))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = NexmarkGenerator::seeded(7).take(500);
+        let b = NexmarkGenerator::seeded(7).take(500);
+        assert_eq!(a, b);
+        let c = NexmarkGenerator::seeded(8).take(500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ptime_monotonic_and_event_time_skewed_within_bound() {
+        let config = GeneratorConfig {
+            max_skew: Duration::from_seconds(3),
+            ..GeneratorConfig::default()
+        };
+        let events = NexmarkGenerator::new(config.clone()).take(1000);
+        let mut last = Ts::MIN;
+        for (ptime, event) in &events {
+            assert!(*ptime >= last);
+            last = *ptime;
+            let skew = *ptime - event.event_time();
+            assert!(skew >= Duration::ZERO && skew <= config.max_skew);
+        }
+    }
+
+    #[test]
+    fn mix_roughly_matches_proportions() {
+        let events = NexmarkGenerator::seeded(1).take(5000);
+        let bids = events
+            .iter()
+            .filter(|(_, e)| matches!(e, NexmarkEvent::Bid(_)))
+            .count();
+        let people = events
+            .iter()
+            .filter(|(_, e)| matches!(e, NexmarkEvent::Person(_)))
+            .count();
+        let auctions = events
+            .iter()
+            .filter(|(_, e)| matches!(e, NexmarkEvent::Auction(_)))
+            .count();
+        assert_eq!(people + auctions + bids, 5000);
+        assert_eq!(people, 100); // 1/50
+        assert_eq!(auctions, 300); // 3/50
+        assert_eq!(bids, 4600); // 46/50
+    }
+
+    #[test]
+    fn referenced_ids_exist_eventually() {
+        let events = NexmarkGenerator::seeded(3).take(2000);
+        let max_person = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                NexmarkEvent::Person(p) => Some(p.id),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        for (_, e) in &events {
+            if let NexmarkEvent::Bid(b) = e {
+                assert!(b.bidder >= 1000 && b.bidder <= max_person.max(1000));
+            }
+        }
+    }
+
+    #[test]
+    fn streams_named() {
+        let mut g = NexmarkGenerator::seeded(1);
+        let (_, e) = g.next_event();
+        assert!(["Person", "Auction", "Bid"].contains(&e.stream()));
+    }
+
+    #[test]
+    fn zero_skew_means_in_order() {
+        let config = GeneratorConfig {
+            max_skew: Duration::ZERO,
+            ..GeneratorConfig::default()
+        };
+        for (ptime, event) in NexmarkGenerator::new(config).take(200) {
+            assert_eq!(ptime, event.event_time());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The NEXMark data model: Person, Auction, Bid, and the Category table.
+
+use onesql_types::{row, DataType, Field, Row, Schema, Ts};
+
+/// A registered user who can open auctions and place bids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Person {
+    /// Unique person id.
+    pub id: i64,
+    /// Display name.
+    pub name: String,
+    /// Email address.
+    pub email: String,
+    /// City of residence.
+    pub city: String,
+    /// State of residence.
+    pub state: String,
+    /// Event time of registration.
+    pub date_time: Ts,
+}
+
+impl Person {
+    /// Schema: `(id, name, email, city, state, dateTime*)`.
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::String),
+            Field::new("email", DataType::String),
+            Field::new("city", DataType::String),
+            Field::new("state", DataType::String),
+            Field::event_time("dateTime"),
+        ])
+    }
+
+    /// Convert to a row matching [`Person::schema`].
+    pub fn to_row(&self) -> Row {
+        row!(
+            self.id,
+            self.name.as_str(),
+            self.email.as_str(),
+            self.city.as_str(),
+            self.state.as_str(),
+            self.date_time
+        )
+    }
+}
+
+/// An auction for one item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Auction {
+    /// Unique auction id.
+    pub id: i64,
+    /// Short item name.
+    pub item_name: String,
+    /// Starting bid, in whole currency units.
+    pub initial_bid: i64,
+    /// Reserve price.
+    pub reserve: i64,
+    /// Event time the auction opened.
+    pub date_time: Ts,
+    /// Event time the auction closes.
+    pub expires: Ts,
+    /// Seller's person id.
+    pub seller: i64,
+    /// Category id (joins the static `Category` table).
+    pub category: i64,
+}
+
+impl Auction {
+    /// Schema: `(id, itemName, initialBid, reserve, dateTime*, expires,
+    /// seller, category)`.
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("itemName", DataType::String),
+            Field::new("initialBid", DataType::Int),
+            Field::new("reserve", DataType::Int),
+            Field::event_time("dateTime"),
+            Field::new("expires", DataType::Timestamp),
+            Field::new("seller", DataType::Int),
+            Field::new("category", DataType::Int),
+        ])
+    }
+
+    /// Convert to a row matching [`Auction::schema`].
+    pub fn to_row(&self) -> Row {
+        row!(
+            self.id,
+            self.item_name.as_str(),
+            self.initial_bid,
+            self.reserve,
+            self.date_time,
+            self.expires,
+            self.seller,
+            self.category
+        )
+    }
+}
+
+/// A bid on an auction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bid {
+    /// The auction being bid on.
+    pub auction: i64,
+    /// The bidder's person id.
+    pub bidder: i64,
+    /// Bid price in whole currency units.
+    pub price: i64,
+    /// Event time the bid was placed.
+    pub date_time: Ts,
+}
+
+impl Bid {
+    /// Schema: `(auction, bidder, price, dateTime*)`.
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("auction", DataType::Int),
+            Field::new("bidder", DataType::Int),
+            Field::new("price", DataType::Int),
+            Field::event_time("dateTime"),
+        ])
+    }
+
+    /// Convert to a row matching [`Bid::schema`].
+    pub fn to_row(&self) -> Row {
+        row!(self.auction, self.bidder, self.price, self.date_time)
+    }
+}
+
+/// The static `Category` table: `(id, name)`.
+pub fn category_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("name", DataType::String),
+    ])
+}
+
+/// Default category rows.
+pub fn category_rows() -> Vec<Row> {
+    [
+        (10, "collectibles"),
+        (11, "electronics"),
+        (12, "books"),
+        (13, "cars"),
+        (14, "art"),
+    ]
+    .into_iter()
+    .map(|(id, name)| row!(id as i64, name))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_schemas() {
+        let p = Person {
+            id: 1,
+            name: "ada".into(),
+            email: "ada@example.com".into(),
+            city: "london".into(),
+            state: "uk".into(),
+            date_time: Ts::hm(8, 0),
+        };
+        assert_eq!(p.to_row().arity(), Person::schema().arity());
+
+        let a = Auction {
+            id: 1,
+            item_name: "teapot".into(),
+            initial_bid: 10,
+            reserve: 20,
+            date_time: Ts::hm(8, 0),
+            expires: Ts::hm(9, 0),
+            seller: 1,
+            category: 10,
+        };
+        assert_eq!(a.to_row().arity(), Auction::schema().arity());
+
+        let b = Bid {
+            auction: 1,
+            bidder: 1,
+            price: 15,
+            date_time: Ts::hm(8, 5),
+        };
+        assert_eq!(b.to_row().arity(), Bid::schema().arity());
+    }
+
+    #[test]
+    fn event_time_columns_flagged() {
+        assert_eq!(Person::schema().event_time_columns(), vec![5]);
+        assert_eq!(Auction::schema().event_time_columns(), vec![4]);
+        assert_eq!(Bid::schema().event_time_columns(), vec![3]);
+    }
+
+    #[test]
+    fn categories_nonempty() {
+        assert_eq!(category_rows().len(), 5);
+        assert_eq!(category_schema().arity(), 2);
+    }
+}

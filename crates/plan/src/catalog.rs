@@ -1,0 +1,94 @@
+//! Catalogs: where the binder finds table and stream schemas.
+
+use std::collections::BTreeMap;
+
+use onesql_types::{Error, Result, SchemaRef};
+
+/// Whether a catalog relation is a bounded table or an unbounded stream.
+///
+/// Both are TVRs; the distinction only affects planning constraints (e.g.
+/// whether an aggregate can ever finalize without watermarks) and execution
+/// strategy — exactly the paper's stance that streams and tables are two
+/// representations of one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Bounded relation.
+    Table,
+    /// Unbounded relation with (possibly trivial) watermarks.
+    Stream,
+}
+
+/// Resolves table names to schemas during binding.
+pub trait Catalog {
+    /// Look up a table's schema and kind. Names are case-insensitive.
+    fn resolve(&self, name: &str) -> Result<(SchemaRef, TableKind)>;
+}
+
+/// A simple in-memory catalog.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryCatalog {
+    tables: BTreeMap<String, (SchemaRef, TableKind)>,
+}
+
+impl MemoryCatalog {
+    /// Empty catalog.
+    pub fn new() -> MemoryCatalog {
+        MemoryCatalog::default()
+    }
+
+    /// Register a relation; replaces any existing entry of the same name.
+    pub fn register(&mut self, name: impl Into<String>, schema: SchemaRef, kind: TableKind) {
+        self.tables
+            .insert(name.into().to_ascii_lowercase(), (schema, kind));
+    }
+
+    /// Names of all registered relations.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+impl Catalog for MemoryCatalog {
+    fn resolve(&self, name: &str) -> Result<(SchemaRef, TableKind)> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| {
+                Error::catalog(format!(
+                    "table '{name}' not found; known tables: [{}]",
+                    self.names().join(", ")
+                ))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::{DataType, Field, Schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn register_and_resolve_case_insensitive() {
+        let mut cat = MemoryCatalog::new();
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        cat.register("Bid", Arc::clone(&schema), TableKind::Stream);
+        let (s, kind) = cat.resolve("bid").unwrap();
+        assert_eq!(s.arity(), 1);
+        assert_eq!(kind, TableKind::Stream);
+        let (_, kind) = cat.resolve("BID").unwrap();
+        assert_eq!(kind, TableKind::Stream);
+    }
+
+    #[test]
+    fn unknown_table_lists_known() {
+        let mut cat = MemoryCatalog::new();
+        cat.register(
+            "bid",
+            Arc::new(Schema::empty()),
+            TableKind::Stream,
+        );
+        let err = cat.resolve("Auction").unwrap_err();
+        assert!(err.to_string().contains("bid"), "{err}");
+    }
+}

@@ -1,0 +1,1193 @@
+//! Bound scalar expressions: resolved, typed, and directly evaluable.
+
+use std::fmt;
+
+use onesql_types::{DataType, Error, Result, Row, Schema, Value};
+
+/// A scalar expression with all column references resolved to input row
+/// indices. Evaluation is row-at-a-time; the executor calls [`eval`] on
+/// every change that flows through projections, filters, and join
+/// conditions.
+///
+/// [`eval`]: ScalarExpr::eval
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Input column by index.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// `NOT e` (three-valued).
+    Not(Box<ScalarExpr>),
+    /// `-e`.
+    Neg(Box<ScalarExpr>),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+    /// `e IS NULL` / `e IS NOT NULL` (never NULL itself).
+    IsNull {
+        /// Operand.
+        expr: Box<ScalarExpr>,
+        /// Negated form?
+        negated: bool,
+    },
+    /// `e IN (v1, .., vn)` with three-valued NULL handling.
+    InList {
+        /// Tested expression.
+        expr: Box<ScalarExpr>,
+        /// Candidates.
+        list: Vec<ScalarExpr>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `e LIKE pattern` with `%`/`_` wildcards.
+    Like {
+        /// Tested expression.
+        expr: Box<ScalarExpr>,
+        /// Pattern expression.
+        pattern: Box<ScalarExpr>,
+        /// `NOT LIKE`?
+        negated: bool,
+    },
+    /// Searched `CASE`.
+    Case {
+        /// `(condition, result)` branches.
+        branches: Vec<(ScalarExpr, ScalarExpr)>,
+        /// `ELSE` result (NULL when absent).
+        else_expr: Option<Box<ScalarExpr>>,
+    },
+    /// `CAST(e AS t)`.
+    Cast {
+        /// Operand.
+        expr: Box<ScalarExpr>,
+        /// Target type.
+        to: DataType,
+    },
+    /// A built-in scalar function.
+    ScalarFn {
+        /// Which function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<ScalarExpr>,
+    },
+}
+
+/// Binary operators on values (comparisons use SQL three-valued logic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    And,
+    Or,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Mul,
+    Div,
+    Mod,
+    Concat,
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// Absolute value of a numeric.
+    Abs,
+    /// Lower-case a string.
+    Lower,
+    /// Upper-case a string.
+    Upper,
+    /// String length in characters.
+    CharLength,
+    /// Smallest argument (NULL if any argument is NULL).
+    Least,
+    /// Largest argument (NULL if any argument is NULL).
+    Greatest,
+    /// `COALESCE`: first non-NULL argument.
+    Coalesce,
+    /// Truncate a timestamp down to a multiple of an interval:
+    /// `FLOOR_TIME(ts, interval)`. The primitive behind window assignment,
+    /// exposed for ad-hoc bucketing.
+    FloorTime,
+}
+
+impl ScalarFunc {
+    /// Resolve a function name (case-insensitive).
+    pub fn lookup(name: &str) -> Option<ScalarFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "ABS" => ScalarFunc::Abs,
+            "LOWER" => ScalarFunc::Lower,
+            "UPPER" => ScalarFunc::Upper,
+            "CHAR_LENGTH" | "LENGTH" => ScalarFunc::CharLength,
+            "LEAST" => ScalarFunc::Least,
+            "GREATEST" => ScalarFunc::Greatest,
+            "COALESCE" => ScalarFunc::Coalesce,
+            "FLOOR_TIME" => ScalarFunc::FloorTime,
+            _ => return None,
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Lower => "LOWER",
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::CharLength => "CHAR_LENGTH",
+            ScalarFunc::Least => "LEAST",
+            ScalarFunc::Greatest => "GREATEST",
+            ScalarFunc::Coalesce => "COALESCE",
+            ScalarFunc::FloorTime => "FLOOR_TIME",
+        }
+    }
+}
+
+impl ScalarExpr {
+    /// Shorthand for a column reference.
+    pub fn col(i: usize) -> ScalarExpr {
+        ScalarExpr::Column(i)
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Literal(v.into())
+    }
+
+    /// Shorthand for a binary expression.
+    pub fn binary(left: ScalarExpr, op: BinOp, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            ScalarExpr::Column(i) => Ok(row.value(*i)?.clone()),
+            ScalarExpr::Literal(v) => Ok(v.clone()),
+            ScalarExpr::Not(e) => match e.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Bool(!v.as_bool()?)),
+            },
+            ScalarExpr::Neg(e) => e.eval(row)?.neg(),
+            ScalarExpr::Binary { left, op, right } => {
+                Self::eval_binary(left.eval(row)?, *op, || right.eval(row))
+            }
+            ScalarExpr::IsNull { expr, negated } => {
+                let isnull = expr.eval(row)?.is_null();
+                Ok(Value::Bool(isnull != *negated))
+            }
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for candidate in list {
+                    let c = candidate.eval(row)?;
+                    match v.sql_eq(&c) {
+                        Some(true) => return Ok(Value::Bool(!negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let p = pattern.eval(row)?;
+                if v.is_null() || p.is_null() {
+                    return Ok(Value::Null);
+                }
+                let matched = like_match(v.as_str()?, p.as_str()?);
+                Ok(Value::Bool(matched != *negated))
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (cond, result) in branches {
+                    if cond.eval(row)? == Value::Bool(true) {
+                        return result.eval(row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row),
+                    None => Ok(Value::Null),
+                }
+            }
+            ScalarExpr::Cast { expr, to } => expr.eval(row)?.cast(*to),
+            ScalarExpr::ScalarFn { func, args } => {
+                let vals: Vec<Value> =
+                    args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
+                eval_scalar_fn(*func, &vals)
+            }
+        }
+    }
+
+    fn eval_binary(
+        left: Value,
+        op: BinOp,
+        right: impl FnOnce() -> Result<Value>,
+    ) -> Result<Value> {
+        use BinOp::*;
+        // Short-circuiting three-valued AND/OR.
+        match op {
+            And => {
+                if left == Value::Bool(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let r = right()?;
+                return Ok(match (left, r) {
+                    (_, Value::Bool(false)) => Value::Bool(false),
+                    (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                    (Value::Null, _) | (_, Value::Null) => Value::Null,
+                    (a, b) => {
+                        return Err(Error::type_error(format!(
+                            "AND requires booleans, got {} and {}",
+                            a.data_type(),
+                            b.data_type()
+                        )))
+                    }
+                });
+            }
+            Or => {
+                if left == Value::Bool(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let r = right()?;
+                return Ok(match (left, r) {
+                    (_, Value::Bool(true)) => Value::Bool(true),
+                    (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+                    (Value::Null, _) | (_, Value::Null) => Value::Null,
+                    (a, b) => {
+                        return Err(Error::type_error(format!(
+                            "OR requires booleans, got {} and {}",
+                            a.data_type(),
+                            b.data_type()
+                        )))
+                    }
+                });
+            }
+            _ => {}
+        }
+        let right = right()?;
+        Ok(match op {
+            Eq => three_valued(left.sql_eq(&right)),
+            NotEq => three_valued(left.sql_eq(&right).map(|b| !b)),
+            Lt => three_valued(left.sql_cmp(&right).map(|o| o.is_lt())),
+            LtEq => three_valued(left.sql_cmp(&right).map(|o| o.is_le())),
+            Gt => three_valued(left.sql_cmp(&right).map(|o| o.is_gt())),
+            GtEq => three_valued(left.sql_cmp(&right).map(|o| o.is_ge())),
+            Plus => left.add(&right)?,
+            Minus => left.sub(&right)?,
+            Mul => left.mul(&right)?,
+            Div => left.div(&right)?,
+            Mod => left.rem(&right)?,
+            Concat => {
+                if left.is_null() || right.is_null() {
+                    Value::Null
+                } else {
+                    Value::str(format!("{left}{right}"))
+                }
+            }
+            And | Or => unreachable!("handled above"),
+        })
+    }
+
+    /// Infer the result type against an input schema, validating operand
+    /// types along the way. This is the binder's type checker.
+    pub fn data_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            ScalarExpr::Column(i) => Ok(schema.field(*i)?.data_type),
+            ScalarExpr::Literal(v) => Ok(v.data_type()),
+            ScalarExpr::Not(e) => {
+                let t = e.data_type(schema)?;
+                if !matches!(t, DataType::Bool | DataType::Null) {
+                    return Err(Error::type_error(format!("NOT requires BOOLEAN, got {t}")));
+                }
+                Ok(DataType::Bool)
+            }
+            ScalarExpr::Neg(e) => {
+                let t = e.data_type(schema)?;
+                if !t.is_numeric() && !matches!(t, DataType::Interval | DataType::Null) {
+                    return Err(Error::type_error(format!("cannot negate {t}")));
+                }
+                Ok(t)
+            }
+            ScalarExpr::Binary { left, op, right } => {
+                let lt = left.data_type(schema)?;
+                let rt = right.data_type(schema)?;
+                self.binary_type(*op, lt, rt)
+            }
+            ScalarExpr::IsNull { .. } => Ok(DataType::Bool),
+            ScalarExpr::InList { expr, list, .. } => {
+                let t = expr.data_type(schema)?;
+                for item in list {
+                    let it = item.data_type(schema)?;
+                    if DataType::common_super_type(t, it).is_none() {
+                        return Err(Error::type_error(format!(
+                            "IN list item type {it} incompatible with {t}"
+                        )));
+                    }
+                }
+                Ok(DataType::Bool)
+            }
+            ScalarExpr::Like { expr, pattern, .. } => {
+                for (role, e) in [("operand", expr), ("pattern", pattern)] {
+                    let t = e.data_type(schema)?;
+                    if !matches!(t, DataType::String | DataType::Null) {
+                        return Err(Error::type_error(format!(
+                            "LIKE {role} must be VARCHAR, got {t}"
+                        )));
+                    }
+                }
+                Ok(DataType::Bool)
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                let mut result = DataType::Null;
+                for (cond, r) in branches {
+                    let ct = cond.data_type(schema)?;
+                    if !matches!(ct, DataType::Bool | DataType::Null) {
+                        return Err(Error::type_error(format!(
+                            "CASE condition must be BOOLEAN, got {ct}"
+                        )));
+                    }
+                    result = Self::unify(result, r.data_type(schema)?)?;
+                }
+                if let Some(e) = else_expr {
+                    result = Self::unify(result, e.data_type(schema)?)?;
+                }
+                Ok(result)
+            }
+            ScalarExpr::Cast { expr, to } => {
+                expr.data_type(schema)?;
+                Ok(*to)
+            }
+            ScalarExpr::ScalarFn { func, args } => {
+                let ts: Vec<DataType> = args
+                    .iter()
+                    .map(|a| a.data_type(schema))
+                    .collect::<Result<_>>()?;
+                scalar_fn_type(*func, &ts)
+            }
+        }
+    }
+
+    fn unify(a: DataType, b: DataType) -> Result<DataType> {
+        DataType::common_super_type(a, b).ok_or_else(|| {
+            Error::type_error(format!("incompatible branch types {a} and {b}"))
+        })
+    }
+
+    fn binary_type(&self, op: BinOp, lt: DataType, rt: DataType) -> Result<DataType> {
+        use BinOp::*;
+        use DataType as T;
+        let err = || {
+            Err(Error::type_error(format!(
+                "operator {op:?} not defined for {lt} and {rt}"
+            )))
+        };
+        match op {
+            And | Or => {
+                if matches!(lt, T::Bool | T::Null) && matches!(rt, T::Bool | T::Null) {
+                    Ok(T::Bool)
+                } else {
+                    err()
+                }
+            }
+            Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+                if T::common_super_type(lt, rt).is_some() {
+                    Ok(T::Bool)
+                } else {
+                    err()
+                }
+            }
+            Plus | Minus => match (lt, rt) {
+                (T::Null, o) | (o, T::Null) => Ok(o),
+                (a, b) if a.is_numeric() && b.is_numeric() => {
+                    Ok(T::common_super_type(a, b).expect("numeric"))
+                }
+                (T::Timestamp, T::Interval) => Ok(T::Timestamp),
+                (T::Interval, T::Timestamp) if op == Plus => Ok(T::Timestamp),
+                (T::Timestamp, T::Timestamp) if op == Minus => Ok(T::Interval),
+                (T::Interval, T::Interval) => Ok(T::Interval),
+                _ => err(),
+            },
+            Mul => match (lt, rt) {
+                (T::Null, o) | (o, T::Null) => Ok(o),
+                (a, b) if a.is_numeric() && b.is_numeric() => {
+                    Ok(T::common_super_type(a, b).expect("numeric"))
+                }
+                (T::Interval, T::Int) | (T::Int, T::Interval) => Ok(T::Interval),
+                _ => err(),
+            },
+            Div | Mod => match (lt, rt) {
+                (T::Null, o) | (o, T::Null) => Ok(o),
+                (a, b) if a.is_numeric() && b.is_numeric() => {
+                    Ok(T::common_super_type(a, b).expect("numeric"))
+                }
+                _ => err(),
+            },
+            Concat => {
+                if matches!(lt, T::String | T::Null) && matches!(rt, T::String | T::Null) {
+                    Ok(T::String)
+                } else {
+                    err()
+                }
+            }
+        }
+    }
+
+    /// All column indices referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.visit_columns(&mut |i| cols.push(i));
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Visit every column reference.
+    pub fn visit_columns(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            ScalarExpr::Column(i) => f(*i),
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Not(e) | ScalarExpr::Neg(e) => e.visit_columns(f),
+            ScalarExpr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            ScalarExpr::IsNull { expr, .. } => expr.visit_columns(f),
+            ScalarExpr::InList { expr, list, .. } => {
+                expr.visit_columns(f);
+                for e in list {
+                    e.visit_columns(f);
+                }
+            }
+            ScalarExpr::Like { expr, pattern, .. } => {
+                expr.visit_columns(f);
+                pattern.visit_columns(f);
+            }
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.visit_columns(f);
+                    r.visit_columns(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit_columns(f);
+                }
+            }
+            ScalarExpr::Cast { expr, .. } => expr.visit_columns(f),
+            ScalarExpr::ScalarFn { args, .. } => {
+                for a in args {
+                    a.visit_columns(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrite every column reference through `map` (new index per old).
+    /// Used when pushing expressions through projections and joins.
+    pub fn remap_columns(&self, map: &impl Fn(usize) -> usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Column(i) => ScalarExpr::Column(map(*i)),
+            ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.remap_columns(map))),
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.remap_columns(map))),
+            ScalarExpr::Binary { left, op, right } => ScalarExpr::Binary {
+                left: Box::new(left.remap_columns(map)),
+                op: *op,
+                right: Box::new(right.remap_columns(map)),
+            },
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.remap_columns(map)),
+                negated: *negated,
+            },
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
+                expr: Box::new(expr.remap_columns(map)),
+                list: list.iter().map(|e| e.remap_columns(map)).collect(),
+                negated: *negated,
+            },
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => ScalarExpr::Like {
+                expr: Box::new(expr.remap_columns(map)),
+                pattern: Box::new(pattern.remap_columns(map)),
+                negated: *negated,
+            },
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => ScalarExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.remap_columns(map), r.remap_columns(map)))
+                    .collect(),
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| Box::new(e.remap_columns(map))),
+            },
+            ScalarExpr::Cast { expr, to } => ScalarExpr::Cast {
+                expr: Box::new(expr.remap_columns(map)),
+                to: *to,
+            },
+            ScalarExpr::ScalarFn { func, args } => ScalarExpr::ScalarFn {
+                func: *func,
+                args: args.iter().map(|a| a.remap_columns(map)).collect(),
+            },
+        }
+    }
+
+    /// True if the expression contains no column references (and therefore
+    /// evaluates to a constant).
+    pub fn is_constant(&self) -> bool {
+        self.referenced_columns().is_empty()
+    }
+}
+
+fn three_valued(b: Option<bool>) -> Value {
+    match b {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+/// SQL `LIKE` matching with `%` (any run) and `_` (any single char).
+fn like_match(text: &str, pattern: &str) -> bool {
+    fn inner(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => (0..=t.len()).any(|i| inner(&t[i..], &p[1..])),
+            Some('_') => !t.is_empty() && inner(&t[1..], &p[1..]),
+            Some(c) => t.first() == Some(c) && inner(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    inner(&t, &p)
+}
+
+fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
+    let arity_err = |want: &str| {
+        Err(Error::exec(format!(
+            "{} expects {want} argument(s), got {}",
+            func.name(),
+            args.len()
+        )))
+    };
+    match func {
+        ScalarFunc::Abs => {
+            let [v] = args else { return arity_err("1") };
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                    Error::exec("BIGINT overflow in ABS")
+                })?)),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(Error::type_error(format!(
+                    "ABS requires a numeric, got {}",
+                    other.data_type()
+                ))),
+            }
+        }
+        ScalarFunc::Lower | ScalarFunc::Upper => {
+            let [v] = args else { return arity_err("1") };
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::str(if func == ScalarFunc::Lower {
+                    s.to_lowercase()
+                } else {
+                    s.to_uppercase()
+                })),
+                other => Err(Error::type_error(format!(
+                    "{} requires VARCHAR, got {}",
+                    func.name(),
+                    other.data_type()
+                ))),
+            }
+        }
+        ScalarFunc::CharLength => {
+            let [v] = args else { return arity_err("1") };
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(Error::type_error(format!(
+                    "CHAR_LENGTH requires VARCHAR, got {}",
+                    other.data_type()
+                ))),
+            }
+        }
+        ScalarFunc::Least | ScalarFunc::Greatest => {
+            if args.is_empty() {
+                return arity_err("at least 1");
+            }
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let mut best = args[0].clone();
+            for v in &args[1..] {
+                let replace = match v.sql_cmp(&best) {
+                    Some(ord) => {
+                        if func == ScalarFunc::Least {
+                            ord.is_lt()
+                        } else {
+                            ord.is_gt()
+                        }
+                    }
+                    None => false,
+                };
+                if replace {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+        ScalarFunc::Coalesce => {
+            for v in args {
+                if !v.is_null() {
+                    return Ok(v.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        ScalarFunc::FloorTime => {
+            let [t, step] = args else { return arity_err("2") };
+            if t.is_null() || step.is_null() {
+                return Ok(Value::Null);
+            }
+            let ts = t.as_ts()?;
+            let step = step.as_interval()?;
+            if !step.is_positive() {
+                return Err(Error::exec("FLOOR_TIME step must be positive"));
+            }
+            let floored = ts.millis().div_euclid(step.millis()) * step.millis();
+            Ok(Value::Ts(onesql_types::Ts(floored)))
+        }
+    }
+}
+
+fn scalar_fn_type(func: ScalarFunc, args: &[DataType]) -> Result<DataType> {
+    use DataType as T;
+    let arity_err = |want: &str| {
+        Err(Error::type_error(format!(
+            "{} expects {want} argument(s), got {}",
+            func.name(),
+            args.len()
+        )))
+    };
+    match func {
+        ScalarFunc::Abs => match args {
+            [t] if t.is_numeric() || *t == T::Null => Ok(*t),
+            [t] => Err(Error::type_error(format!("ABS requires a numeric, got {t}"))),
+            _ => arity_err("1"),
+        },
+        ScalarFunc::Lower | ScalarFunc::Upper => match args {
+            [T::String | T::Null] => Ok(T::String),
+            [t] => Err(Error::type_error(format!(
+                "{} requires VARCHAR, got {t}",
+                func.name()
+            ))),
+            _ => arity_err("1"),
+        },
+        ScalarFunc::CharLength => match args {
+            [T::String | T::Null] => Ok(T::Int),
+            [t] => Err(Error::type_error(format!(
+                "CHAR_LENGTH requires VARCHAR, got {t}"
+            ))),
+            _ => arity_err("1"),
+        },
+        ScalarFunc::Least | ScalarFunc::Greatest | ScalarFunc::Coalesce => {
+            if args.is_empty() {
+                return arity_err("at least 1");
+            }
+            let mut t = T::Null;
+            for &a in args {
+                t = T::common_super_type(t, a).ok_or_else(|| {
+                    Error::type_error(format!(
+                        "{} arguments have incompatible types",
+                        func.name()
+                    ))
+                })?;
+            }
+            Ok(t)
+        }
+        ScalarFunc::FloorTime => match args {
+            [T::Timestamp | T::Null, T::Interval | T::Null] => Ok(T::Timestamp),
+            [a, b] => Err(Error::type_error(format!(
+                "FLOOR_TIME requires (TIMESTAMP, INTERVAL), got ({a}, {b})"
+            ))),
+            _ => arity_err("2"),
+        },
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// Resolve an aggregate function name.
+    pub fn lookup(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "AVG" => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Result type given the argument type.
+    pub fn result_type(self, arg: DataType) -> Result<DataType> {
+        use DataType as T;
+        match self {
+            AggFunc::Count => Ok(T::Int),
+            AggFunc::Sum => {
+                if arg.is_numeric() || arg == T::Null || arg == T::Interval {
+                    Ok(arg)
+                } else {
+                    Err(Error::type_error(format!("SUM requires a numeric, got {arg}")))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if arg.is_orderable() || arg == T::Null {
+                    Ok(arg)
+                } else {
+                    Err(Error::type_error(format!(
+                        "{} requires an orderable type, got {arg}",
+                        self.name()
+                    )))
+                }
+            }
+            AggFunc::Avg => {
+                if arg.is_numeric() || arg == T::Null {
+                    Ok(T::Float)
+                } else {
+                    Err(Error::type_error(format!("AVG requires a numeric, got {arg}")))
+                }
+            }
+        }
+    }
+}
+
+/// One aggregate call in an `Aggregate` plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression over the aggregate input (`None` for `COUNT(*)`).
+    pub arg: Option<ScalarExpr>,
+    /// `DISTINCT` aggregate?
+    pub distinct: bool,
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.func.name())?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        match &self.arg {
+            Some(a) => write!(f, "{a}")?,
+            None => write!(f, "*")?,
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column(i) => write!(f, "#{i}"),
+            ScalarExpr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            ScalarExpr::Not(e) => write!(f, "NOT ({e})"),
+            ScalarExpr::Neg(e) => write!(f, "-({e})"),
+            ScalarExpr::Binary { left, op, right } => {
+                let sym = match op {
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                    BinOp::Eq => "=",
+                    BinOp::NotEq => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::LtEq => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::GtEq => ">=",
+                    BinOp::Plus => "+",
+                    BinOp::Minus => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                    BinOp::Concat => "||",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            ScalarExpr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}LIKE {pattern}",
+                if *negated { "NOT " } else { "" }
+            ),
+            ScalarExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            ScalarExpr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+            ScalarExpr::ScalarFn { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::{row, Duration, Ts};
+
+    fn eval(e: &ScalarExpr) -> Value {
+        e.eval(&Row::empty()).unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let r = row!(10i64, "x");
+        assert_eq!(ScalarExpr::col(0).eval(&r).unwrap(), Value::Int(10));
+        assert_eq!(eval(&ScalarExpr::lit(5i64)), Value::Int(5));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        use BinOp::*;
+        let null = ScalarExpr::lit(Value::Null);
+        let t = ScalarExpr::lit(true);
+        let f = ScalarExpr::lit(false);
+        // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+        assert_eq!(
+            eval(&ScalarExpr::binary(f.clone(), And, null.clone())),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&ScalarExpr::binary(t.clone(), And, null.clone())),
+            Value::Null
+        );
+        // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+        assert_eq!(
+            eval(&ScalarExpr::binary(t, Or, null.clone())),
+            Value::Bool(true)
+        );
+        assert_eq!(eval(&ScalarExpr::binary(f, Or, null.clone())), Value::Null);
+        // NULL = NULL is NULL.
+        assert_eq!(
+            eval(&ScalarExpr::binary(null.clone(), Eq, null)),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_error() {
+        use BinOp::*;
+        // FALSE AND (1/0 = 1) must not error.
+        let div0 = ScalarExpr::binary(
+            ScalarExpr::binary(ScalarExpr::lit(1i64), Div, ScalarExpr::lit(0i64)),
+            Eq,
+            ScalarExpr::lit(1i64),
+        );
+        let e = ScalarExpr::binary(ScalarExpr::lit(false), And, div0.clone());
+        assert_eq!(eval(&e), Value::Bool(false));
+        let e = ScalarExpr::binary(ScalarExpr::lit(true), Or, div0);
+        assert_eq!(eval(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn comparisons_and_arithmetic() {
+        use BinOp::*;
+        assert_eq!(
+            eval(&ScalarExpr::binary(
+                ScalarExpr::lit(3i64),
+                Lt,
+                ScalarExpr::lit(5i64)
+            )),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&ScalarExpr::binary(
+                ScalarExpr::lit(Ts::hm(8, 0)),
+                Plus,
+                ScalarExpr::lit(Duration::from_minutes(10))
+            )),
+            Value::Ts(Ts::hm(8, 10))
+        );
+        assert_eq!(
+            eval(&ScalarExpr::binary(
+                ScalarExpr::lit("a"),
+                Concat,
+                ScalarExpr::lit("b")
+            )),
+            Value::str("ab")
+        );
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        let make = |v: Value, list: Vec<Value>, negated| ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::Literal(v)),
+            list: list.into_iter().map(ScalarExpr::Literal).collect(),
+            negated,
+        };
+        assert_eq!(
+            eval(&make(Value::Int(2), vec![Value::Int(1), Value::Int(2)], false)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&make(Value::Int(3), vec![Value::Int(1), Value::Int(2)], false)),
+            Value::Bool(false)
+        );
+        // 3 IN (1, NULL) is NULL; 1 IN (1, NULL) is TRUE.
+        assert_eq!(
+            eval(&make(Value::Int(3), vec![Value::Int(1), Value::Null], false)),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&make(Value::Int(1), vec![Value::Int(1), Value::Null], false)),
+            Value::Bool(true)
+        );
+        // NOT IN flips.
+        assert_eq!(
+            eval(&make(Value::Int(3), vec![Value::Int(1)], true)),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("item42", "item%"));
+        assert!(like_match("item42", "%42"));
+        assert!(like_match("item42", "item_2"));
+        assert!(!like_match("item42", "item_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+        assert!(like_match("a%c", "a%c"));
+    }
+
+    #[test]
+    fn case_evaluation() {
+        let e = ScalarExpr::Case {
+            branches: vec![
+                (ScalarExpr::lit(false), ScalarExpr::lit("no")),
+                (ScalarExpr::lit(true), ScalarExpr::lit("yes")),
+            ],
+            else_expr: Some(Box::new(ScalarExpr::lit("else"))),
+        };
+        assert_eq!(eval(&e), Value::str("yes"));
+        let e = ScalarExpr::Case {
+            branches: vec![(ScalarExpr::lit(false), ScalarExpr::lit("no"))],
+            else_expr: None,
+        };
+        assert_eq!(eval(&e), Value::Null);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let f = |func, args: Vec<ScalarExpr>| ScalarExpr::ScalarFn { func, args };
+        assert_eq!(
+            eval(&f(ScalarFunc::Abs, vec![ScalarExpr::lit(-5i64)])),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval(&f(ScalarFunc::Upper, vec![ScalarExpr::lit("abc")])),
+            Value::str("ABC")
+        );
+        assert_eq!(
+            eval(&f(ScalarFunc::CharLength, vec![ScalarExpr::lit("héllo")])),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval(&f(
+                ScalarFunc::Coalesce,
+                vec![
+                    ScalarExpr::lit(Value::Null),
+                    ScalarExpr::lit(7i64),
+                    ScalarExpr::lit(9i64)
+                ]
+            )),
+            Value::Int(7)
+        );
+        assert_eq!(
+            eval(&f(
+                ScalarFunc::Least,
+                vec![ScalarExpr::lit(3i64), ScalarExpr::lit(1i64)]
+            )),
+            Value::Int(1)
+        );
+        // FLOOR_TIME buckets 8:07 into [8:00, ...) for 10-minute steps.
+        assert_eq!(
+            eval(&f(
+                ScalarFunc::FloorTime,
+                vec![
+                    ScalarExpr::lit(Ts::hm(8, 7)),
+                    ScalarExpr::lit(Duration::from_minutes(10))
+                ]
+            )),
+            Value::Ts(Ts::hm(8, 0))
+        );
+    }
+
+    #[test]
+    fn type_inference() {
+        use onesql_types::{DataType as T, Field};
+        let schema = Schema::new(vec![
+            Field::new("price", T::Int),
+            Field::new("bidtime", T::Timestamp),
+            Field::new("item", T::String),
+        ]);
+        let e = ScalarExpr::binary(ScalarExpr::col(0), BinOp::Plus, ScalarExpr::lit(1.5));
+        assert_eq!(e.data_type(&schema).unwrap(), T::Float);
+        let e = ScalarExpr::binary(
+            ScalarExpr::col(1),
+            BinOp::Minus,
+            ScalarExpr::lit(Duration::from_minutes(10)),
+        );
+        assert_eq!(e.data_type(&schema).unwrap(), T::Timestamp);
+        // Type errors detected.
+        let e = ScalarExpr::binary(ScalarExpr::col(2), BinOp::Plus, ScalarExpr::lit(1i64));
+        assert!(e.data_type(&schema).is_err());
+        let e = ScalarExpr::Not(Box::new(ScalarExpr::col(0)));
+        assert!(e.data_type(&schema).is_err());
+    }
+
+    #[test]
+    fn referenced_and_remap() {
+        let e = ScalarExpr::binary(
+            ScalarExpr::col(2),
+            BinOp::Plus,
+            ScalarExpr::binary(ScalarExpr::col(0), BinOp::Mul, ScalarExpr::col(2)),
+        );
+        assert_eq!(e.referenced_columns(), vec![0, 2]);
+        let shifted = e.remap_columns(&|i| i + 10);
+        assert_eq!(shifted.referenced_columns(), vec![10, 12]);
+        assert!(!e.is_constant());
+        assert!(ScalarExpr::lit(1i64).is_constant());
+    }
+
+    #[test]
+    fn agg_types() {
+        use onesql_types::DataType as T;
+        assert_eq!(AggFunc::Count.result_type(T::String).unwrap(), T::Int);
+        assert_eq!(AggFunc::Sum.result_type(T::Int).unwrap(), T::Int);
+        assert_eq!(AggFunc::Avg.result_type(T::Int).unwrap(), T::Float);
+        assert_eq!(AggFunc::Max.result_type(T::Timestamp).unwrap(), T::Timestamp);
+        assert!(AggFunc::Sum.result_type(T::String).is_err());
+        assert_eq!(AggFunc::lookup("max"), Some(AggFunc::Max));
+        assert_eq!(AggFunc::lookup("median"), None);
+    }
+
+    #[test]
+    fn display() {
+        let e = ScalarExpr::binary(ScalarExpr::col(0), BinOp::Eq, ScalarExpr::lit(5i64));
+        assert_eq!(e.to_string(), "(#0 = 5)");
+        let agg = AggCall {
+            func: AggFunc::Max,
+            arg: Some(ScalarExpr::col(1)),
+            distinct: false,
+        };
+        assert_eq!(agg.to_string(), "MAX(#1)");
+    }
+}

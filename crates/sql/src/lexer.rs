@@ -1,0 +1,388 @@
+//! The SQL lexer.
+
+use onesql_types::{Error, Result};
+
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenize `sql` into a vector ending with an [`TokenKind::Eof`] token.
+///
+/// Supports `--` line comments, `/* ... */` block comments, `'...'` string
+/// literals with `''` escaping, `"..."` quoted identifiers, integer and
+/// decimal number literals, and the operator set in [`TokenKind`].
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    Lexer::new(sql).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(sql: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: sql.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn error_at(&self, offset: usize, msg: impl std::fmt::Display) -> Error {
+        Error::parse(format!("{msg} at byte offset {offset}"))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let offset = self.pos;
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b',' => self.single(TokenKind::Comma),
+                b'.' => self.single(TokenKind::Dot),
+                b';' => self.single(TokenKind::Semicolon),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'%' => self.single(TokenKind::Percent),
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Eq
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::LtEq
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::NotEq
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::GtEq
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::NotEq
+                    } else {
+                        return Err(self.error_at(offset, "unexpected '!'"));
+                    }
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        TokenKind::Concat
+                    } else {
+                        return Err(self.error_at(offset, "unexpected '|'"));
+                    }
+                }
+                b'\'' => self.string_literal(offset)?,
+                b'"' => self.quoted_ident(offset)?,
+                b'0'..=b'9' => self.number(),
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
+                other => {
+                    return Err(self.error_at(
+                        offset,
+                        format!("unexpected character '{}'", other as char),
+                    ))
+                }
+            };
+            tokens.push(Token { kind, offset });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(
+                                    self.error_at(start, "unterminated block comment")
+                                )
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string_literal(&mut self, offset: usize) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // '' is an escaped quote.
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(TokenKind::String(out));
+                    }
+                }
+                Some(c) => out.push(c as char),
+                None => return Err(self.error_at(offset, "unterminated string literal")),
+            }
+        }
+    }
+
+    fn quoted_ident(&mut self, offset: usize) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        self.bump();
+                        out.push('"');
+                    } else {
+                        return Ok(TokenKind::Ident(out));
+                    }
+                }
+                Some(c) => out.push(c as char),
+                None => return Err(self.error_at(offset, "unterminated quoted identifier")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("number bytes are ASCII")
+            .to_string();
+        TokenKind::Number(text)
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("word bytes are ASCII")
+            .to_string();
+        match Keyword::lookup(&text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SELECT price FROM Bid;"),
+            vec![
+                Keyword(super::Keyword::Select),
+                Ident("price".into()),
+                Keyword(super::Keyword::From),
+                Ident("Bid".into()),
+                Semicolon,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a >= b <= c <> d != e => f || g"),
+            vec![
+                Ident("a".into()),
+                GtEq,
+                Ident("b".into()),
+                LtEq,
+                Ident("c".into()),
+                NotEq,
+                Ident("d".into()),
+                NotEq,
+                Ident("e".into()),
+                Arrow,
+                Ident("f".into()),
+                Concat,
+                Ident("g".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_and_strings() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("42 3.14 '10' 'it''s'"),
+            vec![
+                Number("42".into()),
+                Number("3.14".into()),
+                String("10".into()),
+                String("it's".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_integer_is_projection() {
+        // `b.price` style access after an identifier, and `1.` stays split
+        // when not followed by a digit.
+        use TokenKind::*;
+        assert_eq!(
+            kinds("Bid.price"),
+            vec![Ident("Bid".into()), Dot, Ident("price".into()), Eof]
+        );
+        assert_eq!(
+            kinds("1.x"),
+            vec![Number("1".into()), Dot, Ident("x".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SELECT -- line comment\n /* block\n comment */ 1"),
+            vec![
+                Keyword(super::Keyword::Select),
+                Number("1".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#""Order Data" "say ""hi""""#),
+            vec![
+                Ident("Order Data".into()),
+                Ident("say \"hi\"".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive_idents_preserved() {
+        let toks = kinds("select Bid BIDTIME");
+        assert_eq!(toks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(toks[1], TokenKind::Ident("Bid".into()));
+        assert_eq!(toks[2], TokenKind::Ident("BIDTIME".into()));
+    }
+
+    #[test]
+    fn errors_reported_with_offset() {
+        let err = tokenize("SELECT @").unwrap_err();
+        assert!(err.to_string().contains("offset 7"), "{err}");
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("/* open").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("_private max_price"),
+            vec![Ident("_private".into()), Ident("max_price".into()), Eof]
+        );
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! SQL frontend for the `onesql` streaming dialect.
+//!
+//! The dialect is standard SQL (queries only) plus the paper's proposed
+//! extensions (§6):
+//!
+//! - polymorphic table-valued functions in `FROM`, with named arguments,
+//!   `TABLE(...)` table parameters and `DESCRIPTOR(...)` column descriptors
+//!   — as used by `Tumble` and `Hop` (Extension 3);
+//! - the `EMIT` materialization clause: `EMIT STREAM`,
+//!   `EMIT AFTER WATERMARK`, `EMIT [STREAM] AFTER DELAY <interval>`, and
+//!   the combined form (Extensions 4–7);
+//! - `AS OF SYSTEM TIME <expr>` on table references (temporal tables, §6.1).
+//!
+//! The entry point is [`parse_query`]; [`ast`] holds the syntax tree, which
+//! displays back to parseable SQL (round-trip tested).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::Query;
+pub use parser::{parse_query, Parser};
+
+/// Parse a single SQL query from `sql` text.
+pub fn parse(sql: &str) -> onesql_types::Result<Query> {
+    parse_query(sql)
+}

@@ -1,0 +1,991 @@
+//! Recursive-descent parser for the onesql dialect.
+
+use onesql_types::{DataType, Error, Result};
+
+use crate::ast::*;
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parse a single query (optionally `;`-terminated) from SQL text.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser::new(tokens);
+    let query = parser.parse_query()?;
+    parser.consume(&TokenKind::Semicolon);
+    parser.expect(&TokenKind::Eof)?;
+    Ok(query)
+}
+
+/// The parser state: a token cursor.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over a token stream (must end with `Eof`).
+    pub fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn consume(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn consume_keyword(&mut self, kw: Keyword) -> bool {
+        self.consume(&TokenKind::Keyword(kw))
+    }
+
+    fn peek_keyword(&self, kw: Keyword) -> bool {
+        *self.peek() == TokenKind::Keyword(kw)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.consume(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {kind}")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        self.expect(&TokenKind::Keyword(kw))
+    }
+
+    fn unexpected(&self, expected: &str) -> Error {
+        Error::parse(format!(
+            "{expected}, found {} at byte offset {}",
+            self.peek(),
+            self.offset()
+        ))
+    }
+
+    fn parse_identifier(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    // -- queries ----------------------------------------------------------
+
+    /// Parse a query: body, `ORDER BY`, `LIMIT`, `EMIT`.
+    pub fn parse_query(&mut self) -> Result<Query> {
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.consume_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.consume_keyword(Keyword::Desc) {
+                    true
+                } else {
+                    self.consume_keyword(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.consume(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.consume_keyword(Keyword::Limit) {
+            match self.advance() {
+                TokenKind::Number(n) => Some(n.parse::<u64>().map_err(|_| {
+                    Error::parse(format!("invalid LIMIT value '{n}'"))
+                })?),
+                _ => return Err(self.unexpected("expected integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        let emit = if self.consume_keyword(Keyword::Emit) {
+            Some(self.parse_emit()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+            emit,
+        })
+    }
+
+    fn parse_emit(&mut self) -> Result<Emit> {
+        let mut emit = Emit {
+            stream: self.consume_keyword(Keyword::Stream),
+            ..Emit::default()
+        };
+        loop {
+            if !self.consume_keyword(Keyword::After) {
+                break;
+            }
+            if self.consume_keyword(Keyword::Watermark) {
+                emit.after_watermark = true;
+            } else if self.consume_keyword(Keyword::Delay) {
+                // Parse above AND precedence so `AFTER DELAY d AND AFTER
+                // WATERMARK` leaves the AND for the EMIT grammar.
+                emit.after_delay = Some(self.parse_expr_prec(4)?);
+            } else {
+                return Err(self.unexpected("expected WATERMARK or DELAY after AFTER"));
+            }
+            if !self.consume_keyword(Keyword::And) {
+                break;
+            }
+            // After AND we require another AFTER clause.
+            if !self.peek_keyword(Keyword::After) {
+                return Err(self.unexpected("expected AFTER following AND in EMIT clause"));
+            }
+        }
+        if !emit.stream && !emit.after_watermark && emit.after_delay.is_none() {
+            return Err(Error::parse(
+                "EMIT requires at least one of STREAM, AFTER WATERMARK, AFTER DELAY",
+            ));
+        }
+        Ok(emit)
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = SetExpr::Select(Box::new(self.parse_select()?));
+        while self.peek_keyword(Keyword::Union) {
+            self.advance();
+            self.expect_keyword(Keyword::All).map_err(|_| {
+                Error::parse("only UNION ALL is supported (bag semantics)".to_string())
+            })?;
+            let right = SetExpr::Select(Box::new(self.parse_select()?));
+            left = SetExpr::UnionAll(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_keyword(Keyword::Select)?;
+        let distinct = self.consume_keyword(Keyword::Distinct);
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.parse_select_item()?);
+            if !self.consume(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.consume_keyword(Keyword::From) {
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.consume(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let selection = if self.consume_keyword(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.consume_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.consume(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.consume_keyword(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.consume(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if *self.peek_ahead(1) == TokenKind::Dot && *self.peek_ahead(2) == TokenKind::Star
+            {
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_optional_alias(&mut self) -> Result<Option<String>> {
+        if self.consume_keyword(Keyword::As) {
+            return Ok(Some(self.parse_identifier()?));
+        }
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            self.advance();
+            return Ok(Some(name));
+        }
+        Ok(None)
+    }
+
+    // -- table references -------------------------------------------------
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_primary()?;
+        loop {
+            let kind = if self.consume_keyword(Keyword::Cross) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinKind::Cross
+            } else if self.consume_keyword(Keyword::Left) {
+                self.consume_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinKind::Left
+            } else if self.consume_keyword(Keyword::Inner) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinKind::Inner
+            } else if self.consume_keyword(Keyword::Join) {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let right = self.parse_table_primary()?;
+            let on = if kind == JoinKind::Cross {
+                None
+            } else {
+                self.expect_keyword(Keyword::On)?;
+                Some(self.parse_expr()?)
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_primary(&mut self) -> Result<TableRef> {
+        // Derived table: (SELECT ...) alias
+        if self.consume(&TokenKind::LParen) {
+            let query = self.parse_query()?;
+            self.expect(&TokenKind::RParen)?;
+            let alias = self.parse_optional_alias()?.ok_or_else(|| {
+                Error::parse("derived table (subquery in FROM) requires an alias")
+            })?;
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.parse_identifier()?;
+        // Table-valued function: ident immediately followed by `(`.
+        if *self.peek() == TokenKind::LParen {
+            self.advance();
+            let mut args = Vec::new();
+            if *self.peek() != TokenKind::RParen {
+                loop {
+                    args.push(self.parse_tvf_arg()?);
+                    if !self.consume(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            let alias = self.parse_optional_alias()?;
+            return Ok(TableRef::TableFunction {
+                call: TvfCall { name, args },
+                alias,
+            });
+        }
+        // Plain table, optional AS OF SYSTEM TIME, optional alias.
+        let as_of = if self.peek_keyword(Keyword::As)
+            && *self.peek_ahead(1) == TokenKind::Keyword(Keyword::Of)
+        {
+            self.advance(); // AS
+            self.advance(); // OF
+            self.expect_keyword(Keyword::System)?;
+            self.expect_keyword(Keyword::Time)?;
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let alias = self.parse_optional_alias()?;
+        Ok(TableRef::Table { name, alias, as_of })
+    }
+
+    fn parse_tvf_arg(&mut self) -> Result<TvfArg> {
+        // Named argument: ident => value
+        let name = if let TokenKind::Ident(n) = self.peek().clone() {
+            if *self.peek_ahead(1) == TokenKind::Arrow {
+                self.advance();
+                self.advance();
+                Some(n)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let value = if self.consume_keyword(Keyword::Table) {
+            // TABLE(Bid), TABLE (subquery), or TABLE Bid.
+            if self.consume(&TokenKind::LParen) {
+                let inner = self.parse_table_ref()?;
+                self.expect(&TokenKind::RParen)?;
+                TvfArgValue::Table(Box::new(inner))
+            } else {
+                let table = self.parse_identifier()?;
+                TvfArgValue::Table(Box::new(TableRef::Table {
+                    name: table,
+                    alias: None,
+                    as_of: None,
+                }))
+            }
+        } else if self.consume_keyword(Keyword::Descriptor) {
+            self.expect(&TokenKind::LParen)?;
+            let col = self.parse_identifier()?;
+            self.expect(&TokenKind::RParen)?;
+            TvfArgValue::Descriptor(col)
+        } else {
+            TvfArgValue::Scalar(self.parse_expr()?)
+        };
+        Ok(TvfArg { name, value })
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    /// Parse an expression at the lowest precedence.
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_expr_prec(1)
+    }
+
+    /// Precedence level used for postfix predicates (`IS NULL`, `BETWEEN`,
+    /// `IN`, `LIKE`): binds tighter than `AND` (2), looser than `=` (4).
+    const POSTFIX_PREC: u8 = 3;
+
+    fn parse_expr_prec(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            // Postfix predicates.
+            if Self::POSTFIX_PREC >= min_prec {
+                if self.peek_keyword(Keyword::Is) {
+                    self.advance();
+                    let negated = self.consume_keyword(Keyword::Not);
+                    self.expect_keyword(Keyword::Null)?;
+                    left = Expr::IsNull {
+                        expr: Box::new(left),
+                        negated,
+                    };
+                    continue;
+                }
+                let negated = if self.peek_keyword(Keyword::Not)
+                    && matches!(
+                        self.peek_ahead(1),
+                        TokenKind::Keyword(
+                            Keyword::Between | Keyword::In | Keyword::Like
+                        )
+                    ) {
+                    self.advance();
+                    true
+                } else {
+                    false
+                };
+                if self.consume_keyword(Keyword::Between) {
+                    let low = self.parse_expr_prec(5)?;
+                    self.expect_keyword(Keyword::And)?;
+                    let high = self.parse_expr_prec(5)?;
+                    left = Expr::Between {
+                        expr: Box::new(left),
+                        low: Box::new(low),
+                        high: Box::new(high),
+                        negated,
+                    };
+                    continue;
+                }
+                if self.consume_keyword(Keyword::In) {
+                    self.expect(&TokenKind::LParen)?;
+                    let mut list = Vec::new();
+                    loop {
+                        list.push(self.parse_expr()?);
+                        if !self.consume(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    left = Expr::InList {
+                        expr: Box::new(left),
+                        list,
+                        negated,
+                    };
+                    continue;
+                }
+                if self.consume_keyword(Keyword::Like) {
+                    let pattern = self.parse_expr_prec(5)?;
+                    left = Expr::Like {
+                        expr: Box::new(left),
+                        pattern: Box::new(pattern),
+                        negated,
+                    };
+                    continue;
+                }
+                if negated {
+                    return Err(self.unexpected("expected BETWEEN, IN, or LIKE after NOT"));
+                }
+            }
+            // Binary operators.
+            let Some(op) = self.peek_binary_op() else {
+                break;
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.advance();
+            let right = self.parse_expr_prec(prec + 1)?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn peek_binary_op(&self) -> Option<BinaryOp> {
+        Some(match self.peek() {
+            TokenKind::Keyword(Keyword::Or) => BinaryOp::Or,
+            TokenKind::Keyword(Keyword::And) => BinaryOp::And,
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            TokenKind::Plus => BinaryOp::Plus,
+            TokenKind::Minus => BinaryOp::Minus,
+            TokenKind::Star => BinaryOp::Mul,
+            TokenKind::Slash => BinaryOp::Div,
+            TokenKind::Percent => BinaryOp::Mod,
+            TokenKind::Concat => BinaryOp::Concat,
+            _ => return None,
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.peek_keyword(Keyword::Not)
+            && !matches!(
+                self.peek_ahead(1),
+                TokenKind::Keyword(Keyword::Between | Keyword::In | Keyword::Like)
+            )
+        {
+            self.advance();
+            let expr = self.parse_expr_prec(Self::POSTFIX_PREC)?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(expr),
+            });
+        }
+        if self.consume(&TokenKind::Minus) {
+            let expr = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(expr),
+            });
+        }
+        if self.consume(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Number(n)))
+            }
+            TokenKind::String(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(Keyword::Interval) => {
+                self.advance();
+                self.parse_interval_literal()
+            }
+            TokenKind::Keyword(Keyword::Timestamp) => {
+                self.advance();
+                match self.advance() {
+                    TokenKind::String(s) => Ok(Expr::Literal(Literal::Timestamp(s))),
+                    _ => Err(self.unexpected("expected string after TIMESTAMP")),
+                }
+            }
+            TokenKind::Keyword(Keyword::Case) => {
+                self.advance();
+                self.parse_case()
+            }
+            TokenKind::Keyword(Keyword::Cast) => {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                let expr = self.parse_expr()?;
+                self.expect_keyword(Keyword::As)?;
+                let to = self.parse_data_type()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Cast {
+                    expr: Box::new(expr),
+                    to,
+                })
+            }
+            TokenKind::Keyword(Keyword::Exists) => {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                let q = self.parse_query()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Exists(Box::new(q)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                if self.peek_keyword(Keyword::Select) {
+                    let q = self.parse_query()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Subquery(Box::new(q)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(e)
+                }
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                // Function call?
+                if *self.peek() == TokenKind::LParen {
+                    self.advance();
+                    let distinct = self.consume_keyword(Keyword::Distinct);
+                    let mut args = Vec::new();
+                    if *self.peek() != TokenKind::RParen {
+                        loop {
+                            if self.consume(&TokenKind::Star) {
+                                args.push(Expr::Wildcard);
+                            } else {
+                                args.push(self.parse_expr()?);
+                            }
+                            if !self.consume(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Function {
+                        name,
+                        args,
+                        distinct,
+                    });
+                }
+                // Qualified column?
+                if self.consume(&TokenKind::Dot) {
+                    let col = self.parse_identifier()?;
+                    return Ok(Expr::qcol(name, col));
+                }
+                Ok(Expr::col(name))
+            }
+            _ => Err(self.unexpected("expected expression")),
+        }
+    }
+
+    fn parse_interval_literal(&mut self) -> Result<Expr> {
+        let value = match self.advance() {
+            TokenKind::String(s) => s,
+            TokenKind::Number(n) => n,
+            _ => return Err(self.unexpected("expected interval magnitude")),
+        };
+        let unit = match self.advance() {
+            TokenKind::Keyword(Keyword::Millisecond | Keyword::Milliseconds) => {
+                IntervalUnit::Millisecond
+            }
+            TokenKind::Keyword(Keyword::Second | Keyword::Seconds) => IntervalUnit::Second,
+            TokenKind::Keyword(Keyword::Minute | Keyword::Minutes) => IntervalUnit::Minute,
+            TokenKind::Keyword(Keyword::Hour | Keyword::Hours) => IntervalUnit::Hour,
+            _ => {
+                return Err(self.unexpected(
+                    "expected interval unit (MILLISECOND/SECOND/MINUTE/HOUR)",
+                ))
+            }
+        };
+        Ok(Expr::Literal(Literal::Interval { value, unit }))
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        let operand = if !self.peek_keyword(Keyword::When) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.consume_keyword(Keyword::When) {
+            let when = self.parse_expr()?;
+            self.expect_keyword(Keyword::Then)?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(Error::parse("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.consume_keyword(Keyword::Else) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword(Keyword::End)?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
+    }
+
+    fn parse_data_type(&mut self) -> Result<DataType> {
+        let name = match self.advance() {
+            TokenKind::Ident(n) => n,
+            TokenKind::Keyword(Keyword::Timestamp) => "TIMESTAMP".to_string(),
+            TokenKind::Keyword(Keyword::Interval) => "INTERVAL".to_string(),
+            other => {
+                return Err(Error::parse(format!(
+                    "expected type name in CAST, found {other}"
+                )))
+            }
+        };
+        DataType::from_sql_name(&name)
+            .ok_or_else(|| Error::parse(format!("unknown type name '{name}' in CAST")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(sql: &str) -> Query {
+        let q1 = parse_query(sql).unwrap_or_else(|e| panic!("parse failed for {sql}: {e}"));
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+        assert_eq!(q1, q2, "round trip mismatch for {sql} -> {printed}");
+        q1
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = round_trip("SELECT price, item FROM Bid WHERE price > 3");
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(s.projection.len(), 2);
+        assert!(s.selection.is_some());
+    }
+
+    #[test]
+    fn select_star_and_qualified_star() {
+        round_trip("SELECT * FROM Bid");
+        let q = round_trip("SELECT B.* FROM Bid AS B");
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(s.projection[0], SelectItem::QualifiedWildcard("B".into()));
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let q = round_trip(
+            "SELECT item, SUM(price) AS total FROM Bid GROUP BY item \
+             HAVING SUM(price) > 10 ORDER BY total DESC, item LIMIT 5",
+        );
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+    }
+
+    #[test]
+    fn tumble_tvf_named_args() {
+        let q = round_trip(
+            "SELECT * FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(bidtime), \
+             dur => INTERVAL '10' MINUTE) AS TumbleBid",
+        );
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let TableRef::TableFunction { call, alias } = &s.from[0] else {
+            panic!("expected TVF")
+        };
+        assert_eq!(call.name, "Tumble");
+        assert_eq!(call.args.len(), 3);
+        assert_eq!(call.args[0].name.as_deref(), Some("data"));
+        assert!(matches!(call.args[0].value, TvfArgValue::Table(_)));
+        assert!(matches!(
+            call.args[1].value,
+            TvfArgValue::Descriptor(ref c) if c == "bidtime"
+        ));
+        assert_eq!(alias.as_deref(), Some("TumbleBid"));
+    }
+
+    #[test]
+    fn tvf_table_arg_without_parens() {
+        // Listing 7 uses `data => TABLE Bids`.
+        let q = round_trip(
+            "SELECT * FROM Hop(data => TABLE Bids, timecol => DESCRIPTOR(bidtime), \
+             dur => INTERVAL '10' MINUTES, hopsize => INTERVAL '5' MINUTES)",
+        );
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(s.from[0], TableRef::TableFunction { .. }));
+    }
+
+    #[test]
+    fn full_nexmark_q7() {
+        // The paper's Listing 2, lightly normalized.
+        let sql = "
+            SELECT MaxBid.wstart, MaxBid.wend, Bid.bidtime, Bid.price, Bid.itemid
+            FROM Bid,
+              (SELECT MAX(TumbleBid.price) maxPrice,
+                      TumbleBid.wstart wstart, TumbleBid.wend wend
+               FROM Tumble(data => TABLE(Bid),
+                           timecol => DESCRIPTOR(bidtime),
+                           dur => INTERVAL '10' MINUTE) TumbleBid
+               GROUP BY TumbleBid.wstart, TumbleBid.wend) MaxBid
+            WHERE Bid.price = MaxBid.maxPrice AND
+                  Bid.bidtime >= MaxBid.wend - INTERVAL '10' MINUTE AND
+                  Bid.bidtime < MaxBid.wend;";
+        let q = round_trip(sql);
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(s.from.len(), 2);
+        assert!(matches!(&s.from[1], TableRef::Derived { alias, .. } if alias == "MaxBid"));
+    }
+
+    #[test]
+    fn emit_clauses() {
+        let q = round_trip("SELECT * FROM Bid EMIT STREAM");
+        assert_eq!(
+            q.emit,
+            Some(Emit {
+                stream: true,
+                after_watermark: false,
+                after_delay: None
+            })
+        );
+
+        let q = round_trip("SELECT * FROM Bid EMIT AFTER WATERMARK");
+        assert!(q.emit.as_ref().unwrap().after_watermark);
+        assert!(!q.emit.as_ref().unwrap().stream);
+
+        let q = round_trip("SELECT * FROM Bid EMIT STREAM AFTER WATERMARK");
+        assert!(q.emit.as_ref().unwrap().after_watermark);
+        assert!(q.emit.as_ref().unwrap().stream);
+
+        let q =
+            round_trip("SELECT * FROM Bid EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES");
+        assert!(q.emit.as_ref().unwrap().after_delay.is_some());
+
+        let q = round_trip(
+            "SELECT * FROM Bid EMIT AFTER DELAY INTERVAL '6' MINUTES AND AFTER WATERMARK",
+        );
+        let emit = q.emit.unwrap();
+        assert!(emit.after_watermark);
+        assert!(emit.after_delay.is_some());
+
+        assert!(parse_query("SELECT * FROM Bid EMIT").is_err());
+        assert!(parse_query("SELECT * FROM Bid EMIT AFTER").is_err());
+    }
+
+    #[test]
+    fn joins() {
+        let q = round_trip(
+            "SELECT * FROM Auction A JOIN Bid B ON A.id = B.auction \
+             LEFT JOIN Person P ON A.seller = P.id",
+        );
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let TableRef::Join { kind, .. } = &s.from[0] else {
+            panic!()
+        };
+        assert_eq!(*kind, JoinKind::Left);
+        round_trip("SELECT * FROM A CROSS JOIN B");
+        round_trip("SELECT * FROM A INNER JOIN B ON A.x = B.x");
+    }
+
+    #[test]
+    fn as_of_system_time() {
+        let q = round_trip("SELECT * FROM Rates AS OF SYSTEM TIME TIMESTAMP '9:30' R");
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let TableRef::Table { as_of, alias, .. } = &s.from[0] else {
+            panic!()
+        };
+        assert!(as_of.is_some());
+        assert_eq!(alias.as_deref(), Some("R"));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = round_trip("SELECT 1 + 2 * 3 FROM T");
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.projection[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        assert_eq!(expr.to_string(), "(1 + (2 * 3))");
+
+        let q = round_trip("SELECT a OR b AND c = d + e FROM T");
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.projection[0] else {
+            panic!()
+        };
+        assert_eq!(expr.to_string(), "(a OR (b AND (c = (d + e))))");
+    }
+
+    #[test]
+    fn postfix_predicates() {
+        round_trip("SELECT * FROM T WHERE x IS NULL");
+        round_trip("SELECT * FROM T WHERE x IS NOT NULL");
+        round_trip("SELECT * FROM T WHERE x BETWEEN 1 AND 10 AND y = 2");
+        round_trip("SELECT * FROM T WHERE x NOT BETWEEN 1 AND 10");
+        round_trip("SELECT * FROM T WHERE x IN (1, 2, 3)");
+        round_trip("SELECT * FROM T WHERE x NOT IN (1, 2)");
+        round_trip("SELECT * FROM T WHERE name LIKE 'item%'");
+        round_trip("SELECT * FROM T WHERE name NOT LIKE '%x_'");
+        // NOT as logical operator applies after postfix binding.
+        let q = round_trip("SELECT * FROM T WHERE NOT x IS NULL AND y = 1");
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(
+            s.selection.as_ref().unwrap().to_string(),
+            "((NOT ((x) IS NULL)) AND (y = 1))"
+        );
+    }
+
+    #[test]
+    fn case_cast_functions() {
+        round_trip("SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END FROM T");
+        round_trip("SELECT CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END FROM T");
+        round_trip("SELECT CAST(price AS DOUBLE) FROM T");
+        round_trip("SELECT CAST(t AS TIMESTAMP) FROM T");
+        round_trip("SELECT COUNT(*), COUNT(DISTINCT item), MAX(price) FROM T");
+        assert!(parse_query("SELECT CASE END FROM T").is_err());
+    }
+
+    #[test]
+    fn scalar_subquery_and_exists() {
+        let q = round_trip(
+            "SELECT * FROM Bid B WHERE B.price = (SELECT MAX(price) FROM Bid)",
+        );
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert!(s.selection.as_ref().unwrap().to_string().contains("SELECT"));
+        round_trip("SELECT * FROM T WHERE EXISTS (SELECT 1 FROM U)");
+    }
+
+    #[test]
+    fn union_all() {
+        let q = round_trip("SELECT a FROM T UNION ALL SELECT b FROM U UNION ALL SELECT c FROM V");
+        assert!(matches!(q.body, SetExpr::UnionAll(_, _)));
+        assert!(parse_query("SELECT a FROM T UNION SELECT b FROM U").is_err());
+    }
+
+    #[test]
+    fn interval_literals() {
+        round_trip("SELECT INTERVAL '10' MINUTE FROM T");
+        round_trip("SELECT INTERVAL '6' MINUTES FROM T");
+        round_trip("SELECT INTERVAL '1' HOUR FROM T");
+        round_trip("SELECT INTERVAL '500' MILLISECONDS FROM T");
+        assert!(parse_query("SELECT INTERVAL '10' FORTNIGHT FROM T").is_err());
+    }
+
+    #[test]
+    fn timestamp_literals() {
+        let q = round_trip("SELECT * FROM T WHERE bidtime >= TIMESTAMP '8:07'");
+        assert!(q.to_string().contains("TIMESTAMP '8:07'"));
+    }
+
+    #[test]
+    fn select_without_from() {
+        round_trip("SELECT 1, 2 + 3");
+    }
+
+    #[test]
+    fn derived_table_requires_alias() {
+        assert!(parse_query("SELECT * FROM (SELECT 1)").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT 1 FROM T extra garbage here").is_err());
+        assert!(parse_query("SELECT 1; SELECT 2").is_err());
+    }
+
+    #[test]
+    fn error_mentions_offset() {
+        let err = parse_query("SELECT FROM").unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+    }
+
+    #[test]
+    fn unary_ops() {
+        round_trip("SELECT -x, NOT y, -(x + 1) FROM T");
+        let q = round_trip("SELECT 3 - -2 FROM T");
+        assert!(q.to_string().contains("(3 - (-2))"), "{q}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property test: every AST the strategies can build displays to SQL text
+//! that reparses to the identical AST.
+
+use proptest::prelude::*;
+
+use onesql_sql::ast::*;
+use onesql_sql::parse_query;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Identifiers that cannot collide with keywords.
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| format!("c_{s}"))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+        (0u32..1_000_000).prop_map(|n| Literal::Number(n.to_string())),
+        "[a-zA-Z0-9 _%]{0,12}".prop_map(Literal::String),
+        (1u32..10_000, prop_oneof![
+            Just(IntervalUnit::Millisecond),
+            Just(IntervalUnit::Second),
+            Just(IntervalUnit::Minute),
+            Just(IntervalUnit::Hour),
+        ])
+            .prop_map(|(v, unit)| Literal::Interval {
+                value: v.to_string(),
+                unit
+            }),
+        (0i64..24, 0i64..60).prop_map(|(h, m)| Literal::Timestamp(format!("{h}:{m:02}"))),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Or),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::Plus),
+        Just(BinaryOp::Minus),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Mod),
+        Just(BinaryOp::Concat),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_ident().prop_map(Expr::col),
+        (arb_ident(), arb_ident()).prop_map(|(q, n)| Expr::qcol(q, n)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_binop(), inner.clone())
+                .prop_map(|(l, op, r)| Expr::binary(l, op, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                prop::option::of(inner.clone())
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    operand: None,
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+            inner.clone().prop_map(|e| Expr::Cast {
+                expr: Box::new(e),
+                to: onesql_types::DataType::Int
+            }),
+            (arb_ident(), prop::collection::vec(inner, 0..3)).prop_map(|(name, args)| {
+                Expr::Function {
+                    name,
+                    args,
+                    distinct: false,
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(
+            (arb_expr(), prop::option::of(arb_ident())),
+            1..4,
+        ),
+        arb_ident(),
+        prop::option::of(arb_expr()),
+        prop::collection::vec(arb_expr(), 0..3),
+        prop::option::of((arb_expr(), any::<bool>())),
+        prop::option::of(0u64..1000),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(proj, table, selection, group_by, order, limit, emit_stream)| Query {
+                body: SetExpr::Select(Box::new(Select {
+                    distinct: false,
+                    projection: proj
+                        .into_iter()
+                        .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                        .collect(),
+                    from: vec![TableRef::Table {
+                        name: table,
+                        alias: None,
+                        as_of: None,
+                    }],
+                    selection,
+                    group_by,
+                    having: None,
+                })),
+                order_by: order
+                    .into_iter()
+                    .map(|(expr, desc)| OrderByItem { expr, desc })
+                    .collect(),
+                limit,
+                emit: emit_stream.then_some(Emit {
+                    stream: true,
+                    after_watermark: false,
+                    after_delay: None,
+                }),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(query in arb_query()) {
+        let sql = query.to_string();
+        let reparsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("failed to reparse {sql}: {e}"));
+        prop_assert_eq!(query, reparsed, "round trip diverged for: {}", sql);
+    }
+
+    #[test]
+    fn expressions_round_trip(expr in arb_expr()) {
+        let sql = format!("SELECT {expr}");
+        let reparsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("failed to reparse {sql}: {e}"));
+        let SetExpr::Select(select) = reparsed.body else { panic!() };
+        let SelectItem::Expr { expr: got, .. } = &select.projection[0] else { panic!() };
+        prop_assert_eq!(&expr, got, "expression diverged for: {}", sql);
+    }
+
+    /// The lexer/parser never panics on arbitrary input (errors are Err).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,60}") {
+        let _ = parse_query(&input);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! State management substrate for the streaming engine.
+//!
+//! The paper's engines (Appendix B.2) keep operator state in a pluggable
+//! backend (JVM heap or RocksDB) with periodic consistent checkpoints; state
+//! is freed as watermarks pass (§5, lesson 1). This crate is our substitute
+//! substrate (see DESIGN.md §2): an in-memory, ordered, typed keyed-state
+//! layer with
+//!
+//! - a compact binary [`codec`] for checkpoint encoding (built on `bytes`),
+//! - [`KeyedState`], the per-key state primitive operators build on,
+//! - an event-time [`TimerService`] fired by watermark advancement,
+//! - whole-operator [`Checkpoint`] snapshots with exact restore, and
+//! - [`TemporalTable`]: system-time versioned tables supporting
+//!   `AS OF SYSTEM TIME` (§6.1).
+
+pub mod codec;
+pub mod keyed;
+pub mod temporal;
+pub mod timer;
+
+pub use codec::{Codec, Decoder};
+pub use keyed::{Checkpoint, KeyedState, StateMetrics};
+pub use temporal::TemporalTable;
+pub use timer::TimerService;

@@ -1,0 +1,135 @@
+//! Event-time timers fired by watermark advancement.
+
+use std::collections::BTreeSet;
+
+use onesql_time::Watermark;
+use onesql_types::{Row, Ts};
+
+/// Per-key event-time timers.
+///
+/// Windowed aggregation (Extension 2) is implemented as "accumulate state,
+/// fire when the watermark closes the window": an operator registers a timer
+/// at the window's end timestamp for each active key, and
+/// [`TimerService::expire`] hands back exactly the timers whose timestamp
+/// the watermark has passed, in deterministic `(timestamp, key)` order.
+///
+/// Registering the same `(timestamp, key)` pair twice is idempotent.
+#[derive(Debug, Clone, Default)]
+pub struct TimerService {
+    timers: BTreeSet<(Ts, Row)>,
+}
+
+impl TimerService {
+    /// Empty timer set.
+    pub fn new() -> TimerService {
+        TimerService::default()
+    }
+
+    /// Register a timer for `key` at event time `at`.
+    pub fn register(&mut self, at: Ts, key: Row) {
+        self.timers.insert((at, key));
+    }
+
+    /// Cancel a specific timer; returns whether it existed.
+    pub fn cancel(&mut self, at: Ts, key: &Row) -> bool {
+        self.timers.remove(&(at, key.clone()))
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// True if no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty()
+    }
+
+    /// Remove and return all timers `(t, key)` with `wm.closes(t)`, i.e.
+    /// `wm >= t`, in ascending order. The watermark semantics match window
+    /// completion: a timer at a window's exclusive end fires once the
+    /// watermark reaches it.
+    pub fn expire(&mut self, wm: Watermark) -> Vec<(Ts, Row)> {
+        if wm == Watermark::MIN {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        while let Some(first) = self.timers.first() {
+            if wm.closes(first.0) {
+                let t = self.timers.pop_first().expect("non-empty");
+                expired.push(t);
+            } else {
+                break;
+            }
+        }
+        expired
+    }
+
+    /// The earliest pending timer, if any.
+    pub fn peek(&self) -> Option<&(Ts, Row)> {
+        self.timers.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::row;
+
+    #[test]
+    fn timers_fire_in_order_when_watermark_passes() {
+        let mut t = TimerService::new();
+        t.register(Ts::hm(8, 20), row!("w2"));
+        t.register(Ts::hm(8, 10), row!("w1"));
+        t.register(Ts::hm(8, 10), row!("w0"));
+
+        // Watermark below all timers: nothing fires.
+        assert!(t.expire(Watermark(Ts::hm(8, 8))).is_empty());
+
+        // Watermark at 8:12 closes the 8:10 timers only, in (ts, key) order.
+        let fired = t.expire(Watermark(Ts::hm(8, 12)));
+        assert_eq!(
+            fired,
+            vec![(Ts::hm(8, 10), row!("w0")), (Ts::hm(8, 10), row!("w1"))]
+        );
+        assert_eq!(t.len(), 1);
+
+        // Final watermark fires everything left.
+        let fired = t.expire(Watermark::MAX);
+        assert_eq!(fired, vec![(Ts::hm(8, 20), row!("w2"))]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn boundary_watermark_equal_to_timer_fires() {
+        let mut t = TimerService::new();
+        t.register(Ts::hm(8, 10), row!(1i64));
+        let fired = t.expire(Watermark(Ts::hm(8, 10)));
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut t = TimerService::new();
+        t.register(Ts::hm(8, 10), row!(1i64));
+        t.register(Ts::hm(8, 10), row!(1i64));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn cancel() {
+        let mut t = TimerService::new();
+        t.register(Ts::hm(8, 10), row!(1i64));
+        assert!(t.cancel(Ts::hm(8, 10), &row!(1i64)));
+        assert!(!t.cancel(Ts::hm(8, 10), &row!(1i64)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn min_watermark_fires_nothing() {
+        let mut t = TimerService::new();
+        t.register(Ts::MIN, row!(1i64));
+        assert!(t.expire(Watermark::MIN).is_empty());
+        assert_eq!(t.peek(), Some(&(Ts::MIN, row!(1i64))));
+    }
+}

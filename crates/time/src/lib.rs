@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Event-time semantics: watermarks, watermark generators, and clocks.
+//!
+//! Implements §3.2 of the paper. A *watermark* is a monotonic function from
+//! processing time to event time: observed at processing time `y` with value
+//! `x`, it asserts that all future records carry event timestamps `> x`.
+//! Watermarks are what let the engine declare event-time groupings complete
+//! (Extension 2), gate materialization (`EMIT AFTER WATERMARK`, Extension
+//! 5), and free operator state (§5, lesson 1).
+
+pub mod clock;
+pub mod generator;
+pub mod watermark;
+
+pub use clock::VirtualClock;
+pub use generator::{
+    AscendingWatermarks, BoundedOutOfOrderness, NoWatermarks, WatermarkGenerator,
+};
+pub use watermark::{Watermark, WatermarkTracker};

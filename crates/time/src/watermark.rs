@@ -1,0 +1,201 @@
+//! Watermarks and multi-input watermark tracking.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use onesql_types::Ts;
+
+/// A watermark value: the event time up to which the input is believed
+/// complete. A watermark of [`Ts::MAX`] marks end-of-stream (the relation
+/// will never change again); [`Ts::MIN`] means nothing is known yet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Watermark(pub Ts);
+
+impl Watermark {
+    /// The initial watermark, before any progress information.
+    pub const MIN: Watermark = Watermark(Ts::MIN);
+    /// The final watermark: input complete.
+    pub const MAX: Watermark = Watermark(Ts::MAX);
+
+    /// The event-time bound.
+    pub fn ts(self) -> Ts {
+        self.0
+    }
+
+    /// True when this watermark asserts that all data with event timestamp
+    /// `<= end_exclusive - 1ms` has arrived, i.e. an event-time interval
+    /// `[start, end_exclusive)` is complete.
+    ///
+    /// Per the paper's definition, a watermark of value `x` asserts all
+    /// future records have timestamps strictly greater than `x`, so an
+    /// interval ending at `end_exclusive` is complete once `wm >=
+    /// end_exclusive` (records at exactly `end_exclusive` belong to the next
+    /// interval). This matches Listing 11: at 8:16 the watermark has reached
+    /// 8:12 ≥ 8:10, so the `[8:00, 8:10)` window is final.
+    pub fn closes(self, end_exclusive: Ts) -> bool {
+        self.0 >= end_exclusive
+    }
+
+    /// True for the end-of-stream watermark.
+    pub fn is_final(self) -> bool {
+        self.0 == Ts::MAX
+    }
+
+    /// Merge with another watermark from the same input: watermarks are
+    /// monotonic, so the max wins.
+    pub fn advance_to(&mut self, other: Watermark) -> bool {
+        if other.0 > self.0 {
+            self.0 = other.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl fmt::Display for Watermark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WM[{}]", self.0)
+    }
+}
+
+impl From<Ts> for Watermark {
+    fn from(ts: Ts) -> Self {
+        Watermark(ts)
+    }
+}
+
+/// Tracks per-input watermarks for an n-ary operator and exposes the
+/// combined watermark (the minimum across inputs).
+///
+/// This is the "hold back the watermark" strategy from §5 for operators
+/// whose output carries event-time attributes from several inputs: the
+/// output watermark only advances once *every* input has advanced, which
+/// keeps all surviving event-time columns aligned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WatermarkTracker {
+    inputs: Vec<Watermark>,
+    /// Last combined watermark emitted downstream; enforced monotonic.
+    emitted: Watermark,
+}
+
+impl WatermarkTracker {
+    /// A tracker over `n` inputs, all starting at [`Watermark::MIN`].
+    pub fn new(n: usize) -> WatermarkTracker {
+        WatermarkTracker {
+            inputs: vec![Watermark::MIN; n],
+            emitted: Watermark::MIN,
+        }
+    }
+
+    /// Number of tracked inputs.
+    pub fn arity(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The current combined (minimum) watermark.
+    pub fn combined(&self) -> Watermark {
+        self.inputs
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Watermark::MAX)
+    }
+
+    /// The watermark of a single input.
+    pub fn input(&self, idx: usize) -> Watermark {
+        self.inputs[idx]
+    }
+
+    /// Record a watermark observation on input `idx`. Returns
+    /// `Some(combined)` iff the combined watermark advanced past what was
+    /// previously emitted; the caller should then forward it downstream.
+    /// Regressions on a single input are ignored (watermarks are monotonic).
+    pub fn observe(&mut self, idx: usize, wm: Watermark) -> Option<Watermark> {
+        self.inputs[idx].advance_to(wm);
+        let combined = self.combined();
+        if combined > self.emitted {
+            self.emitted = combined;
+            Some(combined)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::Duration;
+
+    #[test]
+    fn closes_matches_paper_timeline() {
+        // Listing 10-12: window [8:00, 8:10) closes when wm >= 8:10.
+        let w_805 = Watermark(Ts::hm(8, 5));
+        let w_808 = Watermark(Ts::hm(8, 8));
+        let w_812 = Watermark(Ts::hm(8, 12));
+        let wend = Ts::hm(8, 10);
+        assert!(!w_805.closes(wend));
+        assert!(!w_808.closes(wend));
+        assert!(w_812.closes(wend));
+        // Boundary: wm == wend closes the window (events at exactly wend
+        // belong to the next window).
+        assert!(Watermark(wend).closes(wend));
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let mut w = Watermark(Ts::hm(8, 5));
+        assert!(w.advance_to(Watermark(Ts::hm(8, 8))));
+        assert!(!w.advance_to(Watermark(Ts::hm(8, 6))));
+        assert_eq!(w.ts(), Ts::hm(8, 8));
+    }
+
+    #[test]
+    fn final_watermark() {
+        assert!(Watermark::MAX.is_final());
+        assert!(!Watermark(Ts::hm(8, 0)).is_final());
+        assert!(Watermark::MAX.closes(Ts::MAX));
+    }
+
+    #[test]
+    fn tracker_takes_minimum() {
+        let mut t = WatermarkTracker::new(2);
+        assert_eq!(t.combined(), Watermark::MIN);
+        // Left advances alone: combined stays MIN.
+        assert_eq!(t.observe(0, Watermark(Ts::hm(8, 10))), None);
+        // Right catches up: combined jumps to min(8:10, 8:05) = 8:05.
+        assert_eq!(
+            t.observe(1, Watermark(Ts::hm(8, 5))),
+            Some(Watermark(Ts::hm(8, 5)))
+        );
+        assert_eq!(t.combined(), Watermark(Ts::hm(8, 5)));
+        assert_eq!(t.input(0), Watermark(Ts::hm(8, 10)));
+    }
+
+    #[test]
+    fn tracker_suppresses_non_advancing_updates() {
+        let mut t = WatermarkTracker::new(2);
+        t.observe(0, Watermark(Ts::hm(8, 10)));
+        t.observe(1, Watermark(Ts::hm(8, 10)));
+        // Regression on one input does not move the combined watermark back.
+        assert_eq!(t.observe(0, Watermark(Ts::hm(8, 1))), None);
+        assert_eq!(t.combined(), Watermark(Ts::hm(8, 10)));
+        // Re-observing the same value emits nothing.
+        assert_eq!(t.observe(1, Watermark(Ts::hm(8, 10))), None);
+    }
+
+    #[test]
+    fn single_input_tracker_passes_through() {
+        let mut t = WatermarkTracker::new(1);
+        assert_eq!(
+            t.observe(0, Watermark(Ts::hm(8, 5))),
+            Some(Watermark(Ts::hm(8, 5)))
+        );
+        let next = Ts::hm(8, 5) + Duration::from_minutes(3);
+        assert_eq!(t.observe(0, Watermark(next)), Some(Watermark(next)));
+    }
+}

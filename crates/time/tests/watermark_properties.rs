@@ -1,0 +1,83 @@
+//! Property tests on the watermark machinery: monotonicity is the whole
+//! point of a watermark (§3.2.2: "a watermark is a monotonic function from
+//! processing time to event time").
+
+use proptest::prelude::*;
+
+use onesql_time::{
+    AscendingWatermarks, BoundedOutOfOrderness, Watermark, WatermarkGenerator,
+    WatermarkTracker,
+};
+use onesql_types::{Duration, Ts};
+
+proptest! {
+    /// Generators never regress, whatever the event order.
+    #[test]
+    fn generators_are_monotonic(
+        events in prop::collection::vec(-1_000_000i64..1_000_000, 1..100),
+        bound in 0i64..100_000,
+    ) {
+        let mut asc = AscendingWatermarks::new();
+        let mut boo = BoundedOutOfOrderness::new(Duration(bound));
+        let mut last_asc = Watermark::MIN;
+        let mut last_boo = Watermark::MIN;
+        for &e in &events {
+            asc.on_event(Ts(e));
+            boo.on_event(Ts(e));
+            prop_assert!(asc.current() >= last_asc);
+            prop_assert!(boo.current() >= last_boo);
+            last_asc = asc.current();
+            last_boo = boo.current();
+        }
+    }
+
+    /// The bounded generator's promise holds: no event it has seen is
+    /// *ahead* of watermark + bound... i.e. the watermark trails the max
+    /// seen by exactly the bound.
+    #[test]
+    fn bounded_promise(
+        events in prop::collection::vec(0i64..1_000_000, 1..100),
+        bound in 0i64..100_000,
+    ) {
+        let mut g = BoundedOutOfOrderness::new(Duration(bound));
+        let mut max_seen = i64::MIN;
+        for &e in &events {
+            g.on_event(Ts(e));
+            max_seen = max_seen.max(e);
+            prop_assert_eq!(g.current(), Watermark(Ts(max_seen - bound)));
+        }
+    }
+
+    /// The tracker's combined watermark is always min over inputs, is
+    /// monotonic, and only reports when it advances.
+    #[test]
+    fn tracker_is_min_and_monotonic(
+        observations in prop::collection::vec((0usize..3, -1000i64..1000), 1..200),
+    ) {
+        let mut t = WatermarkTracker::new(3);
+        let mut maxima = [i64::MIN; 3];
+        let mut last_combined = Watermark::MIN;
+        for &(port, wm) in &observations {
+            let advanced = t.observe(port, Watermark(Ts(wm)));
+            maxima[port] = maxima[port].max(wm);
+            let expected = (0..3)
+                .map(|i| maxima[i])
+                .min()
+                .expect("three ports");
+            let expected = if expected == i64::MIN {
+                Watermark::MIN
+            } else {
+                Watermark(Ts(expected))
+            };
+            prop_assert_eq!(t.combined(), expected);
+            if let Some(a) = advanced {
+                prop_assert!(a > last_combined, "advance must be strict");
+                last_combined = a;
+            } else {
+                // Silent: the combined watermark has not passed what was
+                // already reported downstream.
+                prop_assert!(t.combined() <= last_combined);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Row-level changes: the unit of the stream encoding of a TVR.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use onesql_types::Row;
+
+/// A row paired with a signed multiplicity delta.
+///
+/// `diff = +1` is an `INSERT`, `diff = -1` a `DELETE`/retraction (§3.3.1).
+/// General multiplicities let consolidation represent "insert the same row
+/// twice" compactly and make the algebra of changes closed under addition.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Change {
+    /// The affected row.
+    pub row: Row,
+    /// Signed multiplicity delta; never zero in a consolidated stream.
+    pub diff: i64,
+}
+
+impl Change {
+    /// An insertion of `row`.
+    pub fn insert(row: Row) -> Change {
+        Change { row, diff: 1 }
+    }
+
+    /// A deletion (retraction) of `row`.
+    pub fn retract(row: Row) -> Change {
+        Change { row, diff: -1 }
+    }
+
+    /// A change with an explicit multiplicity delta.
+    pub fn with_diff(row: Row, diff: i64) -> Change {
+        Change { row, diff }
+    }
+
+    /// True for insertions (positive diff).
+    pub fn is_insert(&self) -> bool {
+        self.diff > 0
+    }
+
+    /// True for retractions (negative diff).
+    pub fn is_retract(&self) -> bool {
+        self.diff < 0
+    }
+
+    /// The same change with the sign of `diff` flipped.
+    pub fn negated(&self) -> Change {
+        Change {
+            row: self.row.clone(),
+            diff: -self.diff,
+        }
+    }
+}
+
+impl fmt::Display for Change {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.diff >= 0 { "+" } else { "" };
+        write!(f, "{} {}{}", self.row, sign, self.diff)
+    }
+}
+
+/// Consolidate a batch of changes: sum diffs per distinct row and drop rows
+/// whose net diff is zero. The result is sorted by row, making it a
+/// canonical form (two change sets are semantically equal iff their
+/// consolidations are equal).
+pub fn consolidate(changes: Vec<Change>) -> Vec<Change> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<Row, i64> = BTreeMap::new();
+    for c in changes {
+        let e = acc.entry(c.row).or_insert(0);
+        *e += c.diff;
+    }
+    acc.into_iter()
+        .filter(|(_, d)| *d != 0)
+        .map(|(row, diff)| Change { row, diff })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::row;
+
+    #[test]
+    fn constructors() {
+        let c = Change::insert(row!(1i64));
+        assert!(c.is_insert());
+        assert!(!c.is_retract());
+        let r = Change::retract(row!(1i64));
+        assert!(r.is_retract());
+        assert_eq!(c.negated(), r);
+        assert_eq!(Change::with_diff(row!(1i64), 3).diff, 3);
+    }
+
+    #[test]
+    fn consolidate_cancels_and_sorts() {
+        let cs = vec![
+            Change::insert(row!(2i64)),
+            Change::insert(row!(1i64)),
+            Change::retract(row!(2i64)),
+            Change::insert(row!(1i64)),
+        ];
+        let out = consolidate(cs);
+        assert_eq!(out, vec![Change::with_diff(row!(1i64), 2)]);
+    }
+
+    #[test]
+    fn consolidate_empty_and_identity() {
+        assert!(consolidate(vec![]).is_empty());
+        let cs = vec![Change::insert(row!(1i64)), Change::insert(row!(2i64))];
+        assert_eq!(consolidate(cs.clone()), cs);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Change::insert(row!(1i64)).to_string(), "(1) +1");
+        assert_eq!(Change::retract(row!(1i64)).to_string(), "(1) -1");
+    }
+}

@@ -1,0 +1,94 @@
+//! The dataflow wire protocol: data changes interleaved with watermarks.
+
+use std::fmt;
+
+use onesql_time::Watermark;
+
+use crate::change::Change;
+
+/// One element on a dataflow edge.
+///
+/// The paper extends relational inputs with watermarks as "semantic inputs
+/// to standard SQL operators" (§6.2): an operator may react to watermark
+/// advancement even when no rows changed (e.g. emitting a completed
+/// aggregate). This enum is that extension made concrete — every edge
+/// carries both kinds of input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Element {
+    /// A data change (insert or retract).
+    Data(Change),
+    /// Watermark punctuation: the input's event time columns are complete up
+    /// to this bound.
+    Watermark(Watermark),
+}
+
+impl Element {
+    /// Convenience: an insert element.
+    pub fn insert(row: onesql_types::Row) -> Element {
+        Element::Data(Change::insert(row))
+    }
+
+    /// Convenience: a retract element.
+    pub fn retract(row: onesql_types::Row) -> Element {
+        Element::Data(Change::retract(row))
+    }
+
+    /// Convenience: a watermark element at the given event time.
+    pub fn watermark(ts: onesql_types::Ts) -> Element {
+        Element::Watermark(Watermark(ts))
+    }
+
+    /// The contained change, if this is a data element.
+    pub fn as_data(&self) -> Option<&Change> {
+        match self {
+            Element::Data(c) => Some(c),
+            Element::Watermark(_) => None,
+        }
+    }
+
+    /// The contained watermark, if any.
+    pub fn as_watermark(&self) -> Option<Watermark> {
+        match self {
+            Element::Watermark(w) => Some(*w),
+            Element::Data(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Element::Data(c) => write!(f, "{c}"),
+            Element::Watermark(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::{row, Ts};
+
+    #[test]
+    fn constructors_and_accessors() {
+        let e = Element::insert(row!(1i64));
+        assert!(e.as_data().unwrap().is_insert());
+        assert!(e.as_watermark().is_none());
+
+        let w = Element::watermark(Ts::hm(8, 5));
+        assert_eq!(w.as_watermark(), Some(Watermark(Ts::hm(8, 5))));
+        assert!(w.as_data().is_none());
+
+        let r = Element::retract(row!(1i64));
+        assert!(r.as_data().unwrap().is_retract());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Element::watermark(Ts::hm(8, 5)).to_string(),
+            "WM[8:05]"
+        );
+        assert_eq!(Element::insert(row!(1i64)).to_string(), "(1) +1");
+    }
+}

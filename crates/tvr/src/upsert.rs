@@ -1,0 +1,256 @@
+//! Upsert encoding of changelogs.
+//!
+//! Appendix B.2.3 of the paper describes Flink's two changelog encodings:
+//! *retraction streams* (every update = DELETE + INSERT) and *upsert
+//! streams* (updates keyed by a unique key, one message per update).
+//! Retraction streams are more general; upsert streams are more compact.
+//! This module provides the lossless conversions between them, which the
+//! changelog-encoding benchmark (B2 in `DESIGN.md`) measures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use onesql_types::{Error, Result, Row};
+
+use crate::change::Change;
+
+/// An upsert-stream operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpsertOp {
+    /// Insert-or-replace the row for the key.
+    Upsert(Row),
+    /// Delete the row for the key.
+    Delete,
+}
+
+/// One message of an upsert stream: a unique key plus an operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpsertChange {
+    /// The unique-key columns' values.
+    pub key: Row,
+    /// The operation on that key.
+    pub op: UpsertOp,
+}
+
+impl fmt::Display for UpsertChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            UpsertOp::Upsert(row) => write!(f, "UPSERT {} -> {}", self.key, row),
+            UpsertOp::Delete => write!(f, "DELETE {}", self.key),
+        }
+    }
+}
+
+/// Convert a retraction stream into an upsert stream, given the indices of
+/// the unique-key columns.
+///
+/// Consecutive `DELETE(old) + INSERT(new)` pairs on the same key collapse
+/// into a single `UPSERT(new)` — the compaction that makes upsert streams
+/// "more efficient" (App. B.2.3). An `INSERT` on a key is always an upsert;
+/// a `DELETE` not followed by a re-insert of the same key stays a delete.
+///
+/// Errors if the input violates the unique-key assumption (two live rows
+/// with the same key).
+pub fn retractions_to_upserts(
+    changes: &[Change],
+    key_cols: &[usize],
+) -> Result<Vec<UpsertChange>> {
+    // Track the live row per key so we can validate uniqueness.
+    let mut live: BTreeMap<Row, Row> = BTreeMap::new();
+    let mut out: Vec<UpsertChange> = Vec::with_capacity(changes.len());
+
+    for change in changes {
+        if change.diff.abs() != 1 {
+            return Err(Error::exec(
+                "upsert encoding requires unit diffs; consolidate with keys first",
+            ));
+        }
+        let key = change.row.project(key_cols)?;
+        if change.is_insert() {
+            if live.contains_key(&key) {
+                return Err(Error::exec(format!(
+                    "unique key violation in upsert encoding: key {key} inserted twice"
+                )));
+            }
+            live.insert(key.clone(), change.row.clone());
+            // If the previous message for this key was a DELETE, collapse
+            // DELETE+INSERT into one UPSERT.
+            if let Some(last) = out.last() {
+                if last.key == key && last.op == UpsertOp::Delete {
+                    out.pop();
+                }
+            }
+            out.push(UpsertChange {
+                key,
+                op: UpsertOp::Upsert(change.row.clone()),
+            });
+        } else {
+            match live.remove(&key) {
+                Some(prev) if prev == change.row => {}
+                Some(prev) => {
+                    return Err(Error::exec(format!(
+                        "retraction of {} does not match live row {prev} for key {key}",
+                        change.row
+                    )))
+                }
+                None => {
+                    return Err(Error::exec(format!(
+                        "retraction for absent key {key} in upsert encoding"
+                    )))
+                }
+            }
+            out.push(UpsertChange {
+                key,
+                op: UpsertOp::Delete,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Convert an upsert stream back into a retraction stream. Requires no key
+/// metadata beyond the messages themselves: the converter tracks the live
+/// row per key and synthesizes the DELETE halves of updates.
+pub fn upserts_to_retractions(upserts: &[UpsertChange]) -> Result<Vec<Change>> {
+    let mut live: BTreeMap<Row, Row> = BTreeMap::new();
+    let mut out = Vec::with_capacity(upserts.len());
+    for u in upserts {
+        match &u.op {
+            UpsertOp::Upsert(row) => {
+                if let Some(prev) = live.insert(u.key.clone(), row.clone()) {
+                    out.push(Change::retract(prev));
+                }
+                out.push(Change::insert(row.clone()));
+            }
+            UpsertOp::Delete => match live.remove(&u.key) {
+                Some(prev) => out.push(Change::retract(prev)),
+                None => {
+                    return Err(Error::exec(format!(
+                        "DELETE for absent key {} in upsert stream",
+                        u.key
+                    )))
+                }
+            },
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Bag;
+    use onesql_types::row;
+
+    /// key = column 0, value = column 1.
+    fn kv(k: i64, v: i64) -> Row {
+        row!(k, v)
+    }
+
+    #[test]
+    fn update_collapses_to_single_upsert() {
+        let changes = vec![
+            Change::insert(kv(1, 10)),
+            // An update encoded as DELETE + INSERT:
+            Change::retract(kv(1, 10)),
+            Change::insert(kv(1, 20)),
+        ];
+        let ups = retractions_to_upserts(&changes, &[0]).unwrap();
+        assert_eq!(ups.len(), 2);
+        assert_eq!(
+            ups[1],
+            UpsertChange {
+                key: row!(1i64),
+                op: UpsertOp::Upsert(kv(1, 20))
+            }
+        );
+    }
+
+    #[test]
+    fn plain_delete_survives() {
+        let changes = vec![Change::insert(kv(1, 10)), Change::retract(kv(1, 10))];
+        let ups = retractions_to_upserts(&changes, &[0]).unwrap();
+        assert_eq!(ups.len(), 2);
+        assert_eq!(ups[1].op, UpsertOp::Delete);
+    }
+
+    #[test]
+    fn round_trip_preserves_final_state() {
+        let changes = vec![
+            Change::insert(kv(1, 10)),
+            Change::insert(kv(2, 20)),
+            Change::retract(kv(1, 10)),
+            Change::insert(kv(1, 11)),
+            Change::retract(kv(2, 20)),
+        ];
+        let ups = retractions_to_upserts(&changes, &[0]).unwrap();
+        let back = upserts_to_retractions(&ups).unwrap();
+        let mut direct = Bag::new();
+        direct.apply(changes);
+        let mut via = Bag::new();
+        via.apply(back);
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn upsert_stream_is_never_longer() {
+        let changes = vec![
+            Change::insert(kv(1, 1)),
+            Change::retract(kv(1, 1)),
+            Change::insert(kv(1, 2)),
+            Change::retract(kv(1, 2)),
+            Change::insert(kv(1, 3)),
+        ];
+        let ups = retractions_to_upserts(&changes, &[0]).unwrap();
+        assert!(ups.len() <= changes.len());
+        assert_eq!(ups.len(), 3); // insert, upsert, upsert
+    }
+
+    #[test]
+    fn unique_key_violation_detected() {
+        let changes = vec![Change::insert(kv(1, 1)), Change::insert(kv(1, 2))];
+        assert!(retractions_to_upserts(&changes, &[0]).is_err());
+    }
+
+    #[test]
+    fn bad_retraction_detected() {
+        let changes = vec![Change::retract(kv(1, 1))];
+        assert!(retractions_to_upserts(&changes, &[0]).is_err());
+        let changes = vec![Change::insert(kv(1, 1)), Change::retract(kv(1, 99))];
+        assert!(retractions_to_upserts(&changes, &[0]).is_err());
+    }
+
+    #[test]
+    fn delete_absent_key_detected() {
+        let ups = vec![UpsertChange {
+            key: row!(1i64),
+            op: UpsertOp::Delete,
+        }];
+        assert!(upserts_to_retractions(&ups).is_err());
+    }
+
+    #[test]
+    fn upsert_replacing_synthesizes_retraction() {
+        let ups = vec![
+            UpsertChange {
+                key: row!(1i64),
+                op: UpsertOp::Upsert(kv(1, 10)),
+            },
+            UpsertChange {
+                key: row!(1i64),
+                op: UpsertOp::Upsert(kv(1, 20)),
+            },
+        ];
+        let back = upserts_to_retractions(&ups).unwrap();
+        assert_eq!(
+            back,
+            vec![
+                Change::insert(kv(1, 10)),
+                Change::retract(kv(1, 10)),
+                Change::insert(kv(1, 20)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Logical data types for columns and expressions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The logical type of a [`crate::Value`] or column.
+///
+/// `Timestamp` is the carrier type for event-time columns (paper Extension
+/// 1); whether a given `Timestamp` column actually *is* an event-time column
+/// (i.e. has an associated watermark) is recorded on [`crate::Field`], not
+/// here, because alignment is a property of a column in a relation, not of
+/// the scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    String,
+    /// Millisecond-precision timestamp ([`crate::Ts`]).
+    Timestamp,
+    /// Millisecond-precision duration ([`crate::Duration`]), the type of
+    /// `INTERVAL` literals.
+    Interval,
+    /// The type of the `NULL` literal before coercion.
+    Null,
+}
+
+impl DataType {
+    /// True if values of this type support `+`, `-`, `*`, `/`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// True if this type has a meaningful total order for `ORDER BY` and
+    /// comparison predicates.
+    pub fn is_orderable(self) -> bool {
+        !matches!(self, DataType::Null)
+    }
+
+    /// True if the type is temporal (timestamp or interval).
+    pub fn is_temporal(self) -> bool {
+        matches!(self, DataType::Timestamp | DataType::Interval)
+    }
+
+    /// The common supertype two types coerce to for comparisons and set
+    /// operations, if any. `Null` coerces to anything; `Int` widens to
+    /// `Float`.
+    pub fn common_super_type(a: DataType, b: DataType) -> Option<DataType> {
+        use DataType::*;
+        if a == b {
+            return Some(a);
+        }
+        match (a, b) {
+            (Null, other) | (other, Null) => Some(other),
+            (Int, Float) | (Float, Int) => Some(Float),
+            _ => None,
+        }
+    }
+
+    /// SQL-facing name of the type, as used in error messages and `CAST`.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Float => "DOUBLE",
+            DataType::String => "VARCHAR",
+            DataType::Timestamp => "TIMESTAMP",
+            DataType::Interval => "INTERVAL",
+            DataType::Null => "NULL",
+        }
+    }
+
+    /// Parse a SQL type name (as accepted by `CAST(x AS <name>)`).
+    pub fn from_sql_name(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "BOOLEAN" | "BOOL" => Some(DataType::Bool),
+            "BIGINT" | "INT" | "INTEGER" | "SMALLINT" => Some(DataType::Int),
+            "DOUBLE" | "FLOAT" | "REAL" | "DOUBLE PRECISION" => Some(DataType::Float),
+            "VARCHAR" | "TEXT" | "STRING" | "CHAR" => Some(DataType::String),
+            "TIMESTAMP" => Some(DataType::Timestamp),
+            "INTERVAL" => Some(DataType::Interval),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercion_lattice() {
+        use DataType::*;
+        assert_eq!(DataType::common_super_type(Int, Int), Some(Int));
+        assert_eq!(DataType::common_super_type(Int, Float), Some(Float));
+        assert_eq!(DataType::common_super_type(Null, Timestamp), Some(Timestamp));
+        assert_eq!(DataType::common_super_type(String, Timestamp), None);
+        assert_eq!(DataType::common_super_type(Bool, Int), None);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Timestamp.is_numeric());
+        assert!(DataType::Timestamp.is_temporal());
+        assert!(DataType::Interval.is_temporal());
+        assert!(!DataType::Null.is_orderable());
+        assert!(DataType::String.is_orderable());
+    }
+
+    #[test]
+    fn sql_name_round_trip() {
+        for dt in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::String,
+            DataType::Timestamp,
+            DataType::Interval,
+        ] {
+            assert_eq!(DataType::from_sql_name(dt.sql_name()), Some(dt));
+        }
+        assert_eq!(DataType::from_sql_name("varchar"), Some(DataType::String));
+        assert_eq!(DataType::from_sql_name("bogus"), None);
+    }
+}

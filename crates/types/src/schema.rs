@@ -1,0 +1,294 @@
+//! Schemas: named, typed columns with event-time metadata.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+
+/// A single column of a relation.
+///
+/// `event_time` realizes the paper's Extension 1: an event-time column is a
+/// distinguished `TIMESTAMP` column with an associated watermark, recorded
+/// "as part of or alongside the schema" (§6.2). Operators in the planner
+/// track whether this flag survives each transformation (the
+/// watermark-alignment lesson of §5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (case-preserved; lookups are case-insensitive).
+    pub name: String,
+    /// Optional relation qualifier, e.g. `Bid` in `Bid.price`.
+    pub qualifier: Option<String>,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether this column is an event-time column with a watermark.
+    pub event_time: bool,
+}
+
+impl Field {
+    /// A plain (non-event-time) column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Field {
+        Field {
+            name: name.into(),
+            qualifier: None,
+            data_type,
+            event_time: false,
+        }
+    }
+
+    /// An event-time `TIMESTAMP` column (paper Extension 1).
+    pub fn event_time(name: impl Into<String>) -> Field {
+        Field {
+            name: name.into(),
+            qualifier: None,
+            data_type: DataType::Timestamp,
+            event_time: true,
+        }
+    }
+
+    /// Attach a relation qualifier.
+    pub fn with_qualifier(mut self, qualifier: impl Into<String>) -> Field {
+        self.qualifier = Some(qualifier.into());
+        self
+    }
+
+    /// Degrade an event-time column to a plain TIMESTAMP column (used when
+    /// an operator cannot preserve watermark alignment; §5 lesson 2).
+    pub fn degraded(mut self) -> Field {
+        self.event_time = false;
+        self
+    }
+
+    /// Fully qualified display name.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// True if this field answers to `qualifier`/`name` (case-insensitive;
+    /// a lookup without a qualifier matches any qualifier).
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+/// An ordered list of fields describing a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle; schemas are immutable once built.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Schema {
+        Schema { fields: vec![] }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at index.
+    pub fn field(&self, idx: usize) -> Result<&Field> {
+        self.fields.get(idx).ok_or_else(|| {
+            Error::plan(format!(
+                "column index {idx} out of range for schema of arity {}",
+                self.fields.len()
+            ))
+        })
+    }
+
+    /// Resolve `qualifier.name` to a column index. Errors on no match or an
+    /// ambiguous (multi-match) reference.
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(Error::plan(format!(
+                        "ambiguous column reference '{}'",
+                        match qualifier {
+                            Some(q) => format!("{q}.{name}"),
+                            None => name.to_string(),
+                        }
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            Error::plan(format!(
+                "column '{}' not found; available: [{}]",
+                match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                },
+                self.fields
+                    .iter()
+                    .map(Field::qualified_name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Indices of all event-time columns.
+    pub fn event_time_columns(&self) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.event_time)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True if any column is an event-time column.
+    pub fn has_event_time(&self) -> bool {
+        self.fields.iter().any(|f| f.event_time)
+    }
+
+    /// Concatenate two schemas (joins, TVF column appends).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.arity() + other.arity());
+        fields.extend_from_slice(&self.fields);
+        fields.extend_from_slice(&other.fields);
+        Schema::new(fields)
+    }
+
+    /// A copy of this schema with every field re-qualified to `qualifier`
+    /// (used when a subquery or table gets an alias).
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| f.clone().with_qualifier(qualifier))
+                .collect(),
+        )
+    }
+
+    /// A copy with all qualifiers stripped (top-level output).
+    pub fn unqualified(&self) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| {
+                    let mut f = f.clone();
+                    f.qualifier = None;
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.qualified_name(), field.data_type)?;
+            if field.event_time {
+                write!(f, " [event-time]")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid_schema() -> Schema {
+        Schema::new(vec![
+            Field::event_time("bidtime").with_qualifier("Bid"),
+            Field::new("price", DataType::Int).with_qualifier("Bid"),
+            Field::new("item", DataType::String).with_qualifier("Bid"),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_qualifier() {
+        let s = bid_schema();
+        assert_eq!(s.index_of(None, "price").unwrap(), 1);
+        assert_eq!(s.index_of(Some("Bid"), "price").unwrap(), 1);
+        assert_eq!(s.index_of(Some("bid"), "PRICE").unwrap(), 1);
+        assert!(s.index_of(Some("Auction"), "price").is_err());
+        assert!(s.index_of(None, "nope").is_err());
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let s = bid_schema().join(&bid_schema().with_qualifier("B2"));
+        assert!(s.index_of(None, "price").is_err());
+        assert_eq!(s.index_of(Some("B2"), "price").unwrap(), 4);
+    }
+
+    #[test]
+    fn event_time_tracking() {
+        let s = bid_schema();
+        assert!(s.has_event_time());
+        assert_eq!(s.event_time_columns(), vec![0]);
+        let degraded = Schema::new(
+            s.fields().iter().map(|f| f.clone().degraded()).collect(),
+        );
+        assert!(!degraded.has_event_time());
+    }
+
+    #[test]
+    fn join_and_qualify() {
+        let s = bid_schema();
+        let j = s.join(&Schema::new(vec![Field::new("maxPrice", DataType::Int)]));
+        assert_eq!(j.arity(), 4);
+        let q = j.with_qualifier("T");
+        assert_eq!(q.index_of(Some("T"), "maxPrice").unwrap(), 3);
+        let u = q.unqualified();
+        assert!(u.fields()[0].qualifier.is_none());
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(vec![
+            Field::event_time("bidtime"),
+            Field::new("price", DataType::Int),
+        ]);
+        assert_eq!(
+            s.to_string(),
+            "(bidtime: TIMESTAMP [event-time], price: BIGINT)"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Auction dashboard: NEXMark Query 7 with periodic materialization.
+//!
+//! A human-facing dashboard doesn't need every intermediate update — the
+//! paper's `EMIT STREAM AFTER DELAY` (Extension 6) coalesces the "torrent
+//! of updates" into one refresh per window per interval. This example runs
+//! the full NEXMark generator through Query 7 and compares the update
+//! volume of continuous vs. delayed emission.
+//!
+//! Run with: `cargo run --example auction_dashboard`
+
+use onesql_core::{Engine, StreamBuilder};
+use onesql_nexmark::{queries, GeneratorConfig, NexmarkEvent, NexmarkGenerator};
+use onesql_time::BoundedOutOfOrderness;
+use onesql_types::{DataType, Duration, Ts};
+
+fn nexmark_engine() -> Engine {
+    let mut engine = Engine::new();
+    engine.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .column("auction", DataType::Int)
+            .column("bidder", DataType::Int)
+            .column("price", DataType::Int)
+            .event_time_column("dateTime"),
+    );
+    engine
+}
+
+fn run(sql: &str, events: &[(Ts, NexmarkEvent)]) -> (usize, Vec<String>) {
+    let engine = nexmark_engine();
+    let mut q = engine.execute(sql).unwrap();
+    q.set_watermark_generator(
+        "Bid",
+        Box::new(BoundedOutOfOrderness::new(Duration::from_seconds(10))),
+    )
+    .unwrap();
+    for (ptime, event) in events {
+        if let NexmarkEvent::Bid(bid) = event {
+            q.insert("Bid", *ptime, bid.to_row()).unwrap();
+        }
+    }
+    q.finish(events.last().map(|(t, _)| *t).unwrap_or(Ts(0)) + Duration::from_minutes(1))
+        .unwrap();
+    let rows = q.stream_rows().unwrap();
+    let preview = rows
+        .iter()
+        .rev()
+        .take(5)
+        .map(|r| {
+            format!(
+                "  {}  ver {}  {}{}",
+                r.ptime,
+                r.ver,
+                if r.undo { "undo " } else { "     " },
+                r.row
+            )
+        })
+        .collect();
+    (rows.len(), preview)
+}
+
+fn main() {
+    let config = GeneratorConfig {
+        seed: 7,
+        inter_event_gap: Duration::from_millis(50),
+        max_skew: Duration::from_seconds(5),
+        ..GeneratorConfig::default()
+    };
+    let events = NexmarkGenerator::new(config).take(20_000);
+    let bids = events
+        .iter()
+        .filter(|(_, e)| matches!(e, NexmarkEvent::Bid(_)))
+        .count();
+    println!("generated {} events ({} bids)\n", events.len(), bids);
+
+    println!("== Query 7: highest bid per 10-minute window ==\n{}\n", queries::Q7);
+
+    let (continuous, preview) = run(queries::Q7, &events);
+    println!("continuous emission: {continuous} changelog rows; last updates:");
+    for line in preview {
+        println!("{line}");
+    }
+
+    for delay_s in [10i64, 60] {
+        let sql = format!(
+            "{} EMIT STREAM AFTER DELAY INTERVAL '{delay_s}' SECONDS",
+            queries::Q7
+        );
+        let (delayed, _) = run(&sql, &events);
+        println!(
+            "\nEMIT AFTER DELAY {delay_s}s: {delayed} changelog rows \
+             ({:.1}x fewer updates)",
+            continuous as f64 / delayed.max(1) as f64
+        );
+    }
+
+    // The dashboard's "final answers only" mode.
+    let sql = format!("{} EMIT STREAM AFTER WATERMARK", queries::Q7);
+    let (finals, preview) = run(&sql, &events);
+    println!("\nEMIT AFTER WATERMARK: {finals} rows (one per window); winners:");
+    for line in preview {
+        println!("{line}");
+    }
+}

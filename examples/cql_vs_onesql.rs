@@ -1,0 +1,85 @@
+//! The paper's core argument, side by side: CQL (Listing 1) vs. the
+//! proposed SQL (Listing 2) on the same out-of-order bid stream.
+//!
+//! CQL's logical clock requires in-order input, so the STREAM system
+//! buffers out-of-order tuples behind heartbeats — and *drops* anything
+//! that arrives behind a heartbeat. The paper's approach makes event time
+//! explicit data and uses watermarks, processing out-of-order input
+//! directly and correctly.
+//!
+//! Run with: `cargo run --example cql_vs_onesql`
+
+use onesql_core::{Engine, StreamBuilder};
+use onesql_cql::CqlQuery7;
+use onesql_nexmark::paper::{paper_timeline, PaperEvent, PAPER_Q7_CQL, PAPER_Q7_SQL};
+use onesql_types::{DataType, Ts};
+
+fn main() {
+    // --- CQL baseline: heartbeats buffer and re-order the stream. -------
+    println!("== CQL (Listing 1) ==\n{PAPER_Q7_CQL}\n");
+    let mut cql = CqlQuery7::new();
+    let mut dropped = Vec::new();
+    for event in paper_timeline() {
+        match event {
+            PaperEvent::Insert { row, .. } => {
+                let bidtime = row.value(0).unwrap().as_ts().unwrap();
+                let price = row.value(1).unwrap().as_int().unwrap();
+                let item = row.value(2).unwrap().as_str().unwrap().to_string();
+                if !cql.bid(bidtime, price, &item) {
+                    dropped.push((bidtime, price, item));
+                }
+            }
+            PaperEvent::Watermark { wm, .. } => cql.heartbeat(wm),
+        }
+    }
+    cql.finish(Ts::hm(8, 20));
+    println!("Rstream output:");
+    for (t, row) in cql.results().unwrap() {
+        println!("  {t}  {row}");
+    }
+    for (bidtime, price, item) in &dropped {
+        println!(
+            "  !! bid ({bidtime}, ${price}, {item}) arrived behind the heartbeat: DROPPED"
+        );
+    }
+    println!(
+        "  (peak in-order buffer: {} tuples — buffering is latency)\n",
+        cql.peak_buffered()
+    );
+
+    // --- The paper's SQL: event time is data; watermarks are metadata. ---
+    println!("== Proposed SQL (Listing 2) ==\n{PAPER_Q7_SQL}\n");
+    let mut engine = Engine::new();
+    engine.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .event_time_column("bidtime")
+            .column("price", DataType::Int)
+            .column("item", DataType::String),
+    );
+    let q = {
+        let mut q = engine
+            .execute(&format!("{PAPER_Q7_SQL} EMIT STREAM AFTER WATERMARK"))
+            .unwrap();
+        for event in paper_timeline() {
+            match event {
+                PaperEvent::Insert { ptime, row } => q.insert("Bid", ptime, row).unwrap(),
+                PaperEvent::Watermark { ptime, wm } => {
+                    q.watermark("Bid", ptime, wm).unwrap()
+                }
+            }
+        }
+        q
+    };
+    println!("EMIT STREAM AFTER WATERMARK output (same shape as Rstream, but");
+    println!("computed directly on the out-of-order input — nothing dropped):");
+    for r in q.stream_rows().unwrap() {
+        println!("  ptime {}  {}", r.ptime, r.row);
+    }
+    println!(
+        "\nNote bid C (bidtime 8:05, $4) arrived at 8:13 — *behind* the 8:05\n\
+         heartbeat. CQL never saw it; the watermark-based engine counted it\n\
+         while window [8:00, 8:10) was still open, and its table view at 8:13\n\
+         (Listing 4) correctly showed C as the interim leader."
+    );
+}

@@ -1,0 +1,4 @@
+#![warn(missing_docs)]
+
+//! Meta-crate re-exporting the onesql public API.
+pub use onesql_core as core;

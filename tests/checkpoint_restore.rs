@@ -1,0 +1,174 @@
+//! Fault tolerance: checkpoint/restore across the whole pipeline.
+//!
+//! Appendix B.2.1: "Flink periodically writes a consistent checkpoint of
+//! the application state... For recovery, the application is restarted and
+//! all operators are initialized with the state of the last completed
+//! checkpoint." These tests run a stream halfway, checkpoint, rebuild the
+//! query from scratch, restore, feed the second half, and require the
+//! recovered run to be indistinguishable from an uninterrupted one.
+
+use onesql_core::{Engine, StreamBuilder};
+use onesql_nexmark::paper::{paper_timeline, PaperEvent, PAPER_Q7_SQL};
+use onesql_types::{row, DataType, Ts};
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .event_time_column("bidtime")
+            .column("price", DataType::Int)
+            .column("item", DataType::String),
+    );
+    e
+}
+
+/// Run `sql` over the paper timeline with a crash/restore after `split`
+/// events; return the final table.
+fn run_with_crash(sql: &str, split: usize) -> Vec<onesql_types::Row> {
+    let e = engine();
+    let timeline = paper_timeline();
+
+    let mut first = e.execute(sql).unwrap();
+    for event in &timeline[..split] {
+        match event {
+            PaperEvent::Insert { ptime, row } => {
+                first.insert("Bid", *ptime, row.clone()).unwrap()
+            }
+            PaperEvent::Watermark { ptime, wm } => {
+                first.watermark("Bid", *ptime, *wm).unwrap()
+            }
+        }
+    }
+    let checkpoint = first.checkpoint().unwrap();
+    let prefix = first.changelog().clone();
+    drop(first); // the "crash"
+
+    let mut second = e.execute(sql).unwrap();
+    second.restore(&checkpoint).unwrap();
+    for event in &timeline[split..] {
+        match event {
+            PaperEvent::Insert { ptime, row } => {
+                second.insert("Bid", *ptime, row.clone()).unwrap()
+            }
+            PaperEvent::Watermark { ptime, wm } => {
+                second.watermark("Bid", *ptime, *wm).unwrap()
+            }
+        }
+    }
+    // Combined result: replay the pre-crash changelog, then the recovered
+    // one.
+    let mut bag = prefix.snapshot();
+    for entry in second.changelog().entries() {
+        bag.update(entry.change.clone());
+    }
+    bag.to_rows()
+}
+
+fn run_uninterrupted(sql: &str) -> Vec<onesql_types::Row> {
+    let e = engine();
+    let mut q = e.execute(sql).unwrap();
+    for event in paper_timeline() {
+        match event {
+            PaperEvent::Insert { ptime, row } => q.insert("Bid", ptime, row).unwrap(),
+            PaperEvent::Watermark { ptime, wm } => q.watermark("Bid", ptime, wm).unwrap(),
+        }
+    }
+    q.table().unwrap()
+}
+
+#[test]
+fn q7_recovers_at_every_split_point() {
+    let expected = run_uninterrupted(PAPER_Q7_SQL);
+    for split in 0..=paper_timeline().len() {
+        let recovered = run_with_crash(PAPER_Q7_SQL, split);
+        assert_eq!(recovered, expected, "divergence with crash after event {split}");
+    }
+}
+
+#[test]
+fn windowed_aggregate_recovers_mid_window() {
+    let sql = "SELECT wend, SUM(price), COUNT(*) FROM Tumble(data => TABLE(Bid), \
+               timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) GROUP BY wend";
+    let expected = run_uninterrupted(sql);
+    for split in [2, 4, 6, 8] {
+        assert_eq!(run_with_crash(sql, split), expected, "split {split}");
+    }
+}
+
+#[test]
+fn emit_after_watermark_gate_state_survives() {
+    let sql = format!("{PAPER_Q7_SQL} EMIT AFTER WATERMARK");
+    let expected = run_uninterrupted(&sql);
+    // Split while results are pending in the gate (after 8:13's events).
+    for split in [3, 5, 7] {
+        assert_eq!(run_with_crash(&sql, split), expected, "split {split}");
+    }
+}
+
+#[test]
+fn distinct_state_survives() {
+    let sql = "SELECT DISTINCT price FROM Bid";
+    let expected = run_uninterrupted(sql);
+    assert_eq!(run_with_crash(sql, 4), expected);
+}
+
+#[test]
+fn watermark_position_survives_restore() {
+    // After restore, late data must still be dropped: the watermark is part
+    // of the checkpoint.
+    let sql = "SELECT wend, COUNT(*) FROM Tumble(data => TABLE(Bid), \
+               timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) GROUP BY wend";
+    let e = engine();
+    let mut q = e.execute(sql).unwrap();
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "A"))
+        .unwrap();
+    q.watermark("Bid", Ts::hm(8, 20), Ts::hm(8, 15)).unwrap();
+    let cp = q.checkpoint().unwrap();
+
+    let mut restored = e.execute(sql).unwrap();
+    restored.restore(&cp).unwrap();
+    // Late event for the closed [8:00, 8:10) window: dropped.
+    restored
+        .insert("Bid", Ts::hm(8, 21), row!(Ts::hm(8, 2), 1i64, "late"))
+        .unwrap();
+    assert!(restored.changelog().is_empty());
+    // Fresh event for an open window: processed.
+    restored
+        .insert("Bid", Ts::hm(8, 22), row!(Ts::hm(8, 16), 1i64, "ok"))
+        .unwrap();
+    assert_eq!(
+        restored.changelog().snapshot().to_rows(),
+        vec![row!(Ts::hm(8, 20), 1i64)]
+    );
+}
+
+#[test]
+fn restore_rejects_mismatched_plan() {
+    let e = engine();
+    let q = e.execute("SELECT DISTINCT price FROM Bid").unwrap();
+    let cp = q.checkpoint().unwrap();
+    let mut other = e
+        .execute("SELECT price, COUNT(*) FROM Bid GROUP BY price")
+        .unwrap();
+    // Different operator count/shape: must error, not corrupt.
+    assert!(other.restore(&cp).is_err());
+}
+
+#[test]
+fn checkpoint_is_deterministic() {
+    let e = engine();
+    let make = || {
+        let mut q = e.execute(PAPER_Q7_SQL).unwrap();
+        for event in paper_timeline().into_iter().take(5) {
+            match event {
+                PaperEvent::Insert { ptime, row } => q.insert("Bid", ptime, row).unwrap(),
+                PaperEvent::Watermark { ptime, wm } => {
+                    q.watermark("Bid", ptime, wm).unwrap()
+                }
+            }
+        }
+        q.checkpoint().unwrap()
+    };
+    assert_eq!(make(), make());
+}

@@ -1,0 +1,137 @@
+//! End-to-end session windows through SQL (the paper's §8 extension:
+//! "transitive closure sessions (periods of contiguous activity)").
+
+use onesql_core::{Engine, StreamBuilder};
+use onesql_types::{row, DataType, Ts};
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.register_stream(
+        "Click",
+        StreamBuilder::new()
+            .column("user_id", DataType::Int)
+            .column("page", DataType::String)
+            .event_time_column("ts"),
+    );
+    e
+}
+
+const SESSION_SQL: &str = "\
+SELECT user_id, wstart, wend, COUNT(*) AS clicks
+FROM Session(data => TABLE(Click), timecol => DESCRIPTOR(ts),
+             gap => INTERVAL '5' MINUTE)
+GROUP BY user_id, wstart, wend";
+
+#[test]
+fn contiguous_activity_forms_one_session() {
+    let e = engine();
+    let mut q = e.execute(SESSION_SQL).unwrap();
+    // User 7 clicks at 8:00, 8:03, 8:06 (each within 5m of the last), then
+    // again at 8:30.
+    for (i, m) in [0i64, 3, 6, 30].iter().enumerate() {
+        q.insert(
+            "Click",
+            Ts::hm(8, 40 + i as i64),
+            row!(7i64, "home", Ts::hm(8, *m)),
+        )
+        .unwrap();
+    }
+    q.finish(Ts::hm(9, 0)).unwrap();
+    assert_eq!(
+        q.table().unwrap(),
+        vec![
+            // Session 1: [8:00, 8:06 + 5m) with 3 clicks.
+            row!(7i64, Ts::hm(8, 0), Ts::hm(8, 11), 3i64),
+            // Session 2: the lone 8:30 click.
+            row!(7i64, Ts::hm(8, 30), Ts::hm(8, 35), 1i64),
+        ]
+    );
+}
+
+#[test]
+fn sessions_are_per_user() {
+    let e = engine();
+    let mut q = e.execute(SESSION_SQL).unwrap();
+    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0))).unwrap();
+    q.insert("Click", Ts(2), row!(2i64, "a", Ts::hm(8, 2))).unwrap();
+    q.finish(Ts(10)).unwrap();
+    let rows = q.table().unwrap();
+    assert_eq!(rows.len(), 2, "different users never merge: {rows:?}");
+}
+
+#[test]
+fn out_of_order_bridging_event_merges_sessions() {
+    let e = engine();
+    let mut q = e.execute(SESSION_SQL).unwrap();
+    // Two distant bursts arrive first, the bridging click arrives late.
+    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0))).unwrap();
+    q.insert("Click", Ts(2), row!(1i64, "b", Ts::hm(8, 8))).unwrap();
+    assert_eq!(q.table().unwrap().len(), 2);
+    q.insert("Click", Ts(3), row!(1i64, "c", Ts::hm(8, 4))).unwrap();
+    q.finish(Ts(10)).unwrap();
+    assert_eq!(
+        q.table().unwrap(),
+        vec![row!(1i64, Ts::hm(8, 0), Ts::hm(8, 13), 3i64)]
+    );
+}
+
+#[test]
+fn emit_after_watermark_finalizes_sessions() {
+    let e = engine();
+    let mut q = e
+        .execute(&format!("{SESSION_SQL} EMIT STREAM AFTER WATERMARK"))
+        .unwrap();
+    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0))).unwrap();
+    q.insert("Click", Ts(2), row!(1i64, "b", Ts::hm(8, 3))).unwrap();
+    assert!(q.stream_rows().unwrap().is_empty(), "gated until final");
+    // Watermark past session end (8:08): the merged session materializes
+    // once, final.
+    q.watermark("Click", Ts(3), Ts::hm(8, 9)).unwrap();
+    let rows = q.stream_rows().unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(
+        rows[0].row,
+        row!(1i64, Ts::hm(8, 0), Ts::hm(8, 8), 2i64)
+    );
+    assert!(!rows[0].undo);
+}
+
+#[test]
+fn session_aggregates_sum_and_max() {
+    let mut e = Engine::new();
+    e.register_stream(
+        "Purchase",
+        StreamBuilder::new()
+            .column("user_id", DataType::Int)
+            .column("amount", DataType::Int)
+            .event_time_column("ts"),
+    );
+    let mut q = e
+        .execute(
+            "SELECT user_id, wstart, wend, SUM(amount), MAX(amount)
+             FROM Session(data => TABLE(Purchase), timecol => DESCRIPTOR(ts),
+                          gap => INTERVAL '10' MINUTE)
+             GROUP BY user_id, wstart, wend",
+        )
+        .unwrap();
+    q.insert("Purchase", Ts(1), row!(1i64, 30i64, Ts::hm(9, 0))).unwrap();
+    q.insert("Purchase", Ts(2), row!(1i64, 50i64, Ts::hm(9, 5))).unwrap();
+    q.insert("Purchase", Ts(3), row!(1i64, 20i64, Ts::hm(9, 9))).unwrap();
+    q.finish(Ts(10)).unwrap();
+    assert_eq!(
+        q.table().unwrap(),
+        vec![row!(1i64, Ts::hm(9, 0), Ts::hm(9, 19), 100i64, 50i64)]
+    );
+}
+
+#[test]
+fn session_without_window_keys_is_rejected() {
+    let e = engine();
+    let err = e
+        .execute(
+            "SELECT user_id, COUNT(*) FROM Session(data => TABLE(Click), \
+             timecol => DESCRIPTOR(ts), gap => INTERVAL '5' MINUTE) GROUP BY user_id",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("wstart"), "{err}");
+}

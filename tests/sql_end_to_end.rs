@@ -1,0 +1,331 @@
+//! End-to-end SQL battery: every language feature exercised through the
+//! full parse → bind → optimize → execute pipeline on small streams.
+
+use onesql_core::{Engine, RunningQuery, StreamBuilder};
+use onesql_types::{row, DataType, Row, Ts, Value};
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .event_time_column("bidtime")
+            .column("price", DataType::Int)
+            .column("item", DataType::String),
+    );
+    e.register_stream(
+        "Auction",
+        StreamBuilder::new()
+            .column("id", DataType::Int)
+            .column("seller", DataType::String)
+            .event_time_column("opened"),
+    );
+    e.register_table(
+        "Category",
+        StreamBuilder::new()
+            .column("id", DataType::Int)
+            .column("name", DataType::String),
+        vec![row!(1i64, "art"), row!(2i64, "cars"), row!(3i64, "books")],
+    )
+    .unwrap();
+    e
+}
+
+/// Feed five bids: A..E at minutes 1..5 with prices 2,4,4,1,5.
+fn feed_bids(q: &mut RunningQuery) {
+    let bids = [
+        (1i64, 2i64, "A"),
+        (2, 4, "B"),
+        (3, 4, "C"),
+        (4, 1, "D"),
+        (5, 5, "E"),
+    ];
+    for (m, price, item) in bids {
+        q.insert("Bid", Ts::hm(8, m), row!(Ts::hm(8, m), price, item))
+            .unwrap();
+    }
+}
+
+fn run_bids(sql: &str) -> Vec<Row> {
+    let e = engine();
+    let mut q = e.execute(sql).unwrap();
+    feed_bids(&mut q);
+    q.finish(Ts::hm(9, 0)).unwrap();
+    q.table().unwrap()
+}
+
+#[test]
+fn projection_arithmetic_aliases() {
+    let rows = run_bids("SELECT item, price * 10 + 1 AS scaled FROM Bid WHERE price >= 4");
+    assert_eq!(
+        rows,
+        vec![row!("B", 41i64), row!("C", 41i64), row!("E", 51i64)]
+    );
+}
+
+#[test]
+fn distinct_eliminates_duplicates() {
+    let rows = run_bids("SELECT DISTINCT price FROM Bid WHERE price = 4");
+    assert_eq!(rows, vec![row!(4i64)]);
+}
+
+#[test]
+fn global_aggregates() {
+    let rows = run_bids("SELECT COUNT(*), SUM(price), MIN(price), MAX(price), AVG(price) FROM Bid");
+    assert_eq!(rows, vec![row!(5i64, 16i64, 1i64, 5i64, 3.2f64)]);
+}
+
+#[test]
+fn global_aggregate_over_empty_stream_is_one_row() {
+    let e = engine();
+    let mut q = e.execute("SELECT COUNT(*), MAX(price) FROM Bid").unwrap();
+    q.finish(Ts::hm(9, 0)).unwrap();
+    assert_eq!(
+        q.table().unwrap(),
+        vec![Row::new(vec![Value::Int(0), Value::Null])]
+    );
+}
+
+#[test]
+fn group_by_with_having() {
+    let rows = run_bids(
+        "SELECT price, COUNT(*) AS n FROM Bid GROUP BY price HAVING COUNT(*) > 1",
+    );
+    assert_eq!(rows, vec![row!(4i64, 2i64)]);
+}
+
+#[test]
+fn count_distinct() {
+    let rows = run_bids("SELECT COUNT(DISTINCT price) FROM Bid");
+    assert_eq!(rows, vec![row!(4i64)]);
+}
+
+#[test]
+fn case_and_cast() {
+    let rows = run_bids(
+        "SELECT item, CASE WHEN price >= 4 THEN 'high' ELSE 'low' END AS tier,
+                CAST(price AS DOUBLE) AS fprice
+         FROM Bid WHERE item IN ('A', 'E')",
+    );
+    assert_eq!(
+        rows,
+        vec![row!("A", "low", 2.0f64), row!("E", "high", 5.0f64)]
+    );
+}
+
+#[test]
+fn between_like_is_null() {
+    let rows = run_bids(
+        "SELECT item FROM Bid WHERE price BETWEEN 2 AND 4 AND item LIKE '_' AND item IS NOT NULL",
+    );
+    assert_eq!(rows, vec![row!("A"), row!("B"), row!("C")]);
+}
+
+#[test]
+fn scalar_functions() {
+    let rows = run_bids(
+        "SELECT UPPER(item), ABS(price - 10), COALESCE(NULL, item) FROM Bid WHERE item = 'A'",
+    );
+    assert_eq!(rows, vec![row!("A", 8i64, "A")]);
+}
+
+#[test]
+fn union_all_keeps_duplicates() {
+    let rows = run_bids(
+        "SELECT price FROM Bid WHERE item = 'B' UNION ALL SELECT price FROM Bid WHERE price = 4",
+    );
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn scalar_subquery_in_where() {
+    let rows = run_bids(
+        "SELECT item, price FROM Bid WHERE price = (SELECT MAX(price) FROM Bid)",
+    );
+    assert_eq!(rows, vec![row!("E", 5i64)]);
+}
+
+#[test]
+fn stream_to_table_join() {
+    let e = engine();
+    let mut q = e
+        .execute(
+            "SELECT B.item, C.name FROM Bid B JOIN Category C ON B.price = C.id \
+             ORDER BY item",
+        )
+        .unwrap();
+    feed_bids(&mut q);
+    // price 2 -> cars, price 1 -> art; 4 and 5 have no category.
+    assert_eq!(
+        q.table().unwrap(),
+        vec![row!("A", "cars"), row!("D", "art")]
+    );
+}
+
+#[test]
+fn left_join_null_extends() {
+    let e = engine();
+    let mut q = e
+        .execute(
+            "SELECT B.item, C.name FROM Bid B LEFT JOIN Category C ON B.price = C.id",
+        )
+        .unwrap();
+    feed_bids(&mut q);
+    let rows = q.table().unwrap();
+    assert_eq!(rows.len(), 5);
+    assert!(rows.contains(&Row::new(vec![Value::str("E"), Value::Null])));
+    assert!(rows.contains(&row!("A", "cars")));
+}
+
+#[test]
+fn stream_stream_join() {
+    let e = engine();
+    let mut q = e
+        .execute(
+            "SELECT B.item, A.seller FROM Bid B JOIN Auction A ON B.price = A.id",
+        )
+        .unwrap();
+    // Auction arrives *after* the matching bid: the join must remember.
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 7i64, "X"))
+        .unwrap();
+    assert!(q.table().unwrap().is_empty());
+    q.insert("Auction", Ts::hm(8, 2), row!(7i64, "alice", Ts::hm(8, 2)))
+        .unwrap();
+    assert_eq!(q.table().unwrap(), vec![row!("X", "alice")]);
+    // Retraction of the bid removes the join result.
+    q.retract("Bid", Ts::hm(8, 3), row!(Ts::hm(8, 1), 7i64, "X"))
+        .unwrap();
+    assert!(q.table().unwrap().is_empty());
+}
+
+#[test]
+fn retractions_update_aggregates() {
+    let e = engine();
+    let mut q = e
+        .execute("SELECT item, SUM(price) AS total FROM Bid GROUP BY item")
+        .unwrap();
+    q.insert("Bid", Ts(1), row!(Ts(1), 10i64, "A")).unwrap();
+    q.insert("Bid", Ts(2), row!(Ts(2), 5i64, "A")).unwrap();
+    assert_eq!(q.table().unwrap(), vec![row!("A", 15i64)]);
+    q.retract("Bid", Ts(3), row!(Ts(1), 10i64, "A")).unwrap();
+    assert_eq!(q.table().unwrap(), vec![row!("A", 5i64)]);
+    q.retract("Bid", Ts(4), row!(Ts(2), 5i64, "A")).unwrap();
+    assert!(q.table().unwrap().is_empty(), "group vanishes at zero rows");
+}
+
+#[test]
+fn hop_windows_count_overlaps() {
+    let rows = run_bids(
+        "SELECT wend, COUNT(*) FROM Hop(data => TABLE(Bid), \
+         timecol => DESCRIPTOR(bidtime), dur => INTERVAL '4' MINUTES, \
+         hopsize => INTERVAL '2' MINUTES) GROUP BY wend",
+    );
+    // Bids at 8:01..8:05. Window ends every 2 min covering 4 min:
+    // wend 8:02 covers (7:58,8:02): bid 8:01 -> 1
+    // wend 8:04 covers [8:00,8:04): bids 1,2,3 -> 3
+    // wend 8:06: bids 2,3,4,5 -> 4; wend 8:08: bids 4,5 -> 2.
+    assert_eq!(
+        rows,
+        vec![
+            row!(Ts::hm(8, 2), 1i64),
+            row!(Ts::hm(8, 4), 3i64),
+            row!(Ts::hm(8, 6), 4i64),
+            row!(Ts::hm(8, 8), 2i64),
+        ]
+    );
+}
+
+#[test]
+fn order_by_limit() {
+    let rows = run_bids("SELECT item, price FROM Bid ORDER BY price DESC, item LIMIT 3");
+    assert_eq!(
+        rows,
+        vec![row!("E", 5i64), row!("B", 4i64), row!("C", 4i64)]
+    );
+}
+
+#[test]
+fn late_data_dropped_from_closed_windows() {
+    let e = engine();
+    let mut q = e
+        .execute(
+            "SELECT wend, COUNT(*) FROM Tumble(data => TABLE(Bid), \
+             timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) GROUP BY wend",
+        )
+        .unwrap();
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "A"))
+        .unwrap();
+    q.watermark("Bid", Ts::hm(8, 20), Ts::hm(8, 15)).unwrap();
+    // This bid's window [8:00, 8:10) is closed: dropped (Extension 2).
+    q.insert("Bid", Ts::hm(8, 21), row!(Ts::hm(8, 2), 1i64, "late"))
+        .unwrap();
+    assert_eq!(q.table().unwrap(), vec![row!(Ts::hm(8, 10), 1i64)]);
+}
+
+#[test]
+fn allowed_lateness_admits_stragglers() {
+    let mut e = Engine::new().with_allowed_lateness(onesql_types::Duration::from_minutes(10));
+    e.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .event_time_column("bidtime")
+            .column("price", DataType::Int)
+            .column("item", DataType::String),
+    );
+    let mut q = e
+        .execute(
+            "SELECT wend, COUNT(*) FROM Tumble(data => TABLE(Bid), \
+             timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) GROUP BY wend",
+        )
+        .unwrap();
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "A"))
+        .unwrap();
+    q.watermark("Bid", Ts::hm(8, 20), Ts::hm(8, 15)).unwrap();
+    // Within the 10-minute lateness: still counted.
+    q.insert("Bid", Ts::hm(8, 21), row!(Ts::hm(8, 2), 1i64, "late"))
+        .unwrap();
+    assert_eq!(q.table().unwrap(), vec![row!(Ts::hm(8, 10), 2i64)]);
+}
+
+#[test]
+fn errors_are_informative() {
+    let e = engine();
+    let err = e.execute("SELECT nope FROM Bid").unwrap_err();
+    assert!(err.to_string().contains("nope"), "{err}");
+    let err = e.execute("SELECT * FROM Missing").unwrap_err();
+    assert!(err.to_string().contains("Missing"), "{err}");
+    let err = e.execute("SELECT item FROM Bid GROUP BY price").unwrap_err();
+    assert!(err.to_string().contains("GROUP BY"), "{err}");
+    let err = e.execute("SELECT price + item FROM Bid").unwrap_err();
+    assert!(err.to_string().to_lowercase().contains("type"), "{err}");
+}
+
+#[test]
+fn explain_shows_streaming_decisions() {
+    let e = engine();
+    let plan = e
+        .explain(
+            "SELECT wend, MAX(price) FROM Tumble(data => TABLE(Bid), \
+             timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) GROUP BY wend",
+        )
+        .unwrap();
+    assert!(plan.contains("mode=windowed"), "{plan}");
+    let plan = e
+        .explain("SELECT item, COUNT(*) FROM Bid GROUP BY item")
+        .unwrap();
+    assert!(plan.contains("mode=retraction"), "{plan}");
+}
+
+#[test]
+fn changelog_is_consistent_with_table_at_every_instant() {
+    let e = engine();
+    let mut q = e
+        .execute("SELECT price, COUNT(*) FROM Bid GROUP BY price")
+        .unwrap();
+    feed_bids(&mut q);
+    let log = q.changelog().clone();
+    for m in 0..10 {
+        let at = Ts::hm(8, m);
+        assert_eq!(log.snapshot_at(at).to_rows(), q.table_at(at).unwrap());
+    }
+}
