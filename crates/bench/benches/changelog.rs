@@ -19,7 +19,9 @@ fn keyed_history(n: usize, keys: i64) -> Vec<Change> {
     let mut out = Vec::with_capacity(2 * n);
     let mut state = 0x9E3779B97F4A7C15u64;
     for i in 0..n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let key = (state >> 33) as i64 % keys;
         let value = i as i64;
         if let Some(old) = live.insert(key, value) {

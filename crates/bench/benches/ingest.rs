@@ -1,0 +1,114 @@
+//! B8 — ingestion throughput through the connector runtime.
+//!
+//! Events/second through `PipelineDriver` for the three source families:
+//! in-memory channel, CSV file, and the NEXMark generator. The query is a
+//! cheap filter so the numbers are dominated by connector + driver
+//! overhead (parse, batch, schedule, watermark bookkeeping), not operator
+//! work. Expected shape: channel fastest (no parsing), NEXMark next
+//! (generation cost), CSV slowest (text parsing per field).
+
+use std::io::Write;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use onesql_connect::{channel, CsvFileSource, FileSourceConfig, NexmarkSource};
+use onesql_core::{Engine, StreamBuilder};
+use onesql_types::{row, DataType, Schema, Ts};
+
+const N: usize = 5_000;
+
+fn bid_engine() -> Engine {
+    let mut engine = Engine::new();
+    engine.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .event_time_column("bidtime")
+            .column("price", DataType::Int)
+            .column("item", DataType::String),
+    );
+    engine
+}
+
+fn bid_schema() -> Schema {
+    StreamBuilder::new()
+        .event_time_column("bidtime")
+        .column("price", DataType::Int)
+        .column("item", DataType::String)
+        .build()
+}
+
+const SQL: &str = "SELECT item, price FROM Bid WHERE price > 10";
+
+fn run_channel() -> u64 {
+    let mut engine = bid_engine();
+    let (publisher, source) = channel("Bid", N + 1);
+    engine.attach_source(Box::new(source)).unwrap();
+    // Pre-fill so the bench measures drain throughput, not producer speed.
+    for i in 0..N as i64 {
+        publisher
+            .insert(Ts(i), row!(Ts(i), i % 100, "item"))
+            .unwrap();
+    }
+    drop(publisher);
+    let mut pipeline = engine.run_pipeline(SQL).unwrap();
+    pipeline.run().unwrap().events_in
+}
+
+fn run_csv(path: &std::path::Path) -> u64 {
+    let mut engine = bid_engine();
+    engine
+        .attach_source(Box::new(
+            CsvFileSource::new(
+                path,
+                "Bid",
+                Arc::new(bid_schema()),
+                FileSourceConfig::default(),
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+    let mut pipeline = engine.run_pipeline(SQL).unwrap();
+    pipeline.run().unwrap().events_in
+}
+
+fn run_nexmark() -> u64 {
+    let mut engine = Engine::new();
+    onesql_connect::register_nexmark_streams(&mut engine);
+    engine
+        .attach_source(Box::new(NexmarkSource::seeded(7, N as u64)))
+        .unwrap();
+    let mut pipeline = engine
+        .run_pipeline("SELECT auction, price FROM Bid WHERE price > 100")
+        .unwrap();
+    pipeline.run().unwrap().events_in
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("onesql_ingest_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("bids.csv");
+    let mut f = std::fs::File::create(&csv).unwrap();
+    for i in 0..N as i64 {
+        writeln!(f, "{},{},item{}", Ts(i).millis(), i % 100, i % 7).unwrap();
+    }
+    f.flush().unwrap();
+    drop(f);
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("channel", |b| {
+        b.iter(|| assert_eq!(run_channel(), N as u64))
+    });
+    group.bench_function("csv_file", |b| {
+        b.iter(|| assert_eq!(run_csv(&csv), N as u64))
+    });
+    group.bench_function("nexmark", |b| {
+        b.iter(|| assert_eq!(run_nexmark(), N as u64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -21,8 +21,14 @@ GROUP BY auction, wend";
 
 const STRATEGIES: [(&str, &str); 4] = [
     ("continuous", ""),
-    ("delay_10s", " EMIT STREAM AFTER DELAY INTERVAL '10' SECONDS"),
-    ("delay_60s", " EMIT STREAM AFTER DELAY INTERVAL '60' SECONDS"),
+    (
+        "delay_10s",
+        " EMIT STREAM AFTER DELAY INTERVAL '10' SECONDS",
+    ),
+    (
+        "delay_60s",
+        " EMIT STREAM AFTER DELAY INTERVAL '60' SECONDS",
+    ),
     ("after_watermark", " EMIT STREAM AFTER WATERMARK"),
 ];
 

@@ -68,16 +68,12 @@ fn bench_ooo(c: &mut Criterion) {
     for secs in [1i64, 60] {
         let skew = Duration::from_seconds(secs);
         let events = nexmark_events(N, 13, skew);
-        group.bench_with_input(
-            BenchmarkId::new("cql_buffered", secs),
-            &events,
-            |b, e| b.iter(|| cql_with_skew(e, skew)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("direct", secs),
-            &events,
-            |b, e| b.iter(|| direct_with_skew(e, skew)),
-        );
+        group.bench_with_input(BenchmarkId::new("cql_buffered", secs), &events, |b, e| {
+            b.iter(|| cql_with_skew(e, skew))
+        });
+        group.bench_with_input(BenchmarkId::new("direct", secs), &events, |b, e| {
+            b.iter(|| direct_with_skew(e, skew))
+        });
     }
     group.finish();
 }

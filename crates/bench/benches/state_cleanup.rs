@@ -49,7 +49,10 @@ fn run(n: usize, with_watermarks: bool) -> (usize, usize) {
 
 fn bench_state_cleanup(c: &mut Criterion) {
     eprintln!("\nB3 state size (keys) with 30s windows:");
-    eprintln!("  {:>8} {:>22} {:>22}", "events", "with watermarks", "without watermarks");
+    eprintln!(
+        "  {:>8} {:>22} {:>22}",
+        "events", "with watermarks", "without watermarks"
+    );
     for n in [2_000usize, 8_000, 32_000] {
         let (wf, wp) = run(n, true);
         let (nf, np) = run(n, false);
@@ -62,7 +65,11 @@ fn bench_state_cleanup(c: &mut Criterion) {
     let mut group = c.benchmark_group("state_cleanup");
     group.sample_size(10);
     for with_wm in [true, false] {
-        let label = if with_wm { "with_watermarks" } else { "without_watermarks" };
+        let label = if with_wm {
+            "with_watermarks"
+        } else {
+            "without_watermarks"
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &with_wm, |b, &w| {
             b.iter(|| run(4_000, w));
         });

@@ -48,7 +48,9 @@ fn render_q7(rows: &[Row]) -> String {
 
 /// Render stream rows (undo/ptime/ver) in the paper's format.
 fn render_stream_rows(rows: &[onesql_core::StreamRow], price_col: Option<usize>) -> String {
-    let headers = ["wstart", "wend", "bidtime", "price", "item", "undo", "ptime", "ver"];
+    let headers = [
+        "wstart", "wend", "bidtime", "price", "item", "undo", "ptime", "ver",
+    ];
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -74,9 +76,7 @@ fn render_stream_rows(rows: &[onesql_core::StreamRow], price_col: Option<usize>)
     format_table(&headers, &cells)
 }
 
-fn stream_tuples(
-    rows: &[onesql_core::StreamRow],
-) -> Vec<(Row, bool, Ts, u64)> {
+fn stream_tuples(rows: &[onesql_core::StreamRow]) -> Vec<(Row, bool, Ts, u64)> {
     rows.iter()
         .map(|r| (r.row.clone(), r.undo, r.ptime, r.ver))
         .collect()
@@ -169,9 +169,18 @@ fn listing_5() -> (String, bool) {
         .collect();
     let pass = rows.len() == 6
         && rows.contains(&row!(Ts::hm(8, 7), 2i64, "A", Ts::hm(8, 0), Ts::hm(8, 10)))
-        && rows.contains(&row!(Ts::hm(8, 17), 6i64, "F", Ts::hm(8, 10), Ts::hm(8, 20)));
+        && rows.contains(&row!(
+            Ts::hm(8, 17),
+            6i64,
+            "F",
+            Ts::hm(8, 10),
+            Ts::hm(8, 20)
+        ));
     (
-        format!("8:21 > SELECT * FROM Tumble(...);\n{}", format_table(&headers, &cells)),
+        format!(
+            "8:21 > SELECT * FROM Tumble(...);\n{}",
+            format_table(&headers, &cells)
+        ),
         pass,
     )
 }
@@ -271,14 +280,54 @@ fn listing_9() -> (String, bool) {
     let q = run_over_paper_timeline(&format!("{PAPER_Q7_SQL} EMIT STREAM"));
     let rows = q.stream_rows().unwrap();
     let expected = vec![
-        (q7_row((8, 0), (8, 10), (8, 7), 2, "A"), false, Ts::hm(8, 8), 0),
-        (q7_row((8, 10), (8, 20), (8, 11), 3, "B"), false, Ts::hm(8, 12), 0),
-        (q7_row((8, 0), (8, 10), (8, 7), 2, "A"), true, Ts::hm(8, 13), 1),
-        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), false, Ts::hm(8, 13), 2),
-        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), true, Ts::hm(8, 15), 3),
-        (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 15), 4),
-        (q7_row((8, 10), (8, 20), (8, 11), 3, "B"), true, Ts::hm(8, 18), 1),
-        (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 18), 2),
+        (
+            q7_row((8, 0), (8, 10), (8, 7), 2, "A"),
+            false,
+            Ts::hm(8, 8),
+            0,
+        ),
+        (
+            q7_row((8, 10), (8, 20), (8, 11), 3, "B"),
+            false,
+            Ts::hm(8, 12),
+            0,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 7), 2, "A"),
+            true,
+            Ts::hm(8, 13),
+            1,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+            false,
+            Ts::hm(8, 13),
+            2,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+            true,
+            Ts::hm(8, 15),
+            3,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 9), 5, "D"),
+            false,
+            Ts::hm(8, 15),
+            4,
+        ),
+        (
+            q7_row((8, 10), (8, 20), (8, 11), 3, "B"),
+            true,
+            Ts::hm(8, 18),
+            1,
+        ),
+        (
+            q7_row((8, 10), (8, 20), (8, 17), 6, "F"),
+            false,
+            Ts::hm(8, 18),
+            2,
+        ),
     ];
     (
         format!(
@@ -318,8 +367,18 @@ fn listing_13() -> (String, bool) {
     let q = run_over_paper_timeline(&format!("{PAPER_Q7_SQL} EMIT STREAM AFTER WATERMARK"));
     let rows = q.stream_rows().unwrap();
     let expected = vec![
-        (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 16), 0),
-        (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 21), 0),
+        (
+            q7_row((8, 0), (8, 10), (8, 9), 5, "D"),
+            false,
+            Ts::hm(8, 16),
+            0,
+        ),
+        (
+            q7_row((8, 10), (8, 20), (8, 17), 6, "F"),
+            false,
+            Ts::hm(8, 21),
+            0,
+        ),
     ];
     (
         format!(
@@ -341,10 +400,30 @@ fn listing_14() -> (String, bool) {
     q.advance_to(Ts::hm(8, 22)).unwrap();
     let rows = q.stream_rows().unwrap();
     let expected = vec![
-        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), false, Ts::hm(8, 14), 0),
-        (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 18), 0),
-        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), true, Ts::hm(8, 21), 1),
-        (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 21), 2),
+        (
+            q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+            false,
+            Ts::hm(8, 14),
+            0,
+        ),
+        (
+            q7_row((8, 10), (8, 20), (8, 17), 6, "F"),
+            false,
+            Ts::hm(8, 18),
+            0,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+            true,
+            Ts::hm(8, 21),
+            1,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 9), 5, "D"),
+            false,
+            Ts::hm(8, 21),
+            2,
+        ),
     ];
     (
         format!(
@@ -356,22 +435,69 @@ fn listing_14() -> (String, bool) {
 }
 
 fn main() {
-    let filter: Option<u32> = std::env::args()
-        .nth(1)
-        .map(|a| a.trim_start_matches("--listing").trim().parse().expect("listing number"));
+    let filter: Option<u32> = std::env::args().nth(1).map(|a| {
+        a.trim_start_matches("--listing")
+            .trim()
+            .parse()
+            .expect("listing number")
+    });
 
     let experiments = [
-        Experiment { listing: 1, title: "NEXMark Q7 in CQL (baseline)", run: listing_1 },
-        Experiment { listing: 3, title: "Q7 table view over the full dataset", run: listing_3 },
-        Experiment { listing: 4, title: "Q7 table view over the partial dataset (8:13)", run: listing_4 },
-        Experiment { listing: 5, title: "Applying the Tumble TVF", run: listing_5 },
-        Experiment { listing: 6, title: "Tumble combined with GROUP BY", run: listing_6 },
-        Experiment { listing: 7, title: "Applying the Hop TVF", run: listing_7 },
-        Experiment { listing: 8, title: "Hop combined with GROUP BY", run: listing_8 },
-        Experiment { listing: 9, title: "Stream changelog materialization (EMIT STREAM)", run: listing_9 },
-        Experiment { listing: 10, title: "Watermark materialization: incomplete/partial/complete (Listings 10-12)", run: listing_10_11_12 },
-        Experiment { listing: 13, title: "Watermark materialization of a stream", run: listing_13 },
-        Experiment { listing: 14, title: "Periodic delayed stream materialization", run: listing_14 },
+        Experiment {
+            listing: 1,
+            title: "NEXMark Q7 in CQL (baseline)",
+            run: listing_1,
+        },
+        Experiment {
+            listing: 3,
+            title: "Q7 table view over the full dataset",
+            run: listing_3,
+        },
+        Experiment {
+            listing: 4,
+            title: "Q7 table view over the partial dataset (8:13)",
+            run: listing_4,
+        },
+        Experiment {
+            listing: 5,
+            title: "Applying the Tumble TVF",
+            run: listing_5,
+        },
+        Experiment {
+            listing: 6,
+            title: "Tumble combined with GROUP BY",
+            run: listing_6,
+        },
+        Experiment {
+            listing: 7,
+            title: "Applying the Hop TVF",
+            run: listing_7,
+        },
+        Experiment {
+            listing: 8,
+            title: "Hop combined with GROUP BY",
+            run: listing_8,
+        },
+        Experiment {
+            listing: 9,
+            title: "Stream changelog materialization (EMIT STREAM)",
+            run: listing_9,
+        },
+        Experiment {
+            listing: 10,
+            title: "Watermark materialization: incomplete/partial/complete (Listings 10-12)",
+            run: listing_10_11_12,
+        },
+        Experiment {
+            listing: 13,
+            title: "Watermark materialization of a stream",
+            run: listing_13,
+        },
+        Experiment {
+            listing: 14,
+            title: "Periodic delayed stream materialization",
+            run: listing_14,
+        },
     ];
 
     let mut failures = 0;

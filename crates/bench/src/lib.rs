@@ -104,10 +104,7 @@ pub fn nexmark_events(n: usize, seed: u64, skew: Duration) -> Vec<(Ts, NexmarkEv
 pub fn run_nexmark(q: &mut RunningQuery, events: &[(Ts, NexmarkEvent)], skew: Duration) {
     for stream in ["Bid", "Auction", "Person"] {
         // Streams the query doesn't read are ignored by the executor.
-        let _ = q.set_watermark_generator(
-            stream,
-            Box::new(BoundedOutOfOrderness::new(skew)),
-        );
+        let _ = q.set_watermark_generator(stream, Box::new(BoundedOutOfOrderness::new(skew)));
     }
     for (ptime, event) in events {
         let (stream, row) = match event {

@@ -1,0 +1,134 @@
+//! A sink rendering the output changelog in the paper's listing style.
+//!
+//! Consumes `onesql_exec::emit`'s [`StreamRow`] encoding (Extension 4) and
+//! renders one line per revision with the `undo` / `ptime` / `ver`
+//! metadata, e.g.:
+//!
+//! ```text
+//! 8:08  +  8:10, 3                      ver=0
+//! 8:14  undo  8:10, 3                   ver=1
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use onesql_core::connect::Sink;
+use onesql_exec::StreamRow;
+use onesql_time::Watermark;
+use onesql_types::{Error, Result, SchemaRef};
+
+enum Target {
+    Writer(Box<dyn Write + Send>),
+    Shared(Arc<Mutex<String>>),
+}
+
+/// Renders insert/retract output as human-readable changelog lines.
+pub struct ChangelogSink {
+    name: String,
+    target: Target,
+    /// Also render watermark advancements as `-- watermark: …` lines.
+    show_watermarks: bool,
+    columns: Vec<String>,
+}
+
+impl ChangelogSink {
+    /// Render to any writer.
+    pub fn to_writer(writer: impl Write + Send + 'static) -> ChangelogSink {
+        ChangelogSink {
+            name: "changelog".to_string(),
+            target: Target::Writer(Box::new(writer)),
+            show_watermarks: false,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Render to a file at `path`.
+    pub fn to_file(path: impl AsRef<Path>) -> Result<ChangelogSink> {
+        let path = path.as_ref();
+        let file = File::create(path)
+            .map_err(|e| Error::exec(format!("cannot create '{}': {e}", path.display())))?;
+        let mut sink = ChangelogSink::to_writer(BufWriter::new(file));
+        sink.name = format!("changelog:{}", path.display());
+        Ok(sink)
+    }
+
+    /// Render to stderr (handy in examples).
+    pub fn to_stderr() -> ChangelogSink {
+        ChangelogSink::to_writer(std::io::stderr())
+    }
+
+    /// Render into a shared string buffer; returns `(buffer, sink)`.
+    pub fn in_memory() -> (Arc<Mutex<String>>, ChangelogSink) {
+        let buffer = Arc::new(Mutex::new(String::new()));
+        (
+            buffer.clone(),
+            ChangelogSink {
+                name: "changelog:memory".to_string(),
+                target: Target::Shared(buffer),
+                show_watermarks: false,
+                columns: Vec::new(),
+            },
+        )
+    }
+
+    /// Also render watermark advancements.
+    pub fn with_watermarks(mut self) -> ChangelogSink {
+        self.show_watermarks = true;
+        self
+    }
+
+    fn emit(&mut self, line: String) -> Result<()> {
+        match &mut self.target {
+            Target::Writer(w) => writeln!(w, "{line}")
+                .map_err(|e| Error::exec(format!("{}: write error: {e}", self.name))),
+            Target::Shared(buf) => {
+                let mut buf = buf.lock().expect("changelog buffer poisoned");
+                buf.push_str(&line);
+                buf.push('\n');
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Sink for ChangelogSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bind(&mut self, schema: SchemaRef) -> Result<()> {
+        self.columns = schema.names().iter().map(|n| n.to_string()).collect();
+        self.emit(format!("-- changelog of ({})", self.columns.join(", ")))
+    }
+
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
+        for sr in rows {
+            let cells: Vec<String> = sr.row.values().iter().map(|v| v.to_string()).collect();
+            let tag = if sr.undo { "undo" } else { "+" };
+            self.emit(format!(
+                "{ptime:>8}  {tag:<4}  {data:<40} ver={ver}",
+                ptime = sr.ptime.to_clock_string(),
+                data = cells.join(", "),
+                ver = sr.ver,
+            ))?;
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Watermark) -> Result<()> {
+        if self.show_watermarks {
+            self.emit(format!("-- watermark: {wm}"))?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if let Target::Writer(w) = &mut self.target {
+            w.flush()
+                .map_err(|e| Error::exec(format!("{}: flush error: {e}", self.name)))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,521 @@
+//! File connectors: CSV and JSON-lines sources and sinks.
+//!
+//! Sources are **schema-driven**: the caller supplies the stream's schema
+//! and each line parses into a typed [`Row`] (see [`crate::text`] /
+//! [`crate::json`]). Event rows replay with their event-time column as the
+//! processing time, and every batch carries a bounded-out-of-orderness
+//! watermark (`max event time seen − lateness`), so downstream
+//! `EMIT AFTER WATERMARK` queries make progress while the file streams in.
+//!
+//! Sinks render the query's output either as a faithful changelog (data
+//! columns plus `undo` / `ptime` / `ver`) or, for final-only streams, as
+//! plain appended records that a source with the same schema reads back.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Lines, Write};
+use std::path::Path;
+
+use onesql_core::connect::{Sink, Source, SourceBatch, SourceEvent, SourceStatus};
+use onesql_exec::StreamRow;
+use onesql_tvr::Change;
+use onesql_types::{Duration, Error, Result, Row, Schema, SchemaRef, Ts, Value};
+
+use crate::json;
+use crate::text;
+
+/// Tuning for file sources.
+#[derive(Debug, Clone)]
+pub struct FileSourceConfig {
+    /// Watermark bound: the per-batch watermark is the max event time seen
+    /// minus this. Zero asserts in-order files.
+    pub lateness: Duration,
+    /// CSV only: skip the first line (a header).
+    pub has_header: bool,
+}
+
+impl Default for FileSourceConfig {
+    fn default() -> FileSourceConfig {
+        FileSourceConfig {
+            lateness: Duration::ZERO,
+            has_header: false,
+        }
+    }
+}
+
+/// Line format of a text file source.
+enum LineFormat {
+    Csv,
+    JsonLines,
+}
+
+/// Shared machinery of the two text-file sources.
+struct TextFileSource {
+    name: String,
+    streams: Vec<String>,
+    schema: SchemaRef,
+    lines: Lines<BufReader<File>>,
+    format: LineFormat,
+    config: FileSourceConfig,
+    /// First event-time column, if the schema has one.
+    et_col: Option<usize>,
+    /// Synthetic processing-time counter for schemas without event time.
+    seq: i64,
+    /// Max event time seen (drives the watermark).
+    max_ts: Option<Ts>,
+    /// Lines consumed so far (for error messages).
+    line_no: u64,
+    done: bool,
+}
+
+impl TextFileSource {
+    fn open(
+        path: impl AsRef<Path>,
+        stream: impl Into<String>,
+        schema: SchemaRef,
+        format: LineFormat,
+        config: FileSourceConfig,
+    ) -> Result<TextFileSource> {
+        let path = path.as_ref();
+        let file = File::open(path)
+            .map_err(|e| Error::exec(format!("cannot open '{}': {e}", path.display())))?;
+        let et_col = schema.event_time_columns().first().copied();
+        let mut source = TextFileSource {
+            name: format!("file:{}", path.display()),
+            streams: vec![stream.into()],
+            schema,
+            lines: BufReader::new(file).lines(),
+            format,
+            config,
+            et_col,
+            seq: 0,
+            max_ts: None,
+            line_no: 0,
+            done: false,
+        };
+        // `has_header` is CSV-only (JSON-lines has no header concept; a
+        // config struct reused from a CSV source must not eat a record).
+        if source.config.has_header && matches!(source.format, LineFormat::Csv) {
+            source.line_no += 1;
+            let _ = source.lines.next();
+        }
+        Ok(source)
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Row> {
+        match self.format {
+            LineFormat::Csv => text::parse_record(&text::split_csv_line(line), &self.schema),
+            LineFormat::JsonLines => json::json_to_row(line, &self.schema),
+        }
+        .map_err(|e| Error::exec(format!("{}: line {}: {e}", self.name, self.line_no)))
+    }
+
+    fn poll(&mut self, max_events: usize) -> Result<SourceBatch> {
+        if self.done {
+            return Ok(SourceBatch::empty(SourceStatus::Finished));
+        }
+        let mut batch = SourceBatch::empty(SourceStatus::Ready);
+        while batch.events.len() < max_events {
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                batch.status = SourceStatus::Finished;
+                break;
+            };
+            let mut line =
+                line.map_err(|e| Error::exec(format!("{}: read error: {e}", self.name)))?;
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A quoted CSV field may legally contain newlines; keep
+            // consuming physical lines until the quotes balance.
+            if matches!(self.format, LineFormat::Csv) {
+                while !text::csv_quotes_balanced(&line) {
+                    let next = self.lines.next().ok_or_else(|| {
+                        Error::exec(format!(
+                            "{}: line {}: unterminated quoted field at end of file",
+                            self.name, self.line_no
+                        ))
+                    })?;
+                    let next =
+                        next.map_err(|e| Error::exec(format!("{}: read error: {e}", self.name)))?;
+                    self.line_no += 1;
+                    line.push('\n');
+                    line.push_str(&next);
+                }
+            }
+            let row = self.parse_line(&line)?;
+            // Replay semantics: event time doubles as arrival time (the
+            // driver keeps the global clock monotone for late rows).
+            let ptime = match self.et_col {
+                Some(col) => match row.value(col)? {
+                    Value::Ts(t) => *t,
+                    other => {
+                        return Err(Error::exec(format!(
+                            "{}: line {}: event-time column holds {other:?}",
+                            self.name, self.line_no
+                        )))
+                    }
+                },
+                None => {
+                    self.seq += 1;
+                    Ts(self.seq - 1)
+                }
+            };
+            self.max_ts = Some(self.max_ts.map_or(ptime, |m| m.max(ptime)));
+            batch.events.push(SourceEvent {
+                stream: 0,
+                ptime,
+                change: Change::insert(row),
+            });
+        }
+        if let Some(max) = self.max_ts {
+            // Trail the max by 1ms beyond the lateness bound: a watermark
+            // asserts future events are *strictly* later, and files may
+            // hold several rows at one timestamp (cf. AscendingWatermarks).
+            batch.watermark = Some(max - self.config.lateness - Duration(1));
+        }
+        Ok(batch)
+    }
+}
+
+/// Reads a CSV file as a stream of inserts.
+pub struct CsvFileSource(TextFileSource);
+
+impl CsvFileSource {
+    /// Open `path`, parsing each line against `schema` and feeding engine
+    /// stream `stream`.
+    pub fn new(
+        path: impl AsRef<Path>,
+        stream: impl Into<String>,
+        schema: SchemaRef,
+        config: FileSourceConfig,
+    ) -> Result<CsvFileSource> {
+        Ok(CsvFileSource(TextFileSource::open(
+            path,
+            stream,
+            schema,
+            LineFormat::Csv,
+            config,
+        )?))
+    }
+}
+
+impl Source for CsvFileSource {
+    fn name(&self) -> &str {
+        &self.0.name
+    }
+    fn streams(&self) -> &[String] {
+        &self.0.streams
+    }
+    fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+        self.0.poll(max_events)
+    }
+}
+
+/// Reads a JSON-lines file as a stream of inserts.
+pub struct JsonLinesSource(TextFileSource);
+
+impl JsonLinesSource {
+    /// Open `path`, parsing each line as a JSON object against `schema`.
+    pub fn new(
+        path: impl AsRef<Path>,
+        stream: impl Into<String>,
+        schema: SchemaRef,
+        config: FileSourceConfig,
+    ) -> Result<JsonLinesSource> {
+        Ok(JsonLinesSource(TextFileSource::open(
+            path,
+            stream,
+            schema,
+            LineFormat::JsonLines,
+            config,
+        )?))
+    }
+}
+
+impl Source for JsonLinesSource {
+    fn name(&self) -> &str {
+        &self.0.name
+    }
+    fn streams(&self) -> &[String] {
+        &self.0.streams
+    }
+    fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+        self.0.poll(max_events)
+    }
+}
+
+/// What a file sink writes per output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsvSinkMode {
+    /// Data columns plus `undo` / `ptime` / `ver` metadata: a faithful
+    /// changelog any consumer can replay.
+    Changelog,
+    /// Data columns only. Valid for append-only outputs (e.g.
+    /// `EMIT AFTER WATERMARK` aggregates); a retraction is an error.
+    Appends,
+}
+
+/// Names of the metadata columns a changelog-mode sink appends.
+const META_NAMES: [&str; 3] = onesql_exec::STREAM_META_COLUMNS;
+
+struct TextFileSink {
+    name: String,
+    writer: BufWriter<File>,
+    mode: CsvSinkMode,
+    format: LineFormat,
+    /// JSON field-name schema, extended with the metadata columns in
+    /// changelog mode; built once at bind time.
+    json_schema: Option<Schema>,
+    header: bool,
+}
+
+impl TextFileSink {
+    fn create(
+        path: impl AsRef<Path>,
+        mode: CsvSinkMode,
+        format: LineFormat,
+        header: bool,
+    ) -> Result<TextFileSink> {
+        let path = path.as_ref();
+        let file = File::create(path)
+            .map_err(|e| Error::exec(format!("cannot create '{}': {e}", path.display())))?;
+        Ok(TextFileSink {
+            name: format!("file:{}", path.display()),
+            writer: BufWriter::new(file),
+            mode,
+            format,
+            json_schema: None,
+            header,
+        })
+    }
+
+    fn bind(&mut self, schema: SchemaRef) -> Result<()> {
+        if self.header {
+            if let LineFormat::Csv = self.format {
+                let mut names: Vec<String> = schema
+                    .names()
+                    .into_iter()
+                    .map(text::escape_csv_field)
+                    .collect();
+                if self.mode == CsvSinkMode::Changelog {
+                    names.extend(META_NAMES.iter().map(|n| n.to_string()));
+                }
+                writeln!(self.writer, "{}", names.join(","))
+                    .map_err(|e| Error::exec(format!("{}: write error: {e}", self.name)))?;
+            }
+        }
+        let mut fields = schema.fields().to_vec();
+        if self.mode == CsvSinkMode::Changelog {
+            fields.push(onesql_types::Field::new(
+                META_NAMES[0],
+                onesql_types::DataType::Bool,
+            ));
+            fields.push(onesql_types::Field::new(
+                META_NAMES[1],
+                onesql_types::DataType::Timestamp,
+            ));
+            fields.push(onesql_types::Field::new(
+                META_NAMES[2],
+                onesql_types::DataType::Int,
+            ));
+        }
+        self.json_schema = Some(Schema::new(fields));
+        Ok(())
+    }
+
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
+        for sr in rows {
+            if self.mode == CsvSinkMode::Appends && sr.undo {
+                return Err(Error::exec(format!(
+                    "{}: retraction reached an appends-mode sink; use \
+                     CsvSinkMode::Changelog or a watermark-gated query",
+                    self.name
+                )));
+            }
+            let line = match (&self.format, &self.mode) {
+                (LineFormat::Csv, CsvSinkMode::Appends) => text::row_to_csv(&sr.row),
+                (LineFormat::Csv, CsvSinkMode::Changelog) => {
+                    let mut fields: Vec<String> = sr
+                        .row
+                        .values()
+                        .iter()
+                        .map(|v| text::escape_csv_field(&text::format_value(v)))
+                        .collect();
+                    // `true`/`false` (not the paper's "undo" rendering, which
+                    // ChangelogSink provides) so the column parses back as the
+                    // Bool the meta schema declares.
+                    fields.push(sr.undo.to_string());
+                    fields.push(sr.ptime.to_clock_string());
+                    fields.push(sr.ver.to_string());
+                    fields.join(",")
+                }
+                (LineFormat::JsonLines, mode) => {
+                    let schema = self.json_schema.as_ref().ok_or_else(|| {
+                        Error::exec(format!("{}: sink was never bound", self.name))
+                    })?;
+                    let row = if *mode == CsvSinkMode::Changelog {
+                        sr.row.with_appended(&[
+                            Value::Bool(sr.undo),
+                            Value::Ts(sr.ptime),
+                            Value::Int(sr.ver as i64),
+                        ])
+                    } else {
+                        sr.row.clone()
+                    };
+                    json::row_to_json(&row, schema)
+                }
+            };
+            writeln!(self.writer, "{line}")
+                .map_err(|e| Error::exec(format!("{}: write error: {e}", self.name)))?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.writer
+            .flush()
+            .map_err(|e| Error::exec(format!("{}: flush error: {e}", self.name)))
+    }
+}
+
+/// Writes output rows to a CSV file.
+pub struct CsvFileSink(TextFileSink);
+
+impl CsvFileSink {
+    /// Create (truncate) `path`; a header line is written at bind time.
+    pub fn new(path: impl AsRef<Path>, mode: CsvSinkMode) -> Result<CsvFileSink> {
+        Ok(CsvFileSink(TextFileSink::create(
+            path,
+            mode,
+            LineFormat::Csv,
+            true,
+        )?))
+    }
+
+    /// Create without a header line (so a `CsvFileSource` with
+    /// `has_header: false` reads the output back directly).
+    pub fn headerless(path: impl AsRef<Path>, mode: CsvSinkMode) -> Result<CsvFileSink> {
+        Ok(CsvFileSink(TextFileSink::create(
+            path,
+            mode,
+            LineFormat::Csv,
+            false,
+        )?))
+    }
+}
+
+impl Sink for CsvFileSink {
+    fn name(&self) -> &str {
+        &self.0.name
+    }
+    fn bind(&mut self, schema: SchemaRef) -> Result<()> {
+        self.0.bind(schema)
+    }
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
+        self.0.write(rows)
+    }
+    fn flush(&mut self) -> Result<()> {
+        self.0.flush()
+    }
+}
+
+/// Writes output rows as JSON-lines.
+pub struct JsonLinesSink(TextFileSink);
+
+impl JsonLinesSink {
+    /// Create (truncate) `path`.
+    pub fn new(path: impl AsRef<Path>, mode: CsvSinkMode) -> Result<JsonLinesSink> {
+        Ok(JsonLinesSink(TextFileSink::create(
+            path,
+            mode,
+            LineFormat::JsonLines,
+            false,
+        )?))
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn name(&self) -> &str {
+        &self.0.name
+    }
+    fn bind(&mut self, schema: SchemaRef) -> Result<()> {
+        self.0.bind(schema)
+    }
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
+        self.0.write(rows)
+    }
+    fn flush(&mut self) -> Result<()> {
+        self.0.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_core::StreamBuilder;
+    use onesql_types::{row, DataType};
+    use std::sync::Arc;
+
+    fn schema() -> SchemaRef {
+        Arc::new(
+            StreamBuilder::new()
+                .event_time_column("bidtime")
+                .column("price", DataType::Int)
+                .column("item", DataType::String)
+                .build(),
+        )
+    }
+
+    fn scratch_file(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("onesql_file_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn quoted_field_spanning_lines_parses_as_one_record() {
+        let path = scratch_file("multiline.csv", "8:07,2,\"a\nb\"\n8:08,3,c\n");
+        let mut source =
+            CsvFileSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+        let batch = source.poll_batch(16).unwrap();
+        assert_eq!(batch.events.len(), 2);
+        assert_eq!(batch.events[0].change.row, row!(Ts::hm(8, 7), 2i64, "a\nb"));
+        assert_eq!(batch.events[1].change.row, row!(Ts::hm(8, 8), 3i64, "c"));
+    }
+
+    #[test]
+    fn unterminated_quote_at_eof_errors_with_line() {
+        let path = scratch_file("unterminated.csv", "8:07,2,\"open\n");
+        let mut source =
+            CsvFileSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+        let err = source.poll_batch(16).unwrap_err().to_string();
+        assert!(err.contains("unterminated"), "{err}");
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn watermark_admits_duplicate_timestamps() {
+        // Two rows share the max event time; the watermark must stay
+        // strictly below it so the second row is not late.
+        let path = scratch_file("dups.csv", "8:07,1,a\n8:07,2,b\n");
+        let mut source =
+            CsvFileSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+        let batch = source.poll_batch(16).unwrap();
+        let wm = batch.watermark.unwrap();
+        assert!(wm < Ts::hm(8, 7), "watermark {wm} would close ts 8:07");
+        assert_eq!(wm, Ts::hm(8, 7) - Duration(1));
+    }
+
+    #[test]
+    fn malformed_field_errors_name_file_and_line() {
+        let path = scratch_file("bad.csv", "8:07,2,a\n8:08,notanumber,b\n");
+        let mut source =
+            CsvFileSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+        let err = source.poll_batch(16).unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("notanumber"), "{err}");
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! `onesql-connect`: pluggable sources, sinks, and connectors for the
+//! onesql engine.
+//!
+//! The connector **runtime** — the [`Source`] / [`Sink`] traits and the
+//! [`PipelineDriver`] — lives in `onesql_core::connect` (so the engine can
+//! expose `attach_source` / `run_pipeline` directly) and is re-exported
+//! here. This crate adds the concrete connectors:
+//!
+//! | Connector | Kind | Purpose |
+//! |---|---|---|
+//! | [`CsvFileSource`] / [`CsvFileSink`] | file | schema-driven CSV ingestion and materialization |
+//! | [`JsonLinesSource`] / [`JsonLinesSink`] | file | JSON-lines with typed fields |
+//! | [`channel`] / [`channel_sink`] | memory | crossbeam-backed feeds for tests and multi-producer fan-in |
+//! | [`NexmarkSource`] | generator | the NEXMark Person/Auction/Bid workload as a source |
+//! | [`ChangelogSink`] | render | paper-style insert/retract stream rendering |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use onesql_connect::{channel, ChangelogSink};
+//! use onesql_core::{Engine, StreamBuilder};
+//! use onesql_types::{row, DataType, Ts};
+//!
+//! let mut engine = Engine::new();
+//! engine.register_stream(
+//!     "Bid",
+//!     StreamBuilder::new()
+//!         .event_time_column("bidtime")
+//!         .column("price", DataType::Int),
+//! );
+//!
+//! // A channel source: feed rows from the test (or another thread).
+//! let (publisher, source) = channel("Bid", 64);
+//! let (rendered, sink) = ChangelogSink::in_memory();
+//! engine.attach_source(Box::new(source)).unwrap();
+//! engine.attach_sink(Box::new(sink));
+//!
+//! let mut pipeline = engine
+//!     .run_pipeline("SELECT price FROM Bid WHERE price > 2")
+//!     .unwrap();
+//! publisher.insert(Ts::hm(8, 8), row!(Ts::hm(8, 7), 5i64)).unwrap();
+//! publisher.finish().unwrap();
+//! let metrics = pipeline.run().unwrap();
+//! assert_eq!(metrics.events_in, 1);
+//! assert!(rendered.lock().unwrap().contains('5'));
+//! ```
+
+pub mod changelog;
+pub mod channel;
+pub mod file;
+pub mod json;
+pub mod nexmark;
+pub mod text;
+
+pub use changelog::ChangelogSink;
+pub use channel::{channel, channel_sink, ChannelPublisher, ChannelSink, ChannelSource, SinkEvent};
+pub use file::{
+    CsvFileSink, CsvFileSource, CsvSinkMode, FileSourceConfig, JsonLinesSink, JsonLinesSource,
+};
+pub use nexmark::{register_nexmark_streams, NexmarkSource};
+
+pub use onesql_core::connect::{
+    DriverConfig, PipelineDriver, PipelineMetrics, Sink, Source, SourceBatch, SourceEvent,
+    SourceMetrics, SourceStatus,
+};

@@ -1,0 +1,105 @@
+//! The NEXMark generator as a source: the benchmark's Person / Auction /
+//! Bid mix streamed through the connector runtime.
+
+use onesql_core::connect::{Source, SourceBatch, SourceEvent, SourceStatus};
+use onesql_core::Engine;
+use onesql_nexmark::model::{Auction, Bid, Person};
+use onesql_nexmark::{GeneratorConfig, NexmarkEvent, NexmarkGenerator};
+use onesql_tvr::Change;
+use onesql_types::{Duration, Result};
+
+/// Register the three NEXMark streams (and nothing else) on an engine,
+/// with the model crate's schemas.
+pub fn register_nexmark_streams(engine: &mut Engine) {
+    engine.register_stream_schema("Person", Person::schema());
+    engine.register_stream_schema("Auction", Auction::schema());
+    engine.register_stream_schema("Bid", Bid::schema());
+}
+
+/// A bounded NEXMark workload as a source feeding `Person`, `Auction`,
+/// and `Bid`.
+///
+/// Watermarking uses the generator's contract: every event's event time
+/// lags its processing time by at most `max_skew`, so after emitting an
+/// event at processing time `p` the source asserts a watermark of
+/// `p − max_skew`.
+pub struct NexmarkSource {
+    name: String,
+    streams: Vec<String>,
+    generator: NexmarkGenerator,
+    remaining: u64,
+    config: GeneratorConfig,
+}
+
+impl NexmarkSource {
+    /// A source producing `events` events under `config`.
+    pub fn new(config: GeneratorConfig, events: u64) -> NexmarkSource {
+        NexmarkSource {
+            name: format!("nexmark:seed={}", config.seed),
+            streams: vec![
+                "Person".to_string(),
+                "Auction".to_string(),
+                "Bid".to_string(),
+            ],
+            generator: NexmarkGenerator::new(config.clone()),
+            remaining: events,
+            config,
+        }
+    }
+
+    /// Default configuration with the given seed.
+    pub fn seeded(seed: u64, events: u64) -> NexmarkSource {
+        NexmarkSource::new(
+            GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            },
+            events,
+        )
+    }
+}
+
+impl Source for NexmarkSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn streams(&self) -> &[String] {
+        &self.streams
+    }
+
+    fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+        if self.remaining == 0 {
+            return Ok(SourceBatch::empty(SourceStatus::Finished));
+        }
+        let n = (max_events as u64).min(self.remaining);
+        let mut batch = SourceBatch::empty(SourceStatus::Ready);
+        let mut last_ptime = None;
+        for _ in 0..n {
+            let (ptime, event) = self.generator.next_event();
+            let (stream, row) = match event {
+                NexmarkEvent::Person(p) => (0, p.to_row()),
+                NexmarkEvent::Auction(a) => (1, a.to_row()),
+                NexmarkEvent::Bid(b) => (2, b.to_row()),
+            };
+            batch.events.push(SourceEvent {
+                stream,
+                ptime,
+                change: Change::insert(row),
+            });
+            last_ptime = Some(ptime);
+        }
+        self.remaining -= n;
+        if let Some(p) = last_ptime {
+            // All event times lie in [ptime − max_skew, ptime] and ptime is
+            // non-decreasing, so trailing by max_skew plus 1ms (ptimes may
+            // repeat when the inter-event gap is zero) is a valid watermark
+            // for all three streams.
+            batch.watermark = Some(p - self.config.max_skew - Duration(1));
+        }
+        if self.remaining == 0 {
+            batch.status = SourceStatus::Finished;
+        }
+        Ok(batch)
+    }
+}

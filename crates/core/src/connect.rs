@@ -1,0 +1,565 @@
+//! The connector runtime: pluggable [`Source`]s / [`Sink`]s and the
+//! [`PipelineDriver`] that pumps them through a running query.
+//!
+//! The paper's engines (§7–§8, Appendix B) consume time-varying relations
+//! from external connectors — Kafka topics, file sets — and materialize
+//! results back out through sinks. This module is the single-process
+//! version of that boundary layer:
+//!
+//! - A [`Source`] produces **batches** of `(ptime, change)` events for one
+//!   or more named streams, each batch optionally carrying a watermark
+//!   assertion, and reports a [`SourceStatus`] (ready / idle / finished)
+//!   the driver uses for backpressure-aware scheduling.
+//! - A [`Sink`] consumes the query's output changelog, rendered as
+//!   [`StreamRow`]s (Extension 4's `undo` / `ptime` / `ver` encoding), plus
+//!   output-watermark notifications.
+//! - The [`PipelineDriver`] round-robins over sources, feeds a
+//!   [`RunningQuery`], propagates **monotone** per-stream watermarks (the
+//!   min over all sources feeding a stream, delivered only when it
+//!   advances), keeps output buffering bounded, and accounts everything in
+//!   [`PipelineMetrics`].
+//!
+//! Concrete connectors (CSV / JSON-lines files, in-memory channels, the
+//! NEXMark generator, changelog renderers) live in the `onesql-connect`
+//! crate; this module holds only the traits and the driver so the engine
+//! can expose [`Engine::attach_source`] / [`Engine::run_pipeline`] without
+//! a dependency cycle.
+//!
+//! [`Engine::attach_source`]: crate::Engine::attach_source
+//! [`Engine::run_pipeline`]: crate::Engine::run_pipeline
+
+use std::collections::BTreeMap;
+
+use onesql_exec::StreamRow;
+use onesql_time::Watermark;
+use onesql_tvr::Change;
+use onesql_types::{Error, Result, Ts};
+
+use crate::query::RunningQuery;
+
+/// What a source reports after a poll; drives the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceStatus {
+    /// More data may be immediately available: poll again soon.
+    Ready,
+    /// No data right now, but the source is not done (e.g. an in-memory
+    /// channel whose producers are still alive). The driver backs off.
+    #[default]
+    Idle,
+    /// The source will never produce again; its streams get final
+    /// watermarks once every source feeding them has finished.
+    Finished,
+}
+
+/// One event from a source: a change to one of its declared streams at a
+/// processing time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceEvent {
+    /// Index into the source's [`Source::streams`] list.
+    pub stream: usize,
+    /// Processing time of arrival. The driver clamps these to be monotone
+    /// across all sources (the executor's clock may not regress).
+    pub ptime: Ts,
+    /// The row change (insert, retract, or weighted).
+    pub change: Change,
+}
+
+/// A batch of events plus optional progress information.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceBatch {
+    /// The events, in the source's processing-time order.
+    pub events: Vec<SourceEvent>,
+    /// If set, asserts that all future events from this source have event
+    /// timestamps strictly greater than this value (for every stream the
+    /// source feeds).
+    pub watermark: Option<Ts>,
+    /// Scheduling hint for the driver.
+    pub status: SourceStatus,
+}
+
+impl SourceBatch {
+    /// An empty batch with the given status.
+    pub fn empty(status: SourceStatus) -> SourceBatch {
+        SourceBatch {
+            events: Vec::new(),
+            watermark: None,
+            status,
+        }
+    }
+}
+
+/// A pluggable input connector.
+pub trait Source {
+    /// Connector instance name (for metrics and errors).
+    fn name(&self) -> &str;
+
+    /// The engine stream names this source feeds. [`SourceEvent::stream`]
+    /// indexes into this list. Most sources feed exactly one stream; the
+    /// NEXMark source feeds three.
+    fn streams(&self) -> &[String];
+
+    /// Produce up to `max_events` events. Must not block; a source with
+    /// nothing buffered returns an empty batch with status
+    /// [`SourceStatus::Idle`] (or `Finished`).
+    fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch>;
+}
+
+/// A pluggable output connector. Receives the query's output changelog as
+/// [`StreamRow`]s: data columns plus `undo` / `ptime` / `ver` metadata.
+pub trait Sink {
+    /// Connector instance name (for metrics and errors).
+    fn name(&self) -> &str;
+
+    /// Called once at attach time with the query's output schema (e.g. to
+    /// write a CSV header or learn JSON field names). Default: ignore.
+    fn bind(&mut self, _schema: onesql_types::SchemaRef) -> Result<()> {
+        Ok(())
+    }
+
+    /// Consume a slice of newly materialized output rows.
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()>;
+
+    /// The query's output watermark advanced. Default: ignore.
+    fn on_watermark(&mut self, _wm: Watermark) -> Result<()> {
+        Ok(())
+    }
+
+    /// The pipeline finished; flush buffers. Default: nothing.
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Driver tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Maximum events requested from a source per poll.
+    pub batch_size: usize,
+    /// Drain output to sinks whenever at least this many changes are
+    /// pending (output is always drained at the end of a scheduling round,
+    /// so this bounds in-flight buffering *within* a round).
+    pub max_inflight: usize,
+    /// Give up after this many consecutive all-idle rounds in
+    /// [`PipelineDriver::run`] (`None`: yield and keep spinning, for
+    /// channel sources fed by other threads).
+    pub max_idle_rounds: Option<u64>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> DriverConfig {
+        DriverConfig {
+            batch_size: 256,
+            max_inflight: 1024,
+            max_idle_rounds: None,
+        }
+    }
+}
+
+/// Per-source accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceMetrics {
+    /// Connector instance name.
+    pub name: String,
+    /// Events fed into the query from this source.
+    pub events: u64,
+    /// Polls that returned at least one event.
+    pub non_empty_polls: u64,
+    /// The source's current watermark assertion.
+    pub watermark: Watermark,
+    /// Whether the source has finished.
+    pub finished: bool,
+}
+
+/// Pipeline-wide accounting, readable at any time via
+/// [`PipelineDriver::metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineMetrics {
+    /// Total events fed into the query.
+    pub events_in: u64,
+    /// Total output rows delivered to sinks.
+    pub events_out: u64,
+    /// Watermark deliveries into the query.
+    pub watermarks_in: u64,
+    /// Completed scheduling rounds.
+    pub rounds: u64,
+    /// Rounds in which no source produced anything.
+    pub idle_rounds: u64,
+    /// Per-source breakdown, in attach order.
+    pub sources: Vec<SourceMetrics>,
+    /// The min over all live sources' watermarks (what the slowest input
+    /// asserts about event-time progress).
+    pub input_watermark: Watermark,
+    /// The query's output watermark.
+    pub output_watermark: Watermark,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> PipelineMetrics {
+        PipelineMetrics {
+            events_in: 0,
+            events_out: 0,
+            watermarks_in: 0,
+            rounds: 0,
+            idle_rounds: 0,
+            sources: Vec::new(),
+            input_watermark: Watermark::MIN,
+            output_watermark: Watermark::MIN,
+        }
+    }
+}
+
+impl PipelineMetrics {
+    /// Event-time distance between the slowest input's watermark and the
+    /// output watermark: how far materialization trails ingestion. `None`
+    /// until both watermarks carry real timestamps.
+    pub fn watermark_lag(&self) -> Option<onesql_types::Duration> {
+        if self.input_watermark == Watermark::MIN || self.output_watermark == Watermark::MIN {
+            return None;
+        }
+        Some(self.input_watermark.ts() - self.output_watermark.ts())
+    }
+}
+
+struct SourceSlot {
+    source: Box<dyn Source>,
+    /// Lowercased stream names, resolved once at attach time.
+    streams: Vec<String>,
+    watermark: Watermark,
+    finished: bool,
+    events: u64,
+    non_empty_polls: u64,
+}
+
+/// Pumps N sources through one running query into M sinks.
+///
+/// Scheduling is round-robin over ready sources with per-poll batches of
+/// [`DriverConfig::batch_size`] events; watermark propagation is monotone
+/// per stream (see [`PipelineDriver::step`]); output is drained to sinks
+/// at least once per round.
+pub struct PipelineDriver {
+    query: RunningQuery,
+    sources: Vec<SourceSlot>,
+    sinks: Vec<Box<dyn Sink>>,
+    config: DriverConfig,
+    metrics: PipelineMetrics,
+    /// Which source slots feed each (lowercased) stream.
+    feeders: BTreeMap<String, Vec<usize>>,
+    /// Watermark already delivered to the query, per stream.
+    delivered: BTreeMap<String, Watermark>,
+    /// Monotone processing-time clock (the executor may not regress).
+    clock: Ts,
+    /// Changelog entries already rendered to sinks.
+    emitted: usize,
+    /// Output watermark already reported to sinks.
+    sink_watermark: Watermark,
+    /// Incremental `EMIT STREAM` rendering (shared with
+    /// `onesql_exec::render_stream`, so sink-side `ver` numbering cannot
+    /// diverge from `RunningQuery::stream_rows`).
+    renderer: onesql_exec::StreamRenderer,
+    finished: bool,
+}
+
+impl PipelineDriver {
+    /// Wrap an already-running query. Use [`crate::Engine::run_pipeline`]
+    /// to build one straight from SQL with attached connectors.
+    pub fn new(query: RunningQuery) -> PipelineDriver {
+        let ver_cols = onesql_exec::compile::version_columns(query.bound());
+        let clock = query.now();
+        PipelineDriver {
+            query,
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            config: DriverConfig::default(),
+            metrics: PipelineMetrics::default(),
+            feeders: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+            clock,
+            emitted: 0,
+            sink_watermark: Watermark::MIN,
+            renderer: onesql_exec::StreamRenderer::new(ver_cols),
+            finished: false,
+        }
+    }
+
+    /// Replace the driver configuration.
+    pub fn with_config(mut self, config: DriverConfig) -> PipelineDriver {
+        self.config = config;
+        self
+    }
+
+    /// Attach a source. Fails if the source declares no streams.
+    pub fn attach_source(&mut self, source: Box<dyn Source>) -> Result<()> {
+        let streams: Vec<String> = source
+            .streams()
+            .iter()
+            .map(|s| s.to_ascii_lowercase())
+            .collect();
+        if streams.is_empty() {
+            return Err(Error::plan(format!(
+                "source '{}' declares no streams",
+                source.name()
+            )));
+        }
+        let slot = self.sources.len();
+        for stream in &streams {
+            self.feeders.entry(stream.clone()).or_default().push(slot);
+            self.delivered
+                .entry(stream.clone())
+                .or_insert(Watermark::MIN);
+        }
+        self.sources.push(SourceSlot {
+            source,
+            streams,
+            watermark: Watermark::MIN,
+            finished: false,
+            events: 0,
+            non_empty_polls: 0,
+        });
+        Ok(())
+    }
+
+    /// Attach a sink; it is immediately bound to the query's output
+    /// schema.
+    pub fn attach_sink(&mut self, mut sink: Box<dyn Sink>) -> Result<()> {
+        sink.bind(self.query.schema())?;
+        self.sinks.push(sink);
+        Ok(())
+    }
+
+    /// The wrapped query (table views, state metrics, …).
+    pub fn query(&self) -> &RunningQuery {
+        &self.query
+    }
+
+    /// Current accounting. Watermark fields are refreshed on access.
+    pub fn metrics(&mut self) -> &PipelineMetrics {
+        self.refresh_metrics();
+        &self.metrics
+    }
+
+    /// True once [`PipelineDriver::finish`] ran (all sources exhausted).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn refresh_metrics(&mut self) {
+        self.metrics.sources = self
+            .sources
+            .iter()
+            .map(|s| SourceMetrics {
+                name: s.source.name().to_string(),
+                events: s.events,
+                non_empty_polls: s.non_empty_polls,
+                watermark: s.watermark,
+                finished: s.finished,
+            })
+            .collect();
+        self.metrics.input_watermark = self
+            .sources
+            .iter()
+            .map(|s| {
+                if s.finished {
+                    Watermark::MAX
+                } else {
+                    s.watermark
+                }
+            })
+            .min()
+            .unwrap_or(Watermark::MIN);
+        self.metrics.output_watermark = self.query.output_watermark();
+    }
+
+    /// One scheduling round: poll every unfinished source once (up to
+    /// `batch_size` events each), feed the query, propagate watermarks,
+    /// and drain output. Returns how many events were ingested; `Ok(0)`
+    /// with unfinished sources means everything was idle.
+    pub fn step(&mut self) -> Result<usize> {
+        if self.finished {
+            return Ok(0);
+        }
+        let mut ingested = 0usize;
+        for slot in 0..self.sources.len() {
+            if self.sources[slot].finished {
+                continue;
+            }
+            let batch = self.sources[slot]
+                .source
+                .poll_batch(self.config.batch_size)?;
+            if !batch.events.is_empty() {
+                self.sources[slot].non_empty_polls += 1;
+            }
+            for event in batch.events {
+                let stream = self.sources[slot]
+                    .streams
+                    .get(event.stream)
+                    .cloned()
+                    .ok_or_else(|| {
+                        Error::exec(format!(
+                            "source '{}' produced an event for stream index {} \
+                                 but declares only {} streams",
+                            self.sources[slot].source.name(),
+                            event.stream,
+                            self.sources[slot].streams.len()
+                        ))
+                    })?;
+                // Processing time is monotone across the whole pipeline;
+                // a source whose clock lags is dragged forward.
+                self.clock = self.clock.max(event.ptime);
+                self.query.change(&stream, self.clock, event.change)?;
+                self.sources[slot].events += 1;
+                self.metrics.events_in += 1;
+                ingested += 1;
+                // Bounded in-flight buffering: drain mid-round when the
+                // pending output grows past the configured bound.
+                if self.query.changelog().len() - self.emitted >= self.config.max_inflight {
+                    self.drain_output()?;
+                }
+            }
+            if let Some(wm) = batch.watermark {
+                self.sources[slot].watermark.advance_to(Watermark(wm));
+            }
+            if batch.status == SourceStatus::Finished {
+                self.sources[slot].finished = true;
+                // A finished source asserts completeness: it no longer
+                // constrains its streams' watermarks.
+                self.sources[slot].watermark = Watermark::MAX;
+            }
+            self.propagate_watermarks(slot)?;
+        }
+        self.drain_output()?;
+        self.metrics.rounds += 1;
+        if ingested == 0 {
+            self.metrics.idle_rounds += 1;
+        }
+        if self.all_sources_finished() {
+            self.finish()?;
+        }
+        Ok(ingested)
+    }
+
+    /// Deliver any watermark advancement for the streams fed by `slot`.
+    ///
+    /// A stream's watermark is the **min** over all sources feeding it
+    /// (any one source may still deliver old events); delivery is strictly
+    /// monotone — the query only hears a stream watermark when it exceeds
+    /// what was already delivered.
+    fn propagate_watermarks(&mut self, slot: usize) -> Result<()> {
+        let streams = self.sources[slot].streams.clone();
+        for stream in streams {
+            let feeders = self.feeders.get(&stream).expect("registered at attach");
+            let combined = feeders
+                .iter()
+                .map(|&i| self.sources[i].watermark)
+                .min()
+                .expect("at least one feeder");
+            if combined == Watermark::MIN {
+                continue;
+            }
+            let delivered = self.delivered.get_mut(&stream).expect("registered");
+            if combined > *delivered {
+                *delivered = combined;
+                self.query.watermark(&stream, self.clock, combined.ts())?;
+                self.metrics.watermarks_in += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn all_sources_finished(&self) -> bool {
+        !self.sources.is_empty() && self.sources.iter().all(|s| s.finished)
+    }
+
+    /// Render changelog entries not yet delivered and hand them to every
+    /// sink, with `ver` numbering identical to `EMIT STREAM` rendering.
+    fn drain_output(&mut self) -> Result<()> {
+        let entries = self.query.changelog().entries();
+        if self.emitted >= entries.len() {
+            self.notify_sink_watermark()?;
+            return Ok(());
+        }
+        let mut rows = Vec::with_capacity(entries.len() - self.emitted);
+        for entry in &entries[self.emitted..] {
+            self.renderer.render_into(entry, &mut rows)?;
+        }
+        self.emitted = entries.len();
+        self.metrics.events_out += rows.len() as u64;
+        for sink in &mut self.sinks {
+            sink.write(&rows)?;
+        }
+        self.notify_sink_watermark()?;
+        Ok(())
+    }
+
+    fn notify_sink_watermark(&mut self) -> Result<()> {
+        let wm = self.query.output_watermark();
+        if wm > self.sink_watermark {
+            self.sink_watermark = wm;
+            for sink in &mut self.sinks {
+                sink.on_watermark(wm)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Declare the pipeline complete: final watermarks flush all gated /
+    /// delayed materialization, remaining output drains, and sinks flush.
+    /// Idempotent; called automatically when every source reports
+    /// [`SourceStatus::Finished`].
+    pub fn finish(&mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        self.query.finish(self.clock)?;
+        self.drain_output()?;
+        for sink in &mut self.sinks {
+            sink.flush()?;
+        }
+        self.refresh_metrics();
+        Ok(())
+    }
+
+    /// Run until every source finishes. All-idle rounds yield the thread
+    /// (sources may be fed by other threads); `max_idle_rounds` bounds the
+    /// wait, erroring on exhaustion so a stuck pipeline is loud.
+    pub fn run(&mut self) -> Result<&PipelineMetrics> {
+        if self.sources.is_empty() {
+            return Err(Error::plan("pipeline has no sources"));
+        }
+        let mut idle_streak = 0u64;
+        while !self.finished {
+            let ingested = self.step()?;
+            if self.finished {
+                break;
+            }
+            if ingested == 0 {
+                idle_streak += 1;
+                if let Some(limit) = self.config.max_idle_rounds {
+                    if idle_streak > limit {
+                        return Err(Error::exec(format!(
+                            "pipeline made no progress for {idle_streak} rounds \
+                             (sources idle, none finished)"
+                        )));
+                    }
+                }
+                std::thread::yield_now();
+            } else {
+                idle_streak = 0;
+            }
+        }
+        self.refresh_metrics();
+        Ok(&self.metrics)
+    }
+}
+
+impl std::fmt::Debug for PipelineDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineDriver")
+            .field("sources", &self.sources.len())
+            .field("sinks", &self.sinks.len())
+            .field("events_in", &self.metrics.events_in)
+            .field("events_out", &self.metrics.events_out)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}

@@ -6,10 +6,9 @@ use std::sync::Arc;
 use onesql_exec::{compile, ExecConfig};
 use onesql_plan::{bind, optimize, BoundQuery, Catalog, MemoryCatalog, TableKind};
 use onesql_state::TemporalTable;
-use onesql_types::{
-    DataType, Duration, Error, Field, Result, Row, Schema, SchemaRef,
-};
+use onesql_types::{DataType, Duration, Error, Field, Result, Row, Schema, SchemaRef};
 
+use crate::connect::{PipelineDriver, Sink, Source};
 use crate::query::RunningQuery;
 
 /// Fluent schema builder for registering relations.
@@ -63,6 +62,11 @@ pub struct Engine {
     catalog: MemoryCatalog,
     tables: BTreeMap<String, TableData>,
     config: ExecConfig,
+    /// Connectors registered via [`Engine::attach_source`] /
+    /// [`Engine::attach_sink`], consumed by the next
+    /// [`Engine::run_pipeline`].
+    pending_sources: Vec<Box<dyn Source>>,
+    pending_sinks: Vec<Box<dyn Sink>>,
 }
 
 impl Engine {
@@ -204,6 +208,59 @@ impl Engine {
         Ok(RunningQuery::new(bound, executor, input_schemas))
     }
 
+    /// Register a source connector for the next [`Engine::run_pipeline`]
+    /// call. Every stream the source declares must already be registered
+    /// on the engine.
+    pub fn attach_source(&mut self, source: Box<dyn Source>) -> Result<()> {
+        for stream in source.streams() {
+            match self.catalog.resolve(stream) {
+                Ok((_, TableKind::Stream)) => {}
+                Ok((_, TableKind::Table)) => {
+                    return Err(Error::plan(format!(
+                        "source '{}' targets '{stream}', which is a table, \
+                         not a stream",
+                        source.name()
+                    )))
+                }
+                Err(_) => {
+                    return Err(Error::catalog(format!(
+                        "source '{}' targets unregistered stream '{stream}'",
+                        source.name()
+                    )))
+                }
+            }
+        }
+        self.pending_sources.push(source);
+        Ok(())
+    }
+
+    /// Register a sink connector for the next [`Engine::run_pipeline`]
+    /// call.
+    pub fn attach_sink(&mut self, sink: Box<dyn Sink>) {
+        self.pending_sinks.push(sink);
+    }
+
+    /// Plan `sql` and wrap it in a [`PipelineDriver`] wired to every
+    /// connector attached since the last call. The driver is returned
+    /// ready to [`PipelineDriver::run`]; an end-to-end job is
+    /// `attach_source` + `attach_sink` + `run_pipeline(sql)?.run()`.
+    pub fn run_pipeline(&mut self, sql: &str) -> Result<PipelineDriver> {
+        if self.pending_sources.is_empty() {
+            return Err(Error::plan(
+                "run_pipeline needs at least one attached source",
+            ));
+        }
+        let query = self.execute(sql)?;
+        let mut driver = PipelineDriver::new(query);
+        for source in self.pending_sources.drain(..) {
+            driver.attach_source(source)?;
+        }
+        for sink in self.pending_sinks.drain(..) {
+            driver.attach_sink(sink)?;
+        }
+        Ok(driver)
+    }
+
     fn stream_schemas(&self) -> BTreeMap<String, SchemaRef> {
         // Only streams need runtime row validation; collect their schemas.
         let mut out = BTreeMap::new();
@@ -300,9 +357,7 @@ mod tests {
     fn stream_joined_with_static_table() {
         let e = engine();
         let mut q = e
-            .execute(
-                "SELECT B.item, C.name FROM Bid B JOIN Category C ON B.price = C.id",
-            )
+            .execute("SELECT B.item, C.name FROM Bid B JOIN Category C ON B.price = C.id")
             .unwrap();
         q.insert("Bid", Ts::hm(8, 0), row!(Ts::hm(8, 0), 2i64, "x"))
             .unwrap();

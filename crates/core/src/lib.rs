@@ -32,10 +32,15 @@
 //! assert_eq!(q.table_at(Ts::hm(8, 21)).unwrap(), vec![row!("B", 3i64)]);
 //! ```
 
+pub mod connect;
 pub mod engine;
 pub mod parallel;
 pub mod query;
 
+pub use connect::{
+    DriverConfig, PipelineDriver, PipelineMetrics, Sink, Source, SourceBatch, SourceEvent,
+    SourceMetrics, SourceStatus,
+};
 pub use engine::{Engine, StreamBuilder};
 pub use parallel::PartitionedQuery;
 pub use query::RunningQuery;

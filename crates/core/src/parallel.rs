@@ -61,12 +61,8 @@ impl PartitionedQuery {
             handles.push(std::thread::spawn(move || -> Result<RunningQuery> {
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
-                        Cmd::Insert(table, ptime, row) => {
-                            query.insert(&table, ptime, row)?
-                        }
-                        Cmd::Watermark(table, ptime, wm) => {
-                            query.watermark(&table, ptime, wm)?
-                        }
+                        Cmd::Insert(table, ptime, row) => query.insert(&table, ptime, row)?,
+                        Cmd::Watermark(table, ptime, wm) => query.watermark(&table, ptime, wm)?,
                         Cmd::Finish(at) => {
                             query.finish(at)?;
                             break;
@@ -162,12 +158,7 @@ mod tests {
 
     fn feed_and_finish(pq: PartitionedQuery, n: i64) -> Vec<Row> {
         for i in 0..n {
-            pq.insert(
-                "Bid",
-                Ts(i),
-                row!(i % 7, i, Ts(i)),
-            )
-            .unwrap();
+            pq.insert("Bid", Ts(i), row!(i % 7, i, Ts(i))).unwrap();
         }
         pq.finish(Ts(n)).unwrap()
     }
@@ -177,8 +168,7 @@ mod tests {
         let e = engine();
         let single = feed_and_finish(PartitionedQuery::start(&e, SQL, 1, 0).unwrap(), 200);
         for parts in [2, 4] {
-            let multi =
-                feed_and_finish(PartitionedQuery::start(&e, SQL, parts, 0).unwrap(), 200);
+            let multi = feed_and_finish(PartitionedQuery::start(&e, SQL, parts, 0).unwrap(), 200);
             assert_eq!(single, multi, "{parts} partitions diverged");
         }
     }

@@ -7,9 +7,7 @@ use onesql_plan::BoundQuery;
 use onesql_state::StateMetrics;
 use onesql_time::{Watermark, WatermarkGenerator};
 use onesql_tvr::{Change, Changelog, Element};
-use onesql_types::{
-    format_table, Error, Result, Row, Schema, SchemaRef, Ts, Value,
-};
+use onesql_types::{format_table, Error, Result, Row, Schema, SchemaRef, Ts, Value};
 
 use crate::engine::validate_row;
 
@@ -304,19 +302,23 @@ mod tests {
     fn insert_validates_schema() {
         let e = engine();
         let mut q = e.execute("SELECT * FROM Bid").unwrap();
-        assert!(q
-            .insert("Bid", Ts(0), row!(Ts(0), 1i64))
-            .is_err(), "arity mismatch");
-        assert!(q
-            .insert("Bid", Ts(0), row!(Ts(0), "str", "A"))
-            .is_err(), "type mismatch");
-        assert!(q
-            .insert(
+        assert!(
+            q.insert("Bid", Ts(0), row!(Ts(0), 1i64)).is_err(),
+            "arity mismatch"
+        );
+        assert!(
+            q.insert("Bid", Ts(0), row!(Ts(0), "str", "A")).is_err(),
+            "type mismatch"
+        );
+        assert!(
+            q.insert(
                 "Bid",
                 Ts(0),
                 Row::new(vec![Value::Null, Value::Int(1), Value::str("A")])
             )
-            .is_err(), "null event time");
+            .is_err(),
+            "null event time"
+        );
         assert!(q.insert("Nope", Ts(0), row!(1i64)).is_err());
     }
 
@@ -330,10 +332,7 @@ mod tests {
             q.insert("Bid", Ts(i as i64), row!(Ts(i as i64), *p, *it))
                 .unwrap();
         }
-        assert_eq!(
-            q.table().unwrap(),
-            vec![row!("B", 5i64), row!("C", 3i64)]
-        );
+        assert_eq!(q.table().unwrap(), vec![row!("B", 5i64), row!("C", 3i64)]);
     }
 
     #[test]
@@ -372,10 +371,7 @@ mod tests {
         assert_eq!(rows[0].ptime, Ts::hm(8, 8));
         assert!(!rows[0].undo);
         let meta = q.stream_schema_with_meta();
-        assert_eq!(
-            meta.names(),
-            vec!["item", "undo", "ptime", "ver"]
-        );
+        assert_eq!(meta.names(), vec!["item", "undo", "ptime", "ver"]);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! bound — is what the paper's direct out-of-order processing avoids, and
 //! what benchmark B6 measures.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use onesql_types::{Row, Ts};
 

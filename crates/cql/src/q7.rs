@@ -94,10 +94,7 @@ impl CqlQuery7 {
             if let Some(m) = max {
                 for row in bag.rows() {
                     if row.value(1)?.as_int()? == m {
-                        out.insert(Row::new(vec![
-                            Value::Int(m),
-                            row.value(2)?.clone(),
-                        ]));
+                        out.insert(Row::new(vec![Value::Int(m), row.value(2)?.clone()]));
                     }
                 }
             }
@@ -138,8 +135,14 @@ mod tests {
     fn q7_produces_one_answer_per_window() {
         // In-order feed (the classical CQL setting).
         let mut q = CqlQuery7::new();
-        for (m, p, i) in [(5, 4, "C"), (7, 2, "A"), (9, 5, "D"), (11, 3, "B"), (13, 1, "E"), (17, 6, "F")]
-        {
+        for (m, p, i) in [
+            (5, 4, "C"),
+            (7, 2, "A"),
+            (9, 5, "D"),
+            (11, 3, "B"),
+            (13, 1, "E"),
+            (17, 6, "F"),
+        ] {
             q.bid(Ts::hm(8, m), p, i);
         }
         q.heartbeat(Ts::hm(8, 18));

@@ -61,7 +61,11 @@ impl RangeWindow {
             // evaluation — windows are `(t - range, t]`).
             let s = self.slide.millis();
             let floor = ts.millis().div_euclid(s) * s;
-            let next = if floor == ts.millis() { floor } else { floor + s };
+            let next = if floor == ts.millis() {
+                floor
+            } else {
+                floor + s
+            };
             self.next_eval = Some(Ts(next));
         }
         self.tuples.push_back((ts, row));
@@ -92,11 +96,7 @@ impl RangeWindow {
     fn relation_at(&mut self, at: Ts) -> Bag {
         // Expire tuples that can never appear again: ts <= at - range.
         let cutoff = at.saturating_sub(self.range);
-        while self
-            .tuples
-            .front()
-            .is_some_and(|(ts, _)| *ts <= cutoff)
-        {
+        while self.tuples.front().is_some_and(|(ts, _)| *ts <= cutoff) {
             self.tuples.pop_front();
         }
         self.tuples

@@ -65,8 +65,7 @@ impl Accumulator {
 
     /// Fresh accumulator, marking `COUNT(*)` explicitly.
     pub fn with_count_star(func: AggFunc, distinct: bool, count_star: bool) -> Accumulator {
-        let needs_values =
-            distinct || matches!(func, AggFunc::Min | AggFunc::Max);
+        let needs_values = distinct || matches!(func, AggFunc::Min | AggFunc::Max);
         Accumulator {
             func,
             distinct,
@@ -149,11 +148,7 @@ impl Accumulator {
         match self.func {
             AggFunc::Count => {
                 if self.distinct {
-                    let n = self
-                        .values
-                        .as_ref()
-                        .expect("distinct keeps values")
-                        .len() as i64;
+                    let n = self.values.as_ref().expect("distinct keeps values").len() as i64;
                     Ok(Value::Int(n))
                 } else if self.count_star {
                     Ok(Value::Int(self.rows))
@@ -371,9 +366,7 @@ impl Aggregate {
             None => Ok(None),
             Some(i) => match key.value(i)? {
                 Value::Ts(t) => Ok(Some(*t)),
-                Value::Null => Err(Error::exec(
-                    "NULL event-time grouping key is not allowed",
-                )),
+                Value::Null => Err(Error::exec("NULL event-time grouping key is not allowed")),
                 other => Err(Error::exec(format!(
                     "event-time grouping key must be TIMESTAMP, got {}",
                     other.data_type()
@@ -502,13 +495,9 @@ impl Operator for Aggregate {
                 if let Some(key_idx) = self.event_time_key {
                     let watermark = self.watermark;
                     let lateness = self.allowed_lateness;
-                    self.state.retire_where(|key, _| {
-                        match key.value(key_idx) {
-                            Ok(Value::Ts(t)) => {
-                                watermark.closes(t.saturating_add(lateness))
-                            }
-                            _ => false,
-                        }
+                    self.state.retire_where(|key, _| match key.value(key_idx) {
+                        Ok(Value::Ts(t)) => watermark.closes(t.saturating_add(lateness)),
+                        _ => false,
                     });
                 }
                 out.push(Element::Watermark(self.watermark));
@@ -525,13 +514,16 @@ impl Operator for Aggregate {
     }
 
     fn checkpoint(&self) -> Result<Option<Checkpoint>> {
-        let snapshot = (self.watermark.ts(), self.late_dropped, self.state.checkpoint().0);
+        let snapshot = (
+            self.watermark.ts(),
+            self.late_dropped,
+            self.state.checkpoint().0,
+        );
         Ok(Some(Checkpoint(snapshot.to_bytes())))
     }
 
     fn restore(&mut self, checkpoint: &Checkpoint) -> Result<()> {
-        let (wm, late, state_bytes): (Ts, u64, bytes::Bytes) =
-            Codec::from_bytes(&checkpoint.0)?;
+        let (wm, late, state_bytes): (Ts, u64, bytes::Bytes) = Codec::from_bytes(&checkpoint.0)?;
         self.watermark = Watermark(wm);
         self.late_dropped = late;
         self.state.restore(&Checkpoint(state_bytes))
@@ -684,7 +676,10 @@ mod tests {
             &mut agg,
             Element::insert(Row::new(vec![Value::str("k"), Value::Null])),
         );
-        assert!(out.is_empty(), "null arg leaves aggregates unchanged: {out:?}");
+        assert!(
+            out.is_empty(),
+            "null arg leaves aggregates unchanged: {out:?}"
+        );
     }
 
     #[test]
@@ -711,10 +706,7 @@ mod tests {
         push(&mut agg, Element::insert(row!(5i64)));
         push(&mut agg, Element::insert(row!(5i64)));
         let out = push(&mut agg, Element::insert(row!(7i64)));
-        assert_eq!(
-            out.last().unwrap(),
-            &Element::insert(row!(2i64, 12i64))
-        );
+        assert_eq!(out.last().unwrap(), &Element::insert(row!(2i64, 12i64)));
         // Retract one of the duplicate 5s: distinct values unchanged.
         let out = push(&mut agg, Element::retract(row!(5i64)));
         assert!(out.is_empty());

@@ -51,11 +51,7 @@ pub fn compile(query: &BoundQuery, config: ExecConfig) -> Result<Executor> {
     Ok(Executor::new(root, schema))
 }
 
-fn compile_plan(
-    plan: &LogicalPlan,
-    config: ExecConfig,
-    next_source: &mut usize,
-) -> Result<OpNode> {
+fn compile_plan(plan: &LogicalPlan, config: ExecConfig, next_source: &mut usize) -> Result<OpNode> {
     Ok(match plan {
         LogicalPlan::Scan { table, as_of, .. } => {
             let id = *next_source;
@@ -69,9 +65,7 @@ fn compile_plan(
                 }),
             )
         }
-        LogicalPlan::Values { rows, .. } => {
-            OpNode::leaf(Box::new(Values::new(rows.clone())), None)
-        }
+        LogicalPlan::Values { rows, .. } => OpNode::leaf(Box::new(Values::new(rows.clone())), None),
         LogicalPlan::Filter { input, predicate } => OpNode::unary(
             Box::new(Filter::new(predicate.clone())),
             compile_plan(input, config, next_source)?,
@@ -222,7 +216,11 @@ mod tests {
             ex.feed(
                 "Bid",
                 Ts::hm(pt, bt),
-                Element::insert(row!(Ts::hm(8, bt % 10 + if bt >= 10 { 10 } else { 0 }), price, "x")),
+                Element::insert(row!(
+                    Ts::hm(8, bt % 10 + if bt >= 10 { 10 } else { 0 }),
+                    price,
+                    "x"
+                )),
             )
             .unwrap();
         }

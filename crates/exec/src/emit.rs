@@ -109,8 +109,7 @@ impl Operator for WatermarkGate {
                     if !watermark.closes(*ts) {
                         break;
                     }
-                    let ((_, row), diff) =
-                        self.pending.pop_first().expect("non-empty");
+                    let ((_, row), diff) = self.pending.pop_first().expect("non-empty");
                     if diff != 0 {
                         out.push(Element::Data(Change::with_diff(row, diff)));
                     }
@@ -129,11 +128,8 @@ impl Operator for WatermarkGate {
     }
 
     fn checkpoint(&self) -> Result<Option<Checkpoint>> {
-        let pending: Vec<((Ts, Row), i64)> = self
-            .pending
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect();
+        let pending: Vec<((Ts, Row), i64)> =
+            self.pending.iter().map(|(k, v)| (k.clone(), *v)).collect();
         Ok(Some(Checkpoint((self.watermark.ts(), pending).to_bytes())))
     }
 
@@ -200,8 +196,10 @@ impl DelayCoalescer {
         // Retractions first, then inserts, each in row order — downstream
         // sees a consistent transition (Listing 14 shows `undo` first).
         let delta = std::mem::take(&mut bucket.delta);
-        let (neg, pos): (Vec<_>, Vec<_>) =
-            delta.into_iter().filter(|(_, d)| *d != 0).partition(|(_, d)| *d < 0);
+        let (neg, pos): (Vec<_>, Vec<_>) = delta
+            .into_iter()
+            .filter(|(_, d)| *d != 0)
+            .partition(|(_, d)| *d < 0);
         for (row, diff) in neg.into_iter().chain(pos) {
             out.push(Element::Data(Change::with_diff(row, diff)));
         }
@@ -236,8 +234,7 @@ impl Operator for DelayCoalescer {
                 if self.fire_on_watermark {
                     let watermark = self.watermark;
                     for (key, bucket) in self.buckets.iter_mut() {
-                        if watermark.closes(completion_ts(key)) && bucket.deadline.is_some()
-                        {
+                        if watermark.closes(completion_ts(key)) && bucket.deadline.is_some() {
                             Self::flush_bucket(bucket, out);
                         }
                     }
@@ -273,19 +270,18 @@ impl Operator for DelayCoalescer {
     fn checkpoint(&self) -> Result<Option<Checkpoint>> {
         let buckets: DelaySnapshot = (
             self.watermark.ts(),
-            self
-            .buckets
-            .iter()
-            .map(|(k, b)| {
-                (
-                    k.clone(),
+            self.buckets
+                .iter()
+                .map(|(k, b)| {
                     (
-                        b.deadline,
-                        b.delta.iter().map(|(r, d)| (r.clone(), *d)).collect(),
-                    ),
-                )
-            })
-            .collect(),
+                        k.clone(),
+                        (
+                            b.deadline,
+                            b.delta.iter().map(|(r, d)| (r.clone(), *d)).collect(),
+                        ),
+                    )
+                })
+                .collect(),
         );
         Ok(Some(Checkpoint(buckets.to_bytes())))
     }
@@ -342,16 +338,42 @@ impl StreamRow {
 /// each change becomes a row with `undo`, `ptime`, and `ver` columns, where
 /// `ver` counts revisions per event-time grouping, identified by
 /// `grouping_cols` (typically [`crate::compile::version_columns`]).
-pub fn render_stream(
-    changelog: &Changelog,
-    grouping_cols: &[usize],
-) -> Result<Vec<StreamRow>> {
-    let event_time_cols = grouping_cols.to_vec();
-    let mut versions: BTreeMap<Row, u64> = BTreeMap::new();
+pub fn render_stream(changelog: &Changelog, grouping_cols: &[usize]) -> Result<Vec<StreamRow>> {
+    let mut renderer = StreamRenderer::new(grouping_cols.to_vec());
     let mut out = Vec::with_capacity(changelog.len());
     for entry in changelog.entries() {
-        let key = grouping_key(&entry.change.row, &event_time_cols)?;
-        let counter = versions.entry(key).or_insert(0);
+        renderer.render_into(entry, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Incremental form of [`render_stream`]: renders changelog entries as they
+/// materialize, keeping per-grouping `ver` counters across calls so a
+/// long-running consumer (e.g. a pipeline sink) numbers revisions exactly
+/// as a one-shot rendering of the full changelog would.
+pub struct StreamRenderer {
+    grouping_cols: Vec<usize>,
+    versions: BTreeMap<Row, u64>,
+}
+
+impl StreamRenderer {
+    /// Number versions per event-time grouping identified by
+    /// `grouping_cols` (typically [`crate::compile::version_columns`]).
+    pub fn new(grouping_cols: Vec<usize>) -> StreamRenderer {
+        StreamRenderer {
+            grouping_cols,
+            versions: BTreeMap::new(),
+        }
+    }
+
+    /// Render one changelog entry, appending its unit revisions to `out`.
+    pub fn render_into(
+        &mut self,
+        entry: &onesql_tvr::TimedChange,
+        out: &mut Vec<StreamRow>,
+    ) -> Result<()> {
+        let key = grouping_key(&entry.change.row, &self.grouping_cols)?;
+        let counter = self.versions.entry(key).or_insert(0);
         // A change with |diff| > 1 renders as that many unit revisions.
         for _ in 0..entry.change.diff.unsigned_abs() {
             out.push(StreamRow {
@@ -362,8 +384,8 @@ pub fn render_stream(
             });
             *counter += 1;
         }
+        Ok(())
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -380,8 +402,13 @@ mod tests {
         // Rows: (wend, item); wend is the event-time column 0.
         let mut g = WatermarkGate::new(vec![0]);
         let mut out = Vec::new();
-        g.process(0, Element::insert(row!(Ts::hm(8, 10), "A")), Ts(0), &mut out)
-            .unwrap();
+        g.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 10), "A")),
+            Ts(0),
+            &mut out,
+        )
+        .unwrap();
         assert!(out.is_empty(), "speculative row must be held");
 
         // Watermark below wend: nothing released.
@@ -393,10 +420,7 @@ mod tests {
         g.process(0, wm(Ts::hm(8, 12)), Ts(0), &mut out).unwrap();
         assert_eq!(
             out,
-            vec![
-                Element::insert(row!(Ts::hm(8, 10), "A")),
-                wm(Ts::hm(8, 12)),
-            ]
+            vec![Element::insert(row!(Ts::hm(8, 10), "A")), wm(Ts::hm(8, 12)),]
         );
         assert_eq!(g.state_metrics().keys, 0);
     }
@@ -418,10 +442,7 @@ mod tests {
         // Only the final C materializes: A's revisions cancelled.
         assert_eq!(
             out,
-            vec![
-                Element::insert(row!(Ts::hm(8, 10), "C")),
-                wm(Ts::hm(8, 10)),
-            ]
+            vec![Element::insert(row!(Ts::hm(8, 10), "C")), wm(Ts::hm(8, 10)),]
         );
     }
 
@@ -431,8 +452,13 @@ mod tests {
         let mut out = Vec::new();
         g.process(0, wm(Ts::hm(9, 0)), Ts(0), &mut out).unwrap();
         out.clear();
-        g.process(0, Element::insert(row!(Ts::hm(8, 10), "late")), Ts(0), &mut out)
-            .unwrap();
+        g.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 10), "late")),
+            Ts(0),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out.len(), 1, "allowed-lateness revisions flow through");
     }
 
@@ -456,24 +482,49 @@ mod tests {
         let mut d = DelayCoalescer::new(Duration::from_minutes(6), vec![0], false);
         let mut out = Vec::new();
         // 8:08: A arrives; timer armed for 8:14.
-        d.process(0, Element::insert(row!(Ts::hm(8, 10), "A")), Ts::hm(8, 8), &mut out)
-            .unwrap();
+        d.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 10), "A")),
+            Ts::hm(8, 8),
+            &mut out,
+        )
+        .unwrap();
         assert!(out.is_empty());
         assert_eq!(d.earliest_deadline(), Some(Ts::hm(8, 14)));
         // 8:13: A superseded by C.
-        d.process(0, Element::retract(row!(Ts::hm(8, 10), "A")), Ts::hm(8, 13), &mut out)
-            .unwrap();
-        d.process(0, Element::insert(row!(Ts::hm(8, 10), "C")), Ts::hm(8, 13), &mut out)
-            .unwrap();
+        d.process(
+            0,
+            Element::retract(row!(Ts::hm(8, 10), "A")),
+            Ts::hm(8, 13),
+            &mut out,
+        )
+        .unwrap();
+        d.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 10), "C")),
+            Ts::hm(8, 13),
+            &mut out,
+        )
+        .unwrap();
         // 8:14: timer fires; only the net C emerges.
         d.on_processing_time(Ts::hm(8, 14), &mut out).unwrap();
         assert_eq!(out, vec![Element::insert(row!(Ts::hm(8, 10), "C"))]);
         out.clear();
         // Next change re-arms: C -> D at 8:15, fires 8:21 with undo first.
-        d.process(0, Element::retract(row!(Ts::hm(8, 10), "C")), Ts::hm(8, 15), &mut out)
-            .unwrap();
-        d.process(0, Element::insert(row!(Ts::hm(8, 10), "D")), Ts::hm(8, 15), &mut out)
-            .unwrap();
+        d.process(
+            0,
+            Element::retract(row!(Ts::hm(8, 10), "C")),
+            Ts::hm(8, 15),
+            &mut out,
+        )
+        .unwrap();
+        d.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 10), "D")),
+            Ts::hm(8, 15),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(d.earliest_deadline(), Some(Ts::hm(8, 21)));
         d.on_processing_time(Ts::hm(8, 21), &mut out).unwrap();
         assert_eq!(
@@ -490,10 +541,20 @@ mod tests {
     fn delay_buckets_are_independent() {
         let mut d = DelayCoalescer::new(Duration::from_minutes(6), vec![0], false);
         let mut out = Vec::new();
-        d.process(0, Element::insert(row!(Ts::hm(8, 10), "A")), Ts::hm(8, 8), &mut out)
-            .unwrap();
-        d.process(0, Element::insert(row!(Ts::hm(8, 20), "B")), Ts::hm(8, 12), &mut out)
-            .unwrap();
+        d.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 10), "A")),
+            Ts::hm(8, 8),
+            &mut out,
+        )
+        .unwrap();
+        d.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 20), "B")),
+            Ts::hm(8, 12),
+            &mut out,
+        )
+        .unwrap();
         // 8:14: only the first bucket fires.
         d.on_processing_time(Ts::hm(8, 14), &mut out).unwrap();
         assert_eq!(out, vec![Element::insert(row!(Ts::hm(8, 10), "A"))]);
@@ -506,17 +567,19 @@ mod tests {
     fn combined_fires_on_watermark_too() {
         let mut d = DelayCoalescer::new(Duration::from_minutes(60), vec![0], true);
         let mut out = Vec::new();
-        d.process(0, Element::insert(row!(Ts::hm(8, 10), "A")), Ts::hm(8, 8), &mut out)
-            .unwrap();
+        d.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 10), "A")),
+            Ts::hm(8, 8),
+            &mut out,
+        )
+        .unwrap();
         // Watermark closes the 8:10 grouping long before the delay.
         d.process(0, wm(Ts::hm(8, 12)), Ts::hm(8, 16), &mut out)
             .unwrap();
         assert_eq!(
             out,
-            vec![
-                Element::insert(row!(Ts::hm(8, 10), "A")),
-                wm(Ts::hm(8, 12)),
-            ]
+            vec![Element::insert(row!(Ts::hm(8, 10), "A")), wm(Ts::hm(8, 12)),]
         );
     }
 

@@ -77,7 +77,13 @@ impl OpNode {
         self.op.initialize(now, out)
     }
 
-    fn feed(&mut self, source_id: usize, elem: &Element, now: Ts, out: &mut Vec<Element>) -> Result<()> {
+    fn feed(
+        &mut self,
+        source_id: usize,
+        elem: &Element,
+        now: Ts,
+        out: &mut Vec<Element>,
+    ) -> Result<()> {
         if let Some(info) = &self.source {
             if info.id == source_id {
                 self.op.process(0, elem.clone(), now, out)?;
@@ -135,10 +141,7 @@ impl OpNode {
         }
     }
 
-    fn collect_checkpoints(
-        &self,
-        out: &mut Vec<Option<onesql_state::Checkpoint>>,
-    ) -> Result<()> {
+    fn collect_checkpoints(&self, out: &mut Vec<Option<onesql_state::Checkpoint>>) -> Result<()> {
         out.push(self.op.checkpoint()?);
         for c in &self.children {
             c.collect_checkpoints(out)?;
@@ -151,9 +154,9 @@ impl OpNode {
         cps: &[Option<onesql_state::Checkpoint>],
         idx: &mut usize,
     ) -> Result<()> {
-        let cp = cps.get(*idx).ok_or_else(|| {
-            Error::exec("checkpoint has fewer operator entries than the plan")
-        })?;
+        let cp = cps
+            .get(*idx)
+            .ok_or_else(|| Error::exec("checkpoint has fewer operator entries than the plan"))?;
         *idx += 1;
         match cp {
             Some(cp) => self.op.restore(cp)?,
@@ -336,8 +339,7 @@ impl Executor {
         use onesql_state::Codec;
         let mut ops = Vec::new();
         self.root.collect_checkpoints(&mut ops)?;
-        let op_bytes: Vec<Option<bytes::Bytes>> =
-            ops.into_iter().map(|o| o.map(|c| c.0)).collect();
+        let op_bytes: Vec<Option<bytes::Bytes>> = ops.into_iter().map(|o| o.map(|c| c.0)).collect();
         let snapshot = (self.now, self.watermark.ts(), op_bytes);
         Ok(onesql_state::Checkpoint(snapshot.to_bytes()))
     }
@@ -435,7 +437,9 @@ mod tests {
     fn processing_time_cannot_regress() {
         let mut ex = simple_executor();
         ex.advance_to(Ts::hm(8, 10)).unwrap();
-        assert!(ex.feed("Bid", Ts::hm(8, 5), Element::insert(row!(3i64))).is_err());
+        assert!(ex
+            .feed("Bid", Ts::hm(8, 5), Element::insert(row!(3i64)))
+            .is_err());
     }
 
     #[test]
@@ -449,7 +453,8 @@ mod tests {
     #[test]
     fn unknown_table_feed_is_ignored() {
         let mut ex = simple_executor();
-        ex.feed("Person", Ts(1), Element::insert(row!(1i64))).unwrap();
+        ex.feed("Person", Ts(1), Element::insert(row!(1i64)))
+            .unwrap();
         assert!(ex.changelog().is_empty());
     }
 

@@ -277,9 +277,7 @@ impl Operator for Join {
     }
 
     fn state_metrics(&self) -> StateMetrics {
-        let rows = |s: &SideState| -> usize {
-            s.iter().map(|(_, v)| v.len()).sum()
-        };
+        let rows = |s: &SideState| -> usize { s.iter().map(|(_, v)| v.len()).sum() };
         StateMetrics {
             keys: rows(&self.left) + rows(&self.right),
             encoded_bytes: 0,
@@ -375,11 +373,7 @@ mod tests {
     #[test]
     fn residual_filters_pairs() {
         // ON l.k = r.k AND l.v < r.w, with v at joined index 1, w at 3.
-        let residual = ScalarExpr::binary(
-            ScalarExpr::col(1),
-            BinOp::Lt,
-            ScalarExpr::col(3),
-        );
+        let residual = ScalarExpr::binary(ScalarExpr::col(1), BinOp::Lt, ScalarExpr::col(3));
         let mut j = Join::new(JoinKind::Inner, vec![(0, 0)], Some(residual), None, 2, 2);
         push(&mut j, 0, Element::insert(row!(1i64, 10i64)));
         let out = push(&mut j, 1, Element::insert(row!(1i64, 5i64)));
@@ -401,14 +395,7 @@ mod tests {
         let mut j = Join::new(JoinKind::Left, vec![(0, 0)], None, None, 2, 1);
         // Unmatched left row: null-extended immediately.
         let out = push(&mut j, 0, Element::insert(row!(1i64, "l")));
-        assert_eq!(
-            out,
-            vec![Element::insert(row!(
-                1i64,
-                "l",
-                Value::Null
-            ))]
-        );
+        assert_eq!(out, vec![Element::insert(row!(1i64, "l", Value::Null))]);
         // Match arrives: retract the null-extension, emit the real join.
         let out = push(&mut j, 1, Element::insert(row!(1i64)));
         assert_eq!(

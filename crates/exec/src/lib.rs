@@ -33,6 +33,6 @@ pub mod simple;
 pub mod window;
 
 pub use compile::compile;
-pub use emit::{render_stream, StreamRow, STREAM_META_COLUMNS};
+pub use emit::{render_stream, StreamRenderer, StreamRow, STREAM_META_COLUMNS};
 pub use executor::{ExecConfig, Executor};
 pub use operator::Operator;

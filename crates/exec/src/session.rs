@@ -262,7 +262,11 @@ impl Operator for SessionAggregate {
     }
 
     fn checkpoint(&self) -> onesql_types::Result<Option<Checkpoint>> {
-        let snapshot = (self.watermark.ts(), self.late_dropped, self.state.checkpoint().0);
+        let snapshot = (
+            self.watermark.ts(),
+            self.late_dropped,
+            self.state.checkpoint().0,
+        );
         Ok(Some(Checkpoint(snapshot.to_bytes())))
     }
 
@@ -389,7 +393,7 @@ mod tests {
         let mut agg = session_agg(5);
         push(&mut agg, event("u", 1, 0)); // [0, 5)
         push(&mut agg, event("u", 2, 10)); // [10, 15)
-        // Event at 5 bridges: [5,10) touches both.
+                                           // Event at 5 bridges: [5,10) touches both.
         let out = push(&mut agg, event("u", 4, 5));
         assert_eq!(out.len(), 3); // two retractions + one merged insert
         assert_eq!(
@@ -452,13 +456,7 @@ mod tests {
 
     #[test]
     fn requires_window_columns_in_group_key() {
-        let err = SessionAggregate::new(
-            &[ScalarExpr::col(0)],
-            vec![],
-            3,
-            4,
-            Duration::ZERO,
-        );
+        let err = SessionAggregate::new(&[ScalarExpr::col(0)], vec![], 3, 4, Duration::ZERO);
         assert!(err.is_err());
     }
 }

@@ -59,9 +59,7 @@ impl Operator for Values {
         _now: Ts,
         _out: &mut Vec<Element>,
     ) -> Result<()> {
-        Err(onesql_types::Error::exec(
-            "Values operator has no inputs",
-        ))
+        Err(onesql_types::Error::exec("Values operator has no inputs"))
     }
 
     fn name(&self) -> &'static str {
@@ -257,11 +255,7 @@ impl Operator for Distinct {
     }
 
     fn checkpoint(&self) -> Result<Option<Checkpoint>> {
-        let entries: Vec<(Row, i64)> = self
-            .seen
-            .iter()
-            .map(|(r, d)| (r.clone(), d))
-            .collect();
+        let entries: Vec<(Row, i64)> = self.seen.iter().map(|(r, d)| (r.clone(), d)).collect();
         Ok(Some(Checkpoint(entries.to_bytes())))
     }
 
@@ -269,8 +263,7 @@ impl Operator for Distinct {
         let entries: Vec<(Row, i64)> = Codec::from_bytes(&checkpoint.0)?;
         self.seen = Bag::new();
         for (row, diff) in entries {
-            self.seen
-                .update(onesql_tvr::Change::with_diff(row, diff));
+            self.seen.update(onesql_tvr::Change::with_diff(row, diff));
         }
         Ok(())
     }
@@ -373,10 +366,10 @@ mod tests {
             &mut d,
             vec![
                 Element::insert(row!(1i64)),
-                Element::insert(row!(1i64)), // second copy: no output
+                Element::insert(row!(1i64)),  // second copy: no output
                 Element::retract(row!(1i64)), // still one copy: no output
                 Element::retract(row!(1i64)), // gone: retract
-                Element::insert(row!(1i64)), // back: insert
+                Element::insert(row!(1i64)),  // back: insert
             ],
         );
         assert_eq!(

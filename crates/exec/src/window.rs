@@ -86,9 +86,7 @@ impl Operator for Window {
                 let ts = match change.row.value(self.time_col)? {
                     Value::Ts(t) => *t,
                     Value::Null => {
-                        return Err(Error::exec(
-                            "NULL event timestamp in windowing column",
-                        ))
+                        return Err(Error::exec("NULL event timestamp in windowing column"))
                     }
                     other => {
                         return Err(Error::exec(format!(
@@ -173,10 +171,7 @@ mod tests {
         // [8:00, 8:10) and [8:05, 8:15).
         assert_eq!(
             hop_windows(Ts::hm(8, 7), M10, M5, Duration::ZERO),
-            vec![
-                (Ts::hm(8, 0), Ts::hm(8, 10)),
-                (Ts::hm(8, 5), Ts::hm(8, 15)),
-            ]
+            vec![(Ts::hm(8, 0), Ts::hm(8, 10)), (Ts::hm(8, 5), Ts::hm(8, 15)),]
         );
         // 8:11 -> [8:05, 8:15) and [8:10, 8:20).
         assert_eq!(
@@ -249,8 +244,13 @@ mod tests {
             0,
         );
         let mut out = Vec::new();
-        w.process(0, Element::insert(row!(Ts::hm(8, 7), 2i64)), Ts(0), &mut out)
-            .unwrap();
+        w.process(
+            0,
+            Element::insert(row!(Ts::hm(8, 7), 2i64)),
+            Ts(0),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
     }
 

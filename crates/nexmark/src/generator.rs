@@ -94,7 +94,14 @@ pub struct NexmarkGenerator {
 const FIRST_NAMES: [&str; 8] = [
     "ada", "grace", "alan", "edsger", "barbara", "donald", "tony", "leslie",
 ];
-const CITIES: [&str; 6] = ["seattle", "berlin", "oakridge", "amsterdam", "phoenix", "kyoto"];
+const CITIES: [&str; 6] = [
+    "seattle",
+    "berlin",
+    "oakridge",
+    "amsterdam",
+    "phoenix",
+    "kyoto",
+];
 const STATES: [&str; 6] = ["wa", "be", "tn", "nh", "az", "kp"];
 const ITEMS: [&str; 8] = [
     "teapot", "vase", "stamp", "comic", "guitar", "lens", "clock", "globe",
@@ -125,8 +132,7 @@ impl NexmarkGenerator {
     pub fn next_event(&mut self) -> (Ts, NexmarkEvent) {
         let seq = self.sequence;
         self.sequence += 1;
-        let ptime = self.config.start
-            + Duration(self.config.inter_event_gap.millis() * seq as i64);
+        let ptime = self.config.start + Duration(self.config.inter_event_gap.millis() * seq as i64);
         let skew = if self.config.max_skew.millis() > 0 {
             Duration(self.rng.gen_range(0..=self.config.max_skew.millis()))
         } else {
@@ -168,16 +174,16 @@ impl NexmarkGenerator {
     fn make_auction(&mut self, date_time: Ts) -> Auction {
         let id = self.next_auction_id;
         self.next_auction_id += 1;
-        let initial_bid = self.rng.gen_range(1..100);
+        let initial_bid = self.rng.gen_range(1..100i64);
         Auction {
             id,
             item_name: ITEMS[self.rng.gen_range(0..ITEMS.len())].to_string(),
             initial_bid,
-            reserve: initial_bid + self.rng.gen_range(1..100),
+            reserve: initial_bid + self.rng.gen_range(1..100i64),
             date_time,
             expires: date_time + self.config.auction_lifetime,
             seller: self.random_person_id(),
-            category: 10 + self.rng.gen_range(0..5),
+            category: 10 + self.rng.gen_range(0..5i64),
         }
     }
 
@@ -185,7 +191,7 @@ impl NexmarkGenerator {
         Bid {
             auction: self.random_auction_id(),
             bidder: self.random_person_id(),
-            price: self.rng.gen_range(1..10_000),
+            price: self.rng.gen_range(1..10_000i64),
             date_time,
         }
     }

@@ -142,7 +142,10 @@ mod tests {
             panic!()
         };
         assert_eq!(*ptime, Ts::hm(8, 13));
-        assert_eq!(row.value(0).unwrap(), &onesql_types::Value::Ts(Ts::hm(8, 5)));
+        assert_eq!(
+            row.value(0).unwrap(),
+            &onesql_types::Value::Ts(Ts::hm(8, 5))
+        );
         assert_eq!(row.value(2).unwrap(), &onesql_types::Value::str("C"));
     }
 

@@ -3,9 +3,7 @@
 use std::sync::Arc;
 
 use onesql_sql::ast;
-use onesql_types::{
-    DataType, Duration, Error, Field, Result, Row, Schema, Ts, Value,
-};
+use onesql_types::{DataType, Duration, Error, Field, Result, Row, Schema, Ts, Value};
 
 use crate::catalog::{Catalog, TableKind};
 use crate::expr::{AggCall, AggFunc, BinOp, ScalarExpr, ScalarFunc};
@@ -149,8 +147,7 @@ impl<'a> Binder<'a> {
                 return Err(Error::plan("HAVING requires GROUP BY or aggregates"));
             }
             let input_schema = plan.schema();
-            let (exprs, schema) =
-                self.bind_projection(&select.projection, &input_schema, None)?;
+            let (exprs, schema) = self.bind_projection(&select.projection, &input_schema, None)?;
             let mut plan = LogicalPlan::Project {
                 input: Box::new(plan),
                 exprs,
@@ -275,7 +272,8 @@ impl<'a> Binder<'a> {
                 ast::SelectItem::Expr { expr, alias } => {
                     let bound = self.bind_over_aggregate(expr, &rewrite, &agg_schema)?;
                     let dt = bound.data_type(&agg_schema)?;
-                    let field = self.output_field(expr, alias.as_deref(), &bound, dt, &agg_schema)?;
+                    let field =
+                        self.output_field(expr, alias.as_deref(), &bound, dt, &agg_schema)?;
                     exprs.push(bound);
                     fields.push(field);
                 }
@@ -324,16 +322,13 @@ impl<'a> Binder<'a> {
                         }
                     }
                     if !any {
-                        return Err(Error::plan(format!(
-                            "no columns match wildcard '{q}.*'"
-                        )));
+                        return Err(Error::plan(format!("no columns match wildcard '{q}.*'")));
                     }
                 }
                 ast::SelectItem::Expr { expr, alias } => {
                     let bound = self.bind_scalar(expr, schema)?;
                     let dt = bound.data_type(schema)?;
-                    let field =
-                        self.output_field(expr, alias.as_deref(), &bound, dt, schema)?;
+                    let field = self.output_field(expr, alias.as_deref(), &bound, dt, schema)?;
                     exprs.push(bound);
                     fields.push(field);
                 }
@@ -405,17 +400,14 @@ impl<'a> Binder<'a> {
                 let plan = bound.plan;
                 // Requalify output columns with the alias.
                 let schema = Arc::new(plan.schema().with_qualifier(alias));
-                let exprs: Vec<ScalarExpr> =
-                    (0..schema.arity()).map(ScalarExpr::Column).collect();
+                let exprs: Vec<ScalarExpr> = (0..schema.arity()).map(ScalarExpr::Column).collect();
                 Ok(LogicalPlan::Project {
                     input: Box::new(plan),
                     exprs,
                     schema,
                 })
             }
-            ast::TableRef::TableFunction { call, alias } => {
-                self.bind_tvf(call, alias.as_deref())
-            }
+            ast::TableRef::TableFunction { call, alias } => self.bind_tvf(call, alias.as_deref()),
             ast::TableRef::Join {
                 left,
                 right,
@@ -486,10 +478,7 @@ impl<'a> Binder<'a> {
                 None => pos,
             };
             if slot >= slots.len() {
-                return Err(Error::plan(format!(
-                    "too many arguments for {}",
-                    call.name
-                )));
+                return Err(Error::plan(format!("too many arguments for {}", call.name)));
             }
             if slots[slot].is_some() {
                 return Err(Error::plan(format!(
@@ -544,9 +533,7 @@ impl<'a> Binder<'a> {
         let scalar_slot = |i: usize, name: &str| -> Result<Option<Duration>> {
             match slots.get(i).copied().flatten() {
                 None => Ok(None),
-                Some(ast::TvfArgValue::Scalar(e)) => {
-                    Ok(Some(self.constant_interval(e, name)?))
-                }
+                Some(ast::TvfArgValue::Scalar(e)) => Ok(Some(self.constant_interval(e, name)?)),
                 Some(_) => Err(Error::plan(format!(
                     "parameter '{name}' of {} must be an INTERVAL expression",
                     call.name
@@ -767,9 +754,8 @@ impl<'a> Binder<'a> {
                         "aggregate function {name} is not allowed here"
                     )));
                 }
-                let func = ScalarFunc::lookup(name).ok_or_else(|| {
-                    Error::plan(format!("unknown function '{name}'"))
-                })?;
+                let func = ScalarFunc::lookup(name)
+                    .ok_or_else(|| Error::plan(format!("unknown function '{name}'")))?;
                 if *distinct {
                     return Err(Error::plan(format!(
                         "DISTINCT is not valid for scalar function {name}"
@@ -795,9 +781,7 @@ impl<'a> Binder<'a> {
                     "EXISTS subqueries are not supported; rewrite as a join",
                 ))
             }
-            ast::Expr::Wildcard => {
-                return Err(Error::plan("'*' is only valid in COUNT(*)"))
-            }
+            ast::Expr::Wildcard => return Err(Error::plan("'*' is only valid in COUNT(*)")),
         })
     }
 
@@ -881,9 +865,7 @@ impl<'a> Binder<'a> {
                     None => None,
                 },
             }),
-            ast::Expr::Function { name, args, .. }
-                if ScalarFunc::lookup(name).is_some() =>
-            {
+            ast::Expr::Function { name, args, .. } if ScalarFunc::lookup(name).is_some() => {
                 Ok(ScalarExpr::ScalarFn {
                     func: ScalarFunc::lookup(name).expect("checked"),
                     args: args
@@ -902,9 +884,9 @@ impl<'a> Binder<'a> {
 
     fn constant_value(&self, expr: &ast::Expr, what: &str) -> Result<Value> {
         let empty = Schema::empty();
-        let bound = self.bind_scalar(expr, &empty).map_err(|e| {
-            Error::plan(format!("{what} must be a constant expression: {e}"))
-        })?;
+        let bound = self
+            .bind_scalar(expr, &empty)
+            .map_err(|e| Error::plan(format!("{what} must be a constant expression: {e}")))?;
         bound.eval(&Row::empty())
     }
 
@@ -974,20 +956,23 @@ pub fn bind_literal(l: &ast::Literal) -> Result<Value> {
         ast::Literal::Bool(b) => Value::Bool(*b),
         ast::Literal::Number(n) => {
             if n.contains('.') {
-                Value::Float(n.parse::<f64>().map_err(|_| {
-                    Error::plan(format!("invalid numeric literal '{n}'"))
-                })?)
+                Value::Float(
+                    n.parse::<f64>()
+                        .map_err(|_| Error::plan(format!("invalid numeric literal '{n}'")))?,
+                )
             } else {
-                Value::Int(n.parse::<i64>().map_err(|_| {
-                    Error::plan(format!("invalid integer literal '{n}'"))
-                })?)
+                Value::Int(
+                    n.parse::<i64>()
+                        .map_err(|_| Error::plan(format!("invalid integer literal '{n}'")))?,
+                )
             }
         }
         ast::Literal::String(s) => Value::str(s.as_str()),
         ast::Literal::Interval { value, unit } => {
-            let magnitude = value.trim().parse::<i64>().map_err(|_| {
-                Error::plan(format!("invalid INTERVAL magnitude '{value}'"))
-            })?;
+            let magnitude = value
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| Error::plan(format!("invalid INTERVAL magnitude '{value}'")))?;
             Value::Interval(Duration::from_millis(magnitude * unit.millis()))
         }
         ast::Literal::Timestamp(t) => Value::Ts(parse_clock_timestamp(t)?),
@@ -1027,11 +1012,7 @@ pub fn parse_clock_timestamp(text: &str) -> Result<Ts> {
 }
 
 /// Extract the aggregate argument AST, validating arity and `COUNT(*)`.
-fn agg_argument(
-    func: AggFunc,
-    args: &[ast::Expr],
-    distinct: bool,
-) -> Result<Option<ast::Expr>> {
+fn agg_argument(func: AggFunc, args: &[ast::Expr], distinct: bool) -> Result<Option<ast::Expr>> {
     match args {
         [ast::Expr::Wildcard] => {
             if func != AggFunc::Count {
@@ -1366,10 +1347,7 @@ mod tests {
         let LogicalPlan::Project { input, .. } = &q.plan else {
             panic!()
         };
-        let LogicalPlan::Aggregate {
-            event_time_key, ..
-        } = &**input
-        else {
+        let LogicalPlan::Aggregate { event_time_key, .. } = &**input else {
             panic!("expected aggregate, got {input}")
         };
         assert_eq!(*event_time_key, Some(0));
@@ -1383,10 +1361,7 @@ mod tests {
         let LogicalPlan::Project { input, .. } = &q.plan else {
             panic!()
         };
-        let LogicalPlan::Aggregate {
-            event_time_key, ..
-        } = &**input
-        else {
+        let LogicalPlan::Aggregate { event_time_key, .. } = &**input else {
             panic!()
         };
         assert_eq!(*event_time_key, None);
@@ -1417,10 +1392,8 @@ mod tests {
 
     #[test]
     fn count_star_and_distinct() {
-        let q = bind_sql(
-            "SELECT item, COUNT(*), COUNT(DISTINCT price) FROM Bid GROUP BY item",
-        )
-        .unwrap();
+        let q = bind_sql("SELECT item, COUNT(*), COUNT(DISTINCT price) FROM Bid GROUP BY item")
+            .unwrap();
         assert_eq!(q.schema().arity(), 3);
         assert!(bind_sql("SELECT MAX(*) FROM Bid").is_err());
         assert!(bind_sql("SELECT SUM(item) FROM Bid GROUP BY item").is_err());
@@ -1446,10 +1419,8 @@ mod tests {
 
     #[test]
     fn scalar_subquery_in_where_becomes_cross_join() {
-        let q = bind_sql(
-            "SELECT price, item FROM Bid WHERE price = (SELECT MAX(price) FROM Bid)",
-        )
-        .unwrap();
+        let q = bind_sql("SELECT price, item FROM Bid WHERE price = (SELECT MAX(price) FROM Bid)")
+            .unwrap();
         // Expect Project(Filter(Join(Bid, Aggregate))).
         let LogicalPlan::Project { input, .. } = &q.plan else {
             panic!()
@@ -1460,8 +1431,7 @@ mod tests {
         assert!(matches!(&**input, LogicalPlan::Join { .. }));
         // Multi-column subquery rejected.
         assert!(
-            bind_sql("SELECT price FROM Bid WHERE price = (SELECT price, item FROM Bid)")
-                .is_err()
+            bind_sql("SELECT price FROM Bid WHERE price = (SELECT price, item FROM Bid)").is_err()
         );
         // Subquery in SELECT list unsupported.
         assert!(bind_sql("SELECT (SELECT MAX(price) FROM Bid) FROM Bid").is_err());
@@ -1471,10 +1441,7 @@ mod tests {
     fn emit_binding() {
         let q = bind_sql("SELECT * FROM Bid EMIT STREAM").unwrap();
         assert!(q.emit.stream);
-        let q = bind_sql(
-            "SELECT * FROM Bid EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES",
-        )
-        .unwrap();
+        let q = bind_sql("SELECT * FROM Bid EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES").unwrap();
         assert_eq!(q.emit.delay, Some(Duration::from_minutes(6)));
         assert!(bind_sql("SELECT * FROM Bid EMIT AFTER DELAY 5").is_err());
     }
@@ -1486,10 +1453,9 @@ mod tests {
 
     #[test]
     fn order_by_binds_against_output_aliases() {
-        let q = bind_sql(
-            "SELECT item, SUM(price) AS total FROM Bid GROUP BY item ORDER BY total DESC",
-        )
-        .unwrap();
+        let q =
+            bind_sql("SELECT item, SUM(price) AS total FROM Bid GROUP BY item ORDER BY total DESC")
+                .unwrap();
         assert_eq!(q.order_by.len(), 1);
         assert!(q.order_by[0].desc);
         assert_eq!(q.order_by[0].expr, ScalarExpr::Column(1));
@@ -1497,15 +1463,12 @@ mod tests {
 
     #[test]
     fn join_condition_split() {
-        let q = bind_sql(
-            "SELECT B.price FROM Bid B JOIN Category C ON B.price = C.id AND B.price > 5",
-        )
-        .unwrap();
+        let q =
+            bind_sql("SELECT B.price FROM Bid B JOIN Category C ON B.price = C.id AND B.price > 5")
+                .unwrap();
         fn find_join(plan: &LogicalPlan) -> Option<(&Vec<(usize, usize)>, bool)> {
             match plan {
-                LogicalPlan::Join { equi, residual, .. } => {
-                    Some((equi, residual.is_some()))
-                }
+                LogicalPlan::Join { equi, residual, .. } => Some((equi, residual.is_some())),
                 _ => plan.inputs().into_iter().find_map(find_join),
             }
         }
@@ -1517,8 +1480,7 @@ mod tests {
     #[test]
     fn as_of_only_on_tables() {
         assert!(bind_sql("SELECT * FROM Bid AS OF SYSTEM TIME TIMESTAMP '8:00'").is_err());
-        let q =
-            bind_sql("SELECT * FROM Category AS OF SYSTEM TIME TIMESTAMP '8:00'").unwrap();
+        let q = bind_sql("SELECT * FROM Category AS OF SYSTEM TIME TIMESTAMP '8:00'").unwrap();
         let LogicalPlan::Project { input, .. } = &q.plan else {
             panic!()
         };
@@ -1535,10 +1497,7 @@ mod tests {
             parse_clock_timestamp("8:07:30").unwrap(),
             Ts(Ts::hm(8, 7).millis() + 30_000)
         );
-        assert_eq!(
-            parse_clock_timestamp("0:00:00.250").unwrap(),
-            Ts(250)
-        );
+        assert_eq!(parse_clock_timestamp("0:00:00.250").unwrap(), Ts(250));
         assert_eq!(parse_clock_timestamp("1234").unwrap(), Ts(1234));
         assert!(parse_clock_timestamp("nope").is_err());
         assert!(parse_clock_timestamp("1:2:3:4").is_err());
@@ -1547,9 +1506,7 @@ mod tests {
     #[test]
     fn union_all_schema_check() {
         assert!(bind_sql("SELECT price FROM Bid UNION ALL SELECT item FROM Bid").is_err());
-        assert!(
-            bind_sql("SELECT price FROM Bid UNION ALL SELECT price, item FROM Bid").is_err()
-        );
+        assert!(bind_sql("SELECT price FROM Bid UNION ALL SELECT price, item FROM Bid").is_err());
         let q = bind_sql("SELECT price FROM Bid UNION ALL SELECT price FROM Bid").unwrap();
         assert_eq!(q.schema().arity(), 1);
     }

@@ -83,11 +83,7 @@ mod tests {
     #[test]
     fn unknown_table_lists_known() {
         let mut cat = MemoryCatalog::new();
-        cat.register(
-            "bid",
-            Arc::new(Schema::empty()),
-            TableKind::Stream,
-        );
+        cat.register("bid", Arc::new(Schema::empty()), TableKind::Stream);
         let err = cat.resolve("Auction").unwrap_err();
         assert!(err.to_string().contains("bid"), "{err}");
     }

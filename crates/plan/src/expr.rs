@@ -241,18 +241,13 @@ impl ScalarExpr {
             }
             ScalarExpr::Cast { expr, to } => expr.eval(row)?.cast(*to),
             ScalarExpr::ScalarFn { func, args } => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
                 eval_scalar_fn(*func, &vals)
             }
         }
     }
 
-    fn eval_binary(
-        left: Value,
-        op: BinOp,
-        right: impl FnOnce() -> Result<Value>,
-    ) -> Result<Value> {
+    fn eval_binary(left: Value, op: BinOp, right: impl FnOnce() -> Result<Value>) -> Result<Value> {
         use BinOp::*;
         // Short-circuiting three-valued AND/OR.
         match op {
@@ -401,9 +396,8 @@ impl ScalarExpr {
     }
 
     fn unify(a: DataType, b: DataType) -> Result<DataType> {
-        DataType::common_super_type(a, b).ok_or_else(|| {
-            Error::type_error(format!("incompatible branch types {a} and {b}"))
-        })
+        DataType::common_super_type(a, b)
+            .ok_or_else(|| Error::type_error(format!("incompatible branch types {a} and {b}")))
     }
 
     fn binary_type(&self, op: BinOp, lt: DataType, rt: DataType) -> Result<DataType> {
@@ -559,9 +553,7 @@ impl ScalarExpr {
                     .iter()
                     .map(|(c, r)| (c.remap_columns(map), r.remap_columns(map)))
                     .collect(),
-                else_expr: else_expr
-                    .as_ref()
-                    .map(|e| Box::new(e.remap_columns(map))),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.remap_columns(map))),
             },
             ScalarExpr::Cast { expr, to } => ScalarExpr::Cast {
                 expr: Box::new(expr.remap_columns(map)),
@@ -616,9 +608,10 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
             let [v] = args else { return arity_err("1") };
             match v {
                 Value::Null => Ok(Value::Null),
-                Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
-                    Error::exec("BIGINT overflow in ABS")
-                })?)),
+                Value::Int(i) => Ok(Value::Int(
+                    i.checked_abs()
+                        .ok_or_else(|| Error::exec("BIGINT overflow in ABS"))?,
+                )),
                 Value::Float(f) => Ok(Value::Float(f.abs())),
                 other => Err(Error::type_error(format!(
                     "ABS requires a numeric, got {}",
@@ -687,7 +680,9 @@ fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
             Ok(Value::Null)
         }
         ScalarFunc::FloorTime => {
-            let [t, step] = args else { return arity_err("2") };
+            let [t, step] = args else {
+                return arity_err("2");
+            };
             if t.is_null() || step.is_null() {
                 return Ok(Value::Null);
             }
@@ -714,7 +709,9 @@ fn scalar_fn_type(func: ScalarFunc, args: &[DataType]) -> Result<DataType> {
     match func {
         ScalarFunc::Abs => match args {
             [t] if t.is_numeric() || *t == T::Null => Ok(*t),
-            [t] => Err(Error::type_error(format!("ABS requires a numeric, got {t}"))),
+            [t] => Err(Error::type_error(format!(
+                "ABS requires a numeric, got {t}"
+            ))),
             _ => arity_err("1"),
         },
         ScalarFunc::Lower | ScalarFunc::Upper => match args {
@@ -739,10 +736,7 @@ fn scalar_fn_type(func: ScalarFunc, args: &[DataType]) -> Result<DataType> {
             let mut t = T::Null;
             for &a in args {
                 t = T::common_super_type(t, a).ok_or_else(|| {
-                    Error::type_error(format!(
-                        "{} arguments have incompatible types",
-                        func.name()
-                    ))
+                    Error::type_error(format!("{} arguments have incompatible types", func.name()))
                 })?;
             }
             Ok(t)
@@ -805,7 +799,9 @@ impl AggFunc {
                 if arg.is_numeric() || arg == T::Null || arg == T::Interval {
                     Ok(arg)
                 } else {
-                    Err(Error::type_error(format!("SUM requires a numeric, got {arg}")))
+                    Err(Error::type_error(format!(
+                        "SUM requires a numeric, got {arg}"
+                    )))
                 }
             }
             AggFunc::Min | AggFunc::Max => {
@@ -822,7 +818,9 @@ impl AggFunc {
                 if arg.is_numeric() || arg == T::Null {
                     Ok(T::Float)
                 } else {
-                    Err(Error::type_error(format!("AVG requires a numeric, got {arg}")))
+                    Err(Error::type_error(format!(
+                        "AVG requires a numeric, got {arg}"
+                    )))
                 }
             }
         }
@@ -1033,20 +1031,36 @@ mod tests {
             negated,
         };
         assert_eq!(
-            eval(&make(Value::Int(2), vec![Value::Int(1), Value::Int(2)], false)),
+            eval(&make(
+                Value::Int(2),
+                vec![Value::Int(1), Value::Int(2)],
+                false
+            )),
             Value::Bool(true)
         );
         assert_eq!(
-            eval(&make(Value::Int(3), vec![Value::Int(1), Value::Int(2)], false)),
+            eval(&make(
+                Value::Int(3),
+                vec![Value::Int(1), Value::Int(2)],
+                false
+            )),
             Value::Bool(false)
         );
         // 3 IN (1, NULL) is NULL; 1 IN (1, NULL) is TRUE.
         assert_eq!(
-            eval(&make(Value::Int(3), vec![Value::Int(1), Value::Null], false)),
+            eval(&make(
+                Value::Int(3),
+                vec![Value::Int(1), Value::Null],
+                false
+            )),
             Value::Null
         );
         assert_eq!(
-            eval(&make(Value::Int(1), vec![Value::Int(1), Value::Null], false)),
+            eval(&make(
+                Value::Int(1),
+                vec![Value::Int(1), Value::Null],
+                false
+            )),
             Value::Bool(true)
         );
         // NOT IN flips.
@@ -1173,7 +1187,10 @@ mod tests {
         assert_eq!(AggFunc::Count.result_type(T::String).unwrap(), T::Int);
         assert_eq!(AggFunc::Sum.result_type(T::Int).unwrap(), T::Int);
         assert_eq!(AggFunc::Avg.result_type(T::Int).unwrap(), T::Float);
-        assert_eq!(AggFunc::Max.result_type(T::Timestamp).unwrap(), T::Timestamp);
+        assert_eq!(
+            AggFunc::Max.result_type(T::Timestamp).unwrap(),
+            T::Timestamp
+        );
         assert!(AggFunc::Sum.result_type(T::String).is_err());
         assert_eq!(AggFunc::lookup("max"), Some(AggFunc::Max));
         assert_eq!(AggFunc::lookup("median"), None);

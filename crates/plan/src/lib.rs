@@ -25,9 +25,7 @@ pub use binder::{bind, Binder};
 pub use catalog::{Catalog, MemoryCatalog, TableKind};
 pub use expr::{AggCall, AggFunc, ScalarExpr};
 pub use optimizer::optimize;
-pub use plan::{
-    BoundQuery, EmitSpec, JoinKind, JoinTimeBound, LogicalPlan, SortKey, WindowKind,
-};
+pub use plan::{BoundQuery, EmitSpec, JoinKind, JoinTimeBound, LogicalPlan, SortKey, WindowKind};
 
 use onesql_types::Result;
 

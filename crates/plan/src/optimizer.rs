@@ -340,9 +340,7 @@ fn push_filter_into_join_rule(plan: &LogicalPlan) -> Option<LogicalPlan> {
         // only report a change if the shape actually changes — otherwise
         // the optimizer would loop forever.
         let new_residual = combine_conjuncts(remaining);
-        if new_residual == *residual
-            || matches!((&new_residual, residual), (Some(_), Some(_)))
-        {
+        if new_residual == *residual || matches!((&new_residual, residual), (Some(_), Some(_))) {
             return None;
         }
         return Some(LogicalPlan::Join {
@@ -754,17 +752,9 @@ mod tests {
         let plan = LogicalPlan::Filter {
             input: Box::new(LogicalPlan::Filter {
                 input: Box::new(scan),
-                predicate: ScalarExpr::binary(
-                    ScalarExpr::col(0),
-                    BinOp::Gt,
-                    ScalarExpr::lit(1i64),
-                ),
+                predicate: ScalarExpr::binary(ScalarExpr::col(0), BinOp::Gt, ScalarExpr::lit(1i64)),
             }),
-            predicate: ScalarExpr::binary(
-                ScalarExpr::col(0),
-                BinOp::Lt,
-                ScalarExpr::lit(10i64),
-            ),
+            predicate: ScalarExpr::binary(ScalarExpr::col(0), BinOp::Lt, ScalarExpr::lit(10i64)),
         };
         let (rewritten, changed) = rewrite(plan);
         assert!(changed);

@@ -186,9 +186,7 @@ impl LogicalPlan {
             | LogicalPlan::Window { schema, .. }
             | LogicalPlan::Aggregate { schema, .. }
             | LogicalPlan::Join { schema, .. } => Arc::clone(schema),
-            LogicalPlan::Filter { input, .. } | LogicalPlan::Distinct { input } => {
-                input.schema()
-            }
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Distinct { input } => input.schema(),
             LogicalPlan::UnionAll { left, .. } => left.schema(),
         }
     }
@@ -203,8 +201,7 @@ impl LogicalPlan {
             | LogicalPlan::Window { input, .. }
             | LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Distinct { input } => input.is_unbounded(),
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::UnionAll { left, right } => {
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::UnionAll { left, right } => {
                 left.is_unbounded() || right.is_unbounded()
             }
         }
@@ -219,8 +216,9 @@ impl LogicalPlan {
             | LogicalPlan::Window { input, .. }
             | LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Distinct { input } => vec![input],
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::UnionAll { left, right } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::UnionAll { left, right } => {
+                vec![left, right]
+            }
         }
     }
 

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the API this workspace's property tests use:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_recursive`,
+//! range / tuple / `Just` / `any::<T>()` / regex-string strategies, the
+//! `prop::collection::vec`, `prop::option::of`, and `prop::bool::ANY`
+//! helpers, and the `proptest!` / `prop_oneof!` / `prop_assert*!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking** — a failing case reports the panic from the first
+//!   failing input instead of a minimized one.
+//! - **Deterministic seeding** — each test's RNG is seeded from its name,
+//!   so runs are reproducible; set `PROPTEST_CASES` to raise case counts.
+//! - **Regex strategies** support the literal-class subset actually used
+//!   (`[a-z0-9_]{m,n}`-style patterns and `\PC`).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection, option, and bool strategy namespaces (`prop::...`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl Into<crate::strategy::SizeRange>,
+    ) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy yielding `None` roughly a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `prop::` namespace as re-exported by the real prelude.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+/// Everything a property test file imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; failure panics with the failing input in the
+/// backtrace (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::BoxedStrategy::new($strategy)),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.effective_cases() {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&($strategy), &mut __rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` in both the trait and macro
+//! namespaces so `use serde::{Serialize, Deserialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives are
+//! no-ops (see `serde_derive`); the traits are empty markers. If real
+//! serialization is ever needed, replace these path dependencies with the
+//! crates.io versions — no source changes required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes through serde (checkpoints use the
+//! hand-written codec in `onesql_state`). The derives therefore expand to
+//! nothing: `#[derive(Serialize, Deserialize)]` stays valid on every type
+//! while producing no code.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

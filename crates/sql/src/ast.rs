@@ -443,11 +443,7 @@ impl BinaryOp {
 // ---------------------------------------------------------------------------
 
 fn join_displayed<T: fmt::Display>(items: &[T], sep: &str) -> String {
-    items
-        .iter()
-        .map(T::to_string)
-        .collect::<Vec<_>>()
-        .join(sep)
+    items.iter().map(T::to_string).collect::<Vec<_>>().join(sep)
 }
 
 impl fmt::Display for Query {
@@ -629,7 +625,11 @@ impl fmt::Display for Expr {
             // operand so the canonical text reparses unambiguously
             // regardless of the surrounding precedence context.
             Expr::IsNull { expr, negated } => {
-                write!(f, "(({expr}) IS {}NULL)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "(({expr}) IS {}NULL)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Between {
                 expr,
@@ -737,7 +737,10 @@ mod tests {
             "INTERVAL '10' MINUTE"
         );
         assert_eq!(Literal::String("it's".into()).to_string(), "'it''s'");
-        assert_eq!(Literal::Timestamp("8:07".into()).to_string(), "TIMESTAMP '8:07'");
+        assert_eq!(
+            Literal::Timestamp("8:07".into()).to_string(),
+            "TIMESTAMP '8:07'"
+        );
     }
 
     #[test]

@@ -122,10 +122,9 @@ impl<'a> Lexer<'a> {
                 b'0'..=b'9' => self.number(),
                 c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
                 other => {
-                    return Err(self.error_at(
-                        offset,
-                        format!("unexpected character '{}'", other as char),
-                    ))
+                    return Err(
+                        self.error_at(offset, format!("unexpected character '{}'", other as char))
+                    )
                 }
             };
             tokens.push(Token { kind, offset });
@@ -161,11 +160,7 @@ impl<'a> Lexer<'a> {
                                 break;
                             }
                             Some(_) => {}
-                            None => {
-                                return Err(
-                                    self.error_at(start, "unterminated block comment")
-                                )
-                            }
+                            None => return Err(self.error_at(start, "unterminated block comment")),
                         }
                     }
                 }
@@ -331,11 +326,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("SELECT -- line comment\n /* block\n comment */ 1"),
-            vec![
-                Keyword(super::Keyword::Select),
-                Number("1".into()),
-                Eof
-            ]
+            vec![Keyword(super::Keyword::Select), Number("1".into()), Eof]
         );
     }
 
@@ -344,11 +335,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds(r#""Order Data" "say ""hi""""#),
-            vec![
-                Ident("Order Data".into()),
-                Ident("say \"hi\"".into()),
-                Eof
-            ]
+            vec![Ident("Order Data".into()), Ident("say \"hi\"".into()), Eof]
         );
     }
 

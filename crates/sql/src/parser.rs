@@ -41,7 +41,9 @@ impl Parser {
     }
 
     fn advance(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -119,9 +121,10 @@ impl Parser {
         }
         let limit = if self.consume_keyword(Keyword::Limit) {
             match self.advance() {
-                TokenKind::Number(n) => Some(n.parse::<u64>().map_err(|_| {
-                    Error::parse(format!("invalid LIMIT value '{n}'"))
-                })?),
+                TokenKind::Number(n) => Some(
+                    n.parse::<u64>()
+                        .map_err(|_| Error::parse(format!("invalid LIMIT value '{n}'")))?,
+                ),
                 _ => return Err(self.unexpected("expected integer after LIMIT")),
             }
         } else {
@@ -242,8 +245,7 @@ impl Parser {
         }
         // `alias.*`
         if let TokenKind::Ident(name) = self.peek().clone() {
-            if *self.peek_ahead(1) == TokenKind::Dot && *self.peek_ahead(2) == TokenKind::Star
-            {
+            if *self.peek_ahead(1) == TokenKind::Dot && *self.peek_ahead(2) == TokenKind::Star {
                 self.advance();
                 self.advance();
                 self.advance();
@@ -419,9 +421,7 @@ impl Parser {
                 let negated = if self.peek_keyword(Keyword::Not)
                     && matches!(
                         self.peek_ahead(1),
-                        TokenKind::Keyword(
-                            Keyword::Between | Keyword::In | Keyword::Like
-                        )
+                        TokenKind::Keyword(Keyword::Between | Keyword::In | Keyword::Like)
                     ) {
                     self.advance();
                     true
@@ -651,9 +651,9 @@ impl Parser {
             TokenKind::Keyword(Keyword::Minute | Keyword::Minutes) => IntervalUnit::Minute,
             TokenKind::Keyword(Keyword::Hour | Keyword::Hours) => IntervalUnit::Hour,
             _ => {
-                return Err(self.unexpected(
-                    "expected interval unit (MILLISECOND/SECOND/MINUTE/HOUR)",
-                ))
+                return Err(
+                    self.unexpected("expected interval unit (MILLISECOND/SECOND/MINUTE/HOUR)")
+                )
             }
         };
         Ok(Expr::Literal(Literal::Interval { value, unit }))
@@ -711,8 +711,8 @@ mod tests {
     fn round_trip(sql: &str) -> Query {
         let q1 = parse_query(sql).unwrap_or_else(|e| panic!("parse failed for {sql}: {e}"));
         let printed = q1.to_string();
-        let q2 = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+        let q2 =
+            parse_query(&printed).unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
         assert_eq!(q1, q2, "round trip mismatch for {sql} -> {printed}");
         q1
     }
@@ -828,8 +828,7 @@ mod tests {
         assert!(q.emit.as_ref().unwrap().after_watermark);
         assert!(q.emit.as_ref().unwrap().stream);
 
-        let q =
-            round_trip("SELECT * FROM Bid EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES");
+        let q = round_trip("SELECT * FROM Bid EMIT STREAM AFTER DELAY INTERVAL '6' MINUTES");
         assert!(q.emit.as_ref().unwrap().after_delay.is_some());
 
         let q = round_trip(
@@ -928,9 +927,7 @@ mod tests {
 
     #[test]
     fn scalar_subquery_and_exists() {
-        let q = round_trip(
-            "SELECT * FROM Bid B WHERE B.price = (SELECT MAX(price) FROM Bid)",
-        );
+        let q = round_trip("SELECT * FROM Bid B WHERE B.price = (SELECT MAX(price) FROM Bid)");
         let SetExpr::Select(s) = &q.body else {
             panic!()
         };

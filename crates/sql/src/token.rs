@@ -215,10 +215,10 @@ mod tests {
     #[test]
     fn token_display() {
         assert_eq!(TokenKind::Arrow.to_string(), "=>");
+        assert_eq!(TokenKind::Keyword(Keyword::Select).to_string(), "SELECT");
         assert_eq!(
-            TokenKind::Keyword(Keyword::Select).to_string(),
-            "SELECT"
+            TokenKind::Ident("Bid".into()).to_string(),
+            "identifier 'Bid'"
         );
-        assert_eq!(TokenKind::Ident("Bid".into()).to_string(), "identifier 'Bid'");
     }
 }

@@ -17,12 +17,15 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
         any::<bool>().prop_map(Literal::Bool),
         (0u32..1_000_000).prop_map(|n| Literal::Number(n.to_string())),
         "[a-zA-Z0-9 _%]{0,12}".prop_map(Literal::String),
-        (1u32..10_000, prop_oneof![
-            Just(IntervalUnit::Millisecond),
-            Just(IntervalUnit::Second),
-            Just(IntervalUnit::Minute),
-            Just(IntervalUnit::Hour),
-        ])
+        (
+            1u32..10_000,
+            prop_oneof![
+                Just(IntervalUnit::Millisecond),
+                Just(IntervalUnit::Second),
+                Just(IntervalUnit::Minute),
+                Just(IntervalUnit::Hour),
+            ]
+        )
             .prop_map(|(v, unit)| Literal::Interval {
                 value: v.to_string(),
                 unit
@@ -72,7 +75,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 expr: Box::new(e),
                 negated
             }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>())
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
@@ -104,10 +111,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 
 fn arb_query() -> impl Strategy<Value = Query> {
     (
-        prop::collection::vec(
-            (arb_expr(), prop::option::of(arb_ident())),
-            1..4,
-        ),
+        prop::collection::vec((arb_expr(), prop::option::of(arb_ident())), 1..4),
         arb_ident(),
         prop::option::of(arb_expr()),
         prop::collection::vec(arb_expr(), 0..3),

@@ -213,7 +213,11 @@ impl Codec for Value {
             }
             TAG_TS => Value::Ts(Ts::decode(input)?),
             TAG_INTERVAL => Value::Interval(Duration::decode(input)?),
-            tag => return Err(Error::exec(format!("unknown value tag {tag} in checkpoint"))),
+            tag => {
+                return Err(Error::exec(format!(
+                    "unknown value tag {tag} in checkpoint"
+                )))
+            }
         })
     }
 }

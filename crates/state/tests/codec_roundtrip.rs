@@ -97,5 +97,8 @@ fn empty_checkpoint_round_trips() {
     restored.restore(&cp).unwrap();
     assert!(restored.is_empty());
     // An empty map is just its zero length prefix.
-    assert_eq!(cp, Checkpoint(bytes::Bytes::copy_from_slice(&0u64.to_le_bytes())));
+    assert_eq!(
+        cp,
+        Checkpoint(bytes::Bytes::copy_from_slice(&0u64.to_le_bytes()))
+    );
 }

@@ -14,7 +14,5 @@ pub mod generator;
 pub mod watermark;
 
 pub use clock::VirtualClock;
-pub use generator::{
-    AscendingWatermarks, BoundedOutOfOrderness, NoWatermarks, WatermarkGenerator,
-};
+pub use generator::{AscendingWatermarks, BoundedOutOfOrderness, NoWatermarks, WatermarkGenerator};
 pub use watermark::{Watermark, WatermarkTracker};

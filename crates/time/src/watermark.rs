@@ -9,9 +9,7 @@ use onesql_types::Ts;
 /// A watermark value: the event time up to which the input is believed
 /// complete. A watermark of [`Ts::MAX`] marks end-of-stream (the relation
 /// will never change again); [`Ts::MIN`] means nothing is known yet.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Watermark(pub Ts);
 
 impl Watermark {
@@ -98,11 +96,7 @@ impl WatermarkTracker {
 
     /// The current combined (minimum) watermark.
     pub fn combined(&self) -> Watermark {
-        self.inputs
-            .iter()
-            .copied()
-            .min()
-            .unwrap_or(Watermark::MAX)
+        self.inputs.iter().copied().min().unwrap_or(Watermark::MAX)
     }
 
     /// The watermark of a single input.

@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use onesql_time::{
-    AscendingWatermarks, BoundedOutOfOrderness, Watermark, WatermarkGenerator,
-    WatermarkTracker,
+    AscendingWatermarks, BoundedOutOfOrderness, Watermark, WatermarkGenerator, WatermarkTracker,
 };
 use onesql_types::{Duration, Ts};
 

@@ -85,10 +85,7 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            Element::watermark(Ts::hm(8, 5)).to_string(),
-            "WM[8:05]"
-        );
+        assert_eq!(Element::watermark(Ts::hm(8, 5)).to_string(), "WM[8:05]");
         assert_eq!(Element::insert(row!(1i64)).to_string(), "(1) +1");
     }
 }

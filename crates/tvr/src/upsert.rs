@@ -53,10 +53,7 @@ impl fmt::Display for UpsertChange {
 ///
 /// Errors if the input violates the unique-key assumption (two live rows
 /// with the same key).
-pub fn retractions_to_upserts(
-    changes: &[Change],
-    key_cols: &[usize],
-) -> Result<Vec<UpsertChange>> {
+pub fn retractions_to_upserts(changes: &[Change], key_cols: &[usize]) -> Result<Vec<UpsertChange>> {
     // Track the live row per key so we can validate uniqueness.
     let mut live: BTreeMap<Row, Row> = BTreeMap::new();
     let mut out: Vec<UpsertChange> = Vec::with_capacity(changes.len());

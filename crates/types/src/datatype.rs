@@ -104,7 +104,10 @@ mod tests {
         use DataType::*;
         assert_eq!(DataType::common_super_type(Int, Int), Some(Int));
         assert_eq!(DataType::common_super_type(Int, Float), Some(Float));
-        assert_eq!(DataType::common_super_type(Null, Timestamp), Some(Timestamp));
+        assert_eq!(
+            DataType::common_super_type(Null, Timestamp),
+            Some(Timestamp)
+        );
         assert_eq!(DataType::common_super_type(String, Timestamp), None);
         assert_eq!(DataType::common_super_type(Bool, Int), None);
     }

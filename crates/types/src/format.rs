@@ -75,10 +75,7 @@ mod tests {
 
     #[test]
     fn renders_padded_columns() {
-        let s = format_table(
-            &["wstart", "wend"],
-            &[vec!["8:00".into(), "8:10".into()]],
-        );
+        let s = format_table(&["wstart", "wend"], &[vec!["8:00".into(), "8:10".into()]]);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[1], "| wstart | wend |");
         assert_eq!(lines[3], "| 8:00   | 8:10 |");

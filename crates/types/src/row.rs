@@ -28,7 +28,9 @@ impl Row {
 
     /// The empty row (used by constant relations such as `SELECT 1`).
     pub fn empty() -> Row {
-        Row { values: Arc::from([]) }
+        Row {
+            values: Arc::from([]),
+        }
     }
 
     /// Number of columns.

@@ -263,9 +263,7 @@ mod tests {
         let s = bid_schema();
         assert!(s.has_event_time());
         assert_eq!(s.event_time_columns(), vec![0]);
-        let degraded = Schema::new(
-            s.fields().iter().map(|f| f.clone().degraded()).collect(),
-        );
+        let degraded = Schema::new(s.fields().iter().map(|f| f.clone().degraded()).collect());
         assert!(!degraded.has_event_time());
     }
 

@@ -163,10 +163,9 @@ impl Value {
         use Value::*;
         Ok(match (self, other) {
             (Null, _) | (_, Null) => Null,
-            (Int(a), Int(b)) => {
-                Int(a.checked_add(*b)
-                    .ok_or_else(|| Error::exec("BIGINT overflow in addition"))?)
-            }
+            (Int(a), Int(b)) => Int(a
+                .checked_add(*b)
+                .ok_or_else(|| Error::exec("BIGINT overflow in addition"))?),
             (Float(a), Float(b)) => Float(a + b),
             (Int(a), Float(b)) => Float(*a as f64 + b),
             (Float(a), Int(b)) => Float(a + *b as f64),
@@ -188,10 +187,9 @@ impl Value {
         use Value::*;
         Ok(match (self, other) {
             (Null, _) | (_, Null) => Null,
-            (Int(a), Int(b)) => {
-                Int(a.checked_sub(*b)
-                    .ok_or_else(|| Error::exec("BIGINT overflow in subtraction"))?)
-            }
+            (Int(a), Int(b)) => Int(a
+                .checked_sub(*b)
+                .ok_or_else(|| Error::exec("BIGINT overflow in subtraction"))?),
             (Float(a), Float(b)) => Float(a - b),
             (Int(a), Float(b)) => Float(*a as f64 - b),
             (Float(a), Int(b)) => Float(a - *b as f64),
@@ -213,10 +211,9 @@ impl Value {
         use Value::*;
         Ok(match (self, other) {
             (Null, _) | (_, Null) => Null,
-            (Int(a), Int(b)) => {
-                Int(a.checked_mul(*b)
-                    .ok_or_else(|| Error::exec("BIGINT overflow in multiplication"))?)
-            }
+            (Int(a), Int(b)) => Int(a
+                .checked_mul(*b)
+                .ok_or_else(|| Error::exec("BIGINT overflow in multiplication"))?),
             (Float(a), Float(b)) => Float(a * b),
             (Int(a), Float(b)) => Float(*a as f64 * b),
             (Float(a), Int(b)) => Float(a * *b as f64),
@@ -468,10 +465,7 @@ mod tests {
         assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
     }
 
     #[test]
@@ -485,10 +479,7 @@ mod tests {
 
     #[test]
     fn arithmetic_matrix() {
-        assert_eq!(
-            Value::Int(2).add(&Value::Int(3)).unwrap(),
-            Value::Int(5)
-        );
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(
             Value::Int(2).add(&Value::Float(0.5)).unwrap(),
             Value::Float(2.5)
@@ -505,14 +496,8 @@ mod tests {
                 .unwrap(),
             Value::Interval(Duration::from_minutes(10))
         );
-        assert_eq!(
-            Value::Int(7).div(&Value::Int(2)).unwrap(),
-            Value::Int(3)
-        );
-        assert_eq!(
-            Value::Int(7).rem(&Value::Int(2)).unwrap(),
-            Value::Int(1)
-        );
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Int(7).rem(&Value::Int(2)).unwrap(), Value::Int(1));
         assert_eq!(Value::Int(5).neg().unwrap(), Value::Int(-5));
         assert!(Value::Int(1).div(&Value::Int(0)).is_err());
         assert!(Value::str("a").add(&Value::Int(1)).is_err());
@@ -556,11 +541,13 @@ mod tests {
 
     #[test]
     fn total_order_across_types() {
-        let mut vals = [Value::str("a"),
+        let mut vals = [
+            Value::str("a"),
             Value::Int(1),
             Value::Null,
             Value::Float(0.5),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));
@@ -569,9 +556,11 @@ mod tests {
 
     #[test]
     fn float_total_order_handles_nan() {
-        let mut vals = [Value::Float(f64::NAN),
+        let mut vals = [
+            Value::Float(f64::NAN),
             Value::Float(1.0),
-            Value::Float(f64::NEG_INFINITY)];
+            Value::Float(f64::NEG_INFINITY),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Float(f64::NEG_INFINITY));
         assert_eq!(vals[1], Value::Float(1.0));

@@ -73,7 +73,10 @@ fn main() {
         .count();
     println!("generated {} events ({} bids)\n", events.len(), bids);
 
-    println!("== Query 7: highest bid per 10-minute window ==\n{}\n", queries::Q7);
+    println!(
+        "== Query 7: highest bid per 10-minute window ==\n{}\n",
+        queries::Q7
+    );
 
     let (continuous, preview) = run(queries::Q7, &events);
     println!("continuous emission: {continuous} changelog rows; last updates:");

@@ -38,9 +38,7 @@ fn main() {
         println!("  {t}  {row}");
     }
     for (bidtime, price, item) in &dropped {
-        println!(
-            "  !! bid ({bidtime}, ${price}, {item}) arrived behind the heartbeat: DROPPED"
-        );
+        println!("  !! bid ({bidtime}, ${price}, {item}) arrived behind the heartbeat: DROPPED");
     }
     println!(
         "  (peak in-order buffer: {} tuples — buffering is latency)\n",
@@ -64,9 +62,7 @@ fn main() {
         for event in paper_timeline() {
             match event {
                 PaperEvent::Insert { ptime, row } => q.insert("Bid", ptime, row).unwrap(),
-                PaperEvent::Watermark { ptime, wm } => {
-                    q.watermark("Bid", ptime, wm).unwrap()
-                }
+                PaperEvent::Watermark { ptime, wm } => q.watermark("Bid", ptime, wm).unwrap(),
             }
         }
         q

@@ -70,12 +70,20 @@ fn main() {
 
     // 3. The table's own changelog is a TVR: show its history.
     println!("\n== Rate table changelog (system-time history) ==");
-    let history = engine.temporal_table_mut("Rates").unwrap().history().clone();
+    let history = engine
+        .temporal_table_mut("Rates")
+        .unwrap()
+        .history()
+        .clone();
     for entry in history.entries() {
         println!(
             "  {}  {}  {}",
             entry.ptime,
-            if entry.change.diff > 0 { "INSERT" } else { "DELETE" },
+            if entry.change.diff > 0 {
+                "INSERT"
+            } else {
+                "DELETE"
+            },
             entry.change.row
         );
     }

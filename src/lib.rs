@@ -1,4 +1,15 @@
 #![warn(missing_docs)]
 
 //! Meta-crate re-exporting the onesql public API.
+//!
+//! - [`core`] — the engine: catalog, planning, running queries.
+//! - [`connect`] — pluggable sources/sinks and the pipeline driver.
+pub use onesql_connect as connect;
 pub use onesql_core as core;
+
+pub use onesql_connect::{
+    ChangelogSink, ChannelPublisher, ChannelSink, ChannelSource, CsvFileSink, CsvFileSource,
+    CsvSinkMode, DriverConfig, FileSourceConfig, JsonLinesSink, JsonLinesSource, NexmarkSource,
+    PipelineDriver, PipelineMetrics, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+};
+pub use onesql_core::{Engine, RunningQuery, StreamBuilder};

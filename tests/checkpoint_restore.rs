@@ -32,12 +32,8 @@ fn run_with_crash(sql: &str, split: usize) -> Vec<onesql_types::Row> {
     let mut first = e.execute(sql).unwrap();
     for event in &timeline[..split] {
         match event {
-            PaperEvent::Insert { ptime, row } => {
-                first.insert("Bid", *ptime, row.clone()).unwrap()
-            }
-            PaperEvent::Watermark { ptime, wm } => {
-                first.watermark("Bid", *ptime, *wm).unwrap()
-            }
+            PaperEvent::Insert { ptime, row } => first.insert("Bid", *ptime, row.clone()).unwrap(),
+            PaperEvent::Watermark { ptime, wm } => first.watermark("Bid", *ptime, *wm).unwrap(),
         }
     }
     let checkpoint = first.checkpoint().unwrap();
@@ -48,12 +44,8 @@ fn run_with_crash(sql: &str, split: usize) -> Vec<onesql_types::Row> {
     second.restore(&checkpoint).unwrap();
     for event in &timeline[split..] {
         match event {
-            PaperEvent::Insert { ptime, row } => {
-                second.insert("Bid", *ptime, row.clone()).unwrap()
-            }
-            PaperEvent::Watermark { ptime, wm } => {
-                second.watermark("Bid", *ptime, *wm).unwrap()
-            }
+            PaperEvent::Insert { ptime, row } => second.insert("Bid", *ptime, row.clone()).unwrap(),
+            PaperEvent::Watermark { ptime, wm } => second.watermark("Bid", *ptime, *wm).unwrap(),
         }
     }
     // Combined result: replay the pre-crash changelog, then the recovered
@@ -82,7 +74,10 @@ fn q7_recovers_at_every_split_point() {
     let expected = run_uninterrupted(PAPER_Q7_SQL);
     for split in 0..=paper_timeline().len() {
         let recovered = run_with_crash(PAPER_Q7_SQL, split);
-        assert_eq!(recovered, expected, "divergence with crash after event {split}");
+        assert_eq!(
+            recovered, expected,
+            "divergence with crash after event {split}"
+        );
     }
 }
 
@@ -163,9 +158,7 @@ fn checkpoint_is_deterministic() {
         for event in paper_timeline().into_iter().take(5) {
             match event {
                 PaperEvent::Insert { ptime, row } => q.insert("Bid", ptime, row).unwrap(),
-                PaperEvent::Watermark { ptime, wm } => {
-                    q.watermark("Bid", ptime, wm).unwrap()
-                }
+                PaperEvent::Watermark { ptime, wm } => q.watermark("Bid", ptime, wm).unwrap(),
             }
         }
         q.checkpoint().unwrap()

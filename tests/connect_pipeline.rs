@@ -1,0 +1,447 @@
+//! Integration tests for the connector subsystem: file / channel / NEXMark
+//! sources through real SQL into sinks, driven by `PipelineDriver`.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use onesql::connect::{
+    channel, channel_sink, ChangelogSink, CsvFileSink, CsvFileSource, CsvSinkMode, DriverConfig,
+    FileSourceConfig, JsonLinesSink, JsonLinesSource, NexmarkSource, SinkEvent, Source,
+    SourceBatch, SourceEvent, SourceStatus,
+};
+use onesql::core::{Engine, StreamBuilder};
+use onesql_nexmark::queries;
+use onesql_time::Watermark;
+use onesql_tvr::Change;
+use onesql_types::{row, DataType, Duration, Schema, Ts};
+
+fn bid_engine() -> Engine {
+    let mut e = Engine::new();
+    e.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .event_time_column("bidtime")
+            .column("price", DataType::Int)
+            .column("item", DataType::String),
+    );
+    e
+}
+
+fn bid_schema() -> Schema {
+    StreamBuilder::new()
+        .event_time_column("bidtime")
+        .column("price", DataType::Int)
+        .column("item", DataType::String)
+        .build()
+}
+
+/// A scratch directory unique to the calling test.
+fn scratch(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("onesql_connect_tests").join(test);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const WINDOWED_SQL: &str = "SELECT wend, SUM(price) FROM Tumble(data => \
+     TABLE(Bid), timecol => DESCRIPTOR(bidtime), dur => INTERVAL '10' MINUTE) \
+     GROUP BY wend EMIT AFTER WATERMARK";
+
+/// The paper's §4 bid timeline, with event times deliberately out of
+/// processing-time order.
+fn paper_bids() -> Vec<(Ts, i64, &'static str)> {
+    vec![
+        (Ts::hm(8, 7), 2, "A"),
+        (Ts::hm(8, 11), 3, "B"),
+        (Ts::hm(8, 5), 4, "C"), // late within the first window
+        (Ts::hm(8, 9), 5, "D"),
+        (Ts::hm(8, 13), 1, "E"),
+        (Ts::hm(8, 24), 2, "F"),
+    ]
+}
+
+/// file source → watermark-gated SQL → file sink → file source roundtrip.
+#[test]
+fn csv_roundtrip_with_watermark_gated_emit() {
+    let dir = scratch("csv_roundtrip");
+    let input = dir.join("bids.csv");
+    let output = dir.join("windows.csv");
+
+    let mut f = std::fs::File::create(&input).unwrap();
+    for (ts, price, item) in paper_bids() {
+        writeln!(f, "{},{price},{item}", ts.to_clock_string()).unwrap();
+    }
+    drop(f);
+
+    // Events are up to 6 minutes out of order; lateness must cover it for
+    // the watermark gate to hold windows until truly complete.
+    let mut engine = bid_engine();
+    engine
+        .attach_source(Box::new(
+            CsvFileSource::new(
+                &input,
+                "Bid",
+                Arc::new(bid_schema()),
+                FileSourceConfig {
+                    lateness: Duration::from_minutes(6),
+                    has_header: false,
+                },
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+    engine.attach_sink(Box::new(
+        CsvFileSink::headerless(&output, CsvSinkMode::Appends).unwrap(),
+    ));
+    let mut pipeline = engine.run_pipeline(WINDOWED_SQL).unwrap();
+    let metrics = pipeline.run().unwrap().clone();
+    assert_eq!(metrics.events_in, 6);
+    assert!(metrics.watermarks_in >= 1, "{metrics:?}");
+    assert!(pipeline.is_finished());
+
+    // The sink file holds exactly the final windows; read it back through
+    // a source into a fresh pass-through query (the full roundtrip).
+    let out_schema = Arc::new(
+        StreamBuilder::new()
+            .event_time_column("wend")
+            .column("total", DataType::Int)
+            .build(),
+    );
+    let mut reader = Engine::new();
+    reader.register_stream_schema("Windows", (*out_schema).clone());
+    reader
+        .attach_source(Box::new(
+            CsvFileSource::new(&output, "Windows", out_schema, FileSourceConfig::default())
+                .unwrap(),
+        ))
+        .unwrap();
+    let mut readback = reader
+        .run_pipeline("SELECT wend, total FROM Windows")
+        .unwrap();
+    readback.run().unwrap();
+    assert_eq!(
+        readback.query().table().unwrap(),
+        vec![
+            row!(Ts::hm(8, 10), 11i64), // 2 + 4 + 5
+            row!(Ts::hm(8, 20), 4i64),  // 3 + 1
+            row!(Ts::hm(8, 30), 2i64),
+        ]
+    );
+
+    // The same answer the in-process API produces.
+    let engine = bid_engine();
+    let mut direct = engine.execute(WINDOWED_SQL).unwrap();
+    for (i, (ts, price, item)) in paper_bids().into_iter().enumerate() {
+        direct
+            .insert("Bid", Ts(i as i64), row!(ts, price, item))
+            .unwrap();
+    }
+    direct.finish(Ts(100)).unwrap();
+    assert_eq!(direct.table().unwrap(), readback.query().table().unwrap());
+}
+
+/// The JSON-lines connectors round-trip typed rows the same way.
+#[test]
+fn jsonl_roundtrip() {
+    let dir = scratch("jsonl_roundtrip");
+    let input = dir.join("bids.jsonl");
+    let output = dir.join("out.jsonl");
+
+    let mut f = std::fs::File::create(&input).unwrap();
+    for (ts, price, item) in paper_bids() {
+        writeln!(
+            f,
+            r#"{{"bidtime": {}, "price": {price}, "item": "{item}"}}"#,
+            ts.millis()
+        )
+        .unwrap();
+    }
+    drop(f);
+
+    let mut engine = bid_engine();
+    engine
+        .attach_source(Box::new(
+            JsonLinesSource::new(
+                &input,
+                "Bid",
+                Arc::new(bid_schema()),
+                FileSourceConfig {
+                    lateness: Duration::from_minutes(6),
+                    has_header: false,
+                },
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+    engine.attach_sink(Box::new(
+        JsonLinesSink::new(&output, CsvSinkMode::Changelog).unwrap(),
+    ));
+    let mut pipeline = engine
+        .run_pipeline("SELECT item, price FROM Bid WHERE price >= 3")
+        .unwrap();
+    let metrics = pipeline.run().unwrap();
+    assert_eq!(metrics.events_in, 6);
+    assert_eq!(metrics.events_out, 3); // prices 3, 4, 5 pass the filter
+
+    let text = std::fs::read_to_string(&output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"item\":"), "{}", lines[0]);
+    assert!(lines.iter().all(|l| l.contains("\"undo\":false")), "{text}");
+}
+
+/// NEXMark source → query → changelog sink, all through the engine API.
+#[test]
+fn nexmark_to_changelog_sink_end_to_end() {
+    let mut engine = Engine::new();
+    onesql::connect::register_nexmark_streams(&mut engine);
+    engine
+        .attach_source(Box::new(NexmarkSource::seeded(42, 2_000)))
+        .unwrap();
+    let (rendered, sink) = ChangelogSink::in_memory();
+    engine.attach_sink(Box::new(sink.with_watermarks()));
+
+    let mut pipeline = engine.run_pipeline(queries::Q7).unwrap();
+    let metrics = pipeline.run().unwrap();
+
+    assert_eq!(metrics.events_in, 2_000);
+    assert!(metrics.events_out > 0, "{metrics:?}");
+    assert!(metrics.output_watermark.is_final());
+    assert_eq!(metrics.sources.len(), 1);
+    assert_eq!(metrics.sources[0].events, 2_000);
+
+    let text = rendered.lock().unwrap();
+    assert!(
+        text.starts_with("-- changelog of (wstart, wend"),
+        "{}",
+        &text[..80]
+    );
+    assert!(text.contains("ver="), "changelog lines carry versions");
+    // Q7's self-join revises maxima as higher bids land: both inserts and
+    // retractions must appear.
+    assert!(text.contains("\n"), "{text}");
+    assert!(text.lines().any(|l| l.contains("  +  ")), "{text}");
+}
+
+/// Two publisher threads fan into one channel source; results match the
+/// single-writer in-process run.
+#[test]
+fn channel_fan_in_across_threads() {
+    let mut engine = bid_engine();
+    let (publisher, source) = channel("Bid", 128);
+    engine.attach_source(Box::new(source)).unwrap();
+    let (sink, events) = channel_sink(1024);
+    engine.attach_sink(Box::new(sink));
+    let mut pipeline = engine
+        .run_pipeline("SELECT item, price FROM Bid WHERE price > 0")
+        .unwrap();
+
+    let writers: Vec<_> = [0i64, 1]
+        .into_iter()
+        .map(|half| {
+            let publisher = publisher.clone();
+            std::thread::spawn(move || {
+                for i in 0..50i64 {
+                    let n = half * 50 + i;
+                    publisher
+                        .insert(Ts(n), row!(Ts(n), n + 1, format!("item{n}")))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    drop(publisher); // all producers gone -> source finishes
+    let metrics = pipeline.run().unwrap();
+    assert_eq!(metrics.events_in, 100);
+    assert_eq!(metrics.events_out, 100);
+
+    let mut rows = 0usize;
+    let mut flushed = false;
+    while let Ok(event) = events.try_recv() {
+        match event {
+            SinkEvent::Rows(r) => rows += r.len(),
+            SinkEvent::Watermark(_) => {}
+            SinkEvent::Flushed => flushed = true,
+        }
+    }
+    assert_eq!(rows, 100);
+    assert!(flushed);
+}
+
+/// Attach-time validation: unknown streams and tables are rejected.
+#[test]
+fn attach_source_validates_streams() {
+    let mut engine = bid_engine();
+    engine
+        .register_table(
+            "Category",
+            StreamBuilder::new().column("id", DataType::Int),
+            vec![row!(1i64)],
+        )
+        .unwrap();
+    let (_pub1, source) = channel("Nope", 4);
+    assert!(engine.attach_source(Box::new(source)).is_err());
+    let (_pub2, source) = channel("Category", 4);
+    assert!(engine.attach_source(Box::new(source)).is_err());
+    assert!(
+        engine.run_pipeline("SELECT item FROM Bid").is_err(),
+        "no sources"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Watermark monotonicity under arbitrary source interleavings.
+// ---------------------------------------------------------------------------
+
+/// A source that replays a script of batches, one per poll.
+struct ScriptedSource {
+    name: String,
+    streams: Vec<String>,
+    script: std::collections::VecDeque<SourceBatch>,
+}
+
+impl ScriptedSource {
+    fn new(name: &str, stream: &str, script: Vec<SourceBatch>) -> ScriptedSource {
+        ScriptedSource {
+            name: name.to_string(),
+            streams: vec![stream.to_string()],
+            script: script.into(),
+        }
+    }
+}
+
+impl Source for ScriptedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn streams(&self) -> &[String] {
+        &self.streams
+    }
+    fn poll_batch(&mut self, _max: usize) -> onesql_types::Result<SourceBatch> {
+        Ok(self
+            .script
+            .pop_front()
+            .unwrap_or_else(|| SourceBatch::empty(SourceStatus::Finished)))
+    }
+}
+
+/// One scripted step of one source: optionally an event, optionally a
+/// watermark assertion (which may even regress — the driver must absorb
+/// it).
+fn arb_script() -> impl Strategy<Value = Vec<Vec<(Option<i64>, Option<i64>)>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (prop::option::of(0i64..1_000), prop::option::of(0i64..1_000)),
+            0..12,
+        ),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// However many sources there are and however their event/watermark
+    /// batches interleave, the watermark the sinks observe only ever
+    /// advances, and ends final.
+    #[test]
+    fn driver_watermarks_are_monotone(scripts in arb_script()) {
+        let mut engine = Engine::new();
+        engine.register_stream(
+            "S",
+            StreamBuilder::new().event_time_column("ts").column("v", DataType::Int),
+        );
+        for (i, script) in scripts.iter().enumerate() {
+            let batches: Vec<SourceBatch> = script
+                .iter()
+                .map(|(event, wm)| {
+                    let mut batch = SourceBatch::empty(SourceStatus::Ready);
+                    if let Some(ts) = event {
+                        batch.events.push(SourceEvent {
+                            stream: 0,
+                            ptime: Ts(*ts),
+                            change: Change::insert(row!(Ts(*ts), *ts)),
+                        });
+                    }
+                    batch.watermark = wm.map(Ts);
+                    batch
+                })
+                .collect();
+            engine
+                .attach_source(Box::new(ScriptedSource::new(
+                    &format!("scripted-{i}"),
+                    "S",
+                    batches,
+                )))
+                .unwrap();
+        }
+        let (sink, events) = channel_sink(1_000_000);
+        engine.attach_sink(Box::new(sink));
+        let mut pipeline = engine
+            .run_pipeline("SELECT ts, v FROM S EMIT STREAM")
+            .unwrap()
+            .with_config(DriverConfig {
+                batch_size: 4,
+                ..DriverConfig::default()
+            });
+        let metrics = pipeline.run().unwrap().clone();
+
+        let mut last = Watermark::MIN;
+        let mut watermarks = 0usize;
+        while let Ok(event) = events.try_recv() {
+            if let SinkEvent::Watermark(wm) = event {
+                prop_assert!(wm > last, "sink watermark regressed: {wm} after {last}");
+                last = wm;
+                watermarks += 1;
+            }
+        }
+        prop_assert!(watermarks >= 1, "finish must deliver the final watermark");
+        prop_assert!(last.is_final());
+        prop_assert!(metrics.output_watermark.is_final());
+        // Every scripted event made it in.
+        let expected: u64 = scripts
+            .iter()
+            .flatten()
+            .filter(|(e, _)| e.is_some())
+            .count() as u64;
+        prop_assert_eq!(metrics.events_in, expected);
+    }
+}
+
+/// The driver's input watermark is the min over live sources.
+#[test]
+fn input_watermark_is_min_over_sources() {
+    let mut engine = Engine::new();
+    engine.register_stream(
+        "S",
+        StreamBuilder::new()
+            .event_time_column("ts")
+            .column("v", DataType::Int),
+    );
+    let fast = vec![SourceBatch {
+        events: vec![],
+        watermark: Some(Ts(500)),
+        status: SourceStatus::Ready,
+    }];
+    let slow = vec![SourceBatch {
+        events: vec![],
+        watermark: Some(Ts(100)),
+        status: SourceStatus::Ready,
+    }];
+    engine
+        .attach_source(Box::new(ScriptedSource::new("fast", "S", fast)))
+        .unwrap();
+    engine
+        .attach_source(Box::new(ScriptedSource::new("slow", "S", slow)))
+        .unwrap();
+    let mut pipeline = engine.run_pipeline("SELECT ts, v FROM S").unwrap();
+    pipeline.step().unwrap();
+    assert_eq!(pipeline.metrics().input_watermark, Watermark(Ts(100)));
+    // Both scripts exhausted -> next steps finish the pipeline.
+    pipeline.run().unwrap();
+    assert!(pipeline.is_finished());
+    assert!(pipeline.metrics().input_watermark.is_final());
+}

@@ -31,23 +31,20 @@ fn combined_delay_and_watermark_is_early_on_time() {
         ))
         .unwrap();
     // Three bids for window [8:00, 8:10) at ptime 8:01, 8:03, 8:08.
-    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a")).unwrap();
-    q.insert("Bid", Ts::hm(8, 3), row!(Ts::hm(8, 3), 2i64, "b")).unwrap();
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a"))
+        .unwrap();
+    q.insert("Bid", Ts::hm(8, 3), row!(Ts::hm(8, 3), 2i64, "b"))
+        .unwrap();
     // Delay timer armed at 8:01 fires at 8:06 (early partial: sum 3).
-    q.insert("Bid", Ts::hm(8, 8), row!(Ts::hm(8, 8), 4i64, "c")).unwrap();
+    q.insert("Bid", Ts::hm(8, 8), row!(Ts::hm(8, 8), 4i64, "c"))
+        .unwrap();
     // Watermark closes the window at 8:12 (on-time flush: 3 -> 7).
     q.watermark("Bid", Ts::hm(8, 12), Ts::hm(8, 10)).unwrap();
 
     let rows = q.stream_rows().unwrap();
     let got: Vec<(bool, Ts, i64)> = rows
         .iter()
-        .map(|r| {
-            (
-                r.undo,
-                r.ptime,
-                r.row.value(1).unwrap().as_int().unwrap(),
-            )
-        })
+        .map(|r| (r.undo, r.ptime, r.row.value(1).unwrap().as_int().unwrap()))
         .collect();
     assert_eq!(
         got,
@@ -78,7 +75,8 @@ fn late_firings_after_watermark_with_lateness() {
             "{WINDOWED_SUM} EMIT STREAM AFTER DELAY INTERVAL '5' MINUTES AND AFTER WATERMARK"
         ))
         .unwrap();
-    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a")).unwrap();
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a"))
+        .unwrap();
     // On-time: watermark passes the window before the delay fires.
     q.watermark("Bid", Ts::hm(8, 2), Ts::hm(8, 10)).unwrap();
     // Late but allowed row arrives at 8:15; its delayed firing is 8:20.
@@ -94,8 +92,8 @@ fn late_firings_after_watermark_with_lateness() {
     assert_eq!(
         got,
         vec![
-            (false, Ts::hm(8, 2), 1),  // on-time
-            (true, Ts::hm(8, 20), 1),  // late refinement, 5 min after change
+            (false, Ts::hm(8, 2), 1), // on-time
+            (true, Ts::hm(8, 20), 1), // late refinement, 5 min after change
             (false, Ts::hm(8, 20), 10),
         ]
     );
@@ -110,8 +108,10 @@ fn table_mode_periodic_delay() {
             "{WINDOWED_SUM} EMIT AFTER DELAY INTERVAL '5' MINUTES"
         ))
         .unwrap();
-    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a")).unwrap();
-    q.insert("Bid", Ts::hm(8, 2), row!(Ts::hm(8, 2), 2i64, "b")).unwrap();
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a"))
+        .unwrap();
+    q.insert("Bid", Ts::hm(8, 2), row!(Ts::hm(8, 2), 2i64, "b"))
+        .unwrap();
     // Before the delay deadline the table view is still empty.
     assert!(q.table_at(Ts::hm(8, 5)).unwrap().is_empty());
     // After it, the coalesced state appears in one step.
@@ -130,8 +130,10 @@ fn cancelled_updates_never_materialize() {
     let mut q = e
         .execute("SELECT bidtime, price FROM Bid EMIT STREAM AFTER DELAY INTERVAL '5' MINUTES")
         .unwrap();
-    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a")).unwrap();
-    q.retract("Bid", Ts::hm(8, 2), row!(Ts::hm(8, 1), 1i64, "a")).unwrap();
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a"))
+        .unwrap();
+    q.retract("Bid", Ts::hm(8, 2), row!(Ts::hm(8, 1), 1i64, "a"))
+        .unwrap();
     q.advance_to(Ts::hm(9, 0)).unwrap();
     assert!(q.stream_rows().unwrap().is_empty());
 }
@@ -147,9 +149,12 @@ fn gate_composes_with_having() {
              GROUP BY wend HAVING COUNT(*) >= 2 EMIT AFTER WATERMARK",
         )
         .unwrap();
-    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a")).unwrap();
-    q.insert("Bid", Ts::hm(8, 2), row!(Ts::hm(8, 2), 2i64, "b")).unwrap();
-    q.insert("Bid", Ts::hm(8, 11), row!(Ts::hm(8, 11), 3i64, "c")).unwrap();
+    q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 1i64, "a"))
+        .unwrap();
+    q.insert("Bid", Ts::hm(8, 2), row!(Ts::hm(8, 2), 2i64, "b"))
+        .unwrap();
+    q.insert("Bid", Ts::hm(8, 11), row!(Ts::hm(8, 11), 3i64, "c"))
+        .unwrap();
     q.finish(Ts::hm(9, 0)).unwrap();
     // Only the first window reaches two bids.
     assert_eq!(q.table().unwrap(), vec![row!(Ts::hm(8, 10), 2i64)]);

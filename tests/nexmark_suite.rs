@@ -174,11 +174,7 @@ fn q7_final_answers_agree_with_cql_baseline() {
     // Feed the same bid stream to both engines. Restrict to the case where
     // their semantics coincide: final (watermark-complete) windows.
     let n = 4_000;
-    let q = run(
-        &format!("{} EMIT AFTER WATERMARK", queries::Q7),
-        n,
-        6,
-    );
+    let q = run(&format!("{} EMIT AFTER WATERMARK", queries::Q7), n, 6);
     let sql_rows = q.table().unwrap();
 
     let mut cql = CqlQuery7::new();
@@ -236,9 +232,7 @@ fn q8_finds_new_sellers() {
         let ws = r.value(2).unwrap().as_ts().unwrap();
         let registered = evts.iter().any(|(_, e)| match e {
             NexmarkEvent::Person(p) => {
-                p.id == id
-                    && p.date_time >= ws
-                    && p.date_time < ws + Duration::from_seconds(10)
+                p.id == id && p.date_time >= ws && p.date_time < ws + Duration::from_seconds(10)
             }
             _ => false,
         });
@@ -270,9 +264,7 @@ fn category_table_joins_against_stream() {
         )
         .unwrap();
     let mut q = engine
-        .execute(
-            "SELECT A.id, C.name FROM Auction A JOIN Category C ON A.category = C.id",
-        )
+        .execute("SELECT A.id, C.name FROM Auction A JOIN Category C ON A.category = C.id")
         .unwrap();
     q.insert(
         "Auction",

@@ -85,13 +85,7 @@ fn listing_05_tumble_tvf() {
     let rows = q.table_at(Ts::hm(8, 21)).unwrap();
     assert_eq!(rows.len(), 6);
     let expect = |bt: i64, price: i64, item: &str, ws: i64, we: i64| {
-        row!(
-            Ts::hm(8, bt),
-            price,
-            item,
-            Ts::hm(8, ws),
-            Ts::hm(8, we)
-        )
+        row!(Ts::hm(8, bt), price, item, Ts::hm(8, ws), Ts::hm(8, we))
     };
     for r in [
         expect(7, 2, "A", 0, 10),
@@ -172,14 +166,54 @@ fn listing_09_emit_stream() {
     let q = run_paper_query(PAPER_Q7_SQL);
     let rows = q.stream_rows().unwrap();
     let expected: Vec<(Row, bool, Ts, u64)> = vec![
-        (q7_row((8, 0), (8, 10), (8, 7), 2, "A"), false, Ts::hm(8, 8), 0),
-        (q7_row((8, 10), (8, 20), (8, 11), 3, "B"), false, Ts::hm(8, 12), 0),
-        (q7_row((8, 0), (8, 10), (8, 7), 2, "A"), true, Ts::hm(8, 13), 1),
-        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), false, Ts::hm(8, 13), 2),
-        (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), true, Ts::hm(8, 15), 3),
-        (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 15), 4),
-        (q7_row((8, 10), (8, 20), (8, 11), 3, "B"), true, Ts::hm(8, 18), 1),
-        (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 18), 2),
+        (
+            q7_row((8, 0), (8, 10), (8, 7), 2, "A"),
+            false,
+            Ts::hm(8, 8),
+            0,
+        ),
+        (
+            q7_row((8, 10), (8, 20), (8, 11), 3, "B"),
+            false,
+            Ts::hm(8, 12),
+            0,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 7), 2, "A"),
+            true,
+            Ts::hm(8, 13),
+            1,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+            false,
+            Ts::hm(8, 13),
+            2,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+            true,
+            Ts::hm(8, 15),
+            3,
+        ),
+        (
+            q7_row((8, 0), (8, 10), (8, 9), 5, "D"),
+            false,
+            Ts::hm(8, 15),
+            4,
+        ),
+        (
+            q7_row((8, 10), (8, 20), (8, 11), 3, "B"),
+            true,
+            Ts::hm(8, 18),
+            1,
+        ),
+        (
+            q7_row((8, 10), (8, 20), (8, 17), 6, "F"),
+            false,
+            Ts::hm(8, 18),
+            2,
+        ),
     ];
     let got: Vec<(Row, bool, Ts, u64)> = rows
         .iter()
@@ -224,8 +258,18 @@ fn listing_13_emit_stream_after_watermark() {
     assert_eq!(
         got,
         vec![
-            (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 16), 0),
-            (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 21), 0),
+            (
+                q7_row((8, 0), (8, 10), (8, 9), 5, "D"),
+                false,
+                Ts::hm(8, 16),
+                0
+            ),
+            (
+                q7_row((8, 10), (8, 20), (8, 17), 6, "F"),
+                false,
+                Ts::hm(8, 21),
+                0
+            ),
         ]
     );
 }
@@ -246,10 +290,30 @@ fn listing_14_emit_stream_after_delay() {
     assert_eq!(
         got,
         vec![
-            (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), false, Ts::hm(8, 14), 0),
-            (q7_row((8, 10), (8, 20), (8, 17), 6, "F"), false, Ts::hm(8, 18), 0),
-            (q7_row((8, 0), (8, 10), (8, 5), 4, "C"), true, Ts::hm(8, 21), 1),
-            (q7_row((8, 0), (8, 10), (8, 9), 5, "D"), false, Ts::hm(8, 21), 2),
+            (
+                q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+                false,
+                Ts::hm(8, 14),
+                0
+            ),
+            (
+                q7_row((8, 10), (8, 20), (8, 17), 6, "F"),
+                false,
+                Ts::hm(8, 18),
+                0
+            ),
+            (
+                q7_row((8, 0), (8, 10), (8, 5), 4, "C"),
+                true,
+                Ts::hm(8, 21),
+                1
+            ),
+            (
+                q7_row((8, 0), (8, 10), (8, 9), 5, "D"),
+                false,
+                Ts::hm(8, 21),
+                2
+            ),
         ]
     );
 }
@@ -300,7 +364,16 @@ fn listing_03_formatted_table() {
         }
     };
     let s = q.table_string_at(Ts::hm(8, 21), Some(&fmt)).unwrap();
-    assert!(s.contains("| wstart | wend | bidtime | price | item |"), "{s}");
-    assert!(s.contains("| 8:00   | 8:10 | 8:09    | $5    | D    |"), "{s}");
-    assert!(s.contains("| 8:10   | 8:20 | 8:17    | $6    | F    |"), "{s}");
+    assert!(
+        s.contains("| wstart | wend | bidtime | price | item |"),
+        "{s}"
+    );
+    assert!(
+        s.contains("| 8:00   | 8:10 | 8:09    | $5    | D    |"),
+        "{s}"
+    );
+    assert!(
+        s.contains("| 8:10   | 8:20 | 8:17    | $6    | F    |"),
+        "{s}"
+    );
 }

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use onesql_core::{Engine, StreamBuilder};
-use onesql_tvr::{
-    retractions_to_upserts, upserts_to_retractions, Bag, Change, Changelog,
-};
+use onesql_tvr::{retractions_to_upserts, upserts_to_retractions, Bag, Change, Changelog};
 use onesql_types::{row, DataType, Duration, Row, Ts};
 
 // ---------------------------------------------------------------------------
@@ -15,8 +13,11 @@ use onesql_types::{row, DataType, Duration, Row, Ts};
 /// Random sequence of small row changes.
 fn arb_changes() -> impl Strategy<Value = Vec<(i64, i64)>> {
     // (key in 0..5, diff in {-1, +1}) pairs.
-    prop::collection::vec((0i64..5, prop::bool::ANY), 0..60)
-        .prop_map(|v| v.into_iter().map(|(k, b)| (k, if b { 1 } else { -1 })).collect())
+    prop::collection::vec((0i64..5, prop::bool::ANY), 0..60).prop_map(|v| {
+        v.into_iter()
+            .map(|(k, b)| (k, if b { 1 } else { -1 }))
+            .collect()
+    })
 }
 
 proptest! {

@@ -52,8 +52,10 @@ fn contiguous_activity_forms_one_session() {
 fn sessions_are_per_user() {
     let e = engine();
     let mut q = e.execute(SESSION_SQL).unwrap();
-    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0))).unwrap();
-    q.insert("Click", Ts(2), row!(2i64, "a", Ts::hm(8, 2))).unwrap();
+    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0)))
+        .unwrap();
+    q.insert("Click", Ts(2), row!(2i64, "a", Ts::hm(8, 2)))
+        .unwrap();
     q.finish(Ts(10)).unwrap();
     let rows = q.table().unwrap();
     assert_eq!(rows.len(), 2, "different users never merge: {rows:?}");
@@ -64,10 +66,13 @@ fn out_of_order_bridging_event_merges_sessions() {
     let e = engine();
     let mut q = e.execute(SESSION_SQL).unwrap();
     // Two distant bursts arrive first, the bridging click arrives late.
-    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0))).unwrap();
-    q.insert("Click", Ts(2), row!(1i64, "b", Ts::hm(8, 8))).unwrap();
+    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0)))
+        .unwrap();
+    q.insert("Click", Ts(2), row!(1i64, "b", Ts::hm(8, 8)))
+        .unwrap();
     assert_eq!(q.table().unwrap().len(), 2);
-    q.insert("Click", Ts(3), row!(1i64, "c", Ts::hm(8, 4))).unwrap();
+    q.insert("Click", Ts(3), row!(1i64, "c", Ts::hm(8, 4)))
+        .unwrap();
     q.finish(Ts(10)).unwrap();
     assert_eq!(
         q.table().unwrap(),
@@ -81,18 +86,17 @@ fn emit_after_watermark_finalizes_sessions() {
     let mut q = e
         .execute(&format!("{SESSION_SQL} EMIT STREAM AFTER WATERMARK"))
         .unwrap();
-    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0))).unwrap();
-    q.insert("Click", Ts(2), row!(1i64, "b", Ts::hm(8, 3))).unwrap();
+    q.insert("Click", Ts(1), row!(1i64, "a", Ts::hm(8, 0)))
+        .unwrap();
+    q.insert("Click", Ts(2), row!(1i64, "b", Ts::hm(8, 3)))
+        .unwrap();
     assert!(q.stream_rows().unwrap().is_empty(), "gated until final");
     // Watermark past session end (8:08): the merged session materializes
     // once, final.
     q.watermark("Click", Ts(3), Ts::hm(8, 9)).unwrap();
     let rows = q.stream_rows().unwrap();
     assert_eq!(rows.len(), 1);
-    assert_eq!(
-        rows[0].row,
-        row!(1i64, Ts::hm(8, 0), Ts::hm(8, 8), 2i64)
-    );
+    assert_eq!(rows[0].row, row!(1i64, Ts::hm(8, 0), Ts::hm(8, 8), 2i64));
     assert!(!rows[0].undo);
 }
 
@@ -114,9 +118,12 @@ fn session_aggregates_sum_and_max() {
              GROUP BY user_id, wstart, wend",
         )
         .unwrap();
-    q.insert("Purchase", Ts(1), row!(1i64, 30i64, Ts::hm(9, 0))).unwrap();
-    q.insert("Purchase", Ts(2), row!(1i64, 50i64, Ts::hm(9, 5))).unwrap();
-    q.insert("Purchase", Ts(3), row!(1i64, 20i64, Ts::hm(9, 9))).unwrap();
+    q.insert("Purchase", Ts(1), row!(1i64, 30i64, Ts::hm(9, 0)))
+        .unwrap();
+    q.insert("Purchase", Ts(2), row!(1i64, 50i64, Ts::hm(9, 5)))
+        .unwrap();
+    q.insert("Purchase", Ts(3), row!(1i64, 20i64, Ts::hm(9, 9)))
+        .unwrap();
     q.finish(Ts(10)).unwrap();
     assert_eq!(
         q.table().unwrap(),

@@ -88,9 +88,7 @@ fn global_aggregate_over_empty_stream_is_one_row() {
 
 #[test]
 fn group_by_with_having() {
-    let rows = run_bids(
-        "SELECT price, COUNT(*) AS n FROM Bid GROUP BY price HAVING COUNT(*) > 1",
-    );
+    let rows = run_bids("SELECT price, COUNT(*) AS n FROM Bid GROUP BY price HAVING COUNT(*) > 1");
     assert_eq!(rows, vec![row!(4i64, 2i64)]);
 }
 
@@ -139,9 +137,7 @@ fn union_all_keeps_duplicates() {
 
 #[test]
 fn scalar_subquery_in_where() {
-    let rows = run_bids(
-        "SELECT item, price FROM Bid WHERE price = (SELECT MAX(price) FROM Bid)",
-    );
+    let rows = run_bids("SELECT item, price FROM Bid WHERE price = (SELECT MAX(price) FROM Bid)");
     assert_eq!(rows, vec![row!("E", 5i64)]);
 }
 
@@ -166,9 +162,7 @@ fn stream_to_table_join() {
 fn left_join_null_extends() {
     let e = engine();
     let mut q = e
-        .execute(
-            "SELECT B.item, C.name FROM Bid B LEFT JOIN Category C ON B.price = C.id",
-        )
+        .execute("SELECT B.item, C.name FROM Bid B LEFT JOIN Category C ON B.price = C.id")
         .unwrap();
     feed_bids(&mut q);
     let rows = q.table().unwrap();
@@ -181,9 +175,7 @@ fn left_join_null_extends() {
 fn stream_stream_join() {
     let e = engine();
     let mut q = e
-        .execute(
-            "SELECT B.item, A.seller FROM Bid B JOIN Auction A ON B.price = A.id",
-        )
+        .execute("SELECT B.item, A.seller FROM Bid B JOIN Auction A ON B.price = A.id")
         .unwrap();
     // Auction arrives *after* the matching bid: the join must remember.
     q.insert("Bid", Ts::hm(8, 1), row!(Ts::hm(8, 1), 7i64, "X"))
@@ -294,7 +286,9 @@ fn errors_are_informative() {
     assert!(err.to_string().contains("nope"), "{err}");
     let err = e.execute("SELECT * FROM Missing").unwrap_err();
     assert!(err.to_string().contains("Missing"), "{err}");
-    let err = e.execute("SELECT item FROM Bid GROUP BY price").unwrap_err();
+    let err = e
+        .execute("SELECT item FROM Bid GROUP BY price")
+        .unwrap_err();
     assert!(err.to_string().contains("GROUP BY"), "{err}");
     let err = e.execute("SELECT price + item FROM Bid").unwrap_err();
     assert!(err.to_string().to_lowercase().contains("type"), "{err}");

@@ -25,7 +25,10 @@ fn one_semantic_object_two_encodings() {
     let mut q = e
         .execute("SELECT item, MAX(price) FROM Bid GROUP BY item")
         .unwrap();
-    for (i, (price, item)) in [(2i64, "A"), (5, "A"), (3, "B"), (1, "A")].iter().enumerate() {
+    for (i, (price, item)) in [(2i64, "A"), (5, "A"), (3, "B"), (1, "A")]
+        .iter()
+        .enumerate()
+    {
         q.insert(
             "Bid",
             Ts(i as i64 + 1),
