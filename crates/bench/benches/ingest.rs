@@ -13,10 +13,15 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use onesql_connect::{channel, CsvFileSource, FileSourceConfig, NexmarkSource};
-use onesql_core::{Engine, StreamBuilder};
+use onesql_connect::{register_nexmark_streams, PartitionedNexmarkSource};
+use onesql_core::{Engine, ShardedConfig, StreamBuilder};
 use onesql_types::{row, DataType, Schema, Ts};
 
 const N: usize = 5_000;
+/// Events for the sharded scaling comparison: enough that operator work
+/// dominates worker spawn and channel overhead.
+const N_SHARDED: usize = 40_000;
+const SHARDED_PARTS: usize = 4;
 
 fn bid_engine() -> Engine {
     let mut engine = Engine::new();
@@ -84,6 +89,30 @@ fn run_nexmark() -> u64 {
     pipeline.run().unwrap().events_in
 }
 
+/// The sharded scaling workload: a windowed multi-aggregate over Bid,
+/// partitioned by auction, watermark-gated so per-event operator work (the
+/// part that shards across workers) dominates output rendering (the part
+/// that stays on the control thread).
+const SHARDED_SQL: &str = "SELECT wend, auction, COUNT(*), SUM(price), MAX(price) \
+     FROM Tumble(data => TABLE(Bid), timecol => DESCRIPTOR(dateTime), \
+     dur => INTERVAL '1' MINUTE) GROUP BY wend, auction EMIT AFTER WATERMARK";
+
+fn run_nexmark_sharded(workers: usize) -> u64 {
+    let mut engine = Engine::new();
+    register_nexmark_streams(&mut engine);
+    engine
+        .attach_partitioned_source(Box::new(PartitionedNexmarkSource::seeded(
+            7,
+            N_SHARDED as u64,
+            SHARDED_PARTS,
+        )))
+        .unwrap();
+    let mut pipeline = engine
+        .run_sharded_pipeline(SHARDED_SQL, ShardedConfig::new(workers))
+        .unwrap();
+    pipeline.run().unwrap().events_in
+}
+
 fn bench_ingest(c: &mut Criterion) {
     let dir = std::env::temp_dir().join("onesql_ingest_bench");
     std::fs::create_dir_all(&dir).unwrap();
@@ -107,6 +136,19 @@ fn bench_ingest(c: &mut Criterion) {
     group.bench_function("nexmark", |b| {
         b.iter(|| assert_eq!(run_nexmark(), N as u64))
     });
+    group.finish();
+
+    // Sharded driver scaling: the same 4-partition NEXMark source and
+    // windowed aggregate, on 1 vs 4 worker shards. The 4-worker variant
+    // should sustain >= 2x the 1-worker throughput.
+    let mut group = c.benchmark_group("ingest_sharded");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N_SHARDED as u64));
+    for workers in [1usize, 4] {
+        group.bench_function(format!("nexmark_4p_{workers}w"), |b| {
+            b.iter(|| assert_eq!(run_nexmark_sharded(workers), N_SHARDED as u64))
+        });
+    }
     group.finish();
 }
 

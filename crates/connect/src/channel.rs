@@ -8,7 +8,9 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 
-use onesql_core::connect::{Sink, Source, SourceBatch, SourceEvent, SourceStatus};
+use onesql_core::connect::{
+    PartitionedSource, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+};
 use onesql_exec::StreamRow;
 use onesql_time::Watermark;
 use onesql_tvr::Change;
@@ -139,6 +141,86 @@ impl Source for ChannelSource {
             }
         }
         Ok(batch)
+    }
+}
+
+/// A sharded channel source: N independent channel shards feeding one
+/// stream, one partition per shard. Producers route rows to shards
+/// themselves (typically by the same key the query partitions on);
+/// watermarks and finishes are per shard.
+///
+/// Channels are **not replayable** — events live only in memory — so this
+/// source reports offsets (for observability and for checkpoints taken on
+/// a live instance) but refuses to seek anywhere except its current
+/// position: resuming a checkpoint over a fresh sharded channel would
+/// silently drop the pre-crash events. Use a file or generator source
+/// when recovery matters.
+pub struct ShardedChannelSource {
+    name: String,
+    streams: Vec<String>,
+    shards: Vec<ChannelSource>,
+    offsets: Vec<u64>,
+}
+
+/// Create a channel-backed source with `shards` partitions, each holding
+/// at most `capacity` in-flight events. Returns one clonable publisher per
+/// shard, in partition order.
+pub fn sharded_channel(
+    stream: impl Into<String>,
+    shards: usize,
+    capacity: usize,
+) -> (Vec<ChannelPublisher>, ShardedChannelSource) {
+    let stream = stream.into();
+    let mut publishers = Vec::with_capacity(shards);
+    let mut sources = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (publisher, source) = channel(stream.clone(), capacity);
+        publishers.push(publisher);
+        sources.push(source);
+    }
+    (
+        publishers,
+        ShardedChannelSource {
+            name: format!("channel:{stream}x{shards}"),
+            streams: vec![stream],
+            offsets: vec![0; shards],
+            shards: sources,
+        },
+    )
+}
+
+impl PartitionedSource for ShardedChannelSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn streams(&self) -> &[String] {
+        &self.streams
+    }
+
+    fn partitions(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
+        let batch = self.shards[partition].poll_batch(max_events)?;
+        self.offsets[partition] += batch.events.len() as u64;
+        Ok(batch)
+    }
+
+    fn offset(&self, partition: usize) -> u64 {
+        self.offsets[partition]
+    }
+
+    fn seek(&mut self, partition: usize, offset: u64) -> Result<()> {
+        if offset == self.offsets[partition] {
+            return Ok(());
+        }
+        Err(Error::exec(format!(
+            "{}: channel shard {partition} is not replayable (at offset {}, \
+             asked for {offset}); resume requires a replayable source",
+            self.name, self.offsets[partition]
+        )))
     }
 }
 

@@ -15,7 +15,9 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Lines, Write};
 use std::path::Path;
 
-use onesql_core::connect::{Sink, Source, SourceBatch, SourceEvent, SourceStatus};
+use onesql_core::connect::{
+    PartitionedSource, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+};
 use onesql_exec::StreamRow;
 use onesql_tvr::Change;
 use onesql_types::{Duration, Error, Result, Row, Schema, SchemaRef, Ts, Value};
@@ -43,6 +45,7 @@ impl Default for FileSourceConfig {
 }
 
 /// Line format of a text file source.
+#[derive(Clone, Copy)]
 enum LineFormat {
     Csv,
     JsonLines,
@@ -242,6 +245,92 @@ impl Source for JsonLinesSource {
     }
     fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
         self.0.poll(max_events)
+    }
+}
+
+/// A partitioned file source: N files feeding one stream, one partition
+/// per file — the on-disk analog of a partitioned Kafka topic.
+///
+/// Each partition replays its file independently (its own watermark from
+/// its own max event time, its own replayable offset counting parsed
+/// records), so the sharded driver can poll them round-robin, combine
+/// their watermarks as the min, and seek any partition back to a
+/// checkpointed offset by re-reading its file.
+pub struct PartitionedFileSource {
+    name: String,
+    streams: Vec<String>,
+    parts: Vec<TextFileSource>,
+    offsets: Vec<u64>,
+}
+
+impl PartitionedFileSource {
+    fn open_all(
+        paths: &[impl AsRef<Path>],
+        stream: &str,
+        schema: SchemaRef,
+        format: LineFormat,
+        config: FileSourceConfig,
+    ) -> Result<PartitionedFileSource> {
+        if paths.is_empty() {
+            return Err(Error::plan(
+                "partitioned file source needs at least one file",
+            ));
+        }
+        let parts = paths
+            .iter()
+            .map(|p| TextFileSource::open(p, stream, schema.clone(), format, config.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PartitionedFileSource {
+            name: format!("files:{}x{}", paths[0].as_ref().display(), paths.len()),
+            streams: vec![stream.to_string()],
+            offsets: vec![0; parts.len()],
+            parts,
+        })
+    }
+
+    /// One partition per CSV file, all parsed against `schema` into
+    /// engine stream `stream`.
+    pub fn csv(
+        paths: &[impl AsRef<Path>],
+        stream: &str,
+        schema: SchemaRef,
+        config: FileSourceConfig,
+    ) -> Result<PartitionedFileSource> {
+        PartitionedFileSource::open_all(paths, stream, schema, LineFormat::Csv, config)
+    }
+
+    /// One partition per JSON-lines file.
+    pub fn json_lines(
+        paths: &[impl AsRef<Path>],
+        stream: &str,
+        schema: SchemaRef,
+        config: FileSourceConfig,
+    ) -> Result<PartitionedFileSource> {
+        PartitionedFileSource::open_all(paths, stream, schema, LineFormat::JsonLines, config)
+    }
+}
+
+impl PartitionedSource for PartitionedFileSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn streams(&self) -> &[String] {
+        &self.streams
+    }
+
+    fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
+        let batch = self.parts[partition].poll(max_events)?;
+        self.offsets[partition] += batch.events.len() as u64;
+        Ok(batch)
+    }
+
+    fn offset(&self, partition: usize) -> u64 {
+        self.offsets[partition]
     }
 }
 

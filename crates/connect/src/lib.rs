@@ -12,8 +12,11 @@
 //! |---|---|---|
 //! | [`CsvFileSource`] / [`CsvFileSink`] | file | schema-driven CSV ingestion and materialization |
 //! | [`JsonLinesSource`] / [`JsonLinesSink`] | file | JSON-lines with typed fields |
+//! | [`PartitionedFileSource`] | file | one partition per file, for the sharded driver |
 //! | [`channel`] / [`channel_sink`] | memory | crossbeam-backed feeds for tests and multi-producer fan-in |
+//! | [`sharded_channel`] | memory | N channel shards as source partitions |
 //! | [`NexmarkSource`] | generator | the NEXMark Person/Auction/Bid workload as a source |
+//! | [`PartitionedNexmarkSource`] | generator | the workload split across N seed-range partitions |
 //! | [`ChangelogSink`] | render | paper-style insert/retract stream rendering |
 //!
 //! # Quickstart
@@ -55,13 +58,19 @@ pub mod nexmark;
 pub mod text;
 
 pub use changelog::ChangelogSink;
-pub use channel::{channel, channel_sink, ChannelPublisher, ChannelSink, ChannelSource, SinkEvent};
+pub use channel::{
+    channel, channel_sink, sharded_channel, ChannelPublisher, ChannelSink, ChannelSource,
+    ShardedChannelSource, SinkEvent,
+};
 pub use file::{
     CsvFileSink, CsvFileSource, CsvSinkMode, FileSourceConfig, JsonLinesSink, JsonLinesSource,
+    PartitionedFileSource,
 };
-pub use nexmark::{register_nexmark_streams, NexmarkSource};
+pub use nexmark::{register_nexmark_streams, NexmarkSource, PartitionedNexmarkSource};
 
 pub use onesql_core::connect::{
-    DriverConfig, PipelineDriver, PipelineMetrics, Sink, Source, SourceBatch, SourceEvent,
-    SourceMetrics, SourceStatus,
+    AdaptiveBatch, BatchController, DriverConfig, PartitionedSource, PipelineDriver,
+    PipelineMetrics, SinglePartition, Sink, Source, SourceBatch, SourceEvent, SourceMetrics,
+    SourceStatus,
 };
+pub use onesql_core::shard::{PipelineCheckpoint, ShardedConfig, ShardedPipelineDriver};

@@ -31,9 +31,9 @@
 use std::collections::BTreeMap;
 
 use onesql_exec::StreamRow;
-use onesql_time::Watermark;
+use onesql_time::{Watermark, WatermarkTracker};
 use onesql_tvr::Change;
-use onesql_types::{Error, Result, Ts};
+use onesql_types::{Duration, Error, Result, Ts};
 
 use crate::query::RunningQuery;
 
@@ -104,6 +104,130 @@ pub trait Source {
     fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch>;
 }
 
+/// A Kafka-style input connector: N ordered partitions, each with a
+/// replayable offset and its own watermark progress.
+///
+/// Partitions are the unit of parallel ingestion *and* of recovery: the
+/// sharded driver polls them independently, combines their watermarks as
+/// the min (the way [`WatermarkTracker`] combines ports), and records one
+/// offset per partition in a [`crate::shard::PipelineCheckpoint`] so a
+/// killed pipeline can seek back and resume exactly-once.
+///
+/// Offsets count events: the offset of a partition is the number of events
+/// it has emitted so far, and [`PartitionedSource::seek`] repositions so
+/// the next event emitted is the `offset`-th. A source is **replayable**
+/// when a freshly constructed instance re-emits the same events in the
+/// same order (files, seeded generators); only replayable sources can
+/// honor a seek, which is why the in-memory channel shards override
+/// [`PartitionedSource::seek`] to reject time travel.
+pub trait PartitionedSource {
+    /// Connector instance name (for metrics and errors).
+    fn name(&self) -> &str;
+
+    /// The engine stream names this source feeds; [`SourceEvent::stream`]
+    /// indexes into this list (shared by all partitions).
+    fn streams(&self) -> &[String];
+
+    /// Number of partitions; fixed for the life of the source.
+    fn partitions(&self) -> usize;
+
+    /// Produce up to `max_events` events from one partition. Must not
+    /// block; semantics otherwise match [`Source::poll_batch`], applied
+    /// per partition (a partition's events are in its own processing-time
+    /// order, its watermark asserts only its own future events).
+    fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch>;
+
+    /// The partition's replayable position: events emitted so far.
+    fn offset(&self, partition: usize) -> u64;
+
+    /// Reposition `partition` so the next event emitted is the `offset`-th.
+    ///
+    /// The default implementation replays: it polls the partition and
+    /// discards events until the offset is reached, which is correct for
+    /// any freshly constructed replayable source. Seeking backwards from
+    /// the current position errors.
+    fn seek(&mut self, partition: usize, offset: u64) -> Result<()> {
+        let at = self.offset(partition);
+        if offset < at {
+            return Err(Error::exec(format!(
+                "source '{}' partition {partition}: cannot seek backwards \
+                 (at offset {at}, asked for {offset})",
+                self.name()
+            )));
+        }
+        let mut remaining = offset - at;
+        while remaining > 0 {
+            let batch = self.poll_partition(partition, remaining.min(4096) as usize)?;
+            let n = batch.events.len() as u64;
+            if n == 0 {
+                return Err(Error::exec(format!(
+                    "source '{}' partition {partition}: exhausted at offset {} \
+                     while seeking to {offset}",
+                    self.name(),
+                    offset - remaining
+                )));
+            }
+            if n > remaining {
+                // A poll must not over-deliver; past this point the source
+                // has been dragged beyond the target offset.
+                return Err(Error::exec(format!(
+                    "source '{}' partition {partition}: poll returned {n} events \
+                     when at most {remaining} were requested; seek overshot {offset}",
+                    self.name()
+                )));
+            }
+            remaining -= n;
+        }
+        Ok(())
+    }
+}
+
+/// Adapts any [`Source`] into a 1-partition [`PartitionedSource`], so
+/// existing connectors work unchanged with the sharded driver. The single
+/// partition's offset counts the events polled; seeking uses the default
+/// replay-and-discard, so resume works for replayable sources (files,
+/// generators) without those connectors knowing about partitions.
+pub struct SinglePartition {
+    inner: Box<dyn Source>,
+    polled: u64,
+}
+
+impl SinglePartition {
+    /// Wrap `source` as a partitioned source with one partition.
+    pub fn new(source: Box<dyn Source>) -> SinglePartition {
+        SinglePartition {
+            inner: source,
+            polled: 0,
+        }
+    }
+}
+
+impl PartitionedSource for SinglePartition {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn streams(&self) -> &[String] {
+        self.inner.streams()
+    }
+
+    fn partitions(&self) -> usize {
+        1
+    }
+
+    fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
+        debug_assert_eq!(partition, 0);
+        let batch = self.inner.poll_batch(max_events)?;
+        self.polled += batch.events.len() as u64;
+        Ok(batch)
+    }
+
+    fn offset(&self, partition: usize) -> u64 {
+        debug_assert_eq!(partition, 0);
+        self.polled
+    }
+}
+
 /// A pluggable output connector. Receives the query's output changelog as
 /// [`StreamRow`]s: data columns plus `undo` / `ptime` / `ver` metadata.
 pub trait Sink {
@@ -130,10 +254,49 @@ pub trait Sink {
     }
 }
 
+/// Bounds and thresholds for adaptive batch sizing (backpressure beyond
+/// polling): the driver shrinks its per-poll batches while materialization
+/// trails ingestion and grows them while the query keeps up, instead of
+/// buffering unboundedly behind a fixed poll size.
+///
+/// Caveat: in this runtime every round is a barrier (all delivered input
+/// is fully processed before lag is measured), so watermark lag mostly
+/// reflects the query's *shape* — gates and `EMIT AFTER DELAY` hold the
+/// output watermark behind the input by a structural event-time offset —
+/// rather than instantaneous load. The thresholds are therefore
+/// deliberately coarse: `high_lag` defaults well above common window /
+/// delay offsets so structurally-lagging queries are not pinned to
+/// `min_batch`, and either way the controller only modulates poll size
+/// within hard bounds; it never affects results. A load-proportional
+/// signal (pending merge-buffer depth) is a roadmap follow-on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveBatch {
+    /// Batches never shrink below this (progress is always possible).
+    pub min_batch: usize,
+    /// Batches never grow beyond this (bounds per-round latency).
+    pub max_batch: usize,
+    /// Watermark lag at or above which the batch size halves.
+    pub high_lag: Duration,
+    /// Watermark lag at or below which the batch size doubles.
+    pub low_lag: Duration,
+}
+
+impl Default for AdaptiveBatch {
+    fn default() -> AdaptiveBatch {
+        AdaptiveBatch {
+            min_batch: 32,
+            max_batch: 4096,
+            high_lag: Duration::from_minutes(30),
+            low_lag: Duration::from_seconds(1),
+        }
+    }
+}
+
 /// Driver tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct DriverConfig {
-    /// Maximum events requested from a source per poll.
+    /// Events requested from a source per poll; the *initial* size when
+    /// [`DriverConfig::adaptive`] is set.
     pub batch_size: usize,
     /// Drain output to sinks whenever at least this many changes are
     /// pending (output is always drained at the end of a scheduling round,
@@ -143,6 +306,9 @@ pub struct DriverConfig {
     /// [`PipelineDriver::run`] (`None`: yield and keep spinning, for
     /// channel sources fed by other threads).
     pub max_idle_rounds: Option<u64>,
+    /// Adaptive batch sizing from watermark lag; `None` pins
+    /// [`DriverConfig::batch_size`] for the whole run.
+    pub adaptive: Option<AdaptiveBatch>,
 }
 
 impl Default for DriverConfig {
@@ -151,7 +317,60 @@ impl Default for DriverConfig {
             batch_size: 256,
             max_inflight: 1024,
             max_idle_rounds: None,
+            adaptive: Some(AdaptiveBatch::default()),
         }
+    }
+}
+
+/// The adaptive batch-size controller, isolated from the driver so its
+/// policy is unit-testable: one [`BatchController::observe`] per scheduling
+/// round with the current [`PipelineMetrics::watermark_lag`].
+///
+/// Policy: multiplicative decrease when materialization trails ingestion
+/// past `high_lag` (halve, floored at `min_batch`), multiplicative increase
+/// when the query keeps up within `low_lag` (double, capped at
+/// `max_batch`), hold otherwise or when no lag is measurable yet. The
+/// configured initial size is honored as-is; bounds apply to adjustments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchController {
+    size: usize,
+    policy: Option<AdaptiveBatch>,
+}
+
+impl BatchController {
+    /// A controller starting from the config's batch size.
+    pub fn new(config: &DriverConfig) -> BatchController {
+        BatchController {
+            size: config.batch_size.max(1),
+            policy: config.adaptive,
+        }
+    }
+
+    /// The batch size to use for the next poll.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Force the current size (used when restoring a checkpoint, so a
+    /// resumed pipeline polls exactly as the uninterrupted run would).
+    pub fn set_size(&mut self, size: usize) {
+        self.size = size.max(1);
+    }
+
+    /// Feed one round's watermark lag; returns the (possibly adjusted)
+    /// size for the next round.
+    pub fn observe(&mut self, lag: Option<Duration>) -> usize {
+        let Some(policy) = self.policy else {
+            return self.size;
+        };
+        if let Some(lag) = lag {
+            if lag >= policy.high_lag {
+                self.size = (self.size / 2).max(policy.min_batch).max(1);
+            } else if lag <= policy.low_lag {
+                self.size = (self.size * 2).min(policy.max_batch.max(1));
+            }
+        }
+        self.size
     }
 }
 
@@ -213,10 +432,96 @@ impl PipelineMetrics {
     /// output watermark: how far materialization trails ingestion. `None`
     /// until both watermarks carry real timestamps.
     pub fn watermark_lag(&self) -> Option<onesql_types::Duration> {
-        if self.input_watermark == Watermark::MIN || self.output_watermark == Watermark::MIN {
+        PipelineMetrics::lag_between(self.input_watermark, self.output_watermark)
+    }
+
+    /// [`PipelineMetrics::watermark_lag`] on raw watermarks, so drivers
+    /// can feed their batch controller each round without rebuilding the
+    /// whole metrics struct.
+    pub fn lag_between(input: Watermark, output: Watermark) -> Option<onesql_types::Duration> {
+        if input == Watermark::MIN || output == Watermark::MIN {
             return None;
         }
-        Some(self.input_watermark.ts() - self.output_watermark.ts())
+        Some(input.ts() - output.ts())
+    }
+}
+
+/// Combines per-feeder watermarks into per-stream deliveries, the way
+/// [`WatermarkTracker`] combines operator ports: a stream's watermark is
+/// the min over all feeders (sources, or source partitions) feeding it,
+/// delivered only when it advances. Shared by [`PipelineDriver`] (one
+/// feeder per source) and the sharded driver (one feeder per partition).
+pub(crate) struct WatermarkLedger {
+    /// Current watermark per feeder; a finished feeder sits at MAX.
+    feeders: Vec<Watermark>,
+    /// Per (lowercased) stream: the min-combining tracker and the feeder
+    /// index behind each of its ports.
+    streams: BTreeMap<String, (WatermarkTracker, Vec<usize>)>,
+}
+
+impl WatermarkLedger {
+    pub(crate) fn new() -> WatermarkLedger {
+        WatermarkLedger {
+            feeders: Vec::new(),
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// Register a feeder for the given (lowercased) streams; returns its
+    /// index. Must be called before any `observe`.
+    pub(crate) fn add_feeder(&mut self, streams: &[String]) -> usize {
+        let idx = self.feeders.len();
+        self.feeders.push(Watermark::MIN);
+        for stream in streams {
+            let (tracker, ports) = self
+                .streams
+                .entry(stream.clone())
+                .or_insert_with(|| (WatermarkTracker::new(0), Vec::new()));
+            ports.push(idx);
+            *tracker = WatermarkTracker::new(ports.len());
+        }
+        idx
+    }
+
+    /// Record a watermark observation on `feeder`, appending any per-stream
+    /// advancement to `advances` as `(stream, combined)` pairs the caller
+    /// must deliver.
+    pub(crate) fn observe(
+        &mut self,
+        feeder: usize,
+        wm: Watermark,
+        advances: &mut Vec<(String, Watermark)>,
+    ) {
+        if !self.feeders[feeder].advance_to(wm) {
+            return;
+        }
+        let wm = self.feeders[feeder];
+        for (stream, (tracker, ports)) in &mut self.streams {
+            // A feeder may legally back several ports of one stream (e.g.
+            // a source declaring case-variants of a name): update them all,
+            // or the untouched port pins the combined watermark at MIN.
+            for (port, _) in ports.iter().enumerate().filter(|(_, &f)| f == feeder) {
+                if let Some(combined) = tracker.observe(port, wm) {
+                    advances.push((stream.clone(), combined));
+                }
+            }
+        }
+    }
+
+    /// The feeder's current watermark.
+    pub(crate) fn feeder(&self, idx: usize) -> Watermark {
+        self.feeders[idx]
+    }
+
+    /// All feeder watermarks, for checkpointing.
+    pub(crate) fn feeder_watermarks(&self) -> &[Watermark] {
+        &self.feeders
+    }
+
+    /// The min over all feeders: what the slowest input asserts. Finished
+    /// feeders sit at MAX and stop constraining.
+    pub(crate) fn input_watermark(&self) -> Watermark {
+        self.feeders.iter().copied().min().unwrap_or(Watermark::MIN)
     }
 }
 
@@ -224,7 +529,6 @@ struct SourceSlot {
     source: Box<dyn Source>,
     /// Lowercased stream names, resolved once at attach time.
     streams: Vec<String>,
-    watermark: Watermark,
     finished: bool,
     events: u64,
     non_empty_polls: u64,
@@ -241,11 +545,12 @@ pub struct PipelineDriver {
     sources: Vec<SourceSlot>,
     sinks: Vec<Box<dyn Sink>>,
     config: DriverConfig,
+    controller: BatchController,
     metrics: PipelineMetrics,
-    /// Which source slots feed each (lowercased) stream.
-    feeders: BTreeMap<String, Vec<usize>>,
-    /// Watermark already delivered to the query, per stream.
-    delivered: BTreeMap<String, Watermark>,
+    /// Per-source watermark combining and monotone per-stream delivery.
+    ledger: WatermarkLedger,
+    /// Scratch buffer for ledger advances (avoids per-event allocation).
+    advances: Vec<(String, Watermark)>,
     /// Monotone processing-time clock (the executor may not regress).
     clock: Ts,
     /// Changelog entries already rendered to sinks.
@@ -265,14 +570,16 @@ impl PipelineDriver {
     pub fn new(query: RunningQuery) -> PipelineDriver {
         let ver_cols = onesql_exec::compile::version_columns(query.bound());
         let clock = query.now();
+        let config = DriverConfig::default();
         PipelineDriver {
             query,
             sources: Vec::new(),
             sinks: Vec::new(),
-            config: DriverConfig::default(),
+            config,
+            controller: BatchController::new(&config),
             metrics: PipelineMetrics::default(),
-            feeders: BTreeMap::new(),
-            delivered: BTreeMap::new(),
+            ledger: WatermarkLedger::new(),
+            advances: Vec::new(),
             clock,
             emitted: 0,
             sink_watermark: Watermark::MIN,
@@ -284,11 +591,23 @@ impl PipelineDriver {
     /// Replace the driver configuration.
     pub fn with_config(mut self, config: DriverConfig) -> PipelineDriver {
         self.config = config;
+        self.controller = BatchController::new(&config);
         self
     }
 
-    /// Attach a source. Fails if the source declares no streams.
+    /// The batch size the adaptive controller will use for the next poll.
+    pub fn current_batch_size(&self) -> usize {
+        self.controller.size()
+    }
+
+    /// Attach a source. Fails if the source declares no streams, or once
+    /// the pipeline has started (the per-stream watermark trackers are
+    /// sized at attach time; growing them mid-run would reset delivered
+    /// watermark floors).
     pub fn attach_source(&mut self, source: Box<dyn Source>) -> Result<()> {
+        if self.metrics.rounds > 0 {
+            return Err(Error::plan("attach sources before stepping the pipeline"));
+        }
         let streams: Vec<String> = source
             .streams()
             .iter()
@@ -300,17 +619,10 @@ impl PipelineDriver {
                 source.name()
             )));
         }
-        let slot = self.sources.len();
-        for stream in &streams {
-            self.feeders.entry(stream.clone()).or_default().push(slot);
-            self.delivered
-                .entry(stream.clone())
-                .or_insert(Watermark::MIN);
-        }
+        self.ledger.add_feeder(&streams);
         self.sources.push(SourceSlot {
             source,
             streams,
-            watermark: Watermark::MIN,
             finished: false,
             events: 0,
             non_empty_polls: 0,
@@ -346,26 +658,16 @@ impl PipelineDriver {
         self.metrics.sources = self
             .sources
             .iter()
-            .map(|s| SourceMetrics {
+            .enumerate()
+            .map(|(i, s)| SourceMetrics {
                 name: s.source.name().to_string(),
                 events: s.events,
                 non_empty_polls: s.non_empty_polls,
-                watermark: s.watermark,
+                watermark: self.ledger.feeder(i),
                 finished: s.finished,
             })
             .collect();
-        self.metrics.input_watermark = self
-            .sources
-            .iter()
-            .map(|s| {
-                if s.finished {
-                    Watermark::MAX
-                } else {
-                    s.watermark
-                }
-            })
-            .min()
-            .unwrap_or(Watermark::MIN);
+        self.metrics.input_watermark = self.ledger.input_watermark();
         self.metrics.output_watermark = self.query.output_watermark();
     }
 
@@ -377,14 +679,13 @@ impl PipelineDriver {
         if self.finished {
             return Ok(0);
         }
+        let batch_size = self.controller.size();
         let mut ingested = 0usize;
         for slot in 0..self.sources.len() {
             if self.sources[slot].finished {
                 continue;
             }
-            let batch = self.sources[slot]
-                .source
-                .poll_batch(self.config.batch_size)?;
+            let batch = self.sources[slot].source.poll_batch(batch_size)?;
             if !batch.events.is_empty() {
                 self.sources[slot].non_empty_polls += 1;
             }
@@ -416,15 +717,16 @@ impl PipelineDriver {
                 }
             }
             if let Some(wm) = batch.watermark {
-                self.sources[slot].watermark.advance_to(Watermark(wm));
+                self.ledger.observe(slot, Watermark(wm), &mut self.advances);
             }
             if batch.status == SourceStatus::Finished {
                 self.sources[slot].finished = true;
                 // A finished source asserts completeness: it no longer
                 // constrains its streams' watermarks.
-                self.sources[slot].watermark = Watermark::MAX;
+                self.ledger
+                    .observe(slot, Watermark::MAX, &mut self.advances);
             }
-            self.propagate_watermarks(slot)?;
+            self.deliver_advances()?;
         }
         self.drain_output()?;
         self.metrics.rounds += 1;
@@ -433,35 +735,28 @@ impl PipelineDriver {
         }
         if self.all_sources_finished() {
             self.finish()?;
+        } else {
+            self.controller.observe(PipelineMetrics::lag_between(
+                self.ledger.input_watermark(),
+                self.query.output_watermark(),
+            ));
         }
         Ok(ingested)
     }
 
-    /// Deliver any watermark advancement for the streams fed by `slot`.
+    /// Deliver per-stream watermark advancements queued by the ledger.
     ///
     /// A stream's watermark is the **min** over all sources feeding it
     /// (any one source may still deliver old events); delivery is strictly
     /// monotone — the query only hears a stream watermark when it exceeds
-    /// what was already delivered.
-    fn propagate_watermarks(&mut self, slot: usize) -> Result<()> {
-        let streams = self.sources[slot].streams.clone();
-        for stream in streams {
-            let feeders = self.feeders.get(&stream).expect("registered at attach");
-            let combined = feeders
-                .iter()
-                .map(|&i| self.sources[i].watermark)
-                .min()
-                .expect("at least one feeder");
-            if combined == Watermark::MIN {
-                continue;
-            }
-            let delivered = self.delivered.get_mut(&stream).expect("registered");
-            if combined > *delivered {
-                *delivered = combined;
-                self.query.watermark(&stream, self.clock, combined.ts())?;
-                self.metrics.watermarks_in += 1;
-            }
+    /// what was already delivered (both enforced by [`WatermarkLedger`]).
+    fn deliver_advances(&mut self) -> Result<()> {
+        let mut advances = std::mem::take(&mut self.advances);
+        for (stream, combined) in advances.drain(..) {
+            self.query.watermark(&stream, self.clock, combined.ts())?;
+            self.metrics.watermarks_in += 1;
         }
+        self.advances = advances;
         Ok(())
     }
 
@@ -561,5 +856,110 @@ impl std::fmt::Debug for PipelineDriver {
             .field("events_out", &self.metrics.events_out)
             .field("finished", &self.finished)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(initial: usize, min: usize, max: usize) -> BatchController {
+        BatchController::new(&DriverConfig {
+            batch_size: initial,
+            adaptive: Some(AdaptiveBatch {
+                min_batch: min,
+                max_batch: max,
+                high_lag: Duration::from_seconds(60),
+                low_lag: Duration::from_seconds(1),
+            }),
+            ..DriverConfig::default()
+        })
+    }
+
+    #[test]
+    fn controller_shrinks_under_lag_and_grows_when_caught_up() {
+        let mut c = controller(256, 32, 4096);
+        assert_eq!(c.observe(Some(Duration::from_seconds(120))), 128);
+        assert_eq!(c.observe(Some(Duration::from_seconds(60))), 64, "at high");
+        assert_eq!(c.observe(Some(Duration::from_seconds(30))), 64, "between");
+        assert_eq!(c.observe(Some(Duration::from_seconds(1))), 128, "at low");
+        assert_eq!(c.observe(Some(Duration::ZERO)), 256);
+    }
+
+    #[test]
+    fn controller_respects_bounds() {
+        let mut c = controller(64, 32, 128);
+        for _ in 0..10 {
+            c.observe(Some(Duration::from_minutes(10)));
+        }
+        assert_eq!(c.size(), 32, "floored at min_batch");
+        for _ in 0..10 {
+            c.observe(Some(Duration::ZERO));
+        }
+        assert_eq!(c.size(), 128, "capped at max_batch");
+    }
+
+    #[test]
+    fn controller_holds_without_lag_signal() {
+        let mut c = controller(256, 32, 4096);
+        assert_eq!(c.observe(None), 256);
+        assert_eq!(c.size(), 256);
+    }
+
+    #[test]
+    fn controller_fixed_when_adaptive_disabled() {
+        let mut c = BatchController::new(&DriverConfig {
+            batch_size: 17,
+            adaptive: None,
+            ..DriverConfig::default()
+        });
+        assert_eq!(c.observe(Some(Duration::from_minutes(60))), 17);
+        assert_eq!(c.observe(Some(Duration::ZERO)), 17);
+    }
+
+    #[test]
+    fn controller_initial_size_not_clamped_but_adjustments_are() {
+        // An explicit size below min_batch is honored until the first
+        // adjustment, which snaps into bounds.
+        let mut c = controller(4, 32, 4096);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.observe(Some(Duration::from_minutes(5))), 32);
+    }
+
+    #[test]
+    fn ledger_combines_per_stream_minimum() {
+        let mut ledger = WatermarkLedger::new();
+        let a = ledger.add_feeder(&["s".to_string()]);
+        let b = ledger.add_feeder(&["s".to_string(), "t".to_string()]);
+        let mut advances = Vec::new();
+
+        // Only one feeder of "s" advanced: nothing delivered on "s", but
+        // "t" (fed by b alone) advances.
+        ledger.observe(b, Watermark(Ts(100)), &mut advances);
+        assert_eq!(advances, vec![("t".to_string(), Watermark(Ts(100)))]);
+        advances.clear();
+
+        ledger.observe(a, Watermark(Ts(50)), &mut advances);
+        assert_eq!(advances, vec![("s".to_string(), Watermark(Ts(50)))]);
+        advances.clear();
+
+        // Regression is absorbed; re-observation delivers nothing.
+        ledger.observe(a, Watermark(Ts(40)), &mut advances);
+        assert!(advances.is_empty());
+        assert_eq!(ledger.input_watermark(), Watermark(Ts(50)));
+        assert_eq!(ledger.feeder(a), Watermark(Ts(50)));
+    }
+
+    #[test]
+    fn ledger_finished_feeder_stops_constraining() {
+        let mut ledger = WatermarkLedger::new();
+        let a = ledger.add_feeder(&["s".to_string()]);
+        let b = ledger.add_feeder(&["s".to_string()]);
+        let mut advances = Vec::new();
+        ledger.observe(a, Watermark(Ts(10)), &mut advances);
+        advances.clear();
+        ledger.observe(b, Watermark::MAX, &mut advances);
+        assert_eq!(advances, vec![("s".to_string(), Watermark(Ts(10)))]);
+        assert_eq!(ledger.input_watermark(), Watermark(Ts(10)));
     }
 }

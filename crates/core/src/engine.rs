@@ -8,8 +8,9 @@ use onesql_plan::{bind, optimize, BoundQuery, Catalog, MemoryCatalog, TableKind}
 use onesql_state::TemporalTable;
 use onesql_types::{DataType, Duration, Error, Field, Result, Row, Schema, SchemaRef};
 
-use crate::connect::{PipelineDriver, Sink, Source};
+use crate::connect::{PartitionedSource, PipelineDriver, Sink, Source};
 use crate::query::RunningQuery;
+use crate::shard::{ShardedConfig, ShardedPipelineDriver};
 
 /// Fluent schema builder for registering relations.
 #[derive(Debug, Default, Clone)]
@@ -64,8 +65,12 @@ pub struct Engine {
     config: ExecConfig,
     /// Connectors registered via [`Engine::attach_source`] /
     /// [`Engine::attach_sink`], consumed by the next
-    /// [`Engine::run_pipeline`].
+    /// [`Engine::run_pipeline`] (or [`Engine::run_sharded_pipeline`]).
     pending_sources: Vec<Box<dyn Source>>,
+    /// Partitioned connectors registered via
+    /// [`Engine::attach_partitioned_source`], consumed by the next
+    /// [`Engine::run_sharded_pipeline`].
+    pending_partitioned: Vec<Box<dyn PartitionedSource>>,
     pending_sinks: Vec<Box<dyn Sink>>,
 }
 
@@ -212,25 +217,37 @@ impl Engine {
     /// call. Every stream the source declares must already be registered
     /// on the engine.
     pub fn attach_source(&mut self, source: Box<dyn Source>) -> Result<()> {
-        for stream in source.streams() {
+        self.validate_source_streams(source.name(), source.streams())?;
+        self.pending_sources.push(source);
+        Ok(())
+    }
+
+    /// Register a partitioned source connector for the next
+    /// [`Engine::run_sharded_pipeline`] call. Every stream the source
+    /// declares must already be registered on the engine.
+    pub fn attach_partitioned_source(&mut self, source: Box<dyn PartitionedSource>) -> Result<()> {
+        self.validate_source_streams(source.name(), source.streams())?;
+        self.pending_partitioned.push(source);
+        Ok(())
+    }
+
+    fn validate_source_streams(&self, name: &str, streams: &[String]) -> Result<()> {
+        for stream in streams {
             match self.catalog.resolve(stream) {
                 Ok((_, TableKind::Stream)) => {}
                 Ok((_, TableKind::Table)) => {
                     return Err(Error::plan(format!(
-                        "source '{}' targets '{stream}', which is a table, \
-                         not a stream",
-                        source.name()
+                        "source '{name}' targets '{stream}', which is a table, \
+                         not a stream"
                     )))
                 }
                 Err(_) => {
                     return Err(Error::catalog(format!(
-                        "source '{}' targets unregistered stream '{stream}'",
-                        source.name()
+                        "source '{name}' targets unregistered stream '{stream}'"
                     )))
                 }
             }
         }
-        self.pending_sources.push(source);
         Ok(())
     }
 
@@ -245,6 +262,11 @@ impl Engine {
     /// ready to [`PipelineDriver::run`]; an end-to-end job is
     /// `attach_source` + `attach_sink` + `run_pipeline(sql)?.run()`.
     pub fn run_pipeline(&mut self, sql: &str) -> Result<PipelineDriver> {
+        if !self.pending_partitioned.is_empty() {
+            return Err(Error::plan(
+                "partitioned sources are attached; use run_sharded_pipeline",
+            ));
+        }
         if self.pending_sources.is_empty() {
             return Err(Error::plan(
                 "run_pipeline needs at least one attached source",
@@ -252,6 +274,35 @@ impl Engine {
         }
         let query = self.execute(sql)?;
         let mut driver = PipelineDriver::new(query);
+        for source in self.pending_sources.drain(..) {
+            driver.attach_source(source)?;
+        }
+        for sink in self.pending_sinks.drain(..) {
+            driver.attach_sink(sink)?;
+        }
+        Ok(driver)
+    }
+
+    /// Plan `sql` as `config.workers` hash-sharded query workers and wrap
+    /// it in a [`ShardedPipelineDriver`] wired to every connector attached
+    /// since the last call: partitioned sources directly, plain sources
+    /// via the 1-partition adapter. The driver is returned ready to
+    /// [`ShardedPipelineDriver::run`], or to
+    /// [`ShardedPipelineDriver::restore`] a checkpoint first.
+    pub fn run_sharded_pipeline(
+        &mut self,
+        sql: &str,
+        config: ShardedConfig,
+    ) -> Result<ShardedPipelineDriver> {
+        if self.pending_sources.is_empty() && self.pending_partitioned.is_empty() {
+            return Err(Error::plan(
+                "run_sharded_pipeline needs at least one attached source",
+            ));
+        }
+        let mut driver = ShardedPipelineDriver::new(self, sql, config)?;
+        for source in self.pending_partitioned.drain(..) {
+            driver.attach_partitioned_source(source)?;
+        }
         for source in self.pending_sources.drain(..) {
             driver.attach_source(source)?;
         }

@@ -36,14 +36,17 @@ pub mod connect;
 pub mod engine;
 pub mod parallel;
 pub mod query;
+pub mod shard;
 
 pub use connect::{
-    DriverConfig, PipelineDriver, PipelineMetrics, Sink, Source, SourceBatch, SourceEvent,
-    SourceMetrics, SourceStatus,
+    AdaptiveBatch, BatchController, DriverConfig, PartitionedSource, PipelineDriver,
+    PipelineMetrics, SinglePartition, Sink, Source, SourceBatch, SourceEvent, SourceMetrics,
+    SourceStatus,
 };
 pub use engine::{Engine, StreamBuilder};
-pub use parallel::PartitionedQuery;
+pub use parallel::{PartitionedQuery, StableHasher};
 pub use query::RunningQuery;
+pub use shard::{PipelineCheckpoint, ShardedConfig, ShardedPipelineDriver};
 
 pub use onesql_exec::{ExecConfig, StreamRow};
 pub use onesql_plan::{BoundQuery, EmitSpec};

@@ -165,6 +165,14 @@ impl RunningQuery {
         self.executor.changelog()
     }
 
+    /// Changelog entries appended since `cursor` (a previous
+    /// `changelog().len()`), for incremental consumers like the sharded
+    /// driver's drain barrier. After [`RunningQuery::restore`] the
+    /// changelog restarts, so cursors must reset to zero.
+    pub fn changelog_since(&self, cursor: usize) -> &[onesql_tvr::TimedChange] {
+        &self.executor.changelog().entries()[cursor.min(self.executor.changelog().len())..]
+    }
+
     /// Take a consistent checkpoint of all operator state (Appendix B.2.1).
     /// Restore it into a fresh `execute()` of the same SQL with
     /// [`RunningQuery::restore`].

@@ -1,0 +1,1229 @@
+//! The sharded pipeline runtime: partition-aware ingestion, parallel
+//! operator workers, and exactly-once checkpoint/resume.
+//!
+//! [`crate::connect::PipelineDriver`] pumps sources through **one**
+//! running query on the calling thread. This module scales both sides of
+//! that loop together, the way the paper's engines do (Appendix B):
+//!
+//! - **In**: [`PartitionedSource`]s expose N ordered partitions, each with
+//!   its own watermark and a replayable offset. The driver polls
+//!   partitions independently and combines their watermarks per stream as
+//!   the min, exactly as [`onesql_time::WatermarkTracker`] combines
+//!   operator ports.
+//! - **Across**: each event routes to one of W worker threads by the
+//!   stable hash of its partition key ([`PartitionedQuery::partition_of`]),
+//!   so rows that can ever combine (same group, same join key) always meet
+//!   in the same worker — the partition-alignment property of
+//!   [`crate::parallel`], now fed by connectors instead of direct inserts.
+//! - **Out**: worker changelogs merge through a deterministic
+//!   partition-aligned order — `(ptime, worker, per-worker sequence)` —
+//!   with entries at the current clock held back until the clock passes
+//!   them, so the sink-observed changelog is a pure function of the input
+//!   and never depends on thread scheduling.
+//! - **Recovery**: [`ShardedPipelineDriver::checkpoint`] barriers the
+//!   workers and captures operator state *plus* per-partition source
+//!   offsets *plus* the driver's merge/render cursors in one
+//!   [`PipelineCheckpoint`]. A fresh driver over fresh (replayable)
+//!   sources [`ShardedPipelineDriver::restore`]s it and continues as if
+//!   the crash never happened: the resumed sink output concatenated onto
+//!   the pre-crash output is byte-identical to an uninterrupted run.
+//!
+//! The determinism argument for the merge: the driver's clock is monotone
+//! and every changelog entry a worker produces is stamped with the clock
+//! value of the command that caused it. Once the clock has advanced past
+//! `t`, no worker can ever produce another entry with `ptime <= t`, so
+//! entries strictly below the clock can be flushed in globally sorted
+//! order; ties at the clock wait (a slower worker may still produce a
+//! same-`ptime` entry that sorts between them).
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use onesql_exec::{StreamRenderer, StreamRow};
+use onesql_time::Watermark;
+use onesql_tvr::{Change, TimedChange};
+use onesql_types::{Error, Result, Row, SchemaRef, Ts};
+
+use crate::connect::{
+    BatchController, DriverConfig, PartitionedSource, PipelineMetrics, SinglePartition, Sink,
+    Source, SourceMetrics, SourceStatus, WatermarkLedger,
+};
+use crate::engine::Engine;
+use crate::parallel::PartitionedQuery;
+use crate::query::RunningQuery;
+
+/// Tuning for a sharded pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of worker threads (= operator state shards).
+    pub workers: usize,
+    /// Which input column is the partition key, for every stream (the
+    /// caller must pick a column consistent with the query's grouping /
+    /// join keys — the partition-alignment property).
+    pub partition_col: usize,
+    /// Polling and adaptive-batch knobs, shared with the simple driver.
+    pub driver: DriverConfig,
+}
+
+impl ShardedConfig {
+    /// A config with `workers` workers, partitioning on column 0.
+    pub fn new(workers: usize) -> ShardedConfig {
+        ShardedConfig {
+            workers,
+            partition_col: 0,
+            driver: DriverConfig::default(),
+        }
+    }
+
+    /// Set the partition-key column.
+    pub fn with_partition_col(mut self, col: usize) -> ShardedConfig {
+        self.partition_col = col;
+        self
+    }
+
+    /// Replace the driver knobs.
+    pub fn with_driver(mut self, driver: DriverConfig) -> ShardedConfig {
+        self.driver = driver;
+        self
+    }
+}
+
+impl Default for ShardedConfig {
+    fn default() -> ShardedConfig {
+        ShardedConfig::new(1)
+    }
+}
+
+/// A consistent snapshot of an entire sharded pipeline: per-worker
+/// operator state, per-partition source offsets, and the driver's merge /
+/// render / watermark cursors. Everything needed to resume exactly-once.
+///
+/// Restore requires a *fresh* driver with the same SQL, worker count, and
+/// source shapes, over **replayable** sources (see
+/// [`PartitionedSource::seek`]).
+#[derive(Debug, Clone)]
+pub struct PipelineCheckpoint {
+    /// Per-worker operator state, from [`RunningQuery::checkpoint`].
+    pub workers: Vec<onesql_state::Checkpoint>,
+    /// Per-source, per-partition replay offsets (events consumed).
+    pub offsets: Vec<Vec<u64>>,
+    /// Per-source, per-partition finished flags.
+    pub finished: Vec<Vec<bool>>,
+    /// Per-feeder (source partition) watermarks, in feeder order.
+    pub feeders: Vec<Watermark>,
+    /// The driver's monotone processing-time clock.
+    pub clock: Ts,
+    /// The adaptive controller's batch size, so a resumed pipeline polls
+    /// exactly as the uninterrupted run would.
+    pub batch_size: usize,
+    /// Changelog entries drained from workers but still held back by the
+    /// deterministic merge (ptime == clock ties), per worker with their
+    /// merge sequence numbers.
+    pub pending: Vec<Vec<(u64, TimedChange)>>,
+    /// Next merge sequence number per worker.
+    pub next_seq: Vec<u64>,
+    /// `EMIT STREAM` per-grouping version counters at the flush cursor.
+    pub renderer_versions: Vec<(Row, u64)>,
+    /// Output watermark already reported to sinks.
+    pub sink_watermark: Watermark,
+    /// Combined worker output watermark at the checkpoint barrier.
+    pub output_watermark: Watermark,
+    /// Rows delivered to sinks so far (metrics continuity).
+    pub events_out: u64,
+    /// Watermark deliveries into the workers so far (metrics continuity).
+    pub watermarks_in: u64,
+}
+
+/// What a worker reports at a drain barrier.
+struct DrainReply {
+    /// Changelog entries produced since the previous drain.
+    entries: Vec<TimedChange>,
+    /// The worker's current output watermark.
+    watermark: Watermark,
+}
+
+/// Commands from the driver's control thread to a worker.
+enum Cmd {
+    /// Declare a stream name; subsequent commands reference it by index.
+    Declare(String),
+    /// A routed batch of `(stream index, ptime, change)` events.
+    Batch(Vec<(usize, Ts, Change)>),
+    /// Deliver a stream watermark.
+    Watermark(usize, Ts, Ts),
+    /// All inputs complete: flush pending materialization.
+    Finish(Ts),
+    /// Barrier: report new changelog entries and the output watermark.
+    Drain(Sender<Result<DrainReply>>),
+    /// Barrier: snapshot operator state.
+    Checkpoint(Sender<Result<onesql_state::Checkpoint>>),
+    /// Load operator state (fresh workers only).
+    Restore(onesql_state::Checkpoint, Sender<Result<()>>),
+}
+
+fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>) -> RunningQuery {
+    let mut streams: Vec<String> = Vec::new();
+    let mut drained = 0usize;
+    // The first failure wins; later data commands are skipped and every
+    // subsequent barrier reports it, so the control thread hears about it
+    // at the next drain instead of deadlocking or panicking.
+    let mut failure: Option<Error> = None;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Declare(name) => streams.push(name),
+            Cmd::Batch(events) => {
+                if failure.is_some() {
+                    continue;
+                }
+                for (stream, ptime, change) in events {
+                    if let Err(e) = query.change(&streams[stream], ptime, change) {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            Cmd::Watermark(stream, ptime, wm) => {
+                if failure.is_some() {
+                    continue;
+                }
+                if let Err(e) = query.watermark(&streams[stream], ptime, wm) {
+                    failure = Some(e);
+                }
+            }
+            Cmd::Finish(at) => {
+                if failure.is_some() {
+                    continue;
+                }
+                if let Err(e) = query.finish(at) {
+                    failure = Some(e);
+                }
+            }
+            Cmd::Drain(reply) => {
+                let result = match &failure {
+                    Some(e) => Err(e.clone()),
+                    None => {
+                        let entries = query.changelog_since(drained).to_vec();
+                        drained = query.changelog().len();
+                        Ok(DrainReply {
+                            entries,
+                            watermark: query.output_watermark(),
+                        })
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Checkpoint(reply) => {
+                let result = match &failure {
+                    Some(e) => Err(e.clone()),
+                    None => query.checkpoint(),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Restore(checkpoint, reply) => {
+                let result = query.restore(&checkpoint);
+                drained = 0;
+                let _ = reply.send(result);
+            }
+        }
+    }
+    query
+}
+
+struct Worker {
+    tx: Sender<Cmd>,
+    handle: std::thread::JoinHandle<RunningQuery>,
+}
+
+/// One partition's driver-side state.
+struct PartState {
+    /// Index into the watermark ledger.
+    feeder: usize,
+    finished: bool,
+    events: u64,
+}
+
+struct SourceSlot {
+    source: Box<dyn PartitionedSource>,
+    /// Lowercased stream names, resolved to global indices at attach.
+    stream_ids: Vec<usize>,
+    parts: Vec<PartState>,
+    non_empty_polls: u64,
+}
+
+/// Pumps partitioned sources through W hash-sharded query workers into
+/// sinks, with deterministic output order and whole-pipeline
+/// checkpoint/restore. See the module docs for the architecture.
+pub struct ShardedPipelineDriver {
+    workers: Vec<Worker>,
+    sources: Vec<SourceSlot>,
+    sinks: Vec<Box<dyn Sink>>,
+    config: ShardedConfig,
+    controller: BatchController,
+    metrics: PipelineMetrics,
+    ledger: WatermarkLedger,
+    advances: Vec<(String, Watermark)>,
+    /// Global stream table: lowercased names, indices shared with workers.
+    streams: Vec<String>,
+    /// Monotone processing-time clock across all partitions.
+    clock: Ts,
+    /// Held-back changelog entries per worker: `(merge seq, entry)`, in
+    /// per-worker order (which is ptime-then-seq order by construction).
+    pending: Vec<VecDeque<(u64, TimedChange)>>,
+    next_seq: Vec<u64>,
+    renderer: StreamRenderer,
+    schema: SchemaRef,
+    /// Combined (min) worker output watermark as of the last drain.
+    output_watermark: Watermark,
+    /// Output watermark already reported to sinks.
+    sink_watermark: Watermark,
+    finished: bool,
+    /// Set when a step failed after source offsets had already advanced:
+    /// polled events may never have reached a worker, so continuing — and
+    /// above all checkpointing — would silently violate exactly-once.
+    poisoned: bool,
+    /// Set by [`ShardedPipelineDriver::restore`]: the watermark ledger and
+    /// cursors now mirror a checkpoint, so the source/sink set is sealed
+    /// even though no round has run yet.
+    restored: bool,
+    /// The workers' final queries, populated by `finish`.
+    final_queries: Vec<RunningQuery>,
+}
+
+impl ShardedPipelineDriver {
+    /// Plan `sql` on `engine` and spawn `config.workers` query workers.
+    /// Attach sources and sinks, then [`ShardedPipelineDriver::run`] (or
+    /// [`ShardedPipelineDriver::restore`] a checkpoint first).
+    pub fn new(engine: &Engine, sql: &str, config: ShardedConfig) -> Result<ShardedPipelineDriver> {
+        if config.workers == 0 {
+            return Err(Error::exec("need at least one worker"));
+        }
+        let mut workers = Vec::with_capacity(config.workers);
+        let mut schema = None;
+        let mut ver_cols = Vec::new();
+        let mut clock = Ts::MIN;
+        for _ in 0..config.workers {
+            let query = engine.execute(sql)?;
+            if schema.is_none() {
+                schema = Some(query.schema());
+                ver_cols = onesql_exec::compile::version_columns(query.bound());
+                clock = query.now();
+            }
+            let (tx, rx) = bounded::<Cmd>(64);
+            let handle = std::thread::spawn(move || worker_loop(query, rx));
+            workers.push(Worker { tx, handle });
+        }
+        let worker_count = workers.len();
+        Ok(ShardedPipelineDriver {
+            workers,
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            config,
+            controller: BatchController::new(&config.driver),
+            metrics: PipelineMetrics::default(),
+            ledger: WatermarkLedger::new(),
+            advances: Vec::new(),
+            streams: Vec::new(),
+            clock,
+            pending: (0..worker_count).map(|_| VecDeque::new()).collect(),
+            next_seq: vec![0; worker_count],
+            renderer: StreamRenderer::new(ver_cols),
+            schema: schema.expect("at least one worker"),
+            output_watermark: Watermark::MIN,
+            sink_watermark: Watermark::MIN,
+            finished: false,
+            poisoned: false,
+            restored: false,
+            final_queries: Vec::new(),
+        })
+    }
+
+    /// Attach a partitioned source. Fails once the pipeline has started
+    /// or restored a checkpoint (the per-stream watermark trackers are
+    /// sized at attach time; growing them afterwards would wipe observed
+    /// watermark state).
+    pub fn attach_partitioned_source(&mut self, source: Box<dyn PartitionedSource>) -> Result<()> {
+        if self.metrics.rounds > 0 || self.restored || self.poisoned {
+            return Err(Error::plan(
+                "attach sources before stepping or restoring the pipeline",
+            ));
+        }
+        if source.streams().is_empty() {
+            return Err(Error::plan(format!(
+                "source '{}' declares no streams",
+                source.name()
+            )));
+        }
+        if source.partitions() == 0 {
+            return Err(Error::plan(format!(
+                "source '{}' declares no partitions",
+                source.name()
+            )));
+        }
+        let mut stream_ids = Vec::with_capacity(source.streams().len());
+        for stream in source.streams() {
+            let stream = stream.to_ascii_lowercase();
+            let id = match self.streams.iter().position(|s| *s == stream) {
+                Some(id) => id,
+                None => {
+                    self.streams.push(stream.clone());
+                    self.broadcast(|| Cmd::Declare(stream.clone()))?;
+                    self.streams.len() - 1
+                }
+            };
+            stream_ids.push(id);
+        }
+        let streams_lc: Vec<String> = stream_ids
+            .iter()
+            .map(|&i| self.streams[i].clone())
+            .collect();
+        let parts = (0..source.partitions())
+            .map(|_| PartState {
+                feeder: self.ledger.add_feeder(&streams_lc),
+                finished: false,
+                events: 0,
+            })
+            .collect();
+        self.sources.push(SourceSlot {
+            source,
+            stream_ids,
+            parts,
+            non_empty_polls: 0,
+        });
+        Ok(())
+    }
+
+    /// Attach a plain single-partition source via [`SinglePartition`].
+    pub fn attach_source(&mut self, source: Box<dyn Source>) -> Result<()> {
+        self.attach_partitioned_source(Box::new(SinglePartition::new(source)))
+    }
+
+    /// Attach a sink; it is immediately bound to the query's output
+    /// schema.
+    pub fn attach_sink(&mut self, mut sink: Box<dyn Sink>) -> Result<()> {
+        sink.bind(self.schema.clone())?;
+        self.sinks.push(sink);
+        Ok(())
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The batch size the adaptive controller will use for the next poll.
+    pub fn current_batch_size(&self) -> usize {
+        self.controller.size()
+    }
+
+    /// True once every source partition finished and the workers flushed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Current accounting. Watermark fields refresh on access.
+    pub fn metrics(&mut self) -> &PipelineMetrics {
+        self.refresh_metrics();
+        &self.metrics
+    }
+
+    /// Events ingested so far. Maintained incrementally — cheap enough
+    /// for per-step loop conditions, unlike
+    /// [`ShardedPipelineDriver::metrics`] which rebuilds derived fields.
+    pub fn events_in(&self) -> u64 {
+        self.metrics.events_in
+    }
+
+    fn refresh_metrics(&mut self) {
+        self.metrics.sources = self
+            .sources
+            .iter()
+            .map(|s| SourceMetrics {
+                name: s.source.name().to_string(),
+                events: s.parts.iter().map(|p| p.events).sum(),
+                non_empty_polls: s.non_empty_polls,
+                watermark: s
+                    .parts
+                    .iter()
+                    .map(|p| self.ledger.feeder(p.feeder))
+                    .min()
+                    .unwrap_or(Watermark::MIN),
+                finished: s.parts.iter().all(|p| p.finished),
+            })
+            .collect();
+        self.metrics.input_watermark = self.ledger.input_watermark();
+        self.metrics.output_watermark = self.output_watermark;
+    }
+
+    fn broadcast(&self, mut cmd: impl FnMut() -> Cmd) -> Result<()> {
+        for worker in &self.workers {
+            worker
+                .tx
+                .send(cmd())
+                .map_err(|_| Error::exec("pipeline worker terminated"))?;
+        }
+        Ok(())
+    }
+
+    /// One scheduling round: poll every unfinished partition once, route
+    /// events to workers by partition key, propagate watermarks, barrier,
+    /// and flush the deterministic merge. Returns events ingested.
+    ///
+    /// A step that errors after sources were polled poisons the driver:
+    /// the polled events may never have reached a worker while the source
+    /// offsets already advanced, so further stepping or checkpointing
+    /// would silently lose them. A poisoned pipeline only reports its
+    /// error; recovery is restoring the last good checkpoint into a fresh
+    /// driver.
+    pub fn step(&mut self) -> Result<usize> {
+        if self.poisoned {
+            return Err(Error::exec(
+                "pipeline is poisoned by an earlier failed step; \
+                 restore the last checkpoint into a fresh driver",
+            ));
+        }
+        if self.sources.is_empty() {
+            return Err(Error::plan("pipeline has no sources"));
+        }
+        match self.step_inner() {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn step_inner(&mut self) -> Result<usize> {
+        if self.finished {
+            return Ok(0);
+        }
+        let round_clock = self.clock;
+        let batch_size = self.controller.size();
+        let mut routed: Vec<Vec<(usize, Ts, Change)>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
+        let mut ingested = 0usize;
+        for slot in 0..self.sources.len() {
+            for part in 0..self.sources[slot].parts.len() {
+                if self.sources[slot].parts[part].finished {
+                    continue;
+                }
+                let batch = self.sources[slot].source.poll_partition(part, batch_size)?;
+                if !batch.events.is_empty() {
+                    self.sources[slot].non_empty_polls += 1;
+                }
+                for event in batch.events {
+                    let &stream_id =
+                        self.sources[slot]
+                            .stream_ids
+                            .get(event.stream)
+                            .ok_or_else(|| {
+                                Error::exec(format!(
+                                    "source '{}' produced an event for stream index {} \
+                                 but declares only {} streams",
+                                    self.sources[slot].source.name(),
+                                    event.stream,
+                                    self.sources[slot].stream_ids.len()
+                                ))
+                            })?;
+                    // Processing time is monotone across every partition;
+                    // a partition whose clock lags is dragged forward.
+                    self.clock = self.clock.max(event.ptime);
+                    let key = event
+                        .change
+                        .row
+                        .value(self.config.partition_col)
+                        .map_err(|_| {
+                            Error::exec(format!(
+                                "stream '{}' row has no partition column {}",
+                                self.streams[stream_id], self.config.partition_col
+                            ))
+                        })?;
+                    let worker = PartitionedQuery::partition_of(key, self.workers.len());
+                    routed[worker].push((stream_id, self.clock, event.change));
+                    self.sources[slot].parts[part].events += 1;
+                    self.metrics.events_in += 1;
+                    ingested += 1;
+                }
+                let feeder = self.sources[slot].parts[part].feeder;
+                if let Some(wm) = batch.watermark {
+                    self.ledger
+                        .observe(feeder, Watermark(wm), &mut self.advances);
+                }
+                if batch.status == SourceStatus::Finished {
+                    self.sources[slot].parts[part].finished = true;
+                    // A finished partition asserts completeness: it stops
+                    // constraining its streams' watermarks.
+                    self.ledger
+                        .observe(feeder, Watermark::MAX, &mut self.advances);
+                }
+            }
+        }
+        // Events first (they were polled before the watermark assertions),
+        // then the per-stream advances, broadcast to every worker because
+        // watermarks are assertions about whole streams.
+        for (worker, batch) in routed.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.workers[worker]
+                .tx
+                .send(Cmd::Batch(batch))
+                .map_err(|_| Error::exec("pipeline worker terminated"))?;
+        }
+        let mut advances = std::mem::take(&mut self.advances);
+        for (stream, combined) in advances.drain(..) {
+            let stream_id = self
+                .streams
+                .iter()
+                .position(|s| *s == stream)
+                .expect("registered at attach");
+            self.broadcast(|| Cmd::Watermark(stream_id, self.clock, combined.ts()))?;
+            self.metrics.watermarks_in += 1;
+        }
+        self.advances = advances;
+
+        self.drain_workers()?;
+        self.flush(false)?;
+        self.metrics.rounds += 1;
+        if ingested == 0 {
+            self.metrics.idle_rounds += 1;
+        }
+        // A round that left the clock where it found it — idle, or a live
+        // source whose ptimes stall — would otherwise withhold the
+        // entries at ptime == clock (and let `pending` grow) until some
+        // future event advances it. Nudge the clock 1ms and re-flush:
+        // future events are clamped monotone anyway, so merge order is
+        // preserved, and the nudge is a deterministic function of the
+        // replayed rounds, so checkpointed resumes still reproduce it.
+        if self.clock == round_clock && !self.pending.iter().all(|p| p.is_empty()) {
+            self.clock += onesql_types::Duration(1);
+            self.flush(false)?;
+        }
+        if self
+            .sources
+            .iter()
+            .all(|s| s.parts.iter().all(|p| p.finished))
+        {
+            self.finish()?;
+        } else {
+            self.controller.observe(PipelineMetrics::lag_between(
+                self.ledger.input_watermark(),
+                self.output_watermark,
+            ));
+        }
+        Ok(ingested)
+    }
+
+    /// Scatter a barrier command to every worker, then gather the replies
+    /// in worker order. Sending to all before receiving from any is what
+    /// makes the barrier run in parallel across workers.
+    fn gather<T>(&self, make: impl Fn(usize, Sender<Result<T>>) -> Cmd) -> Result<Vec<T>> {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for (w, worker) in self.workers.iter().enumerate() {
+            let (tx, rx) = bounded(1);
+            worker
+                .tx
+                .send(make(w, tx))
+                .map_err(|_| Error::exec("pipeline worker terminated"))?;
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .map(|rx| {
+                rx.recv()
+                    .map_err(|_| Error::exec("pipeline worker terminated"))?
+            })
+            .collect()
+    }
+
+    /// Barrier: every worker reports its new changelog entries (into the
+    /// per-worker pending buffers) and its output watermark. On return,
+    /// every command sent so far has been fully processed.
+    fn drain_workers(&mut self) -> Result<()> {
+        let replies = self.gather(|_, tx| Cmd::Drain(tx))?;
+        let mut combined = Watermark::MAX;
+        for (w, reply) in replies.into_iter().enumerate() {
+            for entry in reply.entries {
+                self.pending[w].push_back((self.next_seq[w], entry));
+                self.next_seq[w] += 1;
+            }
+            combined = combined.min(reply.watermark);
+        }
+        self.output_watermark = combined;
+        Ok(())
+    }
+
+    /// Flush the deterministic merge: emit every held entry with
+    /// `ptime < clock` (or all of them at finish) in `(ptime, worker,
+    /// seq)` order, rendered with `EMIT STREAM` version numbering shared
+    /// across all workers.
+    fn flush(&mut self, everything: bool) -> Result<()> {
+        let mut batch: Vec<(Ts, usize, u64, TimedChange)> = Vec::new();
+        for (w, pending) in self.pending.iter_mut().enumerate() {
+            while let Some((_, entry)) = pending.front() {
+                if everything || entry.ptime < self.clock {
+                    let (seq, entry) = pending.pop_front().expect("front exists");
+                    batch.push((entry.ptime, w, seq, entry));
+                } else {
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            batch.sort_by_key(|&(ptime, worker, seq, _)| (ptime, worker, seq));
+            let mut rows: Vec<StreamRow> = Vec::with_capacity(batch.len());
+            for (_, _, _, entry) in &batch {
+                self.renderer.render_into(entry, &mut rows)?;
+            }
+            self.metrics.events_out += rows.len() as u64;
+            for sink in &mut self.sinks {
+                sink.write(&rows)?;
+            }
+        }
+        self.notify_sink_watermark()
+    }
+
+    /// Report the combined output watermark to sinks — but only while no
+    /// entries are held back, so a sink never hears "complete up to W"
+    /// before the rows W released.
+    fn notify_sink_watermark(&mut self) -> Result<()> {
+        if !self.pending.iter().all(|p| p.is_empty()) {
+            return Ok(());
+        }
+        if self.output_watermark > self.sink_watermark {
+            self.sink_watermark = self.output_watermark;
+            for sink in &mut self.sinks {
+                sink.on_watermark(self.sink_watermark)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Declare the pipeline complete: workers flush all gated
+    /// materialization, the merge drains entirely, sinks flush, and the
+    /// worker threads join. Idempotent on success; a failed finish
+    /// poisons the driver (it does NOT report finished), so callers can't
+    /// mistake a half-flushed pipeline for a completed one.
+    pub fn finish(&mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        if self.poisoned {
+            return Err(Error::exec(
+                "pipeline is poisoned by an earlier failure; \
+                 restore the last checkpoint into a fresh driver",
+            ));
+        }
+        match self.finish_inner() {
+            Ok(()) => {
+                self.finished = true;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn finish_inner(&mut self) -> Result<()> {
+        self.broadcast(|| Cmd::Finish(self.clock))?;
+        self.drain_workers()?;
+        self.flush(true)?;
+        for sink in &mut self.sinks {
+            sink.flush()?;
+        }
+        for worker in std::mem::take(&mut self.workers) {
+            drop(worker.tx);
+            let query = worker
+                .handle
+                .join()
+                .map_err(|_| Error::exec("pipeline worker panicked"))?;
+            self.final_queries.push(query);
+        }
+        self.refresh_metrics();
+        Ok(())
+    }
+
+    /// Run until every partition finishes. All-idle rounds yield the
+    /// thread; `max_idle_rounds` bounds the wait, erroring on exhaustion
+    /// so a stuck pipeline is loud.
+    pub fn run(&mut self) -> Result<&PipelineMetrics> {
+        if self.sources.is_empty() {
+            return Err(Error::plan("pipeline has no sources"));
+        }
+        let mut idle_streak = 0u64;
+        while !self.finished {
+            let ingested = self.step()?;
+            if self.finished {
+                break;
+            }
+            if ingested == 0 {
+                idle_streak += 1;
+                if let Some(limit) = self.config.driver.max_idle_rounds {
+                    if idle_streak > limit {
+                        return Err(Error::exec(format!(
+                            "pipeline made no progress for {idle_streak} rounds \
+                             (sources idle, none finished)"
+                        )));
+                    }
+                }
+                std::thread::yield_now();
+            } else {
+                idle_streak = 0;
+            }
+        }
+        self.refresh_metrics();
+        Ok(&self.metrics)
+    }
+
+    /// The merged final table: the disjoint union of the workers' result
+    /// partitions, in row order. Only available after the pipeline
+    /// finished (before that the rows live in the worker threads).
+    pub fn table(&self) -> Result<Vec<Row>> {
+        if !self.finished {
+            return Err(Error::exec("table() requires a finished pipeline"));
+        }
+        let mut rows = Vec::new();
+        for query in &self.final_queries {
+            rows.extend(query.table()?);
+        }
+        rows.sort();
+        Ok(rows)
+    }
+
+    /// Take a consistent whole-pipeline snapshot: barrier the workers,
+    /// capture their operator state, and record source offsets plus the
+    /// driver's merge cursors. The pipeline keeps running afterwards.
+    pub fn checkpoint(&mut self) -> Result<PipelineCheckpoint> {
+        if self.finished {
+            return Err(Error::exec("cannot checkpoint a finished pipeline"));
+        }
+        if self.poisoned {
+            // The recorded source offsets would include events that never
+            // reached a worker: such a checkpoint replays with gaps.
+            return Err(Error::exec(
+                "cannot checkpoint a poisoned pipeline (a step failed after \
+                 its sources were polled)",
+            ));
+        }
+        // Barrier first: all in-flight commands processed, pending buffers
+        // current, so the captured cursors and state agree.
+        self.drain_workers()?;
+        let worker_states = self.gather(|_, tx| Cmd::Checkpoint(tx))?;
+        Ok(PipelineCheckpoint {
+            workers: worker_states,
+            offsets: self
+                .sources
+                .iter()
+                .map(|s| (0..s.parts.len()).map(|p| s.source.offset(p)).collect())
+                .collect(),
+            finished: self
+                .sources
+                .iter()
+                .map(|s| s.parts.iter().map(|p| p.finished).collect())
+                .collect(),
+            feeders: self.ledger.feeder_watermarks().to_vec(),
+            clock: self.clock,
+            batch_size: self.controller.size(),
+            pending: self
+                .pending
+                .iter()
+                .map(|p| p.iter().cloned().collect())
+                .collect(),
+            next_seq: self.next_seq.clone(),
+            renderer_versions: self.renderer.versions(),
+            sink_watermark: self.sink_watermark,
+            output_watermark: self.output_watermark,
+            events_out: self.metrics.events_out,
+            watermarks_in: self.metrics.watermarks_in,
+        })
+    }
+
+    /// Resume from a [`PipelineCheckpoint`]: restore every worker's
+    /// operator state, seek every source partition to its recorded offset,
+    /// and reload the merge/render/watermark cursors. Requires a fresh
+    /// driver (same SQL, worker count, and source shapes, attached in the
+    /// same order) that has not yet stepped.
+    pub fn restore(&mut self, checkpoint: &PipelineCheckpoint) -> Result<()> {
+        if self.metrics.rounds > 0 || self.metrics.events_in > 0 || self.restored {
+            return Err(Error::exec("restore requires a fresh pipeline driver"));
+        }
+        if checkpoint.workers.len() != self.workers.len() {
+            return Err(Error::exec(format!(
+                "checkpoint has {} workers, driver has {}",
+                checkpoint.workers.len(),
+                self.workers.len()
+            )));
+        }
+        if checkpoint.offsets.len() != self.sources.len() {
+            return Err(Error::exec(format!(
+                "checkpoint has {} sources, driver has {}",
+                checkpoint.offsets.len(),
+                self.sources.len()
+            )));
+        }
+        for (slot, offsets) in checkpoint.offsets.iter().enumerate() {
+            if offsets.len() != self.sources[slot].parts.len() {
+                return Err(Error::exec(format!(
+                    "checkpoint source {slot} has {} partitions, driver has {}",
+                    offsets.len(),
+                    self.sources[slot].parts.len()
+                )));
+            }
+        }
+        // The fields are public (checkpoints may round-trip through
+        // external storage), so validate every vec we will index rather
+        // than panicking on a truncated one.
+        if checkpoint.finished.len() != checkpoint.offsets.len()
+            || checkpoint
+                .finished
+                .iter()
+                .zip(&checkpoint.offsets)
+                .any(|(f, o)| f.len() != o.len())
+        {
+            return Err(Error::exec(
+                "checkpoint finished-flags do not match its offsets shape",
+            ));
+        }
+        if checkpoint.pending.len() != self.workers.len()
+            || checkpoint.next_seq.len() != self.workers.len()
+        {
+            return Err(Error::exec(format!(
+                "checkpoint pending/next_seq cover {}/{} workers, driver has {}",
+                checkpoint.pending.len(),
+                checkpoint.next_seq.len(),
+                self.workers.len()
+            )));
+        }
+        let feeder_count = self.ledger.feeder_watermarks().len();
+        if checkpoint.feeders.len() != feeder_count {
+            return Err(Error::exec(format!(
+                "checkpoint has {} feeders, driver has {feeder_count}",
+                checkpoint.feeders.len()
+            )));
+        }
+
+        // Validation is done; from here on state mutates, and a partial
+        // failure (e.g. one partition's seek) would leave workers holding
+        // checkpoint state over half-reset cursors — poison rather than
+        // let a caller step a Frankenstein pipeline.
+        match self.restore_inner(checkpoint) {
+            Ok(()) => {
+                self.restored = true;
+                self.refresh_metrics();
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn restore_inner(&mut self, checkpoint: &PipelineCheckpoint) -> Result<()> {
+        // Workers first (operator state), then sources (replay position).
+        self.gather(|w, tx| Cmd::Restore(checkpoint.workers[w].clone(), tx))?;
+        for (slot, offsets) in checkpoint.offsets.iter().enumerate() {
+            for (part, &offset) in offsets.iter().enumerate() {
+                if offset > 0 {
+                    self.sources[slot].source.seek(part, offset)?;
+                }
+                let state = &mut self.sources[slot].parts[part];
+                state.events = offset;
+                state.finished = checkpoint.finished[slot][part];
+            }
+        }
+        // Re-observe the feeder watermarks; the advances this generates
+        // are discarded — the workers' restored state already reflects
+        // every watermark that was delivered before the checkpoint.
+        let mut discard = Vec::new();
+        for (feeder, wm) in checkpoint.feeders.iter().enumerate() {
+            self.ledger.observe(feeder, *wm, &mut discard);
+        }
+        self.clock = checkpoint.clock;
+        self.controller.set_size(checkpoint.batch_size);
+        self.pending = checkpoint
+            .pending
+            .iter()
+            .map(|p| p.iter().cloned().collect())
+            .collect();
+        self.next_seq = checkpoint.next_seq.clone();
+        self.renderer
+            .set_versions(checkpoint.renderer_versions.clone());
+        self.sink_watermark = checkpoint.sink_watermark;
+        self.output_watermark = checkpoint.output_watermark;
+        self.metrics.events_in = checkpoint.offsets.iter().flatten().sum();
+        self.metrics.events_out = checkpoint.events_out;
+        self.metrics.watermarks_in = checkpoint.watermarks_in;
+        Ok(())
+    }
+}
+
+impl Drop for ShardedPipelineDriver {
+    fn drop(&mut self) {
+        // Disconnect the command channels so worker threads exit their
+        // recv loops, then reap them; leaking threads from an abandoned
+        // (e.g. crashed-and-dropped) pipeline would accumulate in tests.
+        for worker in std::mem::take(&mut self.workers) {
+            drop(worker.tx);
+            let _ = worker.handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedPipelineDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPipelineDriver")
+            .field("workers", &self.workers.len().max(self.final_queries.len()))
+            .field("sources", &self.sources.len())
+            .field("sinks", &self.sinks.len())
+            .field("events_in", &self.metrics.events_in)
+            .field("events_out", &self.metrics.events_out)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connect::{SourceBatch, SourceEvent};
+    use crate::engine::StreamBuilder;
+    use onesql_types::{row, DataType};
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.register_stream(
+            "Bid",
+            StreamBuilder::new()
+                .column("auction", DataType::Int)
+                .column("price", DataType::Int)
+                .event_time_column("ts"),
+        );
+        e
+    }
+
+    /// A replayable partitioned source: each partition emits its scripted
+    /// events in order, asserting a watermark at its max event time.
+    struct ScriptPartitions {
+        name: String,
+        streams: Vec<String>,
+        parts: Vec<Vec<(Ts, Row)>>,
+        cursors: Vec<usize>,
+    }
+
+    impl ScriptPartitions {
+        fn new(parts: Vec<Vec<(Ts, Row)>>) -> ScriptPartitions {
+            ScriptPartitions {
+                name: "script".to_string(),
+                streams: vec!["Bid".to_string()],
+                cursors: vec![0; parts.len()],
+                parts,
+            }
+        }
+    }
+
+    impl PartitionedSource for ScriptPartitions {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn streams(&self) -> &[String] {
+            &self.streams
+        }
+        fn partitions(&self) -> usize {
+            self.parts.len()
+        }
+        fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
+            let cursor = self.cursors[partition];
+            let script = &self.parts[partition];
+            let take = max_events.min(script.len() - cursor);
+            let mut batch = SourceBatch::empty(SourceStatus::Ready);
+            for (ptime, row) in &script[cursor..cursor + take] {
+                batch.events.push(SourceEvent {
+                    stream: 0,
+                    ptime: *ptime,
+                    change: Change::insert(row.clone()),
+                });
+                batch.watermark = Some(batch.watermark.map_or(*ptime, |w: Ts| w.max(*ptime)));
+            }
+            self.cursors[partition] += take;
+            if self.cursors[partition] == script.len() {
+                batch.status = SourceStatus::Finished;
+            }
+            Ok(batch)
+        }
+        fn offset(&self, partition: usize) -> u64 {
+            self.cursors[partition] as u64
+        }
+    }
+
+    fn bids(n: i64, salt: i64) -> Vec<(Ts, Row)> {
+        (0..n)
+            .map(|i| (Ts(i * 10 + salt), row!(i % 5, i + salt, Ts(i * 10 + salt))))
+            .collect()
+    }
+
+    const AGG: &str = "SELECT auction, COUNT(*), SUM(price) FROM Bid GROUP BY auction";
+
+    #[test]
+    fn sharded_matches_unsharded_table() {
+        let e = engine();
+        let parts = vec![bids(40, 0), bids(40, 3), bids(40, 7)];
+        let mut tables = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let mut driver =
+                ShardedPipelineDriver::new(&e, AGG, ShardedConfig::new(workers)).unwrap();
+            driver
+                .attach_partitioned_source(Box::new(ScriptPartitions::new(parts.clone())))
+                .unwrap();
+            driver.run().unwrap();
+            tables.push(driver.table().unwrap());
+        }
+        assert_eq!(tables[0], tables[1], "2 workers diverged");
+        assert_eq!(tables[0], tables[2], "4 workers diverged");
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let e = engine();
+        assert!(ShardedPipelineDriver::new(&e, AGG, ShardedConfig::new(0)).is_err());
+    }
+
+    #[test]
+    fn table_requires_finish() {
+        let e = engine();
+        let mut driver = ShardedPipelineDriver::new(&e, AGG, ShardedConfig::new(2)).unwrap();
+        driver
+            .attach_partitioned_source(Box::new(ScriptPartitions::new(vec![bids(5, 0)])))
+            .unwrap();
+        assert!(driver.table().is_err());
+        driver.run().unwrap();
+        assert!(driver.table().is_ok());
+    }
+
+    #[test]
+    fn restore_validates_shapes() {
+        let e = engine();
+        // Small fixed batches so one step leaves the source mid-stream.
+        let config = ShardedConfig::new(2).with_driver(DriverConfig {
+            batch_size: 4,
+            adaptive: None,
+            ..DriverConfig::default()
+        });
+        let mut driver = ShardedPipelineDriver::new(&e, AGG, config).unwrap();
+        driver
+            .attach_partitioned_source(Box::new(ScriptPartitions::new(vec![bids(20, 0)])))
+            .unwrap();
+        driver.step().unwrap();
+        let cp = driver.checkpoint().unwrap();
+
+        // Wrong worker count.
+        let mut other = ShardedPipelineDriver::new(&e, AGG, ShardedConfig::new(3)).unwrap();
+        other
+            .attach_partitioned_source(Box::new(ScriptPartitions::new(vec![bids(20, 0)])))
+            .unwrap();
+        assert!(other.restore(&cp).is_err());
+
+        // Wrong partition count.
+        let mut other = ShardedPipelineDriver::new(&e, AGG, ShardedConfig::new(2)).unwrap();
+        other
+            .attach_partitioned_source(Box::new(ScriptPartitions::new(vec![
+                bids(10, 0),
+                bids(10, 1),
+            ])))
+            .unwrap();
+        assert!(other.restore(&cp).is_err());
+
+        // A driver that already ran refuses restore.
+        let mut other = ShardedPipelineDriver::new(&e, AGG, config).unwrap();
+        other
+            .attach_partitioned_source(Box::new(ScriptPartitions::new(vec![bids(20, 0)])))
+            .unwrap();
+        other.step().unwrap();
+        assert!(other.restore(&cp).is_err());
+
+        // A restored driver seals its source set and refuses a second
+        // restore: attaching would rebuild the watermark trackers and wipe
+        // the state the restore just loaded.
+        let mut other = ShardedPipelineDriver::new(&e, AGG, config).unwrap();
+        other
+            .attach_partitioned_source(Box::new(ScriptPartitions::new(vec![bids(20, 0)])))
+            .unwrap();
+        other.restore(&cp).unwrap();
+        assert!(other
+            .attach_partitioned_source(Box::new(ScriptPartitions::new(vec![bids(20, 0)])))
+            .is_err());
+        assert!(other.restore(&cp).is_err());
+        // But it still runs to completion normally.
+        other.run().unwrap();
+        assert!(other.is_finished());
+    }
+
+    #[test]
+    fn failed_step_poisons_the_pipeline() {
+        let e = engine();
+        // Partition column out of range: the first step fails after the
+        // source was polled, so the driver must refuse to continue or
+        // checkpoint (the polled events never reached a worker).
+        let mut driver =
+            ShardedPipelineDriver::new(&e, AGG, ShardedConfig::new(2).with_partition_col(9))
+                .unwrap();
+        driver
+            .attach_partitioned_source(Box::new(ScriptPartitions::new(vec![bids(5, 0)])))
+            .unwrap();
+        assert!(driver.step().is_err());
+        let err = driver.step().unwrap_err().to_string();
+        assert!(err.contains("poisoned"), "{err}");
+        let err = driver.checkpoint().unwrap_err().to_string();
+        assert!(err.contains("poisoned"), "{err}");
+    }
+
+    #[test]
+    fn single_partition_adapter_reports_offsets() {
+        struct Counting {
+            name: String,
+            streams: Vec<String>,
+            left: usize,
+        }
+        impl Source for Counting {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn streams(&self) -> &[String] {
+                &self.streams
+            }
+            fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+                let take = max_events.min(self.left);
+                self.left -= take;
+                let mut batch = SourceBatch::empty(if self.left == 0 {
+                    SourceStatus::Finished
+                } else {
+                    SourceStatus::Ready
+                });
+                for i in 0..take {
+                    batch.events.push(SourceEvent {
+                        stream: 0,
+                        ptime: Ts(i as i64),
+                        change: Change::insert(row!(1i64, 1i64, Ts(i as i64))),
+                    });
+                }
+                Ok(batch)
+            }
+        }
+        let mut adapted = SinglePartition::new(Box::new(Counting {
+            name: "counting".to_string(),
+            streams: vec!["Bid".to_string()],
+            left: 10,
+        }));
+        assert_eq!(adapted.partitions(), 1);
+        assert_eq!(adapted.offset(0), 0);
+        adapted.poll_partition(0, 4).unwrap();
+        assert_eq!(adapted.offset(0), 4);
+        // Default seek replays forward and refuses to rewind.
+        adapted.seek(0, 8).unwrap();
+        assert_eq!(adapted.offset(0), 8);
+        assert!(adapted.seek(0, 2).is_err());
+        assert!(adapted.seek(0, 100).is_err(), "exhausts at 10");
+    }
+}

@@ -366,6 +366,20 @@ impl StreamRenderer {
         }
     }
 
+    /// Snapshot the per-grouping version counters, for inclusion in a
+    /// pipeline checkpoint: a restarted renderer seeded with
+    /// [`StreamRenderer::set_versions`] numbers post-restore revisions
+    /// exactly as the uninterrupted rendering would.
+    pub fn versions(&self) -> Vec<(Row, u64)> {
+        self.versions.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Restore counters captured by [`StreamRenderer::versions`],
+    /// replacing any current state.
+    pub fn set_versions(&mut self, versions: Vec<(Row, u64)>) {
+        self.versions = versions.into_iter().collect();
+    }
+
     /// Render one changelog entry, appending its unit revisions to `out`.
     pub fn render_into(
         &mut self,

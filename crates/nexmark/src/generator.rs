@@ -35,6 +35,11 @@ pub struct GeneratorConfig {
     pub auction_lifetime: Duration,
     /// First event's processing time.
     pub start: Ts,
+    /// First person ID issued. Partitioned sources give each partition a
+    /// disjoint block so entity IDs never collide across partitions.
+    pub first_person_id: i64,
+    /// First auction ID issued (same partitioning story).
+    pub first_auction_id: i64,
 }
 
 impl Default for GeneratorConfig {
@@ -46,6 +51,8 @@ impl Default for GeneratorConfig {
             hot_auctions: 16,
             auction_lifetime: Duration::from_minutes(10),
             start: Ts::hm(8, 0),
+            first_person_id: 1000,
+            first_auction_id: 5000,
         }
     }
 }
@@ -112,11 +119,11 @@ impl NexmarkGenerator {
     pub fn new(config: GeneratorConfig) -> NexmarkGenerator {
         let rng = StdRng::seed_from_u64(config.seed);
         NexmarkGenerator {
-            config,
             rng,
             sequence: 0,
-            next_person_id: 1000,
-            next_auction_id: 5000,
+            next_person_id: config.first_person_id,
+            next_auction_id: config.first_auction_id,
+            config,
         }
     }
 
@@ -197,23 +204,27 @@ impl NexmarkGenerator {
     }
 
     fn random_person_id(&mut self) -> i64 {
-        if self.next_person_id == 1000 {
-            return 1000; // before any person exists, reference the first
+        let first = self.config.first_person_id;
+        if self.next_person_id == first {
+            return first; // before any person exists, reference the first
         }
-        self.rng.gen_range(1000..self.next_person_id.max(1001))
+        self.rng
+            .gen_range(first..self.next_person_id.max(first + 1))
     }
 
     fn random_auction_id(&mut self) -> i64 {
-        if self.next_auction_id == 5000 {
-            return 5000;
+        let first = self.config.first_auction_id;
+        if self.next_auction_id == first {
+            return first;
         }
         // Skew bids towards hot auctions (the most recent ones).
         let hot = self.config.hot_auctions as i64;
         if self.rng.gen_bool(0.8) {
-            let lo = (self.next_auction_id - hot).max(5000);
+            let lo = (self.next_auction_id - hot).max(first);
             self.rng.gen_range(lo..self.next_auction_id.max(lo + 1))
         } else {
-            self.rng.gen_range(5000..self.next_auction_id.max(5001))
+            self.rng
+                .gen_range(first..self.next_auction_id.max(first + 1))
         }
     }
 }

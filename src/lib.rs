@@ -10,6 +10,8 @@ pub use onesql_core as core;
 pub use onesql_connect::{
     ChangelogSink, ChannelPublisher, ChannelSink, ChannelSource, CsvFileSink, CsvFileSource,
     CsvSinkMode, DriverConfig, FileSourceConfig, JsonLinesSink, JsonLinesSource, NexmarkSource,
-    PipelineDriver, PipelineMetrics, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+    PartitionedFileSource, PartitionedNexmarkSource, PartitionedSource, PipelineCheckpoint,
+    PipelineDriver, PipelineMetrics, ShardedChannelSource, ShardedConfig, ShardedPipelineDriver,
+    SinglePartition, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
 };
 pub use onesql_core::{Engine, RunningQuery, StreamBuilder};
