@@ -9,7 +9,7 @@
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 
 use onesql_core::connect::{
-    PartitionedSource, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+    PartitionedSource, PartitionedVec, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
 };
 use onesql_exec::StreamRow;
 use onesql_time::Watermark;
@@ -150,21 +150,22 @@ impl Source for ChannelSource {
 /// watermarks and finishes are per shard.
 ///
 /// Channels are **not replayable** — events live only in memory — so this
-/// source reports offsets (for observability and for checkpoints taken on
-/// a live instance) but refuses to seek anywhere except its current
-/// position: resuming a checkpoint over a fresh sharded channel would
-/// silently drop the pre-crash events. Use a file or generator source
-/// when recovery matters.
-pub struct ShardedChannelSource {
-    name: String,
-    streams: Vec<String>,
-    shards: Vec<ChannelSource>,
-    offsets: Vec<u64>,
-}
+/// source (a [`PartitionedVec::non_replayable`] over its shards) reports
+/// offsets (for observability and for checkpoints taken on a live
+/// instance) but refuses to seek anywhere except its current position:
+/// resuming a checkpoint over a fresh sharded channel would silently drop
+/// the pre-crash events. Use a file, generator, or network source when
+/// recovery matters.
+pub struct ShardedChannelSource(PartitionedVec<ChannelSource>);
 
 /// Create a channel-backed source with `shards` partitions, each holding
 /// at most `capacity` in-flight events. Returns one clonable publisher per
 /// shard, in partition order.
+///
+/// # Panics
+///
+/// Panics when `shards` is zero (a source with no partitions could never
+/// be attached anyway).
 pub fn sharded_channel(
     stream: impl Into<String>,
     shards: usize,
@@ -178,49 +179,35 @@ pub fn sharded_channel(
         publishers.push(publisher);
         sources.push(source);
     }
-    (
-        publishers,
-        ShardedChannelSource {
-            name: format!("channel:{stream}x{shards}"),
-            streams: vec![stream],
-            offsets: vec![0; shards],
-            shards: sources,
-        },
-    )
+    let adapter = PartitionedVec::new(format!("channel:{stream}x{shards}"), sources)
+        .expect("shards >= 1 and uniform streams")
+        .non_replayable();
+    (publishers, ShardedChannelSource(adapter))
 }
 
 impl PartitionedSource for ShardedChannelSource {
     fn name(&self) -> &str {
-        &self.name
+        self.0.name()
     }
 
     fn streams(&self) -> &[String] {
-        &self.streams
+        self.0.streams()
     }
 
     fn partitions(&self) -> usize {
-        self.shards.len()
+        self.0.partitions()
     }
 
     fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
-        let batch = self.shards[partition].poll_batch(max_events)?;
-        self.offsets[partition] += batch.events.len() as u64;
-        Ok(batch)
+        self.0.poll_partition(partition, max_events)
     }
 
     fn offset(&self, partition: usize) -> u64 {
-        self.offsets[partition]
+        self.0.offset(partition)
     }
 
     fn seek(&mut self, partition: usize, offset: u64) -> Result<()> {
-        if offset == self.offsets[partition] {
-            return Ok(());
-        }
-        Err(Error::exec(format!(
-            "{}: channel shard {partition} is not replayable (at offset {}, \
-             asked for {offset}); resume requires a replayable source",
-            self.name, self.offsets[partition]
-        )))
+        self.0.seek(partition, offset)
     }
 }
 

@@ -16,7 +16,7 @@ use std::io::{BufRead, BufReader, BufWriter, Lines, Write};
 use std::path::Path;
 
 use onesql_core::connect::{
-    PartitionedSource, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+    PartitionedSource, PartitionedVec, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
 };
 use onesql_exec::StreamRow;
 use onesql_tvr::Change;
@@ -181,6 +181,20 @@ impl TextFileSource {
     }
 }
 
+// A single file partition is itself a well-formed source, which is what
+// lets `PartitionedVec` fold N of them into the partitioned connector.
+impl Source for TextFileSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn streams(&self) -> &[String] {
+        &self.streams
+    }
+    fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+        self.poll(max_events)
+    }
+}
+
 /// Reads a CSV file as a stream of inserts.
 pub struct CsvFileSource(TextFileSource);
 
@@ -255,13 +269,9 @@ impl Source for JsonLinesSource {
 /// its own max event time, its own replayable offset counting parsed
 /// records), so the sharded driver can poll them round-robin, combine
 /// their watermarks as the min, and seek any partition back to a
-/// checkpointed offset by re-reading its file.
-pub struct PartitionedFileSource {
-    name: String,
-    streams: Vec<String>,
-    parts: Vec<TextFileSource>,
-    offsets: Vec<u64>,
-}
+/// checkpointed offset by re-reading its file. The `Vec<inner>` + offset
+/// plumbing is [`PartitionedVec`]; this type only opens the files.
+pub struct PartitionedFileSource(PartitionedVec<TextFileSource>);
 
 impl PartitionedFileSource {
     fn open_all(
@@ -280,12 +290,10 @@ impl PartitionedFileSource {
             .iter()
             .map(|p| TextFileSource::open(p, stream, schema.clone(), format, config.clone()))
             .collect::<Result<Vec<_>>>()?;
-        Ok(PartitionedFileSource {
-            name: format!("files:{}x{}", paths[0].as_ref().display(), paths.len()),
-            streams: vec![stream.to_string()],
-            offsets: vec![0; parts.len()],
+        Ok(PartitionedFileSource(PartitionedVec::new(
+            format!("files:{}x{}", paths[0].as_ref().display(), paths.len()),
             parts,
-        })
+        )?))
     }
 
     /// One partition per CSV file, all parsed against `schema` into
@@ -312,25 +320,27 @@ impl PartitionedFileSource {
 
 impl PartitionedSource for PartitionedFileSource {
     fn name(&self) -> &str {
-        &self.name
+        self.0.name()
     }
 
     fn streams(&self) -> &[String] {
-        &self.streams
+        self.0.streams()
     }
 
     fn partitions(&self) -> usize {
-        self.parts.len()
+        self.0.partitions()
     }
 
     fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
-        let batch = self.parts[partition].poll(max_events)?;
-        self.offsets[partition] += batch.events.len() as u64;
-        Ok(batch)
+        self.0.poll_partition(partition, max_events)
     }
 
     fn offset(&self, partition: usize) -> u64 {
-        self.offsets[partition]
+        self.0.offset(partition)
+    }
+
+    fn seek(&mut self, partition: usize, offset: u64) -> Result<()> {
+        self.0.seek(partition, offset)
     }
 }
 

@@ -13,10 +13,12 @@
 //! | [`CsvFileSource`] / [`CsvFileSink`] | file | schema-driven CSV ingestion and materialization |
 //! | [`JsonLinesSource`] / [`JsonLinesSink`] | file | JSON-lines with typed fields |
 //! | [`PartitionedFileSource`] | file | one partition per file, for the sharded driver |
-//! | [`channel`] / [`channel_sink`] | memory | crossbeam-backed feeds for tests and multi-producer fan-in |
+//! | [`channel()`] / [`channel_sink`] | memory | crossbeam-backed feeds for tests and multi-producer fan-in |
 //! | [`sharded_channel`] | memory | N channel shards as source partitions |
 //! | [`NexmarkSource`] | generator | the NEXMark Person/Auction/Bid workload as a source |
 //! | [`PartitionedNexmarkSource`] | generator | the workload split across N seed-range partitions |
+//! | [`NetSource`] / [`NetSink`] / [`NetPublisher`] | network | length-prefixed framing over TCP/unix sockets |
+//! | [`PartitionedNetSource`] | network | one partition per accepted connection, exactly-once resume |
 //! | [`ChangelogSink`] | render | paper-style insert/retract stream rendering |
 //!
 //! # Quickstart
@@ -54,6 +56,7 @@ pub mod changelog;
 pub mod channel;
 pub mod file;
 pub mod json;
+pub mod net;
 pub mod nexmark;
 pub mod text;
 
@@ -66,11 +69,15 @@ pub use file::{
     CsvFileSink, CsvFileSource, CsvSinkMode, FileSourceConfig, JsonLinesSink, JsonLinesSource,
     PartitionedFileSource,
 };
+pub use net::{
+    NetAddr, NetConfig, NetPublisher, NetSink, NetSource, PartitionedNetSource, WIRE_MAGIC,
+    WIRE_VERSION,
+};
 pub use nexmark::{register_nexmark_streams, NexmarkSource, PartitionedNexmarkSource};
 
 pub use onesql_core::connect::{
-    AdaptiveBatch, BatchController, DriverConfig, PartitionedSource, PipelineDriver,
-    PipelineMetrics, SinglePartition, Sink, Source, SourceBatch, SourceEvent, SourceMetrics,
-    SourceStatus,
+    AdaptiveBatch, BatchController, DriverConfig, PartitionedSource, PartitionedVec,
+    PipelineDriver, PipelineMetrics, SinglePartition, Sink, Source, SourceBatch, SourceEvent,
+    SourceMetrics, SourceStatus,
 };
 pub use onesql_core::shard::{PipelineCheckpoint, ShardedConfig, ShardedPipelineDriver};

@@ -1,0 +1,2410 @@
+//! Network connectors: pipelines that span processes.
+//!
+//! A producer process pushes `SourceBatch`-shaped data — row changes,
+//! watermark assertions, end-of-stream — through a length-prefixed,
+//! CRC-protected binary framing over TCP or unix sockets; a consumer
+//! process accepts those connections as the partitions of a
+//! [`PartitionedNetSource`] feeding a (sharded) pipeline. The partition /
+//! offset / watermark model of [`PartitionedSource`] is already
+//! wire-shaped, so the protocol only has to carry it faithfully:
+//!
+//! - **Writer side**: [`NetPublisher`] (raw event/watermark publishing,
+//!   one connection = one partition) and [`NetSink`] (a [`Sink`] adapter
+//!   so one pipeline's output changelog becomes another process's input
+//!   stream). Every event the publisher sends is retained in a **bounded
+//!   replay spool** until the consumer acknowledges it, so a consumer
+//!   that crashes and restores from a [`PipelineCheckpoint`] can
+//!   reconnect and have exactly the unacknowledged suffix replayed —
+//!   exactly-once across the process boundary.
+//! - **Reader side**: [`PartitionedNetSource`] (one partition per
+//!   accepted connection, claimed by the producer's handshake) and the
+//!   single-partition [`NetSource`]. Seeking a fresh source to a
+//!   checkpointed offset records a *resume offset* announced in the
+//!   handshake reply; the producer rewinds its spool to that offset and
+//!   re-sends. Driver checkpoints flow back as `ACK` frames
+//!   ([`PartitionedSource::ack`]) that let the producer trim the spool.
+//!
+//! The frame layout (magic, version, schema header, batch / ack frames,
+//! CRC) is specified in `docs/WIRE_FORMAT.md`, including a worked hex
+//! example, so a non-Rust producer can implement it.
+//!
+//! # Determinism across kill/restore
+//!
+//! Byte-identical resume (the black-box exactly-once property the sharded
+//! runtime tests demand) requires the resumed consumer to observe the
+//! *same per-poll batches* the uninterrupted run would have. Three
+//! protocol choices make that a function of the byte stream rather than
+//! of timing: the consumer delivers **at most one wire frame per poll**
+//! (never coalescing frames that happen to have both arrived); watermarks
+//! **ride event frames** instead of traveling alone, so mid-stream frames
+//! always carry events and the consumer's event offset fully determines
+//! its consumption point; and every spooled watermark records which frame
+//! carried it, so a reconnect replays exactly the watermarks the consumer
+//! never consumed, at their original stream positions. Frame boundaries
+//! themselves are the producer's batching decision, so for byte-identical
+//! resume keep the producer's `batch_events` aligned with the consumer's
+//! poll batch size (fixed, not adaptive), and checkpoint at poll
+//! boundaries — which is the only place the sharded driver checkpoints
+//! anyway.
+//!
+//! [`PipelineCheckpoint`]: onesql_core::shard::PipelineCheckpoint
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration as StdDuration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+use onesql_core::connect::{
+    PartitionedSource, PartitionedVec, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+};
+use onesql_exec::StreamRow;
+use onesql_time::Watermark;
+use onesql_tvr::Change;
+use onesql_types::{Error, Result, Row, Ts, Value};
+
+/// First bytes of every connection: `b"OSQW"` (onesql wire).
+pub const WIRE_MAGIC: [u8; 4] = *b"OSQW";
+/// Protocol version carried right after the magic; bumped on any change
+/// to the frame layout.
+pub const WIRE_VERSION: u16 = 1;
+/// Upper bound on a frame body; larger length prefixes are rejected as
+/// corruption before any allocation happens.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+const KIND_HELLO: u8 = 1;
+const KIND_HELLO_ACK: u8 = 2;
+const KIND_BATCH: u8 = 3;
+const KIND_ACK: u8 = 4;
+const KIND_FINISH: u8 = 5;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib polynomial), table generated at compile time.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 of `data`, as appended to every frame body.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Addresses, connections, listeners: TCP and unix sockets behind one face.
+// ---------------------------------------------------------------------------
+
+/// Where a network endpoint lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetAddr {
+    /// A TCP address in `host:port` form.
+    Tcp(String),
+    /// A unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl NetAddr {
+    /// A TCP address, e.g. `NetAddr::tcp("127.0.0.1:9400")`.
+    pub fn tcp(addr: impl Into<String>) -> NetAddr {
+        NetAddr::Tcp(addr.into())
+    }
+
+    /// A unix-domain socket path.
+    pub fn unix(path: impl Into<PathBuf>) -> NetAddr {
+        NetAddr::Unix(path.into())
+    }
+
+    fn connect(&self) -> std::io::Result<NetConn> {
+        match self {
+            NetAddr::Tcp(addr) => TcpStream::connect(addr.as_str()).map(NetConn::Tcp),
+            NetAddr::Unix(path) => UnixStream::connect(path).map(NetConn::Unix),
+        }
+    }
+
+    fn bind(&self) -> std::io::Result<NetListener> {
+        match self {
+            NetAddr::Tcp(addr) => TcpListener::bind(addr.as_str()).map(NetListener::Tcp),
+            NetAddr::Unix(path) => {
+                // A previous consumer instance leaves its socket file
+                // behind; rebinding the same path is the normal restart
+                // flow, so replace a stale file rather than failing.
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                UnixListener::bind(path).map(NetListener::Unix)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+            NetAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+enum NetConn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl NetConn {
+    fn try_clone(&self) -> std::io::Result<NetConn> {
+        match self {
+            NetConn::Tcp(s) => s.try_clone().map(NetConn::Tcp),
+            NetConn::Unix(s) => s.try_clone().map(NetConn::Unix),
+        }
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            NetConn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            NetConn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    fn set_read_timeout(&self, dur: Option<StdDuration>) -> std::io::Result<()> {
+        match self {
+            NetConn::Tcp(s) => s.set_read_timeout(dur),
+            NetConn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for NetConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            NetConn::Tcp(s) => s.read(buf),
+            NetConn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            NetConn::Tcp(s) => s.write(buf),
+            NetConn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            NetConn::Tcp(s) => s.flush(),
+            NetConn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum NetListener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl NetListener {
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            NetListener::Tcp(l) => l.set_nonblocking(nb),
+            NetListener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<NetConn> {
+        match self {
+            NetListener::Tcp(l) => l.accept().map(|(s, _)| NetConn::Tcp(s)),
+            NetListener::Unix(l) => l.accept().map(|(s, _)| NetConn::Unix(s)),
+        }
+    }
+
+    fn local_addr(&self, bound: &NetAddr) -> NetAddr {
+        match self {
+            NetListener::Tcp(l) => match l.local_addr() {
+                Ok(addr) => NetAddr::Tcp(addr.to_string()),
+                Err(_) => bound.clone(),
+            },
+            NetListener::Unix(_) => bound.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: values, events, frames.
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_TS: u8 = 5;
+const TAG_INTERVAL: u8 = 6;
+
+/// One event as it crosses the wire: a change to one of the handshake's
+/// declared streams at a processing time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WireEvent {
+    stream: u16,
+    ptime: Ts,
+    diff: i64,
+    row: Row,
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Bool(b) => {
+            buf.push(TAG_BOOL);
+            buf.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.push(TAG_INT);
+            put_i64(buf, *i);
+        }
+        Value::Float(f) => {
+            buf.push(TAG_FLOAT);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Str(s) => {
+            buf.push(TAG_STR);
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Ts(t) => {
+            buf.push(TAG_TS);
+            put_i64(buf, t.millis());
+        }
+        Value::Interval(d) => {
+            buf.push(TAG_INTERVAL);
+            put_i64(buf, d.millis());
+        }
+    }
+}
+
+fn put_event(buf: &mut Vec<u8>, event: &WireEvent) {
+    put_u16(buf, event.stream);
+    put_i64(buf, event.ptime.millis());
+    put_i64(buf, event.diff);
+    put_u16(buf, event.row.arity() as u16);
+    for value in event.row.values() {
+        put_value(buf, value);
+    }
+}
+
+/// Encoded size of one event, for bounding frame bodies before encoding.
+fn event_encoded_len(event: &WireEvent) -> usize {
+    let values: usize = event
+        .row
+        .values()
+        .iter()
+        .map(|v| match v {
+            Value::Null => 1,
+            Value::Bool(_) => 2,
+            Value::Int(_) | Value::Float(_) | Value::Ts(_) | Value::Interval(_) => 9,
+            Value::Str(s) => 5 + s.len(),
+        })
+        .sum();
+    2 + 8 + 8 + 2 + values
+}
+
+/// Soft cap on a frame body the producer assembles: comfortably inside
+/// [`MAX_FRAME_LEN`] so legal data can never produce a frame the consumer
+/// rejects as corruption. Frames close early when the next event would
+/// cross it — a deterministic function of the event stream, so the
+/// determinism contract is unaffected.
+const FRAME_BODY_SOFT_CAP: usize = (MAX_FRAME_LEN as usize) - 4096;
+
+/// A bounds-checked little-endian reader over a frame body.
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn new(buf: &'a [u8]) -> FrameReader<'a> {
+        FrameReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| Error::exec("malformed frame: body shorter than its fields"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            TAG_NULL => Value::Null,
+            TAG_BOOL => Value::Bool(self.u8()? != 0),
+            TAG_INT => Value::Int(self.i64()?),
+            TAG_FLOAT => Value::Float(f64::from_bits(self.u64()?)),
+            TAG_STR => {
+                let len = self.u32()? as usize;
+                let bytes = self.take(len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| Error::exec("malformed frame: string is not UTF-8"))?;
+                Value::str(s)
+            }
+            TAG_TS => Value::Ts(Ts(self.i64()?)),
+            TAG_INTERVAL => Value::Interval(onesql_types::Duration(self.i64()?)),
+            tag => return Err(Error::exec(format!("malformed frame: value tag {tag}"))),
+        })
+    }
+
+    fn event(&mut self) -> Result<WireEvent> {
+        let stream = self.u16()?;
+        let ptime = Ts(self.i64()?);
+        let diff = self.i64()?;
+        let arity = self.u16()? as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(self.value()?);
+        }
+        Ok(WireEvent {
+            stream,
+            ptime,
+            diff,
+            row: Row::new(values),
+        })
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::exec("malformed frame: trailing bytes after payload"))
+        }
+    }
+}
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::exec(format!("{context}: {e}"))
+}
+
+/// Write one frame: `len | body | crc32(body)`.
+fn write_frame(conn: &mut NetConn, context: &str, body: &[u8]) -> Result<()> {
+    let mut wire = Vec::with_capacity(body.len() + 8);
+    put_u32(&mut wire, body.len() as u32);
+    wire.extend_from_slice(body);
+    put_u32(&mut wire, crc32(body));
+    conn.write_all(&wire)
+        .and_then(|()| conn.flush())
+        .map_err(|e| io_err(context, e))
+}
+
+/// Read one frame body, verifying the length bound and the CRC.
+///
+/// `Ok(None)` is a clean end-of-stream: the peer closed exactly on a
+/// frame boundary. EOF anywhere else — inside the length prefix, the
+/// body, or the trailing CRC — is a mid-frame disconnect and errors.
+fn read_frame(conn: &mut NetConn, context: &str) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match conn.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(Error::exec(format!(
+                    "{context}: disconnected inside a frame length prefix \
+                     ({got} of 4 bytes)"
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err(context, e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(Error::exec(format!(
+            "{context}: frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound \
+             (corrupt length prefix?)"
+        )));
+    }
+    let mut body = vec![0u8; len as usize + 4];
+    conn.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Error::exec(format!("{context}: disconnected mid-frame"))
+        } else {
+            io_err(context, e)
+        }
+    })?;
+    let crc_wire = u32::from_le_bytes(body[len as usize..].try_into().unwrap());
+    body.truncate(len as usize);
+    let crc_body = crc32(&body);
+    if crc_wire != crc_body {
+        return Err(Error::exec(format!(
+            "{context}: CRC mismatch (frame says {crc_wire:#010x}, body hashes \
+             to {crc_body:#010x})"
+        )));
+    }
+    Ok(Some(body))
+}
+
+/// Read and validate the connection preamble (magic + version).
+///
+/// `Ok(false)` means the peer never spoke at all — it closed cleanly, or
+/// sat silent past the handshake read timeout, without sending a single
+/// byte. That is a port scan, a load-balancer health check, or a stray
+/// `nc`, not a producer; such connections are dropped silently. Anything
+/// that *sends* bytes and gets them wrong (or stalls mid-way) is a real
+/// protocol failure.
+fn read_preamble(conn: &mut NetConn, context: &str) -> Result<bool> {
+    let mut preamble = [0u8; 6];
+    let mut got = 0usize;
+    while got < preamble.len() {
+        match conn.read(&mut preamble[got..]) {
+            Ok(0) if got == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(Error::exec(format!(
+                    "{context}: disconnected inside the preamble"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if got == 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(false)
+            }
+            Err(e) => return Err(io_err(context, e)),
+        }
+    }
+    if preamble[..4] != WIRE_MAGIC {
+        return Err(Error::exec(format!(
+            "{context}: bad magic {:02x?} (expected {WIRE_MAGIC:02x?})",
+            &preamble[..4]
+        )));
+    }
+    let version = u16::from_le_bytes(preamble[4..6].try_into().unwrap());
+    if version != WIRE_VERSION {
+        return Err(Error::exec(format!(
+            "{context}: wire version {version} (this build speaks {WIRE_VERSION})"
+        )));
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+/// Tuning for both ends of a network pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Producer: events per `BATCH` frame. For byte-identical
+    /// kill/restore keep this equal to the consumer driver's (fixed) poll
+    /// batch size — see the module docs on determinism.
+    pub batch_events: usize,
+    /// Producer: bound on the replay spool (items retained until the
+    /// consumer acknowledges them). When full, sends wait up to
+    /// [`NetConfig::ack_wait`] for acks before erroring: a consumer that
+    /// never checkpoints cannot force unbounded producer memory.
+    pub spool_events: usize,
+    /// Producer: total window for establishing (or re-establishing) a
+    /// connection, covering connect retries and the handshake reply.
+    pub connect_timeout: StdDuration,
+    /// Consumer: how long a poll waits for the next frame before
+    /// reporting an idle batch.
+    ///
+    /// This wait is what keeps a consumer's scheduling rounds a function
+    /// of the byte stream rather than of arrival timing (the determinism
+    /// contract in the module docs) — but it is paid per quiet partition
+    /// per round, so a connected-but-silent producer throttles the whole
+    /// driver to one round per `poll_wait`. Lower it (or accept idle
+    /// batches) for latency-sensitive multi-partition deployments that
+    /// do not need byte-identical replays.
+    pub poll_wait: StdDuration,
+    /// Producer: how long a send may wait for acknowledgements when the
+    /// replay spool is full.
+    pub ack_wait: StdDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            batch_events: 256,
+            spool_events: 1 << 16,
+            connect_timeout: StdDuration::from_secs(10),
+            poll_wait: StdDuration::from_secs(2),
+            ack_wait: StdDuration::from_secs(10),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer side: NetPublisher and NetSink.
+// ---------------------------------------------------------------------------
+
+/// An item in the producer's replay spool. Watermarks are spooled inline
+/// at their positions between events and each remembers which frame
+/// delivered it, so a reconnect replays exactly the watermarks the
+/// consumer has not seen: a resume offset alone cannot distinguish a
+/// watermark that rode the frame *ending* at that offset (delivered)
+/// from one still waiting to ride the next frame (not delivered) — the
+/// recorded frame end does.
+#[derive(Debug, Clone)]
+enum SpoolItem {
+    Event(WireEvent),
+    Watermark {
+        wm: Ts,
+        /// End offset of the frame that carried this watermark to the
+        /// consumer; `None` until it has been sent.
+        sent_frame_end: Option<u64>,
+    },
+}
+
+/// The producer half of a network pipeline: connects to a
+/// [`PartitionedNetSource`] (or [`NetSource`]) and pushes events,
+/// watermarks, and end-of-stream for **one** partition.
+///
+/// Exactly-once machinery: every item sent is retained in a bounded spool
+/// until the consumer acknowledges it (acks are sent when the consuming
+/// driver checkpoints, and once more when it finishes). If the consumer
+/// dies, the next send notices, reconnects within
+/// [`NetConfig::connect_timeout`], learns the consumer's resume offset
+/// from the handshake reply, and replays the spool from there — so a
+/// consumer restored from a checkpoint seamlessly continues mid-stream.
+pub struct NetPublisher {
+    addr: NetAddr,
+    partition: u32,
+    streams: Vec<String>,
+    config: NetConfig,
+    conn: Option<NetConn>,
+    /// Set by the ack-reader thread when its connection dies.
+    conn_dead: Arc<AtomicBool>,
+    /// Highest offset the consumer has acknowledged (monotone).
+    acked: Arc<AtomicU64>,
+    /// Items not yet acknowledged, oldest first.
+    spool: VecDeque<SpoolItem>,
+    /// Offset of the first event in the spool (== trim floor).
+    spool_base: u64,
+    /// Trailing spool items not yet written to the current connection.
+    unsent: usize,
+    /// Offset of the next event to write on the current connection (the
+    /// base offset of the next frame); kept in step with `unsent` so
+    /// frames need no spool rescans to learn their base.
+    send_cursor: u64,
+    /// Offset the next appended event will get.
+    next_offset: u64,
+    /// `finish` was called; replays re-send the FINISH frame too.
+    finished: bool,
+    /// FINISH has been written to the *current* connection.
+    finish_sent: bool,
+}
+
+impl NetPublisher {
+    /// A publisher for `partition` of the consumer at `addr`, declaring
+    /// `streams` (which must match the consumer's declaration exactly).
+    /// The connection is established lazily on the first send.
+    pub fn new(
+        addr: NetAddr,
+        partition: usize,
+        streams: Vec<String>,
+        config: NetConfig,
+    ) -> NetPublisher {
+        NetPublisher {
+            addr,
+            partition: partition as u32,
+            streams,
+            config,
+            conn: None,
+            conn_dead: Arc::new(AtomicBool::new(false)),
+            acked: Arc::new(AtomicU64::new(0)),
+            spool: VecDeque::new(),
+            spool_base: 0,
+            unsent: 0,
+            send_cursor: 0,
+            next_offset: 0,
+            finished: false,
+            finish_sent: false,
+        }
+    }
+
+    /// The offset the next event will be assigned (== events published).
+    pub fn offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Highest offset the consumer has acknowledged so far.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Acquire)
+    }
+
+    /// Publish a change on `stream` (an index into the declared stream
+    /// list) at processing time `ptime`.
+    pub fn send(&mut self, stream: usize, ptime: Ts, change: Change) -> Result<()> {
+        if self.finished {
+            return Err(Error::exec(format!(
+                "net publisher {}#{}: send after finish",
+                self.addr, self.partition
+            )));
+        }
+        if stream >= self.streams.len() {
+            return Err(Error::exec(format!(
+                "net publisher {}#{}: stream index {stream} out of range \
+                 ({} declared)",
+                self.addr,
+                self.partition,
+                self.streams.len()
+            )));
+        }
+        // The consumer's handshake may have acknowledged offsets this
+        // publisher never sent — a restarted producer deterministically
+        // re-publishing its stream to a consumer that already checkpointed
+        // part of it. Those events are provably durable downstream: count
+        // them, send nothing.
+        if self.next_offset < self.acked() {
+            self.next_offset += 1;
+            return Ok(());
+        }
+        let event = WireEvent {
+            stream: stream as u16,
+            ptime,
+            diff: change.diff,
+            row: change.row,
+        };
+        // Reject rows that cannot fit any legal frame *before* spooling
+        // them: once spooled they would be replayed forever, and the
+        // consumer would misdiagnose the oversized frame as corruption.
+        // The 32 bytes mirror the header slack frame collection reserves.
+        let encoded = event_encoded_len(&event);
+        if encoded + 32 > FRAME_BODY_SOFT_CAP {
+            return Err(Error::exec(format!(
+                "net publisher {}#{}: a single event encodes to {encoded} bytes, \
+                 beyond the {FRAME_BODY_SOFT_CAP}-byte frame bound",
+                self.addr, self.partition
+            )));
+        }
+        self.reserve_spool_slot()?;
+        if self.spool.is_empty() {
+            // Everything before this event is acked (or was never
+            // spooled, for a restarted producer below the ack floor).
+            self.spool_base = self.next_offset;
+        }
+        self.spool.push_back(SpoolItem::Event(event));
+        self.unsent += 1;
+        self.next_offset += 1;
+        self.pump(false)
+    }
+
+    /// Insert `row` on `stream` at `ptime` (diff `+1`).
+    pub fn insert(&mut self, stream: usize, ptime: Ts, row: Row) -> Result<()> {
+        self.send(stream, ptime, Change::insert(row))
+    }
+
+    /// Assert that all future events (on every declared stream) have
+    /// event times strictly greater than `wm`. Flushes the pending frame
+    /// so the watermark's position in the stream is exactly here.
+    pub fn watermark(&mut self, wm: Ts) -> Result<()> {
+        if self.finished {
+            return Err(Error::exec(format!(
+                "net publisher {}#{}: watermark after finish",
+                self.addr, self.partition
+            )));
+        }
+        // Below the acknowledged floor the consumer already heard a
+        // watermark at this position (see the same check in `send`); at
+        // or above it, send — a duplicate watermark is absorbed by the
+        // consumer's monotone ledger, a missing one would stall gates.
+        if self.next_offset < self.acked() {
+            return Ok(());
+        }
+        self.reserve_spool_slot()?;
+        if self.spool.is_empty() {
+            self.spool_base = self.next_offset;
+        }
+        self.spool.push_back(SpoolItem::Watermark {
+            wm,
+            sent_frame_end: None,
+        });
+        self.unsent += 1;
+        self.pump(false)
+    }
+
+    /// Send any buffered partial frame now.
+    pub fn flush(&mut self) -> Result<()> {
+        self.pump(true)
+    }
+
+    /// Declare the partition complete: flush everything and send the
+    /// `FINISH` frame. The publisher stays usable for
+    /// [`NetPublisher::wait_drained`] (and will re-send spool + FINISH if
+    /// the consumer reconnects), but accepts no new events.
+    pub fn finish(&mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.pump(true)?;
+        self.finished = true;
+        self.pump(true)
+    }
+
+    /// One drain maintenance step: reconnect-and-replay if the connection
+    /// died, then report whether the consumer has acknowledged every
+    /// published event (a consuming pipeline checkpointed or finished
+    /// past them).
+    ///
+    /// A producer feeding **several** partitions must interleave this
+    /// across its publishers rather than blocking on one at a time: the
+    /// final acks only flow once the consuming pipeline finishes, and it
+    /// cannot finish until *every* partition has replayed — waiting
+    /// serially would deadlock against a consumer restored mid-stream.
+    pub fn poll_drained(&mut self) -> Result<bool> {
+        self.trim();
+        if self.acked() >= self.next_offset {
+            return Ok(true);
+        }
+        if self.conn.is_none() || self.conn_dead.load(Ordering::Acquire) {
+            self.pump(true)?;
+        }
+        self.trim();
+        Ok(self.acked() >= self.next_offset)
+    }
+
+    /// Block until [`NetPublisher::poll_drained`] reports drained or
+    /// `timeout` elapses. Reconnects and replays as needed, so this is
+    /// the producer-side way to outlive consumer crashes: keep waiting
+    /// and the restored consumer will come back for the rest. For
+    /// multi-partition producers, drive `poll_drained` over all
+    /// publishers in one loop instead (see there for why).
+    pub fn wait_drained(&mut self, timeout: StdDuration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.poll_drained()? {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::exec(format!(
+                    "net publisher {}#{}: consumer acknowledged only {} of {} \
+                     events within the drain timeout",
+                    self.addr,
+                    self.partition,
+                    self.acked(),
+                    self.next_offset
+                )));
+            }
+            std::thread::sleep(StdDuration::from_millis(2));
+        }
+    }
+
+    /// Drop spool items the consumer has acknowledged.
+    fn trim(&mut self) {
+        let acked = self.acked();
+        while self.spool.len() > self.unsent {
+            match self.spool.front() {
+                Some(SpoolItem::Event(_)) if self.spool_base < acked => {
+                    self.spool.pop_front();
+                    self.spool_base += 1;
+                }
+                // A watermark is disposable once the frame that carried
+                // it is fully acknowledged.
+                Some(SpoolItem::Watermark { sent_frame_end, .. })
+                    if sent_frame_end.is_some_and(|end| end <= acked) =>
+                {
+                    self.spool.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Make room for one more spool item, waiting for acks when the
+    /// bounded spool is full.
+    fn reserve_spool_slot(&mut self) -> Result<()> {
+        if self.spool.len() < self.config.spool_events {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.config.ack_wait;
+        loop {
+            // Acks only move when a connection is alive to carry them.
+            if self.conn.is_none() || self.conn_dead.load(Ordering::Acquire) {
+                self.pump(false)?;
+            }
+            self.trim();
+            if self.spool.len() < self.config.spool_events {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::exec(format!(
+                    "net publisher {}#{}: replay spool full ({} items) and the \
+                     consumer is not acknowledging — is it checkpointing?",
+                    self.addr,
+                    self.partition,
+                    self.spool.len()
+                )));
+            }
+            std::thread::sleep(StdDuration::from_millis(2));
+        }
+    }
+
+    /// Ensure a live connection, then encode-and-send unsent spool items
+    /// as frames. Frames break only at `batch_events`; watermarks ride
+    /// the frame containing them (applied after its events — delaying a
+    /// monotone lower bound is always legal), so every mid-stream frame
+    /// carries at least one event and the consumer's event offset fully
+    /// determines what it has consumed. A trailing partial frame is held
+    /// back unless `force` is set (or `finish` was called). On a broken
+    /// connection the whole cycle — reconnect, handshake, rewind to the
+    /// consumer's resume offset, re-send — retries until
+    /// [`NetConfig::connect_timeout`] elapses.
+    fn pump(&mut self, force: bool) -> Result<()> {
+        let deadline = Instant::now() + self.config.connect_timeout;
+        loop {
+            match self.try_pump(force, deadline) {
+                Ok(()) => {
+                    self.trim();
+                    return Ok(());
+                }
+                Err(e) => {
+                    // The connection died mid-write: drop it and retry the
+                    // full reconnect cycle within the deadline.
+                    if let Some(conn) = self.conn.take() {
+                        conn.shutdown();
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(StdDuration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    fn try_pump(&mut self, force: bool, deadline: Instant) -> Result<()> {
+        let finish_pending = self.finished && !self.finish_sent;
+        if self.unsent == 0
+            && !finish_pending
+            && self.conn.is_some()
+            && !self.conn_dead.load(Ordering::Acquire)
+        {
+            return Ok(());
+        }
+        // A frame needs `batch_events` events before it closes (and
+        // unsent counts watermark items too, so it is an upper bound on
+        // pending events): until then a non-forced pump has nothing to
+        // do, and skipping the scan keeps the per-send cost O(1) instead
+        // of rescanning the partial frame on every append.
+        if !force && !self.finished && self.unsent < self.config.batch_events {
+            return Ok(());
+        }
+        self.ensure_conn(deadline)?;
+        let context = format!("net publisher {}#{}", self.addr, self.partition);
+        while self.unsent > 0 {
+            let start = self.spool.len() - self.unsent;
+            // Collect one frame: up to `batch_events` events (or the
+            // frame-body byte cap, whichever closes first), absorbing
+            // every watermark item encountered (leading, interleaved, or
+            // immediately trailing) into the frame's single watermark
+            // field — watermarks are monotone, so the max wins.
+            let mut events: Vec<&WireEvent> = Vec::new();
+            let mut watermark: Option<Ts> = None;
+            let mut items = 0usize;
+            let mut bytes = 32usize; // frame header slack
+            let mut capped = false;
+            for item in self.spool.iter().skip(start) {
+                match item {
+                    SpoolItem::Event(e) => {
+                        if events.len() == self.config.batch_events {
+                            break;
+                        }
+                        let len = event_encoded_len(e);
+                        if bytes + len > FRAME_BODY_SOFT_CAP {
+                            capped = !events.is_empty();
+                            break;
+                        }
+                        bytes += len;
+                        events.push(e);
+                        items += 1;
+                    }
+                    SpoolItem::Watermark { wm, .. } => {
+                        watermark = Some(watermark.map_or(*wm, |prev| prev.max(*wm)));
+                        items += 1;
+                    }
+                }
+            }
+            let full = events.len() == self.config.batch_events || capped;
+            if !(full || force || self.finished) {
+                break; // partial frame: wait for more data
+            }
+            if items == 0 {
+                break;
+            }
+            let base_offset = self.send_cursor;
+            let frame_end = base_offset + events.len() as u64;
+            let mut body = Vec::with_capacity(64 + events.len() * 32);
+            body.push(KIND_BATCH);
+            put_u64(&mut body, base_offset);
+            match watermark {
+                Some(wm) => {
+                    body.push(1);
+                    put_i64(&mut body, wm.millis());
+                }
+                None => {
+                    body.push(0);
+                    put_i64(&mut body, 0);
+                }
+            }
+            put_u32(&mut body, events.len() as u32);
+            for event in &events {
+                put_event(&mut body, event);
+            }
+            drop(events);
+            let mut conn = self.conn.take().expect("ensured above");
+            let result = write_frame(&mut conn, &context, &body);
+            self.conn = Some(conn);
+            result?;
+            // The frame is on the wire: record which frame carried each
+            // watermark (what reconnect rewinds key on) and advance the
+            // send cursor past the frame's events.
+            for item in self.spool.range_mut(start..start + items) {
+                if let SpoolItem::Watermark { sent_frame_end, .. } = item {
+                    *sent_frame_end = Some(frame_end);
+                }
+            }
+            self.send_cursor = frame_end;
+            self.unsent -= items;
+        }
+        if self.finished && !self.finish_sent && self.unsent == 0 {
+            let mut body = Vec::with_capacity(9);
+            body.push(KIND_FINISH);
+            put_u64(&mut body, self.next_offset);
+            let mut conn = self.conn.take().expect("ensured above");
+            let result = write_frame(&mut conn, &context, &body);
+            self.conn = Some(conn);
+            result?;
+            self.finish_sent = true;
+        }
+        Ok(())
+    }
+
+    /// Connect (with retries until `deadline`), run the handshake, rewind
+    /// the unsent cursor to the consumer's resume offset, and spawn the
+    /// ack-reader thread for the new connection.
+    fn ensure_conn(&mut self, deadline: Instant) -> Result<()> {
+        if self.conn.is_some() && !self.conn_dead.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        if let Some(conn) = self.conn.take() {
+            conn.shutdown();
+        }
+        let context = format!("net publisher {}#{}", self.addr, self.partition);
+        let mut conn = loop {
+            match self.addr.connect() {
+                Ok(conn) => break conn,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::exec(format!(
+                            "{context}: cannot connect within the timeout: {e}"
+                        )));
+                    }
+                    std::thread::sleep(StdDuration::from_millis(5));
+                }
+            }
+        };
+        // Preamble + HELLO (the schema header: which streams this
+        // connection feeds, and which partition it claims).
+        let mut opening = Vec::with_capacity(64);
+        opening.extend_from_slice(&WIRE_MAGIC);
+        opening.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        conn.write_all(&opening).map_err(|e| io_err(&context, e))?;
+        let mut body = Vec::with_capacity(64);
+        body.push(KIND_HELLO);
+        put_u32(&mut body, self.partition);
+        put_u16(&mut body, self.streams.len() as u16);
+        for stream in &self.streams {
+            put_u16(&mut body, stream.len() as u16);
+            body.extend_from_slice(stream.as_bytes());
+        }
+        write_frame(&mut conn, &context, &body)?;
+
+        // HELLO_ACK tells us where to resume. The consumer holds the
+        // reply until its driver has restored (so a checkpointed resume
+        // offset can land first); bound the wait by the remaining window.
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+            .unwrap_or(StdDuration::from_millis(1));
+        conn.set_read_timeout(Some(remaining))
+            .map_err(|e| io_err(&context, e))?;
+        let body = read_frame(&mut conn, &context)?
+            .ok_or_else(|| Error::exec(format!("{context}: consumer closed during handshake")))?;
+        let mut reader = FrameReader::new(&body);
+        let kind = reader.u8()?;
+        if kind != KIND_HELLO_ACK {
+            return Err(Error::exec(format!(
+                "{context}: expected HELLO_ACK, got frame kind {kind}"
+            )));
+        }
+        let resume = reader.u64()?;
+        reader.done()?;
+        if resume < self.spool_base {
+            return Err(Error::exec(format!(
+                "{context}: consumer asks to resume at {resume} but the spool \
+                 was already trimmed to {} (acked earlier); cannot replay",
+                self.spool_base
+            )));
+        }
+        conn.set_read_timeout(None)
+            .map_err(|e| io_err(&context, e))?;
+
+        // The resume offset is also an acknowledgement: the consumer
+        // durably checkpointed everything below it and will never ask for
+        // it again. (It may even exceed what *this* publisher instance has
+        // published — a restarted producer re-publishing its deterministic
+        // stream — in which case sends below the floor are dropped.)
+        self.acked.fetch_max(resume, Ordering::AcqRel);
+
+        // Rewind: everything the consumer has not consumed is unsent for
+        // this connection — events at or past `resume`, and watermarks
+        // that were never sent or whose carrying frame ended past
+        // `resume` (the recorded frame end, not the watermark's position,
+        // decides: the consumer consumed a watermark iff it consumed the
+        // whole frame that carried it). Scanning backwards finds the
+        // longest consumed prefix; in the misaligned-resume corner (a
+        // checkpoint taken mid-frame) an ambiguous watermark is dropped
+        // rather than risking an offset gap — losing a watermark only
+        // delays releases, never data.
+        let mut offset = self.spool_base
+            + self
+                .spool
+                .iter()
+                .filter(|i| matches!(i, SpoolItem::Event(_)))
+                .count() as u64;
+        let mut first_unsent = 0;
+        for (idx, item) in self.spool.iter().enumerate().rev() {
+            let consumed = match item {
+                SpoolItem::Event(_) => {
+                    offset -= 1;
+                    offset < resume
+                }
+                SpoolItem::Watermark { sent_frame_end, .. } => {
+                    sent_frame_end.is_some_and(|end| end <= resume)
+                }
+            };
+            if consumed {
+                first_unsent = idx + 1;
+                break;
+            }
+        }
+        self.unsent = self.spool.len() - first_unsent;
+        self.send_cursor = resume;
+        self.finish_sent = false;
+
+        // Fresh liveness flag per connection so a stale reader thread
+        // cannot mark the new connection dead.
+        let dead = Arc::new(AtomicBool::new(false));
+        self.conn_dead = dead.clone();
+        let acked = self.acked.clone();
+        let mut reader_conn = conn.try_clone().map_err(|e| io_err(&context, e))?;
+        std::thread::spawn(move || loop {
+            match read_frame(&mut reader_conn, "net ack reader") {
+                Ok(Some(body)) => {
+                    let mut reader = FrameReader::new(&body);
+                    if let (Ok(KIND_ACK), Ok(offset)) = (reader.u8(), reader.u64()) {
+                        acked.fetch_max(offset, Ordering::AcqRel);
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    dead.store(true, Ordering::Release);
+                    return;
+                }
+            }
+        });
+        self.conn = Some(conn);
+        Ok(())
+    }
+}
+
+impl Drop for NetPublisher {
+    fn drop(&mut self) {
+        // The ack-reader thread holds a dup of the socket; shutdown (not
+        // just close) reaches every dup, so the reader exits and the
+        // consumer sees end-of-stream instead of a silent idle hang.
+        if let Some(conn) = self.conn.take() {
+            conn.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for NetPublisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetPublisher")
+            .field("addr", &self.addr)
+            .field("partition", &self.partition)
+            .field("offset", &self.next_offset)
+            .field("acked", &self.acked())
+            .field("spooled", &self.spool.len())
+            .finish()
+    }
+}
+
+/// A [`Sink`] that ships a pipeline's output changelog to another process
+/// over the wire, where a [`NetSource`] re-ingests it as a stream: the
+/// glue that chains pipelines across processes.
+///
+/// Each output [`StreamRow`] crosses as one wire event — the data row
+/// with `diff = -1` for an `undo` and `+1` otherwise, at the row's
+/// materialization `ptime`. `ver` numbering is *not* shipped: the
+/// downstream pipeline derives its own revision numbers from the changes
+/// it ingests, exactly as it would for any other source. Output
+/// watermarks are forwarded as watermark frames, and pipeline finish
+/// becomes end-of-stream.
+pub struct NetSink {
+    name: String,
+    publisher: NetPublisher,
+}
+
+impl NetSink {
+    /// A sink feeding the consumer at `addr`, declaring its rows as
+    /// downstream stream `stream` on partition `partition`. Connects
+    /// lazily on the first write.
+    pub fn connect(
+        addr: NetAddr,
+        stream: impl Into<String>,
+        partition: usize,
+        config: NetConfig,
+    ) -> NetSink {
+        let stream = stream.into();
+        NetSink {
+            name: format!("net:{addr}#{partition}"),
+            publisher: NetPublisher::new(addr, partition, vec![stream], config),
+        }
+    }
+
+    /// The wrapped publisher (offsets, acks, drain waits).
+    pub fn publisher_mut(&mut self) -> &mut NetPublisher {
+        &mut self.publisher
+    }
+}
+
+impl Sink for NetSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
+        for sr in rows {
+            let change = Change::with_diff(sr.row.clone(), if sr.undo { -1 } else { 1 });
+            self.publisher.send(0, sr.ptime, change)?;
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, wm: Watermark) -> Result<()> {
+        self.publisher.watermark(wm.ts())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.publisher.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader side: PartitionedNetSource and NetSource.
+// ---------------------------------------------------------------------------
+
+/// What a connection's reader thread hands the polling source.
+enum Decoded {
+    Batch {
+        events: Vec<SourceEvent>,
+        watermark: Option<Ts>,
+    },
+    Finished,
+    Failed(String),
+}
+
+/// Per-partition shared state between the acceptor/reader threads and the
+/// polling source.
+struct PartSlot {
+    tx: Sender<Decoded>,
+    /// Write half of the accepted connection, for `ACK` frames.
+    writer: Mutex<Option<NetConn>>,
+    /// At most one connection may claim a partition per source lifetime.
+    claimed: AtomicBool,
+    /// Offset announced in the handshake reply (set by seek before the
+    /// first poll; 0 for a fresh start).
+    resume: AtomicU64,
+}
+
+struct ListenerShared {
+    name: String,
+    /// Expected stream declaration; producers must match it exactly.
+    streams: Vec<String>,
+    parts: Vec<PartSlot>,
+    /// Handshake replies wait for this: the driver had its chance to seek
+    /// (restore) before the first poll flips it.
+    ready: (Mutex<bool>, Condvar),
+    /// Failures that cannot be attributed to a claimed partition (bad
+    /// preamble, version mismatch, bogus HELLO): surfaced by every poll.
+    failure: Mutex<Option<String>>,
+    shutdown: AtomicBool,
+}
+
+impl ListenerShared {
+    fn fail(&self, msg: String) {
+        let mut slot = self.failure.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+    }
+}
+
+/// One partition of a [`PartitionedNetSource`], as a [`Source`] the
+/// [`PartitionedVec`] adapter can fold. Polls deliver **at most one wire
+/// frame each** (see the module docs on determinism), waiting up to
+/// [`NetConfig::poll_wait`] for it before reporting idle.
+struct NetPartition {
+    name: String,
+    streams: Vec<String>,
+    rx: Receiver<Decoded>,
+    shared: Arc<ListenerShared>,
+    /// Events of the frame currently being emitted.
+    pending: VecDeque<SourceEvent>,
+    /// The frame's watermark, emitted with its last events.
+    pending_wm: Option<Ts>,
+    finished: bool,
+    failed: Option<String>,
+    poll_wait: StdDuration,
+}
+
+impl NetPartition {
+    fn check_failures(&mut self) -> Result<()> {
+        if let Some(msg) = &self.failed {
+            return Err(Error::exec(msg.clone()));
+        }
+        if let Some(msg) = self.shared.failure.lock().unwrap().clone() {
+            self.failed = Some(msg.clone());
+            return Err(Error::exec(msg));
+        }
+        Ok(())
+    }
+}
+
+impl Source for NetPartition {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn streams(&self) -> &[String] {
+        &self.streams
+    }
+
+    fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+        // First poll: the driver is running, so any checkpoint restore
+        // (seek) already happened — release the handshake replies.
+        {
+            let (lock, cvar) = &self.shared.ready;
+            let mut ready = lock.lock().unwrap();
+            if !*ready {
+                *ready = true;
+                cvar.notify_all();
+            }
+        }
+        self.check_failures()?;
+        if self.finished && self.pending.is_empty() {
+            return Ok(SourceBatch::empty(SourceStatus::Finished));
+        }
+        let mut received = false;
+        if self.pending.is_empty() {
+            match self.rx.recv_timeout(self.poll_wait) {
+                Ok(Decoded::Batch { events, watermark }) => {
+                    self.pending.extend(events);
+                    self.pending_wm = watermark;
+                    received = true;
+                }
+                Ok(Decoded::Finished) => self.finished = true,
+                Ok(Decoded::Failed(msg)) => {
+                    self.failed = Some(msg.clone());
+                    return Err(Error::exec(msg));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Ok(SourceBatch::empty(SourceStatus::Idle));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let msg = format!("{}: reader threads are gone", self.name);
+                    self.failed = Some(msg.clone());
+                    return Err(Error::exec(msg));
+                }
+            }
+        }
+        let take = max_events.min(self.pending.len());
+        let mut batch = SourceBatch::empty(SourceStatus::Ready);
+        batch.events.extend(self.pending.drain(..take));
+        if self.pending.is_empty() {
+            batch.watermark = self.pending_wm.take();
+            if self.finished {
+                batch.status = SourceStatus::Finished;
+            }
+        }
+        if batch.events.is_empty() && batch.watermark.is_none() && !received {
+            batch.status = if self.finished {
+                SourceStatus::Finished
+            } else {
+                SourceStatus::Idle
+            };
+        }
+        Ok(batch)
+    }
+}
+
+/// The consumer half of a network pipeline: binds a TCP or unix-socket
+/// listener and exposes N partitions, **one per accepted connection** —
+/// each producer's handshake claims the partition it feeds.
+///
+/// Replayability across the process boundary comes from the offset-ack
+/// handshake rather than local re-reading: a fresh instance seeked to a
+/// checkpointed offset announces that offset in its handshake reply, and
+/// the producer's bounded spool (trimmed only by the acks this source
+/// sends at checkpoints) replays exactly the missing suffix. See the
+/// module docs for the full recovery story.
+pub struct PartitionedNetSource {
+    inner: PartitionedVec<NetPartition>,
+    shared: Arc<ListenerShared>,
+    local: NetAddr,
+}
+
+impl PartitionedNetSource {
+    /// Bind `addr` and accept up to `partitions` producer connections
+    /// feeding the declared `streams`. Accepting happens on a background
+    /// thread; partitions with no producer yet simply poll as idle.
+    pub fn bind(
+        addr: NetAddr,
+        streams: Vec<String>,
+        partitions: usize,
+        config: NetConfig,
+    ) -> Result<PartitionedNetSource> {
+        if partitions == 0 {
+            return Err(Error::plan("net source needs at least one partition"));
+        }
+        if streams.is_empty() {
+            return Err(Error::plan("net source declares no streams"));
+        }
+        let name = format!("net:{addr}");
+        let listener = addr
+            .bind()
+            .map_err(|e| Error::exec(format!("{name}: cannot bind: {e}")))?;
+        let local = listener.local_addr(&addr);
+        let mut parts = Vec::with_capacity(partitions);
+        let mut receivers = Vec::with_capacity(partitions);
+        for _ in 0..partitions {
+            // Bounded: a producer far ahead of the consumer blocks its
+            // reader thread here, pushing backpressure into the socket
+            // instead of buffering the whole stream in memory.
+            let (tx, rx) = bounded::<Decoded>(256);
+            parts.push(PartSlot {
+                tx,
+                writer: Mutex::new(None),
+                claimed: AtomicBool::new(false),
+                resume: AtomicU64::new(0),
+            });
+            receivers.push(rx);
+        }
+        let shared = Arc::new(ListenerShared {
+            name: name.clone(),
+            streams: streams.clone(),
+            parts,
+            ready: (Mutex::new(false), Condvar::new()),
+            failure: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        spawn_acceptor(listener, shared.clone());
+        let partitions: Vec<NetPartition> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(p, rx)| NetPartition {
+                name: format!("{name}#{p}"),
+                streams: streams.clone(),
+                rx,
+                shared: shared.clone(),
+                pending: VecDeque::new(),
+                pending_wm: None,
+                finished: false,
+                failed: None,
+                poll_wait: config.poll_wait,
+            })
+            .collect();
+        Ok(PartitionedNetSource {
+            inner: PartitionedVec::new(name, partitions)?,
+            shared,
+            local,
+        })
+    }
+
+    /// The bound address. For `NetAddr::Tcp` with port 0 this is the
+    /// actual ephemeral address producers should connect to.
+    pub fn local_addr(&self) -> NetAddr {
+        self.local.clone()
+    }
+}
+
+impl PartitionedSource for PartitionedNetSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn streams(&self) -> &[String] {
+        self.inner.streams()
+    }
+
+    fn partitions(&self) -> usize {
+        self.inner.partitions()
+    }
+
+    fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
+        self.inner.poll_partition(partition, max_events)
+    }
+
+    fn offset(&self, partition: usize) -> u64 {
+        self.inner.offset(partition)
+    }
+
+    /// Seeking records the resume offset the handshake reply announces to
+    /// the producer, whose spool replays from there — no local replay.
+    /// Only possible before the first poll (the handshake is held back
+    /// until then, precisely so a checkpoint restore can land first);
+    /// afterwards only the current offset is accepted.
+    fn seek(&mut self, partition: usize, offset: u64) -> Result<()> {
+        if offset == self.inner.offset(partition) && offset == 0 {
+            // Fresh source, fresh start: the default resume of 0 stands.
+            return Ok(());
+        }
+        let started = *self.shared.ready.0.lock().unwrap();
+        if started {
+            if offset == self.inner.offset(partition) {
+                return Ok(());
+            }
+            return Err(Error::exec(format!(
+                "{}: partition {partition} is already streaming; a checkpoint \
+                 can only be restored into a freshly bound net source",
+                self.inner.name()
+            )));
+        }
+        self.shared.parts[partition]
+            .resume
+            .store(offset, Ordering::Release);
+        self.inner.part_mut(partition); // partition bounds check
+        self.inner.set_offset(partition, offset);
+        Ok(())
+    }
+
+    /// Forward the checkpoint acknowledgement to the producer as an `ACK`
+    /// frame so it can trim its replay spool. Best-effort by design: with
+    /// no producer connected (or one that just died) there is nothing to
+    /// trim — the handshake's resume offset will catch it up instead —
+    /// so transport errors clear the stored writer and succeed.
+    fn ack(&mut self, partition: usize, offset: u64) -> Result<()> {
+        let slot = &self.shared.parts[partition];
+        let mut writer = slot.writer.lock().unwrap();
+        if let Some(conn) = writer.as_mut() {
+            let mut body = Vec::with_capacity(9);
+            body.push(KIND_ACK);
+            put_u64(&mut body, offset);
+            if write_frame(conn, "net ack", &body).is_err() {
+                *writer = None;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PartitionedNetSource {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake handshake threads parked on the ready condvar...
+        self.shared.ready.1.notify_all();
+        // ...and unblock reader threads parked on their sockets.
+        for slot in &self.shared.parts {
+            if let Some(conn) = slot.writer.lock().unwrap().take() {
+                conn.shutdown();
+            }
+        }
+    }
+}
+
+fn spawn_acceptor(listener: NetListener, shared: Arc<ListenerShared>) {
+    std::thread::spawn(move || {
+        if listener.set_nonblocking(true).is_err() {
+            shared.fail(format!("{}: cannot poll the listener", shared.name));
+            return;
+        }
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // One connection per partition per source lifetime: once
+            // every partition is claimed no further accept can ever be
+            // useful, so stop polling (and close the listener) instead
+            // of burning wakeups for the rest of the pipeline's life.
+            if shared
+                .parts
+                .iter()
+                .all(|p| p.claimed.load(Ordering::Acquire))
+            {
+                return;
+            }
+            match listener.accept() {
+                Ok(conn) => {
+                    let shared = shared.clone();
+                    std::thread::spawn(move || serve_connection(conn, shared));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(StdDuration::from_millis(10));
+                }
+                Err(_) => {
+                    std::thread::sleep(StdDuration::from_millis(20));
+                }
+            }
+        }
+    });
+}
+
+/// Handshake + frame pump for one accepted connection. Protocol errors
+/// before a partition is claimed go to the source-level failure slot;
+/// after that they poison the partition's channel. The one exception: a
+/// peer that closes cleanly without sending a byte (port scanner, health
+/// probe) is dropped silently — it never spoke the protocol, so it
+/// cannot have violated it.
+fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
+    let context = shared.name.clone();
+    // The handshake must finish within a bounded window, so a source
+    // dropped while a connection dangles does not leak this thread
+    // forever.
+    let _ = conn.set_read_timeout(Some(StdDuration::from_secs(30)));
+    match read_preamble(&mut conn, &context) {
+        Ok(true) => {}
+        Ok(false) => {
+            conn.shutdown();
+            return;
+        }
+        Err(e) => {
+            shared.fail(e.to_string());
+            conn.shutdown();
+            return;
+        }
+    }
+    let hello = match read_frame(&mut conn, &context) {
+        Ok(Some(body)) => body,
+        Ok(None) => {
+            shared.fail(format!("{context}: peer closed before HELLO"));
+            conn.shutdown();
+            return;
+        }
+        Err(e) => {
+            shared.fail(e.to_string());
+            conn.shutdown();
+            return;
+        }
+    };
+    let (partition, declared) = match parse_hello(&hello) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            shared.fail(format!("{context}: {e}"));
+            conn.shutdown();
+            return;
+        }
+    };
+    if partition >= shared.parts.len() {
+        shared.fail(format!(
+            "{context}: peer claims partition {partition}, but only {} exist",
+            shared.parts.len()
+        ));
+        conn.shutdown();
+        return;
+    }
+    if declared != shared.streams {
+        shared.fail(format!(
+            "{context}: peer declares streams {declared:?}, this source \
+             expects {:?}",
+            shared.streams
+        ));
+        conn.shutdown();
+        return;
+    }
+    let slot = &shared.parts[partition];
+    if slot.claimed.swap(true, Ordering::AcqRel) {
+        shared.fail(format!(
+            "{context}: partition {partition} claimed by a second connection"
+        ));
+        conn.shutdown();
+        return;
+    }
+
+    // Hold the reply until the consumer driver is running: a checkpoint
+    // restore seeks before the first poll, and the resume offset must
+    // include it.
+    {
+        let (lock, cvar) = &shared.ready;
+        let mut ready = lock.lock().unwrap();
+        while !*ready {
+            if shared.shutdown.load(Ordering::Acquire) {
+                conn.shutdown();
+                return;
+            }
+            let (guard, _) = cvar
+                .wait_timeout(ready, StdDuration::from_millis(50))
+                .unwrap();
+            ready = guard;
+        }
+    }
+    let resume = slot.resume.load(Ordering::Acquire);
+    let tx = slot.tx.clone();
+    match conn.try_clone() {
+        Ok(writer) => *slot.writer.lock().unwrap() = Some(writer),
+        Err(e) => {
+            let _ = tx.send(Decoded::Failed(format!("{context}: {e}")));
+            conn.shutdown();
+            return;
+        }
+    }
+    let mut body = Vec::with_capacity(9);
+    body.push(KIND_HELLO_ACK);
+    put_u64(&mut body, resume);
+    if let Err(e) = write_frame(&mut conn, &context, &body) {
+        let _ = tx.send(Decoded::Failed(e.to_string()));
+        conn.shutdown();
+        return;
+    }
+    let _ = conn.set_read_timeout(None);
+
+    let context = format!("{context}#{partition}");
+    let mut expected = resume;
+    loop {
+        match read_frame(&mut conn, &context) {
+            Ok(Some(body)) => match parse_data_frame(&body, &context, &mut expected, &shared) {
+                Ok(Some(decoded)) => {
+                    let finished = matches!(decoded, Decoded::Finished);
+                    if tx.send(decoded).is_err() {
+                        return; // source dropped
+                    }
+                    if finished {
+                        return; // writer half stays in the slot for acks
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    let _ = tx.send(Decoded::Failed(e.to_string()));
+                    conn.shutdown();
+                    return;
+                }
+            },
+            Ok(None) => {
+                let _ = tx.send(Decoded::Failed(format!(
+                    "{context}: producer disconnected before FINISH \
+                     (offset {expected})"
+                )));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Decoded::Failed(e.to_string()));
+                conn.shutdown();
+                return;
+            }
+        }
+    }
+}
+
+fn parse_hello(body: &[u8]) -> Result<(usize, Vec<String>)> {
+    let mut reader = FrameReader::new(body);
+    let kind = reader.u8()?;
+    if kind != KIND_HELLO {
+        return Err(Error::exec(format!(
+            "expected HELLO, got frame kind {kind}"
+        )));
+    }
+    let partition = reader.u32()? as usize;
+    let nstreams = reader.u16()? as usize;
+    let mut streams = Vec::with_capacity(nstreams);
+    for _ in 0..nstreams {
+        let len = reader.u16()? as usize;
+        let bytes = reader.take(len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| Error::exec("malformed HELLO: stream name is not UTF-8"))?;
+        streams.push(s.to_string());
+    }
+    reader.done()?;
+    Ok((partition, streams))
+}
+
+/// Decode a post-handshake frame into a channel message, enforcing offset
+/// continuity. `Ok(None)` means "nothing to forward" (never currently
+/// produced, reserved for keepalives).
+fn parse_data_frame(
+    body: &[u8],
+    context: &str,
+    expected: &mut u64,
+    shared: &ListenerShared,
+) -> Result<Option<Decoded>> {
+    let mut reader = FrameReader::new(body);
+    match reader.u8()? {
+        KIND_BATCH => {
+            let base = reader.u64()?;
+            let has_wm = reader.u8()? != 0;
+            let wm_millis = reader.i64()?;
+            let count = reader.u32()? as usize;
+            if base != *expected {
+                return Err(Error::exec(format!(
+                    "{context}: offset gap — batch starts at {base}, expected \
+                     {expected} (events lost or replayed out of order)"
+                )));
+            }
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                let event = reader.event()?;
+                if event.stream as usize >= shared.streams.len() {
+                    return Err(Error::exec(format!(
+                        "{context}: event references stream index {}, but only \
+                         {} streams were declared",
+                        event.stream,
+                        shared.streams.len()
+                    )));
+                }
+                events.push(SourceEvent {
+                    stream: event.stream as usize,
+                    ptime: event.ptime,
+                    change: Change::with_diff(event.row, event.diff),
+                });
+            }
+            reader.done()?;
+            *expected += count as u64;
+            Ok(Some(Decoded::Batch {
+                events,
+                watermark: has_wm.then_some(Ts(wm_millis)),
+            }))
+        }
+        KIND_FINISH => {
+            let final_offset = reader.u64()?;
+            reader.done()?;
+            if final_offset != *expected {
+                return Err(Error::exec(format!(
+                    "{context}: FINISH claims {final_offset} events, consumer \
+                     counted {expected}"
+                )));
+            }
+            Ok(Some(Decoded::Finished))
+        }
+        kind => Err(Error::exec(format!(
+            "{context}: unexpected frame kind {kind} after handshake"
+        ))),
+    }
+}
+
+/// The single-partition network source: one listener, one producer
+/// connection, a plain [`Source`] for the unsharded [`PipelineDriver`].
+///
+/// The plain driver takes no checkpoints, so there is no restore path
+/// that could ever replay — which means holding the producer's spool
+/// hostage buys nothing. This source therefore **acknowledges as it
+/// consumes**: every poll that advances the offset sends an `ACK`, so
+/// the producer's bounded spool trims continuously and
+/// [`NetPublisher::wait_drained`] completes when the consumer catches
+/// up. When crash recovery matters, use [`PartitionedNetSource`] with
+/// the sharded driver, whose acks track durable checkpoints instead.
+///
+/// [`PipelineDriver`]: onesql_core::connect::PipelineDriver
+pub struct NetSource {
+    inner: PartitionedNetSource,
+    acked: u64,
+}
+
+impl NetSource {
+    /// Bind `addr` and accept one producer feeding `streams`.
+    pub fn bind(addr: NetAddr, streams: Vec<String>, config: NetConfig) -> Result<NetSource> {
+        Ok(NetSource {
+            inner: PartitionedNetSource::bind(addr, streams, 1, config)?,
+            acked: 0,
+        })
+    }
+
+    /// The bound address (resolves TCP port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> NetAddr {
+        self.inner.local_addr()
+    }
+}
+
+impl Source for NetSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn streams(&self) -> &[String] {
+        self.inner.streams()
+    }
+
+    fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+        let batch = self.inner.poll_partition(0, max_events)?;
+        // No checkpoints, no replay: consumed == durable. Ack eagerly so
+        // the producer's spool stays trimmed over unbounded streams.
+        let offset = self.inner.offset(0);
+        if offset > self.acked {
+            self.inner.ack(0, offset)?;
+            self.acked = offset;
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::row;
+
+    fn test_config() -> NetConfig {
+        NetConfig {
+            batch_events: 4,
+            poll_wait: StdDuration::from_millis(200),
+            connect_timeout: StdDuration::from_secs(5),
+            ..NetConfig::default()
+        }
+    }
+
+    fn tcp_source(streams: &[&str], partitions: usize) -> PartitionedNetSource {
+        PartitionedNetSource::bind(
+            NetAddr::tcp("127.0.0.1:0"),
+            streams.iter().map(|s| s.to_string()).collect(),
+            partitions,
+            test_config(),
+        )
+        .unwrap()
+    }
+
+    /// Raw client: preamble + HELLO for partition 0, then read HELLO_ACK.
+    /// Blocks until the source side is polled (which releases the reply).
+    fn raw_handshake(addr: &NetAddr, streams: &[&str]) -> NetConn {
+        let mut conn = addr.connect().unwrap();
+        conn.write_all(&WIRE_MAGIC).unwrap();
+        conn.write_all(&WIRE_VERSION.to_le_bytes()).unwrap();
+        let mut body = vec![KIND_HELLO];
+        put_u32(&mut body, 0);
+        put_u16(&mut body, streams.len() as u16);
+        for s in streams {
+            put_u16(&mut body, s.len() as u16);
+            body.extend_from_slice(s.as_bytes());
+        }
+        write_frame(&mut conn, "test client", &body).unwrap();
+        let ack = read_frame(&mut conn, "test client").unwrap().unwrap();
+        assert_eq!(ack[0], KIND_HELLO_ACK);
+        conn
+    }
+
+    /// Poll partition 0 until it errors; panics if it never does.
+    fn poll_until_err(source: &mut PartitionedNetSource) -> String {
+        for _ in 0..100 {
+            if let Err(e) = source.poll_partition(0, 64) {
+                return e.to_string();
+            }
+        }
+        panic!("source never surfaced an error");
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn value_and_event_codec_roundtrip() {
+        let event = WireEvent {
+            stream: 2,
+            ptime: Ts(123_456),
+            diff: -3,
+            row: row!(
+                Value::Null,
+                true,
+                -42i64,
+                1.5f64,
+                "héllo\nworld",
+                Ts(-7),
+                onesql_types::Duration(99)
+            ),
+        };
+        let mut buf = Vec::new();
+        put_event(&mut buf, &event);
+        let mut reader = FrameReader::new(&buf);
+        let decoded = reader.event().unwrap();
+        reader.done().unwrap();
+        assert_eq!(decoded, event);
+    }
+
+    #[test]
+    fn nan_floats_survive_the_wire() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Float(f64::NAN));
+        let mut reader = FrameReader::new(&buf);
+        // Value's Eq is total (bitwise for NaN), so equality holds.
+        assert_eq!(reader.value().unwrap(), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn publisher_roundtrip_over_tcp() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let producer = std::thread::spawn(move || {
+            let mut publisher = NetPublisher::new(addr, 0, vec!["S".to_string()], test_config());
+            for i in 0..10i64 {
+                publisher.insert(0, Ts(i), row!(i, i * 2)).unwrap();
+            }
+            publisher.watermark(Ts(9)).unwrap();
+            publisher.finish().unwrap();
+            publisher.offset()
+        });
+        let mut events = Vec::new();
+        let mut watermark = None;
+        for _ in 0..200 {
+            let batch = source.poll_partition(0, 3).unwrap();
+            events.extend(batch.events);
+            if let Some(wm) = batch.watermark {
+                watermark = Some(wm);
+            }
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        assert_eq!(producer.join().unwrap(), 10);
+        assert_eq!(events.len(), 10);
+        assert_eq!(source.offset(0), 10);
+        assert_eq!(events[3].change.row, row!(3i64, 6i64));
+        assert_eq!(watermark, Some(Ts(9)));
+    }
+
+    #[test]
+    fn truncated_length_prefix_surfaces_as_error() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake(&addr, &["S"]);
+            // Two bytes of a four-byte length prefix, then gone.
+            conn.write_all(&[0x05, 0x00]).unwrap();
+            conn.shutdown();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("length prefix"), "{err}");
+    }
+
+    #[test]
+    fn bad_crc_surfaces_as_error() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake(&addr, &["S"]);
+            let mut body = vec![KIND_BATCH];
+            put_u64(&mut body, 0);
+            body.push(0);
+            put_i64(&mut body, 0);
+            put_u32(&mut body, 0);
+            let mut wire = Vec::new();
+            put_u32(&mut wire, body.len() as u32);
+            wire.extend_from_slice(&body);
+            put_u32(&mut wire, crc32(&body) ^ 0xDEAD_BEEF);
+            conn.write_all(&wire).unwrap();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("CRC mismatch"), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_surfaces_as_error() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = addr.connect().unwrap();
+            conn.write_all(&WIRE_MAGIC).unwrap();
+            conn.write_all(&99u16.to_le_bytes()).unwrap();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("wire version 99"), "{err}");
+    }
+
+    #[test]
+    fn mid_frame_disconnect_surfaces_as_error() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake(&addr, &["S"]);
+            let mut wire = Vec::new();
+            put_u32(&mut wire, 100); // frame claims 100 bytes...
+            wire.extend_from_slice(&[0u8; 10]); // ...but only 10 arrive
+            conn.write_all(&wire).unwrap();
+            conn.shutdown();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("disconnected mid-frame"), "{err}");
+    }
+
+    #[test]
+    fn clean_disconnect_before_finish_surfaces_as_error() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let conn = raw_handshake(&addr, &["S"]);
+            conn.shutdown(); // frame boundary, but no FINISH was sent
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("before FINISH"), "{err}");
+    }
+
+    #[test]
+    fn offset_gap_surfaces_as_error() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake(&addr, &["S"]);
+            let mut body = vec![KIND_BATCH];
+            put_u64(&mut body, 7); // expected offset is 0
+            body.push(0);
+            put_i64(&mut body, 0);
+            put_u32(&mut body, 0);
+            write_frame(&mut conn, "test client", &body).unwrap();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("offset gap"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_surfaces_as_error() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake(&addr, &["S"]);
+            let mut wire = Vec::new();
+            put_u32(&mut wire, MAX_FRAME_LEN + 1);
+            conn.write_all(&wire).unwrap();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn wrong_stream_declaration_is_rejected() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = addr.connect().unwrap();
+            conn.write_all(&WIRE_MAGIC).unwrap();
+            conn.write_all(&WIRE_VERSION.to_le_bytes()).unwrap();
+            let mut body = vec![KIND_HELLO];
+            put_u32(&mut body, 0);
+            put_u16(&mut body, 1);
+            put_u16(&mut body, 5);
+            body.extend_from_slice(b"Other");
+            write_frame(&mut conn, "test client", &body).unwrap();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("declares streams"), "{err}");
+    }
+
+    #[test]
+    fn bounded_spool_errors_without_acks() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        // Consumer polls (so the handshake completes and frames drain)
+        // but never checkpoints, so no acks ever flow.
+        let consumer = std::thread::spawn(move || {
+            for _ in 0..400 {
+                if source.poll_partition(0, 64).is_err() {
+                    break;
+                }
+                std::thread::sleep(StdDuration::from_millis(1));
+            }
+        });
+        let mut publisher = NetPublisher::new(
+            addr,
+            0,
+            vec!["S".to_string()],
+            NetConfig {
+                batch_events: 2,
+                spool_events: 4,
+                ack_wait: StdDuration::from_millis(100),
+                ..test_config()
+            },
+        );
+        let mut failed = None;
+        for i in 0..64i64 {
+            if let Err(e) = publisher.insert(0, Ts(i), row!(i)) {
+                failed = Some(e.to_string());
+                break;
+            }
+        }
+        let err = failed.expect("spool bound never tripped");
+        assert!(err.contains("replay spool full"), "{err}");
+        // Closing the producer unblocks the consumer's poll loop (it sees
+        // the mid-stream disconnect and stops).
+        drop(publisher);
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn seek_after_streaming_is_rejected() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let producer = std::thread::spawn(move || {
+            let mut publisher = NetPublisher::new(addr, 0, vec!["S".to_string()], test_config());
+            publisher.insert(0, Ts(0), row!(1i64)).unwrap();
+            publisher.finish().unwrap();
+        });
+        for _ in 0..100 {
+            if source.poll_partition(0, 16).unwrap().status == SourceStatus::Finished {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert!(source.seek(0, 1).is_ok(), "current offset is fine");
+        let err = source.seek(0, 0).unwrap_err().to_string();
+        assert!(err.contains("already streaming"), "{err}");
+    }
+
+    #[test]
+    fn seek_before_streaming_sets_resume_offset() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        source.seek(0, 6).unwrap();
+        assert_eq!(source.offset(0), 6);
+        let producer = std::thread::spawn(move || {
+            let mut publisher = NetPublisher::new(addr, 0, vec!["S".to_string()], test_config());
+            // Publish 10, pretend 6 were consumed pre-crash: the
+            // handshake must make the publisher replay only 6..10.
+            for i in 0..10i64 {
+                publisher.insert(0, Ts(i), row!(i)).unwrap();
+            }
+            publisher.finish().unwrap();
+        });
+        let mut events = Vec::new();
+        for _ in 0..200 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            events.extend(batch.events);
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(events.len(), 4, "only the unconsumed suffix replays");
+        assert_eq!(events[0].change.row, row!(6i64));
+        assert_eq!(source.offset(0), 10);
+    }
+
+    #[test]
+    fn undelivered_watermark_replays_after_resume() {
+        // Regression: a watermark the producer issued right at the
+        // consumer's checkpoint offset — but which never reached the
+        // consumer (it was waiting to ride the next frame) — must be
+        // re-sent after a resume at exactly that offset. An offset-equal
+        // watermark is only skippable when the frame that carried it was
+        // consumed; this one was never sent at all.
+        let dir = std::env::temp_dir().join("onesql_net_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wm-resume-{}.sock", std::process::id()));
+        let addr = NetAddr::unix(&path);
+
+        let consumer_died = Arc::new(AtomicBool::new(false));
+        let producer = {
+            let addr = addr.clone();
+            let consumer_died = consumer_died.clone();
+            std::thread::spawn(move || {
+                let mut publisher = NetPublisher::new(
+                    addr,
+                    0,
+                    vec!["S".to_string()],
+                    NetConfig {
+                        batch_events: 4,
+                        connect_timeout: StdDuration::from_secs(10),
+                        ..NetConfig::default()
+                    },
+                );
+                // One full frame of 4 events goes out; the watermark has
+                // no frame to ride yet and stays spooled unsent.
+                for i in 0..4i64 {
+                    publisher.insert(0, Ts(i), row!(i)).unwrap();
+                }
+                publisher.watermark(Ts(3)).unwrap();
+                while !consumer_died.load(Ordering::Acquire) {
+                    std::thread::sleep(StdDuration::from_millis(1));
+                }
+                // finish() notices the dead connection, reconnects to the
+                // restored consumer (resume offset 4), and must replay
+                // the watermark before FINISH.
+                publisher.finish().unwrap();
+            })
+        };
+
+        let mut first =
+            PartitionedNetSource::bind(addr.clone(), vec!["S".to_string()], 1, test_config())
+                .unwrap();
+        let mut consumed = 0;
+        while consumed < 4 {
+            consumed += first.poll_partition(0, 16).unwrap().events.len();
+        }
+        assert_eq!(first.offset(0), 4);
+        drop(first); // the crash, checkpointed at offset 4
+        let mut restored =
+            PartitionedNetSource::bind(addr, vec!["S".to_string()], 1, test_config()).unwrap();
+        restored.seek(0, 4).unwrap();
+        consumer_died.store(true, Ordering::Release);
+
+        let mut watermark = None;
+        for _ in 0..200 {
+            let batch = restored.poll_partition(0, 16).unwrap();
+            assert!(batch.events.is_empty(), "no events were outstanding");
+            if let Some(wm) = batch.watermark {
+                watermark = Some(wm);
+            }
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(
+            watermark,
+            Some(Ts(3)),
+            "the undelivered watermark must replay on resume"
+        );
+    }
+
+    #[test]
+    fn plain_net_source_acks_as_it_consumes() {
+        // The plain driver never checkpoints, so NetSource acks eagerly:
+        // a producer's wait_drained must complete (and its spool trim)
+        // without any checkpoint in the picture.
+        let mut source = NetSource::bind(
+            NetAddr::tcp("127.0.0.1:0"),
+            vec!["S".to_string()],
+            test_config(),
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        let producer = std::thread::spawn(move || {
+            let mut publisher = NetPublisher::new(
+                addr,
+                0,
+                vec!["S".to_string()],
+                NetConfig {
+                    batch_events: 2,
+                    spool_events: 8, // far fewer than the 64 events sent
+                    ..test_config()
+                },
+            );
+            for i in 0..64i64 {
+                publisher.insert(0, Ts(i), row!(i)).unwrap();
+            }
+            publisher.finish().unwrap();
+            publisher.wait_drained(StdDuration::from_secs(10)).unwrap();
+            publisher.acked()
+        });
+        let mut events = 0;
+        for _ in 0..400 {
+            let batch = source.poll_batch(16).unwrap();
+            events += batch.events.len();
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        assert_eq!(events, 64);
+        assert_eq!(producer.join().unwrap(), 64, "drained without checkpoints");
+    }
+
+    #[test]
+    fn zero_byte_probe_connection_is_ignored() {
+        // A port scanner / health probe connects and closes without
+        // sending a byte: the pipeline must shrug, not poison.
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        {
+            let probe = addr.connect().unwrap();
+            probe.shutdown();
+        }
+        // Give the reader thread time to observe the clean close.
+        std::thread::sleep(StdDuration::from_millis(50));
+        let producer = std::thread::spawn(move || {
+            let mut publisher = NetPublisher::new(addr, 0, vec!["S".to_string()], test_config());
+            publisher.insert(0, Ts(0), row!(1i64)).unwrap();
+            publisher.finish().unwrap();
+        });
+        let mut events = 0;
+        for _ in 0..200 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            events += batch.events.len();
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(events, 1, "the real producer still works after a probe");
+    }
+}

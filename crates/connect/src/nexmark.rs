@@ -1,7 +1,9 @@
 //! The NEXMark generator as a source: the benchmark's Person / Auction /
 //! Bid mix streamed through the connector runtime.
 
-use onesql_core::connect::{PartitionedSource, Source, SourceBatch, SourceEvent, SourceStatus};
+use onesql_core::connect::{
+    PartitionedSource, PartitionedVec, Source, SourceBatch, SourceEvent, SourceStatus,
+};
 use onesql_core::Engine;
 use onesql_nexmark::model::{Auction, Bid, Person};
 use onesql_nexmark::{GeneratorConfig, NexmarkEvent, NexmarkGenerator};
@@ -65,15 +67,10 @@ impl NexmarkSource {
 ///
 /// Each partition is independently replayable (the generator is a pure
 /// function of its seed), so a checkpointed pipeline reconstructs any
-/// partition's position by regenerating and discarding — the default
-/// [`PartitionedSource::seek`]. Watermarks are per partition, from the
+/// partition's position by regenerating and discarding — the replay seek
+/// [`PartitionedVec`] provides. Watermarks are per partition, from the
 /// generator's bounded-skew contract.
-pub struct PartitionedNexmarkSource {
-    name: String,
-    streams: Vec<String>,
-    parts: Vec<NexmarkSource>,
-    offsets: Vec<u64>,
-}
+pub struct PartitionedNexmarkSource(PartitionedVec<NexmarkSource>);
 
 impl PartitionedNexmarkSource {
     /// A source producing `events` events split across `partitions`
@@ -105,16 +102,10 @@ impl PartitionedNexmarkSource {
                 )
             })
             .collect();
-        PartitionedNexmarkSource {
-            name: format!("nexmark:seed={}x{partitions}", config.seed),
-            streams: vec![
-                "Person".to_string(),
-                "Auction".to_string(),
-                "Bid".to_string(),
-            ],
-            offsets: vec![0; partitions],
-            parts,
-        }
+        PartitionedNexmarkSource(
+            PartitionedVec::new(format!("nexmark:seed={}x{partitions}", config.seed), parts)
+                .expect("partitions >= 1 and uniform streams"),
+        )
     }
 
     /// Default configuration with the given seed.
@@ -132,25 +123,27 @@ impl PartitionedNexmarkSource {
 
 impl PartitionedSource for PartitionedNexmarkSource {
     fn name(&self) -> &str {
-        &self.name
+        self.0.name()
     }
 
     fn streams(&self) -> &[String] {
-        &self.streams
+        self.0.streams()
     }
 
     fn partitions(&self) -> usize {
-        self.parts.len()
+        self.0.partitions()
     }
 
     fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
-        let batch = self.parts[partition].poll_batch(max_events)?;
-        self.offsets[partition] += batch.events.len() as u64;
-        Ok(batch)
+        self.0.poll_partition(partition, max_events)
     }
 
     fn offset(&self, partition: usize) -> u64 {
-        self.offsets[partition]
+        self.0.offset(partition)
+    }
+
+    fn seek(&mut self, partition: usize, offset: u64) -> Result<()> {
+        self.0.seek(partition, offset)
     }
 }
 

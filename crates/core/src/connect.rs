@@ -20,10 +20,66 @@
 //!   [`PipelineMetrics`].
 //!
 //! Concrete connectors (CSV / JSON-lines files, in-memory channels, the
-//! NEXMark generator, changelog renderers) live in the `onesql-connect`
-//! crate; this module holds only the traits and the driver so the engine
-//! can expose [`Engine::attach_source`] / [`Engine::run_pipeline`] without
-//! a dependency cycle.
+//! NEXMark generator, network endpoints, changelog renderers) live in the
+//! `onesql-connect` crate; this module holds only the traits and the
+//! driver so the engine can expose [`Engine::attach_source`] /
+//! [`Engine::run_pipeline`] without a dependency cycle.
+//!
+//! # Example
+//!
+//! A source is just a type that hands the driver batches; here a scripted
+//! three-event stream runs through a filter query end to end:
+//!
+//! ```
+//! use onesql_core::connect::{Source, SourceBatch, SourceEvent, SourceStatus};
+//! use onesql_core::{Engine, StreamBuilder};
+//! use onesql_tvr::Change;
+//! use onesql_types::{row, DataType, Result, Ts};
+//!
+//! struct Bids(Vec<(i64, i64)>, Vec<String>);
+//!
+//! impl Source for Bids {
+//!     fn name(&self) -> &str {
+//!         "bids"
+//!     }
+//!     fn streams(&self) -> &[String] {
+//!         &self.1
+//!     }
+//!     fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+//!         let take = max_events.min(self.0.len());
+//!         let mut batch = SourceBatch::empty(SourceStatus::Ready);
+//!         for (i, (auction, price)) in self.0.drain(..take).enumerate() {
+//!             let ptime = Ts(i as i64);
+//!             batch.events.push(SourceEvent {
+//!                 stream: 0,
+//!                 ptime,
+//!                 change: Change::insert(row!(auction, price, ptime)),
+//!             });
+//!         }
+//!         if self.0.is_empty() {
+//!             batch.status = SourceStatus::Finished;
+//!         }
+//!         Ok(batch)
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! engine.register_stream(
+//!     "Bid",
+//!     StreamBuilder::new()
+//!         .column("auction", DataType::Int)
+//!         .column("price", DataType::Int)
+//!         .event_time_column("bidtime"),
+//! );
+//! let script = Bids(vec![(1, 3), (2, 11), (1, 7)], vec!["Bid".to_string()]);
+//! engine.attach_source(Box::new(script)).unwrap();
+//! let mut driver = engine
+//!     .run_pipeline("SELECT auction, price FROM Bid WHERE price > 5")
+//!     .unwrap();
+//! let metrics = driver.run().unwrap();
+//! assert_eq!(metrics.events_in, 3);
+//! assert_eq!(metrics.events_out, 2);
+//! ```
 //!
 //! [`Engine::attach_source`]: crate::Engine::attach_source
 //! [`Engine::run_pipeline`]: crate::Engine::run_pipeline
@@ -142,44 +198,80 @@ pub trait PartitionedSource {
 
     /// Reposition `partition` so the next event emitted is the `offset`-th.
     ///
-    /// The default implementation replays: it polls the partition and
-    /// discards events until the offset is reached, which is correct for
-    /// any freshly constructed replayable source. Seeking backwards from
-    /// the current position errors.
+    /// The default implementation replays via [`replay_seek`]: it polls
+    /// the partition and discards events until the offset is reached,
+    /// which is correct for any freshly constructed replayable source.
+    /// Seeking backwards from the current position errors.
     fn seek(&mut self, partition: usize, offset: u64) -> Result<()> {
-        let at = self.offset(partition);
-        if offset < at {
-            return Err(Error::exec(format!(
-                "source '{}' partition {partition}: cannot seek backwards \
-                 (at offset {at}, asked for {offset})",
-                self.name()
-            )));
-        }
-        let mut remaining = offset - at;
-        while remaining > 0 {
-            let batch = self.poll_partition(partition, remaining.min(4096) as usize)?;
-            let n = batch.events.len() as u64;
-            if n == 0 {
-                return Err(Error::exec(format!(
-                    "source '{}' partition {partition}: exhausted at offset {} \
-                     while seeking to {offset}",
-                    self.name(),
-                    offset - remaining
-                )));
-            }
-            if n > remaining {
-                // A poll must not over-deliver; past this point the source
-                // has been dragged beyond the target offset.
-                return Err(Error::exec(format!(
-                    "source '{}' partition {partition}: poll returned {n} events \
-                     when at most {remaining} were requested; seek overshot {offset}",
-                    self.name()
-                )));
-            }
-            remaining -= n;
-        }
+        replay_seek(self, partition, offset)
+    }
+
+    /// The offset-acknowledge half of the checkpoint handshake: the driver
+    /// durably recorded `offset` as `partition`'s resume position, so the
+    /// source may release any replay resources held for earlier events.
+    ///
+    /// Local sources replay from their own backing data (files, seeded
+    /// generators) and ignore acks — the default is a no-op. A source
+    /// whose upstream lives in **another process** forwards the ack over
+    /// the wire so the remote producer can trim its bounded replay spool;
+    /// everything the producer still holds is exactly what a
+    /// [`crate::shard::PipelineCheckpoint`] restore could ask it to
+    /// re-send. The sharded driver calls this from
+    /// [`crate::shard::ShardedPipelineDriver::ack_checkpoint`] (invoked
+    /// by the caller once a checkpoint is durably stored — never before,
+    /// or a crash could strand every restorable state) and once more
+    /// when the pipeline finishes.
+    fn ack(&mut self, _partition: usize, _offset: u64) -> Result<()> {
         Ok(())
     }
+}
+
+/// Seek a partition forward by replaying: poll and discard events until
+/// `offset` is reached. This is [`PartitionedSource::seek`]'s default
+/// body, exposed so adapters that override `seek` (e.g. to refuse
+/// non-replayable time travel, or to replay only conditionally) can still
+/// fall back to it.
+///
+/// Correct for any freshly constructed replayable source. Seeking
+/// backwards from the current position errors, as does exhausting the
+/// partition before the target offset.
+pub fn replay_seek<S: PartitionedSource + ?Sized>(
+    source: &mut S,
+    partition: usize,
+    offset: u64,
+) -> Result<()> {
+    let at = source.offset(partition);
+    if offset < at {
+        return Err(Error::exec(format!(
+            "source '{}' partition {partition}: cannot seek backwards \
+             (at offset {at}, asked for {offset})",
+            source.name()
+        )));
+    }
+    let mut remaining = offset - at;
+    while remaining > 0 {
+        let batch = source.poll_partition(partition, remaining.min(4096) as usize)?;
+        let n = batch.events.len() as u64;
+        if n == 0 {
+            return Err(Error::exec(format!(
+                "source '{}' partition {partition}: exhausted at offset {} \
+                 while seeking to {offset}",
+                source.name(),
+                offset - remaining
+            )));
+        }
+        if n > remaining {
+            // A poll must not over-deliver; past this point the source
+            // has been dragged beyond the target offset.
+            return Err(Error::exec(format!(
+                "source '{}' partition {partition}: poll returned {n} events \
+                 when at most {remaining} were requested; seek overshot {offset}",
+                source.name()
+            )));
+        }
+        remaining -= n;
+    }
+    Ok(())
 }
 
 /// Adapts any [`Source`] into a 1-partition [`PartitionedSource`], so
@@ -228,6 +320,134 @@ impl PartitionedSource for SinglePartition {
     }
 }
 
+/// Folds N independent per-partition [`Source`]s into one
+/// [`PartitionedSource`], owning the `Vec<inner>` + per-partition offset
+/// bookkeeping every partitioned connector otherwise hand-rolls.
+///
+/// The file, channel, NEXMark, and network connector families all have the
+/// same shape — partition `p` is a self-contained single-stream source
+/// (one file, one channel shard, one seeded generator, one accepted
+/// connection) — and differ only in how (whether) a partition can be
+/// repositioned:
+///
+/// - **Replayable** inners (files, generators): the default, seeks via
+///   [`replay_seek`].
+/// - **Non-replayable** inners (in-memory channels): construct with
+///   [`PartitionedVec::non_replayable`]; any seek away from the current
+///   offset errors instead of silently dropping events.
+/// - **Custom** repositioning (the network source's resume handshake):
+///   wrap `PartitionedVec` and override [`PartitionedSource::seek`] /
+///   [`PartitionedSource::ack`], keeping the offset books straight with
+///   [`PartitionedVec::set_offset`].
+///
+/// Every inner must declare the same stream list; the adapter exposes it
+/// once for all partitions.
+pub struct PartitionedVec<S: Source> {
+    name: String,
+    streams: Vec<String>,
+    parts: Vec<S>,
+    offsets: Vec<u64>,
+    replayable: bool,
+}
+
+impl<S: Source> PartitionedVec<S> {
+    /// Adapt `parts` (one inner source per partition, all feeding the same
+    /// streams) under the connector instance name `name`. Errors when
+    /// `parts` is empty or the inners disagree on their stream lists.
+    pub fn new(name: impl Into<String>, parts: Vec<S>) -> Result<PartitionedVec<S>> {
+        let name = name.into();
+        let Some(first) = parts.first() else {
+            return Err(Error::plan(format!(
+                "partitioned source '{name}' needs at least one partition"
+            )));
+        };
+        let streams = first.streams().to_vec();
+        for (p, part) in parts.iter().enumerate() {
+            if part.streams() != streams.as_slice() {
+                return Err(Error::plan(format!(
+                    "partitioned source '{name}': partition {p} declares streams \
+                     {:?}, partition 0 declares {streams:?}",
+                    part.streams()
+                )));
+            }
+        }
+        Ok(PartitionedVec {
+            name,
+            streams,
+            offsets: vec![0; parts.len()],
+            parts,
+            replayable: true,
+        })
+    }
+
+    /// Mark the partitions as non-replayable: seeks anywhere but the
+    /// current offset error (resume requires a replayable source), instead
+    /// of replay-and-discard silently eating events that exist nowhere
+    /// else. Use for in-memory inners whose history is gone once polled.
+    pub fn non_replayable(mut self) -> PartitionedVec<S> {
+        self.replayable = false;
+        self
+    }
+
+    /// Borrow partition `p`'s inner source.
+    pub fn part(&self, p: usize) -> &S {
+        &self.parts[p]
+    }
+
+    /// Mutably borrow partition `p`'s inner source, for wrappers layering
+    /// custom seek/ack behavior over the adapter.
+    pub fn part_mut(&mut self, p: usize) -> &mut S {
+        &mut self.parts[p]
+    }
+
+    /// Overwrite partition `p`'s recorded offset. Only for wrappers whose
+    /// custom [`PartitionedSource::seek`] repositions the inner source by
+    /// means the adapter cannot observe (e.g. a network resume handshake);
+    /// the books must always equal the number of events the partition will
+    /// have emitted before its next one.
+    pub fn set_offset(&mut self, p: usize, offset: u64) {
+        self.offsets[p] = offset;
+    }
+}
+
+impl<S: Source> PartitionedSource for PartitionedVec<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn streams(&self) -> &[String] {
+        &self.streams
+    }
+
+    fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    fn poll_partition(&mut self, partition: usize, max_events: usize) -> Result<SourceBatch> {
+        let batch = self.parts[partition].poll_batch(max_events)?;
+        self.offsets[partition] += batch.events.len() as u64;
+        Ok(batch)
+    }
+
+    fn offset(&self, partition: usize) -> u64 {
+        self.offsets[partition]
+    }
+
+    fn seek(&mut self, partition: usize, offset: u64) -> Result<()> {
+        if self.replayable {
+            return replay_seek(self, partition, offset);
+        }
+        if offset == self.offsets[partition] {
+            return Ok(());
+        }
+        Err(Error::exec(format!(
+            "{}: partition {partition} is not replayable (at offset {}, \
+             asked for {offset}); resume requires a replayable source",
+            self.name, self.offsets[partition]
+        )))
+    }
+}
+
 /// A pluggable output connector. Receives the query's output changelog as
 /// [`StreamRow`]s: data columns plus `undo` / `ptime` / `ver` metadata.
 pub trait Sink {
@@ -267,8 +487,11 @@ pub trait Sink {
 /// deliberately coarse: `high_lag` defaults well above common window /
 /// delay offsets so structurally-lagging queries are not pinned to
 /// `min_batch`, and either way the controller only modulates poll size
-/// within hard bounds; it never affects results. A load-proportional
-/// signal (pending merge-buffer depth) is a roadmap follow-on.
+/// within hard bounds; it never affects results. Drivers that *can*
+/// measure real queued work — the sharded driver's pending merge-buffer
+/// depth — feed it through [`BatchController::observe_load`], which
+/// prefers that load-proportional signal and falls back to watermark lag
+/// only when no depth reading is available.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdaptiveBatch {
     /// Batches never shrink below this (progress is always possible).
@@ -279,6 +502,15 @@ pub struct AdaptiveBatch {
     pub high_lag: Duration,
     /// Watermark lag at or below which the batch size doubles.
     pub low_lag: Duration,
+    /// Pending merge-buffer depth (entries) at or above which the batch
+    /// size halves. An absolute bound, not a per-size ratio: the buffer's
+    /// steady-state content scales with the batch size itself, so only an
+    /// absolute threshold turns depth into backpressure (see
+    /// [`BatchController::observe_load`]).
+    pub high_pending: usize,
+    /// Pending merge-buffer depth at or below which the batch size
+    /// doubles.
+    pub low_pending: usize,
 }
 
 impl Default for AdaptiveBatch {
@@ -288,6 +520,8 @@ impl Default for AdaptiveBatch {
             max_batch: 4096,
             high_lag: Duration::from_minutes(30),
             low_lag: Duration::from_seconds(1),
+            high_pending: 32_768,
+            low_pending: 4_096,
         }
     }
 }
@@ -358,12 +592,45 @@ impl BatchController {
     }
 
     /// Feed one round's watermark lag; returns the (possibly adjusted)
-    /// size for the next round.
+    /// size for the next round. Equivalent to
+    /// [`BatchController::observe_load`] with no depth reading.
     pub fn observe(&mut self, lag: Option<Duration>) -> usize {
+        self.observe_load(None, lag)
+    }
+
+    /// Feed one round's load signals; returns the (possibly adjusted)
+    /// size for the next round.
+    ///
+    /// Signal choice: `pending` is the depth of the driver's merge buffer
+    /// — output the workers already produced that the deterministic merge
+    /// has not yet been able to release to sinks. Unlike watermark lag
+    /// (which, under barrier-per-round scheduling, mostly encodes the
+    /// query's structural event-time offset — see [`AdaptiveBatch`]),
+    /// depth measures real queued work in entries of real memory. So when
+    /// a depth reading is present it drives the policy and lag is
+    /// ignored; lag is the fallback for drivers with no merge buffer to
+    /// measure.
+    ///
+    /// The depth thresholds are **absolute** (`high_pending` /
+    /// `low_pending` entries), deliberately not ratios of the current
+    /// batch size: the buffer's steady-state content — the clock-tie
+    /// cohort the deterministic merge must hold back every round — itself
+    /// grows with the batch size, so a relative threshold would cancel
+    /// out and never move. Absolute bounds make the controller an AIMD
+    /// loop on in-flight merge memory: grow while the buffer stays small,
+    /// back off when it crosses the bound (deep hold-back, stalled
+    /// clock), whatever the reason.
+    pub fn observe_load(&mut self, pending: Option<usize>, lag: Option<Duration>) -> usize {
         let Some(policy) = self.policy else {
             return self.size;
         };
-        if let Some(lag) = lag {
+        if let Some(depth) = pending {
+            if depth >= policy.high_pending {
+                self.size = (self.size / 2).max(policy.min_batch).max(1);
+            } else if depth <= policy.low_pending {
+                self.size = (self.size * 2).min(policy.max_batch.max(1));
+            }
+        } else if let Some(lag) = lag {
             if lag >= policy.high_lag {
                 self.size = (self.size / 2).max(policy.min_batch).max(1);
             } else if lag <= policy.low_lag {
@@ -871,6 +1138,8 @@ mod tests {
                 max_batch: max,
                 high_lag: Duration::from_seconds(60),
                 low_lag: Duration::from_seconds(1),
+                high_pending: 1_000,
+                low_pending: 100,
             }),
             ..DriverConfig::default()
         })
@@ -900,6 +1169,40 @@ mod tests {
     }
 
     #[test]
+    fn depth_signal_preferred_over_lag() {
+        // A huge (structural) watermark lag must not shrink batches while
+        // the merge buffer shows the pipeline is keeping up — and a deep
+        // merge backlog must shrink them even with zero lag.
+        let mut c = controller(256, 32, 4096);
+        let lag = Some(Duration::from_minutes(60));
+        assert_eq!(c.observe_load(Some(0), lag), 512, "empty buffer: grow");
+        assert_eq!(c.observe_load(Some(1_000), None), 256, "backlog: halve");
+        let hold = c.observe_load(Some(500), Some(Duration::ZERO));
+        assert_eq!(hold, 256, "between the bounds: hold, even with zero lag");
+    }
+
+    #[test]
+    fn depth_bounds_walk_to_the_limits() {
+        let mut c = controller(256, 32, 512);
+        for _ in 0..10 {
+            c.observe_load(Some(100_000), None);
+        }
+        assert_eq!(c.size(), 32, "deep backlog floors at min_batch");
+        for _ in 0..10 {
+            c.observe_load(Some(0), None);
+        }
+        assert_eq!(c.size(), 512, "empty buffer caps at max_batch");
+    }
+
+    #[test]
+    fn no_depth_reading_falls_back_to_lag() {
+        let mut c = controller(256, 32, 4096);
+        assert_eq!(c.observe_load(None, Some(Duration::from_minutes(5))), 128);
+        assert_eq!(c.observe_load(None, Some(Duration::ZERO)), 256);
+        assert_eq!(c.observe_load(None, None), 256, "no signal at all: hold");
+    }
+
+    #[test]
     fn controller_holds_without_lag_signal() {
         let mut c = controller(256, 32, 4096);
         assert_eq!(c.observe(None), 256);
@@ -924,6 +1227,90 @@ mod tests {
         let mut c = controller(4, 32, 4096);
         assert_eq!(c.size(), 4);
         assert_eq!(c.observe(Some(Duration::from_minutes(5))), 32);
+    }
+
+    /// A tiny scripted source for adapter tests: emits `remaining` rows.
+    struct Scripted {
+        name: String,
+        streams: Vec<String>,
+        emitted: i64,
+        total: i64,
+    }
+
+    impl Scripted {
+        fn new(total: i64) -> Scripted {
+            Scripted {
+                name: "scripted".to_string(),
+                streams: vec!["s".to_string()],
+                emitted: 0,
+                total,
+            }
+        }
+    }
+
+    impl Source for Scripted {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn streams(&self) -> &[String] {
+            &self.streams
+        }
+        fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+            let take = (max_events as i64).min(self.total - self.emitted);
+            let mut batch = SourceBatch::empty(SourceStatus::Ready);
+            for i in self.emitted..self.emitted + take {
+                batch.events.push(SourceEvent {
+                    stream: 0,
+                    ptime: Ts(i),
+                    change: onesql_tvr::Change::insert(onesql_types::row!(i)),
+                });
+            }
+            self.emitted += take;
+            if self.emitted == self.total {
+                batch.status = SourceStatus::Finished;
+            }
+            Ok(batch)
+        }
+    }
+
+    #[test]
+    fn partitioned_vec_tracks_offsets_and_replays() {
+        let mut pv = PartitionedVec::new("pv", vec![Scripted::new(10), Scripted::new(4)]).unwrap();
+        assert_eq!(pv.partitions(), 2);
+        assert_eq!(pv.streams(), &["s".to_string()]);
+        pv.poll_partition(0, 3).unwrap();
+        assert_eq!(pv.offset(0), 3);
+        assert_eq!(pv.offset(1), 0);
+        // Replayable by default: forward seek polls-and-discards.
+        pv.seek(0, 7).unwrap();
+        assert_eq!(pv.offset(0), 7);
+        assert!(pv.seek(0, 2).is_err(), "backwards");
+        assert!(pv.seek(1, 100).is_err(), "exhausts at 4");
+    }
+
+    #[test]
+    fn partitioned_vec_non_replayable_refuses_seeks() {
+        let mut pv = PartitionedVec::new("pv", vec![Scripted::new(8)])
+            .unwrap()
+            .non_replayable();
+        pv.poll_partition(0, 2).unwrap();
+        assert!(pv.seek(0, 2).is_ok(), "current offset is a no-op");
+        let err = pv.seek(0, 5).unwrap_err().to_string();
+        assert!(err.contains("not replayable"), "{err}");
+    }
+
+    #[test]
+    fn partitioned_vec_validates_shape() {
+        assert!(PartitionedVec::<Scripted>::new("pv", vec![]).is_err());
+        let mut odd = Scripted::new(1);
+        odd.streams = vec!["other".to_string()];
+        assert!(PartitionedVec::new("pv", vec![Scripted::new(1), odd]).is_err());
+    }
+
+    #[test]
+    fn ack_defaults_to_noop() {
+        let mut pv = PartitionedVec::new("pv", vec![Scripted::new(2)]).unwrap();
+        pv.ack(0, 1).unwrap();
     }
 
     #[test]

@@ -35,6 +35,68 @@
 //! entries strictly below the clock can be flushed in globally sorted
 //! order; ties at the clock wait (a slower worker may still produce a
 //! same-`ptime` entry that sorts between them).
+//!
+//! # Example
+//!
+//! Any plain [`crate::connect::Source`] rides the sharded driver through
+//! the 1-partition adapter; here three bids fan out over two hash-sharded
+//! workers and the merged result table comes back deterministic:
+//!
+//! ```
+//! use onesql_core::connect::{Source, SourceBatch, SourceEvent, SourceStatus};
+//! use onesql_core::{Engine, ShardedConfig, StreamBuilder};
+//! use onesql_tvr::Change;
+//! use onesql_types::{row, DataType, Result, Ts};
+//!
+//! struct Bids(Vec<(i64, i64)>, Vec<String>);
+//!
+//! impl Source for Bids {
+//!     fn name(&self) -> &str {
+//!         "bids"
+//!     }
+//!     fn streams(&self) -> &[String] {
+//!         &self.1
+//!     }
+//!     fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
+//!         let take = max_events.min(self.0.len());
+//!         let mut batch = SourceBatch::empty(SourceStatus::Ready);
+//!         for (i, (auction, price)) in self.0.drain(..take).enumerate() {
+//!             let ptime = Ts(i as i64);
+//!             batch.events.push(SourceEvent {
+//!                 stream: 0,
+//!                 ptime,
+//!                 change: Change::insert(row!(auction, price, ptime)),
+//!             });
+//!         }
+//!         if self.0.is_empty() {
+//!             batch.status = SourceStatus::Finished;
+//!         }
+//!         Ok(batch)
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! engine.register_stream(
+//!     "Bid",
+//!     StreamBuilder::new()
+//!         .column("auction", DataType::Int)
+//!         .column("price", DataType::Int)
+//!         .event_time_column("bidtime"),
+//! );
+//! let script = Bids(vec![(1, 3), (2, 11), (1, 7)], vec!["Bid".to_string()]);
+//! engine.attach_source(Box::new(script)).unwrap();
+//! let mut driver = engine
+//!     .run_sharded_pipeline(
+//!         "SELECT auction, COUNT(*), SUM(price) FROM Bid GROUP BY auction",
+//!         ShardedConfig::new(2),
+//!     )
+//!     .unwrap();
+//! driver.run().unwrap();
+//! assert_eq!(
+//!     driver.table().unwrap(),
+//!     vec![row!(1i64, 2i64, 10i64), row!(2i64, 1i64, 11i64)],
+//! );
+//! ```
 
 use std::collections::VecDeque;
 
@@ -606,10 +668,24 @@ impl ShardedPipelineDriver {
         {
             self.finish()?;
         } else {
-            self.controller.observe(PipelineMetrics::lag_between(
-                self.ledger.input_watermark(),
-                self.output_watermark,
-            ));
+            // Backpressure signal choice: this driver has a real queue to
+            // measure — the pending merge buffers, holding worker output
+            // the deterministic merge has not yet been able to release to
+            // sinks. That depth is entries of real memory and grows
+            // without bound exactly when the merge cannot keep up (deep
+            // hold-back, stalled clock), unlike watermark lag, which
+            // under barrier-per-round scheduling mostly encodes the
+            // query's structural event-time offset (gates, delays). So
+            // depth drives the controller (against the absolute
+            // high/low_pending bounds — see BatchController::observe_load
+            // for why ratios of the batch size would cancel out); the lag
+            // reading rides along only as the documented fallback for
+            // depth-less drivers.
+            let depth = self.pending.iter().map(|p| p.len()).sum::<usize>();
+            self.controller.observe_load(
+                Some(depth),
+                PipelineMetrics::lag_between(self.ledger.input_watermark(), self.output_watermark),
+            );
         }
         Ok(ingested)
     }
@@ -733,6 +809,15 @@ impl ShardedPipelineDriver {
         for sink in &mut self.sinks {
             sink.flush()?;
         }
+        // Every event is materialized in the sinks: acknowledge the final
+        // offsets so upstream processes holding a replay spool for this
+        // pipeline know they can drain and exit.
+        for slot in &mut self.sources {
+            for part in 0..slot.parts.len() {
+                let offset = slot.source.offset(part);
+                slot.source.ack(part, offset)?;
+            }
+        }
         for worker in std::mem::take(&mut self.workers) {
             drop(worker.tx);
             let query = worker
@@ -795,6 +880,11 @@ impl ShardedPipelineDriver {
     /// Take a consistent whole-pipeline snapshot: barrier the workers,
     /// capture their operator state, and record source offsets plus the
     /// driver's merge cursors. The pipeline keeps running afterwards.
+    ///
+    /// The snapshot is only in memory; once the caller has persisted it,
+    /// [`ShardedPipelineDriver::ack_checkpoint`] tells the sources (and
+    /// any remote producers behind them) that everything below it may be
+    /// garbage-collected.
     pub fn checkpoint(&mut self) -> Result<PipelineCheckpoint> {
         if self.finished {
             return Err(Error::exec("cannot checkpoint a finished pipeline"));
@@ -811,7 +901,7 @@ impl ShardedPipelineDriver {
         // current, so the captured cursors and state agree.
         self.drain_workers()?;
         let worker_states = self.gather(|_, tx| Cmd::Checkpoint(tx))?;
-        Ok(PipelineCheckpoint {
+        let checkpoint = PipelineCheckpoint {
             workers: worker_states,
             offsets: self
                 .sources
@@ -837,7 +927,45 @@ impl ShardedPipelineDriver {
             output_watermark: self.output_watermark,
             events_out: self.metrics.events_out,
             watermarks_in: self.metrics.watermarks_in,
-        })
+        };
+        Ok(checkpoint)
+    }
+
+    /// Acknowledge a checkpoint the caller has made **durable**: forward
+    /// its per-partition offsets to every source's
+    /// [`PartitionedSource::ack`] hook, declaring them the new resume
+    /// floor — no future restore will ever ask for earlier events, so
+    /// sources (and, through them, remote producers holding a replay
+    /// spool) may release replay resources below it.
+    ///
+    /// Deliberately separate from [`ShardedPipelineDriver::checkpoint`]:
+    /// taking a checkpoint only builds an in-memory struct, and acking it
+    /// before it is persisted would let the upstream trim away the only
+    /// data that could rebuild it — a crash in that window would leave
+    /// every surviving (older) checkpoint unrestorable. Call this after
+    /// the checkpoint is safely stored; skipping it entirely is always
+    /// correct, just less memory-frugal upstream.
+    pub fn ack_checkpoint(&mut self, checkpoint: &PipelineCheckpoint) -> Result<()> {
+        if checkpoint.offsets.len() != self.sources.len() {
+            return Err(Error::exec(format!(
+                "checkpoint has {} sources, driver has {}",
+                checkpoint.offsets.len(),
+                self.sources.len()
+            )));
+        }
+        for (slot, offsets) in checkpoint.offsets.iter().enumerate() {
+            if offsets.len() != self.sources[slot].parts.len() {
+                return Err(Error::exec(format!(
+                    "checkpoint source {slot} has {} partitions, driver has {}",
+                    offsets.len(),
+                    self.sources[slot].parts.len()
+                )));
+            }
+            for (part, &offset) in offsets.iter().enumerate() {
+                self.sources[slot].source.ack(part, offset)?;
+            }
+        }
+        Ok(())
     }
 
     /// Resume from a [`PipelineCheckpoint`]: restore every worker's
@@ -926,9 +1054,12 @@ impl ShardedPipelineDriver {
         self.gather(|w, tx| Cmd::Restore(checkpoint.workers[w].clone(), tx))?;
         for (slot, offsets) in checkpoint.offsets.iter().enumerate() {
             for (part, &offset) in offsets.iter().enumerate() {
-                if offset > 0 {
-                    self.sources[slot].source.seek(part, offset)?;
-                }
+                // Seek unconditionally — even to offset 0. For local
+                // replayable sources that is a no-op, but a source whose
+                // upstream is another process uses the seek to learn the
+                // resume position it must announce in its handshake, and
+                // "resume from the beginning" is as real a position as any.
+                self.sources[slot].source.seek(part, offset)?;
                 let state = &mut self.sources[slot].parts[part];
                 state.events = offset;
                 state.finished = checkpoint.finished[slot][part];

@@ -51,6 +51,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout; senders remain.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
     /// The sending half; cloneable.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -164,6 +173,35 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.shared.readable.wait(state).unwrap();
+            }
+        }
+
+        /// Receive, blocking until an item arrives, all senders drop, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, result) = self.shared.readable.wait_timeout(state, remaining).unwrap();
+                state = guard;
+                if result.timed_out() && state.items.is_empty() && state.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 

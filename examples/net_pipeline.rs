@@ -1,0 +1,159 @@
+//! Pipelines that span processes: a NEXMark producer feeds a sharded Q7
+//! consumer over a unix socket, the consumer is killed mid-stream, and a
+//! restored consumer picks up from the checkpoint — with the producer
+//! surviving the crash by replaying its spool over the resume handshake.
+//!
+//! Run with: `cargo run --release --example net_pipeline`
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration as StdDuration;
+
+use onesql::connect::{register_nexmark_streams, PartitionedNexmarkSource, PartitionedSource};
+use onesql::core::StreamRow;
+use onesql::{
+    DriverConfig, Engine, NetAddr, NetConfig, NetPublisher, PartitionedNetSource, ShardedConfig,
+    ShardedPipelineDriver, Sink, SourceStatus,
+};
+use onesql_types::Result;
+
+const EVENTS: u64 = 6_000;
+const PARTS: usize = 4;
+const BATCH: usize = 256;
+const STREAMS: [&str; 3] = ["Person", "Auction", "Bid"];
+
+fn net_config() -> NetConfig {
+    NetConfig {
+        batch_events: BATCH,
+        connect_timeout: StdDuration::from_secs(30),
+        poll_wait: StdDuration::from_secs(10),
+        ..NetConfig::default()
+    }
+}
+
+struct CollectingSink {
+    rows: Arc<Mutex<Vec<StreamRow>>>,
+}
+
+impl Sink for CollectingSink {
+    fn name(&self) -> &str {
+        "collect"
+    }
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
+        self.rows.lock().unwrap().extend_from_slice(rows);
+        Ok(())
+    }
+}
+
+/// The producer "process": pumps the seeded workload through one
+/// publisher per partition, then drains acks across all of them (see
+/// `NetPublisher::poll_drained` for why draining must interleave).
+fn run_producer(addr: NetAddr) -> Result<()> {
+    let mut source = PartitionedNexmarkSource::seeded(7, EVENTS, PARTS);
+    let streams: Vec<String> = STREAMS.iter().map(|s| s.to_string()).collect();
+    let mut publishers: Vec<NetPublisher> = (0..PARTS)
+        .map(|p| NetPublisher::new(addr.clone(), p, streams.clone(), net_config()))
+        .collect();
+    let mut live = [true; PARTS];
+    while live.iter().any(|&l| l) {
+        for p in 0..PARTS {
+            if !live[p] {
+                continue;
+            }
+            let batch = source.poll_partition(p, BATCH)?;
+            for event in batch.events {
+                publishers[p].send(event.stream, event.ptime, event.change)?;
+            }
+            if let Some(wm) = batch.watermark {
+                publishers[p].watermark(wm)?;
+            }
+            if batch.status == SourceStatus::Finished {
+                publishers[p].finish()?;
+                live[p] = false;
+            }
+        }
+    }
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(60);
+    while !publishers
+        .iter_mut()
+        .map(|p| p.poll_drained())
+        .collect::<Result<Vec<_>>>()?
+        .into_iter()
+        .all(|drained| drained)
+    {
+        if std::time::Instant::now() >= deadline {
+            return Err(onesql_types::Error::exec("producer drain timed out"));
+        }
+        std::thread::sleep(StdDuration::from_millis(2));
+    }
+    Ok(())
+}
+
+/// The consumer "process": Q7 sharded over 2 workers, fed only by the
+/// socket, polls aligned with the producer's frames.
+fn bind_consumer(path: &std::path::Path) -> (Arc<Mutex<Vec<StreamRow>>>, ShardedPipelineDriver) {
+    let source = PartitionedNetSource::bind(
+        NetAddr::unix(path),
+        STREAMS.iter().map(|s| s.to_string()).collect(),
+        PARTS,
+        net_config(),
+    )
+    .unwrap();
+    let mut engine = Engine::new();
+    register_nexmark_streams(&mut engine);
+    engine.attach_partitioned_source(Box::new(source)).unwrap();
+    let rows = Arc::new(Mutex::new(Vec::new()));
+    engine.attach_sink(Box::new(CollectingSink { rows: rows.clone() }));
+    let config = ShardedConfig::new(2).with_driver(DriverConfig {
+        batch_size: BATCH,
+        adaptive: None,
+        ..DriverConfig::default()
+    });
+    let driver = engine
+        .run_sharded_pipeline(onesql_nexmark::queries::Q7, config)
+        .unwrap();
+    (rows, driver)
+}
+
+fn main() {
+    let path = std::env::temp_dir().join(format!("onesql_net_example_{}.sock", std::process::id()));
+    let addr = NetAddr::unix(&path);
+    let producer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_producer(addr))
+    };
+
+    // First consumer: ingest half the stream, checkpoint, "crash".
+    let (rows, mut victim) = bind_consumer(&path);
+    while !victim.is_finished() && victim.events_in() < EVENTS / 2 {
+        victim.step().unwrap();
+    }
+    let checkpoint = victim.checkpoint().unwrap();
+    // In a real deployment the checkpoint is written to disk here; only
+    // then is it acknowledged, letting the producer trim its spool.
+    victim.ack_checkpoint(&checkpoint).unwrap();
+    let observed_before = rows.lock().unwrap().len();
+    println!(
+        "killed consumer at {} events (checkpoint offsets {:?}), {} output rows so far",
+        victim.events_in(),
+        checkpoint.offsets,
+        observed_before
+    );
+    drop(victim); // driver, workers, source, and listener all die
+
+    // Restored consumer: fresh listener on the same path, state from the
+    // checkpoint; the producer reconnects and replays the missing suffix.
+    let (resumed_rows, mut resumed) = bind_consumer(&path);
+    resumed.restore(&checkpoint).unwrap();
+    resumed.run().unwrap();
+    producer.join().unwrap().unwrap();
+
+    let metrics = resumed.metrics();
+    println!(
+        "restored consumer finished: {} events total, {} more output rows",
+        metrics.events_in,
+        resumed_rows.lock().unwrap().len()
+    );
+    assert_eq!(metrics.events_in, EVENTS);
+    let _ = std::fs::remove_file(&path);
+    println!("exactly-once across the process boundary: OK");
+}

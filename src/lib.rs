@@ -9,9 +9,10 @@ pub use onesql_core as core;
 
 pub use onesql_connect::{
     ChangelogSink, ChannelPublisher, ChannelSink, ChannelSource, CsvFileSink, CsvFileSource,
-    CsvSinkMode, DriverConfig, FileSourceConfig, JsonLinesSink, JsonLinesSource, NexmarkSource,
-    PartitionedFileSource, PartitionedNexmarkSource, PartitionedSource, PipelineCheckpoint,
-    PipelineDriver, PipelineMetrics, ShardedChannelSource, ShardedConfig, ShardedPipelineDriver,
-    SinglePartition, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+    CsvSinkMode, DriverConfig, FileSourceConfig, JsonLinesSink, JsonLinesSource, NetAddr,
+    NetConfig, NetPublisher, NetSink, NetSource, NexmarkSource, PartitionedFileSource,
+    PartitionedNetSource, PartitionedNexmarkSource, PartitionedSource, PartitionedVec,
+    PipelineCheckpoint, PipelineDriver, PipelineMetrics, ShardedChannelSource, ShardedConfig,
+    ShardedPipelineDriver, SinglePartition, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
 };
 pub use onesql_core::{Engine, RunningQuery, StreamBuilder};

@@ -1,0 +1,410 @@
+//! Pipelines that span processes, black-box: a producer and a consumer
+//! connected only by a socket must behave exactly like one process — and
+//! killing the consumer mid-stream must be invisible in the changelog.
+//!
+//! The exactly-once test is the cross-process version of
+//! `tests/sharded_pipeline.rs`: run NEXMark Q7 sharded over a socket,
+//! checkpoint, kill the consumer (dropping its driver, its source, and
+//! its listener), restore a fresh consumer process-equivalent from the
+//! checkpoint, and require the concatenated sink changelog to be
+//! byte-identical to an uninterrupted run. The producer survives the
+//! crash: its bounded replay spool plus the resume handshake re-send
+//! exactly the unacknowledged suffix.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration as StdDuration;
+
+use onesql::connect::{register_nexmark_streams, PartitionedNexmarkSource, PartitionedSource};
+use onesql::core::StreamRow;
+use onesql::{
+    DriverConfig, Engine, NetAddr, NetConfig, NetPublisher, NetSink, NetSource,
+    PartitionedNetSource, ShardedConfig, ShardedPipelineDriver, Sink, Source, StreamBuilder,
+};
+use onesql_nexmark::queries;
+use onesql_types::{row, DataType, Result, Ts};
+
+const NEXMARK_EVENTS: u64 = 6_000;
+const PARTS: usize = 4;
+const BATCH: usize = 256;
+const STREAMS: [&str; 3] = ["Person", "Auction", "Bid"];
+
+/// Unique socket path per test, replaced on rebind (consumer restart).
+fn socket_path(tag: &str) -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("onesql_net_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}-{}-{}.sock",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Producer-side config: frames aligned with the consumer's poll batches
+/// (see the determinism notes in `onesql_connect::net`), generous windows
+/// so a consumer restart is survived, not raced.
+fn net_config() -> NetConfig {
+    NetConfig {
+        batch_events: BATCH,
+        connect_timeout: StdDuration::from_secs(30),
+        poll_wait: StdDuration::from_secs(10),
+        ack_wait: StdDuration::from_secs(30),
+        ..NetConfig::default()
+    }
+}
+
+struct CollectingSink {
+    rows: Arc<Mutex<Vec<StreamRow>>>,
+}
+
+fn collecting_sink() -> (Arc<Mutex<Vec<StreamRow>>>, CollectingSink) {
+    let rows = Arc::new(Mutex::new(Vec::new()));
+    (rows.clone(), CollectingSink { rows })
+}
+
+impl Sink for CollectingSink {
+    fn name(&self) -> &str {
+        "collect"
+    }
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
+        self.rows.lock().unwrap().extend_from_slice(rows);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The producer "process": NEXMark over sockets, surviving consumer death.
+// ---------------------------------------------------------------------------
+
+/// Pump the seeded NEXMark workload through one publisher per partition,
+/// then wait until the consumer side has acknowledged every event (which
+/// outlives consumer crashes: the publishers reconnect and replay).
+fn run_producer(addr: NetAddr) -> Result<()> {
+    let mut source = PartitionedNexmarkSource::seeded(7, NEXMARK_EVENTS, PARTS);
+    let streams: Vec<String> = STREAMS.iter().map(|s| s.to_string()).collect();
+    let mut publishers: Vec<NetPublisher> = (0..PARTS)
+        .map(|p| NetPublisher::new(addr.clone(), p, streams.clone(), net_config()))
+        .collect();
+    let mut live: Vec<bool> = vec![true; PARTS];
+    while live.iter().any(|&l| l) {
+        for p in 0..PARTS {
+            if !live[p] {
+                continue;
+            }
+            let batch = source.poll_partition(p, BATCH)?;
+            for event in batch.events {
+                publishers[p].send(event.stream, event.ptime, event.change)?;
+            }
+            if let Some(wm) = batch.watermark {
+                publishers[p].watermark(wm)?;
+            }
+            if batch.status == onesql::SourceStatus::Finished {
+                publishers[p].finish()?;
+                live[p] = false;
+            }
+        }
+    }
+    // Drain acks across ALL partitions in one loop: a consumer restored
+    // mid-stream needs every partition replayed before it can finish and
+    // send the final acks, so blocking on one publisher at a time would
+    // deadlock (see NetPublisher::poll_drained).
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(60);
+    loop {
+        let mut all = true;
+        for publisher in &mut publishers {
+            all &= publisher.poll_drained()?;
+        }
+        if all {
+            return Ok(());
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(onesql_types::Error::exec("producer drain timed out"));
+        }
+        std::thread::sleep(StdDuration::from_millis(2));
+    }
+}
+
+/// The consumer "process": a sharded Q7 pipeline whose only input is the
+/// socket. Fixed poll batches aligned with the producer's frames keep the
+/// changelog a pure function of the byte stream.
+fn bind_consumer(path: &std::path::Path) -> (Arc<Mutex<Vec<StreamRow>>>, ShardedPipelineDriver) {
+    let source = PartitionedNetSource::bind(
+        NetAddr::unix(path),
+        STREAMS.iter().map(|s| s.to_string()).collect(),
+        PARTS,
+        net_config(),
+    )
+    .unwrap();
+    let mut engine = Engine::new();
+    register_nexmark_streams(&mut engine);
+    engine.attach_partitioned_source(Box::new(source)).unwrap();
+    let (rows, sink) = collecting_sink();
+    engine.attach_sink(Box::new(sink));
+    let config = ShardedConfig::new(2).with_driver(DriverConfig {
+        batch_size: BATCH,
+        adaptive: None,
+        ..DriverConfig::default()
+    });
+    let driver = engine.run_sharded_pipeline(queries::Q7, config).unwrap();
+    (rows, driver)
+}
+
+#[test]
+fn nexmark_q7_survives_consumer_kill_and_restore() {
+    // Reference: the same producer/consumer pair, never interrupted.
+    let reference = {
+        let path = socket_path("q7-reference");
+        let (rows, mut driver) = bind_consumer(&path);
+        let addr = NetAddr::unix(&path);
+        let producer = std::thread::spawn(move || run_producer(addr));
+        driver.run().unwrap();
+        producer.join().unwrap().unwrap();
+        let reference = rows.lock().unwrap().clone();
+        assert!(!reference.is_empty(), "Q7 produced no output");
+        reference
+    };
+
+    // Victim: same workload, killed mid-stream after a checkpoint.
+    let path = socket_path("q7-victim");
+    let addr = NetAddr::unix(&path);
+    let producer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_producer(addr))
+    };
+    let (rows, mut victim) = bind_consumer(&path);
+    while !victim.is_finished() && victim.events_in() < NEXMARK_EVENTS / 2 {
+        victim.step().unwrap();
+    }
+    assert!(!victim.is_finished(), "kill point did not interrupt");
+    let checkpoint = victim.checkpoint().unwrap();
+    // The checkpoint is "persisted" (it lives in this test); acknowledge
+    // it so the producer trims its spool — resume must still work from
+    // exactly the acked offsets.
+    victim.ack_checkpoint(&checkpoint).unwrap();
+    let mut observed = rows.lock().unwrap().clone();
+    // The crash: driver, workers, net source, and listener all die. The
+    // producer is connected to nothing and must hold its spool.
+    drop(victim);
+
+    // The restored consumer "process": a fresh listener on the same
+    // address, a fresh driver, state from the checkpoint. Its handshake
+    // tells the reconnecting producer where to resume.
+    let (resumed_rows, mut resumed) = bind_consumer(&path);
+    resumed.restore(&checkpoint).unwrap();
+    let restored_events: u64 = checkpoint.offsets.iter().flatten().sum();
+    assert_eq!(resumed.metrics().events_in, restored_events);
+    resumed.run().unwrap();
+    producer.join().unwrap().unwrap();
+    observed.extend(resumed_rows.lock().unwrap().iter().cloned());
+
+    assert_eq!(
+        observed.len(),
+        reference.len(),
+        "resumed changelog length diverged"
+    );
+    assert_eq!(observed, reference, "resumed changelog diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Plain driver over TCP.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn filter_pipeline_over_tcp() {
+    let source = NetSource::bind(
+        NetAddr::tcp("127.0.0.1:0"),
+        vec!["Bid".to_string()],
+        NetConfig::default(),
+    )
+    .unwrap();
+    let addr = source.local_addr();
+    // Exercise the Source trait surface directly before attaching.
+    assert_eq!(source.streams(), &["Bid".to_string()]);
+
+    let producer = std::thread::spawn(move || -> Result<u64> {
+        let mut publisher =
+            NetPublisher::new(addr, 0, vec!["Bid".to_string()], NetConfig::default());
+        for i in 0..100i64 {
+            publisher.insert(0, Ts(i), row!(i % 7, i, Ts(i)))?;
+        }
+        publisher.watermark(Ts(99))?;
+        publisher.finish()?;
+        Ok(publisher.offset())
+    });
+
+    let mut engine = Engine::new();
+    engine.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .column("auction", DataType::Int)
+            .column("price", DataType::Int)
+            .event_time_column("bidtime"),
+    );
+    engine.attach_source(Box::new(source)).unwrap();
+    let (rows, sink) = collecting_sink();
+    engine.attach_sink(Box::new(sink));
+    let mut driver = engine
+        .run_pipeline("SELECT auction, price FROM Bid WHERE price >= 50 EMIT STREAM")
+        .unwrap();
+    let metrics = driver.run().unwrap();
+    assert_eq!(metrics.events_in, 100);
+    assert_eq!(metrics.events_out, 50);
+    assert_eq!(producer.join().unwrap().unwrap(), 100);
+    assert_eq!(rows.lock().unwrap().len(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Two pipelines chained across "processes": changelog out, stream in.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pipelines_chain_through_net_sink() {
+    // Downstream pipeline: consumes the upstream changelog as a stream.
+    let source = NetSource::bind(
+        NetAddr::tcp("127.0.0.1:0"),
+        vec!["Mid".to_string()],
+        NetConfig::default(),
+    )
+    .unwrap();
+    let addr = source.local_addr();
+
+    // Upstream pipeline in its own thread: filter bids, ship the output
+    // changelog through a NetSink.
+    let upstream = std::thread::spawn(move || -> Result<()> {
+        let (publisher, channel_source) = onesql::connect::channel("Bid", 64);
+        let mut engine = Engine::new();
+        engine.register_stream(
+            "Bid",
+            StreamBuilder::new()
+                .column("auction", DataType::Int)
+                .column("price", DataType::Int)
+                .event_time_column("bidtime"),
+        );
+        engine.attach_source(Box::new(channel_source))?;
+        engine.attach_sink(Box::new(NetSink::connect(
+            addr,
+            "Mid",
+            0,
+            NetConfig::default(),
+        )));
+        let mut driver =
+            engine.run_pipeline("SELECT auction, price FROM Bid WHERE price > 10 EMIT STREAM")?;
+        for i in 0..60i64 {
+            publisher.insert(Ts(i), row!(i % 5, i, Ts(i)))?;
+        }
+        publisher.finish()?;
+        driver.run()?;
+        Ok(())
+    });
+
+    let mut engine = Engine::new();
+    engine.register_stream(
+        "Mid",
+        StreamBuilder::new()
+            .column("auction", DataType::Int)
+            .column("price", DataType::Int),
+    );
+    engine.attach_source(Box::new(source)).unwrap();
+    let mut driver = engine
+        .run_pipeline("SELECT auction, COUNT(*), SUM(price) FROM Mid GROUP BY auction")
+        .unwrap();
+    driver.run().unwrap();
+    upstream.join().unwrap().unwrap();
+
+    // 60 bids, prices 0..60, filter keeps 11..59 → 49 rows across 5 keys.
+    assert_eq!(driver.metrics().events_in, 49);
+    let mut table = driver.query().table().unwrap();
+    table.sort();
+    let total: i64 = (11..60).sum();
+    let counted: i64 = table
+        .iter()
+        .map(|r| r.value(1).unwrap().as_int().unwrap())
+        .sum();
+    let summed: i64 = table
+        .iter()
+        .map(|r| r.value(2).unwrap().as_int().unwrap())
+        .sum();
+    assert_eq!(table.len(), 5);
+    assert_eq!(counted, 49);
+    assert_eq!(summed, total);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed frames poison the driver — never panic, never half-continue.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_frames_poison_the_sharded_driver() {
+    let source = PartitionedNetSource::bind(
+        NetAddr::tcp("127.0.0.1:0"),
+        vec!["Bid".to_string()],
+        1,
+        NetConfig {
+            poll_wait: StdDuration::from_millis(100),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = source.local_addr();
+
+    let mut engine = Engine::new();
+    engine.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .column("auction", DataType::Int)
+            .column("price", DataType::Int)
+            .event_time_column("bidtime"),
+    );
+    engine.attach_partitioned_source(Box::new(source)).unwrap();
+    let mut driver = engine
+        .run_sharded_pipeline("SELECT auction, price FROM Bid", ShardedConfig::new(2))
+        .unwrap();
+
+    // A "producer" speaking a future protocol version: the handshake is
+    // rejected and the failure must reach the driver as a source error.
+    let client = std::thread::spawn(move || {
+        use std::io::Write;
+        let NetAddr::Tcp(addr) = addr else {
+            unreachable!()
+        };
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"OSQW").unwrap();
+        conn.write_all(&99u16.to_le_bytes()).unwrap();
+    });
+    let mut poisoned_err = None;
+    for _ in 0..100 {
+        if let Err(e) = driver.step() {
+            poisoned_err = Some(e.to_string());
+            break;
+        }
+    }
+    client.join().unwrap();
+    let err = poisoned_err.expect("driver never surfaced the protocol error");
+    assert!(err.contains("wire version 99"), "{err}");
+    // The driver is now poisoned: stepping and checkpointing both refuse.
+    let err = driver.step().unwrap_err().to_string();
+    assert!(err.contains("poisoned"), "{err}");
+    let err = driver.checkpoint().unwrap_err().to_string();
+    assert!(err.contains("poisoned"), "{err}");
+}
+
+/// Checkpoints of a net-fed pipeline record per-partition offsets, and a
+/// fresh (never-streamed) net source accepts the seek restore performs.
+#[test]
+fn net_checkpoint_offsets_roundtrip_into_fresh_source() {
+    let mut fresh = PartitionedNetSource::bind(
+        NetAddr::tcp("127.0.0.1:0"),
+        vec!["Bid".to_string()],
+        3,
+        NetConfig::default(),
+    )
+    .unwrap();
+    // Restore calls seek on every partition, including offset 0.
+    fresh.seek(0, 0).unwrap();
+    fresh.seek(1, 512).unwrap();
+    fresh.seek(2, 1024).unwrap();
+    assert_eq!(fresh.offset(0), 0);
+    assert_eq!(fresh.offset(1), 512);
+    assert_eq!(fresh.offset(2), 1024);
+}
