@@ -58,6 +58,7 @@ pub mod file;
 pub mod json;
 pub mod net;
 pub mod nexmark;
+pub mod registry;
 pub mod text;
 
 pub use changelog::ChangelogSink;
@@ -74,10 +75,13 @@ pub use net::{
     WIRE_VERSION,
 };
 pub use nexmark::{register_nexmark_streams, NexmarkSource, PartitionedNexmarkSource};
+pub use registry::{default_registry, session};
 
 pub use onesql_core::connect::{
-    AdaptiveBatch, BatchController, DriverConfig, PartitionedSource, PartitionedVec,
-    PipelineDriver, PipelineMetrics, SinglePartition, Sink, Source, SourceBatch, SourceEvent,
-    SourceMetrics, SourceStatus,
+    AdaptiveBatch, AnySource, BatchController, ConnectorRegistry, DriverConfig, Exports, OptionBag,
+    PartitionedSource, PartitionedVec, PipelineDriver, PipelineMetrics, SinglePartition, Sink,
+    SinkConnector, SinkSpec, Source, SourceBatch, SourceConnector, SourceEvent, SourceMetrics,
+    SourceSpec, SourceStatus,
 };
+pub use onesql_core::session::{ScriptOutcome, Session, SqlPipeline, StatementResult};
 pub use onesql_core::shard::{PipelineCheckpoint, ShardedConfig, ShardedPipelineDriver};

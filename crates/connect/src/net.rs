@@ -82,6 +82,7 @@ const KIND_HELLO_ACK: u8 = 2;
 const KIND_BATCH: u8 = 3;
 const KIND_ACK: u8 = 4;
 const KIND_FINISH: u8 = 5;
+const KIND_KEEPALIVE: u8 = 6;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, the zlib polynomial), table generated at compile time.
@@ -454,73 +455,109 @@ fn write_frame(conn: &mut NetConn, context: &str, body: &[u8]) -> Result<()> {
         .map_err(|e| io_err(context, e))
 }
 
-/// Read one frame body, verifying the length bound and the CRC.
-///
-/// `Ok(None)` is a clean end-of-stream: the peer closed exactly on a
-/// frame boundary. EOF anywhere else — inside the length prefix, the
-/// body, or the trailing CRC — is a mid-frame disconnect and errors.
-fn read_frame(conn: &mut NetConn, context: &str) -> Result<Option<Vec<u8>>> {
+/// How reading one frame ended, classified so restart-tolerant readers
+/// can tell a *dead* peer (transport gone) from a *wrong* one (bytes
+/// arrived but are corrupt).
+enum FrameRead {
+    /// A whole, CRC-verified frame body.
+    Frame(Vec<u8>),
+    /// Clean end-of-stream exactly on a frame boundary.
+    Eof,
+    /// The transport died mid-frame (partial bytes then EOF, or a read
+    /// error): a dead peer.
+    Death(String),
+    /// The bytes themselves are wrong (over-bound length prefix, CRC
+    /// mismatch): a buggy or corrupted peer — never tolerable, or a
+    /// deterministic producer would replay the same bad frame forever.
+    Corrupt(String),
+}
+
+/// Read and classify one frame: `len | body | crc32(body)`.
+fn read_frame_raw(conn: &mut NetConn, context: &str) -> FrameRead {
     let mut len_buf = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
         match conn.read(&mut len_buf[got..]) {
             Ok(0) => {
                 if got == 0 {
-                    return Ok(None);
+                    return FrameRead::Eof;
                 }
-                return Err(Error::exec(format!(
+                return FrameRead::Death(format!(
                     "{context}: disconnected inside a frame length prefix \
                      ({got} of 4 bytes)"
-                )));
+                ));
             }
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(io_err(context, e)),
+            Err(e) => return FrameRead::Death(io_err(context, e).to_string()),
         }
     }
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME_LEN {
-        return Err(Error::exec(format!(
+        return FrameRead::Corrupt(format!(
             "{context}: frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound \
              (corrupt length prefix?)"
-        )));
+        ));
     }
     let mut body = vec![0u8; len as usize + 4];
-    conn.read_exact(&mut body).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            Error::exec(format!("{context}: disconnected mid-frame"))
+    if let Err(e) = conn.read_exact(&mut body) {
+        return FrameRead::Death(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            format!("{context}: disconnected mid-frame")
         } else {
-            io_err(context, e)
-        }
-    })?;
+            io_err(context, e).to_string()
+        });
+    }
     let crc_wire = u32::from_le_bytes(body[len as usize..].try_into().unwrap());
     body.truncate(len as usize);
     let crc_body = crc32(&body);
     if crc_wire != crc_body {
-        return Err(Error::exec(format!(
+        return FrameRead::Corrupt(format!(
             "{context}: CRC mismatch (frame says {crc_wire:#010x}, body hashes \
              to {crc_body:#010x})"
-        )));
+        ));
     }
-    Ok(Some(body))
+    FrameRead::Frame(body)
 }
 
-/// Read and validate the connection preamble (magic + version).
+/// Read one frame body, verifying the length bound and the CRC.
 ///
-/// `Ok(false)` means the peer never spoke at all — it closed cleanly, or
-/// sat silent past the handshake read timeout, without sending a single
-/// byte. That is a port scan, a load-balancer health check, or a stray
-/// `nc`, not a producer; such connections are dropped silently. Anything
-/// that *sends* bytes and gets them wrong (or stalls mid-way) is a real
-/// protocol failure.
-fn read_preamble(conn: &mut NetConn, context: &str) -> Result<bool> {
+/// `Ok(None)` is a clean end-of-stream: the peer closed exactly on a
+/// frame boundary. EOF anywhere else — inside the length prefix, the
+/// body, or the trailing CRC — is a mid-frame disconnect and errors, as
+/// does corruption.
+fn read_frame(conn: &mut NetConn, context: &str) -> Result<Option<Vec<u8>>> {
+    match read_frame_raw(conn, context) {
+        FrameRead::Frame(body) => Ok(Some(body)),
+        FrameRead::Eof => Ok(None),
+        FrameRead::Death(msg) | FrameRead::Corrupt(msg) => Err(Error::exec(msg)),
+    }
+}
+
+/// How a connection preamble read ended. Protocol violations (bad
+/// magic, wrong version) stay `Err`: the peer *spoke* and got it wrong.
+enum Preamble {
+    /// Magic and version matched.
+    Valid,
+    /// The peer never sent a byte — it closed cleanly or sat silent
+    /// past the handshake read timeout. That is a port scan, a
+    /// load-balancer health check, or a stray `nc`, not a producer;
+    /// such connections are dropped silently.
+    Silent,
+    /// The transport died mid-preamble (partial bytes then EOF, or a
+    /// read error): a dead peer, not a wrong one. Carries the message
+    /// to surface when producer restarts are *not* tolerated.
+    Died(String),
+}
+
+/// Read and classify the connection preamble (magic + version).
+fn read_preamble(conn: &mut NetConn, context: &str) -> Result<Preamble> {
     let mut preamble = [0u8; 6];
     let mut got = 0usize;
     while got < preamble.len() {
         match conn.read(&mut preamble[got..]) {
-            Ok(0) if got == 0 => return Ok(false),
+            Ok(0) if got == 0 => return Ok(Preamble::Silent),
             Ok(0) => {
-                return Err(Error::exec(format!(
+                return Ok(Preamble::Died(format!(
                     "{context}: disconnected inside the preamble"
                 )))
             }
@@ -533,9 +570,9 @@ fn read_preamble(conn: &mut NetConn, context: &str) -> Result<bool> {
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
             {
-                return Ok(false)
+                return Ok(Preamble::Silent)
             }
-            Err(e) => return Err(io_err(context, e)),
+            Err(e) => return Ok(Preamble::Died(io_err(context, e).to_string())),
         }
     }
     if preamble[..4] != WIRE_MAGIC {
@@ -550,7 +587,7 @@ fn read_preamble(conn: &mut NetConn, context: &str) -> Result<bool> {
             "{context}: wire version {version} (this build speaks {WIRE_VERSION})"
         )));
     }
-    Ok(true)
+    Ok(Preamble::Valid)
 }
 
 // ---------------------------------------------------------------------------
@@ -586,6 +623,34 @@ pub struct NetConfig {
     /// Producer: how long a send may wait for acknowledgements when the
     /// replay spool is full.
     pub ack_wait: StdDuration,
+    /// Producer: minimum interval between `KEEPALIVE` frames sent by
+    /// [`NetPublisher::keepalive`]. `None` (the default) disables
+    /// keepalives entirely. Keepalives carry no events and do not move
+    /// offsets; they only prove the producer process is alive while it
+    /// has nothing to say.
+    pub keepalive: Option<StdDuration>,
+    /// Consumer: declare a **claimed, unfinished** partition's producer
+    /// dead when nothing (no data frame, no keepalive) has been heard
+    /// from it for this long, surfacing an error instead of idling
+    /// forever. `None` (the default) never gives up — a silent producer
+    /// and a dead one then look the same, which is exactly what
+    /// keepalives plus this limit disambiguate.
+    pub silence_limit: Option<StdDuration>,
+    /// Consumer: tolerate producer restarts. When set, a connection
+    /// whose transport dies mid-stream (clean close, mid-frame
+    /// disconnect, read error — including during the handshake window)
+    /// *releases* its partition instead of poisoning the pipeline: the
+    /// next producer to claim it resumes exactly at the consumer's
+    /// delivered offset (the handshake floor drops everything already
+    /// delivered, so a restarted deterministic producer just
+    /// re-publishes from the start). Corrupt bytes (bad CRC, over-bound
+    /// frame length) and in-frame protocol violations — offset gaps,
+    /// undeclared streams, a FINISH miscount — still poison: those are
+    /// *wrong* producers, not dead ones, and a deterministic wrong
+    /// producer would otherwise replay the same bad frame forever. Off
+    /// by default: a vanished producer is an error unless the
+    /// deployment plans for restarts.
+    pub producer_restarts: bool,
 }
 
 impl Default for NetConfig {
@@ -596,6 +661,9 @@ impl Default for NetConfig {
             connect_timeout: StdDuration::from_secs(10),
             poll_wait: StdDuration::from_secs(2),
             ack_wait: StdDuration::from_secs(10),
+            keepalive: None,
+            silence_limit: None,
+            producer_restarts: false,
         }
     }
 }
@@ -659,6 +727,8 @@ pub struct NetPublisher {
     finished: bool,
     /// FINISH has been written to the *current* connection.
     finish_sent: bool,
+    /// When the last KEEPALIVE frame went out.
+    last_keepalive: Option<Instant>,
 }
 
 impl NetPublisher {
@@ -686,6 +756,7 @@ impl NetPublisher {
             next_offset: 0,
             finished: false,
             finish_sent: false,
+            last_keepalive: None,
         }
     }
 
@@ -793,6 +864,59 @@ impl NetPublisher {
     /// Send any buffered partial frame now.
     pub fn flush(&mut self) -> Result<()> {
         self.pump(true)
+    }
+
+    /// Send a `KEEPALIVE` frame when one is due: at most once per
+    /// [`NetConfig::keepalive`] interval. A no-op when keepalives are
+    /// disabled. Call this from the producer's idle loop; paired with
+    /// the consumer's [`NetConfig::silence_limit`], it makes a *silent*
+    /// producer distinguishable from a *dead* one.
+    ///
+    /// Keepalives carry no events and move no offsets, and frames only
+    /// ever reach the wire whole — so sending one between data frames
+    /// is always legal, including while a *partial* data frame is still
+    /// buffered waiting to fill (buffered bytes the consumer has never
+    /// seen prove nothing about liveness).
+    ///
+    /// The first call also establishes the connection (claiming the
+    /// partition), so a producer with nothing to say yet still
+    /// announces itself. Write failures drop the connection and report
+    /// the error; the next data send (or keepalive) reconnects.
+    pub fn keepalive(&mut self) -> Result<()> {
+        let Some(interval) = self.config.keepalive else {
+            return Ok(());
+        };
+        if self.finished && self.finish_sent {
+            return Ok(());
+        }
+        let now = Instant::now();
+        if self
+            .last_keepalive
+            .is_some_and(|last| now.duration_since(last) < interval)
+        {
+            return Ok(());
+        }
+        let had_conn = self.conn.is_some() && !self.conn_dead.load(Ordering::Acquire);
+        let deadline = now + self.config.connect_timeout;
+        self.ensure_conn(deadline)?;
+        if !had_conn && self.unsent > 0 {
+            // Reconnecting rewound unacknowledged items: replaying them
+            // is better proof of life than an empty keepalive.
+            self.last_keepalive = Some(Instant::now());
+            return self.pump(true);
+        }
+        let context = format!("net publisher {}#{}", self.addr, self.partition);
+        let mut body = Vec::with_capacity(9);
+        body.push(KIND_KEEPALIVE);
+        put_u64(&mut body, self.send_cursor);
+        let mut conn = self.conn.take().expect("ensured above");
+        let result = write_frame(&mut conn, &context, &body);
+        match result {
+            Ok(()) => self.conn = Some(conn),
+            Err(_) => conn.shutdown(),
+        }
+        self.last_keepalive = Some(Instant::now());
+        result
     }
 
     /// Declare the partition complete: flush everything and send the
@@ -1278,6 +1402,10 @@ enum Decoded {
         events: Vec<SourceEvent>,
         watermark: Option<Ts>,
     },
+    /// A `KEEPALIVE` frame: the producer is alive but has nothing to
+    /// say. Carries no events and moves no offsets; it only refreshes
+    /// the partition's silence clock.
+    Keepalive,
     Finished,
     Failed(String),
 }
@@ -1288,11 +1416,18 @@ struct PartSlot {
     tx: Sender<Decoded>,
     /// Write half of the accepted connection, for `ACK` frames.
     writer: Mutex<Option<NetConn>>,
-    /// At most one connection may claim a partition per source lifetime.
+    /// At most one connection may hold a partition at a time. Without
+    /// [`NetConfig::producer_restarts`] the claim is for the source's
+    /// lifetime; with it, a dead connection releases the claim so a
+    /// restarted producer can take over.
     claimed: AtomicBool,
-    /// Offset announced in the handshake reply (set by seek before the
-    /// first poll; 0 for a fresh start).
+    /// Offset announced in the handshake reply: set by seek before the
+    /// first poll (0 for a fresh start), and advanced past every
+    /// delivered frame when producer restarts are tolerated, so a
+    /// reconnecting producer resumes exactly where the last one stopped.
     resume: AtomicU64,
+    /// The partition's FINISH arrived; no reconnect can ever matter.
+    finished: AtomicBool,
 }
 
 struct ListenerShared {
@@ -1306,6 +1441,8 @@ struct ListenerShared {
     /// Failures that cannot be attributed to a claimed partition (bad
     /// preamble, version mismatch, bogus HELLO): surfaced by every poll.
     failure: Mutex<Option<String>>,
+    /// [`NetConfig::producer_restarts`].
+    allow_restart: bool,
     shutdown: AtomicBool,
 }
 
@@ -1325,6 +1462,8 @@ impl ListenerShared {
 struct NetPartition {
     name: String,
     streams: Vec<String>,
+    /// This partition's index into `shared.parts`.
+    slot: usize,
     rx: Receiver<Decoded>,
     shared: Arc<ListenerShared>,
     /// Events of the frame currently being emitted.
@@ -1334,6 +1473,11 @@ struct NetPartition {
     finished: bool,
     failed: Option<String>,
     poll_wait: StdDuration,
+    /// [`NetConfig::silence_limit`].
+    silence_limit: Option<StdDuration>,
+    /// Last time anything (frame or keepalive) arrived from a claimed
+    /// producer; starts when the claim is first observed.
+    last_heard: Option<Instant>,
 }
 
 impl NetPartition {
@@ -1342,6 +1486,34 @@ impl NetPartition {
             return Err(Error::exec(msg.clone()));
         }
         if let Some(msg) = self.shared.failure.lock().unwrap().clone() {
+            self.failed = Some(msg.clone());
+            return Err(Error::exec(msg));
+        }
+        Ok(())
+    }
+
+    /// Enforce [`NetConfig::silence_limit`]: once a producer has claimed
+    /// this partition, it must keep talking (data or keepalives). Called
+    /// when a poll comes up empty.
+    fn check_silence(&mut self) -> Result<()> {
+        let Some(limit) = self.silence_limit else {
+            return Ok(());
+        };
+        if self.finished || !self.shared.parts[self.slot].claimed.load(Ordering::Acquire) {
+            // An unclaimed partition is *waiting*, not silent: no
+            // producer has promised liveness yet (or the old one died
+            // and a restart is being tolerated).
+            self.last_heard = None;
+            return Ok(());
+        }
+        let since = self.last_heard.get_or_insert_with(Instant::now).elapsed();
+        if since > limit {
+            let msg = format!(
+                "{}: producer silent for {since:?} (silence limit {limit:?}); \
+                 presumed dead — enable keepalives on the producer if it is \
+                 legitimately quiet",
+                self.name
+            );
             self.failed = Some(msg.clone());
             return Err(Error::exec(msg));
         }
@@ -1379,14 +1551,24 @@ impl Source for NetPartition {
                 Ok(Decoded::Batch { events, watermark }) => {
                     self.pending.extend(events);
                     self.pending_wm = watermark;
+                    self.last_heard = Some(Instant::now());
                     received = true;
                 }
-                Ok(Decoded::Finished) => self.finished = true,
+                Ok(Decoded::Keepalive) => {
+                    // Proof of life, nothing to deliver.
+                    self.last_heard = Some(Instant::now());
+                    return Ok(SourceBatch::empty(SourceStatus::Idle));
+                }
+                Ok(Decoded::Finished) => {
+                    self.finished = true;
+                    self.last_heard = Some(Instant::now());
+                }
                 Ok(Decoded::Failed(msg)) => {
                     self.failed = Some(msg.clone());
                     return Err(Error::exec(msg));
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.check_silence()?;
                     return Ok(SourceBatch::empty(SourceStatus::Idle));
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -1465,6 +1647,7 @@ impl PartitionedNetSource {
                 writer: Mutex::new(None),
                 claimed: AtomicBool::new(false),
                 resume: AtomicU64::new(0),
+                finished: AtomicBool::new(false),
             });
             receivers.push(rx);
         }
@@ -1474,6 +1657,7 @@ impl PartitionedNetSource {
             parts,
             ready: (Mutex::new(false), Condvar::new()),
             failure: Mutex::new(None),
+            allow_restart: config.producer_restarts,
             shutdown: AtomicBool::new(false),
         });
         spawn_acceptor(listener, shared.clone());
@@ -1483,6 +1667,7 @@ impl PartitionedNetSource {
             .map(|(p, rx)| NetPartition {
                 name: format!("{name}#{p}"),
                 streams: streams.clone(),
+                slot: p,
                 rx,
                 shared: shared.clone(),
                 pending: VecDeque::new(),
@@ -1490,6 +1675,8 @@ impl PartitionedNetSource {
                 finished: false,
                 failed: None,
                 poll_wait: config.poll_wait,
+                silence_limit: config.silence_limit,
+                last_heard: None,
             })
             .collect();
         Ok(PartitionedNetSource {
@@ -1600,15 +1787,22 @@ fn spawn_acceptor(listener: NetListener, shared: Arc<ListenerShared>) {
             if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            // One connection per partition per source lifetime: once
-            // every partition is claimed no further accept can ever be
-            // useful, so stop polling (and close the listener) instead
-            // of burning wakeups for the rest of the pipeline's life.
-            if shared
-                .parts
-                .iter()
-                .all(|p| p.claimed.load(Ordering::Acquire))
-            {
+            // Stop polling (and close the listener) once no further
+            // accept can ever be useful: with restarts tolerated, that
+            // is when every partition has FINISHed; without, one
+            // connection per partition per source lifetime suffices.
+            let done = if shared.allow_restart {
+                shared
+                    .parts
+                    .iter()
+                    .all(|p| p.finished.load(Ordering::Acquire))
+            } else {
+                shared
+                    .parts
+                    .iter()
+                    .all(|p| p.claimed.load(Ordering::Acquire))
+            };
+            if done {
                 return;
             }
             match listener.accept() {
@@ -1640,8 +1834,18 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
     // forever.
     let _ = conn.set_read_timeout(Some(StdDuration::from_secs(30)));
     match read_preamble(&mut conn, &context) {
-        Ok(true) => {}
-        Ok(false) => {
+        Ok(Preamble::Valid) => {}
+        Ok(Preamble::Silent) => {
+            conn.shutdown();
+            return;
+        }
+        // A transport death this early claimed nothing: with restarts
+        // tolerated the producer's next incarnation simply reconnects,
+        // so there is nothing to fail.
+        Ok(Preamble::Died(msg)) => {
+            if !shared.allow_restart {
+                shared.fail(msg);
+            }
             conn.shutdown();
             return;
         }
@@ -1651,15 +1855,27 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
             return;
         }
     }
-    let hello = match read_frame(&mut conn, &context) {
-        Ok(Some(body)) => body,
-        Ok(None) => {
-            shared.fail(format!("{context}: peer closed before HELLO"));
+    let hello = match read_frame_raw(&mut conn, &context) {
+        FrameRead::Frame(body) => body,
+        // Same classification as the preamble: dying between preamble
+        // and HELLO is a dead peer (tolerable), not a wrong one.
+        FrameRead::Eof => {
+            if !shared.allow_restart {
+                shared.fail(format!("{context}: peer closed before HELLO"));
+            }
             conn.shutdown();
             return;
         }
-        Err(e) => {
-            shared.fail(e.to_string());
+        FrameRead::Death(msg) => {
+            if !shared.allow_restart {
+                shared.fail(msg);
+            }
+            conn.shutdown();
+            return;
+        }
+        // Corrupt bytes are a wrong peer, restarts or not.
+        FrameRead::Corrupt(msg) => {
+            shared.fail(msg);
             conn.shutdown();
             return;
         }
@@ -1690,12 +1906,43 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
         return;
     }
     let slot = &shared.parts[partition];
-    if slot.claimed.swap(true, Ordering::AcqRel) {
-        shared.fail(format!(
-            "{context}: partition {partition} claimed by a second connection"
-        ));
-        conn.shutdown();
-        return;
+    if slot.claimed.swap(true, Ordering::AcqRel)
+        // A FINISHed partition keeps its claim forever, but a restarted
+        // producer may legitimately reconnect to it (it re-publishes its
+        // whole deterministic stream): serve it — the resume floor equals
+        // the final offset, so nothing replays and its FINISH
+        // re-validates against the same count.
+        && !(shared.allow_restart && slot.finished.load(Ordering::Acquire))
+    {
+        // With restarts tolerated, the replacement producer may connect
+        // before the dead connection's reader has released the claim:
+        // give the release a bounded window before calling it a genuine
+        // double-claim.
+        let deadline = Instant::now() + StdDuration::from_secs(10);
+        let acquired = shared.allow_restart
+            && loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    conn.shutdown();
+                    return;
+                }
+                if !slot.claimed.swap(true, Ordering::AcqRel) {
+                    break true;
+                }
+                if shared.allow_restart && slot.finished.load(Ordering::Acquire) {
+                    break true; // FINISH raced the wait: serve (above)
+                }
+                if Instant::now() >= deadline {
+                    break false;
+                }
+                std::thread::sleep(StdDuration::from_millis(5));
+            };
+        if !acquired {
+            shared.fail(format!(
+                "{context}: partition {partition} claimed by a second connection"
+            ));
+            conn.shutdown();
+            return;
+        }
     }
 
     // Hold the reply until the consumer driver is running: a checkpoint
@@ -1717,10 +1964,24 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
     }
     let resume = slot.resume.load(Ordering::Acquire);
     let tx = slot.tx.clone();
+    // Release this connection's claim so a restarted producer can take
+    // over mid-stream: record where delivery stopped (the handshake
+    // floor for the next connection), drop the ack writer, then free the
+    // claim — strictly in that order, since a new connection may claim
+    // the instant the flag drops and must read the updated resume.
+    let release_for_restart = |expected: u64| {
+        slot.resume.store(expected, Ordering::Release);
+        *slot.writer.lock().unwrap() = None;
+        slot.claimed.store(false, Ordering::Release);
+    };
     match conn.try_clone() {
         Ok(writer) => *slot.writer.lock().unwrap() = Some(writer),
         Err(e) => {
-            let _ = tx.send(Decoded::Failed(format!("{context}: {e}")));
+            if shared.allow_restart {
+                release_for_restart(resume);
+            } else {
+                let _ = tx.send(Decoded::Failed(format!("{context}: {e}")));
+            }
             conn.shutdown();
             return;
         }
@@ -1729,7 +1990,14 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
     body.push(KIND_HELLO_ACK);
     put_u64(&mut body, resume);
     if let Err(e) = write_frame(&mut conn, &context, &body) {
-        let _ = tx.send(Decoded::Failed(e.to_string()));
+        // The producer died before hearing HELLO_ACK: nothing was
+        // delivered on this connection, so with restarts tolerated the
+        // partition is simply released for its next incarnation.
+        if shared.allow_restart {
+            release_for_restart(resume);
+        } else {
+            let _ = tx.send(Decoded::Failed(e.to_string()));
+        }
         conn.shutdown();
         return;
     }
@@ -1738,33 +2006,65 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
     let context = format!("{context}#{partition}");
     let mut expected = resume;
     loop {
-        match read_frame(&mut conn, &context) {
-            Ok(Some(body)) => match parse_data_frame(&body, &context, &mut expected, &shared) {
-                Ok(Some(decoded)) => {
-                    let finished = matches!(decoded, Decoded::Finished);
-                    if tx.send(decoded).is_err() {
-                        return; // source dropped
+        match read_frame_raw(&mut conn, &context) {
+            FrameRead::Frame(body) => {
+                match parse_data_frame(&body, &context, &mut expected, &shared) {
+                    Ok(Some(decoded)) => {
+                        let finished = matches!(decoded, Decoded::Finished);
+                        if tx.send(decoded).is_err() {
+                            return; // source dropped
+                        }
+                        if finished {
+                            // Publish the final offset as the resume floor
+                            // first, so a restarted producer reconnecting to
+                            // this finished partition replays nothing.
+                            slot.resume.store(expected, Ordering::Release);
+                            slot.finished.store(true, Ordering::Release);
+                            return; // writer half stays in the slot for acks
+                        }
                     }
-                    if finished {
-                        return; // writer half stays in the slot for acks
+                    Ok(None) => {}
+                    // An in-frame protocol violation (offset gap, undeclared
+                    // stream, FINISH miscount): the producer is *wrong*, not
+                    // merely gone — always poison, restarts or not.
+                    Err(e) => {
+                        let _ = tx.send(Decoded::Failed(e.to_string()));
+                        conn.shutdown();
+                        return;
                     }
                 }
-                Ok(None) => {}
-                Err(e) => {
-                    let _ = tx.send(Decoded::Failed(e.to_string()));
-                    conn.shutdown();
+            }
+            // Transport-level death — clean close or a failed read. With
+            // restarts tolerated the partition is released for the
+            // producer's next incarnation (offset continuity is still
+            // enforced: its frames must resume at `expected`); otherwise
+            // the pipeline poisons.
+            FrameRead::Eof => {
+                if shared.allow_restart {
+                    release_for_restart(expected);
                     return;
                 }
-            },
-            Ok(None) => {
                 let _ = tx.send(Decoded::Failed(format!(
                     "{context}: producer disconnected before FINISH \
                      (offset {expected})"
                 )));
                 return;
             }
-            Err(e) => {
-                let _ = tx.send(Decoded::Failed(e.to_string()));
+            FrameRead::Death(msg) => {
+                if shared.allow_restart {
+                    conn.shutdown();
+                    release_for_restart(expected);
+                    return;
+                }
+                let _ = tx.send(Decoded::Failed(msg));
+                conn.shutdown();
+                return;
+            }
+            // Corrupt bytes always poison: releasing instead would let a
+            // deterministic producer replay the same bad frame forever,
+            // stalling the pipeline with zero diagnostics.
+            FrameRead::Corrupt(msg) => {
+                let _ = tx.send(Decoded::Failed(msg));
                 conn.shutdown();
                 return;
             }
@@ -1795,8 +2095,7 @@ fn parse_hello(body: &[u8]) -> Result<(usize, Vec<String>)> {
 }
 
 /// Decode a post-handshake frame into a channel message, enforcing offset
-/// continuity. `Ok(None)` means "nothing to forward" (never currently
-/// produced, reserved for keepalives).
+/// continuity. `Ok(None)` means "nothing to forward".
 fn parse_data_frame(
     body: &[u8],
     context: &str,
@@ -1850,6 +2149,13 @@ fn parse_data_frame(
                 )));
             }
             Ok(Some(Decoded::Finished))
+        }
+        KIND_KEEPALIVE => {
+            // Proof of life only: the payload (the producer's send
+            // cursor) is informational and the frame moves no offsets.
+            let _cursor = reader.u64()?;
+            reader.done()?;
+            Ok(Some(Decoded::Keepalive))
         }
         kind => Err(Error::exec(format!(
             "{context}: unexpected frame kind {kind} after handshake"
@@ -2377,6 +2683,317 @@ mod tests {
         }
         assert_eq!(events, 64);
         assert_eq!(producer.join().unwrap(), 64, "drained without checkpoints");
+    }
+
+    #[test]
+    fn silent_claimed_producer_trips_silence_limit() {
+        // A producer that handshakes and then says nothing must become
+        // an error once silence_limit elapses — that is what makes a
+        // hung producer distinguishable from a merely quiet one.
+        let mut source = PartitionedNetSource::bind(
+            NetAddr::tcp("127.0.0.1:0"),
+            vec!["S".to_string()],
+            1,
+            NetConfig {
+                poll_wait: StdDuration::from_millis(50),
+                silence_limit: Some(StdDuration::from_millis(250)),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let conn = raw_handshake(&addr, &["S"]);
+            std::thread::sleep(StdDuration::from_secs(3));
+            conn.shutdown();
+        });
+        let err = poll_until_err(&mut source);
+        assert!(err.contains("silent"), "{err}");
+        assert!(err.contains("presumed dead"), "{err}");
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn keepalives_keep_a_quiet_producer_alive() {
+        // The same silence limit, but the producer sends KEEPALIVE
+        // frames while it has nothing to say: no error, and the data it
+        // eventually sends arrives normally. The quiet phase holds a
+        // *partial* data frame (1 event < batch_events) — buffered bytes
+        // the consumer has never seen must not suppress keepalives.
+        let mut source = PartitionedNetSource::bind(
+            NetAddr::tcp("127.0.0.1:0"),
+            vec!["S".to_string()],
+            1,
+            NetConfig {
+                poll_wait: StdDuration::from_millis(50),
+                silence_limit: Some(StdDuration::from_millis(400)),
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        let producer = std::thread::spawn(move || {
+            let mut publisher = NetPublisher::new(
+                addr,
+                0,
+                vec!["S".to_string()],
+                NetConfig {
+                    keepalive: Some(StdDuration::from_millis(50)),
+                    ..test_config() // batch_events = 4
+                },
+            );
+            // Announce first (connection + claim), then buffer one
+            // event of an unclosed frame.
+            publisher.keepalive().unwrap();
+            publisher.insert(0, Ts(0), row!(0i64)).unwrap();
+            // Quiet for well past the silence limit, but heartbeating,
+            // with the partial frame still buffered.
+            let quiet_until = Instant::now() + StdDuration::from_millis(900);
+            while Instant::now() < quiet_until {
+                publisher.keepalive().unwrap();
+                std::thread::sleep(StdDuration::from_millis(20));
+            }
+            for i in 1..4i64 {
+                publisher.insert(0, Ts(i), row!(i)).unwrap();
+            }
+            publisher.finish().unwrap();
+        });
+        let mut events = 0;
+        for _ in 0..400 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            events += batch.events.len();
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(events, 4, "the deferred events still arrived");
+    }
+
+    #[test]
+    fn corruption_poisons_even_with_producer_restarts() {
+        // Restart tolerance forgives dead peers, never wrong ones: a
+        // corrupt frame must poison, or a deterministic producer would
+        // replay the same bad bytes forever with zero diagnostics.
+        let mut source = PartitionedNetSource::bind(
+            NetAddr::tcp("127.0.0.1:0"),
+            vec!["S".to_string()],
+            1,
+            NetConfig {
+                producer_restarts: true,
+                ..test_config()
+            },
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake(&addr, &["S"]);
+            let mut body = vec![KIND_BATCH];
+            put_u64(&mut body, 0);
+            body.push(0);
+            put_i64(&mut body, 0);
+            put_u32(&mut body, 0);
+            let mut wire = Vec::new();
+            put_u32(&mut wire, body.len() as u32);
+            wire.extend_from_slice(&body);
+            put_u32(&mut wire, crc32(&body) ^ 0xBAD_C0DE);
+            conn.write_all(&wire).unwrap();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("CRC mismatch"), "{err}");
+    }
+
+    #[test]
+    fn producer_restart_resumes_at_delivered_offset() {
+        // With producer_restarts, a producer that dies mid-stream
+        // releases its partition; its restarted (deterministic)
+        // incarnation re-publishes from the start and the handshake
+        // floor drops everything already delivered.
+        let config = NetConfig {
+            producer_restarts: true,
+            ..test_config()
+        };
+        let mut source = PartitionedNetSource::bind(
+            NetAddr::tcp("127.0.0.1:0"),
+            vec!["S".to_string()],
+            1,
+            config,
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        // Incarnation 1: exactly one full frame (batch_events = 4),
+        // then killed without FINISH.
+        let first = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut publisher =
+                    NetPublisher::new(addr, 0, vec!["S".to_string()], test_config());
+                for i in 0..4i64 {
+                    publisher.insert(0, Ts(i), row!(i)).unwrap();
+                }
+                // Dropped here: the crash.
+            })
+        };
+        let mut events = Vec::new();
+        while events.len() < 4 {
+            events.extend(source.poll_partition(0, 16).unwrap().events);
+        }
+        first.join().unwrap();
+
+        // Incarnation 2: regenerates the whole stream and finishes.
+        let second = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut publisher =
+                    NetPublisher::new(addr, 0, vec!["S".to_string()], test_config());
+                for i in 0..8i64 {
+                    publisher.insert(0, Ts(i), row!(i)).unwrap();
+                }
+                publisher.finish().unwrap();
+            })
+        };
+        for _ in 0..400 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            events.extend(batch.events);
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        second.join().unwrap();
+        let values: Vec<i64> = events
+            .iter()
+            .map(|e| e.change.row.value(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(
+            values,
+            (0..8).collect::<Vec<i64>>(),
+            "already-delivered events must not replay, later ones must"
+        );
+        assert_eq!(source.offset(0), 8);
+    }
+
+    #[test]
+    fn restarted_producer_reconnecting_to_finished_partition_is_served() {
+        // A producer FINISHes partition 0 but dies with partition 1
+        // mid-stream; its restarted incarnation re-publishes its whole
+        // deterministic stream — *including* the already-finished
+        // partition 0. That reconnect must be served (floor == final
+        // offset, FINISH re-validates), not treated as a double-claim
+        // that poisons the still-streaming partition 1.
+        let config = NetConfig {
+            producer_restarts: true,
+            ..test_config()
+        };
+        let mut source = PartitionedNetSource::bind(
+            NetAddr::tcp("127.0.0.1:0"),
+            vec!["S".to_string()],
+            2,
+            config,
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        let first = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut p0 =
+                    NetPublisher::new(addr.clone(), 0, vec!["S".to_string()], test_config());
+                let mut p1 = NetPublisher::new(addr, 1, vec!["S".to_string()], test_config());
+                for i in 0..4i64 {
+                    p0.insert(0, Ts(i), row!(i)).unwrap();
+                }
+                p0.finish().unwrap();
+                for i in 0..4i64 {
+                    p1.insert(0, Ts(i), row!(i)).unwrap();
+                }
+                // p1 never finishes: the whole producer dies here.
+            })
+        };
+        let (mut done0, mut got1) = (false, 0usize);
+        while !done0 || got1 < 4 {
+            let b0 = source.poll_partition(0, 16).unwrap();
+            done0 |= b0.status == SourceStatus::Finished;
+            got1 += source.poll_partition(1, 16).unwrap().events.len();
+        }
+        first.join().unwrap();
+
+        // The restart: republish everything on both partitions.
+        let second = std::thread::spawn(move || {
+            let mut p0 = NetPublisher::new(addr.clone(), 0, vec!["S".to_string()], test_config());
+            let mut p1 = NetPublisher::new(addr, 1, vec!["S".to_string()], test_config());
+            for i in 0..4i64 {
+                p0.insert(0, Ts(i), row!(i)).unwrap();
+            }
+            p0.finish().unwrap();
+            for i in 0..8i64 {
+                p1.insert(0, Ts(i), row!(i)).unwrap();
+            }
+            p1.finish().unwrap();
+            (p0.acked(), p1.acked())
+        });
+        let mut events1 = got1;
+        for _ in 0..400 {
+            let batch = source.poll_partition(1, 16).unwrap();
+            events1 += batch.events.len();
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        let (acked0, _acked1) = second.join().unwrap();
+        assert_eq!(acked0, 4, "floor covered partition 0's replay");
+        assert_eq!(events1, 8, "partition 1 resumed at its delivered offset");
+        // Partition 0 is still cleanly finished — nothing replayed, no
+        // poison anywhere.
+        let batch = source.poll_partition(0, 16).unwrap();
+        assert_eq!(batch.status, SourceStatus::Finished);
+        assert!(batch.events.is_empty());
+        assert_eq!(source.offset(0), 4);
+        assert_eq!(source.offset(1), 8);
+    }
+
+    #[test]
+    fn handshake_window_death_tolerated_with_producer_restarts() {
+        // A producer killed between the preamble and HELLO (or before
+        // hearing HELLO_ACK) claimed nothing durable; with restarts
+        // tolerated its next incarnation must simply work — no poison.
+        let mut source = PartitionedNetSource::bind(
+            NetAddr::tcp("127.0.0.1:0"),
+            vec!["S".to_string()],
+            1,
+            NetConfig {
+                producer_restarts: true,
+                ..test_config()
+            },
+        )
+        .unwrap();
+        let addr = source.local_addr();
+        {
+            // Dies right after the preamble.
+            let mut conn = addr.connect().unwrap();
+            conn.write_all(&WIRE_MAGIC).unwrap();
+            conn.write_all(&WIRE_VERSION.to_le_bytes()).unwrap();
+            conn.shutdown();
+        }
+        std::thread::sleep(StdDuration::from_millis(50));
+        let producer = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut publisher =
+                    NetPublisher::new(addr, 0, vec!["S".to_string()], test_config());
+                publisher.insert(0, Ts(0), row!(1i64)).unwrap();
+                publisher.finish().unwrap();
+            })
+        };
+        let mut events = 0;
+        for _ in 0..200 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            events += batch.events.len();
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(events, 1, "the restarted producer streams normally");
     }
 
     #[test]

@@ -93,6 +93,13 @@ use onesql_types::{Duration, Error, Result, Ts};
 
 use crate::query::RunningQuery;
 
+pub mod registry;
+
+pub use registry::{
+    AnySource, ConnectorRegistry, Exports, OptionBag, SinkConnector, SinkSpec, SourceConnector,
+    SourceSpec,
+};
+
 /// What a source reports after a poll; drives the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SourceStatus {

@@ -131,11 +131,38 @@ impl Engine {
         schema: StreamBuilder,
         table: TemporalTable,
     ) {
+        self.register_temporal_table_schema(name, schema.build(), table)
+    }
+
+    /// Register a temporal table from an explicit schema (the DDL path).
+    pub fn register_temporal_table_schema(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        table: TemporalTable,
+    ) {
         let name = name.into();
         self.catalog
-            .register(&name, Arc::new(schema.build()), TableKind::Table);
+            .register(&name, Arc::new(schema), TableKind::Table);
         self.tables
             .insert(name.to_ascii_lowercase(), TableData::Temporal(table));
+    }
+
+    /// The relation catalog (for statement binding).
+    pub(crate) fn catalog(&self) -> &MemoryCatalog {
+        &self.catalog
+    }
+
+    /// Unregister a relation (stream or table). Errors when the name is
+    /// unknown.
+    pub fn drop_relation(&mut self, name: &str) -> Result<()> {
+        if !self.catalog.remove(name) {
+            return Err(Error::catalog(format!(
+                "cannot drop '{name}': no such relation"
+            )));
+        }
+        self.tables.remove(&name.to_ascii_lowercase());
+        Ok(())
     }
 
     /// Mutably borrow a registered temporal table (to apply new versions).
@@ -160,12 +187,7 @@ impl Engine {
 
     /// Render the optimized logical plan (EXPLAIN).
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let q = self.plan(sql)?;
-        let mut out = q.plan.to_string();
-        if q.emit != onesql_plan::EmitSpec::default() {
-            out.push_str(&format!("Emit: {:?}\n", q.emit));
-        }
-        Ok(out)
+        Ok(self.plan(sql)?.explain())
     }
 
     /// Plan and start executing a query. Static tables referenced by the
@@ -310,6 +332,15 @@ impl Engine {
             driver.attach_sink(sink)?;
         }
         Ok(driver)
+    }
+
+    /// Drop every connector attached since the last pipeline was built
+    /// (cleanup after a failed assembly, so stale connectors cannot leak
+    /// into the next pipeline).
+    pub fn discard_pending_connectors(&mut self) {
+        self.pending_sources.clear();
+        self.pending_partitioned.clear();
+        self.pending_sinks.clear();
     }
 
     fn stream_schemas(&self) -> BTreeMap<String, SchemaRef> {

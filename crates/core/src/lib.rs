@@ -36,16 +36,19 @@ pub mod connect;
 pub mod engine;
 pub mod parallel;
 pub mod query;
+pub mod session;
 pub mod shard;
 
 pub use connect::{
-    AdaptiveBatch, BatchController, DriverConfig, PartitionedSource, PipelineDriver,
-    PipelineMetrics, SinglePartition, Sink, Source, SourceBatch, SourceEvent, SourceMetrics,
+    AdaptiveBatch, AnySource, BatchController, ConnectorRegistry, DriverConfig, Exports, OptionBag,
+    PartitionedSource, PipelineDriver, PipelineMetrics, SinglePartition, Sink, SinkConnector,
+    SinkSpec, Source, SourceBatch, SourceConnector, SourceEvent, SourceMetrics, SourceSpec,
     SourceStatus,
 };
 pub use engine::{Engine, StreamBuilder};
 pub use parallel::{PartitionedQuery, StableHasher};
 pub use query::RunningQuery;
+pub use session::{ScriptOutcome, Session, SqlPipeline, StatementResult};
 pub use shard::{PipelineCheckpoint, ShardedConfig, ShardedPipelineDriver};
 
 pub use onesql_exec::{ExecConfig, StreamRow};

@@ -1,0 +1,835 @@
+//! The SQL-first session: *one SQL* for queries **and** topology.
+//!
+//! The paper's thesis is that tables, streams, and materialization
+//! controls belong in one SQL dialect. [`Session`] extends that to the
+//! pipeline boundary: `CREATE SOURCE` / `CREATE SINK` declare connectors
+//! in the SQL text, and `INSERT INTO <sink> SELECT ... EMIT ...`
+//! assembles a running pipeline — sharded exactly when the bound source
+//! is partitioned — so an end-to-end job is one script through
+//! [`Session::execute_script`], with no imperative wiring.
+//!
+//! Definitions persist: a `CREATE` mutates the session catalog, later
+//! statements (in the same or a later script) bind against it, and every
+//! `INSERT` instantiates fresh connectors from the stored definitions.
+//! Pipeline assembly itself goes through the same [`crate::Engine`]
+//! attach/run methods the imperative API uses, so there is exactly one
+//! wiring code path.
+//!
+//! Connector factories come from a [`ConnectorRegistry`] — the
+//! `onesql-connect` crate registers the built-in families (`file`,
+//! `channel`, `nexmark`, `net`, ...) via its `default_registry()`.
+//!
+//! # Example
+//!
+//! A custom one-column counter connector, registered and then driven
+//! entirely from SQL:
+//!
+//! ```
+//! use onesql_core::connect::{
+//!     AnySource, ConnectorRegistry, Exports, OptionBag, Sink, SinkConnector, SinkSpec,
+//!     Source, SourceBatch, SourceConnector, SourceEvent, SourceSpec, SourceStatus,
+//! };
+//! use onesql_core::session::Session;
+//! use onesql_types::{row, Result, SchemaRef, Ts};
+//! use std::sync::{Arc, Mutex};
+//!
+//! struct Counter(i64, i64, Vec<String>);
+//! impl Source for Counter {
+//!     fn name(&self) -> &str {
+//!         "counter"
+//!     }
+//!     fn streams(&self) -> &[String] {
+//!         &self.2
+//!     }
+//!     fn poll_batch(&mut self, max: usize) -> Result<SourceBatch> {
+//!         let mut batch = SourceBatch::empty(SourceStatus::Ready);
+//!         while self.0 < self.1 && batch.events.len() < max {
+//!             batch.events.push(SourceEvent {
+//!                 stream: 0,
+//!                 ptime: Ts(self.0),
+//!                 change: onesql_tvr::Change::insert(row!(self.0)),
+//!             });
+//!             self.0 += 1;
+//!         }
+//!         if self.0 == self.1 {
+//!             batch.status = SourceStatus::Finished;
+//!         }
+//!         Ok(batch)
+//!     }
+//! }
+//!
+//! struct CounterConnector;
+//! impl SourceConnector for CounterConnector {
+//!     fn declare(
+//!         &self,
+//!         spec: &SourceSpec,
+//!         options: &mut OptionBag,
+//!     ) -> Result<Vec<(String, SchemaRef)>> {
+//!         options.require_u64("events")?;
+//!         let schema = spec.schema.clone().expect("declare with a column list");
+//!         Ok(vec![(spec.name.to_string(), schema)])
+//!     }
+//!     fn build(
+//!         &self,
+//!         spec: &SourceSpec,
+//!         options: &mut OptionBag,
+//!         _exports: &mut Exports,
+//!     ) -> Result<AnySource> {
+//!         let events = options.require_u64("events")? as i64;
+//!         let streams = vec![spec.name.to_string()];
+//!         Ok(AnySource::Plain(Box::new(Counter(0, events, streams))))
+//!     }
+//! }
+//!
+//! struct Collect(Arc<Mutex<Vec<i64>>>);
+//! impl Sink for Collect {
+//!     fn name(&self) -> &str {
+//!         "collect"
+//!     }
+//!     fn write(&mut self, rows: &[onesql_core::StreamRow]) -> Result<()> {
+//!         let mut out = self.0.lock().unwrap();
+//!         for r in rows {
+//!             out.push(r.row.value(0)?.as_int()?);
+//!         }
+//!         Ok(())
+//!     }
+//! }
+//!
+//! struct CollectConnector;
+//! impl SinkConnector for CollectConnector {
+//!     fn declare(&self, _spec: &SinkSpec, _options: &mut OptionBag) -> Result<()> {
+//!         Ok(())
+//!     }
+//!     fn build(
+//!         &self,
+//!         _spec: &SinkSpec,
+//!         _options: &mut OptionBag,
+//!         exports: &mut Exports,
+//!     ) -> Result<Box<dyn Sink>> {
+//!         let rows = Arc::new(Mutex::new(Vec::new()));
+//!         exports.put(rows.clone());
+//!         Ok(Box::new(Collect(rows)))
+//!     }
+//! }
+//!
+//! let mut registry = ConnectorRegistry::new();
+//! registry.register_source("counter", CounterConnector);
+//! registry.register_sink("collect", CollectConnector);
+//!
+//! let mut session = Session::new(registry);
+//! let outcome = session
+//!     .execute_script(
+//!         "CREATE SOURCE Numbers (n INT) WITH (connector = 'counter', events = 10);
+//!          CREATE SINK out WITH (connector = 'collect');
+//!          INSERT INTO out SELECT n FROM Numbers WHERE n % 2 = 0;",
+//!     )
+//!     .unwrap();
+//! let mut pipeline = outcome.into_pipeline().unwrap();
+//! let collected = session
+//!     .take_handle::<Arc<Mutex<Vec<i64>>>>("out")
+//!     .expect("the collect sink exported its buffer");
+//! pipeline.run().unwrap();
+//! assert_eq!(*collected.lock().unwrap(), vec![0, 2, 4, 6, 8]);
+//! ```
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use onesql_plan::statement::referenced_relations;
+use onesql_plan::{bind_statement, BoundStatement, Catalog, ConnectorOptions, TableKind};
+use onesql_sql::ast::{DropKind, Statement};
+use onesql_state::TemporalTable;
+use onesql_types::{Error, Result, SchemaRef};
+
+use crate::connect::registry::{
+    AnySource, ConnectorRegistry, Exports, OptionBag, SinkSpec, SourceSpec,
+};
+use crate::connect::{DriverConfig, PipelineDriver, PipelineMetrics};
+use crate::engine::Engine;
+use crate::query::RunningQuery;
+use crate::shard::{ShardedConfig, ShardedPipelineDriver};
+
+/// Handle-store key: kind-prefixed so a source and a sink sharing a
+/// name cannot clobber each other's exported handles.
+fn handle_key(kind: &str, name: &str) -> String {
+    format!("{kind}:{}", name.to_ascii_lowercase())
+}
+
+/// A stored `CREATE SOURCE` definition: enough to instantiate a fresh
+/// connector per `INSERT`.
+struct SourceDef {
+    /// Name as written in the DDL.
+    name: String,
+    connector: String,
+    partitioned: bool,
+    /// Inline DDL schema, if one was declared.
+    schema: Option<SchemaRef>,
+    /// Lowercased stream names the connector feeds (from `declare`).
+    streams: Vec<String>,
+    /// The subset of `streams` this CREATE itself registered in the
+    /// catalog (vs. pre-existing ones), unregistered again on DROP.
+    registered: Vec<String>,
+    options: ConnectorOptions,
+}
+
+/// A stored `CREATE SINK` definition.
+struct SinkDef {
+    name: String,
+    connector: String,
+    options: ConnectorOptions,
+}
+
+/// A pipeline assembled by `INSERT INTO ... SELECT`: the plain driver, or
+/// the sharded one when the bound source was partitioned.
+pub enum SqlPipeline {
+    /// Unsharded [`PipelineDriver`].
+    Plain(Box<PipelineDriver>),
+    /// Sharded, checkpointable [`ShardedPipelineDriver`].
+    Sharded(Box<ShardedPipelineDriver>),
+}
+
+impl SqlPipeline {
+    /// Whether the sharded driver is underneath.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, SqlPipeline::Sharded(_))
+    }
+
+    /// One scheduling round; see the drivers' `step`.
+    pub fn step(&mut self) -> Result<usize> {
+        match self {
+            SqlPipeline::Plain(d) => d.step(),
+            SqlPipeline::Sharded(d) => d.step(),
+        }
+    }
+
+    /// Run until every source finishes; returns the final metrics.
+    pub fn run(&mut self) -> Result<PipelineMetrics> {
+        match self {
+            SqlPipeline::Plain(d) => d.run().cloned(),
+            SqlPipeline::Sharded(d) => d.run().cloned(),
+        }
+    }
+
+    /// Declare the pipeline complete (flush gates, drain, flush sinks).
+    pub fn finish(&mut self) -> Result<()> {
+        match self {
+            SqlPipeline::Plain(d) => d.finish(),
+            SqlPipeline::Sharded(d) => d.finish(),
+        }
+    }
+
+    /// Current accounting.
+    pub fn metrics(&mut self) -> PipelineMetrics {
+        match self {
+            SqlPipeline::Plain(d) => d.metrics().clone(),
+            SqlPipeline::Sharded(d) => d.metrics().clone(),
+        }
+    }
+
+    /// Unwrap the plain driver; errors on a sharded pipeline.
+    pub fn into_plain(self) -> Result<PipelineDriver> {
+        match self {
+            SqlPipeline::Plain(d) => Ok(*d),
+            SqlPipeline::Sharded(_) => Err(Error::plan(
+                "pipeline is sharded (its source is partitioned); use into_sharded",
+            )),
+        }
+    }
+
+    /// Unwrap the sharded driver (for checkpoint/restore); errors on a
+    /// plain pipeline.
+    pub fn into_sharded(self) -> Result<ShardedPipelineDriver> {
+        match self {
+            SqlPipeline::Sharded(d) => Ok(*d),
+            SqlPipeline::Plain(_) => Err(Error::plan(
+                "pipeline is not sharded (no partitioned source); use into_plain",
+            )),
+        }
+    }
+
+    /// Borrow the sharded driver, if that is what is underneath.
+    pub fn as_sharded_mut(&mut self) -> Option<&mut ShardedPipelineDriver> {
+        match self {
+            SqlPipeline::Sharded(d) => Some(d),
+            SqlPipeline::Plain(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SqlPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlPipeline::Plain(d) => f.debug_tuple("SqlPipeline::Plain").field(d).finish(),
+            SqlPipeline::Sharded(d) => f.debug_tuple("SqlPipeline::Sharded").field(d).finish(),
+        }
+    }
+}
+
+/// What one statement produced.
+pub enum StatementResult {
+    /// DDL registered an object (the name).
+    Created(String),
+    /// `DROP` removed an object (the name); also returned for
+    /// `IF EXISTS` on a missing object.
+    Dropped(String),
+    /// `EXPLAIN` output.
+    Explained(String),
+    /// A bare query, running (feed it or read its table view).
+    Query(Box<RunningQuery>),
+    /// An `INSERT INTO ... SELECT` pipeline, assembled and ready to run.
+    Pipeline(SqlPipeline),
+}
+
+/// Everything a script produced, in statement order.
+pub struct ScriptOutcome {
+    /// Per-statement results.
+    pub results: Vec<StatementResult>,
+}
+
+impl ScriptOutcome {
+    /// The pipelines assembled by the script's `INSERT` statements, in
+    /// order.
+    pub fn pipelines(self) -> Vec<SqlPipeline> {
+        self.results
+            .into_iter()
+            .filter_map(|r| match r {
+                StatementResult::Pipeline(p) => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The script's single pipeline; errors when the script assembled
+    /// none or several.
+    pub fn into_pipeline(self) -> Result<SqlPipeline> {
+        let mut pipelines = self.pipelines();
+        match pipelines.len() {
+            1 => Ok(pipelines.remove(0)),
+            n => Err(Error::plan(format!(
+                "expected the script to assemble exactly one pipeline \
+                 (one INSERT INTO ... SELECT), found {n}"
+            ))),
+        }
+    }
+
+    /// All `EXPLAIN` outputs, in order.
+    pub fn explains(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter_map(|r| match r {
+                StatementResult::Explained(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The SQL-first facade over an [`Engine`]: executes multi-statement
+/// scripts where DDL mutates a persistent catalog and `INSERT INTO ...
+/// SELECT` assembles running pipelines. See the [module docs](self) for
+/// an end-to-end example.
+pub struct Session {
+    engine: Engine,
+    registry: ConnectorRegistry,
+    /// `CREATE SOURCE` definitions, in creation order (which is also
+    /// pipeline attach order).
+    sources: Vec<SourceDef>,
+    sinks: Vec<SinkDef>,
+    /// Side handles exported by the most recent build of each connector,
+    /// keyed by kind-prefixed lowercased connector name (a source and a
+    /// sink may legally share a name without clobbering each other).
+    handles: BTreeMap<String, Vec<Box<dyn Any + Send>>>,
+    /// Sharded settings for `INSERT`s over partitioned sources.
+    workers: usize,
+    partition_col: usize,
+    driver: DriverConfig,
+}
+
+impl Session {
+    /// A session over a fresh [`Engine`], building connectors from
+    /// `registry`. Sharded `INSERT`s default to 1 worker, partition
+    /// column 0, and the default [`DriverConfig`]; see
+    /// [`Session::set_workers`] and friends.
+    pub fn new(registry: ConnectorRegistry) -> Session {
+        Session {
+            engine: Engine::new(),
+            registry,
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            handles: BTreeMap::new(),
+            workers: 1,
+            partition_col: 0,
+            driver: DriverConfig::default(),
+        }
+    }
+
+    /// The underlying engine (catalog lookups, `explain`, table reads).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (e.g. to apply versions to a temporal table
+    /// created by `CREATE TEMPORAL TABLE`).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Worker count for sharded pipelines assembled by later `INSERT`s.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers;
+    }
+
+    /// Partition-key column for sharded pipelines (see
+    /// [`ShardedConfig::partition_col`]).
+    pub fn set_partition_col(&mut self, col: usize) {
+        self.partition_col = col;
+    }
+
+    /// Driver tuning for pipelines assembled by later `INSERT`s.
+    pub fn set_driver_config(&mut self, config: DriverConfig) {
+        self.driver = config;
+    }
+
+    /// Run a multi-statement script: DDL mutates the catalog, `INSERT`s
+    /// assemble pipelines, `EXPLAIN`s render plans. Statements run in
+    /// order; the first error stops the script (earlier statements stay
+    /// applied — scripts are not transactions).
+    pub fn execute_script(&mut self, sql: &str) -> Result<ScriptOutcome> {
+        let statements = onesql_sql::parse_script(sql)?;
+        let mut results = Vec::with_capacity(statements.len());
+        for statement in &statements {
+            results.push(self.run_statement(statement)?);
+        }
+        Ok(ScriptOutcome { results })
+    }
+
+    /// Run a single statement (optionally `;`-terminated).
+    pub fn execute(&mut self, sql: &str) -> Result<StatementResult> {
+        let statement = onesql_sql::parse_statement(sql)?;
+        self.run_statement(&statement)
+    }
+
+    /// Retrieve (and remove) a side handle exported by the most recent
+    /// build of connector `name` — e.g. the `channel` source's
+    /// publishers, or the in-memory `changelog` sink's output buffer.
+    /// Returns the first stored handle of type `T`, searching the
+    /// source's handles first, then the sink's (a source and a sink may
+    /// share a name).
+    pub fn take_handle<T: Any>(&mut self, name: &str) -> Option<T> {
+        for key in [handle_key("source", name), handle_key("sink", name)] {
+            let Some(slot) = self.handles.get_mut(&key) else {
+                continue;
+            };
+            let Some(idx) = slot.iter().position(|h| h.is::<T>()) else {
+                continue;
+            };
+            let handle = slot.remove(idx);
+            return Some(*handle.downcast::<T>().expect("type checked above"));
+        }
+        None
+    }
+
+    fn run_statement(&mut self, statement: &Statement) -> Result<StatementResult> {
+        let bound = bind_statement(statement, self.engine.catalog())?;
+        match bound {
+            BoundStatement::Query(query) => {
+                Ok(StatementResult::Query(Box::new(self.engine.run(query)?)))
+            }
+            BoundStatement::Explain(query) => Ok(StatementResult::Explained(query.explain())),
+            BoundStatement::CreateStream { name, schema } => {
+                self.ensure_unregistered(&name)?;
+                self.engine.register_stream_schema(&name, schema);
+                Ok(StatementResult::Created(name))
+            }
+            BoundStatement::CreateTemporalTable { name, schema, key } => {
+                self.ensure_unregistered(&name)?;
+                self.engine.register_temporal_table_schema(
+                    &name,
+                    schema,
+                    TemporalTable::with_key(key),
+                );
+                Ok(StatementResult::Created(name))
+            }
+            BoundStatement::CreateSource {
+                name,
+                partitioned,
+                schema,
+                options,
+            } => self.create_source(name, partitioned, schema, options),
+            BoundStatement::CreateSink { name, options } => {
+                if self.find_sink(&name).is_some() {
+                    return Err(Error::catalog(format!(
+                        "sink '{name}' already exists; DROP SINK it first"
+                    )));
+                }
+                let mut bag = OptionBag::new(format!("sink '{name}'"), &options);
+                let connector = bag.require_str("connector")?;
+                let factory = self.registry.sink(&connector)?;
+                factory.declare(&SinkSpec { name: &name }, &mut bag)?;
+                bag.finish()?;
+                self.sinks.push(SinkDef {
+                    name: name.clone(),
+                    connector,
+                    options,
+                });
+                Ok(StatementResult::Created(name))
+            }
+            BoundStatement::Insert {
+                sink,
+                query,
+                query_sql,
+            } => {
+                let result = self.assemble_pipeline(&sink, &query, &query_sql);
+                if result.is_err() {
+                    // Never leak half-attached connectors into the next
+                    // pipeline.
+                    self.engine.discard_pending_connectors();
+                }
+                result
+            }
+            BoundStatement::Drop {
+                kind,
+                if_exists,
+                name,
+            } => self.drop_object(kind, if_exists, &name),
+        }
+    }
+
+    fn ensure_unregistered(&self, name: &str) -> Result<()> {
+        if self.engine.catalog().resolve(name).is_ok() {
+            return Err(Error::catalog(format!(
+                "relation '{name}' already exists; DROP it first"
+            )));
+        }
+        Ok(())
+    }
+
+    fn find_source(&self, name: &str) -> Option<usize> {
+        self.sources
+            .iter()
+            .position(|d| d.name.eq_ignore_ascii_case(name))
+    }
+
+    fn find_sink(&self, name: &str) -> Option<usize> {
+        self.sinks
+            .iter()
+            .position(|d| d.name.eq_ignore_ascii_case(name))
+    }
+
+    fn create_source(
+        &mut self,
+        name: String,
+        partitioned: bool,
+        schema: Option<onesql_types::Schema>,
+        options: ConnectorOptions,
+    ) -> Result<StatementResult> {
+        if self.find_source(&name).is_some() {
+            return Err(Error::catalog(format!(
+                "source '{name}' already exists; DROP SOURCE it first"
+            )));
+        }
+        let schema: Option<SchemaRef> = schema.map(std::sync::Arc::new);
+        let mut bag = OptionBag::new(format!("source '{name}'"), &options);
+        let connector = bag.require_str("connector")?;
+        let factory = self.registry.source(&connector)?;
+        let declared = {
+            let spec = SourceSpec {
+                name: &name,
+                partitioned,
+                schema: schema.clone(),
+                catalog: self.engine.catalog(),
+            };
+            let declared = factory.declare(&spec, &mut bag)?;
+            bag.finish()?;
+            declared
+        };
+        if declared.is_empty() {
+            return Err(Error::plan(format!(
+                "source '{name}' (connector '{connector}') declares no streams"
+            )));
+        }
+        // Validate every declared stream against the catalog *before*
+        // registering any of them, so a failed CREATE SOURCE leaves no
+        // partial stream registrations behind.
+        let mut to_register = Vec::new();
+        for (stream, stream_schema) in &declared {
+            match self.engine.catalog().resolve(stream) {
+                Ok((existing, TableKind::Stream)) => {
+                    if existing != *stream_schema {
+                        return Err(Error::catalog(format!(
+                            "source '{name}': stream '{stream}' is already \
+                             registered with a different schema"
+                        )));
+                    }
+                }
+                Ok((_, TableKind::Table)) => {
+                    return Err(Error::catalog(format!(
+                        "source '{name}': '{stream}' is already registered \
+                         as a table, not a stream"
+                    )));
+                }
+                Err(_) => to_register.push((stream.clone(), stream_schema.clone())),
+            }
+        }
+        let mut registered = Vec::with_capacity(to_register.len());
+        for (stream, stream_schema) in to_register {
+            registered.push(stream.to_ascii_lowercase());
+            self.engine
+                .register_stream_schema(stream, (*stream_schema).clone());
+        }
+        self.sources.push(SourceDef {
+            name: name.clone(),
+            connector,
+            partitioned,
+            schema,
+            streams: declared
+                .iter()
+                .map(|(s, _)| s.to_ascii_lowercase())
+                .collect(),
+            registered,
+            options,
+        });
+        Ok(StatementResult::Created(name))
+    }
+
+    fn assemble_pipeline(
+        &mut self,
+        sink: &str,
+        query: &onesql_plan::BoundQuery,
+        query_sql: &str,
+    ) -> Result<StatementResult> {
+        let Some(sink_idx) = self.find_sink(sink) else {
+            let known: Vec<&str> = self.sinks.iter().map(|d| d.name.as_str()).collect();
+            return Err(Error::catalog(format!(
+                "INSERT INTO {sink}: no such sink; known sinks: [{}]",
+                known.join(", ")
+            )));
+        };
+        let (streams, _tables) = referenced_relations(query);
+        let selected: Vec<usize> = (0..self.sources.len())
+            .filter(|&i| self.sources[i].streams.iter().any(|s| streams.contains(s)))
+            .collect();
+        // EVERY referenced stream must have a feeding source — a
+        // partially fed query (one joined stream covered, the other
+        // not) would run to completion with silently empty joins.
+        let unfed: Vec<&str> = streams
+            .iter()
+            .filter(|s| {
+                !selected
+                    .iter()
+                    .any(|&i| self.sources[i].streams.contains(s))
+            })
+            .map(String::as_str)
+            .collect();
+        if !unfed.is_empty() {
+            return Err(Error::plan(format!(
+                "INSERT INTO {sink}: no CREATE SOURCE feeds the query's \
+                 stream(s) [{}]",
+                unfed.join(", ")
+            )));
+        }
+        if selected.is_empty() {
+            return Err(Error::plan(format!(
+                "INSERT INTO {sink}: the query reads no streams; a pipeline \
+                 needs at least one stream-feeding source"
+            )));
+        }
+
+        // Instantiate fresh connectors from the stored definitions and
+        // attach them through the engine's (single) wiring path. Handles
+        // are only *staged* here: committing them to the store before
+        // the whole pipeline assembles would let a failed INSERT clobber
+        // a live pipeline's handles with ones wired to discarded
+        // connectors.
+        let mut staged: Vec<(String, Vec<Box<dyn Any + Send>>)> = Vec::new();
+        let mut sharded = false;
+        for &idx in &selected {
+            let built = self.build_source(idx, &mut staged)?;
+            match built {
+                AnySource::Plain(source) => self.engine.attach_source(source)?,
+                AnySource::Partitioned(source) => {
+                    sharded = true;
+                    self.engine.attach_partitioned_source(source)?;
+                }
+            }
+        }
+        let sink_box = self.build_sink(sink_idx, &mut staged)?;
+        self.engine.attach_sink(sink_box);
+
+        // `query_sql` is the bound query's canonical text (round-trip
+        // property-tested): re-planning it here costs one extra
+        // parse+bind, but keeps pipeline assembly on the exact
+        // Engine::run_*pipeline path the imperative API uses.
+        let pipeline = if sharded {
+            let config = ShardedConfig {
+                workers: self.workers,
+                partition_col: self.partition_col,
+                driver: self.driver,
+            };
+            SqlPipeline::Sharded(Box::new(
+                self.engine.run_sharded_pipeline(query_sql, config)?,
+            ))
+        } else {
+            SqlPipeline::Plain(Box::new(
+                self.engine
+                    .run_pipeline(query_sql)?
+                    .with_config(self.driver),
+            ))
+        };
+        for (key, items) in staged {
+            self.handles.insert(key, items);
+        }
+        Ok(StatementResult::Pipeline(pipeline))
+    }
+
+    fn build_source(
+        &mut self,
+        idx: usize,
+        staged: &mut Vec<(String, Vec<Box<dyn Any + Send>>)>,
+    ) -> Result<AnySource> {
+        let def = &self.sources[idx];
+        let factory = self.registry.source(&def.connector)?;
+        let mut bag = OptionBag::new(
+            format!("source '{}' (connector '{}')", def.name, def.connector),
+            &def.options,
+        );
+        let _ = bag.require_str("connector")?;
+        let mut exports = Exports::default();
+        let built = {
+            let spec = SourceSpec {
+                name: &def.name,
+                partitioned: def.partitioned,
+                schema: def.schema.clone(),
+                catalog: self.engine.catalog(),
+            };
+            factory.build(&spec, &mut bag, &mut exports)?
+        };
+        staged.push((handle_key("source", &def.name), exports.into_items()));
+        Ok(built)
+    }
+
+    fn build_sink(
+        &mut self,
+        idx: usize,
+        staged: &mut Vec<(String, Vec<Box<dyn Any + Send>>)>,
+    ) -> Result<Box<dyn crate::connect::Sink>> {
+        let def = &self.sinks[idx];
+        let factory = self.registry.sink(&def.connector)?;
+        let mut bag = OptionBag::new(
+            format!("sink '{}' (connector '{}')", def.name, def.connector),
+            &def.options,
+        );
+        let _ = bag.require_str("connector")?;
+        let mut exports = Exports::default();
+        let built = factory.build(&SinkSpec { name: &def.name }, &mut bag, &mut exports)?;
+        staged.push((handle_key("sink", &def.name), exports.into_items()));
+        Ok(built)
+    }
+
+    fn drop_object(
+        &mut self,
+        kind: DropKind,
+        if_exists: bool,
+        name: &str,
+    ) -> Result<StatementResult> {
+        let existed = match kind {
+            DropKind::Source => match self.find_source(name) {
+                Some(idx) => {
+                    let def = self.sources.remove(idx);
+                    self.handles.remove(&handle_key("source", name));
+                    // Unregister the streams this CREATE itself added,
+                    // unless another live source still feeds them — so
+                    // a dropped source can be recreated with a new
+                    // schema, and no orphan stream lingers queryable.
+                    for stream in &def.registered {
+                        if !self.sources.iter().any(|d| d.streams.contains(stream)) {
+                            let _ = self.engine.drop_relation(stream);
+                        }
+                    }
+                    true
+                }
+                None => false,
+            },
+            DropKind::Sink => match self.find_sink(name) {
+                Some(idx) => {
+                    self.sinks.remove(idx);
+                    self.handles.remove(&handle_key("sink", name));
+                    true
+                }
+                None => false,
+            },
+            DropKind::Stream | DropKind::Table => match self.engine.catalog().resolve(name) {
+                Ok((_, found)) => {
+                    let wanted = if kind == DropKind::Stream {
+                        TableKind::Stream
+                    } else {
+                        TableKind::Table
+                    };
+                    if found != wanted {
+                        return Err(Error::catalog(format!(
+                            "cannot DROP {} {name}: it is a {}",
+                            if kind == DropKind::Stream {
+                                "STREAM"
+                            } else {
+                                "TABLE"
+                            },
+                            if found == TableKind::Stream {
+                                "stream"
+                            } else {
+                                "table"
+                            }
+                        )));
+                    }
+                    // A stream a live source still feeds must not be
+                    // dropped out from under it: the dangling SourceDef
+                    // would rebuild connectors against a vanished (or
+                    // later re-declared, differently-shaped) stream.
+                    let lowered = name.to_ascii_lowercase();
+                    if let Some(feeder) = self.sources.iter().find(|d| d.streams.contains(&lowered))
+                    {
+                        return Err(Error::catalog(format!(
+                            "cannot DROP STREAM {name}: source '{}' feeds it; \
+                             DROP SOURCE {} first",
+                            feeder.name, feeder.name
+                        )));
+                    }
+                    self.engine.drop_relation(name)?;
+                    true
+                }
+                Err(_) => false,
+            },
+        };
+        if !existed && !if_exists {
+            return Err(Error::catalog(format!(
+                "cannot drop {} '{name}': no such object (use IF EXISTS to \
+                 tolerate absence)",
+                kind.as_str()
+            )));
+        }
+        Ok(StatementResult::Dropped(name.to_string()))
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field(
+                "sources",
+                &self
+                    .sources
+                    .iter()
+                    .map(|d| d.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "sinks",
+                &self
+                    .sinks
+                    .iter()
+                    .map(|d| d.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("workers", &self.workers)
+            .finish()
+    }
+}

@@ -46,6 +46,11 @@ impl MemoryCatalog {
     pub fn names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
     }
+
+    /// Remove a relation (for `DROP`); returns whether it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+    }
 }
 
 impl Catalog for MemoryCatalog {

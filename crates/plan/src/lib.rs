@@ -20,12 +20,14 @@ pub mod catalog;
 pub mod expr;
 pub mod optimizer;
 pub mod plan;
+pub mod statement;
 
 pub use binder::{bind, Binder};
 pub use catalog::{Catalog, MemoryCatalog, TableKind};
 pub use expr::{AggCall, AggFunc, ScalarExpr};
 pub use optimizer::optimize;
 pub use plan::{BoundQuery, EmitSpec, JoinKind, JoinTimeBound, LogicalPlan, SortKey, WindowKind};
+pub use statement::{bind_statement, BoundStatement, ConnectorOptions};
 
 use onesql_types::Result;
 

@@ -471,6 +471,16 @@ impl BoundQuery {
     pub fn schema(&self) -> SchemaRef {
         self.plan.schema()
     }
+
+    /// Render the plan as `EXPLAIN` output: the operator tree plus any
+    /// non-default `EMIT` materialization spec.
+    pub fn explain(&self) -> String {
+        let mut out = self.plan.to_string();
+        if self.emit != EmitSpec::default() {
+            out.push_str(&format!("Emit: {:?}\n", self.emit));
+        }
+        out
+    }
 }
 
 /// Helper: build the output schema of a window TVF from its input.

@@ -1,0 +1,430 @@
+//! Statement-level binding: connector DDL and pipeline assembly.
+//!
+//! Queries bind through [`crate::bind`]; this module lifts the same
+//! treatment to the statement layer. DDL schemas are built and validated
+//! here (duplicate columns, `WATERMARK FOR` referencing a real timestamp
+//! column), `WITH` option bags are normalized (lowercased keys, duplicate
+//! keys rejected), and the queries inside `INSERT` / `EXPLAIN` bind and
+//! optimize against the persistent catalog exactly as standalone queries
+//! do. Connector semantics — which options a `file` source understands —
+//! stay with the connector factories in `onesql_core::connect::registry`;
+//! binding only guarantees the statement is *structurally* sound.
+
+use std::collections::BTreeSet;
+
+use onesql_sql::ast::{ColumnDef, DropKind, OptionValue, Statement, WithOption};
+use onesql_types::{DataType, Error, Field, Result, Schema};
+
+use crate::catalog::Catalog;
+use crate::optimizer::optimize;
+use crate::plan::{BoundQuery, LogicalPlan};
+use crate::TableKind;
+
+/// A normalized `WITH` option bag: keys lowercased, duplicates rejected,
+/// insertion order preserved. Interpretation (which keys mean what) is the
+/// connector factory's job; see `OptionBag` in `onesql_core`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConnectorOptions {
+    pairs: Vec<(String, OptionValue)>,
+}
+
+impl ConnectorOptions {
+    /// Normalize raw `WITH` options. Errors on duplicate keys
+    /// (case-insensitively).
+    pub fn new(options: &[WithOption]) -> Result<ConnectorOptions> {
+        let mut pairs: Vec<(String, OptionValue)> = Vec::with_capacity(options.len());
+        for opt in options {
+            let key = opt.key.to_ascii_lowercase();
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(Error::plan(format!(
+                    "duplicate WITH option '{key}' (each key may appear once)"
+                )));
+            }
+            pairs.push((key, opt.value.clone()));
+        }
+        Ok(ConnectorOptions { pairs })
+    }
+
+    /// The `(key, value)` pairs, keys lowercased, in declaration order.
+    pub fn pairs(&self) -> &[(String, OptionValue)] {
+        &self.pairs
+    }
+
+    /// Look up a key's value.
+    pub fn get(&self, key: &str) -> Option<&OptionValue> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A statement after binding: schemas built, options normalized, queries
+/// bound and optimized.
+#[derive(Debug, Clone)]
+pub enum BoundStatement {
+    /// A bare query, bound.
+    Query(BoundQuery),
+    /// `CREATE [PARTITIONED] SOURCE`.
+    CreateSource {
+        /// Source name (verbatim).
+        name: String,
+        /// Build a partitioned source; `INSERT`s over it run sharded.
+        partitioned: bool,
+        /// The inline schema, if one was declared.
+        schema: Option<Schema>,
+        /// Normalized options.
+        options: ConnectorOptions,
+    },
+    /// `CREATE SINK`.
+    CreateSink {
+        /// Sink name (verbatim).
+        name: String,
+        /// Normalized options.
+        options: ConnectorOptions,
+    },
+    /// `CREATE STREAM`: a bare schema declaration.
+    CreateStream {
+        /// Stream name (verbatim).
+        name: String,
+        /// The declared schema.
+        schema: Schema,
+    },
+    /// `CREATE TEMPORAL TABLE`.
+    CreateTemporalTable {
+        /// Table name (verbatim).
+        name: String,
+        /// The declared schema.
+        schema: Schema,
+        /// Upsert key column indices (from the `key` option; empty for a
+        /// keyless bag-of-versions table).
+        key: Vec<usize>,
+    },
+    /// `INSERT INTO <sink> <query>`.
+    Insert {
+        /// Target sink name (verbatim; existence is checked by the
+        /// session, which owns sink definitions).
+        sink: String,
+        /// The bound, optimized query.
+        query: BoundQuery,
+        /// Canonical SQL text of the query (reparses to the same plan),
+        /// for engines that plan per worker from text.
+        query_sql: String,
+    },
+    /// `EXPLAIN <query>`.
+    Explain(BoundQuery),
+    /// `DROP ...` (no binding needed beyond the parse).
+    Drop {
+        /// What kind of object.
+        kind: DropKind,
+        /// Tolerate absence.
+        if_exists: bool,
+        /// Object name (verbatim).
+        name: String,
+    },
+}
+
+/// Bind one statement against `catalog`.
+pub fn bind_statement(stmt: &Statement, catalog: &dyn Catalog) -> Result<BoundStatement> {
+    match stmt {
+        Statement::Query(q) => Ok(BoundStatement::Query(optimize(crate::bind(q, catalog)?))),
+        Statement::Explain(q) => Ok(BoundStatement::Explain(optimize(crate::bind(q, catalog)?))),
+        Statement::Insert { sink, query } => {
+            let bound = optimize(crate::bind(query, catalog)?);
+            Ok(BoundStatement::Insert {
+                sink: sink.clone(),
+                query: bound,
+                query_sql: query.to_string(),
+            })
+        }
+        Statement::CreateSource(c) => {
+            let schema = if c.columns.is_empty() {
+                if let Some(wm) = &c.watermark {
+                    return Err(Error::plan(format!(
+                        "source '{}': WATERMARK FOR {wm} needs an inline column list",
+                        c.name
+                    )));
+                }
+                None
+            } else {
+                Some(build_schema(&c.name, &c.columns, c.watermark.as_deref())?)
+            };
+            Ok(BoundStatement::CreateSource {
+                name: c.name.clone(),
+                partitioned: c.partitioned,
+                schema,
+                options: ConnectorOptions::new(&c.options)?,
+            })
+        }
+        Statement::CreateSink(c) => Ok(BoundStatement::CreateSink {
+            name: c.name.clone(),
+            options: ConnectorOptions::new(&c.options)?,
+        }),
+        Statement::CreateStream(c) => Ok(BoundStatement::CreateStream {
+            name: c.name.clone(),
+            schema: build_schema(&c.name, &c.columns, c.watermark.as_deref())?,
+        }),
+        Statement::CreateTemporalTable(c) => {
+            let schema = build_schema(&c.name, &c.columns, None)?;
+            let options = ConnectorOptions::new(&c.options)?;
+            let mut key = Vec::new();
+            for (k, v) in options.pairs() {
+                if k != "key" {
+                    return Err(Error::plan(format!(
+                        "temporal table '{}': unknown option '{k}' \
+                         (the only option is key='col[,col]')",
+                        c.name
+                    )));
+                }
+                let OptionValue::String(cols) = v else {
+                    return Err(Error::plan(format!(
+                        "temporal table '{}': option 'key' expects a string \
+                         of comma-separated column names",
+                        c.name
+                    )));
+                };
+                for col in cols.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+                    key.push(schema.index_of(None, col).map_err(|_| {
+                        Error::plan(format!(
+                            "temporal table '{}': key column '{col}' is not in \
+                             the column list",
+                            c.name
+                        ))
+                    })?);
+                }
+            }
+            Ok(BoundStatement::CreateTemporalTable {
+                name: c.name.clone(),
+                schema,
+                key,
+            })
+        }
+        Statement::Drop {
+            kind,
+            if_exists,
+            name,
+        } => Ok(BoundStatement::Drop {
+            kind: *kind,
+            if_exists: *if_exists,
+            name: name.clone(),
+        }),
+    }
+}
+
+/// Build and validate a DDL schema: no duplicate columns, and a
+/// `WATERMARK FOR` column that exists and is a `TIMESTAMP` (it becomes the
+/// schema's event-time column, the paper's Extension 1).
+pub fn build_schema(
+    relation: &str,
+    columns: &[ColumnDef],
+    watermark: Option<&str>,
+) -> Result<Schema> {
+    let mut seen = BTreeSet::new();
+    for col in columns {
+        if !seen.insert(col.name.to_ascii_lowercase()) {
+            return Err(Error::plan(format!(
+                "relation '{relation}': duplicate column '{}'",
+                col.name
+            )));
+        }
+    }
+    let mut fields: Vec<Field> = columns
+        .iter()
+        .map(|c| Field::new(&c.name, c.data_type))
+        .collect();
+    if let Some(wm) = watermark {
+        let idx = columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(wm))
+            .ok_or_else(|| {
+                Error::plan(format!(
+                    "relation '{relation}': WATERMARK FOR {wm} names a column \
+                     that is not in the column list"
+                ))
+            })?;
+        if columns[idx].data_type != DataType::Timestamp {
+            return Err(Error::plan(format!(
+                "relation '{relation}': WATERMARK FOR {wm} requires a TIMESTAMP \
+                 column, but '{wm}' is {}",
+                columns[idx].data_type
+            )));
+        }
+        fields[idx] = Field::event_time(&columns[idx].name);
+    }
+    Ok(Schema::new(fields))
+}
+
+/// The catalog relations a bound query scans, lowercased and
+/// deduplicated, split by kind. The session uses the stream list to pick
+/// which source definitions feed an `INSERT`.
+pub fn referenced_relations(query: &BoundQuery) -> (Vec<String>, Vec<String>) {
+    let mut streams = BTreeSet::new();
+    let mut tables = BTreeSet::new();
+    collect_scans(&query.plan, &mut streams, &mut tables);
+    (streams.into_iter().collect(), tables.into_iter().collect())
+}
+
+fn collect_scans(
+    plan: &LogicalPlan,
+    streams: &mut BTreeSet<String>,
+    tables: &mut BTreeSet<String>,
+) {
+    match plan {
+        LogicalPlan::Scan { table, kind, .. } => {
+            let name = table.to_ascii_lowercase();
+            match kind {
+                TableKind::Stream => {
+                    streams.insert(name);
+                }
+                TableKind::Table => {
+                    tables.insert(name);
+                }
+            }
+        }
+        LogicalPlan::Values { .. } => {}
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Window { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Distinct { input } => collect_scans(input, streams, tables),
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::UnionAll { left, right } => {
+            collect_scans(left, streams, tables);
+            collect_scans(right, streams, tables);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryCatalog;
+    use onesql_sql::parse_statement;
+    use std::sync::Arc;
+
+    fn catalog() -> MemoryCatalog {
+        let mut cat = MemoryCatalog::new();
+        cat.register(
+            "Bid",
+            Arc::new(Schema::new(vec![
+                Field::event_time("bidtime"),
+                Field::new("price", DataType::Int),
+            ])),
+            TableKind::Stream,
+        );
+        cat.register(
+            "Category",
+            Arc::new(Schema::new(vec![Field::new("id", DataType::Int)])),
+            TableKind::Table,
+        );
+        cat
+    }
+
+    fn bind_text(sql: &str) -> Result<BoundStatement> {
+        bind_statement(&parse_statement(sql).unwrap(), &catalog())
+    }
+
+    #[test]
+    fn create_source_builds_event_time_schema() {
+        let b = bind_text(
+            "CREATE SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t) WITH (connector = 'x')",
+        )
+        .unwrap();
+        let BoundStatement::CreateSource {
+            schema: Some(schema),
+            partitioned,
+            ..
+        } = b
+        else {
+            panic!("expected CreateSource with schema")
+        };
+        assert!(!partitioned);
+        assert_eq!(schema.arity(), 2);
+        assert!(schema.fields()[0].event_time);
+        assert!(!schema.fields()[1].event_time);
+    }
+
+    #[test]
+    fn watermark_validation() {
+        let err = bind_text("CREATE SOURCE S (t TIMESTAMP, WATERMARK FOR nope) WITH ()")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("not in the column list"), "{err}");
+        let err = bind_text("CREATE SOURCE S (v INT, WATERMARK FOR v) WITH ()")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("TIMESTAMP"), "{err}");
+        let err = bind_text("CREATE SOURCE S WITH ()").unwrap();
+        assert!(matches!(
+            err,
+            BoundStatement::CreateSource { schema: None, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = bind_text("CREATE STREAM S (x INT, X STRING)")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate column 'X'"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_with_keys_rejected() {
+        let err = bind_text("CREATE SINK s WITH (path = 'a', PATH = 'b')")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate WITH option 'path'"), "{err}");
+    }
+
+    #[test]
+    fn temporal_table_key_resolution() {
+        let b = bind_text(
+            "CREATE TEMPORAL TABLE Rates (currency STRING, rate INT) WITH (key = 'currency')",
+        )
+        .unwrap();
+        let BoundStatement::CreateTemporalTable { key, .. } = b else {
+            panic!()
+        };
+        assert_eq!(key, vec![0]);
+        let err = bind_text("CREATE TEMPORAL TABLE R (a INT) WITH (key = 'b')")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("key column 'b'"), "{err}");
+        let err = bind_text("CREATE TEMPORAL TABLE R (a INT) WITH (kye = 'a')")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown option 'kye'"), "{err}");
+    }
+
+    #[test]
+    fn insert_binds_query_against_catalog() {
+        let b = bind_text("INSERT INTO out SELECT price FROM Bid WHERE price > 2").unwrap();
+        let BoundStatement::Insert {
+            sink,
+            query,
+            query_sql,
+        } = b
+        else {
+            panic!()
+        };
+        assert_eq!(sink, "out");
+        assert_eq!(query.schema().arity(), 1);
+        // The canonical text must rebind to the same plan.
+        let reparsed = bind_text(&format!("INSERT INTO out {query_sql}")).unwrap();
+        let BoundStatement::Insert { query: q2, .. } = reparsed else {
+            panic!()
+        };
+        assert_eq!(query.plan, q2.plan);
+
+        assert!(bind_text("INSERT INTO out SELECT nope FROM Bid").is_err());
+    }
+
+    #[test]
+    fn referenced_relations_split_by_kind() {
+        let BoundStatement::Query(q) =
+            bind_text("SELECT price FROM Bid B JOIN Category C ON B.price = C.id").unwrap()
+        else {
+            panic!()
+        };
+        let (streams, tables) = referenced_relations(&q);
+        assert_eq!(streams, vec!["bid".to_string()]);
+        assert_eq!(tables, vec!["category".to_string()]);
+    }
+}

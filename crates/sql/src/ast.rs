@@ -8,6 +8,152 @@ use std::fmt;
 
 use onesql_types::DataType;
 
+/// A top-level statement: a query, connector DDL, or a pipeline
+/// assembly (`INSERT INTO <sink> SELECT ...`).
+///
+/// Queries cover the paper's SQL surface; the statement layer extends it
+/// so the *topology* — which connectors feed which streams, and where
+/// the output goes — is part of the SQL text too, instead of imperative
+/// Rust wiring.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A bare query.
+    Query(Query),
+    /// `CREATE [PARTITIONED] SOURCE <name> [(<columns>[, WATERMARK FOR c])] WITH (...)`.
+    CreateSource(CreateSource),
+    /// `CREATE SINK <name> WITH (...)`.
+    CreateSink(CreateSink),
+    /// `CREATE STREAM <name> (<columns>[, WATERMARK FOR c])`: a schema
+    /// declaration with no connector attached (e.g. for multi-stream
+    /// sources that reference pre-declared streams).
+    CreateStream(CreateStream),
+    /// `CREATE TEMPORAL TABLE <name> (<columns>) [WITH (key='...')]`.
+    CreateTemporalTable(CreateTemporalTable),
+    /// `INSERT INTO <sink> <query>`: assemble a pipeline from the
+    /// query's sources into the named sink.
+    Insert {
+        /// The target sink (from a prior `CREATE SINK`).
+        sink: String,
+        /// The query whose output changelog feeds the sink.
+        query: Query,
+    },
+    /// `EXPLAIN <query>`: render the optimized plan.
+    Explain(Query),
+    /// `DROP SOURCE|SINK|STREAM|TABLE [IF EXISTS] <name>`.
+    Drop {
+        /// What kind of object to drop.
+        kind: DropKind,
+        /// Tolerate a missing object.
+        if_exists: bool,
+        /// The object name.
+        name: String,
+    },
+}
+
+/// One column of a DDL schema: `name TYPE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+}
+
+/// The value of a `WITH` option.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptionValue {
+    /// A `'quoted'` string.
+    String(String),
+    /// A numeric literal, verbatim.
+    Number(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+}
+
+/// One `key = value` pair of a `WITH (...)` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithOption {
+    /// Option key (an identifier, matched case-insensitively downstream).
+    pub key: String,
+    /// Option value.
+    pub value: OptionValue,
+}
+
+/// `CREATE [PARTITIONED] SOURCE`: declare a connector feeding one stream
+/// (inline schema) or several pre-declared streams (via a `streams`
+/// option, connector-dependent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateSource {
+    /// Source (and, with an inline schema, stream) name.
+    pub name: String,
+    /// `PARTITIONED`: the connector must build a partitioned source, and
+    /// `INSERT`s reading it run on the sharded driver.
+    pub partitioned: bool,
+    /// Inline schema columns; empty when the connector defines (or
+    /// references) its streams itself.
+    pub columns: Vec<ColumnDef>,
+    /// `WATERMARK FOR <col>`: the event-time column.
+    pub watermark: Option<String>,
+    /// The connector option bag (`connector='file'`, `path=...`, ...).
+    pub options: Vec<WithOption>,
+}
+
+/// `CREATE SINK <name> WITH (...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateSink {
+    /// Sink name (the `INSERT INTO` target).
+    pub name: String,
+    /// The connector option bag.
+    pub options: Vec<WithOption>,
+}
+
+/// `CREATE STREAM <name> (<columns>[, WATERMARK FOR c])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateStream {
+    /// Stream name.
+    pub name: String,
+    /// Schema columns.
+    pub columns: Vec<ColumnDef>,
+    /// `WATERMARK FOR <col>`: the event-time column.
+    pub watermark: Option<String>,
+}
+
+/// `CREATE TEMPORAL TABLE <name> (<columns>) [WITH (key='...')]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTemporalTable {
+    /// Table name.
+    pub name: String,
+    /// Schema columns.
+    pub columns: Vec<ColumnDef>,
+    /// Options (`key='col[,col]'` selects the upsert key columns).
+    pub options: Vec<WithOption>,
+}
+
+/// Object kinds a `DROP` statement can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// A connector registered by `CREATE SOURCE`.
+    Source,
+    /// A connector registered by `CREATE SINK`.
+    Sink,
+    /// A stream schema.
+    Stream,
+    /// A (temporal) table.
+    Table,
+}
+
+impl DropKind {
+    /// Canonical SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropKind::Source => "SOURCE",
+            DropKind::Sink => "SINK",
+            DropKind::Stream => "STREAM",
+            DropKind::Table => "TABLE",
+        }
+    }
+}
+
 /// A complete query: a set expression with optional `ORDER BY`, `LIMIT`,
 /// and the paper's `EMIT` materialization clause (Extensions 4–7).
 #[derive(Debug, Clone, PartialEq)]
@@ -444,6 +590,114 @@ impl BinaryOp {
 
 fn join_displayed<T: fmt::Display>(items: &[T], sep: &str) -> String {
     items.iter().map(T::to_string).collect::<Vec<_>>().join(sep)
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::CreateSource(c) => write!(f, "{c}"),
+            Statement::CreateSink(c) => write!(f, "{c}"),
+            Statement::CreateStream(c) => write!(f, "{c}"),
+            Statement::CreateTemporalTable(c) => write!(f, "{c}"),
+            Statement::Insert { sink, query } => write!(f, "INSERT INTO {sink} {query}"),
+            Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+            Statement::Drop {
+                kind,
+                if_exists,
+                name,
+            } => write!(
+                f,
+                "DROP {} {}{name}",
+                kind.as_str(),
+                if *if_exists { "IF EXISTS " } else { "" }
+            ),
+        }
+    }
+}
+
+/// Render `(<columns>[, WATERMARK FOR c])`.
+fn fmt_schema_clause(
+    f: &mut fmt::Formatter<'_>,
+    columns: &[ColumnDef],
+    watermark: Option<&str>,
+) -> fmt::Result {
+    write!(f, "({}", join_displayed(columns, ", "))?;
+    if let Some(wm) = watermark {
+        if !columns.is_empty() {
+            write!(f, ", ")?;
+        }
+        write!(f, "WATERMARK FOR {wm}")?;
+    }
+    write!(f, ")")
+}
+
+fn fmt_with_options(f: &mut fmt::Formatter<'_>, options: &[WithOption]) -> fmt::Result {
+    write!(f, " WITH ({})", join_displayed(options, ", "))
+}
+
+impl fmt::Display for CreateSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CREATE {}SOURCE {}",
+            if self.partitioned { "PARTITIONED " } else { "" },
+            self.name
+        )?;
+        if !self.columns.is_empty() || self.watermark.is_some() {
+            write!(f, " ")?;
+            fmt_schema_clause(f, &self.columns, self.watermark.as_deref())?;
+        }
+        fmt_with_options(f, &self.options)
+    }
+}
+
+impl fmt::Display for CreateSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE SINK {}", self.name)?;
+        fmt_with_options(f, &self.options)
+    }
+}
+
+impl fmt::Display for CreateStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE STREAM {} ", self.name)?;
+        fmt_schema_clause(f, &self.columns, self.watermark.as_deref())
+    }
+}
+
+impl fmt::Display for CreateTemporalTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TEMPORAL TABLE {} ", self.name)?;
+        fmt_schema_clause(f, &self.columns, None)?;
+        if !self.options.is_empty() {
+            fmt_with_options(f, &self.options)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)
+    }
+}
+
+impl fmt::Display for WithOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.key, self.value)
+    }
+}
+
+impl fmt::Display for OptionValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionValue::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            OptionValue::Number(n) => f.write_str(n),
+            OptionValue::Bool(true) => f.write_str("TRUE"),
+            OptionValue::Bool(false) => f.write_str("FALSE"),
+        }
+    }
 }
 
 impl fmt::Display for Query {

@@ -13,16 +13,23 @@
 //!   the combined form (Extensions 4–7);
 //! - `AS OF SYSTEM TIME <expr>` on table references (temporal tables, §6.1).
 //!
-//! The entry point is [`parse_query`]; [`ast`] holds the syntax tree, which
-//! displays back to parseable SQL (round-trip tested).
+//! Above queries sits the **statement** layer: `CREATE [PARTITIONED]
+//! SOURCE / SINK / STREAM / TEMPORAL TABLE ... WITH (...)` connector DDL,
+//! `INSERT INTO <sink> SELECT ... EMIT ...` pipeline assembly, `EXPLAIN`,
+//! and `DROP` — so a whole pipeline topology is expressible as one SQL
+//! script ([`parse_script`]).
+//!
+//! The entry points are [`parse_query`], [`parse_statement`], and
+//! [`parse_script`]; [`ast`] holds the syntax tree, which displays back to
+//! parseable SQL (round-trip tested).
 
 pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod token;
 
-pub use ast::Query;
-pub use parser::{parse_query, Parser};
+pub use ast::{Query, Statement};
+pub use parser::{parse_query, parse_script, parse_statement, Parser};
 
 /// Parse a single SQL query from `sql` text.
 pub fn parse(sql: &str) -> onesql_types::Result<Query> {

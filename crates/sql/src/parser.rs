@@ -11,9 +11,38 @@ pub fn parse_query(sql: &str) -> Result<Query> {
     let tokens = tokenize(sql)?;
     let mut parser = Parser::new(tokens);
     let query = parser.parse_query()?;
-    parser.consume(&TokenKind::Semicolon);
+    while parser.consume(&TokenKind::Semicolon) {}
     parser.expect(&TokenKind::Eof)?;
     Ok(query)
+}
+
+/// Parse a single statement (optionally `;`-terminated) from SQL text.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser::new(tokens);
+    let statement = parser.parse_statement()?;
+    while parser.consume(&TokenKind::Semicolon) {}
+    parser.expect(&TokenKind::Eof)?;
+    Ok(statement)
+}
+
+/// Parse a `;`-separated script into its statements. The final `;` is
+/// optional; empty statements (stray `;;`, trailing whitespace, comments)
+/// are skipped.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser::new(tokens);
+    let mut statements = Vec::new();
+    loop {
+        while parser.consume(&TokenKind::Semicolon) {}
+        if *parser.peek() == TokenKind::Eof {
+            return Ok(statements);
+        }
+        statements.push(parser.parse_statement()?);
+        if *parser.peek() != TokenKind::Eof && !parser.consume(&TokenKind::Semicolon) {
+            return Err(parser.unexpected("expected ';' between statements"));
+        }
+    }
 }
 
 /// The parser state: a token cursor.
@@ -87,14 +116,239 @@ impl Parser {
         ))
     }
 
+    /// Statement-layer keywords that are **not** reserved words of the
+    /// query dialect (unlike, say, `CREATE` or `WITH`, which standard
+    /// SQL reserves too): outside their introducing position they keep
+    /// working as ordinary identifiers, so pre-existing queries with
+    /// columns named `source`, `sink`, ... still parse. The lexer
+    /// normalizes keywords, so the identifier comes back lowercased
+    /// regardless of how it was written (name resolution is
+    /// case-insensitive anyway; quote the identifier to keep exact
+    /// case).
+    fn soft_keyword(kind: &TokenKind) -> Option<String> {
+        match kind {
+            TokenKind::Keyword(
+                kw @ (Keyword::Source
+                | Keyword::Sink
+                | Keyword::Temporal
+                | Keyword::Partitioned
+                | Keyword::If
+                | Keyword::Explain),
+            ) => Some(kw.as_str().to_ascii_lowercase()),
+            _ => None,
+        }
+    }
+
     fn parse_identifier(&mut self) -> Result<String> {
         match self.peek().clone() {
             TokenKind::Ident(name) => {
                 self.advance();
                 Ok(name)
             }
-            _ => Err(self.unexpected("expected identifier")),
+            ref other => match Parser::soft_keyword(other) {
+                Some(name) => {
+                    self.advance();
+                    Ok(name)
+                }
+                None => Err(self.unexpected("expected identifier")),
+            },
         }
+    }
+
+    // -- statements -------------------------------------------------------
+
+    /// Parse one statement: a query, `CREATE ...`, `INSERT INTO ...`,
+    /// `EXPLAIN ...`, or `DROP ...`.
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Create) => {
+                self.advance();
+                self.parse_create()
+            }
+            TokenKind::Keyword(Keyword::Insert) => {
+                self.advance();
+                self.expect_keyword(Keyword::Into)?;
+                let sink = self.parse_identifier()?;
+                let query = self.parse_query()?;
+                Ok(Statement::Insert { sink, query })
+            }
+            TokenKind::Keyword(Keyword::Explain) => {
+                self.advance();
+                Ok(Statement::Explain(self.parse_query()?))
+            }
+            TokenKind::Keyword(Keyword::Drop) => {
+                self.advance();
+                let kind = if self.consume_keyword(Keyword::Source) {
+                    DropKind::Source
+                } else if self.consume_keyword(Keyword::Sink) {
+                    DropKind::Sink
+                } else if self.consume_keyword(Keyword::Stream) {
+                    DropKind::Stream
+                } else if self.consume_keyword(Keyword::Table) {
+                    DropKind::Table
+                } else {
+                    return Err(self.unexpected("expected SOURCE, SINK, STREAM, or TABLE"));
+                };
+                let if_exists = if self.consume_keyword(Keyword::If) {
+                    self.expect_keyword(Keyword::Exists)?;
+                    true
+                } else {
+                    false
+                };
+                let name = self.parse_identifier()?;
+                Ok(Statement::Drop {
+                    kind,
+                    if_exists,
+                    name,
+                })
+            }
+            _ => Ok(Statement::Query(self.parse_query()?)),
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        if self.consume_keyword(Keyword::Partitioned) {
+            self.expect_keyword(Keyword::Source)?;
+            return self.parse_create_source(true);
+        }
+        if self.consume_keyword(Keyword::Source) {
+            return self.parse_create_source(false);
+        }
+        if self.consume_keyword(Keyword::Sink) {
+            let name = self.parse_identifier()?;
+            let options = self.parse_with_options()?;
+            return Ok(Statement::CreateSink(CreateSink { name, options }));
+        }
+        if self.consume_keyword(Keyword::Stream) {
+            let name = self.parse_identifier()?;
+            let (columns, watermark) = self.parse_schema_clause()?;
+            if columns.is_empty() {
+                return Err(Error::parse(format!(
+                    "CREATE STREAM {name} needs at least one column"
+                )));
+            }
+            return Ok(Statement::CreateStream(CreateStream {
+                name,
+                columns,
+                watermark,
+            }));
+        }
+        if self.consume_keyword(Keyword::Temporal) {
+            self.expect_keyword(Keyword::Table)?;
+            let name = self.parse_identifier()?;
+            let (columns, watermark) = self.parse_schema_clause()?;
+            if let Some(wm) = watermark {
+                return Err(Error::parse(format!(
+                    "temporal table {name}: WATERMARK FOR {wm} is not \
+                     meaningful on a table (watermarks describe streams)"
+                )));
+            }
+            if columns.is_empty() {
+                return Err(Error::parse(format!(
+                    "CREATE TEMPORAL TABLE {name} needs at least one column"
+                )));
+            }
+            let options = if self.peek_keyword(Keyword::With) {
+                self.parse_with_options()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Statement::CreateTemporalTable(CreateTemporalTable {
+                name,
+                columns,
+                options,
+            }));
+        }
+        Err(self.unexpected(
+            "expected SOURCE, PARTITIONED SOURCE, SINK, STREAM, or TEMPORAL TABLE after CREATE",
+        ))
+    }
+
+    fn parse_create_source(&mut self, partitioned: bool) -> Result<Statement> {
+        let name = self.parse_identifier()?;
+        let (columns, watermark) = if *self.peek() == TokenKind::LParen {
+            self.parse_schema_clause()?
+        } else {
+            (Vec::new(), None)
+        };
+        let options = self.parse_with_options()?;
+        Ok(Statement::CreateSource(CreateSource {
+            name,
+            partitioned,
+            columns,
+            watermark,
+            options,
+        }))
+    }
+
+    /// Parse `(<col type>, ..., [WATERMARK FOR col])`.
+    fn parse_schema_clause(&mut self) -> Result<(Vec<ColumnDef>, Option<String>)> {
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut watermark = None;
+        loop {
+            if self.consume_keyword(Keyword::Watermark) {
+                self.expect_keyword(Keyword::For)?;
+                let col = self.parse_identifier()?;
+                if let Some(prev) = watermark.replace(col) {
+                    return Err(Error::parse(format!(
+                        "duplicate WATERMARK clause (already declared for '{prev}')"
+                    )));
+                }
+            } else {
+                let name = self.parse_identifier()?;
+                let data_type = self.parse_data_type()?;
+                columns.push(ColumnDef { name, data_type });
+            }
+            if !self.consume(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok((columns, watermark))
+    }
+
+    /// Parse `WITH (key = value, ...)`. The pair list may be empty.
+    /// Keys are positionally unambiguous (always after `(` or `,`), so
+    /// any keyword works as a key too — the net sink's `stream = '...'`
+    /// must not collide with the STREAM keyword.
+    fn parse_with_options(&mut self) -> Result<Vec<WithOption>> {
+        self.expect_keyword(Keyword::With)?;
+        self.expect(&TokenKind::LParen)?;
+        let mut options = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let key = match self.peek().clone() {
+                    TokenKind::Keyword(kw) => {
+                        self.advance();
+                        kw.as_str().to_string()
+                    }
+                    _ => self.parse_identifier()?,
+                };
+                self.expect(&TokenKind::Eq)?;
+                let value = match self.advance() {
+                    TokenKind::String(s) => OptionValue::String(s),
+                    TokenKind::Number(n) => OptionValue::Number(n),
+                    TokenKind::Minus => match self.advance() {
+                        TokenKind::Number(n) => OptionValue::Number(format!("-{n}")),
+                        _ => return Err(self.unexpected("expected number after '-'")),
+                    },
+                    TokenKind::Keyword(Keyword::True) => OptionValue::Bool(true),
+                    TokenKind::Keyword(Keyword::False) => OptionValue::Bool(false),
+                    _ => {
+                        return Err(self.unexpected(&format!(
+                            "expected a string, number, or boolean value for option '{key}'"
+                        )))
+                    }
+                };
+                options.push(WithOption { key, value });
+                if !self.consume(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(options)
     }
 
     // -- queries ----------------------------------------------------------
@@ -243,8 +497,13 @@ impl Parser {
         if self.consume(&TokenKind::Star) {
             return Ok(SelectItem::Wildcard);
         }
-        // `alias.*`
-        if let TokenKind::Ident(name) = self.peek().clone() {
+        // `alias.*` (the alias may be a soft keyword, like any other
+        // identifier position)
+        let qualifier = match self.peek().clone() {
+            TokenKind::Ident(name) => Some(name),
+            ref other => Parser::soft_keyword(other),
+        };
+        if let Some(name) = qualifier {
             if *self.peek_ahead(1) == TokenKind::Dot && *self.peek_ahead(2) == TokenKind::Star {
                 self.advance();
                 self.advance();
@@ -261,11 +520,19 @@ impl Parser {
         if self.consume_keyword(Keyword::As) {
             return Ok(Some(self.parse_identifier()?));
         }
-        if let TokenKind::Ident(name) = self.peek().clone() {
-            self.advance();
-            return Ok(Some(name));
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Some(name))
+            }
+            ref other => match Parser::soft_keyword(other) {
+                Some(name) => {
+                    self.advance();
+                    Ok(Some(name))
+                }
+                None => Ok(None),
+            },
         }
-        Ok(None)
     }
 
     // -- table references -------------------------------------------------
@@ -602,39 +869,51 @@ impl Parser {
             }
             TokenKind::Ident(name) => {
                 self.advance();
-                // Function call?
-                if *self.peek() == TokenKind::LParen {
-                    self.advance();
-                    let distinct = self.consume_keyword(Keyword::Distinct);
-                    let mut args = Vec::new();
-                    if *self.peek() != TokenKind::RParen {
-                        loop {
-                            if self.consume(&TokenKind::Star) {
-                                args.push(Expr::Wildcard);
-                            } else {
-                                args.push(self.parse_expr()?);
-                            }
-                            if !self.consume(&TokenKind::Comma) {
-                                break;
-                            }
-                        }
-                    }
-                    self.expect(&TokenKind::RParen)?;
-                    return Ok(Expr::Function {
-                        name,
-                        args,
-                        distinct,
-                    });
-                }
-                // Qualified column?
-                if self.consume(&TokenKind::Dot) {
-                    let col = self.parse_identifier()?;
-                    return Ok(Expr::qcol(name, col));
-                }
-                Ok(Expr::col(name))
+                self.parse_ident_expr(name)
             }
-            _ => Err(self.unexpected("expected expression")),
+            ref other => match Parser::soft_keyword(other) {
+                Some(name) => {
+                    self.advance();
+                    self.parse_ident_expr(name)
+                }
+                None => Err(self.unexpected("expected expression")),
+            },
         }
+    }
+
+    /// Continuation of a primary expression that started with an
+    /// identifier (or a soft keyword acting as one): a function call, a
+    /// qualified column, or a bare column.
+    fn parse_ident_expr(&mut self, name: String) -> Result<Expr> {
+        if *self.peek() == TokenKind::LParen {
+            self.advance();
+            let distinct = self.consume_keyword(Keyword::Distinct);
+            let mut args = Vec::new();
+            if *self.peek() != TokenKind::RParen {
+                loop {
+                    if self.consume(&TokenKind::Star) {
+                        args.push(Expr::Wildcard);
+                    } else {
+                        args.push(self.parse_expr()?);
+                    }
+                    if !self.consume(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Function {
+                name,
+                args,
+                distinct,
+            });
+        }
+        // Qualified column?
+        if self.consume(&TokenKind::Dot) {
+            let col = self.parse_identifier()?;
+            return Ok(Expr::qcol(name, col));
+        }
+        Ok(Expr::col(name))
     }
 
     fn parse_interval_literal(&mut self) -> Result<Expr> {
@@ -984,5 +1263,211 @@ mod tests {
         round_trip("SELECT -x, NOT y, -(x + 1) FROM T");
         let q = round_trip("SELECT 3 - -2 FROM T");
         assert!(q.to_string().contains("(3 - (-2))"), "{q}");
+    }
+
+    #[test]
+    fn multiple_trailing_semicolons_accepted() {
+        assert!(parse_query("SELECT 1;").is_ok());
+        assert!(parse_query("SELECT 1;;").is_ok());
+        assert!(parse_query("SELECT 1 ; -- done\n").is_ok());
+        assert!(parse_query("SELECT 1; SELECT 2").is_err());
+    }
+
+    fn round_trip_stmt(sql: &str) -> Statement {
+        let s1 = parse_statement(sql).unwrap_or_else(|e| panic!("parse failed for {sql}: {e}"));
+        let printed = s1.to_string();
+        let s2 = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+        assert_eq!(s1, s2, "round trip mismatch for {sql} -> {printed}");
+        s1
+    }
+
+    #[test]
+    fn create_source_with_schema_and_watermark() {
+        let s = round_trip_stmt(
+            "CREATE SOURCE Bid (bidtime TIMESTAMP, price INT, item STRING, \
+             WATERMARK FOR bidtime) WITH (connector = 'file', path = '/tmp/b.csv', \
+             format = 'csv', header = TRUE, lateness_ms = 500)",
+        );
+        let Statement::CreateSource(c) = s else {
+            panic!("expected CreateSource")
+        };
+        assert!(!c.partitioned);
+        assert_eq!(c.name, "Bid");
+        assert_eq!(c.columns.len(), 3);
+        assert_eq!(c.columns[1].data_type, DataType::Int);
+        assert_eq!(c.watermark.as_deref(), Some("bidtime"));
+        assert_eq!(c.options.len(), 5);
+        assert_eq!(c.options[3].value, OptionValue::Bool(true));
+        assert_eq!(c.options[4].value, OptionValue::Number("500".into()));
+    }
+
+    #[test]
+    fn create_partitioned_source_without_schema() {
+        let s = round_trip_stmt(
+            "CREATE PARTITIONED SOURCE nex WITH (connector = 'nexmark', \
+             seed = 7, events = 6000, partitions = 4)",
+        );
+        let Statement::CreateSource(c) = s else {
+            panic!()
+        };
+        assert!(c.partitioned);
+        assert!(c.columns.is_empty());
+        assert!(c.watermark.is_none());
+    }
+
+    #[test]
+    fn create_sink_stream_and_temporal_table() {
+        let s = round_trip_stmt("CREATE SINK out WITH (connector = 'changelog')");
+        assert!(matches!(s, Statement::CreateSink(_)));
+
+        let s = round_trip_stmt(
+            "CREATE STREAM Person (id INT, name STRING, dateTime TIMESTAMP, \
+             WATERMARK FOR dateTime)",
+        );
+        let Statement::CreateStream(c) = s else {
+            panic!()
+        };
+        assert_eq!(c.columns.len(), 3);
+        assert_eq!(c.watermark.as_deref(), Some("dateTime"));
+
+        let s = round_trip_stmt(
+            "CREATE TEMPORAL TABLE Rates (currency STRING, rate INT) WITH (key = 'currency')",
+        );
+        assert!(matches!(s, Statement::CreateTemporalTable(_)));
+        round_trip_stmt("CREATE TEMPORAL TABLE Flat (x INT)");
+    }
+
+    #[test]
+    fn insert_into_select_emit() {
+        let s = round_trip_stmt(
+            "INSERT INTO out SELECT price FROM Bid WHERE price > 2 EMIT STREAM AFTER WATERMARK",
+        );
+        let Statement::Insert { sink, query } = s else {
+            panic!()
+        };
+        assert_eq!(sink, "out");
+        assert!(query.emit.is_some());
+    }
+
+    #[test]
+    fn explain_and_drop() {
+        let s = round_trip_stmt("EXPLAIN SELECT price FROM Bid");
+        assert!(matches!(s, Statement::Explain(_)));
+        let s = round_trip_stmt("DROP SOURCE Bid");
+        assert!(matches!(
+            s,
+            Statement::Drop {
+                kind: DropKind::Source,
+                if_exists: false,
+                ..
+            }
+        ));
+        let s = round_trip_stmt("DROP SINK IF EXISTS out");
+        assert!(matches!(
+            s,
+            Statement::Drop {
+                kind: DropKind::Sink,
+                if_exists: true,
+                ..
+            }
+        ));
+        round_trip_stmt("DROP STREAM S");
+        round_trip_stmt("DROP TABLE T");
+        assert!(parse_statement("DROP DATABASE x").is_err());
+    }
+
+    #[test]
+    fn bare_query_is_a_statement() {
+        let s = round_trip_stmt("SELECT 1");
+        assert!(matches!(s, Statement::Query(_)));
+    }
+
+    #[test]
+    fn script_parses_multiple_statements() {
+        let script = "
+            -- declare the topology
+            CREATE SOURCE Bid (bidtime TIMESTAMP, price INT, WATERMARK FOR bidtime)
+              WITH (connector = 'channel');
+            CREATE SINK out WITH (connector = 'changelog');;
+
+            INSERT INTO out SELECT price FROM Bid EMIT STREAM;
+        ";
+        let statements = parse_script(script).unwrap();
+        assert_eq!(statements.len(), 3);
+        assert!(matches!(statements[0], Statement::CreateSource(_)));
+        assert!(matches!(statements[2], Statement::Insert { .. }));
+
+        assert!(parse_script("").unwrap().is_empty());
+        assert!(parse_script(" ;; -- nothing\n").unwrap().is_empty());
+        assert!(parse_script("SELECT 1 SELECT 2").is_err());
+    }
+
+    #[test]
+    fn statement_parse_errors_are_descriptive() {
+        let err = parse_statement("CREATE VIEW v").unwrap_err().to_string();
+        assert!(err.contains("TEMPORAL TABLE"), "{err}");
+        let err = parse_statement("CREATE SOURCE s (x INT) WITH (path = )")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("option 'path'"), "{err}");
+        let err = parse_statement(
+            "CREATE SOURCE s (x INT, WATERMARK FOR a, WATERMARK FOR b) WITH (connector = 'c')",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("duplicate WATERMARK"), "{err}");
+        assert!(parse_statement("CREATE TEMPORAL TABLE t (x INT, WATERMARK FOR x)").is_err());
+        assert!(parse_statement("INSERT INTO").is_err());
+        assert!(parse_statement("CREATE STREAM s ()").is_err());
+    }
+
+    #[test]
+    fn statement_keywords_stay_usable_as_identifiers() {
+        // SOURCE / SINK / TEMPORAL / PARTITIONED / IF / EXPLAIN are
+        // statement-layer words, not reserved words of the query
+        // dialect: columns, tables, and aliases with those names keep
+        // parsing (unlike CREATE / WITH / INSERT, which standard SQL
+        // reserves too).
+        let q = round_trip("SELECT source, B.sink, temporal AS x FROM Bid B WHERE if > 1");
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert_eq!(s.projection.len(), 3);
+        round_trip("SELECT * FROM source");
+        round_trip("SELECT * FROM Bid partitioned");
+        round_trip("SELECT explain(x) FROM T");
+        let q = round_trip("SELECT source.* FROM Bid source");
+        let SetExpr::Select(s) = &q.body else {
+            panic!()
+        };
+        assert!(matches!(
+            &s.projection[0],
+            SelectItem::QualifiedWildcard(a) if a == "source"
+        ));
+        // DDL positions still accept them as object names.
+        round_trip_stmt("CREATE SINK sink WITH (connector = 'changelog')");
+        round_trip_stmt("DROP SOURCE source");
+    }
+
+    #[test]
+    fn negative_option_numbers() {
+        let s = round_trip_stmt("CREATE SINK s WITH (offset = -5)");
+        let Statement::CreateSink(c) = s else {
+            panic!()
+        };
+        assert_eq!(c.options[0].value, OptionValue::Number("-5".into()));
+    }
+
+    #[test]
+    fn keywords_work_as_option_keys() {
+        // `stream` (the net sink's required option) is a reserved word;
+        // WITH keys are positionally unambiguous so keywords are fine.
+        let s = round_trip_stmt("CREATE SINK s WITH (stream = 'Mid', table = 'x', if = TRUE)");
+        let Statement::CreateSink(c) = s else {
+            panic!()
+        };
+        assert_eq!(c.options[0].key, "STREAM");
+        assert_eq!(c.options[0].value, OptionValue::String("Mid".into()));
     }
 }

@@ -137,8 +137,10 @@ keywords! {
     By => "BY",
     Case => "CASE",
     Cast => "CAST",
+    Create => "CREATE",
     Cross => "CROSS",
     Delay => "DELAY",
+    Drop => "DROP",
     Desc => "DESC",
     Descriptor => "DESCRIPTOR",
     Distinct => "DISTINCT",
@@ -146,15 +148,20 @@ keywords! {
     Emit => "EMIT",
     End => "END",
     Exists => "EXISTS",
+    Explain => "EXPLAIN",
     False => "FALSE",
+    For => "FOR",
     From => "FROM",
     Group => "GROUP",
     Having => "HAVING",
     Hour => "HOUR",
     Hours => "HOURS",
+    If => "IF",
     In => "IN",
     Inner => "INNER",
+    Insert => "INSERT",
     Interval => "INTERVAL",
+    Into => "INTO",
     Is => "IS",
     Join => "JOIN",
     Left => "LEFT",
@@ -171,12 +178,16 @@ keywords! {
     Or => "OR",
     Order => "ORDER",
     Outer => "OUTER",
+    Partitioned => "PARTITIONED",
     Second => "SECOND",
     Seconds => "SECONDS",
     Select => "SELECT",
+    Sink => "SINK",
+    Source => "SOURCE",
     Stream => "STREAM",
     System => "SYSTEM",
     Table => "TABLE",
+    Temporal => "TEMPORAL",
     Then => "THEN",
     Time => "TIME",
     Timestamp => "TIMESTAMP",
@@ -185,6 +196,7 @@ keywords! {
     Watermark => "WATERMARK",
     When => "WHEN",
     Where => "WHERE",
+    With => "WITH",
 }
 
 #[cfg(test)]

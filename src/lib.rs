@@ -2,17 +2,21 @@
 
 //! Meta-crate re-exporting the onesql public API.
 //!
-//! - [`core`] — the engine: catalog, planning, running queries.
-//! - [`connect`] — pluggable sources/sinks and the pipeline driver.
+//! - [`core`] — the engine: catalog, planning, running queries, and the
+//!   SQL-first [`Session`] facade.
+//! - [`connect`] — pluggable sources/sinks, the pipeline driver, and the
+//!   default connector registry behind `CREATE SOURCE / SINK` DDL
+//!   ([`connect::session`] is the one-line entry point).
 pub use onesql_connect as connect;
 pub use onesql_core as core;
 
 pub use onesql_connect::{
-    ChangelogSink, ChannelPublisher, ChannelSink, ChannelSource, CsvFileSink, CsvFileSource,
-    CsvSinkMode, DriverConfig, FileSourceConfig, JsonLinesSink, JsonLinesSource, NetAddr,
-    NetConfig, NetPublisher, NetSink, NetSource, NexmarkSource, PartitionedFileSource,
+    ChangelogSink, ChannelPublisher, ChannelSink, ChannelSource, ConnectorRegistry, CsvFileSink,
+    CsvFileSource, CsvSinkMode, DriverConfig, FileSourceConfig, JsonLinesSink, JsonLinesSource,
+    NetAddr, NetConfig, NetPublisher, NetSink, NetSource, NexmarkSource, PartitionedFileSource,
     PartitionedNetSource, PartitionedNexmarkSource, PartitionedSource, PartitionedVec,
-    PipelineCheckpoint, PipelineDriver, PipelineMetrics, ShardedChannelSource, ShardedConfig,
-    ShardedPipelineDriver, SinglePartition, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+    PipelineCheckpoint, PipelineDriver, PipelineMetrics, ScriptOutcome, Session,
+    ShardedChannelSource, ShardedConfig, ShardedPipelineDriver, SinglePartition, Sink, Source,
+    SourceBatch, SourceEvent, SourceStatus, SqlPipeline, StatementResult,
 };
 pub use onesql_core::{Engine, RunningQuery, StreamBuilder};

@@ -1,0 +1,589 @@
+//! The SQL-first pipeline API, black-box: a pipeline defined *entirely*
+//! by a SQL script (`CREATE SOURCE` / `CREATE SINK` / `INSERT INTO ...
+//! SELECT ... EMIT`) must behave exactly like the same pipeline wired
+//! imperatively through the `Engine` API — byte-identical sink
+//! changelogs for both the plain and sharded drivers — plus the
+//! validation story: misspelled connectors and options, ill-typed
+//! values, and impossible recovery combinations all surface as
+//! descriptive errors, never panics.
+
+use std::sync::{Arc, Mutex};
+
+use onesql::connect::{register_nexmark_streams, session};
+use onesql::{
+    ChangelogSink, ChannelPublisher, Engine, NexmarkSource, PartitionedNexmarkSource,
+    ShardedConfig, StatementResult,
+};
+use onesql_nexmark::queries;
+use onesql_types::{row, Ts};
+
+const EVENTS: u64 = 3_000;
+const PARTS: usize = 4;
+const WORKERS: usize = 2;
+
+/// Q7 with the paper's EMIT clause, shared verbatim by both wirings.
+fn q7_emit() -> String {
+    format!("{} EMIT STREAM", queries::Q7)
+}
+
+/// The changelog an imperatively wired plain-driver Q7 produces.
+fn imperative_plain() -> String {
+    let mut engine = Engine::new();
+    register_nexmark_streams(&mut engine);
+    engine
+        .attach_source(Box::new(NexmarkSource::seeded(7, EVENTS)))
+        .unwrap();
+    let (rendered, sink) = ChangelogSink::in_memory();
+    engine.attach_sink(Box::new(sink));
+    let mut driver = engine.run_pipeline(&q7_emit()).unwrap();
+    driver.run().unwrap();
+    let out = rendered.lock().unwrap().clone();
+    assert!(!out.is_empty(), "imperative Q7 produced no output");
+    out
+}
+
+/// The changelog an imperatively wired sharded Q7 produces.
+fn imperative_sharded() -> String {
+    let mut engine = Engine::new();
+    register_nexmark_streams(&mut engine);
+    engine
+        .attach_partitioned_source(Box::new(PartitionedNexmarkSource::seeded(7, EVENTS, PARTS)))
+        .unwrap();
+    let (rendered, sink) = ChangelogSink::in_memory();
+    engine.attach_sink(Box::new(sink));
+    let mut driver = engine
+        .run_sharded_pipeline(&q7_emit(), ShardedConfig::new(WORKERS))
+        .unwrap();
+    driver.run().unwrap();
+    let out = rendered.lock().unwrap().clone();
+    out
+}
+
+#[test]
+fn sql_script_q7_matches_imperative_plain_driver() {
+    let mut session = session();
+    let script = format!(
+        "CREATE SOURCE nex WITH (connector = 'nexmark', seed = 7, events = {EVENTS});
+         CREATE SINK out WITH (connector = 'changelog');
+         INSERT INTO out {};",
+        q7_emit()
+    );
+    let mut pipeline = session
+        .execute_script(&script)
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    assert!(
+        !pipeline.is_sharded(),
+        "an unpartitioned source must assemble the plain driver"
+    );
+    let rendered = session
+        .take_handle::<Arc<Mutex<String>>>("out")
+        .expect("the in-memory changelog sink exports its buffer");
+    let metrics = pipeline.run().unwrap();
+    assert_eq!(metrics.events_in, EVENTS);
+    assert_eq!(*rendered.lock().unwrap(), imperative_plain());
+}
+
+#[test]
+fn sql_script_q7_matches_imperative_sharded_driver() {
+    let mut session = session();
+    session.set_workers(WORKERS);
+    let script = format!(
+        "CREATE PARTITIONED SOURCE nex
+           WITH (connector = 'nexmark', seed = 7, events = {EVENTS}, partitions = {PARTS});
+         CREATE SINK out WITH (connector = 'changelog');
+         INSERT INTO out {};",
+        q7_emit()
+    );
+    let mut pipeline = session
+        .execute_script(&script)
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    assert!(
+        pipeline.is_sharded(),
+        "a partitioned source must assemble the sharded driver"
+    );
+    let rendered = session
+        .take_handle::<Arc<Mutex<String>>>("out")
+        .expect("the in-memory changelog sink exports its buffer");
+    let metrics = pipeline.run().unwrap();
+    assert_eq!(metrics.events_in, EVENTS);
+    assert_eq!(*rendered.lock().unwrap(), imperative_sharded());
+}
+
+// ---------------------------------------------------------------------------
+// Definitions persist; pipelines drive channels through exported handles.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn channel_pipeline_via_script_and_handles() {
+    let mut session = session();
+    session
+        .execute_script(
+            "CREATE SOURCE Bid (bidtime TIMESTAMP, price INT, WATERMARK FOR bidtime)
+               WITH (connector = 'channel', capacity = 128);
+             CREATE SINK out WITH (connector = 'changelog');",
+        )
+        .unwrap();
+    // A later script binds against the persisted definitions.
+    let mut pipeline = session
+        .execute_script("INSERT INTO out SELECT price FROM Bid WHERE price > 2 EMIT STREAM;")
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    let publishers = session
+        .take_handle::<Vec<ChannelPublisher>>("Bid")
+        .expect("the channel source exports its publishers");
+    for i in 0..10i64 {
+        publishers[0].insert(Ts(i), row!(Ts(i), i)).unwrap();
+    }
+    publishers[0].finish().unwrap();
+    let metrics = pipeline.run().unwrap();
+    assert_eq!(metrics.events_in, 10);
+    assert_eq!(metrics.events_out, 7, "prices 3..=9 pass the filter");
+}
+
+#[test]
+fn explain_drop_and_redefinition() {
+    let mut session = session();
+    let outcome = session
+        .execute_script(
+            "CREATE SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t)
+               WITH (connector = 'channel');
+             EXPLAIN SELECT v FROM S WHERE v > 1;",
+        )
+        .unwrap();
+    let explains = outcome.explains();
+    assert_eq!(explains.len(), 1);
+    assert!(explains[0].contains("Filter"), "{}", explains[0]);
+    assert!(explains[0].contains("Scan: S"), "{}", explains[0]);
+
+    // Double CREATE is refused; DROP then recreate works.
+    let err = session
+        .execute("CREATE SOURCE S (v INT) WITH (connector = 'channel')")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("already exists"), "{err}");
+    session.execute("DROP SOURCE S").unwrap();
+    session
+        .execute(
+            "CREATE SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t) WITH (connector = 'channel')",
+        )
+        .unwrap();
+
+    // DROP of missing objects: IF EXISTS tolerates, bare DROP errors.
+    session.execute("DROP SINK IF EXISTS nope").unwrap();
+    let err = session.execute("DROP SINK nope").err().unwrap().to_string();
+    assert!(err.contains("no such object"), "{err}");
+}
+
+#[test]
+fn source_and_sink_sharing_a_name_keep_separate_handles() {
+    let mut session = session();
+    let mut pipeline = session
+        .execute_script(
+            "CREATE SOURCE data (t TIMESTAMP, v INT, WATERMARK FOR t)
+               WITH (connector = 'channel');
+             CREATE SINK data WITH (connector = 'changelog');
+             INSERT INTO data SELECT v FROM data EMIT STREAM;",
+        )
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    let publishers = session
+        .take_handle::<Vec<ChannelPublisher>>("data")
+        .expect("the source's publishers must survive the sink build");
+    let rendered = session
+        .take_handle::<Arc<Mutex<String>>>("data")
+        .expect("the sink's buffer is retrievable under the same name");
+    publishers[0].insert(Ts(0), row!(Ts(0), 7i64)).unwrap();
+    publishers[0].finish().unwrap();
+    pipeline.run().unwrap();
+    assert!(rendered.lock().unwrap().contains('7'));
+}
+
+#[test]
+fn failed_create_source_registers_no_streams() {
+    // The nexmark connector declares Person, Auction, Bid; if one of
+    // them clashes, the CREATE must fail without leaving the others
+    // registered behind.
+    let mut session = session();
+    session
+        .execute("CREATE TEMPORAL TABLE Auction (id INT, reserve INT)")
+        .unwrap();
+    let err = session
+        .execute("CREATE SOURCE nex WITH (connector = 'nexmark', events = 10)")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("already registered as a table"), "{err}");
+    // 'Person' must NOT have leaked into the catalog.
+    session
+        .execute("CREATE STREAM Person (id INT, dateTime TIMESTAMP, WATERMARK FOR dateTime)")
+        .expect("a failed CREATE SOURCE must not half-register streams");
+}
+
+#[test]
+fn temporal_table_ddl_queries_as_of() {
+    let mut session = session();
+    session
+        .execute("CREATE TEMPORAL TABLE Rates (currency STRING, rate INT) WITH (key = 'currency')")
+        .unwrap();
+    let table = session.engine_mut().temporal_table_mut("Rates").unwrap();
+    table.insert(Ts::hm(9, 0), row!("EUR", 114i64)).unwrap();
+    table.insert(Ts::hm(10, 0), row!("EUR", 120i64)).unwrap();
+    let StatementResult::Query(q) = session
+        .execute("SELECT rate FROM Rates AS OF SYSTEM TIME TIMESTAMP '9:30'")
+        .unwrap()
+    else {
+        panic!("expected a running query")
+    };
+    assert_eq!(q.table().unwrap(), vec![row!(114i64)]);
+}
+
+#[test]
+fn trailing_semicolons_accepted_by_both_entry_points() {
+    // A statement copied out of a script (with its `;`) must parse
+    // identically through Engine::plan/execute and Session::execute.
+    let mut engine = Engine::new();
+    engine.register_stream(
+        "Bid",
+        onesql::StreamBuilder::new()
+            .event_time_column("bidtime")
+            .column("price", onesql_types::DataType::Int),
+    );
+    engine.plan("SELECT price FROM Bid;").unwrap();
+    engine.plan("SELECT price FROM Bid;;").unwrap();
+    engine
+        .execute("SELECT price FROM Bid; -- copied\n")
+        .unwrap();
+    let mut session = session();
+    session.execute("EXPLAIN SELECT 1;").unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Connector-option validation: descriptive errors, never panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_connector_names_are_suggested() {
+    let mut session = session();
+    let err = session
+        .execute("CREATE SOURCE s (v INT) WITH (connector = 'fil', path = 'x')")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("unknown source connector 'fil'"), "{err}");
+    assert!(err.contains("did you mean 'file'"), "{err}");
+
+    let err = session
+        .execute("CREATE SINK s WITH (connector = 'changelgo')")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("did you mean 'changelog'"), "{err}");
+}
+
+#[test]
+fn unknown_and_duplicate_with_keys_are_rejected() {
+    let mut session = session();
+    let err = session
+        .execute("CREATE SOURCE s WITH (connector = 'nexmark', events = 10, sed = 5)")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("unknown option 'sed'"), "{err}");
+    assert!(err.contains("did you mean 'seed'"), "{err}");
+
+    let err = session
+        .execute("CREATE SOURCE s (v INT) WITH (connector = 'file', path = 'a', path = 'b')")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("duplicate WITH option 'path'"), "{err}");
+}
+
+#[test]
+fn option_type_and_missing_key_errors_name_the_option() {
+    let mut session = session();
+    let err = session
+        .execute(
+            "CREATE PARTITIONED SOURCE s
+               WITH (connector = 'nexmark', events = 10, partitions = 'abc')",
+        )
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("option 'partitions'"), "{err}");
+    assert!(err.contains("'abc'"), "{err}");
+
+    let err = session
+        .execute("CREATE SOURCE s (v INT) WITH (connector = 'file')")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("missing required option 'path'"), "{err}");
+
+    let err = session
+        .execute("CREATE SOURCE s (v INT) WITH (connector = 'net', addr = '127.0.0.1:0')")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("'tcp:host:port'"), "{err}");
+}
+
+#[test]
+fn insert_against_missing_objects_errors() {
+    let mut session = session();
+    session
+        .execute("CREATE SINK out WITH (connector = 'changelog')")
+        .unwrap();
+    // Unknown sink.
+    let err = session
+        .execute("INSERT INTO nowhere SELECT 1")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("no such sink"), "{err}");
+    // A query over streams no CREATE SOURCE feeds.
+    session.execute("CREATE STREAM Orphan (v INT)").unwrap();
+    let err = session
+        .execute("INSERT INTO out SELECT v FROM Orphan")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("no CREATE SOURCE feeds"), "{err}");
+
+    // A *partially* fed query must also error (a silently empty join is
+    // worse than a missing-source error), naming only the unfed stream.
+    session
+        .execute(
+            "CREATE SOURCE Bid (bidtime TIMESTAMP, price INT, WATERMARK FOR bidtime)
+             WITH (connector = 'channel')",
+        )
+        .unwrap();
+    let err = session
+        .execute("INSERT INTO out SELECT price FROM Bid B JOIN Orphan O ON B.price = O.v")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("orphan"), "{err}");
+    assert!(
+        !err.contains("[bid"),
+        "only the unfed stream is named: {err}"
+    );
+}
+
+#[test]
+fn drop_source_unregisters_its_streams() {
+    let mut session = session();
+    session
+        .execute(
+            "CREATE SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t) WITH (connector = 'channel')",
+        )
+        .unwrap();
+    session.execute("DROP SOURCE S").unwrap();
+    // The auto-registered stream must be gone with it, so the source
+    // can be recreated under a different schema...
+    session
+        .execute("CREATE SOURCE S (v INT, x STRING) WITH (connector = 'channel')")
+        .expect("recreate with a different schema after DROP");
+    session.execute("DROP SOURCE S").unwrap();
+    // ...and a pre-existing CREATE STREAM is *not* swept up by DROP
+    // SOURCE (the source did not register it).
+    session.execute("CREATE STREAM T (v INT)").unwrap();
+    session
+        .execute(
+            "CREATE SOURCE net_t WITH (connector = 'net', addr = 'tcp:127.0.0.1:0',
+             streams = 'T')",
+        )
+        .unwrap();
+    session.execute("DROP SOURCE net_t").unwrap();
+    let err = session
+        .execute("CREATE STREAM T (v INT)")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("already exists"), "T must survive: {err}");
+}
+
+#[test]
+fn drop_stream_refused_while_a_source_feeds_it() {
+    let mut session = session();
+    session
+        .execute("CREATE SOURCE nex WITH (connector = 'nexmark', events = 10)")
+        .unwrap();
+    let err = session
+        .execute("DROP STREAM Person")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("source 'nex' feeds it"), "{err}");
+    // After dropping the source, the stream goes with it (auto-
+    // registered), so DROP STREAM then reports absence.
+    session.execute("DROP SOURCE nex").unwrap();
+    session.execute("DROP STREAM IF EXISTS Person").unwrap();
+}
+
+#[test]
+fn side_irrelevant_net_options_are_rejected() {
+    let mut session = session();
+    // Consumer-side knob on the (producer-side) net sink.
+    let err = session
+        .execute(
+            "CREATE SINK ship WITH (connector = 'net', addr = 'tcp:h:1',
+             stream = 'S', silence_limit_ms = 100)",
+        )
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("unknown option 'silence_limit_ms'"), "{err}");
+    // Producer-side knob on the (consumer-side) net source.
+    let err = session
+        .execute(
+            "CREATE SOURCE feed (v INT) WITH (connector = 'net',
+             addr = 'tcp:127.0.0.1:0', keepalive_ms = 100)",
+        )
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("unknown option 'keepalive_ms'"), "{err}");
+    // Options that would sit inert are refused across families: a
+    // header on JSON-lines, and multi-partition nets without
+    // PARTITIONED — both at CREATE time, not first-INSERT time.
+    let err = session
+        .execute(
+            "CREATE SINK j WITH (connector = 'file', path = '/tmp/x.jsonl',
+             format = 'jsonl', header = FALSE)",
+        )
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("only applies to format='csv'"), "{err}");
+    let err = session
+        .execute(
+            "CREATE SOURCE feed (v INT) WITH (connector = 'net',
+             addr = 'tcp:127.0.0.1:0', partitions = 4)",
+        )
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("needs CREATE PARTITIONED SOURCE"), "{err}");
+}
+
+#[test]
+fn failed_insert_does_not_clobber_live_handles() {
+    let mut session = session();
+    let mut pipeline = session
+        .execute_script(
+            "CREATE SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t)
+               WITH (connector = 'channel');
+             CREATE SINK good WITH (connector = 'changelog');
+             CREATE SINK bad WITH (connector = 'file', path = '/nonexistent-dir/x.csv');
+             INSERT INTO good SELECT v FROM S EMIT STREAM;",
+        )
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    // A later INSERT that fails at sink build (unwritable path) must
+    // not replace the live pipeline's exported publishers.
+    let err = session
+        .execute("INSERT INTO bad SELECT v FROM S EMIT STREAM")
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("cannot create"), "{err}");
+    let publishers = session
+        .take_handle::<Vec<ChannelPublisher>>("S")
+        .expect("live pipeline's publishers survive the failed INSERT");
+    publishers[0].insert(Ts(0), row!(Ts(0), 3i64)).unwrap();
+    publishers[0].finish().unwrap();
+    let metrics = pipeline.run().unwrap();
+    assert_eq!(metrics.events_in, 1, "the live pipeline still ingests");
+}
+
+#[test]
+fn non_replayable_source_checkpoint_restore_is_a_descriptive_error() {
+    // Channels are non-replayable: a sharded pipeline over them can run
+    // and even checkpoint, but restoring that checkpoint into a fresh
+    // pipeline must refuse descriptively (the pre-crash events exist
+    // nowhere to replay from) — never panic, never silently drop data.
+    let mut session = session();
+    session.set_workers(2);
+    let mut pipeline = session
+        .execute_script(
+            "CREATE PARTITIONED SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t)
+               WITH (connector = 'channel', partitions = 2);
+             CREATE SINK out WITH (connector = 'changelog');
+             INSERT INTO out SELECT v FROM S EMIT STREAM;",
+        )
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    let publishers = session
+        .take_handle::<Vec<ChannelPublisher>>("S")
+        .expect("publishers exported");
+    for i in 0..32i64 {
+        publishers[(i % 2) as usize]
+            .insert(Ts(i), row!(Ts(i), i))
+            .unwrap();
+    }
+    let sharded = pipeline.as_sharded_mut().expect("partitioned => sharded");
+    while sharded.events_in() < 32 {
+        sharded.step().unwrap();
+    }
+    let checkpoint = sharded.checkpoint().unwrap();
+    assert!(checkpoint.offsets.iter().flatten().any(|&o| o > 0));
+
+    // A fresh pipeline from the same persistent definitions gets fresh
+    // (empty) channels; seeking them to the checkpoint offsets must err.
+    let StatementResult::Pipeline(mut fresh) = session
+        .execute("INSERT INTO out SELECT v FROM S EMIT STREAM")
+        .unwrap()
+    else {
+        panic!("expected a pipeline")
+    };
+    let err = fresh
+        .as_sharded_mut()
+        .unwrap()
+        .restore(&checkpoint)
+        .err()
+        .unwrap()
+        .to_string();
+    assert!(err.contains("not replayable"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// File connectors end to end: a pure-SQL CSV -> filter -> CSV pipeline.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn file_to_file_pipeline_from_sql_only() {
+    let dir = std::env::temp_dir().join("onesql_sql_pipeline");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join(format!("in-{}.csv", std::process::id()));
+    let output = dir.join(format!("out-{}.csv", std::process::id()));
+    std::fs::write(&input, "8:01,5\n8:02,1\n8:03,9\n").unwrap();
+
+    let mut session = session();
+    let script = format!(
+        "CREATE SOURCE Bid (bidtime TIMESTAMP, price INT, WATERMARK FOR bidtime)
+           WITH (connector = 'file', path = '{}', format = 'csv');
+         CREATE SINK filtered
+           WITH (connector = 'file', path = '{}', mode = 'appends', header = FALSE);
+         INSERT INTO filtered SELECT price FROM Bid WHERE price > 2 EMIT AFTER WATERMARK;",
+        input.display(),
+        output.display()
+    );
+    let mut pipeline = session
+        .execute_script(&script)
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    pipeline.run().unwrap();
+    let written = std::fs::read_to_string(&output).unwrap();
+    assert_eq!(written, "5\n9\n");
+}
