@@ -219,7 +219,7 @@ impl CsvFileSource {
 
 impl Source for CsvFileSource {
     fn name(&self) -> &str {
-        &self.0.name
+        self.0.name()
     }
     fn streams(&self) -> &[String] {
         &self.0.streams
@@ -252,7 +252,7 @@ impl JsonLinesSource {
 
 impl Source for JsonLinesSource {
     fn name(&self) -> &str {
-        &self.0.name
+        self.0.name()
     }
     fn streams(&self) -> &[String] {
         &self.0.streams
@@ -358,9 +358,11 @@ pub enum CsvSinkMode {
 /// Names of the metadata columns a changelog-mode sink appends.
 const META_NAMES: [&str; 3] = onesql_exec::STREAM_META_COLUMNS;
 
-struct TextFileSink {
+/// Row-to-line rendering shared by the plain and transactional file
+/// sinks: CSV or JSON-lines, changelog or appends mode, with the
+/// bind-time header line and extended JSON schema.
+struct LineRenderer {
     name: String,
-    writer: BufWriter<File>,
     mode: CsvSinkMode,
     format: LineFormat,
     /// JSON field-name schema, extended with the metadata columns in
@@ -369,41 +371,33 @@ struct TextFileSink {
     header: bool,
 }
 
-impl TextFileSink {
-    fn create(
-        path: impl AsRef<Path>,
-        mode: CsvSinkMode,
-        format: LineFormat,
-        header: bool,
-    ) -> Result<TextFileSink> {
-        let path = path.as_ref();
-        let file = File::create(path)
-            .map_err(|e| Error::exec(format!("cannot create '{}': {e}", path.display())))?;
-        Ok(TextFileSink {
-            name: format!("file:{}", path.display()),
-            writer: BufWriter::new(file),
+impl LineRenderer {
+    fn new(name: String, mode: CsvSinkMode, format: LineFormat, header: bool) -> LineRenderer {
+        LineRenderer {
+            name,
             mode,
             format,
             json_schema: None,
             header,
-        })
+        }
     }
 
-    fn bind(&mut self, schema: SchemaRef) -> Result<()> {
-        if self.header {
-            if let LineFormat::Csv = self.format {
-                let mut names: Vec<String> = schema
-                    .names()
-                    .into_iter()
-                    .map(text::escape_csv_field)
-                    .collect();
-                if self.mode == CsvSinkMode::Changelog {
-                    names.extend(META_NAMES.iter().map(|n| n.to_string()));
-                }
-                writeln!(self.writer, "{}", names.join(","))
-                    .map_err(|e| Error::exec(format!("{}: write error: {e}", self.name)))?;
+    /// Bind the output schema, returning the header line to write (CSV
+    /// with headers enabled only).
+    fn bind(&mut self, schema: SchemaRef) -> Result<Option<String>> {
+        let header = if self.header && matches!(self.format, LineFormat::Csv) {
+            let mut names: Vec<String> = schema
+                .names()
+                .into_iter()
+                .map(text::escape_csv_field)
+                .collect();
+            if self.mode == CsvSinkMode::Changelog {
+                names.extend(META_NAMES.iter().map(|n| n.to_string()));
             }
-        }
+            Some(names.join(","))
+        } else {
+            None
+        };
         let mut fields = schema.fields().to_vec();
         if self.mode == CsvSinkMode::Changelog {
             fields.push(onesql_types::Field::new(
@@ -420,53 +414,92 @@ impl TextFileSink {
             ));
         }
         self.json_schema = Some(Schema::new(fields));
+        Ok(header)
+    }
+
+    fn render(&self, sr: &StreamRow) -> Result<String> {
+        if self.mode == CsvSinkMode::Appends && sr.undo {
+            return Err(Error::exec(format!(
+                "{}: retraction reached an appends-mode sink; use \
+                 CsvSinkMode::Changelog or a watermark-gated query",
+                self.name
+            )));
+        }
+        Ok(match (&self.format, &self.mode) {
+            (LineFormat::Csv, CsvSinkMode::Appends) => text::row_to_csv(&sr.row),
+            (LineFormat::Csv, CsvSinkMode::Changelog) => {
+                let mut fields: Vec<String> = sr
+                    .row
+                    .values()
+                    .iter()
+                    .map(|v| text::escape_csv_field(&text::format_value(v)))
+                    .collect();
+                // `true`/`false` (not the paper's "undo" rendering, which
+                // ChangelogSink provides) so the column parses back as the
+                // Bool the meta schema declares.
+                fields.push(sr.undo.to_string());
+                fields.push(sr.ptime.to_clock_string());
+                fields.push(sr.ver.to_string());
+                fields.join(",")
+            }
+            (LineFormat::JsonLines, mode) => {
+                let schema = self
+                    .json_schema
+                    .as_ref()
+                    .ok_or_else(|| Error::exec(format!("{}: sink was never bound", self.name)))?;
+                let row = if *mode == CsvSinkMode::Changelog {
+                    sr.row.with_appended(&[
+                        Value::Bool(sr.undo),
+                        Value::Ts(sr.ptime),
+                        Value::Int(sr.ver as i64),
+                    ])
+                } else {
+                    sr.row.clone()
+                };
+                json::row_to_json(&row, schema)
+            }
+        })
+    }
+}
+
+struct TextFileSink {
+    renderer: LineRenderer,
+    writer: BufWriter<File>,
+}
+
+impl TextFileSink {
+    fn create(
+        path: impl AsRef<Path>,
+        mode: CsvSinkMode,
+        format: LineFormat,
+        header: bool,
+    ) -> Result<TextFileSink> {
+        let path = path.as_ref();
+        let file = File::create(path)
+            .map_err(|e| Error::exec(format!("cannot create '{}': {e}", path.display())))?;
+        Ok(TextFileSink {
+            renderer: LineRenderer::new(format!("file:{}", path.display()), mode, format, header),
+            writer: BufWriter::new(file),
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.renderer.name
+    }
+
+    fn bind(&mut self, schema: SchemaRef) -> Result<()> {
+        if let Some(header) = self.renderer.bind(schema)? {
+            writeln!(self.writer, "{header}")
+                .map_err(|e| Error::exec(format!("{}: write error: {e}", self.renderer.name)))?;
+        }
         Ok(())
     }
 
     fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
         for sr in rows {
-            if self.mode == CsvSinkMode::Appends && sr.undo {
-                return Err(Error::exec(format!(
-                    "{}: retraction reached an appends-mode sink; use \
-                     CsvSinkMode::Changelog or a watermark-gated query",
-                    self.name
-                )));
-            }
-            let line = match (&self.format, &self.mode) {
-                (LineFormat::Csv, CsvSinkMode::Appends) => text::row_to_csv(&sr.row),
-                (LineFormat::Csv, CsvSinkMode::Changelog) => {
-                    let mut fields: Vec<String> = sr
-                        .row
-                        .values()
-                        .iter()
-                        .map(|v| text::escape_csv_field(&text::format_value(v)))
-                        .collect();
-                    // `true`/`false` (not the paper's "undo" rendering, which
-                    // ChangelogSink provides) so the column parses back as the
-                    // Bool the meta schema declares.
-                    fields.push(sr.undo.to_string());
-                    fields.push(sr.ptime.to_clock_string());
-                    fields.push(sr.ver.to_string());
-                    fields.join(",")
-                }
-                (LineFormat::JsonLines, mode) => {
-                    let schema = self.json_schema.as_ref().ok_or_else(|| {
-                        Error::exec(format!("{}: sink was never bound", self.name))
-                    })?;
-                    let row = if *mode == CsvSinkMode::Changelog {
-                        sr.row.with_appended(&[
-                            Value::Bool(sr.undo),
-                            Value::Ts(sr.ptime),
-                            Value::Int(sr.ver as i64),
-                        ])
-                    } else {
-                        sr.row.clone()
-                    };
-                    json::row_to_json(&row, schema)
-                }
-            };
+            let line = self.renderer.render(sr)?;
             writeln!(self.writer, "{line}")
-                .map_err(|e| Error::exec(format!("{}: write error: {e}", self.name)))?;
+                .map_err(|e| Error::exec(format!("{}: write error: {e}", self.renderer.name)))?;
         }
         Ok(())
     }
@@ -474,7 +507,7 @@ impl TextFileSink {
     fn flush(&mut self) -> Result<()> {
         self.writer
             .flush()
-            .map_err(|e| Error::exec(format!("{}: flush error: {e}", self.name)))
+            .map_err(|e| Error::exec(format!("{}: flush error: {e}", self.renderer.name)))
     }
 }
 
@@ -506,7 +539,7 @@ impl CsvFileSink {
 
 impl Sink for CsvFileSink {
     fn name(&self) -> &str {
-        &self.0.name
+        self.0.name()
     }
     fn bind(&mut self, schema: SchemaRef) -> Result<()> {
         self.0.bind(schema)
@@ -536,7 +569,7 @@ impl JsonLinesSink {
 
 impl Sink for JsonLinesSink {
     fn name(&self) -> &str {
-        &self.0.name
+        self.0.name()
     }
     fn bind(&mut self, schema: SchemaRef) -> Result<()> {
         self.0.bind(schema)
@@ -546,6 +579,315 @@ impl Sink for JsonLinesSink {
     }
     fn flush(&mut self) -> Result<()> {
         self.0.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transactional (two-phase) file sink
+// ---------------------------------------------------------------------------
+
+/// Magic opening a transactional sink's staging sidecar.
+const TXN_MAGIC: [u8; 4] = *b"OSQT";
+
+/// Staged `(epoch, length)` entries the sidecar keeps after a commit.
+/// Must be at least the checkpoint store's retention (`SET
+/// checkpoint_retain`, default 3) for every retained epoch to stay
+/// restorable; 64 leaves a wide margin while bounding sidecar growth.
+const TXN_RETAIN: usize = 64;
+
+/// Lifecycle of a transactional sink instance.
+enum TxnState {
+    /// Built and bound, fate undecided: the first `write` starts a fresh
+    /// output file; an `on_restore` recovers the previous incarnation's.
+    Pending,
+    /// Output file open, appending.
+    Active,
+    /// Pipeline finished; output is final and the sidecar is gone.
+    Finished,
+}
+
+/// A two-phase file sink for exactly-once *sink files*, not just
+/// changelogs: rows append to the destination file as usual, but every
+/// checkpoint barrier durably stages the association `(epoch, committed
+/// byte length)` in a `<path>.txn` sidecar **before** the pipeline
+/// checkpoint itself is persisted, and `ack_checkpoint` commits it.
+/// Restoring epoch E in a fresh process truncates the file back to E's
+/// recorded length — discarding exactly the uncommitted staging the
+/// replay will regenerate — so a pipeline killed at any point and
+/// restored produces a destination file *byte-identical* to an
+/// uninterrupted run. A normal finish removes the sidecar, leaving the
+/// same final artifacts either way.
+///
+/// The sidecar is framed like every durable-checkpoint file (magic +
+/// version + length + CRC, atomic tmp-rename; see
+/// `onesql_core::durable`), so a corrupt or truncated sidecar is a typed
+/// error, never silent duplication.
+pub struct TxnFileSink {
+    renderer: LineRenderer,
+    path: std::path::PathBuf,
+    sidecar: std::path::PathBuf,
+    header: Option<String>,
+    state: TxnState,
+    /// `(epoch, committed byte length)` per staged checkpoint, ascending.
+    epochs: Vec<(u64, u64)>,
+    /// Highest epoch whose durability was acknowledged (phase two).
+    committed: u64,
+    writer: Option<BufWriter<File>>,
+}
+
+impl TxnFileSink {
+    /// A transactional sink writing `path` (sidecar `path.txn`). No file
+    /// is touched until the first write (fresh start) or `on_restore`
+    /// (recovery) decides this instance's fate.
+    pub fn new(path: impl AsRef<Path>, mode: CsvSinkMode, header: bool) -> TxnFileSink {
+        TxnFileSink::with_format(path, mode, LineFormat::Csv, header)
+    }
+
+    /// A transactional JSON-lines sink.
+    pub fn json_lines(path: impl AsRef<Path>, mode: CsvSinkMode) -> TxnFileSink {
+        TxnFileSink::with_format(path, mode, LineFormat::JsonLines, false)
+    }
+
+    fn with_format(
+        path: impl AsRef<Path>,
+        mode: CsvSinkMode,
+        format: LineFormat,
+        header: bool,
+    ) -> TxnFileSink {
+        let path = path.as_ref().to_path_buf();
+        let mut sidecar_name = path.file_name().unwrap_or_default().to_os_string();
+        sidecar_name.push(".txn");
+        let sidecar = path.with_file_name(sidecar_name);
+        TxnFileSink {
+            renderer: LineRenderer::new(
+                format!("txnfile:{}", path.display()),
+                mode,
+                format,
+                header,
+            ),
+            path,
+            sidecar,
+            header: None,
+            state: TxnState::Pending,
+            epochs: Vec::new(),
+            committed: 0,
+            writer: None,
+        }
+    }
+
+    fn err(&self, msg: impl std::fmt::Display) -> onesql_types::Error {
+        Error::exec(format!("{}: {msg}", self.renderer.name))
+    }
+
+    /// Persist the sidecar atomically: `committed`, then the staged
+    /// `(epoch, length)` pairs.
+    fn write_sidecar(&self) -> Result<()> {
+        let mut payload = Vec::with_capacity(16 + self.epochs.len() * 16);
+        payload.extend_from_slice(&self.committed.to_le_bytes());
+        payload.extend_from_slice(&(self.epochs.len() as u64).to_le_bytes());
+        for &(epoch, len) in &self.epochs {
+            payload.extend_from_slice(&epoch.to_le_bytes());
+            payload.extend_from_slice(&len.to_le_bytes());
+        }
+        onesql_core::durable::write_atomic(&self.sidecar, TXN_MAGIC, &payload)
+    }
+
+    fn read_sidecar(&self) -> Result<(u64, Vec<(u64, u64)>)> {
+        let payload = onesql_core::durable::read_verified(&self.sidecar, TXN_MAGIC)?;
+        let word = |i: usize| -> Result<u64> {
+            let bytes = payload.get(i * 8..i * 8 + 8).ok_or_else(|| {
+                self.err(format!(
+                    "sidecar '{}' payload is short",
+                    self.sidecar.display()
+                ))
+            })?;
+            Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        };
+        let committed = word(0)?;
+        let count = word(1)?;
+        let mut epochs = Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(1024));
+        for i in 0..count {
+            let base = 2 + (i as usize) * 2;
+            epochs.push((word(base)?, word(base + 1)?));
+        }
+        Ok((committed, epochs))
+    }
+
+    /// Fresh start: create (truncate) the destination, write the header,
+    /// record the txn baseline. Overwrites any stale sidecar from an
+    /// abandoned earlier run — the same truncate-and-redo a
+    /// non-transactional sink performs on its output file.
+    fn start_fresh(&mut self) -> Result<()> {
+        let file = File::create(&self.path)
+            .map_err(|e| self.err(format!("cannot create '{}': {e}", self.path.display())))?;
+        let mut writer = BufWriter::new(file);
+        if let Some(header) = &self.header {
+            writeln!(writer, "{header}").map_err(|e| self.err(format!("write error: {e}")))?;
+            writer
+                .flush()
+                .map_err(|e| self.err(format!("flush error: {e}")))?;
+        }
+        self.writer = Some(writer);
+        self.epochs.clear();
+        self.committed = 0;
+        self.write_sidecar()?;
+        self.state = TxnState::Active;
+        Ok(())
+    }
+
+    fn active_writer(&mut self) -> Result<&mut BufWriter<File>> {
+        match self.state {
+            TxnState::Pending => self.start_fresh()?,
+            TxnState::Active => {}
+            TxnState::Finished => {
+                return Err(self.err("write after the pipeline finished"));
+            }
+        }
+        Ok(self.writer.as_mut().expect("active implies a writer"))
+    }
+
+    /// Flush buffered lines and return the file's current byte length.
+    fn flushed_len(&mut self) -> Result<u64> {
+        let name = self.renderer.name.clone();
+        let writer = self.active_writer()?;
+        writer
+            .flush()
+            .map_err(|e| Error::exec(format!("{name}: flush error: {e}")))?;
+        let meta = writer
+            .get_ref()
+            .metadata()
+            .map_err(|e| Error::exec(format!("{name}: cannot stat: {e}")))?;
+        Ok(meta.len())
+    }
+}
+
+impl Sink for TxnFileSink {
+    fn name(&self) -> &str {
+        &self.renderer.name
+    }
+
+    fn bind(&mut self, schema: SchemaRef) -> Result<()> {
+        self.header = self.renderer.bind(schema)?;
+        Ok(())
+    }
+
+    fn write(&mut self, rows: &[StreamRow]) -> Result<()> {
+        for sr in rows {
+            let line = self.renderer.render(sr)?;
+            let name = self.renderer.name.clone();
+            writeln!(self.active_writer()?, "{line}")
+                .map_err(|e| Error::exec(format!("{name}: write error: {e}")))?;
+        }
+        Ok(())
+    }
+
+    fn on_checkpoint(&mut self, epoch: u64) -> Result<()> {
+        // Phase one, durable *before* the checkpoint itself persists:
+        // sync the data, then atomically stage (epoch, length). Whichever
+        // epochs the store ends up retaining, their boundaries exist.
+        let len = self.flushed_len()?;
+        let writer = self.writer.as_mut().expect("flushed_len made active");
+        writer
+            .get_ref()
+            .sync_all()
+            .map_err(|e| self.err(format!("sync error: {e}")))?;
+        if let Some(&(last, _)) = self.epochs.last() {
+            if epoch <= last {
+                return Err(self.err(format!(
+                    "checkpoint epoch {epoch} does not advance past staged epoch {last}"
+                )));
+            }
+        }
+        self.epochs.push((epoch, len));
+        self.write_sidecar()
+    }
+
+    fn commit_checkpoint(&mut self, epoch: u64) -> Result<()> {
+        if !self.epochs.iter().any(|&(e, _)| e == epoch) {
+            return Err(self.err(format!("cannot commit epoch {epoch}: it was never staged")));
+        }
+        if epoch > self.committed {
+            self.committed = epoch;
+            // Release staging for epochs no checkpoint store can still
+            // restore: keep the newest TXN_RETAIN entries (a generous
+            // multiple of any sane `checkpoint_retain`), so the sidecar
+            // stays O(1) per checkpoint instead of growing forever.
+            if self.epochs.len() > TXN_RETAIN {
+                let drop = self.epochs.len() - TXN_RETAIN;
+                self.epochs.drain(..drop);
+            }
+            self.write_sidecar()?;
+        }
+        Ok(())
+    }
+
+    fn on_restore(&mut self, epoch: u64) -> Result<()> {
+        if !matches!(self.state, TxnState::Pending) {
+            return Err(self.err("restore requires a freshly built sink"));
+        }
+        if !self.sidecar.exists() {
+            return Err(self.err(format!(
+                "no transactional staging state at '{}'; was the previous run's \
+                 sink transactional and checkpointed?",
+                self.sidecar.display()
+            )));
+        }
+        let (_, epochs) = self.read_sidecar()?;
+        let Some(&(_, len)) = epochs.iter().find(|&&(e, _)| e == epoch) else {
+            return Err(self.err(format!(
+                "epoch {epoch} was never staged here (staged epochs: {:?})",
+                epochs.iter().map(|&(e, _)| e).collect::<Vec<_>>()
+            )));
+        };
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| self.err(format!("cannot open '{}': {e}", self.path.display())))?;
+        let actual = file
+            .metadata()
+            .map_err(|e| self.err(format!("cannot stat: {e}")))?
+            .len();
+        if actual < len {
+            return Err(self.err(format!(
+                "'{}' holds {actual} bytes but epoch {epoch} committed {len}; \
+                 committed output is missing",
+                self.path.display()
+            )));
+        }
+        // Truncate the uncommitted staging; the replay regenerates it.
+        file.set_len(len)
+            .map_err(|e| self.err(format!("cannot truncate: {e}")))?;
+        let mut file = file;
+        std::io::Seek::seek(&mut file, std::io::SeekFrom::End(0))
+            .map_err(|e| self.err(format!("cannot seek: {e}")))?;
+        self.writer = Some(BufWriter::new(file));
+        self.epochs = epochs.into_iter().filter(|&(e, _)| e <= epoch).collect();
+        self.committed = epoch;
+        self.write_sidecar()?;
+        self.state = TxnState::Active;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        // The pipeline finished: make the output final. An empty run
+        // still materializes the (header-only) file, exactly like the
+        // non-transactional sink; the sidecar is removed because there is
+        // no staging left to recover. The driver flushes sinks *before*
+        // acking final source offsets, so if a later finish step fails,
+        // the output here is already complete and durable — a subsequent
+        // restore attempt errors loudly on the missing sidecar rather
+        // than duplicating rows into a finished file.
+        self.flushed_len()?;
+        let writer = self.writer.as_mut().expect("flushed_len made active");
+        writer
+            .get_ref()
+            .sync_all()
+            .map_err(|e| self.err(format!("sync error: {e}")))?;
+        std::fs::remove_file(&self.sidecar)
+            .map_err(|e| self.err(format!("cannot remove sidecar: {e}")))?;
+        self.state = TxnState::Finished;
+        Ok(())
     }
 }
 
@@ -606,6 +948,94 @@ mod tests {
         let wm = batch.watermark.unwrap();
         assert!(wm < Ts::hm(8, 7), "watermark {wm} would close ts 8:07");
         assert_eq!(wm, Ts::hm(8, 7) - Duration(1));
+    }
+
+    fn stream_row(v: i64) -> StreamRow {
+        StreamRow {
+            row: row!(v),
+            undo: false,
+            ptime: Ts(v),
+            ver: 0,
+        }
+    }
+
+    fn out_schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![onesql_types::Field::new(
+            "v",
+            DataType::Int,
+        )]))
+    }
+
+    #[test]
+    fn txn_sink_stages_commits_and_truncates_on_restore() {
+        let dir = std::env::temp_dir().join("onesql_txn_sink_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("txn-{}.csv", std::process::id()));
+        let sidecar = dir.join(format!("txn-{}.csv.txn", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar);
+
+        // First incarnation: two rows, checkpoint epoch 1, two more rows
+        // (uncommitted staging), then "crash" (drop without flush).
+        let mut sink = TxnFileSink::new(&path, CsvSinkMode::Appends, false);
+        sink.bind(out_schema()).unwrap();
+        sink.write(&[stream_row(1), stream_row(2)]).unwrap();
+        sink.on_checkpoint(1).unwrap();
+        sink.commit_checkpoint(1).unwrap();
+        sink.write(&[stream_row(3), stream_row(4)]).unwrap();
+        // Stage epoch 2 so the bytes are on disk, but never "persist" it.
+        sink.on_checkpoint(2).unwrap();
+        drop(sink);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "1\n2\n3\n4\n");
+
+        // Restore epoch 1 in a fresh instance: rows 3 and 4 are staging
+        // beyond it and must vanish; the replay re-writes them once.
+        let mut sink = TxnFileSink::new(&path, CsvSinkMode::Appends, false);
+        sink.bind(out_schema()).unwrap();
+        sink.on_restore(1).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "1\n2\n");
+        sink.write(&[stream_row(3), stream_row(4)]).unwrap();
+        sink.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "1\n2\n3\n4\n");
+        assert!(!sidecar.exists(), "finish removes the sidecar");
+
+        // Terminal state refuses more writes.
+        let err = sink.write(&[stream_row(9)]).unwrap_err().to_string();
+        assert!(err.contains("finished"), "{err}");
+    }
+
+    #[test]
+    fn txn_sink_restore_errors_are_typed() {
+        let dir = std::env::temp_dir().join("onesql_txn_sink_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("txn-err-{}.csv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(dir.join(format!("txn-err-{}.csv.txn", std::process::id())));
+
+        // No sidecar at all.
+        let mut sink = TxnFileSink::new(&path, CsvSinkMode::Appends, false);
+        sink.bind(out_schema()).unwrap();
+        let err = sink.on_restore(1).unwrap_err().to_string();
+        assert!(err.contains("no transactional staging state"), "{err}");
+
+        // Stage epoch 1, then ask for an epoch that was never staged.
+        sink.write(&[stream_row(1)]).unwrap();
+        sink.on_checkpoint(1).unwrap();
+        let err = sink.commit_checkpoint(9).unwrap_err().to_string();
+        assert!(err.contains("never staged"), "{err}");
+        drop(sink);
+        let mut sink = TxnFileSink::new(&path, CsvSinkMode::Appends, false);
+        sink.bind(out_schema()).unwrap();
+        let err = sink.on_restore(7).unwrap_err().to_string();
+        assert!(err.contains("epoch 7 was never staged"), "{err}");
+
+        // Committed bytes missing: the data file shrank below epoch 1's
+        // recorded length.
+        std::fs::write(&path, b"").unwrap();
+        let mut sink = TxnFileSink::new(&path, CsvSinkMode::Appends, false);
+        sink.bind(out_schema()).unwrap();
+        let err = sink.on_restore(1).unwrap_err().to_string();
+        assert!(err.contains("committed output is missing"), "{err}");
     }
 
     #[test]

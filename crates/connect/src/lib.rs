@@ -68,7 +68,7 @@ pub use channel::{
 };
 pub use file::{
     CsvFileSink, CsvFileSource, CsvSinkMode, FileSourceConfig, JsonLinesSink, JsonLinesSource,
-    PartitionedFileSource,
+    PartitionedFileSource, TxnFileSink,
 };
 pub use net::{
     NetAddr, NetConfig, NetPublisher, NetSink, NetSource, PartitionedNetSource, WIRE_MAGIC,

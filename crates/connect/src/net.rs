@@ -84,40 +84,11 @@ const KIND_ACK: u8 = 4;
 const KIND_FINISH: u8 = 5;
 const KIND_KEEPALIVE: u8 = 6;
 
-// ---------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3, the zlib polynomial), table generated at compile time.
-// ---------------------------------------------------------------------------
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc32_table();
-
-/// CRC-32 of `data`, as appended to every frame body.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`, as appended to
+/// every frame body. One checksum definition serves both the wire format
+/// and the durable checkpoint format: this is the shared implementation
+/// from `onesql_state::codec`.
+pub use onesql_state::codec::crc32;
 
 // ---------------------------------------------------------------------------
 // Addresses, connections, listeners: TCP and unix sockets behind one face.

@@ -13,7 +13,7 @@
 //! | `channel` | source | — | `capacity`, `partitions` |
 //! | `nexmark` | source | `events` | `seed`, `partitions` |
 //! | `net` | source | `addr` | `partitions`, `streams`, consumer-side net tuning |
-//! | `file` | sink | `path` | `format`, `mode`, `header` |
+//! | `file` | sink | `path` | `format`, `mode`, `header`, `transactional` |
 //! | `changelog` | sink | — | `path`, `watermarks` |
 //! | `channel` | sink | — | `capacity` |
 //! | `net` | sink | `addr`, `stream` | `partition`, producer-side net tuning |
@@ -35,7 +35,7 @@ use crate::changelog::ChangelogSink;
 use crate::channel::{channel, channel_sink, sharded_channel};
 use crate::file::{
     CsvFileSink, CsvFileSource, CsvSinkMode, FileSourceConfig, JsonLinesSink, JsonLinesSource,
-    PartitionedFileSource,
+    PartitionedFileSource, TxnFileSink,
 };
 use crate::net::{NetAddr, NetConfig, NetSink, NetSource, PartitionedNetSource};
 use crate::nexmark::{NexmarkSource, PartitionedNexmarkSource};
@@ -468,7 +468,7 @@ impl FileSinkConnector {
     fn parse(
         spec: &SinkSpec,
         options: &mut OptionBag,
-    ) -> Result<(String, FileFormat, CsvSinkMode, bool)> {
+    ) -> Result<(String, FileFormat, CsvSinkMode, bool, bool)> {
         let path = options.require_str("path")?;
         let format = file_format(options)?;
         let mode = match options.opt_str("mode")?.as_deref() {
@@ -490,7 +490,8 @@ impl FileSinkConnector {
                 spec.name
             )));
         }
-        Ok((path, format, mode, header.unwrap_or(true)))
+        let transactional = options.opt_bool("transactional")?.unwrap_or(false);
+        Ok((path, format, mode, header.unwrap_or(true), transactional))
     }
 }
 
@@ -505,7 +506,16 @@ impl SinkConnector for FileSinkConnector {
         options: &mut OptionBag,
         _exports: &mut Exports,
     ) -> Result<Box<dyn Sink>> {
-        let (path, format, mode, header) = Self::parse(spec, options)?;
+        let (path, format, mode, header, transactional) = Self::parse(spec, options)?;
+        if transactional {
+            // Two-phase mode: nothing is touched on disk until the first
+            // write (fresh run) or a RESTORE (recovery) decides whether
+            // this instance continues the previous incarnation's file.
+            return Ok(match format {
+                FileFormat::Csv => Box::new(TxnFileSink::new(&path, mode, header)),
+                FileFormat::JsonLines => Box::new(TxnFileSink::json_lines(&path, mode)),
+            });
+        }
         Ok(match format {
             FileFormat::Csv if header => Box::new(CsvFileSink::new(&path, mode)?),
             FileFormat::Csv => Box::new(CsvFileSink::headerless(&path, mode)?),

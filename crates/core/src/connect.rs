@@ -475,6 +475,30 @@ pub trait Sink {
         Ok(())
     }
 
+    /// A checkpoint barrier passed: everything written so far belongs to
+    /// `epoch`. Transactional sinks durably stage the association *now*
+    /// (before the checkpoint itself is persisted), so a restore of
+    /// `epoch` can later discard exactly the bytes written after it.
+    /// Default: ignore — non-transactional sinks need no two-phase story.
+    fn on_checkpoint(&mut self, _epoch: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// Checkpoint `epoch` is durable (the second phase, driven by
+    /// `ack_checkpoint`): the sink may mark the staged rows committed and
+    /// release resources held for older epochs. Default: ignore.
+    fn commit_checkpoint(&mut self, _epoch: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// The pipeline is being restored from checkpoint `epoch` in a fresh
+    /// process: discard any staged output written after that epoch (the
+    /// replay will regenerate it), positioning the sink exactly where the
+    /// uninterrupted run had it. Default: ignore.
+    fn on_restore(&mut self, _epoch: u64) -> Result<()> {
+        Ok(())
+    }
+
     /// The pipeline finished; flush buffers. Default: nothing.
     fn flush(&mut self) -> Result<()> {
         Ok(())

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod connect;
+pub mod durable;
 pub mod engine;
 pub mod parallel;
 pub mod query;
@@ -45,6 +46,7 @@ pub use connect::{
     SinkSpec, Source, SourceBatch, SourceConnector, SourceEvent, SourceMetrics, SourceSpec,
     SourceStatus,
 };
+pub use durable::{schema_fingerprint, CheckpointStore, DEFAULT_RETAIN};
 pub use engine::{Engine, StreamBuilder};
 pub use parallel::{PartitionedQuery, StableHasher};
 pub use query::RunningQuery;

@@ -136,7 +136,9 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use onesql_plan::statement::referenced_relations;
-use onesql_plan::{bind_statement, BoundStatement, Catalog, ConnectorOptions, TableKind};
+use onesql_plan::{
+    bind_statement, BoundStatement, Catalog, ConnectorOptions, SessionKnob, TableKind,
+};
 use onesql_sql::ast::{DropKind, Statement};
 use onesql_state::TemporalTable;
 use onesql_types::{Error, Result, SchemaRef};
@@ -179,58 +181,78 @@ struct SinkDef {
     options: ConnectorOptions,
 }
 
-/// A pipeline assembled by `INSERT INTO ... SELECT`: the plain driver, or
-/// the sharded one when the bound source was partitioned.
-pub enum SqlPipeline {
+/// The driver underneath a [`SqlPipeline`].
+enum SqlDriver {
     /// Unsharded [`PipelineDriver`].
     Plain(Box<PipelineDriver>),
     /// Sharded, checkpointable [`ShardedPipelineDriver`].
     Sharded(Box<ShardedPipelineDriver>),
 }
 
+/// A pipeline assembled by `INSERT INTO ... SELECT`: the plain driver, or
+/// the sharded one when the bound source was partitioned, plus the
+/// identity that makes it a durable artifact — its id (the `INSERT`
+/// target, which `CHECKPOINT PIPELINE <id>` / `RESTORE PIPELINE <id>`
+/// statements name) and the schema fingerprint of every relation it
+/// reads, captured at assembly time.
+pub struct SqlPipeline {
+    /// Lowercased `INSERT INTO` target.
+    name: String,
+    /// `(lowercased relation, schema hash)` for every relation the query
+    /// scans, in sorted order.
+    fingerprint: Vec<(String, u64)>,
+    driver: SqlDriver,
+}
+
 impl SqlPipeline {
+    /// The pipeline id: the lowercased `INSERT INTO` target, which
+    /// `CHECKPOINT PIPELINE` / `RESTORE PIPELINE` statements reference.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Whether the sharded driver is underneath.
     pub fn is_sharded(&self) -> bool {
-        matches!(self, SqlPipeline::Sharded(_))
+        matches!(self.driver, SqlDriver::Sharded(_))
     }
 
     /// One scheduling round; see the drivers' `step`.
     pub fn step(&mut self) -> Result<usize> {
-        match self {
-            SqlPipeline::Plain(d) => d.step(),
-            SqlPipeline::Sharded(d) => d.step(),
+        match &mut self.driver {
+            SqlDriver::Plain(d) => d.step(),
+            SqlDriver::Sharded(d) => d.step(),
         }
     }
 
     /// Run until every source finishes; returns the final metrics.
     pub fn run(&mut self) -> Result<PipelineMetrics> {
-        match self {
-            SqlPipeline::Plain(d) => d.run().cloned(),
-            SqlPipeline::Sharded(d) => d.run().cloned(),
+        match &mut self.driver {
+            SqlDriver::Plain(d) => d.run().cloned(),
+            SqlDriver::Sharded(d) => d.run().cloned(),
         }
     }
 
     /// Declare the pipeline complete (flush gates, drain, flush sinks).
     pub fn finish(&mut self) -> Result<()> {
-        match self {
-            SqlPipeline::Plain(d) => d.finish(),
-            SqlPipeline::Sharded(d) => d.finish(),
+        match &mut self.driver {
+            SqlDriver::Plain(d) => d.finish(),
+            SqlDriver::Sharded(d) => d.finish(),
         }
     }
 
     /// Current accounting.
     pub fn metrics(&mut self) -> PipelineMetrics {
-        match self {
-            SqlPipeline::Plain(d) => d.metrics().clone(),
-            SqlPipeline::Sharded(d) => d.metrics().clone(),
+        match &mut self.driver {
+            SqlDriver::Plain(d) => d.metrics().clone(),
+            SqlDriver::Sharded(d) => d.metrics().clone(),
         }
     }
 
     /// Unwrap the plain driver; errors on a sharded pipeline.
     pub fn into_plain(self) -> Result<PipelineDriver> {
-        match self {
-            SqlPipeline::Plain(d) => Ok(*d),
-            SqlPipeline::Sharded(_) => Err(Error::plan(
+        match self.driver {
+            SqlDriver::Plain(d) => Ok(*d),
+            SqlDriver::Sharded(_) => Err(Error::plan(
                 "pipeline is sharded (its source is partitioned); use into_sharded",
             )),
         }
@@ -239,9 +261,9 @@ impl SqlPipeline {
     /// Unwrap the sharded driver (for checkpoint/restore); errors on a
     /// plain pipeline.
     pub fn into_sharded(self) -> Result<ShardedPipelineDriver> {
-        match self {
-            SqlPipeline::Sharded(d) => Ok(*d),
-            SqlPipeline::Plain(_) => Err(Error::plan(
+        match self.driver {
+            SqlDriver::Sharded(d) => Ok(*d),
+            SqlDriver::Plain(_) => Err(Error::plan(
                 "pipeline is not sharded (no partitioned source); use into_plain",
             )),
         }
@@ -249,19 +271,90 @@ impl SqlPipeline {
 
     /// Borrow the sharded driver, if that is what is underneath.
     pub fn as_sharded_mut(&mut self) -> Option<&mut ShardedPipelineDriver> {
-        match self {
-            SqlPipeline::Sharded(d) => Some(d),
-            SqlPipeline::Plain(_) => None,
+        match &mut self.driver {
+            SqlDriver::Sharded(d) => Some(d),
+            SqlDriver::Plain(_) => None,
         }
+    }
+
+    fn sharded_for(&mut self, what: &str) -> Result<&mut ShardedPipelineDriver> {
+        match &mut self.driver {
+            SqlDriver::Sharded(d) => Ok(d),
+            SqlDriver::Plain(_) => Err(Error::plan(format!(
+                "{what} requires a sharded pipeline; '{}' runs the plain \
+                 driver (no PARTITIONED source feeds it)",
+                self.name
+            ))),
+        }
+    }
+
+    /// Persist a consistent snapshot of this (sharded) pipeline into the
+    /// [`crate::durable::CheckpointStore`] directory at `path`, retaining
+    /// [`crate::durable::DEFAULT_RETAIN`] epochs: take the checkpoint,
+    /// write it durably (versioned + CRC-protected, atomic rename), then
+    /// acknowledge it so sources — and two-phase sinks — learn it is
+    /// safe to trim below. Returns the persisted epoch. The directory is
+    /// created on first use and reused (same pipeline, same schema
+    /// fingerprint) afterwards.
+    pub fn checkpoint_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<u64> {
+        self.checkpoint_to_retaining(path, crate::durable::DEFAULT_RETAIN)
+    }
+
+    /// [`SqlPipeline::checkpoint_to`] with an explicit retention count.
+    pub fn checkpoint_to_retaining(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+        retain: usize,
+    ) -> Result<u64> {
+        let name = self.name.clone();
+        let fingerprint = self.fingerprint.clone();
+        let driver = self.sharded_for("CHECKPOINT PIPELINE")?;
+        let mut store = crate::durable::CheckpointStore::open_or_create(
+            path.as_ref(),
+            &name,
+            fingerprint,
+            retain,
+        )?;
+        let checkpoint = driver.checkpoint()?;
+        let epoch = store.save(&checkpoint)?;
+        // Only after the bytes are durable: let upstreams trim their
+        // replay spools and two-phase sinks commit the staged epoch.
+        driver.ack_checkpoint(&checkpoint)?;
+        Ok(epoch)
+    }
+
+    /// Resume this freshly assembled (sharded, un-stepped) pipeline from
+    /// the newest epoch in the [`crate::durable::CheckpointStore`] at `path`. Refuses a
+    /// store that belongs to a different pipeline id, and a store whose
+    /// recorded schema fingerprint no longer matches the relations this
+    /// pipeline reads (the error names the mismatched relation). Returns
+    /// the restored epoch.
+    pub fn restore_from(&mut self, path: impl AsRef<std::path::Path>) -> Result<u64> {
+        let store = crate::durable::CheckpointStore::open(path.as_ref())?;
+        store.verify_owner(&self.name)?;
+        crate::durable::verify_fingerprint(
+            &format!("RESTORE PIPELINE {}", self.name),
+            store.fingerprint(),
+            &self.fingerprint,
+        )?;
+        let (epoch, checkpoint) = store.load_latest()?;
+        let name = self.name.clone();
+        self.sharded_for("RESTORE PIPELINE")?
+            .restore(&checkpoint)
+            .map_err(|e| Error::exec(format!("RESTORE PIPELINE {name}: {e}")))?;
+        Ok(epoch)
     }
 }
 
 impl std::fmt::Debug for SqlPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SqlPipeline::Plain(d) => f.debug_tuple("SqlPipeline::Plain").field(d).finish(),
-            SqlPipeline::Sharded(d) => f.debug_tuple("SqlPipeline::Sharded").field(d).finish(),
-        }
+        let mut s = f.debug_struct("SqlPipeline");
+        s.field("name", &self.name);
+        match &self.driver {
+            SqlDriver::Plain(d) => s.field("driver", d),
+            SqlDriver::Sharded(d) => s.field("driver", d),
+        };
+        s.finish()
     }
 }
 
@@ -274,13 +367,53 @@ pub enum StatementResult {
     Dropped(String),
     /// `EXPLAIN` output.
     Explained(String),
+    /// `SET` applied a session knob (the knob name).
+    Set(String),
+    /// `CHECKPOINT PIPELINE` persisted an epoch durably.
+    Checkpointed {
+        /// The pipeline id.
+        pipeline: String,
+        /// The epoch the store now retains.
+        epoch: u64,
+    },
+    /// `RESTORE PIPELINE` resumed a pipeline from a durable epoch.
+    Restored {
+        /// The pipeline id.
+        pipeline: String,
+        /// The epoch restored from.
+        epoch: u64,
+    },
     /// A bare query, running (feed it or read its table view).
     Query(Box<RunningQuery>),
     /// An `INSERT INTO ... SELECT` pipeline, assembled and ready to run.
     Pipeline(SqlPipeline),
 }
 
+impl std::fmt::Debug for StatementResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatementResult::Created(n) => f.debug_tuple("Created").field(n).finish(),
+            StatementResult::Dropped(n) => f.debug_tuple("Dropped").field(n).finish(),
+            StatementResult::Explained(s) => f.debug_tuple("Explained").field(s).finish(),
+            StatementResult::Set(n) => f.debug_tuple("Set").field(n).finish(),
+            StatementResult::Checkpointed { pipeline, epoch } => f
+                .debug_struct("Checkpointed")
+                .field("pipeline", pipeline)
+                .field("epoch", epoch)
+                .finish(),
+            StatementResult::Restored { pipeline, epoch } => f
+                .debug_struct("Restored")
+                .field("pipeline", pipeline)
+                .field("epoch", epoch)
+                .finish(),
+            StatementResult::Query(q) => f.debug_tuple("Query").field(q).finish(),
+            StatementResult::Pipeline(p) => f.debug_tuple("Pipeline").field(p).finish(),
+        }
+    }
+}
+
 /// Everything a script produced, in statement order.
+#[derive(Debug)]
 pub struct ScriptOutcome {
     /// Per-statement results.
     pub results: Vec<StatementResult>,
@@ -339,10 +472,17 @@ pub struct Session {
     /// keyed by kind-prefixed lowercased connector name (a source and a
     /// sink may legally share a name without clobbering each other).
     handles: BTreeMap<String, Vec<Box<dyn Any + Send>>>,
+    /// Pipelines in session custody (see [`Session::adopt_pipeline`]),
+    /// addressable by `CHECKPOINT PIPELINE` / `RESTORE PIPELINE`
+    /// statements across `execute` calls.
+    pipelines: BTreeMap<String, SqlPipeline>,
     /// Sharded settings for `INSERT`s over partitioned sources.
     workers: usize,
     partition_col: usize,
     driver: DriverConfig,
+    /// Epochs a `CHECKPOINT PIPELINE` store retains (`SET
+    /// checkpoint_retain = K`).
+    checkpoint_retain: usize,
 }
 
 impl Session {
@@ -357,9 +497,11 @@ impl Session {
             sources: Vec::new(),
             sinks: Vec::new(),
             handles: BTreeMap::new(),
+            pipelines: BTreeMap::new(),
             workers: 1,
             partition_col: 0,
             driver: DriverConfig::default(),
+            checkpoint_retain: crate::durable::DEFAULT_RETAIN,
         }
     }
 
@@ -398,7 +540,8 @@ impl Session {
         let statements = onesql_sql::parse_script(sql)?;
         let mut results = Vec::with_capacity(statements.len());
         for statement in &statements {
-            results.push(self.run_statement(statement)?);
+            let result = self.run_statement(statement, &mut results)?;
+            results.push(result);
         }
         Ok(ScriptOutcome { results })
     }
@@ -406,7 +549,76 @@ impl Session {
     /// Run a single statement (optionally `;`-terminated).
     pub fn execute(&mut self, sql: &str) -> Result<StatementResult> {
         let statement = onesql_sql::parse_statement(sql)?;
-        self.run_statement(&statement)
+        self.run_statement(&statement, &mut Vec::new())
+    }
+
+    /// Move a pipeline into session custody, keyed by its id (the
+    /// `INSERT INTO` target). While adopted, `CHECKPOINT PIPELINE <id>` /
+    /// `RESTORE PIPELINE <id>` statements in later [`Session::execute`]
+    /// calls can address it; retrieve it again with
+    /// [`Session::take_pipeline`]. Errors if a pipeline with the same id
+    /// is already adopted (take it first — silently dropping a live
+    /// pipeline would kill its worker threads).
+    pub fn adopt_pipeline(&mut self, pipeline: SqlPipeline) -> Result<()> {
+        let name = pipeline.name().to_string();
+        if self.pipelines.contains_key(&name) {
+            return Err(Error::plan(format!(
+                "a pipeline named '{name}' is already in session custody; \
+                 take_pipeline it first"
+            )));
+        }
+        self.pipelines.insert(name, pipeline);
+        Ok(())
+    }
+
+    /// Take an adopted pipeline back out of session custody.
+    pub fn take_pipeline(&mut self, name: &str) -> Option<SqlPipeline> {
+        self.pipelines.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Borrow an adopted pipeline.
+    pub fn pipeline_mut(&mut self, name: &str) -> Option<&mut SqlPipeline> {
+        self.pipelines.get_mut(&name.to_ascii_lowercase())
+    }
+
+    /// Resolve a `CHECKPOINT` / `RESTORE` target: pipelines in session
+    /// custody first, then pipelines assembled earlier in the *same
+    /// script* (newest first) — so `INSERT INTO out ...; RESTORE
+    /// PIPELINE out FROM '...'` works as one self-contained script.
+    fn resolve_pipeline<'a>(
+        &'a mut self,
+        what: &str,
+        id: &str,
+        prior: &'a mut [StatementResult],
+    ) -> Result<&'a mut SqlPipeline> {
+        let key = id.to_ascii_lowercase();
+        if self.pipelines.contains_key(&key) {
+            return Ok(self.pipelines.get_mut(&key).expect("checked"));
+        }
+        let found = prior
+            .iter()
+            .rposition(|result| matches!(result, StatementResult::Pipeline(p) if p.name() == key));
+        if let Some(idx) = found {
+            let StatementResult::Pipeline(p) = &mut prior[idx] else {
+                unreachable!("matched above")
+            };
+            return Ok(p);
+        }
+        let mut known: Vec<&str> = self.pipelines.keys().map(String::as_str).collect();
+        let in_script: Vec<&str> = prior
+            .iter()
+            .filter_map(|r| match r {
+                StatementResult::Pipeline(p) => Some(p.name()),
+                _ => None,
+            })
+            .collect();
+        known.extend(in_script);
+        Err(Error::plan(format!(
+            "{what} {id}: no such pipeline; a pipeline is named by its \
+             INSERT INTO target and must be assembled earlier in the same \
+             script or adopted into the session (known: [{}])",
+            known.join(", ")
+        )))
     }
 
     /// Retrieve (and remove) a side handle exported by the most recent
@@ -429,13 +641,38 @@ impl Session {
         None
     }
 
-    fn run_statement(&mut self, statement: &Statement) -> Result<StatementResult> {
+    fn run_statement(
+        &mut self,
+        statement: &Statement,
+        prior: &mut [StatementResult],
+    ) -> Result<StatementResult> {
         let bound = bind_statement(statement, self.engine.catalog())?;
         match bound {
             BoundStatement::Query(query) => {
                 Ok(StatementResult::Query(Box::new(self.engine.run(query)?)))
             }
             BoundStatement::Explain(query) => Ok(StatementResult::Explained(query.explain())),
+            BoundStatement::Set(knob) => {
+                self.apply_knob(knob)?;
+                Ok(StatementResult::Set(knob.name().to_string()))
+            }
+            BoundStatement::CheckpointPipeline { pipeline, path } => {
+                let retain = self.checkpoint_retain;
+                let target = self.resolve_pipeline("CHECKPOINT PIPELINE", &pipeline, prior)?;
+                let epoch = target.checkpoint_to_retaining(&path, retain)?;
+                Ok(StatementResult::Checkpointed {
+                    pipeline: target.name().to_string(),
+                    epoch,
+                })
+            }
+            BoundStatement::RestorePipeline { pipeline, path } => {
+                let target = self.resolve_pipeline("RESTORE PIPELINE", &pipeline, prior)?;
+                let epoch = target.restore_from(&path)?;
+                Ok(StatementResult::Restored {
+                    pipeline: target.name().to_string(),
+                    epoch,
+                })
+            }
             BoundStatement::CreateStream { name, schema } => {
                 self.ensure_unregistered(&name)?;
                 self.engine.register_stream_schema(&name, schema);
@@ -493,6 +730,42 @@ impl Session {
                 name,
             } => self.drop_object(kind, if_exists, &name),
         }
+    }
+
+    /// Apply a validated `SET` knob. Later `INSERT`s pick the new values
+    /// up; already-assembled pipelines keep the configuration they were
+    /// built with.
+    fn apply_knob(&mut self, knob: SessionKnob) -> Result<()> {
+        match knob {
+            SessionKnob::Workers(n) => self.workers = n,
+            SessionKnob::PartitionCol(col) => self.partition_col = col,
+            SessionKnob::BatchSize(n) => self.driver.batch_size = n,
+            SessionKnob::MinBatch(n) => {
+                let adaptive = self.driver.adaptive.get_or_insert_with(Default::default);
+                if n > adaptive.max_batch {
+                    return Err(Error::plan(format!(
+                        "SET min_batch = {n}: exceeds max_batch ({})",
+                        adaptive.max_batch
+                    )));
+                }
+                adaptive.min_batch = n;
+            }
+            SessionKnob::MaxBatch(n) => {
+                let adaptive = self.driver.adaptive.get_or_insert_with(Default::default);
+                if n < adaptive.min_batch {
+                    return Err(Error::plan(format!(
+                        "SET max_batch = {n}: below min_batch ({})",
+                        adaptive.min_batch
+                    )));
+                }
+                adaptive.max_batch = n;
+            }
+            SessionKnob::MaxIdleRounds(n) => {
+                self.driver.max_idle_rounds = if n == 0 { None } else { Some(n) };
+            }
+            SessionKnob::CheckpointRetain(k) => self.checkpoint_retain = k,
+        }
+        Ok(())
     }
 
     fn ensure_unregistered(&self, name: &str) -> Result<()> {
@@ -605,7 +878,20 @@ impl Session {
                 known.join(", ")
             )));
         };
-        let (streams, _tables) = referenced_relations(query);
+        let (streams, tables) = referenced_relations(query);
+        // The pipeline's schema fingerprint: every relation the query
+        // scans, hashed as defined *right now*. A durable checkpoint
+        // records this so a restore under changed definitions is refused
+        // by relation name instead of replaying into mismatched state.
+        let mut fingerprint = Vec::with_capacity(streams.len() + tables.len());
+        for relation in streams.iter().chain(tables.iter()) {
+            let (schema, _) = self.engine.catalog().resolve(relation)?;
+            fingerprint.push((
+                relation.clone(),
+                crate::durable::schema_fingerprint(&schema),
+            ));
+        }
+        fingerprint.sort();
         let selected: Vec<usize> = (0..self.sources.len())
             .filter(|&i| self.sources[i].streams.iter().any(|s| streams.contains(s)))
             .collect();
@@ -660,17 +946,17 @@ impl Session {
         // property-tested): re-planning it here costs one extra
         // parse+bind, but keeps pipeline assembly on the exact
         // Engine::run_*pipeline path the imperative API uses.
-        let pipeline = if sharded {
+        let driver = if sharded {
             let config = ShardedConfig {
                 workers: self.workers,
                 partition_col: self.partition_col,
                 driver: self.driver,
             };
-            SqlPipeline::Sharded(Box::new(
+            SqlDriver::Sharded(Box::new(
                 self.engine.run_sharded_pipeline(query_sql, config)?,
             ))
         } else {
-            SqlPipeline::Plain(Box::new(
+            SqlDriver::Plain(Box::new(
                 self.engine
                     .run_pipeline(query_sql)?
                     .with_config(self.driver),
@@ -679,7 +965,11 @@ impl Session {
         for (key, items) in staged {
             self.handles.insert(key, items);
         }
-        Ok(StatementResult::Pipeline(pipeline))
+        Ok(StatementResult::Pipeline(SqlPipeline {
+            name: sink.to_ascii_lowercase(),
+            fingerprint,
+            driver,
+        }))
     }
 
     fn build_source(

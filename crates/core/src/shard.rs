@@ -195,6 +195,10 @@ pub struct PipelineCheckpoint {
     pub events_out: u64,
     /// Watermark deliveries into the workers so far (metrics continuity).
     pub watermarks_in: u64,
+    /// Checkpoint epoch: 1 for the pipeline's first checkpoint, counting
+    /// up. Transactional sinks stage output per epoch and a restore tells
+    /// them which epoch's staging boundary to truncate back to.
+    pub epoch: u64,
 }
 
 /// What a worker reports at a drain barrier.
@@ -339,6 +343,10 @@ pub struct ShardedPipelineDriver {
     /// Output watermark already reported to sinks.
     sink_watermark: Watermark,
     finished: bool,
+    /// Checkpoints taken so far; the next checkpoint gets epoch
+    /// `self.epoch + 1`. Restoring adopts the checkpoint's epoch so the
+    /// numbering continues where the crashed incarnation left off.
+    epoch: u64,
     /// Set when a step failed after source offsets had already advanced:
     /// polled events may never have reached a worker, so continuing — and
     /// above all checkpointing — would silently violate exactly-once.
@@ -393,6 +401,7 @@ impl ShardedPipelineDriver {
             output_watermark: Watermark::MIN,
             sink_watermark: Watermark::MIN,
             finished: false,
+            epoch: 0,
             poisoned: false,
             restored: false,
             final_queries: Vec::new(),
@@ -901,6 +910,15 @@ impl ShardedPipelineDriver {
         // current, so the captured cursors and state agree.
         self.drain_workers()?;
         let worker_states = self.gather(|_, tx| Cmd::Checkpoint(tx))?;
+        // Stage the sinks under the new epoch *before* handing the
+        // checkpoint to the caller: a transactional sink durably records
+        // "everything written so far is epoch E" now, so whether or not
+        // the caller ever persists E, a restore of any persisted epoch
+        // finds its staging boundary on disk.
+        self.epoch += 1;
+        for sink in &mut self.sinks {
+            sink.on_checkpoint(self.epoch)?;
+        }
         let checkpoint = PipelineCheckpoint {
             workers: worker_states,
             offsets: self
@@ -927,6 +945,7 @@ impl ShardedPipelineDriver {
             output_watermark: self.output_watermark,
             events_out: self.metrics.events_out,
             watermarks_in: self.metrics.watermarks_in,
+            epoch: self.epoch,
         };
         Ok(checkpoint)
     }
@@ -964,6 +983,11 @@ impl ShardedPipelineDriver {
             for (part, &offset) in offsets.iter().enumerate() {
                 self.sources[slot].source.ack(part, offset)?;
             }
+        }
+        // Second phase for two-phase sinks: the epoch is durable, staged
+        // rows below it are committed.
+        for sink in &mut self.sinks {
+            sink.commit_checkpoint(checkpoint.epoch)?;
         }
         Ok(())
     }
@@ -1052,6 +1076,12 @@ impl ShardedPipelineDriver {
     fn restore_inner(&mut self, checkpoint: &PipelineCheckpoint) -> Result<()> {
         // Workers first (operator state), then sources (replay position).
         self.gather(|w, tx| Cmd::Restore(checkpoint.workers[w].clone(), tx))?;
+        // Sinks next: a transactional sink truncates everything staged
+        // after this epoch, so the replayed rows append exactly where the
+        // uninterrupted run had them.
+        for sink in &mut self.sinks {
+            sink.on_restore(checkpoint.epoch)?;
+        }
         for (slot, offsets) in checkpoint.offsets.iter().enumerate() {
             for (part, &offset) in offsets.iter().enumerate() {
                 // Seek unconditionally — even to offset 0. For local
@@ -1084,6 +1114,7 @@ impl ShardedPipelineDriver {
             .set_versions(checkpoint.renderer_versions.clone());
         self.sink_watermark = checkpoint.sink_watermark;
         self.output_watermark = checkpoint.output_watermark;
+        self.epoch = checkpoint.epoch;
         self.metrics.events_in = checkpoint.offsets.iter().flatten().sum();
         self.metrics.events_out = checkpoint.events_out;
         self.metrics.watermarks_in = checkpoint.watermarks_in;

@@ -27,7 +27,7 @@ pub use catalog::{Catalog, MemoryCatalog, TableKind};
 pub use expr::{AggCall, AggFunc, ScalarExpr};
 pub use optimizer::optimize;
 pub use plan::{BoundQuery, EmitSpec, JoinKind, JoinTimeBound, LogicalPlan, SortKey, WindowKind};
-pub use statement::{bind_statement, BoundStatement, ConnectorOptions};
+pub use statement::{bind_statement, BoundStatement, ConnectorOptions, SessionKnob};
 
 use onesql_types::Result;
 

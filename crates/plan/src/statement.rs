@@ -110,6 +110,22 @@ pub enum BoundStatement {
     },
     /// `EXPLAIN <query>`.
     Explain(BoundQuery),
+    /// `SET <knob> = <value>`, validated to a typed knob.
+    Set(SessionKnob),
+    /// `CHECKPOINT PIPELINE <id> TO '<path>'`.
+    CheckpointPipeline {
+        /// Pipeline id (the `INSERT INTO` target), verbatim.
+        pipeline: String,
+        /// Checkpoint-store directory.
+        path: String,
+    },
+    /// `RESTORE PIPELINE <id> FROM '<path>'`.
+    RestorePipeline {
+        /// Pipeline id (the `INSERT INTO` target), verbatim.
+        pipeline: String,
+        /// Checkpoint-store directory.
+        path: String,
+    },
     /// `DROP ...` (no binding needed beyond the parse).
     Drop {
         /// What kind of object.
@@ -119,6 +135,91 @@ pub enum BoundStatement {
         /// Object name (verbatim).
         name: String,
     },
+}
+
+/// A validated session knob assignment from a `SET` statement. The
+/// binder owns the knob vocabulary and type checking; the session only
+/// has to apply a well-typed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKnob {
+    /// `SET workers = N` — worker shards for later sharded `INSERT`s.
+    Workers(usize),
+    /// `SET partition_col = N` — partition-key column index.
+    PartitionCol(usize),
+    /// `SET batch_size = N` — events per source poll (initial size when
+    /// adaptive batching is on).
+    BatchSize(usize),
+    /// `SET min_batch = N` — adaptive lower bound.
+    MinBatch(usize),
+    /// `SET max_batch = N` — adaptive upper bound.
+    MaxBatch(usize),
+    /// `SET max_idle_rounds = N` — error a run after N all-idle rounds
+    /// (0 disables the limit: yield and keep spinning).
+    MaxIdleRounds(u64),
+    /// `SET checkpoint_retain = K` — epochs a checkpoint store keeps.
+    CheckpointRetain(usize),
+}
+
+impl SessionKnob {
+    /// The canonical knob name, as written in `SET <name> = ...`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionKnob::Workers(_) => "workers",
+            SessionKnob::PartitionCol(_) => "partition_col",
+            SessionKnob::BatchSize(_) => "batch_size",
+            SessionKnob::MinBatch(_) => "min_batch",
+            SessionKnob::MaxBatch(_) => "max_batch",
+            SessionKnob::MaxIdleRounds(_) => "max_idle_rounds",
+            SessionKnob::CheckpointRetain(_) => "checkpoint_retain",
+        }
+    }
+}
+
+/// The knob names `SET` accepts, for error messages.
+const KNOBS: [&str; 7] = [
+    "workers",
+    "partition_col",
+    "batch_size",
+    "min_batch",
+    "max_batch",
+    "max_idle_rounds",
+    "checkpoint_retain",
+];
+
+/// Validate a `SET` statement's knob name and value type.
+fn bind_set(name: &str, value: &OptionValue) -> Result<SessionKnob> {
+    let knob = name.to_ascii_lowercase();
+    let uint = |what: &str| -> Result<u64> {
+        let OptionValue::Number(n) = value else {
+            return Err(Error::plan(format!(
+                "SET {knob}: expected {what}, got {value}"
+            )));
+        };
+        n.parse::<u64>()
+            .map_err(|_| Error::plan(format!("SET {knob}: expected {what}, got {n}")))
+    };
+    let positive = |what: &str| -> Result<usize> {
+        let n = uint(what)?;
+        if n == 0 {
+            return Err(Error::plan(format!(
+                "SET {knob}: {what} must be at least 1"
+            )));
+        }
+        Ok(n as usize)
+    };
+    match knob.as_str() {
+        "workers" => Ok(SessionKnob::Workers(positive("a worker count")?)),
+        "partition_col" => Ok(SessionKnob::PartitionCol(uint("a column index")? as usize)),
+        "batch_size" => Ok(SessionKnob::BatchSize(positive("a batch size")?)),
+        "min_batch" => Ok(SessionKnob::MinBatch(positive("a batch size")?)),
+        "max_batch" => Ok(SessionKnob::MaxBatch(positive("a batch size")?)),
+        "max_idle_rounds" => Ok(SessionKnob::MaxIdleRounds(uint("a round count")?)),
+        "checkpoint_retain" => Ok(SessionKnob::CheckpointRetain(positive("an epoch count")?)),
+        _ => Err(Error::plan(format!(
+            "SET {knob}: unknown session knob (known knobs: {})",
+            KNOBS.join(", ")
+        ))),
+    }
 }
 
 /// Bind one statement against `catalog`.
@@ -194,6 +295,29 @@ pub fn bind_statement(stmt: &Statement, catalog: &dyn Catalog) -> Result<BoundSt
                 name: c.name.clone(),
                 schema,
                 key,
+            })
+        }
+        Statement::Set { name, value } => Ok(BoundStatement::Set(bind_set(name, value)?)),
+        Statement::CheckpointPipeline { pipeline, path } => {
+            if path.is_empty() {
+                return Err(Error::plan(format!(
+                    "CHECKPOINT PIPELINE {pipeline}: the TO path is empty"
+                )));
+            }
+            Ok(BoundStatement::CheckpointPipeline {
+                pipeline: pipeline.clone(),
+                path: path.clone(),
+            })
+        }
+        Statement::RestorePipeline { pipeline, path } => {
+            if path.is_empty() {
+                return Err(Error::plan(format!(
+                    "RESTORE PIPELINE {pipeline}: the FROM path is empty"
+                )));
+            }
+            Ok(BoundStatement::RestorePipeline {
+                pipeline: pipeline.clone(),
+                path: path.clone(),
             })
         }
         Statement::Drop {
@@ -414,6 +538,53 @@ mod tests {
         assert_eq!(query.plan, q2.plan);
 
         assert!(bind_text("INSERT INTO out SELECT nope FROM Bid").is_err());
+    }
+
+    #[test]
+    fn set_knobs_validate_name_and_type() {
+        let b = bind_text("SET workers = 4").unwrap();
+        assert!(matches!(b, BoundStatement::Set(SessionKnob::Workers(4))));
+        let b = bind_text("SET partition_col = 0").unwrap();
+        assert!(matches!(
+            b,
+            BoundStatement::Set(SessionKnob::PartitionCol(0))
+        ));
+        let b = bind_text("SET checkpoint_retain = 5").unwrap();
+        assert!(matches!(
+            b,
+            BoundStatement::Set(SessionKnob::CheckpointRetain(5))
+        ));
+        let b = bind_text("SET max_idle_rounds = 0").unwrap();
+        assert!(matches!(
+            b,
+            BoundStatement::Set(SessionKnob::MaxIdleRounds(0))
+        ));
+
+        let err = bind_text("SET workres = 4").unwrap_err().to_string();
+        assert!(err.contains("unknown session knob"), "{err}");
+        assert!(err.contains("workers"), "lists the vocabulary: {err}");
+        let err = bind_text("SET workers = 0").unwrap_err().to_string();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = bind_text("SET workers = 'four'").unwrap_err().to_string();
+        assert!(err.contains("expected a worker count"), "{err}");
+        let err = bind_text("SET batch_size = -3").unwrap_err().to_string();
+        assert!(err.contains("expected a batch size"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_restore_bind_and_reject_empty_paths() {
+        let b = bind_text("CHECKPOINT PIPELINE out TO '/tmp/c'").unwrap();
+        assert!(matches!(b, BoundStatement::CheckpointPipeline { .. }));
+        let b = bind_text("RESTORE PIPELINE out FROM '/tmp/c'").unwrap();
+        assert!(matches!(b, BoundStatement::RestorePipeline { .. }));
+        let err = bind_text("CHECKPOINT PIPELINE out TO ''")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("path is empty"), "{err}");
+        let err = bind_text("RESTORE PIPELINE out FROM ''")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("path is empty"), "{err}");
     }
 
     #[test]

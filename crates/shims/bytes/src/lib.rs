@@ -155,6 +155,11 @@ pub trait BufMut {
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
     }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
 }
 
 impl BufMut for BytesMut {

@@ -39,6 +39,33 @@ pub enum Statement {
     },
     /// `EXPLAIN <query>`: render the optimized plan.
     Explain(Query),
+    /// `SET <knob> = <value>`: a session knob assignment (worker count,
+    /// partition column, batch bounds, ...), so scripts are fully
+    /// self-contained instead of leaning on imperative setters.
+    Set {
+        /// Knob name (an identifier; validated by the binder).
+        name: String,
+        /// The assigned value.
+        value: OptionValue,
+    },
+    /// `CHECKPOINT PIPELINE <id> TO '<path>'`: persist a consistent
+    /// snapshot of the named running pipeline into a durable
+    /// checkpoint-store directory.
+    CheckpointPipeline {
+        /// The pipeline id (the `INSERT INTO` target that assembled it).
+        pipeline: String,
+        /// Checkpoint-store directory path.
+        path: String,
+    },
+    /// `RESTORE PIPELINE <id> FROM '<path>'`: load the newest durable
+    /// checkpoint from the store and resume the named (freshly
+    /// assembled) pipeline from it.
+    RestorePipeline {
+        /// The pipeline id (the `INSERT INTO` target that assembled it).
+        pipeline: String,
+        /// Checkpoint-store directory path.
+        path: String,
+    },
     /// `DROP SOURCE|SINK|STREAM|TABLE [IF EXISTS] <name>`.
     Drop {
         /// What kind of object to drop.
@@ -602,6 +629,17 @@ impl fmt::Display for Statement {
             Statement::CreateTemporalTable(c) => write!(f, "{c}"),
             Statement::Insert { sink, query } => write!(f, "INSERT INTO {sink} {query}"),
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+            Statement::Set { name, value } => write!(f, "SET {name} = {value}"),
+            Statement::CheckpointPipeline { pipeline, path } => write!(
+                f,
+                "CHECKPOINT PIPELINE {pipeline} TO '{}'",
+                path.replace('\'', "''")
+            ),
+            Statement::RestorePipeline { pipeline, path } => write!(
+                f,
+                "RESTORE PIPELINE {pipeline} FROM '{}'",
+                path.replace('\'', "''")
+            ),
             Statement::Drop {
                 kind,
                 if_exists,

@@ -133,7 +133,12 @@ impl Parser {
                 | Keyword::Temporal
                 | Keyword::Partitioned
                 | Keyword::If
-                | Keyword::Explain),
+                | Keyword::Explain
+                | Keyword::Set
+                | Keyword::Checkpoint
+                | Keyword::Restore
+                | Keyword::Pipeline
+                | Keyword::To),
             ) => Some(kw.as_str().to_ascii_lowercase()),
             _ => None,
         }
@@ -175,6 +180,29 @@ impl Parser {
             TokenKind::Keyword(Keyword::Explain) => {
                 self.advance();
                 Ok(Statement::Explain(self.parse_query()?))
+            }
+            TokenKind::Keyword(Keyword::Set) => {
+                self.advance();
+                let name = self.parse_identifier()?;
+                self.expect(&TokenKind::Eq)?;
+                let value = self.parse_option_value(&name)?;
+                Ok(Statement::Set { name, value })
+            }
+            TokenKind::Keyword(Keyword::Checkpoint) => {
+                self.advance();
+                self.expect_keyword(Keyword::Pipeline)?;
+                let pipeline = self.parse_identifier()?;
+                self.expect_keyword(Keyword::To)?;
+                let path = self.parse_string("a checkpoint directory path after TO")?;
+                Ok(Statement::CheckpointPipeline { pipeline, path })
+            }
+            TokenKind::Keyword(Keyword::Restore) => {
+                self.advance();
+                self.expect_keyword(Keyword::Pipeline)?;
+                let pipeline = self.parse_identifier()?;
+                self.expect_keyword(Keyword::From)?;
+                let path = self.parse_string("a checkpoint directory path after FROM")?;
+                Ok(Statement::RestorePipeline { pipeline, path })
             }
             TokenKind::Keyword(Keyword::Drop) => {
                 self.advance();
@@ -308,6 +336,32 @@ impl Parser {
         Ok((columns, watermark))
     }
 
+    /// Parse a `'string'`, `number`, `-number`, or `TRUE`/`FALSE` option
+    /// value — the right-hand side of a `WITH` pair or a `SET` statement.
+    fn parse_option_value(&mut self, key: &str) -> Result<OptionValue> {
+        match self.advance() {
+            TokenKind::String(s) => Ok(OptionValue::String(s)),
+            TokenKind::Number(n) => Ok(OptionValue::Number(n)),
+            TokenKind::Minus => match self.advance() {
+                TokenKind::Number(n) => Ok(OptionValue::Number(format!("-{n}"))),
+                _ => Err(self.unexpected("expected number after '-'")),
+            },
+            TokenKind::Keyword(Keyword::True) => Ok(OptionValue::Bool(true)),
+            TokenKind::Keyword(Keyword::False) => Ok(OptionValue::Bool(false)),
+            _ => Err(self.unexpected(&format!(
+                "expected a string, number, or boolean value for option '{key}'"
+            ))),
+        }
+    }
+
+    /// Parse a required `'string'` literal token.
+    fn parse_string(&mut self, expected: &str) -> Result<String> {
+        match self.advance() {
+            TokenKind::String(s) => Ok(s),
+            _ => Err(self.unexpected(&format!("expected {expected}"))),
+        }
+    }
+
     /// Parse `WITH (key = value, ...)`. The pair list may be empty.
     /// Keys are positionally unambiguous (always after `(` or `,`), so
     /// any keyword works as a key too — the net sink's `stream = '...'`
@@ -326,21 +380,7 @@ impl Parser {
                     _ => self.parse_identifier()?,
                 };
                 self.expect(&TokenKind::Eq)?;
-                let value = match self.advance() {
-                    TokenKind::String(s) => OptionValue::String(s),
-                    TokenKind::Number(n) => OptionValue::Number(n),
-                    TokenKind::Minus => match self.advance() {
-                        TokenKind::Number(n) => OptionValue::Number(format!("-{n}")),
-                        _ => return Err(self.unexpected("expected number after '-'")),
-                    },
-                    TokenKind::Keyword(Keyword::True) => OptionValue::Bool(true),
-                    TokenKind::Keyword(Keyword::False) => OptionValue::Bool(false),
-                    _ => {
-                        return Err(self.unexpected(&format!(
-                            "expected a string, number, or boolean value for option '{key}'"
-                        )))
-                    }
-                };
+                let value = self.parse_option_value(&key)?;
                 options.push(WithOption { key, value });
                 if !self.consume(&TokenKind::Comma) {
                     break;
@@ -1375,6 +1415,61 @@ mod tests {
         round_trip_stmt("DROP STREAM S");
         round_trip_stmt("DROP TABLE T");
         assert!(parse_statement("DROP DATABASE x").is_err());
+    }
+
+    #[test]
+    fn set_statement() {
+        let s = round_trip_stmt("SET workers = 4");
+        let Statement::Set { name, value } = s else {
+            panic!("expected Set")
+        };
+        assert_eq!(name, "workers");
+        assert_eq!(value, OptionValue::Number("4".into()));
+
+        round_trip_stmt("SET partition_col = 0");
+        let s = round_trip_stmt("set MAX_BATCH = 1024");
+        assert!(matches!(s, Statement::Set { .. }), "case-insensitive");
+
+        assert!(parse_statement("SET workers").is_err(), "missing =");
+        assert!(parse_statement("SET workers = ").is_err(), "missing value");
+        assert!(parse_statement("SET = 4").is_err(), "missing knob name");
+    }
+
+    #[test]
+    fn checkpoint_and_restore_pipeline() {
+        let s = round_trip_stmt("CHECKPOINT PIPELINE out TO '/tmp/ckpt'");
+        let Statement::CheckpointPipeline { pipeline, path } = s else {
+            panic!("expected CheckpointPipeline")
+        };
+        assert_eq!(pipeline, "out");
+        assert_eq!(path, "/tmp/ckpt");
+
+        let s = round_trip_stmt("RESTORE PIPELINE out FROM '/tmp/ckpt'");
+        let Statement::RestorePipeline { pipeline, path } = s else {
+            panic!("expected RestorePipeline")
+        };
+        assert_eq!(pipeline, "out");
+        assert_eq!(path, "/tmp/ckpt");
+
+        // Paths with embedded quotes round-trip through the escaping.
+        let s = round_trip_stmt("CHECKPOINT PIPELINE p TO '/od''d/dir'");
+        let Statement::CheckpointPipeline { path, .. } = s else {
+            panic!()
+        };
+        assert_eq!(path, "/od'd/dir");
+
+        assert!(parse_statement("CHECKPOINT out TO '/x'").is_err());
+        assert!(parse_statement("CHECKPOINT PIPELINE out TO 17").is_err());
+        assert!(parse_statement("RESTORE PIPELINE out TO '/x'").is_err());
+    }
+
+    #[test]
+    fn new_statement_keywords_stay_usable_as_identifiers() {
+        // SET / CHECKPOINT / RESTORE / PIPELINE / TO are soft: queries
+        // written before the statements existed keep parsing.
+        round_trip("SELECT set, checkpoint, restore FROM pipeline");
+        round_trip("SELECT t.to FROM T AS t");
+        round_trip_stmt("DROP STREAM pipeline");
     }
 
     #[test]

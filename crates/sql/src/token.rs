@@ -137,6 +137,7 @@ keywords! {
     By => "BY",
     Case => "CASE",
     Cast => "CAST",
+    Checkpoint => "CHECKPOINT",
     Create => "CREATE",
     Cross => "CROSS",
     Delay => "DELAY",
@@ -179,9 +180,12 @@ keywords! {
     Order => "ORDER",
     Outer => "OUTER",
     Partitioned => "PARTITIONED",
+    Pipeline => "PIPELINE",
+    Restore => "RESTORE",
     Second => "SECOND",
     Seconds => "SECONDS",
     Select => "SELECT",
+    Set => "SET",
     Sink => "SINK",
     Source => "SOURCE",
     Stream => "STREAM",
@@ -191,6 +195,7 @@ keywords! {
     Then => "THEN",
     Time => "TIME",
     Timestamp => "TIMESTAMP",
+    To => "TO",
     True => "TRUE",
     Union => "UNION",
     Watermark => "WATERMARK",

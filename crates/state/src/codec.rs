@@ -7,7 +7,44 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use onesql_time::Watermark;
+use onesql_tvr::{Change, TimedChange};
 use onesql_types::{Duration, Error, Result, Row, Ts, Value};
+
+// CRC-32 (IEEE 802.3, the zlib polynomial), table generated at compile
+// time. Durable checkpoint files protect their payload with it, the same
+// way the network frames in `onesql-connect` protect theirs.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`, used to detect bit-flips in persisted
+/// checkpoint files before any decoding is attempted.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Types that can be encoded into / decoded from checkpoint bytes.
 pub trait Codec: Sized {
@@ -333,6 +370,54 @@ impl Codec for u8 {
     }
 }
 
+impl Codec for Watermark {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.ts().encode(buf);
+    }
+    fn decode(input: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Watermark(Ts::decode(input)?))
+    }
+}
+
+impl Codec for Change {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.diff.encode(buf);
+        self.row.encode(buf);
+    }
+    fn decode(input: &mut Decoder<'_>) -> Result<Self> {
+        let diff = i64::decode(input)?;
+        let row = Row::decode(input)?;
+        if diff == 0 {
+            return Err(Error::exec(
+                "zero-diff change in checkpoint (consolidated streams never hold one)",
+            ));
+        }
+        Ok(Change { row, diff })
+    }
+}
+
+impl Codec for TimedChange {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.ptime.encode(buf);
+        self.change.encode(buf);
+    }
+    fn decode(input: &mut Decoder<'_>) -> Result<Self> {
+        Ok(TimedChange {
+            ptime: Ts::decode(input)?,
+            change: Change::decode(input)?,
+        })
+    }
+}
+
+impl Codec for crate::keyed::Checkpoint {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(input: &mut Decoder<'_>) -> Result<Self> {
+        Ok(crate::keyed::Checkpoint(Bytes::decode(input)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,5 +492,36 @@ mod tests {
     fn unknown_tag_detected() {
         assert!(Value::from_bytes(&[99]).is_err());
         assert!(bool::from_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn stream_types_round_trip() {
+        round_trip(Watermark(Ts::hm(8, 13)));
+        round_trip(Watermark::MIN);
+        round_trip(Watermark::MAX);
+        round_trip(onesql_tvr::Change::insert(row!(1i64, "x")));
+        round_trip(onesql_tvr::Change::retract(row!(2i64)));
+        round_trip(TimedChange {
+            ptime: Ts::hm(8, 7),
+            change: onesql_tvr::Change::insert(row!(3i64)),
+        });
+        round_trip(crate::keyed::Checkpoint(Bytes::copy_from_slice(b"state")));
+    }
+
+    #[test]
+    fn zero_diff_change_rejected() {
+        let mut buf = BytesMut::new();
+        0i64.encode(&mut buf);
+        row!(1i64).encode(&mut buf);
+        assert!(Change::from_bytes(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // A single flipped bit changes the checksum.
+        assert_ne!(crc32(b"checkpoint"), crc32(b"cheakpoint"));
     }
 }

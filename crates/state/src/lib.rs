@@ -20,7 +20,7 @@ pub mod keyed;
 pub mod temporal;
 pub mod timer;
 
-pub use codec::{Codec, Decoder};
+pub use codec::{crc32, Codec, Decoder};
 pub use keyed::{Checkpoint, KeyedState, StateMetrics};
 pub use temporal::TemporalTable;
 pub use timer::TimerService;

@@ -17,6 +17,6 @@ pub use onesql_connect::{
     PartitionedNetSource, PartitionedNexmarkSource, PartitionedSource, PartitionedVec,
     PipelineCheckpoint, PipelineDriver, PipelineMetrics, ScriptOutcome, Session,
     ShardedChannelSource, ShardedConfig, ShardedPipelineDriver, SinglePartition, Sink, Source,
-    SourceBatch, SourceEvent, SourceStatus, SqlPipeline, StatementResult,
+    SourceBatch, SourceEvent, SourceStatus, SqlPipeline, StatementResult, TxnFileSink,
 };
-pub use onesql_core::{Engine, RunningQuery, StreamBuilder};
+pub use onesql_core::{CheckpointStore, Engine, RunningQuery, StreamBuilder};

@@ -1,0 +1,490 @@
+//! Durable checkpoints, black-box: a pipeline killed at any point and
+//! restored from its on-disk checkpoint — in a *fresh* `Session`, purely
+//! via `RESTORE PIPELINE ... FROM '<path>'` — must leave sink files
+//! byte-identical to an uninterrupted run (cf. black-box consistency
+//! checking: the only oracle is observable output, not internal state).
+//! And every way a checkpoint artifact can be damaged — truncation, bit
+//! flips, wrong magic, future versions, a missing manifest, restoring
+//! into the wrong pipeline or under changed schemas — must surface as a
+//! typed error, never a panic and never silent duplication.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use onesql::connect::session;
+use onesql::{PipelineCheckpoint, SqlPipeline, StatementResult};
+use onesql_nexmark::queries;
+use onesql_state::Codec;
+use onesql_time::Watermark;
+use onesql_tvr::{Change, TimedChange};
+use onesql_types::{Row, Ts, Value};
+
+const EVENTS: u64 = 3_000;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("onesql_durable_ckpt")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The pure-SQL NEXMark Q7 pipeline into a transactional file sink.
+fn q7_script(sink_path: &Path) -> String {
+    format!(
+        "SET workers = 2;
+         SET batch_size = 64;
+         SET max_batch = 128;
+         CREATE PARTITIONED SOURCE nex
+           WITH (connector = 'nexmark', seed = 7, events = {EVENTS}, partitions = 4);
+         CREATE SINK out WITH (connector = 'file', path = '{}', transactional = TRUE);
+         INSERT INTO out {} EMIT STREAM;",
+        sink_path.display(),
+        queries::Q7
+    )
+}
+
+/// Assemble the Q7 pipeline in a fresh session.
+fn assemble(sink_path: &Path) -> (onesql::Session, SqlPipeline) {
+    let mut s = session();
+    let pipeline = s
+        .execute_script(&q7_script(sink_path))
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    assert!(
+        pipeline.is_sharded(),
+        "SET workers + PARTITIONED => sharded"
+    );
+    (s, pipeline)
+}
+
+/// Step the pipeline until it has ingested at least `events`.
+fn step_until(pipeline: &mut SqlPipeline, events: u64) {
+    while pipeline.as_sharded_mut().expect("sharded").events_in() < events {
+        pipeline.step().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance bar: kill → RESTORE in a fresh session → byte-identical
+// sink files, twice over (double kill).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn q7_kill_restore_across_sessions_is_byte_identical() {
+    let dir = scratch_dir("q7");
+    let store = dir.join("store");
+    let reference = dir.join("reference.csv");
+    let recovered = dir.join("recovered.csv");
+
+    // The oracle: one uninterrupted run.
+    let (_s, mut pipeline) = assemble(&reference);
+    pipeline.run().unwrap();
+    let expected = std::fs::read(&reference).unwrap();
+    assert!(!expected.is_empty(), "Q7 produced no output");
+    assert!(
+        !dir.join("reference.csv.txn").exists(),
+        "a finished transactional sink removes its sidecar"
+    );
+
+    // Incarnation 1: run mid-stream, checkpoint via SQL, keep running
+    // (staging rows past the checkpoint), then get killed.
+    let (mut s1, mut victim) = assemble(&recovered);
+    step_until(&mut victim, EVENTS / 3);
+    s1.adopt_pipeline(victim).unwrap();
+    let result = s1
+        .execute(&format!("CHECKPOINT PIPELINE out TO '{}'", store.display()))
+        .unwrap();
+    let StatementResult::Checkpointed { pipeline, epoch } = result else {
+        panic!("expected Checkpointed");
+    };
+    assert_eq!((pipeline.as_str(), epoch), ("out", 1));
+    assert!(store.join("MANIFEST").exists());
+    assert!(store.join("epoch-1.ckpt").exists());
+    let mut victim = s1.take_pipeline("out").unwrap();
+    // Rows written after the checkpoint are uncommitted staging: the
+    // restore must discard them, the replay regenerate them — exactly
+    // once, never twice.
+    step_until(&mut victim, EVENTS / 2);
+    drop(victim); // kill
+    drop(s1); // the whole process is gone
+
+    // Incarnation 2: a fresh session, recovery scripted end-to-end. The
+    // INSERT assembles a fresh pipeline over the same definitions; the
+    // RESTORE in the same script rewinds it (and the sink file) to epoch
+    // 1. Kill it again mid-replay after a second checkpoint.
+    let mut s2 = session();
+    let script = format!(
+        "{} RESTORE PIPELINE out FROM '{}';",
+        q7_script(&recovered),
+        store.display()
+    );
+    let outcome = s2.execute_script(&script).unwrap();
+    assert!(matches!(
+        outcome.results.last(),
+        Some(StatementResult::Restored { epoch: 1, .. })
+    ));
+    let mut victim = outcome.into_pipeline().unwrap();
+    step_until(&mut victim, 2 * EVENTS / 3);
+    s2.adopt_pipeline(victim).unwrap();
+    let StatementResult::Checkpointed { epoch, .. } = s2
+        .execute(&format!("CHECKPOINT PIPELINE out TO '{}'", store.display()))
+        .unwrap()
+    else {
+        panic!("expected Checkpointed");
+    };
+    assert_eq!(epoch, 2, "epochs continue across incarnations");
+    drop(s2); // kill again (the adopted pipeline dies with the session)
+
+    // Incarnation 3: restore from epoch 2 and run to completion.
+    let mut s3 = session();
+    let script = format!(
+        "{} RESTORE PIPELINE out FROM '{}';",
+        q7_script(&recovered),
+        store.display()
+    );
+    let mut restored = s3.execute_script(&script).unwrap().into_pipeline().unwrap();
+    restored.run().unwrap();
+
+    let actual = std::fs::read(&recovered).unwrap();
+    assert_eq!(
+        actual, expected,
+        "the twice-killed, twice-restored sink file differs from the \
+         uninterrupted run's"
+    );
+    assert!(
+        !dir.join("recovered.csv.txn").exists(),
+        "finish removes the staging sidecar"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Identity checks: wrong pipeline, changed schemas.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn restore_refuses_the_wrong_pipeline() {
+    let dir = scratch_dir("wrong-pipeline");
+    let store = dir.join("store");
+    let (s, mut pipeline) = assemble(&dir.join("a.csv"));
+    pipeline.step().unwrap();
+    pipeline.checkpoint_to(&store).unwrap();
+    drop(pipeline);
+    drop(s);
+
+    // Same definitions, but the INSERT targets a different sink, so the
+    // pipeline id differs: the store must refuse it.
+    let mut s = session();
+    s.execute_script(
+        "SET workers = 2;
+         CREATE PARTITIONED SOURCE nex
+           WITH (connector = 'nexmark', seed = 7, events = 100, partitions = 4);
+         CREATE SINK elsewhere WITH (connector = 'changelog');",
+    )
+    .unwrap();
+    let err = s
+        .execute_script(&format!(
+            "INSERT INTO elsewhere {} EMIT STREAM;
+             RESTORE PIPELINE elsewhere FROM '{}';",
+            queries::Q7,
+            store.display()
+        ))
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("belongs to pipeline 'out'") && err.contains("'elsewhere'"),
+        "{err}"
+    );
+}
+
+#[test]
+fn restore_refuses_changed_schema_naming_the_relation() {
+    let dir = scratch_dir("schema-drift");
+    let store = dir.join("store");
+
+    let mut s = session();
+    let mut pipeline = s
+        .execute_script(
+            "SET workers = 2;
+             CREATE PARTITIONED SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t)
+               WITH (connector = 'channel', partitions = 2);
+             CREATE SINK out WITH (connector = 'changelog');
+             INSERT INTO out SELECT v FROM S EMIT STREAM;",
+        )
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    pipeline.checkpoint_to(&store).unwrap();
+    drop(pipeline);
+    drop(s);
+
+    // The "same" script in a fresh process, but S's column is now FLOAT:
+    // the manifest's schema fingerprint catches the drift and names S.
+    let mut s = session();
+    let err = s
+        .execute_script(&format!(
+            "SET workers = 2;
+             CREATE PARTITIONED SOURCE S (t TIMESTAMP, v FLOAT, WATERMARK FOR t)
+               WITH (connector = 'channel', partitions = 2);
+             CREATE SINK out WITH (connector = 'changelog');
+             INSERT INTO out SELECT v FROM S EMIT STREAM;
+             RESTORE PIPELINE out FROM '{}';",
+            store.display()
+        ))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("relation 's'"), "{err}");
+    assert!(err.contains("different"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Damaged artifacts surface as typed errors through the SQL path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn damaged_checkpoint_files_error_descriptively_via_restore() {
+    let dir = scratch_dir("damage");
+    let store = dir.join("store");
+    let sink = dir.join("x.csv");
+    let (_s, mut pipeline) = assemble(&sink);
+    step_until(&mut pipeline, EVENTS / 4);
+    pipeline.checkpoint_to(&store).unwrap();
+    drop(pipeline);
+    let epoch_file = store.join("epoch-1.ckpt");
+    let pristine = std::fs::read(&epoch_file).unwrap();
+
+    let restore = |msg: &str| {
+        let mut s = session();
+        let script = format!(
+            "{} RESTORE PIPELINE out FROM '{}';",
+            q7_script(&sink),
+            store.display()
+        );
+        let err = s.execute_script(&script).unwrap_err().to_string();
+        assert!(err.contains(msg), "wanted '{msg}' in: {err}");
+    };
+
+    // Bit-flipped body: CRC catches it.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    std::fs::write(&epoch_file, &flipped).unwrap();
+    restore("CRC");
+
+    // Truncated file.
+    std::fs::write(&epoch_file, &pristine[..pristine.len() / 2]).unwrap();
+    restore("truncated");
+
+    // Wrong magic (not a checkpoint file at all).
+    let mut foreign = pristine.clone();
+    foreign[..4].copy_from_slice(b"ELFX");
+    std::fs::write(&epoch_file, &foreign).unwrap();
+    restore("magic");
+
+    // A version from the future.
+    let mut future = pristine.clone();
+    future[4] = 0x7F;
+    std::fs::write(&epoch_file, &future).unwrap();
+    restore("version");
+
+    // Intact again: the restore path itself still works...
+    std::fs::write(&epoch_file, &pristine).unwrap();
+    {
+        let mut s = session();
+        let script = format!(
+            "{} RESTORE PIPELINE out FROM '{}';",
+            q7_script(&sink),
+            store.display()
+        );
+        s.execute_script(&script).unwrap();
+    }
+
+    // ...until the manifest disappears.
+    std::fs::remove_file(store.join("MANIFEST")).unwrap();
+    restore("no checkpoint manifest");
+}
+
+#[test]
+fn checkpoint_statement_requires_a_known_pipeline() {
+    let mut s = session();
+    let err = s
+        .execute("CHECKPOINT PIPELINE nope TO '/tmp/anywhere'")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("no such pipeline"), "{err}");
+
+    // Plain (unsharded) pipelines cannot checkpoint; the error says why.
+    let mut pipeline = s
+        .execute_script(
+            "CREATE SOURCE nex WITH (connector = 'nexmark', seed = 1, events = 10);
+             CREATE SINK out WITH (connector = 'changelog');
+             INSERT INTO out SELECT auction FROM Bid EMIT STREAM;",
+        )
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    let err = pipeline
+        .checkpoint_to("/tmp/anywhere")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("plain driver"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// SET: scripts are fully self-contained.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn set_knobs_configure_later_inserts() {
+    let mut s = session();
+    let mut pipeline = s
+        .execute_script(
+            "SET workers = 3;
+             SET batch_size = 16;
+             SET max_idle_rounds = 50;
+             CREATE PARTITIONED SOURCE nex
+               WITH (connector = 'nexmark', seed = 1, events = 200, partitions = 2);
+             CREATE SINK out WITH (connector = 'changelog');
+             INSERT INTO out SELECT auction, price FROM Bid EMIT STREAM;",
+        )
+        .unwrap()
+        .into_pipeline()
+        .unwrap();
+    let sharded = pipeline.as_sharded_mut().expect("sharded");
+    assert_eq!(sharded.workers(), 3, "SET workers applied");
+    assert_eq!(sharded.current_batch_size(), 16, "SET batch_size applied");
+    pipeline.run().unwrap();
+
+    let err = s.execute("SET wrokers = 4").unwrap_err().to_string();
+    assert!(err.contains("unknown session knob"), "{err}");
+    let err = s.execute("SET workers = 0").unwrap_err().to_string();
+    assert!(err.contains("at least 1"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Serialize → deserialize round-trips arbitrary checkpoints.
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0i64..5, -1000i64..1000).prop_map(|(kind, v)| match kind {
+        0 => Value::Null,
+        1 => Value::Bool(v % 2 == 0),
+        2 => Value::Int(v),
+        3 => Value::str(format!("s{v}")),
+        _ => Value::Ts(Ts(v)),
+    })
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    prop::collection::vec(arb_value(), 0..4).prop_map(Row::new)
+}
+
+fn arb_timed_change() -> impl Strategy<Value = TimedChange> {
+    (0i64..10_000, arb_row(), prop::bool::ANY).prop_map(|(ptime, row, insert)| TimedChange {
+        ptime: Ts(ptime),
+        change: if insert {
+            Change::insert(row)
+        } else {
+            Change::retract(row)
+        },
+    })
+}
+
+fn arb_blob() -> impl Strategy<Value = onesql_state::Checkpoint> {
+    prop::collection::vec(0i64..256, 0..48).prop_map(|bytes| {
+        let raw: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        onesql_state::Checkpoint(bytes::Bytes::copy_from_slice(&raw))
+    })
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = PipelineCheckpoint> {
+    let cursors = (
+        prop::collection::vec(arb_blob(), 1..4),
+        prop::collection::vec(prop::collection::vec(0u64..10_000, 1..4), 1..3),
+        0i64..100_000,
+        1u64..5_000,
+        prop::collection::vec(
+            prop::collection::vec((0u64..1_000, arb_timed_change()), 0..4),
+            1..4,
+        ),
+        prop::collection::vec((arb_row(), 0u64..50), 0..4),
+        1u64..64,
+    );
+    cursors.prop_map(
+        |(workers, offsets, clock, batch, pending, versions, epoch)| {
+            let finished = offsets
+                .iter()
+                .map(|parts| parts.iter().map(|&o| o % 2 == 0).collect())
+                .collect();
+            let feeders: Vec<Watermark> = offsets
+                .iter()
+                .flatten()
+                .map(|&o| {
+                    if o % 7 == 0 {
+                        Watermark::MAX
+                    } else {
+                        Watermark(Ts(o as i64))
+                    }
+                })
+                .collect();
+            let next_seq = (0..workers.len() as u64).map(|w| w * 13).collect();
+            PipelineCheckpoint {
+                workers,
+                offsets,
+                finished,
+                feeders,
+                clock: Ts(clock),
+                batch_size: batch as usize,
+                pending,
+                next_seq,
+                renderer_versions: versions,
+                sink_watermark: Watermark(Ts(clock - 2)),
+                output_watermark: Watermark(Ts(clock - 1)),
+                events_out: clock as u64,
+                watermarks_in: batch,
+                epoch,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any checkpoint the driver could produce survives the codec
+    /// byte-exactly (field by field — `PipelineCheckpoint` is not `Eq`).
+    #[test]
+    fn checkpoint_serialize_deserialize_round_trips(cp in arb_checkpoint()) {
+        let bytes = cp.to_bytes();
+        let back = PipelineCheckpoint::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back.workers, &cp.workers);
+        prop_assert_eq!(&back.offsets, &cp.offsets);
+        prop_assert_eq!(&back.finished, &cp.finished);
+        prop_assert_eq!(&back.feeders, &cp.feeders);
+        prop_assert_eq!(back.clock, cp.clock);
+        prop_assert_eq!(back.batch_size, cp.batch_size);
+        prop_assert_eq!(&back.pending, &cp.pending);
+        prop_assert_eq!(&back.next_seq, &cp.next_seq);
+        prop_assert_eq!(&back.renderer_versions, &cp.renderer_versions);
+        prop_assert_eq!(back.sink_watermark, cp.sink_watermark);
+        prop_assert_eq!(back.output_watermark, cp.output_watermark);
+        prop_assert_eq!(back.events_out, cp.events_out);
+        prop_assert_eq!(back.watermarks_in, cp.watermarks_in);
+        prop_assert_eq!(back.epoch, cp.epoch);
+        // And the encoding itself is deterministic.
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    /// Decoding arbitrary prefixes of a valid encoding (truncation at
+    /// every possible point) errors and never panics.
+    #[test]
+    fn truncated_checkpoints_never_panic(cp in arb_checkpoint(), cut in 0usize..512) {
+        let bytes = cp.to_bytes();
+        if cut < bytes.len() {
+            prop_assert!(PipelineCheckpoint::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

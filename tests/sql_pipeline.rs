@@ -87,10 +87,12 @@ fn sql_script_q7_matches_imperative_plain_driver() {
 
 #[test]
 fn sql_script_q7_matches_imperative_sharded_driver() {
+    // The script is fully self-contained: the worker count rides in a
+    // `SET` statement instead of a Rust-side setter call.
     let mut session = session();
-    session.set_workers(WORKERS);
     let script = format!(
-        "CREATE PARTITIONED SOURCE nex
+        "SET workers = {WORKERS};
+         CREATE PARTITIONED SOURCE nex
            WITH (connector = 'nexmark', seed = 7, events = {EVENTS}, partitions = {PARTS});
          CREATE SINK out WITH (connector = 'changelog');
          INSERT INTO out {};",
@@ -512,10 +514,10 @@ fn non_replayable_source_checkpoint_restore_is_a_descriptive_error() {
     // pipeline must refuse descriptively (the pre-crash events exist
     // nowhere to replay from) — never panic, never silently drop data.
     let mut session = session();
-    session.set_workers(2);
     let mut pipeline = session
         .execute_script(
-            "CREATE PARTITIONED SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t)
+            "SET workers = 2;
+             CREATE PARTITIONED SOURCE S (t TIMESTAMP, v INT, WATERMARK FOR t)
                WITH (connector = 'channel', partitions = 2);
              CREATE SINK out WITH (connector = 'changelog');
              INSERT INTO out SELECT v FROM S EMIT STREAM;",
