@@ -56,6 +56,7 @@ pub mod changelog;
 pub mod channel;
 pub mod file;
 pub mod json;
+pub mod metrics;
 pub mod net;
 pub mod nexmark;
 pub mod registry;
@@ -70,9 +71,10 @@ pub use file::{
     CsvFileSink, CsvFileSource, CsvSinkMode, FileSourceConfig, JsonLinesSink, JsonLinesSource,
     PartitionedFileSource, TxnFileSink,
 };
+pub use metrics::{metrics_schema, MetricsSource};
 pub use net::{
-    NetAddr, NetConfig, NetPublisher, NetSink, NetSource, PartitionedNetSource, WIRE_MAGIC,
-    WIRE_VERSION,
+    NetAddr, NetConfig, NetPartStats, NetPublisher, NetPublisherStats, NetSink, NetSource,
+    PartitionedNetSource, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use nexmark::{register_nexmark_streams, NexmarkSource, PartitionedNexmarkSource};
 pub use registry::{default_registry, session};
@@ -83,5 +85,8 @@ pub use onesql_core::connect::{
     SinkConnector, SinkSpec, Source, SourceBatch, SourceConnector, SourceEvent, SourceMetrics,
     SourceSpec, SourceStatus,
 };
-pub use onesql_core::session::{ScriptOutcome, Session, SqlPipeline, StatementResult};
+pub use onesql_core::observe::{MetricKind, MetricRow, MetricsHub, PipelineSnapshot};
+pub use onesql_core::session::{
+    PipelineInfo, ScriptOutcome, Session, SqlPipeline, StatementResult,
+};
 pub use onesql_core::shard::{PipelineCheckpoint, ShardedConfig, ShardedPipelineDriver};

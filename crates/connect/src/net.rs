@@ -63,6 +63,7 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use onesql_core::connect::{
     PartitionedSource, PartitionedVec, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
 };
+use onesql_core::observe;
 use onesql_exec::StreamRow;
 use onesql_time::Watermark;
 use onesql_tvr::Change;
@@ -700,6 +701,23 @@ pub struct NetPublisher {
     finish_sent: bool,
     /// When the last KEEPALIVE frame went out.
     last_keepalive: Option<Instant>,
+    /// Telemetry; see [`NetPublisherStats`].
+    stats: NetPublisherStats,
+}
+
+/// Wire telemetry of one [`NetPublisher`], via [`NetPublisher::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetPublisherStats {
+    /// Frames written (data, FINISH, KEEPALIVE), over all connections.
+    pub frames: u64,
+    /// Payload bytes of those frames.
+    pub bytes: u64,
+    /// Connections established (handshake completed); every one past
+    /// the first was a reconnect.
+    pub connections: u64,
+    /// Spool items a reconnect rewound for re-sending: how much work
+    /// exactly-once recovery actually re-did.
+    pub replayed: u64,
 }
 
 impl NetPublisher {
@@ -728,12 +746,30 @@ impl NetPublisher {
             finished: false,
             finish_sent: false,
             last_keepalive: None,
+            stats: NetPublisherStats::default(),
         }
     }
 
     /// The offset the next event will be assigned (== events published).
     pub fn offset(&self) -> u64 {
         self.next_offset
+    }
+
+    /// Wire telemetry so far: frames/bytes written, connections made,
+    /// spool items replayed by reconnects.
+    pub fn stats(&self) -> NetPublisherStats {
+        self.stats
+    }
+
+    /// Record one frame of `bytes` payload put on the wire.
+    fn note_frame(&mut self, bytes: usize) {
+        self.stats.frames += 1;
+        self.stats.bytes += bytes as u64;
+        if observe::enabled() {
+            let context = format!("net publisher {}#{}", self.addr, self.partition);
+            observe::counter(&format!("{context}.frames"), 1);
+            observe::counter(&format!("{context}.bytes"), bytes as u64);
+        }
     }
 
     /// Highest offset the consumer has acknowledged so far.
@@ -883,7 +919,10 @@ impl NetPublisher {
         let mut conn = self.conn.take().expect("ensured above");
         let result = write_frame(&mut conn, &context, &body);
         match result {
-            Ok(()) => self.conn = Some(conn),
+            Ok(()) => {
+                self.note_frame(body.len());
+                self.conn = Some(conn);
+            }
             Err(_) => conn.shutdown(),
         }
         self.last_keepalive = Some(Instant::now());
@@ -1117,6 +1156,7 @@ impl NetPublisher {
             let result = write_frame(&mut conn, &context, &body);
             self.conn = Some(conn);
             result?;
+            self.note_frame(body.len());
             // The frame is on the wire: record which frame carried each
             // watermark (what reconnect rewinds key on) and advance the
             // send cursor past the frame's events.
@@ -1136,6 +1176,7 @@ impl NetPublisher {
             let result = write_frame(&mut conn, &context, &body);
             self.conn = Some(conn);
             result?;
+            self.note_frame(body.len());
             self.finish_sent = true;
         }
         Ok(())
@@ -1250,7 +1291,22 @@ impl NetPublisher {
                 break;
             }
         }
+        let was_unsent = self.unsent;
         self.unsent = self.spool.len() - first_unsent;
+        // Items the rewind re-opened had already been written once:
+        // that is the replay work this reconnect costs.
+        let replayed = self.unsent.saturating_sub(was_unsent) as u64;
+        self.stats.replayed += replayed;
+        self.stats.connections += 1;
+        if observe::enabled() {
+            let context = format!("net publisher {}#{}", self.addr, self.partition);
+            if self.stats.connections > 1 {
+                observe::counter(&format!("{context}.reconnects"), 1);
+            }
+            if replayed > 0 {
+                observe::counter(&format!("{context}.replayed"), replayed);
+            }
+        }
         self.send_cursor = resume;
         self.finish_sent = false;
 
@@ -1399,6 +1455,27 @@ struct PartSlot {
     resume: AtomicU64,
     /// The partition's FINISH arrived; no reconnect can ever matter.
     finished: AtomicBool,
+    /// Telemetry: post-handshake frames delivered on this partition.
+    frames: AtomicU64,
+    /// Telemetry: payload bytes of those frames.
+    bytes: AtomicU64,
+    /// Telemetry: producer connections that completed the handshake
+    /// (`connections - 1` is the partition's reconnect count).
+    connections: AtomicU64,
+}
+
+/// Per-partition wire telemetry of a net source: what arrived, and how
+/// many producer incarnations delivered it. Snapshot via
+/// [`PartitionedNetSource::part_stats`] / [`NetSource::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetPartStats {
+    /// Post-handshake frames (data, FINISH, KEEPALIVE) delivered.
+    pub frames: u64,
+    /// Payload bytes of those frames.
+    pub bytes: u64,
+    /// Producer connections that completed the handshake; every one
+    /// past the first was a reconnect.
+    pub connections: u64,
 }
 
 struct ListenerShared {
@@ -1619,6 +1696,9 @@ impl PartitionedNetSource {
                 claimed: AtomicBool::new(false),
                 resume: AtomicU64::new(0),
                 finished: AtomicBool::new(false),
+                frames: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                connections: AtomicU64::new(0),
             });
             receivers.push(rx);
         }
@@ -1661,6 +1741,19 @@ impl PartitionedNetSource {
     /// actual ephemeral address producers should connect to.
     pub fn local_addr(&self) -> NetAddr {
         self.local.clone()
+    }
+
+    /// Snapshot the per-partition wire telemetry, in partition order.
+    pub fn part_stats(&self) -> Vec<NetPartStats> {
+        self.shared
+            .parts
+            .iter()
+            .map(|slot| NetPartStats {
+                frames: slot.frames.load(Ordering::Acquire),
+                bytes: slot.bytes.load(Ordering::Acquire),
+                connections: slot.connections.load(Ordering::Acquire),
+            })
+            .collect()
     }
 }
 
@@ -1975,10 +2068,20 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
     let _ = conn.set_read_timeout(None);
 
     let context = format!("{context}#{partition}");
+    let reconnect = slot.connections.fetch_add(1, Ordering::AcqRel) > 0;
+    if reconnect && observe::enabled() {
+        observe::counter(&format!("{context}.reconnects"), 1);
+    }
     let mut expected = resume;
     loop {
         match read_frame_raw(&mut conn, &context) {
             FrameRead::Frame(body) => {
+                slot.frames.fetch_add(1, Ordering::AcqRel);
+                slot.bytes.fetch_add(body.len() as u64, Ordering::AcqRel);
+                if observe::enabled() {
+                    observe::counter(&format!("{context}.frames"), 1);
+                    observe::counter(&format!("{context}.bytes"), body.len() as u64);
+                }
                 match parse_data_frame(&body, &context, &mut expected, &shared) {
                     Ok(Some(decoded)) => {
                         let finished = matches!(decoded, Decoded::Finished);
@@ -2164,6 +2267,11 @@ impl NetSource {
     /// The bound address (resolves TCP port 0 to the ephemeral port).
     pub fn local_addr(&self) -> NetAddr {
         self.inner.local_addr()
+    }
+
+    /// Wire telemetry of the single partition.
+    pub fn stats(&self) -> NetPartStats {
+        self.inner.part_stats()[0]
     }
 }
 

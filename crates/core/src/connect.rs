@@ -89,8 +89,9 @@ use std::collections::BTreeMap;
 use onesql_exec::StreamRow;
 use onesql_time::{Watermark, WatermarkTracker};
 use onesql_tvr::Change;
-use onesql_types::{Duration, Error, Result, Ts};
+use onesql_types::{Duration, Error, Result, Ts, Value};
 
+use crate::observe::{self, Histogram, MetricRow, Stopwatch};
 use crate::query::RunningQuery;
 
 pub mod registry;
@@ -679,12 +680,33 @@ pub struct SourceMetrics {
     pub name: String,
     /// Events fed into the query from this source.
     pub events: u64,
+    /// Estimated payload bytes fed from this source (see
+    /// [`change_bytes`]).
+    pub bytes: u64,
     /// Polls that returned at least one event.
     pub non_empty_polls: u64,
     /// The source's current watermark assertion.
     pub watermark: Watermark,
     /// Whether the source has finished.
     pub finished: bool,
+}
+
+/// Estimated payload size of one change, in bytes: 8 per fixed-width value
+/// (int, float, timestamp, interval), 1 per null/bool, string length for
+/// strings. A stable, cheap estimator — not a wire format — so byte
+/// counters mean the same thing on every connector and survive checkpoints
+/// deterministically.
+pub fn change_bytes(change: &Change) -> u64 {
+    change
+        .row
+        .values()
+        .iter()
+        .map(|v| match v {
+            Value::Null | Value::Bool(_) => 1u64,
+            Value::Int(_) | Value::Float(_) | Value::Ts(_) | Value::Interval(_) => 8,
+            Value::Str(s) => s.len() as u64,
+        })
+        .sum()
 }
 
 /// Pipeline-wide accounting, readable at any time via
@@ -695,12 +717,36 @@ pub struct PipelineMetrics {
     pub events_in: u64,
     /// Total output rows delivered to sinks.
     pub events_out: u64,
+    /// Estimated payload bytes fed into the query (sum over sources).
+    pub bytes_in: u64,
     /// Watermark deliveries into the query.
     pub watermarks_in: u64,
     /// Completed scheduling rounds.
     pub rounds: u64,
     /// Rounds in which no source produced anything.
     pub idle_rounds: u64,
+    /// The batch size the adaptive controller chose for the next poll.
+    pub batch_size: usize,
+    /// Depth of the sharded driver's deterministic-merge hold-back buffer
+    /// (0 for the plain driver, which has no merge buffer).
+    pub pending_depth: u64,
+    /// Wall-clock per scheduling round, in microseconds.
+    pub round_micros: Histogram,
+    /// Wall-clock spent polling sources per round, in microseconds.
+    pub poll_micros: Histogram,
+    /// Wall-clock spent in the deterministic merge/drain of worker output
+    /// per round, in microseconds (sharded driver only).
+    pub merge_micros: Histogram,
+    /// Wall-clock per output render+deliver drain, in microseconds.
+    pub emit_micros: Histogram,
+    /// Durable checkpoints persisted by this incarnation.
+    pub checkpoints: u64,
+    /// Epoch of the most recent durable checkpoint (0 before any).
+    pub checkpoint_epoch: u64,
+    /// Wall-clock per durable checkpoint persist, in microseconds.
+    pub checkpoint_persist_micros: Histogram,
+    /// Times this incarnation was restored from a checkpoint (0 or 1).
+    pub restores: u64,
     /// Per-source breakdown, in attach order.
     pub sources: Vec<SourceMetrics>,
     /// The min over all live sources' watermarks (what the slowest input
@@ -715,9 +761,20 @@ impl Default for PipelineMetrics {
         PipelineMetrics {
             events_in: 0,
             events_out: 0,
+            bytes_in: 0,
             watermarks_in: 0,
             rounds: 0,
             idle_rounds: 0,
+            batch_size: 0,
+            pending_depth: 0,
+            round_micros: Histogram::new(),
+            poll_micros: Histogram::new(),
+            merge_micros: Histogram::new(),
+            emit_micros: Histogram::new(),
+            checkpoints: 0,
+            checkpoint_epoch: 0,
+            checkpoint_persist_micros: Histogram::new(),
+            restores: 0,
             sources: Vec::new(),
             input_watermark: Watermark::MIN,
             output_watermark: Watermark::MIN,
@@ -741,6 +798,95 @@ impl PipelineMetrics {
             return None;
         }
         Some(input.ts() - output.ts())
+    }
+
+    /// Render these metrics as stable `(name, kind, value)` rows — the one
+    /// vocabulary shared by `SHOW PIPELINES`, `EXPLAIN ANALYZE`, and the
+    /// `metrics` source connector, so the surfaces can never drift.
+    ///
+    /// Conventions: durations are microseconds; watermarks are epoch millis
+    /// (`i64::MIN` while still [`Watermark::MIN`]); `watermark_lag_ms` is
+    /// -1 until both watermarks carry real timestamps. Histograms render as
+    /// four rows each: `<name>_count`, `<name>_p50`, `<name>_p99`,
+    /// `<name>_max`. Per-source rows are `source.<name>.rows` / `.bytes`
+    /// counters and `.watermark_ms` / `.finished` gauges, in attach order.
+    pub fn render_rows(&self) -> Vec<MetricRow> {
+        fn wm_millis(wm: Watermark) -> i64 {
+            if wm == Watermark::MIN {
+                i64::MIN
+            } else {
+                wm.ts().millis()
+            }
+        }
+        fn histogram(rows: &mut Vec<MetricRow>, name: &str, h: &Histogram) {
+            rows.push(MetricRow::counter(format!("{name}_count"), h.count()));
+            rows.push(MetricRow::gauge(
+                format!("{name}_p50"),
+                h.p50().min(i64::MAX as u64) as i64,
+            ));
+            rows.push(MetricRow::gauge(
+                format!("{name}_p99"),
+                h.p99().min(i64::MAX as u64) as i64,
+            ));
+            rows.push(MetricRow::gauge(
+                format!("{name}_max"),
+                h.max().min(i64::MAX as u64) as i64,
+            ));
+        }
+
+        let mut rows = vec![
+            MetricRow::counter("events_in", self.events_in),
+            MetricRow::counter("events_out", self.events_out),
+            MetricRow::counter("bytes_in", self.bytes_in),
+            MetricRow::counter("watermarks_in", self.watermarks_in),
+            MetricRow::counter("rounds", self.rounds),
+            MetricRow::counter("idle_rounds", self.idle_rounds),
+            MetricRow::gauge("batch_size", self.batch_size.min(i64::MAX as usize) as i64),
+            MetricRow::gauge(
+                "pending_depth",
+                self.pending_depth.min(i64::MAX as u64) as i64,
+            ),
+            MetricRow::gauge("input_watermark_ms", wm_millis(self.input_watermark)),
+            MetricRow::gauge("output_watermark_ms", wm_millis(self.output_watermark)),
+            MetricRow::gauge(
+                "watermark_lag_ms",
+                self.watermark_lag().map_or(-1, |d| d.millis()),
+            ),
+        ];
+        histogram(&mut rows, "round_micros", &self.round_micros);
+        histogram(&mut rows, "poll_micros", &self.poll_micros);
+        histogram(&mut rows, "merge_micros", &self.merge_micros);
+        histogram(&mut rows, "emit_micros", &self.emit_micros);
+        rows.push(MetricRow::counter("checkpoints", self.checkpoints));
+        rows.push(MetricRow::gauge(
+            "checkpoint_epoch",
+            self.checkpoint_epoch.min(i64::MAX as u64) as i64,
+        ));
+        histogram(
+            &mut rows,
+            "checkpoint_persist_micros",
+            &self.checkpoint_persist_micros,
+        );
+        rows.push(MetricRow::counter("restores", self.restores));
+        for src in &self.sources {
+            rows.push(MetricRow::counter(
+                format!("source.{}.rows", src.name),
+                src.events,
+            ));
+            rows.push(MetricRow::counter(
+                format!("source.{}.bytes", src.name),
+                src.bytes,
+            ));
+            rows.push(MetricRow::gauge(
+                format!("source.{}.watermark_ms", src.name),
+                wm_millis(src.watermark),
+            ));
+            rows.push(MetricRow::gauge(
+                format!("source.{}.finished", src.name),
+                i64::from(src.finished),
+            ));
+        }
+        rows
     }
 }
 
@@ -829,6 +975,7 @@ struct SourceSlot {
     streams: Vec<String>,
     finished: bool,
     events: u64,
+    bytes: u64,
     non_empty_polls: u64,
 }
 
@@ -859,6 +1006,9 @@ pub struct PipelineDriver {
     /// `onesql_exec::render_stream`, so sink-side `ver` numbering cannot
     /// diverge from `RunningQuery::stream_rows`).
     renderer: onesql_exec::StreamRenderer,
+    /// When set, the driver publishes a metrics snapshot to the global
+    /// [`observe::hub`] under this name after every round.
+    label: Option<String>,
     finished: bool,
 }
 
@@ -882,8 +1032,37 @@ impl PipelineDriver {
             emitted: 0,
             sink_watermark: Watermark::MIN,
             renderer: onesql_exec::StreamRenderer::new(ver_cols),
+            label: None,
             finished: false,
         }
+    }
+
+    /// Name this pipeline on the global [`observe::hub`]: every subsequent
+    /// round publishes a [`crate::PipelineSnapshot`] under `label`, which
+    /// is what the `metrics` source connector and `SHOW PIPELINES` read.
+    /// Unlabelled drivers never touch the hub.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = Some(label.into());
+    }
+
+    /// The hub label, if one was set.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    fn publish_snapshot(&mut self) {
+        if self.label.is_none() {
+            return;
+        }
+        self.refresh_metrics();
+        let label = self.label.as_deref().unwrap_or_default();
+        observe::hub().publish(
+            label,
+            self.clock,
+            false,
+            self.finished,
+            self.metrics.clone(),
+        );
     }
 
     /// Replace the driver configuration.
@@ -923,6 +1102,7 @@ impl PipelineDriver {
             streams,
             finished: false,
             events: 0,
+            bytes: 0,
             non_empty_polls: 0,
         });
         Ok(())
@@ -960,6 +1140,7 @@ impl PipelineDriver {
             .map(|(i, s)| SourceMetrics {
                 name: s.source.name().to_string(),
                 events: s.events,
+                bytes: s.bytes,
                 non_empty_polls: s.non_empty_polls,
                 watermark: self.ledger.feeder(i),
                 finished: s.finished,
@@ -977,13 +1158,17 @@ impl PipelineDriver {
         if self.finished {
             return Ok(0);
         }
+        let round = Stopwatch::start();
         let batch_size = self.controller.size();
         let mut ingested = 0usize;
+        let mut poll_micros = 0u64;
         for slot in 0..self.sources.len() {
             if self.sources[slot].finished {
                 continue;
             }
+            let poll = Stopwatch::start();
             let batch = self.sources[slot].source.poll_batch(batch_size)?;
+            poll_micros = poll_micros.saturating_add(poll.micros());
             if !batch.events.is_empty() {
                 self.sources[slot].non_empty_polls += 1;
             }
@@ -1004,9 +1189,12 @@ impl PipelineDriver {
                 // Processing time is monotone across the whole pipeline;
                 // a source whose clock lags is dragged forward.
                 self.clock = self.clock.max(event.ptime);
+                let bytes = change_bytes(&event.change);
                 self.query.change(&stream, self.clock, event.change)?;
                 self.sources[slot].events += 1;
+                self.sources[slot].bytes += bytes;
                 self.metrics.events_in += 1;
+                self.metrics.bytes_in += bytes;
                 ingested += 1;
                 // Bounded in-flight buffering: drain mid-round when the
                 // pending output grows past the configured bound.
@@ -1034,11 +1222,14 @@ impl PipelineDriver {
         if self.all_sources_finished() {
             self.finish()?;
         } else {
-            self.controller.observe(PipelineMetrics::lag_between(
+            self.metrics.batch_size = self.controller.observe(PipelineMetrics::lag_between(
                 self.ledger.input_watermark(),
                 self.query.output_watermark(),
             ));
         }
+        self.metrics.poll_micros.record(poll_micros);
+        self.metrics.round_micros.record(round.micros());
+        self.publish_snapshot();
         Ok(ingested)
     }
 
@@ -1070,6 +1261,7 @@ impl PipelineDriver {
             self.notify_sink_watermark()?;
             return Ok(());
         }
+        let emit = Stopwatch::start();
         let mut rows = Vec::with_capacity(entries.len() - self.emitted);
         for entry in &entries[self.emitted..] {
             self.renderer.render_into(entry, &mut rows)?;
@@ -1080,6 +1272,7 @@ impl PipelineDriver {
             sink.write(&rows)?;
         }
         self.notify_sink_watermark()?;
+        self.metrics.emit_micros.record(emit.micros());
         Ok(())
     }
 
@@ -1103,12 +1296,15 @@ impl PipelineDriver {
             return Ok(());
         }
         self.finished = true;
+        let span = Stopwatch::start();
         self.query.finish(self.clock)?;
         self.drain_output()?;
         for sink in &mut self.sinks {
             sink.flush()?;
         }
+        observe::sample("driver.finish_micros", span.micros());
         self.refresh_metrics();
+        self.publish_snapshot();
         Ok(())
     }
 

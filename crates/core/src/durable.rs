@@ -40,6 +40,7 @@ use onesql_time::Watermark;
 use onesql_tvr::TimedChange;
 use onesql_types::{Error, Result, Row, Schema, Ts};
 
+use crate::observe;
 use crate::parallel::StableHasher;
 use crate::shard::PipelineCheckpoint;
 
@@ -48,7 +49,9 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"OSQC";
 /// Magic opening a checkpoint-store manifest.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"OSQM";
 /// Current on-disk format version (shared by manifest and epoch files).
-pub const FORMAT_VERSION: u16 = 1;
+/// Version 2 appended per-source/per-partition byte counters to the
+/// checkpoint payload (metrics continuity across restores).
+pub const FORMAT_VERSION: u16 = 2;
 /// Epochs a store keeps by default before pruning the oldest.
 pub const DEFAULT_RETAIN: usize = 3;
 
@@ -234,6 +237,7 @@ impl Codec for PipelineCheckpoint {
         self.events_out.encode(buf);
         self.watermarks_in.encode(buf);
         self.epoch.encode(buf);
+        self.source_bytes.encode(buf);
     }
 
     fn decode(input: &mut Decoder<'_>) -> Result<Self> {
@@ -253,6 +257,7 @@ impl Codec for PipelineCheckpoint {
             events_out: u64::decode(input)?,
             watermarks_in: u64::decode(input)?,
             epoch: u64::decode(input)?,
+            source_bytes: Vec::<Vec<u64>>::decode(input)?,
         })
     }
 }
@@ -484,19 +489,21 @@ impl CheckpointStore {
             epoch,
             checkpoint: checkpoint.clone(),
         };
+        let serialize = observe::Stopwatch::start();
+        let bytes = payload.to_bytes();
+        observe::sample("checkpoint.serialize_micros", serialize.micros());
         // File first, manifest second: a kill between the two leaves an
         // unreferenced file, never a referenced hole.
-        write_atomic(
-            &self.epoch_path(epoch),
-            CHECKPOINT_MAGIC,
-            &payload.to_bytes(),
-        )?;
+        let persist = observe::Stopwatch::start();
+        write_atomic(&self.epoch_path(epoch), CHECKPOINT_MAGIC, &bytes)?;
         self.manifest.epochs.push(epoch);
         let mut pruned = Vec::new();
         while self.manifest.epochs.len() > self.manifest.retain as usize {
             pruned.push(self.manifest.epochs.remove(0));
         }
         self.write_manifest()?;
+        observe::sample("checkpoint.persist_micros", persist.micros());
+        observe::counter("checkpoint.saves", 1);
         // Delete pruned files only after the manifest stopped referencing
         // them; a failure here strands bytes, not correctness.
         for old in pruned {
@@ -526,9 +533,11 @@ impl CheckpointStore {
                 self.manifest.epochs
             )));
         }
+        let restore = observe::Stopwatch::start();
         let path = self.epoch_path(epoch);
         let payload = read_verified(&path, CHECKPOINT_MAGIC)?;
         let decoded = EpochPayload::from_bytes(&payload)?;
+        observe::sample("checkpoint.restore_micros", restore.micros());
         if decoded.pipeline != self.manifest.pipeline {
             return Err(Error::exec(format!(
                 "'{}' belongs to pipeline '{}', but the manifest is for '{}'",
@@ -616,6 +625,7 @@ mod tests {
             output_watermark: Watermark(Ts(40)),
             events_out: 11,
             watermarks_in: 4,
+            source_bytes: vec![vec![48, 80]],
             epoch,
         }
     }
@@ -634,6 +644,7 @@ mod tests {
         assert_eq!(a.output_watermark, b.output_watermark);
         assert_eq!(a.events_out, b.events_out);
         assert_eq!(a.watermarks_in, b.watermarks_in);
+        assert_eq!(a.source_bytes, b.source_bytes);
         assert_eq!(a.epoch, b.epoch);
     }
 
@@ -799,6 +810,7 @@ mod tests {
             output_watermark: Watermark(Ts(40)),
             events_out: 2,
             watermarks_in: 1,
+            source_bytes: vec![vec![24]],
             epoch: 1,
         };
         store.save(&cp).unwrap();
@@ -813,7 +825,7 @@ mod tests {
         };
         assert_eq!(
             hex(dir.join("MANIFEST")),
-            "4f 53 51 4d 01 00 3e 00 00 00 00 00 00 00 fc 98 \
+            "4f 53 51 4d 02 00 3e 00 00 00 00 00 00 00 fc 98 \
              54 41 03 00 00 00 00 00 00 00 6f 75 74 01 00 00 \
              00 00 00 00 00 03 00 00 00 00 00 00 00 62 69 64 \
              f3 31 e5 9b b6 e8 6b 15 03 00 00 00 00 00 00 00 \
@@ -824,8 +836,8 @@ mod tests {
         );
         assert_eq!(
             hex(dir.join("epoch-1.ckpt")),
-            "4f 53 51 43 01 00 be 00 00 00 00 00 00 00 45 5a \
-             8e ca 03 00 00 00 00 00 00 00 6f 75 74 01 00 00 \
+            "4f 53 51 43 02 00 d6 00 00 00 00 00 00 00 60 ff \
+             81 87 03 00 00 00 00 00 00 00 6f 75 74 01 00 00 \
              00 00 00 00 00 01 00 00 00 00 00 00 00 02 00 00 \
              00 00 00 00 00 77 30 01 00 00 00 00 00 00 00 01 \
              00 00 00 00 00 00 00 03 00 00 00 00 00 00 00 01 \
@@ -836,7 +848,9 @@ mod tests {
              01 00 00 00 00 00 00 00 01 00 00 00 00 00 00 00 \
              00 00 00 00 00 00 00 00 27 00 00 00 00 00 00 00 \
              28 00 00 00 00 00 00 00 02 00 00 00 00 00 00 00 \
-             01 00 00 00 00 00 00 00 01 00 00 00 00 00 00 00"
+             01 00 00 00 00 00 00 00 01 00 00 00 00 00 00 00 \
+             01 00 00 00 00 00 00 00 01 00 00 00 00 00 00 00 \
+             18 00 00 00 00 00 00 00"
                 .split_whitespace()
                 .collect::<Vec<_>>()
                 .join(" ")

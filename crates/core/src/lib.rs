@@ -35,6 +35,7 @@
 pub mod connect;
 pub mod durable;
 pub mod engine;
+pub mod observe;
 pub mod parallel;
 pub mod query;
 pub mod session;
@@ -48,9 +49,10 @@ pub use connect::{
 };
 pub use durable::{schema_fingerprint, CheckpointStore, DEFAULT_RETAIN};
 pub use engine::{Engine, StreamBuilder};
+pub use observe::{Histogram, MetricKind, MetricRow, MetricsHub, PipelineSnapshot};
 pub use parallel::{PartitionedQuery, StableHasher};
 pub use query::RunningQuery;
-pub use session::{ScriptOutcome, Session, SqlPipeline, StatementResult};
+pub use session::{PipelineInfo, ScriptOutcome, Session, SqlPipeline, StatementResult};
 pub use shard::{PipelineCheckpoint, ShardedConfig, ShardedPipelineDriver};
 
 pub use onesql_exec::{ExecConfig, StreamRow};

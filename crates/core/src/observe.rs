@@ -1,0 +1,667 @@
+//! Structured tracing and metrics for the streaming runtime.
+//!
+//! The paper's thesis — one SQL dialect for every layer — extends to the
+//! runtime's own health: watermark lag, backpressure, checkpoint cost and
+//! wire traffic should be observable *as a stream*, queryable with the same
+//! windowed SQL users write against their own data. This module supplies the
+//! three pieces that make that possible without any crates.io dependency:
+//!
+//! * a **tracing facade** ([`TraceEvent`], [`TraceSink`], [`install`]) that
+//!   hot paths emit span/counter/gauge/sample events into. When no sink is
+//!   installed the cost of an emission site is a single relaxed atomic load;
+//!   tests and tools install a sink to capture the raw event stream.
+//! * a log-bucketed latency [`Histogram`] with fixed power-of-two bucket
+//!   boundaries, so recorded artifacts (bench JSON, checkpoint summaries)
+//!   stay comparable across PRs and merges are order-independent.
+//! * a process-wide [`MetricsHub`] where labelled pipeline drivers publish
+//!   [`PipelineSnapshot`]s — versioned, event-timed copies of their
+//!   [`PipelineMetrics`] — which the
+//!   `metrics` source connector turns back into rows with event-time.
+//!
+//! See `docs/OBSERVABILITY.md` for the span/counter vocabulary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use onesql_types::Ts;
+
+use crate::connect::PipelineMetrics;
+
+// ---------------------------------------------------------------------------
+// Tracing facade
+// ---------------------------------------------------------------------------
+
+/// A single structured telemetry event.
+///
+/// Names are dot-separated, lowercase, and stable: they form the public
+/// vocabulary documented in `docs/OBSERVABILITY.md`. Durations are always
+/// microseconds; byte counts are always raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent<'a> {
+    /// A named operation began.
+    SpanEnter {
+        /// Span name, e.g. `checkpoint.save`.
+        name: &'a str,
+    },
+    /// A named operation finished after `micros` microseconds.
+    SpanExit {
+        /// Span name, matching the corresponding [`TraceEvent::SpanEnter`].
+        name: &'a str,
+        /// Wall-clock duration of the span in microseconds.
+        micros: u64,
+    },
+    /// A monotone counter advanced by `delta`.
+    Counter {
+        /// Counter name, e.g. `net.consumer.frames`.
+        name: &'a str,
+        /// Increment (never negative; counters are monotone).
+        delta: u64,
+    },
+    /// A point-in-time level, e.g. a queue depth or batch size.
+    Gauge {
+        /// Gauge name, e.g. `driver.batch_size`.
+        name: &'a str,
+        /// Current value.
+        value: i64,
+    },
+    /// One observation destined for a histogram.
+    Sample {
+        /// Series name, e.g. `checkpoint.persist_micros`.
+        name: &'a str,
+        /// Observed value.
+        value: u64,
+    },
+}
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// Implementations must be cheap and non-blocking: events are emitted from
+/// driver hot loops. The runtime never emits while holding its own locks.
+pub trait TraceSink: Send + Sync {
+    /// Receive one event. Borrowed names are only valid for the call.
+    fn event(&self, event: &TraceEvent<'_>);
+}
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+fn trace_slot() -> &'static Mutex<Option<Arc<dyn TraceSink>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn TraceSink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install a global trace sink; subsequent [`emit`]s are delivered to it.
+///
+/// Replaces any previously installed sink. Tracing stays enabled until
+/// [`uninstall`] is called.
+pub fn install(sink: Arc<dyn TraceSink>) {
+    *trace_slot().lock().unwrap() = Some(sink);
+    TRACE_ON.store(true, Ordering::Release);
+}
+
+/// Remove the global trace sink, returning emission sites to their
+/// single-atomic-load fast path.
+pub fn uninstall() {
+    TRACE_ON.store(false, Ordering::Release);
+    *trace_slot().lock().unwrap() = None;
+}
+
+/// Whether a trace sink is currently installed.
+///
+/// Callers with non-trivial event construction cost should check this first;
+/// [`emit`] checks it again internally, so racing an [`uninstall`] is benign.
+#[inline]
+pub fn enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Deliver one event to the installed sink, if any.
+#[inline]
+pub fn emit(event: TraceEvent<'_>) {
+    if !enabled() {
+        return;
+    }
+    emit_slow(&event);
+}
+
+#[cold]
+fn emit_slow(event: &TraceEvent<'_>) {
+    // Clone the Arc out of the slot so the sink runs without the lock held
+    // (a sink may itself emit, e.g. when wrapping another sink).
+    let sink = trace_slot().lock().unwrap().clone();
+    if let Some(sink) = sink {
+        sink.event(event);
+    }
+}
+
+/// Emit a counter increment.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    emit(TraceEvent::Counter { name, delta });
+}
+
+/// Emit a gauge level.
+#[inline]
+pub fn gauge(name: &str, value: i64) {
+    emit(TraceEvent::Gauge { name, value });
+}
+
+/// Emit a histogram observation.
+#[inline]
+pub fn sample(name: &str, value: u64) {
+    emit(TraceEvent::Sample { name, value });
+}
+
+/// RAII span: emits `SpanEnter` on construction and `SpanExit` (with the
+/// elapsed microseconds) on drop. Also usable as a plain stopwatch via
+/// [`Span::elapsed_micros`].
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Start a span named `name`.
+    pub fn enter(name: &'static str) -> Span {
+        emit(TraceEvent::SpanEnter { name });
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds since the span started, saturated to `u64`.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        emit(TraceEvent::SpanExit {
+            name: self.name,
+            micros: self.elapsed_micros(),
+        });
+    }
+}
+
+/// A plain wall-clock stopwatch for code that records durations into a
+/// [`Histogram`] (and optionally also [`sample`]s them).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed microseconds, saturated to `u64`.
+    pub fn micros(&self) -> u64 {
+        self.0.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-bucketed histogram
+// ---------------------------------------------------------------------------
+
+/// Number of buckets: one for zero plus one per power of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-boundary, log2-bucketed histogram of `u64` observations.
+///
+/// Bucket 0 holds exactly the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. The boundaries are *fixed forever* (pinned by a
+/// golden test) so that histograms recorded in different processes, rounds,
+/// or PRs can be merged and compared. All arithmetic saturates; `record`
+/// never panics for any `u64` input and merging is commutative and
+/// associative (order-independent) as long as no saturation occurs — and
+/// saturation itself is absorbing, so any merge order still agrees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[low, high]` range of values bucket `idx` covers.
+    ///
+    /// # Panics
+    /// If `idx >= HISTOGRAM_BUCKETS`.
+    pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+        assert!(idx < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if idx == 0 {
+            (0, 0)
+        } else if idx == 64 {
+            (1u64 << 63, u64::MAX)
+        } else {
+            (1u64 << (idx - 1), (1u64 << idx) - 1)
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] = self.counts[Self::bucket_of(value)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (integer division), or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Raw bucket counts, indexed by [`Histogram::bucket_of`].
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the upper boundary
+    /// of the bucket containing the `ceil(q * count)`-th observation, clamped
+    /// to the recorded maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Self::bucket_bounds(idx).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the p50 upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the p99 upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric rows — the shared (name, kind, value) vocabulary
+// ---------------------------------------------------------------------------
+
+/// The kind of a rendered metric row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone within one pipeline incarnation chain (survives restore).
+    Counter,
+    /// Point-in-time level; may move in either direction.
+    Gauge,
+}
+
+impl MetricKind {
+    /// Stable lowercase spelling used in result rows.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One rendered metric: the common currency of `SHOW PIPELINES`, the
+/// `metrics` source connector, and `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRow {
+    /// Dot-separated metric name, e.g. `source.Bid.rows`.
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// The value. Durations are microseconds; watermarks are epoch millis
+    /// (`i64::MIN` when still `Watermark::MIN`); unknown lag renders as -1.
+    pub value: i64,
+}
+
+impl MetricRow {
+    /// Build a counter row.
+    pub fn counter(name: impl Into<String>, value: u64) -> MetricRow {
+        MetricRow {
+            name: name.into(),
+            kind: MetricKind::Counter,
+            value: value.min(i64::MAX as u64) as i64,
+        }
+    }
+
+    /// Build a gauge row.
+    pub fn gauge(name: impl Into<String>, value: i64) -> MetricRow {
+        MetricRow {
+            name: name.into(),
+            kind: MetricKind::Gauge,
+            value,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsHub
+// ---------------------------------------------------------------------------
+
+/// A versioned, event-timed copy of one pipeline's metrics.
+#[derive(Debug, Clone)]
+pub struct PipelineSnapshot {
+    /// Pipeline label (the `INSERT INTO` sink name under `Session` custody).
+    pub pipeline: String,
+    /// Event time of the snapshot: the driver's monotone processing clock.
+    pub at: Ts,
+    /// Process-wide publication sequence number; strictly increasing, so
+    /// consumers can skip snapshots they have already rendered.
+    pub seq: u64,
+    /// Whether the publishing driver is sharded.
+    pub sharded: bool,
+    /// Whether the pipeline has finished (entries are kept after finish so
+    /// observers never race removal).
+    pub finished: bool,
+    /// The metrics at publication time.
+    pub metrics: PipelineMetrics,
+}
+
+#[derive(Default)]
+struct HubInner {
+    next_seq: u64,
+    pipelines: BTreeMap<String, PipelineSnapshot>,
+}
+
+/// Process-wide registry of the latest metrics snapshot per labelled
+/// pipeline. Drivers publish after every round; the `metrics` source
+/// connector and `SHOW PIPELINES` read.
+pub struct MetricsHub {
+    inner: Mutex<HubInner>,
+}
+
+impl MetricsHub {
+    fn new() -> MetricsHub {
+        MetricsHub {
+            inner: Mutex::new(HubInner::default()),
+        }
+    }
+
+    /// Publish (replace) the snapshot for `pipeline`.
+    pub fn publish(
+        &self,
+        pipeline: &str,
+        at: Ts,
+        sharded: bool,
+        finished: bool,
+        metrics: PipelineMetrics,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        inner.pipelines.insert(
+            pipeline.to_string(),
+            PipelineSnapshot {
+                pipeline: pipeline.to_string(),
+                at,
+                seq,
+                sharded,
+                finished,
+                metrics,
+            },
+        );
+    }
+
+    /// The latest snapshot for `pipeline`, if it has ever published.
+    pub fn latest(&self, pipeline: &str) -> Option<PipelineSnapshot> {
+        self.inner.lock().unwrap().pipelines.get(pipeline).cloned()
+    }
+
+    /// All current snapshots, ordered by pipeline name.
+    pub fn snapshots(&self) -> Vec<PipelineSnapshot> {
+        self.inner
+            .lock()
+            .unwrap()
+            .pipelines
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Remove the entry for `pipeline` (used when a pipeline is dropped).
+    pub fn clear(&self, pipeline: &str) {
+        self.inner.lock().unwrap().pipelines.remove(pipeline);
+    }
+}
+
+/// The process-wide hub.
+pub fn hub() -> &'static MetricsHub {
+    static HUB: OnceLock<MetricsHub> = OnceLock::new();
+    HUB.get_or_init(MetricsHub::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Capture(Mutex<Vec<String>>);
+
+    impl TraceSink for Capture {
+        fn event(&self, event: &TraceEvent<'_>) {
+            let line = match event {
+                TraceEvent::SpanEnter { name } => format!("enter {name}"),
+                TraceEvent::SpanExit { name, .. } => format!("exit {name}"),
+                TraceEvent::Counter { name, delta } => format!("counter {name} {delta}"),
+                TraceEvent::Gauge { name, value } => format!("gauge {name} {value}"),
+                TraceEvent::Sample { name, value } => format!("sample {name} {value}"),
+            };
+            self.0.lock().unwrap().push(line);
+        }
+    }
+
+    #[test]
+    fn facade_is_silent_without_sink_and_captures_with_one() {
+        // No sink: nothing observable, nothing panics.
+        counter("quiet.counter", 1);
+        assert!(!enabled());
+
+        let sink = Arc::new(Capture::default());
+        install(sink.clone());
+        assert!(enabled());
+        counter("loud.counter", 2);
+        gauge("loud.gauge", -3);
+        sample("loud.sample", 7);
+        {
+            let _span = Span::enter("loud.span");
+        }
+        uninstall();
+        counter("quiet.again", 9);
+
+        let lines = sink.0.lock().unwrap().clone();
+        assert_eq!(
+            lines,
+            vec![
+                "counter loud.counter 2",
+                "gauge loud.gauge -3",
+                "sample loud.sample 7",
+                "enter loud.span",
+                "exit loud.span",
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+
+        for v in [0u64, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1110);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 158);
+        // p50 = 4th of 7 observations -> value 3, bucket [2,3] -> bound 3.
+        assert_eq!(h.p50(), 3);
+        // p99 lands in the last occupied bucket, clamped to max.
+        assert_eq!(h.p99(), 1000);
+    }
+
+    #[test]
+    fn histogram_extremes_never_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX); // saturated
+        let mut other = h.clone();
+        other.merge(&h);
+        assert_eq!(other.count(), 6);
+    }
+
+    /// Golden test: the bucket boundaries are part of the public contract.
+    /// If this test fails you have changed the histogram geometry, which
+    /// breaks comparability of recorded artifacts across PRs — don't.
+    #[test]
+    fn histogram_bucket_boundaries_are_pinned() {
+        assert_eq!(HISTOGRAM_BUCKETS, 65);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(3), (4, 7));
+        assert_eq!(Histogram::bucket_bounds(4), (8, 15));
+        assert_eq!(Histogram::bucket_bounds(10), (512, 1023));
+        assert_eq!(Histogram::bucket_bounds(20), (524_288, 1_048_575));
+        assert_eq!(Histogram::bucket_bounds(63), (1u64 << 62, (1u64 << 63) - 1));
+        assert_eq!(Histogram::bucket_bounds(64), (1u64 << 63, u64::MAX));
+        // Buckets tile the whole u64 range with no gaps or overlaps.
+        for idx in 1..HISTOGRAM_BUCKETS {
+            let (lo, _) = Histogram::bucket_bounds(idx);
+            let (_, prev_hi) = Histogram::bucket_bounds(idx - 1);
+            assert_eq!(lo, prev_hi + 1, "gap at bucket {idx}");
+        }
+        // bucket_of agrees with the bounds at every edge.
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert_eq!(Histogram::bucket_of(lo), idx);
+            assert_eq!(Histogram::bucket_of(hi), idx);
+        }
+    }
+
+    #[test]
+    fn hub_publishes_versioned_snapshots() {
+        let hub = MetricsHub::new();
+        let mut m = PipelineMetrics {
+            events_in: 5,
+            ..PipelineMetrics::default()
+        };
+        hub.publish("p1", Ts::from_millis(10), false, false, m.clone());
+        m.events_in = 9;
+        hub.publish("p1", Ts::from_millis(20), false, true, m);
+        hub.publish(
+            "p2",
+            Ts::from_millis(5),
+            true,
+            false,
+            PipelineMetrics::default(),
+        );
+
+        let p1 = hub.latest("p1").unwrap();
+        assert_eq!(p1.metrics.events_in, 9);
+        assert_eq!(p1.at, Ts::from_millis(20));
+        assert!(p1.finished);
+        let all = hub.snapshots();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].seq != all[1].seq);
+        assert!(hub.latest("p2").unwrap().seq > 0);
+        hub.clear("p2");
+        assert!(hub.latest("p2").is_none());
+    }
+
+    #[test]
+    fn metric_row_constructors() {
+        let c = MetricRow::counter("events_in", u64::MAX);
+        assert_eq!(c.kind, MetricKind::Counter);
+        assert_eq!(c.value, i64::MAX); // clamped, not wrapped
+        let g = MetricRow::gauge("lag", -1);
+        assert_eq!(g.kind.as_str(), "gauge");
+        assert_eq!(g.value, -1);
+    }
+}

@@ -148,6 +148,7 @@ use crate::connect::registry::{
 };
 use crate::connect::{DriverConfig, PipelineDriver, PipelineMetrics};
 use crate::engine::Engine;
+use crate::observe::{self, MetricRow};
 use crate::query::RunningQuery;
 use crate::shard::{ShardedConfig, ShardedPipelineDriver};
 
@@ -316,10 +317,13 @@ impl SqlPipeline {
             retain,
         )?;
         let checkpoint = driver.checkpoint()?;
+        let persist = observe::Stopwatch::start();
         let epoch = store.save(&checkpoint)?;
+        let persist_micros = persist.micros();
         // Only after the bytes are durable: let upstreams trim their
         // replay spools and two-phase sinks commit the staged epoch.
         driver.ack_checkpoint(&checkpoint)?;
+        driver.note_checkpoint_persisted(epoch, persist_micros);
         Ok(epoch)
     }
 
@@ -358,6 +362,19 @@ impl std::fmt::Debug for SqlPipeline {
     }
 }
 
+/// One pipeline's row in a `SHOW PIPELINES` result: identity plus the
+/// current telemetry rendered through
+/// [`PipelineMetrics::render_rows`](crate::connect::PipelineMetrics::render_rows).
+#[derive(Debug, Clone)]
+pub struct PipelineInfo {
+    /// The pipeline id (lowercased `INSERT INTO` target).
+    pub name: String,
+    /// Whether the sharded driver runs underneath.
+    pub sharded: bool,
+    /// Telemetry as stable `(name, kind, value)` rows.
+    pub rows: Vec<MetricRow>,
+}
+
 /// What one statement produced.
 pub enum StatementResult {
     /// DDL registered an object (the name).
@@ -367,6 +384,17 @@ pub enum StatementResult {
     Dropped(String),
     /// `EXPLAIN` output.
     Explained(String),
+    /// `EXPLAIN ANALYZE` output: the plan plus the metrics observed by
+    /// actually running the query to completion against freshly built
+    /// connectors (no sink — the changelog is discarded).
+    Analyzed {
+        /// The optimized plan, as plain `EXPLAIN` renders it.
+        plan: String,
+        /// The executed pipeline's telemetry rows.
+        rows: Vec<MetricRow>,
+    },
+    /// `SHOW PIPELINES` output: one entry per known pipeline.
+    Pipelines(Vec<PipelineInfo>),
     /// `SET` applied a session knob (the knob name).
     Set(String),
     /// `CHECKPOINT PIPELINE` persisted an epoch durably.
@@ -395,6 +423,12 @@ impl std::fmt::Debug for StatementResult {
             StatementResult::Created(n) => f.debug_tuple("Created").field(n).finish(),
             StatementResult::Dropped(n) => f.debug_tuple("Dropped").field(n).finish(),
             StatementResult::Explained(s) => f.debug_tuple("Explained").field(s).finish(),
+            StatementResult::Analyzed { plan, rows } => f
+                .debug_struct("Analyzed")
+                .field("plan", plan)
+                .field("rows", &rows.len())
+                .finish(),
+            StatementResult::Pipelines(infos) => f.debug_tuple("Pipelines").field(infos).finish(),
             StatementResult::Set(n) => f.debug_tuple("Set").field(n).finish(),
             StatementResult::Checkpointed { pipeline, epoch } => f
                 .debug_struct("Checkpointed")
@@ -652,6 +686,35 @@ impl Session {
                 Ok(StatementResult::Query(Box::new(self.engine.run(query)?)))
             }
             BoundStatement::Explain(query) => Ok(StatementResult::Explained(query.explain())),
+            BoundStatement::ExplainAnalyze { query, query_sql } => {
+                let result = self.explain_analyze(&query, &query_sql);
+                if result.is_err() {
+                    self.engine.discard_pending_connectors();
+                }
+                result
+            }
+            BoundStatement::ShowPipelines => {
+                let mut infos = Vec::new();
+                for pipeline in self.pipelines.values_mut() {
+                    infos.push(PipelineInfo {
+                        name: pipeline.name().to_string(),
+                        sharded: pipeline.is_sharded(),
+                        rows: pipeline.metrics().render_rows(),
+                    });
+                }
+                // Pipelines assembled earlier in the same script are
+                // just as observable as adopted ones.
+                for result in prior.iter_mut() {
+                    if let StatementResult::Pipeline(p) = result {
+                        infos.push(PipelineInfo {
+                            name: p.name().to_string(),
+                            sharded: p.is_sharded(),
+                            rows: p.metrics().render_rows(),
+                        });
+                    }
+                }
+                Ok(StatementResult::Pipelines(infos))
+            }
             BoundStatement::Set(knob) => {
                 self.apply_knob(knob)?;
                 Ok(StatementResult::Set(knob.name().to_string()))
@@ -946,30 +1009,109 @@ impl Session {
         // property-tested): re-planning it here costs one extra
         // parse+bind, but keeps pipeline assembly on the exact
         // Engine::run_*pipeline path the imperative API uses.
+        let name = sink.to_ascii_lowercase();
+        // A fresh pipeline under this id supersedes any telemetry a
+        // previous incarnation published.
+        observe::hub().clear(&name);
         let driver = if sharded {
             let config = ShardedConfig {
                 workers: self.workers,
                 partition_col: self.partition_col,
                 driver: self.driver,
             };
-            SqlDriver::Sharded(Box::new(
-                self.engine.run_sharded_pipeline(query_sql, config)?,
-            ))
+            let mut driver = self.engine.run_sharded_pipeline(query_sql, config)?;
+            driver.set_label(&name);
+            SqlDriver::Sharded(Box::new(driver))
         } else {
-            SqlDriver::Plain(Box::new(
-                self.engine
-                    .run_pipeline(query_sql)?
-                    .with_config(self.driver),
-            ))
+            let mut driver = self
+                .engine
+                .run_pipeline(query_sql)?
+                .with_config(self.driver);
+            driver.set_label(&name);
+            SqlDriver::Plain(Box::new(driver))
         };
         for (key, items) in staged {
             self.handles.insert(key, items);
         }
         Ok(StatementResult::Pipeline(SqlPipeline {
-            name: sink.to_ascii_lowercase(),
+            name,
             fingerprint,
             driver,
         }))
+    }
+
+    /// `EXPLAIN ANALYZE`: render the optimized plan, then *actually
+    /// execute* the query — fresh connectors for every stream it reads,
+    /// no sink (the changelog is discarded) — and report the observed
+    /// telemetry next to the plan. The throwaway run keeps its handles
+    /// staged so it cannot clobber a live pipeline's exports, and it is
+    /// deliberately unlabelled so it never publishes to the metrics hub.
+    fn explain_analyze(
+        &mut self,
+        query: &onesql_plan::BoundQuery,
+        query_sql: &str,
+    ) -> Result<StatementResult> {
+        let plan = query.explain();
+        let (streams, _tables) = referenced_relations(query);
+        let selected: Vec<usize> = (0..self.sources.len())
+            .filter(|&i| self.sources[i].streams.iter().any(|s| streams.contains(s)))
+            .collect();
+        let unfed: Vec<&str> = streams
+            .iter()
+            .filter(|s| {
+                !selected
+                    .iter()
+                    .any(|&i| self.sources[i].streams.contains(s))
+            })
+            .map(String::as_str)
+            .collect();
+        if !unfed.is_empty() {
+            return Err(Error::plan(format!(
+                "EXPLAIN ANALYZE: no CREATE SOURCE feeds the query's \
+                 stream(s) [{}]",
+                unfed.join(", ")
+            )));
+        }
+        if selected.is_empty() {
+            return Err(Error::plan(
+                "EXPLAIN ANALYZE: the query reads no streams, so there is \
+                 nothing to execute; plain EXPLAIN renders the plan without \
+                 running it",
+            ));
+        }
+        let mut staged: Vec<(String, Vec<Box<dyn Any + Send>>)> = Vec::new();
+        let mut sharded = false;
+        for &idx in &selected {
+            match self.build_source(idx, &mut staged)? {
+                AnySource::Plain(source) => self.engine.attach_source(source)?,
+                AnySource::Partitioned(source) => {
+                    sharded = true;
+                    self.engine.attach_partitioned_source(source)?;
+                }
+            }
+        }
+        drop(staged);
+        let metrics = if sharded {
+            let config = ShardedConfig {
+                workers: self.workers,
+                partition_col: self.partition_col,
+                driver: self.driver,
+            };
+            self.engine
+                .run_sharded_pipeline(query_sql, config)?
+                .run()?
+                .clone()
+        } else {
+            self.engine
+                .run_pipeline(query_sql)?
+                .with_config(self.driver)
+                .run()?
+                .clone()
+        };
+        Ok(StatementResult::Analyzed {
+            plan,
+            rows: metrics.render_rows(),
+        })
     }
 
     fn build_source(

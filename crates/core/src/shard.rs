@@ -108,10 +108,11 @@ use onesql_tvr::{Change, TimedChange};
 use onesql_types::{Error, Result, Row, SchemaRef, Ts};
 
 use crate::connect::{
-    BatchController, DriverConfig, PartitionedSource, PipelineMetrics, SinglePartition, Sink,
-    Source, SourceMetrics, SourceStatus, WatermarkLedger,
+    change_bytes, BatchController, DriverConfig, PartitionedSource, PipelineMetrics,
+    SinglePartition, Sink, Source, SourceMetrics, SourceStatus, WatermarkLedger,
 };
 use crate::engine::Engine;
+use crate::observe::{self, Stopwatch};
 use crate::parallel::PartitionedQuery;
 use crate::query::RunningQuery;
 
@@ -195,6 +196,10 @@ pub struct PipelineCheckpoint {
     pub events_out: u64,
     /// Watermark deliveries into the workers so far (metrics continuity).
     pub watermarks_in: u64,
+    /// Per-source, per-partition ingested payload bytes (same shape as
+    /// `offsets`; metrics continuity — `bytes_in` and the per-source byte
+    /// counters resume monotonically across incarnations).
+    pub source_bytes: Vec<Vec<u64>>,
     /// Checkpoint epoch: 1 for the pipeline's first checkpoint, counting
     /// up. Transactional sinks stage output per epoch and a restore tells
     /// them which epoch's staging boundary to truncate back to.
@@ -306,6 +311,7 @@ struct PartState {
     feeder: usize,
     finished: bool,
     events: u64,
+    bytes: u64,
 }
 
 struct SourceSlot {
@@ -355,6 +361,9 @@ pub struct ShardedPipelineDriver {
     /// cursors now mirror a checkpoint, so the source/sink set is sealed
     /// even though no round has run yet.
     restored: bool,
+    /// When set, the driver publishes a metrics snapshot to the global
+    /// [`observe::hub`] under this name after every round.
+    label: Option<String>,
     /// The workers' final queries, populated by `finish`.
     final_queries: Vec<RunningQuery>,
 }
@@ -404,8 +413,42 @@ impl ShardedPipelineDriver {
             epoch: 0,
             poisoned: false,
             restored: false,
+            label: None,
             final_queries: Vec::new(),
         })
+    }
+
+    /// Name this pipeline on the global [`observe::hub`]: every subsequent
+    /// round publishes a [`crate::PipelineSnapshot`] under `label`, which
+    /// is what the `metrics` source connector and `SHOW PIPELINES` read.
+    /// Unlabelled drivers never touch the hub.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = Some(label.into());
+    }
+
+    /// The hub label, if one was set.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    fn publish_snapshot(&mut self) {
+        if self.label.is_none() {
+            return;
+        }
+        self.refresh_metrics();
+        let label = self.label.as_deref().unwrap_or_default();
+        observe::hub().publish(label, self.clock, true, self.finished, self.metrics.clone());
+    }
+
+    /// Record that a durable checkpoint at `epoch` was persisted in
+    /// `micros` microseconds (called by the session layer after the store
+    /// write completes, so the persist cost lands in this pipeline's
+    /// metrics and not just the global trace).
+    pub fn note_checkpoint_persisted(&mut self, epoch: u64, micros: u64) {
+        self.metrics.checkpoints += 1;
+        self.metrics.checkpoint_epoch = epoch;
+        self.metrics.checkpoint_persist_micros.record(micros);
+        self.publish_snapshot();
     }
 
     /// Attach a partitioned source. Fails once the pipeline has started
@@ -452,6 +495,7 @@ impl ShardedPipelineDriver {
                 feeder: self.ledger.add_feeder(&streams_lc),
                 finished: false,
                 events: 0,
+                bytes: 0,
             })
             .collect();
         self.sources.push(SourceSlot {
@@ -511,6 +555,7 @@ impl ShardedPipelineDriver {
             .map(|s| SourceMetrics {
                 name: s.source.name().to_string(),
                 events: s.parts.iter().map(|p| p.events).sum(),
+                bytes: s.parts.iter().map(|p| p.bytes).sum(),
                 non_empty_polls: s.non_empty_polls,
                 watermark: s
                     .parts
@@ -568,17 +613,21 @@ impl ShardedPipelineDriver {
         if self.finished {
             return Ok(0);
         }
+        let round = Stopwatch::start();
         let round_clock = self.clock;
         let batch_size = self.controller.size();
         let mut routed: Vec<Vec<(usize, Ts, Change)>> =
             (0..self.workers.len()).map(|_| Vec::new()).collect();
         let mut ingested = 0usize;
+        let mut poll_micros = 0u64;
         for slot in 0..self.sources.len() {
             for part in 0..self.sources[slot].parts.len() {
                 if self.sources[slot].parts[part].finished {
                     continue;
                 }
+                let poll = Stopwatch::start();
                 let batch = self.sources[slot].source.poll_partition(part, batch_size)?;
+                poll_micros = poll_micros.saturating_add(poll.micros());
                 if !batch.events.is_empty() {
                     self.sources[slot].non_empty_polls += 1;
                 }
@@ -610,9 +659,12 @@ impl ShardedPipelineDriver {
                             ))
                         })?;
                     let worker = PartitionedQuery::partition_of(key, self.workers.len());
+                    let bytes = change_bytes(&event.change);
                     routed[worker].push((stream_id, self.clock, event.change));
                     self.sources[slot].parts[part].events += 1;
+                    self.sources[slot].parts[part].bytes += bytes;
                     self.metrics.events_in += 1;
+                    self.metrics.bytes_in += bytes;
                     ingested += 1;
                 }
                 let feeder = self.sources[slot].parts[part].feeder;
@@ -653,8 +705,10 @@ impl ShardedPipelineDriver {
         }
         self.advances = advances;
 
+        let merge = Stopwatch::start();
         self.drain_workers()?;
         self.flush(false)?;
+        self.metrics.merge_micros.record(merge.micros());
         self.metrics.rounds += 1;
         if ingested == 0 {
             self.metrics.idle_rounds += 1;
@@ -691,11 +745,15 @@ impl ShardedPipelineDriver {
             // reading rides along only as the documented fallback for
             // depth-less drivers.
             let depth = self.pending.iter().map(|p| p.len()).sum::<usize>();
-            self.controller.observe_load(
+            self.metrics.pending_depth = depth as u64;
+            self.metrics.batch_size = self.controller.observe_load(
                 Some(depth),
                 PipelineMetrics::lag_between(self.ledger.input_watermark(), self.output_watermark),
             );
         }
+        self.metrics.poll_micros.record(poll_micros);
+        self.metrics.round_micros.record(round.micros());
+        self.publish_snapshot();
         Ok(ingested)
     }
 
@@ -755,6 +813,7 @@ impl ShardedPipelineDriver {
             }
         }
         if !batch.is_empty() {
+            let emit = Stopwatch::start();
             batch.sort_by_key(|&(ptime, worker, seq, _)| (ptime, worker, seq));
             let mut rows: Vec<StreamRow> = Vec::with_capacity(batch.len());
             for (_, _, _, entry) in &batch {
@@ -764,6 +823,7 @@ impl ShardedPipelineDriver {
             for sink in &mut self.sinks {
                 sink.write(&rows)?;
             }
+            self.metrics.emit_micros.record(emit.micros());
         }
         self.notify_sink_watermark()
     }
@@ -802,6 +862,8 @@ impl ShardedPipelineDriver {
         match self.finish_inner() {
             Ok(()) => {
                 self.finished = true;
+                self.metrics.pending_depth = 0;
+                self.publish_snapshot();
                 Ok(())
             }
             Err(e) => {
@@ -945,6 +1007,11 @@ impl ShardedPipelineDriver {
             output_watermark: self.output_watermark,
             events_out: self.metrics.events_out,
             watermarks_in: self.metrics.watermarks_in,
+            source_bytes: self
+                .sources
+                .iter()
+                .map(|s| s.parts.iter().map(|p| p.bytes).collect())
+                .collect(),
             epoch: self.epoch,
         };
         Ok(checkpoint)
@@ -1038,6 +1105,17 @@ impl ShardedPipelineDriver {
                 "checkpoint finished-flags do not match its offsets shape",
             ));
         }
+        if checkpoint.source_bytes.len() != checkpoint.offsets.len()
+            || checkpoint
+                .source_bytes
+                .iter()
+                .zip(&checkpoint.offsets)
+                .any(|(b, o)| b.len() != o.len())
+        {
+            return Err(Error::exec(
+                "checkpoint byte counters do not match its offsets shape",
+            ));
+        }
         if checkpoint.pending.len() != self.workers.len()
             || checkpoint.next_seq.len() != self.workers.len()
         {
@@ -1092,6 +1170,7 @@ impl ShardedPipelineDriver {
                 self.sources[slot].source.seek(part, offset)?;
                 let state = &mut self.sources[slot].parts[part];
                 state.events = offset;
+                state.bytes = checkpoint.source_bytes[slot][part];
                 state.finished = checkpoint.finished[slot][part];
             }
         }
@@ -1118,6 +1197,10 @@ impl ShardedPipelineDriver {
         self.metrics.events_in = checkpoint.offsets.iter().flatten().sum();
         self.metrics.events_out = checkpoint.events_out;
         self.metrics.watermarks_in = checkpoint.watermarks_in;
+        self.metrics.bytes_in = checkpoint.source_bytes.iter().flatten().sum();
+        self.metrics.checkpoint_epoch = checkpoint.epoch;
+        self.metrics.restores += 1;
+        observe::counter("driver.restores", 1);
         Ok(())
     }
 }

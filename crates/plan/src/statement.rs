@@ -110,6 +110,17 @@ pub enum BoundStatement {
     },
     /// `EXPLAIN <query>`.
     Explain(BoundQuery),
+    /// `EXPLAIN ANALYZE <query>`: run the query over the session's
+    /// sources and report plan plus execution metrics.
+    ExplainAnalyze {
+        /// The bound, optimized query.
+        query: BoundQuery,
+        /// Canonical SQL text of the query (reparses to the same plan),
+        /// for engines that plan per worker from text.
+        query_sql: String,
+    },
+    /// `SHOW PIPELINES`: render live metrics for the session's pipelines.
+    ShowPipelines,
     /// `SET <knob> = <value>`, validated to a typed knob.
     Set(SessionKnob),
     /// `CHECKPOINT PIPELINE <id> TO '<path>'`.
@@ -227,6 +238,11 @@ pub fn bind_statement(stmt: &Statement, catalog: &dyn Catalog) -> Result<BoundSt
     match stmt {
         Statement::Query(q) => Ok(BoundStatement::Query(optimize(crate::bind(q, catalog)?))),
         Statement::Explain(q) => Ok(BoundStatement::Explain(optimize(crate::bind(q, catalog)?))),
+        Statement::ExplainAnalyze(q) => Ok(BoundStatement::ExplainAnalyze {
+            query: optimize(crate::bind(q, catalog)?),
+            query_sql: q.to_string(),
+        }),
+        Statement::ShowPipelines => Ok(BoundStatement::ShowPipelines),
         Statement::Insert { sink, query } => {
             let bound = optimize(crate::bind(query, catalog)?);
             Ok(BoundStatement::Insert {

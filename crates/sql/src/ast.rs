@@ -39,6 +39,12 @@ pub enum Statement {
     },
     /// `EXPLAIN <query>`: render the optimized plan.
     Explain(Query),
+    /// `EXPLAIN ANALYZE <query>`: run the query to completion over the
+    /// session's sources and render its plan plus execution metrics.
+    ExplainAnalyze(Query),
+    /// `SHOW PIPELINES`: render live metrics rows for every pipeline the
+    /// session holds.
+    ShowPipelines,
     /// `SET <knob> = <value>`: a session knob assignment (worker count,
     /// partition column, batch bounds, ...), so scripts are fully
     /// self-contained instead of leaning on imperative setters.
@@ -629,6 +635,8 @@ impl fmt::Display for Statement {
             Statement::CreateTemporalTable(c) => write!(f, "{c}"),
             Statement::Insert { sink, query } => write!(f, "INSERT INTO {sink} {query}"),
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+            Statement::ExplainAnalyze(q) => write!(f, "EXPLAIN ANALYZE {q}"),
+            Statement::ShowPipelines => write!(f, "SHOW PIPELINES"),
             Statement::Set { name, value } => write!(f, "SET {name} = {value}"),
             Statement::CheckpointPipeline { pipeline, path } => write!(
                 f,

@@ -138,6 +138,9 @@ impl Parser {
                 | Keyword::Checkpoint
                 | Keyword::Restore
                 | Keyword::Pipeline
+                | Keyword::Pipelines
+                | Keyword::Show
+                | Keyword::Analyze
                 | Keyword::To),
             ) => Some(kw.as_str().to_ascii_lowercase()),
             _ => None,
@@ -179,7 +182,16 @@ impl Parser {
             }
             TokenKind::Keyword(Keyword::Explain) => {
                 self.advance();
-                Ok(Statement::Explain(self.parse_query()?))
+                if self.consume_keyword(Keyword::Analyze) {
+                    Ok(Statement::ExplainAnalyze(self.parse_query()?))
+                } else {
+                    Ok(Statement::Explain(self.parse_query()?))
+                }
+            }
+            TokenKind::Keyword(Keyword::Show) => {
+                self.advance();
+                self.expect_keyword(Keyword::Pipelines)?;
+                Ok(Statement::ShowPipelines)
             }
             TokenKind::Keyword(Keyword::Set) => {
                 self.advance();
@@ -1470,6 +1482,31 @@ mod tests {
         round_trip("SELECT set, checkpoint, restore FROM pipeline");
         round_trip("SELECT t.to FROM T AS t");
         round_trip_stmt("DROP STREAM pipeline");
+        // And so are SHOW / PIPELINES / ANALYZE.
+        round_trip("SELECT show, analyze FROM pipelines");
+        round_trip_stmt("DROP STREAM show");
+    }
+
+    #[test]
+    fn show_pipelines_parses_and_round_trips() {
+        let s = round_trip_stmt("SHOW PIPELINES");
+        assert_eq!(s, Statement::ShowPipelines);
+        let s = round_trip_stmt("show pipelines;");
+        assert_eq!(s, Statement::ShowPipelines);
+        let err = parse_statement("SHOW TABLES").unwrap_err().to_string();
+        assert!(err.contains("PIPELINES"), "{err}");
+    }
+
+    #[test]
+    fn explain_analyze_parses_and_round_trips() {
+        let s = round_trip_stmt("EXPLAIN ANALYZE SELECT price FROM Bid WHERE price > 2");
+        let Statement::ExplainAnalyze(q) = s else {
+            panic!("expected ExplainAnalyze");
+        };
+        assert!(q.to_string().contains("WHERE"));
+        // Plain EXPLAIN still parses as before.
+        let s = round_trip_stmt("EXPLAIN SELECT price FROM Bid");
+        assert!(matches!(s, Statement::Explain(_)));
     }
 
     #[test]

@@ -130,6 +130,7 @@ macro_rules! keywords {
 keywords! {
     After => "AFTER",
     All => "ALL",
+    Analyze => "ANALYZE",
     And => "AND",
     As => "AS",
     Asc => "ASC",
@@ -181,11 +182,13 @@ keywords! {
     Outer => "OUTER",
     Partitioned => "PARTITIONED",
     Pipeline => "PIPELINE",
+    Pipelines => "PIPELINES",
     Restore => "RESTORE",
     Second => "SECOND",
     Seconds => "SECONDS",
     Select => "SELECT",
     Set => "SET",
+    Show => "SHOW",
     Sink => "SINK",
     Source => "SOURCE",
     Stream => "STREAM",

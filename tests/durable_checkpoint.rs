@@ -431,6 +431,10 @@ fn arb_checkpoint() -> impl Strategy<Value = PipelineCheckpoint> {
                 })
                 .collect();
             let next_seq = (0..workers.len() as u64).map(|w| w * 13).collect();
+            let source_bytes = offsets
+                .iter()
+                .map(|parts| parts.iter().map(|&o| o.saturating_mul(16)).collect())
+                .collect();
             PipelineCheckpoint {
                 workers,
                 offsets,
@@ -445,6 +449,7 @@ fn arb_checkpoint() -> impl Strategy<Value = PipelineCheckpoint> {
                 output_watermark: Watermark(Ts(clock - 1)),
                 events_out: clock as u64,
                 watermarks_in: batch,
+                source_bytes,
                 epoch,
             }
         },
@@ -473,6 +478,7 @@ proptest! {
         prop_assert_eq!(back.output_watermark, cp.output_watermark);
         prop_assert_eq!(back.events_out, cp.events_out);
         prop_assert_eq!(back.watermarks_in, cp.watermarks_in);
+        prop_assert_eq!(&back.source_bytes, &cp.source_bytes);
         prop_assert_eq!(back.epoch, cp.epoch);
         // And the encoding itself is deterministic.
         prop_assert_eq!(back.to_bytes(), bytes);
