@@ -16,11 +16,12 @@ use std::io::{BufRead, BufReader, BufWriter, Lines, Write};
 use std::path::Path;
 
 use onesql_core::connect::{
-    PartitionedSource, PartitionedVec, Sink, Source, SourceBatch, SourceEvent, SourceStatus,
+    ColumnarBatch, PartitionedSource, PartitionedVec, Sink, Source, SourceBatch, SourceEvent,
+    SourceStatus,
 };
 use onesql_exec::StreamRow;
-use onesql_tvr::Change;
-use onesql_types::{Duration, Error, Result, Row, Schema, SchemaRef, Ts, Value};
+use onesql_tvr::{Change, ChangeBatch};
+use onesql_types::{ColumnBuilder, Duration, Error, Result, Row, Schema, SchemaRef, Ts, Value};
 
 use crate::json;
 use crate::text;
@@ -112,16 +113,13 @@ impl TextFileSource {
         .map_err(|e| Error::exec(format!("{}: line {}: {e}", self.name, self.line_no)))
     }
 
-    fn poll(&mut self, max_events: usize) -> Result<SourceBatch> {
-        if self.done {
-            return Ok(SourceBatch::empty(SourceStatus::Finished));
-        }
-        let mut batch = SourceBatch::empty(SourceStatus::Ready);
-        while batch.events.len() < max_events {
+    /// Read the next complete record line: skips blanks and joins quoted
+    /// multi-line CSV records. `None` marks end of file (and sets `done`).
+    fn next_record_line(&mut self) -> Result<Option<String>> {
+        loop {
             let Some(line) = self.lines.next() else {
                 self.done = true;
-                batch.status = SourceStatus::Finished;
-                break;
+                return Ok(None);
             };
             let mut line =
                 line.map_err(|e| Error::exec(format!("{}: read error: {e}", self.name)))?;
@@ -146,6 +144,20 @@ impl TextFileSource {
                     line.push_str(&next);
                 }
             }
+            return Ok(Some(line));
+        }
+    }
+
+    fn poll(&mut self, max_events: usize) -> Result<SourceBatch> {
+        if self.done {
+            return Ok(SourceBatch::empty(SourceStatus::Finished));
+        }
+        let mut batch = SourceBatch::empty(SourceStatus::Ready);
+        while batch.events.len() < max_events {
+            let Some(line) = self.next_record_line()? else {
+                batch.status = SourceStatus::Finished;
+                break;
+            };
             let row = self.parse_line(&line)?;
             // Replay semantics: event time doubles as arrival time (the
             // driver keeps the global clock monotone for late rows).
@@ -179,6 +191,102 @@ impl TextFileSource {
         }
         Ok(batch)
     }
+
+    /// Chunked columnar poll (CSV only): parse up to `max_events` records
+    /// field-by-field into per-column [`ColumnBuilder`]s — numeric and
+    /// timestamp fields go straight to unboxed storage, and no
+    /// intermediate [`Row`] is ever built — then hand the driver a ready
+    /// [`ChangeBatch`] of inserts.
+    ///
+    /// Behavior mirrors [`TextFileSource::poll`] exactly: the same error
+    /// messages at the same lines, the same watermark rule, the same
+    /// finish condition. The ptime lane is the event times clamped to a
+    /// running max (the driver's per-event monotone-clock clamp, applied
+    /// while building).
+    fn poll_cols(&mut self, max_events: usize) -> Result<Option<ColumnarBatch>> {
+        if !matches!(self.format, LineFormat::Csv) {
+            return Ok(None);
+        }
+        let arity = self.schema.arity();
+        if self.done {
+            return Ok(Some(ColumnarBatch {
+                stream: 0,
+                columns: ChangeBatch::new_dense(
+                    (0..arity)
+                        .map(|_| ColumnBuilder::with_capacity(0).finish())
+                        .collect(),
+                    Vec::new(),
+                    Vec::new(),
+                ),
+                watermark: None,
+                status: SourceStatus::Finished,
+            }));
+        }
+        let mut builders: Vec<ColumnBuilder> = (0..arity)
+            .map(|_| ColumnBuilder::with_capacity(max_events))
+            .collect();
+        let mut ptimes: Vec<Ts> = Vec::with_capacity(max_events);
+        let mut status = SourceStatus::Ready;
+        while ptimes.len() < max_events {
+            let Some(line) = self.next_record_line()? else {
+                status = SourceStatus::Finished;
+                break;
+            };
+            let fields = text::split_csv_line(&line);
+            if fields.len() != arity {
+                // parse_record's arity error, with the line context
+                // `parse_line` would attach.
+                let err = text::parse_record(&fields, &self.schema).expect_err("arity mismatch");
+                return Err(Error::exec(format!(
+                    "{}: line {}: {err}",
+                    self.name, self.line_no
+                )));
+            }
+            let mut et_ts = None;
+            for (col, (field, b)) in self.schema.fields().iter().zip(&mut builders).enumerate() {
+                let parsed =
+                    text::parse_field_into(&fields[col], field.data_type, b).map_err(|e| {
+                        Error::exec(format!("{}: line {}: {e}", self.name, self.line_no))
+                    })?;
+                if Some(col) == self.et_col {
+                    et_ts = parsed;
+                }
+            }
+            let raw = match self.et_col {
+                Some(col) => match et_ts {
+                    Some(t) => t,
+                    None => {
+                        // The event-time field parsed, but not as a
+                        // timestamp; re-parse it once for the exact value
+                        // the row path's error would print.
+                        let dt = self.schema.fields()[col].data_type;
+                        let other =
+                            text::parse_value(&fields[col], dt).expect("field parsed above");
+                        return Err(Error::exec(format!(
+                            "{}: line {}: event-time column holds {other:?}",
+                            self.name, self.line_no
+                        )));
+                    }
+                },
+                None => {
+                    self.seq += 1;
+                    Ts(self.seq - 1)
+                }
+            };
+            self.max_ts = Some(self.max_ts.map_or(raw, |m| m.max(raw)));
+            ptimes.push(ptimes.last().map_or(raw, |&p| p.max(raw)));
+        }
+        let diffs = vec![1i64; ptimes.len()];
+        let cols = builders.into_iter().map(ColumnBuilder::finish).collect();
+        Ok(Some(ColumnarBatch {
+            stream: 0,
+            columns: ChangeBatch::new_dense(cols, diffs, ptimes),
+            watermark: self
+                .max_ts
+                .map(|max| max - self.config.lateness - Duration(1)),
+            status,
+        }))
+    }
 }
 
 // A single file partition is itself a well-formed source, which is what
@@ -192,6 +300,9 @@ impl Source for TextFileSource {
     }
     fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
         self.poll(max_events)
+    }
+    fn poll_columns(&mut self, max_events: usize) -> Result<Option<ColumnarBatch>> {
+        self.poll_cols(max_events)
     }
 }
 
@@ -226,6 +337,9 @@ impl Source for CsvFileSource {
     }
     fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch> {
         self.0.poll(max_events)
+    }
+    fn poll_columns(&mut self, max_events: usize) -> Result<Option<ColumnarBatch>> {
+        self.0.poll_cols(max_events)
     }
 }
 
@@ -1036,6 +1150,77 @@ mod tests {
         sink.bind(out_schema()).unwrap();
         let err = sink.on_restore(1).unwrap_err().to_string();
         assert!(err.contains("committed output is missing"), "{err}");
+    }
+
+    #[test]
+    fn columnar_poll_matches_row_poll() {
+        let content = "8:07,2,a\n8:05,3,\"b,c\"\n\n8:09,,d\n";
+        let path = scratch_file("columnar.csv", content);
+        let mut rows =
+            CsvFileSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+        let path = scratch_file("columnar2.csv", content);
+        let mut cols =
+            CsvFileSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+
+        let rb = rows.poll_batch(16).unwrap();
+        let cb = cols.poll_columns(16).unwrap().expect("CSV is columnar");
+        assert_eq!(cb.columns.len(), rb.events.len());
+        assert_eq!(cb.watermark, rb.watermark);
+        assert_eq!(cb.status, rb.status);
+        let mut clock = Ts::MIN;
+        for (i, ev) in rb.events.iter().enumerate() {
+            // The columnar lane pre-applies the driver's monotone clamp.
+            clock = clock.max(ev.ptime);
+            assert_eq!(cb.columns.ptime(i), clock, "row {i}");
+            assert_eq!(cb.columns.change(i), ev.change, "row {i}");
+        }
+        // Numeric and timestamp fields land in typed, unboxed columns.
+        assert_eq!(
+            cb.columns.columns()[0].uniform_type(),
+            Some(DataType::Timestamp)
+        );
+        assert_eq!(cb.columns.columns()[1].uniform_type(), Some(DataType::Int));
+        assert!(cb.columns.columns()[1].has_nulls());
+
+        // Exhausted sources agree too.
+        let rb = rows.poll_batch(16).unwrap();
+        let cb = cols.poll_columns(16).unwrap().unwrap();
+        assert_eq!(rb.status, SourceStatus::Finished);
+        assert_eq!(cb.status, SourceStatus::Finished);
+        assert!(cb.columns.is_empty());
+    }
+
+    #[test]
+    fn columnar_poll_errors_match_row_poll() {
+        for content in [
+            "8:07,2,a\n8:08,notanumber,b\n",
+            "8:07,2\n",
+            "nots,2,a\n",
+            ",2,late-null-event-time\n",
+        ] {
+            let path = scratch_file("columnar_err_rows.csv", content);
+            let mut rows =
+                CsvFileSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+            let path = scratch_file("columnar_err_cols.csv", content);
+            let mut cols =
+                CsvFileSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+            let row_err = rows.poll_batch(16).unwrap_err().to_string();
+            let col_err = cols.poll_columns(16).unwrap_err().to_string();
+            // Identical up to the differing file names.
+            assert_eq!(
+                row_err.replace("columnar_err_rows", "X"),
+                col_err.replace("columnar_err_cols", "X"),
+                "for {content:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_lines_source_has_no_columnar_path() {
+        let path = scratch_file("rows.jsonl", "");
+        let mut source =
+            JsonLinesSource::new(&path, "Bid", schema(), FileSourceConfig::default()).unwrap();
+        assert!(source.poll_columns(16).unwrap().is_none());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! guidance, so a file written by a sink round-trips through a source with
 //! the same schema.
 
-use onesql_types::{DataType, Duration, Error, Result, Row, Schema, Ts, Value};
+use onesql_types::{ColumnBuilder, DataType, Duration, Error, Result, Row, Schema, Ts, Value};
 
 /// Parse one text field into a [`Value`] of the given type. Empty text is
 /// NULL (except for strings, where it is the empty string).
@@ -34,6 +34,42 @@ pub fn parse_value(text: &str, data_type: DataType) -> Result<Value> {
         DataType::Interval => parse_interval(text).map(Value::Interval),
         DataType::Null => Ok(Value::Null),
     }
+}
+
+/// Parse one text field directly into a column builder, skipping the
+/// boxed [`Value`] for numeric and temporal fields (the columnar CSV
+/// path). Returns the timestamp when the field parsed as a non-null
+/// TIMESTAMP, so callers can fill an event-time lane without re-reading
+/// the column. Errors are byte-identical to [`parse_value`]'s.
+pub fn parse_field_into(
+    text: &str,
+    data_type: DataType,
+    b: &mut ColumnBuilder,
+) -> Result<Option<Ts>> {
+    if text.is_empty() && data_type != DataType::String {
+        b.push_null();
+        return Ok(None);
+    }
+    match data_type {
+        DataType::Int => b.push_int(
+            text.trim()
+                .parse::<i64>()
+                .map_err(|_| Error::exec(format!("cannot parse '{text}' as BIGINT")))?,
+        ),
+        DataType::Float => b.push_float(
+            text.trim()
+                .parse::<f64>()
+                .map_err(|_| Error::exec(format!("cannot parse '{text}' as DOUBLE")))?,
+        ),
+        DataType::Timestamp => {
+            let t = parse_ts(text)?;
+            b.push_ts(t);
+            return Ok(Some(t));
+        }
+        DataType::Interval => b.push_interval(parse_interval(text)?),
+        other => b.push(parse_value(text, other)?),
+    }
+    Ok(None)
 }
 
 /// Parse a timestamp: `H:MM`, `H:MM:SS.mmm` clock strings (the engine's

@@ -88,7 +88,7 @@ use std::collections::BTreeMap;
 
 use onesql_exec::StreamRow;
 use onesql_time::{Watermark, WatermarkTracker};
-use onesql_tvr::Change;
+use onesql_tvr::{Change, ChangeBatch};
 use onesql_types::{Duration, Error, Result, Ts, Value};
 
 use crate::observe::{self, Histogram, MetricRow, Stopwatch};
@@ -152,6 +152,26 @@ impl SourceBatch {
     }
 }
 
+/// A columnar batch of changes for one stream, plus the same progress
+/// information a [`SourceBatch`] carries. The columnar analog of
+/// [`SourceBatch`] for sources that parse input directly into columns
+/// (e.g. chunked CSV), skipping per-row materialization entirely.
+///
+/// Ptimes must be monotone non-decreasing within the batch (clamp to a
+/// running max while building); the driver applies its global clock
+/// clamp on top via [`ChangeBatch::clamp_ptimes`].
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    /// Index into the source's [`Source::streams`] list.
+    pub stream: usize,
+    /// The changes, already columnar.
+    pub columns: ChangeBatch,
+    /// Same meaning as [`SourceBatch::watermark`].
+    pub watermark: Option<Ts>,
+    /// Same meaning as [`SourceBatch::status`].
+    pub status: SourceStatus,
+}
+
 /// A pluggable input connector.
 pub trait Source {
     /// Connector instance name (for metrics and errors).
@@ -166,6 +186,18 @@ pub trait Source {
     /// nothing buffered returns an empty batch with status
     /// [`SourceStatus::Idle`] (or `Finished`).
     fn poll_batch(&mut self, max_events: usize) -> Result<SourceBatch>;
+
+    /// Columnar poll: sources that can produce changes already in
+    /// columnar form override this to return `Some`, and the driver feeds
+    /// the batch straight into the vectorized executor path without
+    /// materializing rows. `None` (the default) means "use
+    /// [`Source::poll_batch`]". A vectorizing driver calls this *instead
+    /// of* `poll_batch` each round, so an override must carry the same
+    /// watermark/status progress a row batch would; a driver with
+    /// vectorization disabled never calls it.
+    fn poll_columns(&mut self, _max_events: usize) -> Result<Option<ColumnarBatch>> {
+        Ok(None)
+    }
 }
 
 /// A Kafka-style input connector: N ordered partitions, each with a
@@ -575,6 +607,12 @@ pub struct DriverConfig {
     /// Adaptive batch sizing from watermark lag; `None` pins
     /// [`DriverConfig::batch_size`] for the whole run.
     pub adaptive: Option<AdaptiveBatch>,
+    /// Feed consecutive same-stream events as columnar
+    /// [`ChangeBatch`]es when the query's operator
+    /// tree supports it (the vectorized hot path). Results are byte-identical
+    /// either way; disable to force the per-row oracle (e.g. for A/B
+    /// benchmarking).
+    pub vectorize: bool,
 }
 
 impl Default for DriverConfig {
@@ -584,6 +622,7 @@ impl Default for DriverConfig {
             max_inflight: 1024,
             max_idle_rounds: None,
             adaptive: Some(AdaptiveBatch::default()),
+            vectorize: true,
         }
     }
 }
@@ -725,6 +764,13 @@ pub struct PipelineMetrics {
     pub rounds: u64,
     /// Rounds in which no source produced anything.
     pub idle_rounds: u64,
+    /// Rounds that fed at least one columnar batch (the vectorized path).
+    pub vectorized_rounds: u64,
+    /// Rounds that fed at least one event per-row (stream doesn't
+    /// vectorize, single-event runs, or mixed-arity runs).
+    pub fallback_rounds: u64,
+    /// Rows per columnar batch fed to the query (vectorized path only).
+    pub batch_rows: Histogram,
     /// The batch size the adaptive controller chose for the next poll.
     pub batch_size: usize,
     /// Depth of the sharded driver's deterministic-merge hold-back buffer
@@ -765,6 +811,9 @@ impl Default for PipelineMetrics {
             watermarks_in: 0,
             rounds: 0,
             idle_rounds: 0,
+            vectorized_rounds: 0,
+            fallback_rounds: 0,
+            batch_rows: Histogram::new(),
             batch_size: 0,
             pending_depth: 0,
             round_micros: Histogram::new(),
@@ -841,6 +890,8 @@ impl PipelineMetrics {
             MetricRow::counter("watermarks_in", self.watermarks_in),
             MetricRow::counter("rounds", self.rounds),
             MetricRow::counter("idle_rounds", self.idle_rounds),
+            MetricRow::counter("vectorized_rounds", self.vectorized_rounds),
+            MetricRow::counter("fallback_rounds", self.fallback_rounds),
             MetricRow::gauge("batch_size", self.batch_size.min(i64::MAX as usize) as i64),
             MetricRow::gauge(
                 "pending_depth",
@@ -853,6 +904,7 @@ impl PipelineMetrics {
                 self.watermark_lag().map_or(-1, |d| d.millis()),
             ),
         ];
+        histogram(&mut rows, "batch_rows", &self.batch_rows);
         histogram(&mut rows, "round_micros", &self.round_micros);
         histogram(&mut rows, "poll_micros", &self.poll_micros);
         histogram(&mut rows, "merge_micros", &self.merge_micros);
@@ -1009,6 +1061,9 @@ pub struct PipelineDriver {
     /// When set, the driver publishes a metrics snapshot to the global
     /// [`observe::hub`] under this name after every round.
     label: Option<String>,
+    /// Per-stream vectorization verdicts, cached after the first run (the
+    /// query's tree shape and generators cannot change under the driver).
+    vector_ok: BTreeMap<String, bool>,
     finished: bool,
 }
 
@@ -1033,8 +1088,19 @@ impl PipelineDriver {
             sink_watermark: Watermark::MIN,
             renderer: onesql_exec::StreamRenderer::new(ver_cols),
             label: None,
+            vector_ok: BTreeMap::new(),
             finished: false,
         }
+    }
+
+    /// Whether `stream` takes the vectorized path, cached per stream.
+    fn stream_vectorizes(&mut self, stream: &str) -> bool {
+        if let Some(&ok) = self.vector_ok.get(stream) {
+            return ok;
+        }
+        let ok = self.query.vectorizes(stream);
+        self.vector_ok.insert(stream.to_string(), ok);
+        ok
     }
 
     /// Name this pipeline on the global [`observe::hub`]: every subsequent
@@ -1162,40 +1228,86 @@ impl PipelineDriver {
         let batch_size = self.controller.size();
         let mut ingested = 0usize;
         let mut poll_micros = 0u64;
+        let mut vectorized_round = false;
+        let mut fallback_round = false;
         for slot in 0..self.sources.len() {
             if self.sources[slot].finished {
                 continue;
             }
             let poll = Stopwatch::start();
+            // Columnar fast path: a source that parses straight into
+            // columns (chunked CSV) hands the driver a ready ChangeBatch.
+            if self.config.vectorize {
+                if let Some(cb) = self.sources[slot].source.poll_columns(batch_size)? {
+                    poll_micros = poll_micros.saturating_add(poll.micros());
+                    ingested +=
+                        self.ingest_columns(slot, cb, &mut vectorized_round, &mut fallback_round)?;
+                    self.deliver_advances()?;
+                    continue;
+                }
+            }
             let batch = self.sources[slot].source.poll_batch(batch_size)?;
             poll_micros = poll_micros.saturating_add(poll.micros());
             if !batch.events.is_empty() {
                 self.sources[slot].non_empty_polls += 1;
             }
-            for event in batch.events {
+            let mut events = batch.events.into_iter().peekable();
+            while let Some(event) = events.next() {
+                let stream_idx = event.stream;
                 let stream = self.sources[slot]
                     .streams
-                    .get(event.stream)
+                    .get(stream_idx)
                     .cloned()
                     .ok_or_else(|| {
                         Error::exec(format!(
                             "source '{}' produced an event for stream index {} \
                                  but declares only {} streams",
                             self.sources[slot].source.name(),
-                            event.stream,
+                            stream_idx,
                             self.sources[slot].streams.len()
                         ))
                     })?;
                 // Processing time is monotone across the whole pipeline;
                 // a source whose clock lags is dragged forward.
                 self.clock = self.clock.max(event.ptime);
-                let bytes = change_bytes(&event.change);
-                self.query.change(&stream, self.clock, event.change)?;
-                self.sources[slot].events += 1;
-                self.sources[slot].bytes += bytes;
-                self.metrics.events_in += 1;
-                self.metrics.bytes_in += bytes;
-                ingested += 1;
+                // Gather the run of consecutive events for the same stream;
+                // clock clamping keeps the run's ptime lane monotone.
+                let mut run: Vec<(Ts, Change)> = vec![(self.clock, event.change)];
+                if self.config.vectorize && self.stream_vectorizes(&stream) {
+                    while events.peek().is_some_and(|next| next.stream == stream_idx) {
+                        let next = events.next().expect("peeked");
+                        self.clock = self.clock.max(next.ptime);
+                        run.push((self.clock, next.change));
+                    }
+                }
+                let run_events = run.len() as u64;
+                let run_bytes: u64 = run.iter().map(|(_, c)| change_bytes(c)).sum();
+                if run.len() > 1 {
+                    if let Some(columns) = ChangeBatch::from_changes(&run) {
+                        self.metrics.batch_rows.record(columns.len() as u64);
+                        self.metrics.vectorized_rounds += u64::from(!vectorized_round);
+                        vectorized_round = true;
+                        self.query.change_batch(&stream, &columns)?;
+                    } else {
+                        // Mixed-arity run: per-row feeding reproduces the
+                        // oracle's arity error exactly.
+                        self.metrics.fallback_rounds += u64::from(!fallback_round);
+                        fallback_round = true;
+                        for (ts, change) in run {
+                            self.query.change(&stream, ts, change)?;
+                        }
+                    }
+                } else {
+                    self.metrics.fallback_rounds += u64::from(!fallback_round);
+                    fallback_round = true;
+                    let (ts, change) = run.pop().expect("single-event run");
+                    self.query.change(&stream, ts, change)?;
+                }
+                self.sources[slot].events += run_events;
+                self.sources[slot].bytes += run_bytes;
+                self.metrics.events_in += run_events;
+                self.metrics.bytes_in += run_bytes;
+                ingested += run_events as usize;
                 // Bounded in-flight buffering: drain mid-round when the
                 // pending output grows past the configured bound.
                 if self.query.changelog().len() - self.emitted >= self.config.max_inflight {
@@ -1231,6 +1343,70 @@ impl PipelineDriver {
         self.metrics.round_micros.record(round.micros());
         self.publish_snapshot();
         Ok(ingested)
+    }
+
+    /// Ingest one columnar source batch: clamp its ptime lane to the
+    /// driver's monotone clock, feed the vectorized path (or fall back
+    /// per-row when the plan cannot batch this stream), and apply the
+    /// batch's watermark/status exactly as the row path would. Returns
+    /// the number of rows ingested.
+    fn ingest_columns(
+        &mut self,
+        slot: usize,
+        cb: ColumnarBatch,
+        vectorized_round: &mut bool,
+        fallback_round: &mut bool,
+    ) -> Result<usize> {
+        let n = cb.columns.len();
+        if n > 0 {
+            self.sources[slot].non_empty_polls += 1;
+            let stream = self.sources[slot]
+                .streams
+                .get(cb.stream)
+                .cloned()
+                .ok_or_else(|| {
+                    Error::exec(format!(
+                        "source '{}' produced an event for stream index {} \
+                         but declares only {} streams",
+                        self.sources[slot].source.name(),
+                        cb.stream,
+                        self.sources[slot].streams.len()
+                    ))
+                })?;
+            // The same monotone-clock clamp the row path applies per event.
+            let columns = cb.columns.clamp_ptimes(self.clock);
+            self.clock = self.clock.max(columns.ptime(n - 1));
+            let bytes: u64 = (0..n).map(|i| columns.row_bytes(i)).sum();
+            if self.stream_vectorizes(&stream) {
+                self.metrics.batch_rows.record(n as u64);
+                self.metrics.vectorized_rounds += u64::from(!*vectorized_round);
+                *vectorized_round = true;
+                self.query.change_batch(&stream, &columns)?;
+            } else {
+                self.metrics.fallback_rounds += u64::from(!*fallback_round);
+                *fallback_round = true;
+                for i in 0..n {
+                    let (ts, change) = columns.timed_change(i);
+                    self.query.change(&stream, ts, change)?;
+                }
+            }
+            self.sources[slot].events += n as u64;
+            self.sources[slot].bytes += bytes;
+            self.metrics.events_in += n as u64;
+            self.metrics.bytes_in += bytes;
+            if self.query.changelog().len() - self.emitted >= self.config.max_inflight {
+                self.drain_output()?;
+            }
+        }
+        if let Some(wm) = cb.watermark {
+            self.ledger.observe(slot, Watermark(wm), &mut self.advances);
+        }
+        if cb.status == SourceStatus::Finished {
+            self.sources[slot].finished = true;
+            self.ledger
+                .observe(slot, Watermark::MAX, &mut self.advances);
+        }
+        Ok(n)
     }
 
     /// Deliver per-stream watermark advancements queued by the ledger.

@@ -6,7 +6,7 @@ use onesql_exec::{render_stream, Executor, StreamRow, STREAM_META_COLUMNS};
 use onesql_plan::BoundQuery;
 use onesql_state::StateMetrics;
 use onesql_time::{Watermark, WatermarkGenerator};
-use onesql_tvr::{Change, Changelog, Element};
+use onesql_tvr::{Change, ChangeBatch, Changelog, Element};
 use onesql_types::{format_table, Error, Result, Row, Schema, SchemaRef, Ts, Value};
 
 use crate::engine::validate_row;
@@ -124,6 +124,46 @@ impl RunningQuery {
             }
         }
         Ok(())
+    }
+
+    /// Whether [`RunningQuery::change_batch`] takes the vectorized path for
+    /// `table`. Requires executor batch support (exactly one source leaf
+    /// scans the table, no processing-time timers in the tree) and no
+    /// watermark generator on the stream (a generator may emit a watermark
+    /// after *every* event, which a whole-batch feed cannot interleave).
+    pub fn vectorizes(&self, table: &str) -> bool {
+        !self.generators.contains_key(&table.to_ascii_lowercase())
+            && self.executor.supports_batches(table)
+    }
+
+    /// Apply a columnar run of changes, each at its own processing time.
+    ///
+    /// Observable behavior — changelog bytes, validation errors and their
+    /// order, the clock — is identical to calling [`RunningQuery::change`]
+    /// once per row; when the query does not vectorize for this table, that
+    /// is literally what happens.
+    pub fn change_batch(&mut self, table: &str, batch: &ChangeBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if !self.vectorizes(table) {
+            for i in 0..batch.len() {
+                let (ptime, change) = batch.timed_change(i);
+                self.change(table, ptime, change)?;
+            }
+            return Ok(());
+        }
+        let schema = self.stream_schema(table)?;
+        match first_invalid_row(&schema, batch) {
+            None => self.executor.feed_batch(table, batch),
+            Some((k, err)) => {
+                // Per-row feeding would have fed rows [0, k) before the
+                // validation error at row k surfaced.
+                let (prefix, _) = batch.split_at(k);
+                self.executor.feed_batch(table, &prefix)?;
+                Err(err)
+            }
+        }
     }
 
     /// Deliver a punctuated watermark on a stream: "as of processing time
@@ -285,6 +325,27 @@ impl RunningQuery {
         }
         Ok(())
     }
+}
+
+/// Columnar mirror of `validate_row`: find the first logical row the per-row
+/// validator would reject, and its exact error. Wholly clean typed columns
+/// are screened without materializing any row; only a batch that fails the
+/// screen pays for the per-row scan.
+fn first_invalid_row(schema: &Schema, batch: &ChangeBatch) -> Option<(usize, Error)> {
+    if batch.arity() != schema.arity() {
+        return Some((
+            0,
+            validate_row(schema, &batch.row(0)).expect_err("arity mismatch"),
+        ));
+    }
+    let clean =
+        schema.fields().iter().zip(batch.columns()).all(|(f, c)| {
+            c.uniform_type() == Some(f.data_type) && !(f.event_time && c.has_nulls())
+        });
+    if clean {
+        return None;
+    }
+    (0..batch.len()).find_map(|i| validate_row(schema, &batch.row(i)).err().map(|e| (i, e)))
 }
 
 #[cfg(test)]

@@ -104,7 +104,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use onesql_exec::{StreamRenderer, StreamRow};
 use onesql_time::Watermark;
-use onesql_tvr::{Change, TimedChange};
+use onesql_tvr::{Change, ChangeBatch, TimedChange};
 use onesql_types::{Error, Result, Row, SchemaRef, Ts};
 
 use crate::connect::{
@@ -232,7 +232,7 @@ enum Cmd {
     Restore(onesql_state::Checkpoint, Sender<Result<()>>),
 }
 
-fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>) -> RunningQuery {
+fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>, vectorize: bool) -> RunningQuery {
     let mut streams: Vec<String> = Vec::new();
     let mut drained = 0usize;
     // The first failure wins; later data commands are skipped and every
@@ -246,8 +246,35 @@ fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>) -> RunningQuery {
                 if failure.is_some() {
                     continue;
                 }
-                for (stream, ptime, change) in events {
-                    if let Err(e) = query.change(&streams[stream], ptime, change) {
+                // Group consecutive same-stream events into columnar runs,
+                // mirroring `PipelineDriver::step`. Ptimes within a routed
+                // batch are monotone (the control thread stamps its clamped
+                // clock), so the run satisfies `ChangeBatch`'s ordering.
+                let mut events = events.into_iter().peekable();
+                while let Some((stream, ptime, change)) = events.next() {
+                    let mut run = vec![(ptime, change)];
+                    if vectorize && query.vectorizes(&streams[stream]) {
+                        while let Some((next, ..)) = events.peek() {
+                            if *next != stream {
+                                break;
+                            }
+                            let (_, p, c) = events.next().expect("peeked");
+                            run.push((p, c));
+                        }
+                    }
+                    let res = if run.len() > 1 {
+                        match ChangeBatch::from_changes(&run) {
+                            Some(batch) => query.change_batch(&streams[stream], &batch),
+                            // Mixed arity (invalid rows): keep per-row order.
+                            None => run
+                                .into_iter()
+                                .try_for_each(|(p, c)| query.change(&streams[stream], p, c)),
+                        }
+                    } else {
+                        let (p, c) = run.pop().expect("one event");
+                        query.change(&streams[stream], p, c)
+                    };
+                    if let Err(e) = res {
                         failure = Some(e);
                         break;
                     }
@@ -388,7 +415,8 @@ impl ShardedPipelineDriver {
                 clock = query.now();
             }
             let (tx, rx) = bounded::<Cmd>(64);
-            let handle = std::thread::spawn(move || worker_loop(query, rx));
+            let vectorize = config.driver.vectorize;
+            let handle = std::thread::spawn(move || worker_loop(query, rx, vectorize));
             workers.push(Worker { tx, handle });
         }
         let worker_count = workers.len();
@@ -688,10 +716,21 @@ impl ShardedPipelineDriver {
             if batch.is_empty() {
                 continue;
             }
+            // Routing-side accounting: workers group each routed batch into
+            // columnar runs themselves (and fall back per-row when the plan
+            // requires it), so the control thread samples the routed size.
+            self.metrics.batch_rows.record(batch.len() as u64);
             self.workers[worker]
                 .tx
                 .send(Cmd::Batch(batch))
                 .map_err(|_| Error::exec("pipeline worker terminated"))?;
+        }
+        if ingested > 0 {
+            if self.config.driver.vectorize {
+                self.metrics.vectorized_rounds += 1;
+            } else {
+                self.metrics.fallback_rounds += 1;
+            }
         }
         let mut advances = std::mem::take(&mut self.advances);
         for (stream, combined) in advances.drain(..) {

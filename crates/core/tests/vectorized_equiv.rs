@@ -1,0 +1,303 @@
+//! Property test: the vectorized batch path is byte-identical to the
+//! row-at-a-time oracle.
+//!
+//! Arbitrary expressions (filters, projections, aggregates, windows),
+//! arbitrary event interleavings (inserts, retractions, watermarks),
+//! arbitrary batch boundaries, and an optional checkpoint/restore in the
+//! middle of the stream: feeding the same changes through
+//! [`RunningQuery::change_batch`] must produce exactly the changelog the
+//! per-row [`RunningQuery::change`] oracle produces — including the
+//! position and message of any runtime error (division by zero), whose
+//! pre-error prefix must also match.
+
+use proptest::prelude::*;
+
+use onesql_core::{Engine, StreamBuilder};
+use onesql_tvr::{Change, ChangeBatch, TimedChange};
+use onesql_types::{DataType, Row, Ts, Value};
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.register_stream(
+        "Bid",
+        StreamBuilder::new()
+            .event_time_column("ts")
+            .column("a", DataType::Int)
+            .column("b", DataType::Int)
+            .column("s", DataType::String),
+    );
+    e
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Depth-bounded integer-valued SQL expression over columns `a` and `b`.
+/// Division and modulo keep zero denominators reachable so kernel errors
+/// (and the split-and-repair path) are exercised.
+fn int_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        (-3i64..4).prop_map(|n| n.to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = int_expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (sub.clone(), sub.clone()).prop_map(|(x, y)| format!("({x} + {y})")),
+        (sub.clone(), sub.clone()).prop_map(|(x, y)| format!("({x} - {y})")),
+        (sub.clone(), sub.clone()).prop_map(|(x, y)| format!("({x} * {y})")),
+        (sub.clone(), sub.clone()).prop_map(|(x, y)| format!("({x} / {y})")),
+        (sub.clone(), sub.clone()).prop_map(|(x, y)| format!("({x} % {y})")),
+        (bool_expr(depth - 1), sub.clone(), sub.clone())
+            .prop_map(|(c, t, e)| format!("CASE WHEN {c} THEN {t} ELSE {e} END")),
+    ]
+    .boxed()
+}
+
+/// Depth-bounded boolean-valued SQL expression.
+fn bool_expr(depth: u32) -> BoxedStrategy<String> {
+    let cmp = prop_oneof![
+        Just("="),
+        Just("<>"),
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">="),
+    ];
+    let leaf = prop_oneof![
+        (int_expr(0), cmp, int_expr(0)).prop_map(|(x, op, y)| format!("{x} {op} {y}")),
+        Just("s = 'hot'".to_string()),
+        Just("a IS NULL".to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = bool_expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (int_expr(depth - 1), int_expr(depth - 1)).prop_map(|(x, y)| format!("{x} < {y}")),
+        (sub.clone(), sub.clone()).prop_map(|(x, y)| format!("({x} AND {y})")),
+        (sub.clone(), sub.clone()).prop_map(|(x, y)| format!("({x} OR {y})")),
+        sub.clone().prop_map(|x| format!("NOT ({x})")),
+    ]
+    .boxed()
+}
+
+/// An arbitrary query over the Bid stream: filter/project, global
+/// aggregate, or windowed aggregate, with an arbitrary emit clause.
+fn query(depth: u32) -> BoxedStrategy<String> {
+    let emit = prop_oneof![
+        Just("".to_string()),
+        Just(" EMIT AFTER WATERMARK".to_string()),
+        // Timer-driven emission: the executor refuses batches for this
+        // plan and the fallback path must still be byte-identical.
+        Just(" EMIT STREAM AFTER DELAY INTERVAL '1' MINUTE".to_string()),
+    ]
+    .boxed();
+    prop_oneof![
+        (int_expr(depth), int_expr(depth), bool_expr(depth))
+            .prop_map(|(p1, p2, f)| format!("SELECT {p1}, {p2} FROM Bid WHERE {f}")),
+        (int_expr(depth), bool_expr(depth), emit.clone())
+            .prop_map(|(x, f, e)| format!("SELECT COUNT(*), SUM({x}) FROM Bid WHERE {f}{e}")),
+        (int_expr(depth), emit).prop_map(|(x, e)| format!(
+            "SELECT wend, COUNT(*), SUM({x}) FROM Tumble(data => TABLE(Bid), \
+             timecol => DESCRIPTOR(ts), dur => INTERVAL '10' MINUTE) GROUP BY wend{e}"
+        )),
+    ]
+    .boxed()
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// A row change: event-time minute, two nullable ints, a nullable
+    /// string, and a diff (+1 insert / -1 retract).
+    Data(i64, Option<i64>, Option<i64>, Option<&'static str>, i64),
+    /// A stream watermark at the given minute (made monotone below).
+    Watermark(i64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let data = (
+        0i64..60,
+        prop::option::of(-3i64..4),
+        prop::option::of(-3i64..4),
+        prop_oneof![
+            Just(None),
+            Just(Some("hot")),
+            Just(Some("cold")),
+            Just(Some("")),
+        ],
+        prop_oneof![Just(1i64), Just(1), Just(1), Just(-1)],
+    )
+        .prop_map(|(m, a, b, s, d)| Op::Data(m, a, b, s, d))
+        .boxed();
+    let op = prop_oneof![
+        data.clone(),
+        data.clone(),
+        data.clone(),
+        data,
+        (1i64..15).prop_map(Op::Watermark),
+    ];
+    prop::collection::vec(op, 0..=40).prop_map(|mut ops| {
+        // Watermarks must advance: prefix-sum the generated deltas.
+        let mut wm = 0;
+        for op in &mut ops {
+            if let Op::Watermark(delta) = op {
+                wm += *delta;
+                *delta = wm;
+            }
+        }
+        ops
+    })
+}
+
+fn op_row(op: &Op) -> (Ts, Change) {
+    let Op::Data(minute, a, b, s, diff) = op else {
+        unreachable!("watermarks carry no row")
+    };
+    let opt = |v: &Option<i64>| v.map_or(Value::Null, Value::Int);
+    let row = Row::new(vec![
+        Value::Ts(Ts::hm(0, *minute)),
+        opt(a),
+        opt(b),
+        s.map_or(Value::Null, Value::str),
+    ]);
+    (Ts::hm(0, *minute), Change { row, diff: *diff })
+}
+
+// ---------------------------------------------------------------------------
+// The two sides
+// ---------------------------------------------------------------------------
+
+/// Feed every op per-row; stop at the first error (drivers poison).
+fn run_oracle(sql: &str, ops: &[Op]) -> (Vec<TimedChange>, Option<String>, Ts) {
+    let mut q = engine().execute(sql).expect("generated SQL compiles");
+    let mut failure = None;
+    for (i, op) in ops.iter().enumerate() {
+        let ptime = Ts(i as i64 * 1_000);
+        let res = match op {
+            Op::Data(..) => {
+                let (_, change) = op_row(op);
+                q.change("Bid", ptime, change)
+            }
+            Op::Watermark(m) => q.watermark("Bid", ptime, Ts::hm(0, *m)),
+        };
+        if let Err(e) = res {
+            failure = Some(e.to_string());
+            break;
+        }
+    }
+    (q.changelog().entries().to_vec(), failure, q.now())
+}
+
+/// Feed the same ops through the columnar path: consecutive data ops
+/// group into `ChangeBatch`es cut at watermarks, at the rotating chunk
+/// sizes in `chunks`, and at the optional checkpoint/restore point.
+fn run_vectorized(
+    sql: &str,
+    ops: &[Op],
+    chunks: &[usize],
+    restore_at: Option<usize>,
+) -> (Vec<TimedChange>, Option<String>, Ts) {
+    let e = engine();
+    let mut q = e.execute(sql).expect("generated SQL compiles");
+    let mut pre: Vec<TimedChange> = Vec::new();
+    let mut failure = None;
+    let mut chunk_idx = 0;
+    let mut i = 0;
+    while i < ops.len() {
+        if restore_at == Some(i) {
+            // Kill-and-recover mid-stream: state moves through a
+            // checkpoint into a fresh query; the changelog restarts.
+            let cp = q.checkpoint().expect("checkpoint");
+            pre.extend(q.changelog().entries().iter().cloned());
+            q = e.execute(sql).expect("same SQL compiles");
+            q.restore(&cp).expect("restore");
+        }
+        let res = match &ops[i] {
+            Op::Watermark(m) => {
+                let r = q.watermark("Bid", Ts(i as i64 * 1_000), Ts::hm(0, *m));
+                i += 1;
+                r
+            }
+            Op::Data(..) => {
+                let limit = chunks[chunk_idx % chunks.len()].max(1);
+                chunk_idx += 1;
+                let mut run = Vec::new();
+                while i < ops.len()
+                    && run.len() < limit
+                    // Cut the run at the restore point so the outer loop
+                    // checkpoints mid-stream (a restore that already fired
+                    // this index arrives here with an empty run).
+                    && (restore_at != Some(i) || run.is_empty())
+                    && matches!(ops[i], Op::Data(..))
+                {
+                    let (_, change) = op_row(&ops[i]);
+                    run.push((Ts(i as i64 * 1_000), change));
+                    i += 1;
+                }
+                let batch = ChangeBatch::from_changes(&run).expect("uniform arity");
+                q.change_batch("Bid", &batch)
+            }
+        };
+        if let Err(e) = res {
+            failure = Some(e.to_string());
+            break;
+        }
+    }
+    pre.extend(q.changelog().entries().iter().cloned());
+    (pre, failure, q.now())
+}
+
+/// Deterministic guard for the split-and-repair path: a division by zero
+/// in the middle of a batch must surface the oracle's exact error, with
+/// the rows before it fully processed and nothing after it.
+#[test]
+fn mid_batch_error_splits_exactly_like_the_oracle() {
+    let sql = "SELECT (10 / a), b FROM Bid WHERE b >= 0";
+    let ops: Vec<Op> = [1, 2, 0, 5]
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| Op::Data(i as i64, Some(a), Some(i as i64), None, 1))
+        .collect();
+    let (oracle_log, oracle_err, _) = run_oracle(sql, &ops);
+    let (vec_log, vec_err, _) = run_vectorized(sql, &ops, &[8], None);
+    assert!(
+        oracle_err
+            .as_deref()
+            .is_some_and(|e| e.contains("division by zero")),
+        "oracle error: {oracle_err:?}"
+    );
+    assert_eq!(vec_err, oracle_err);
+    assert_eq!(vec_log, oracle_log);
+    assert_eq!(oracle_log.len(), 2, "the two pre-error rows were emitted");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vectorized_changelog_is_byte_identical(
+        sql in query(2),
+        ops in ops(),
+        chunks in prop::collection::vec(1usize..9, 1..=4),
+        restore_frac in prop::option::of(0usize..100),
+    ) {
+        let restore_at = restore_frac
+            .filter(|_| !ops.is_empty())
+            .map(|f| f * ops.len() / 100);
+        let (oracle_log, oracle_err, oracle_now) = run_oracle(&sql, &ops);
+        let (vec_log, vec_err, vec_now) =
+            run_vectorized(&sql, &ops, &chunks, restore_at);
+        prop_assert_eq!(&vec_err, &oracle_err, "error mismatch for {}", sql);
+        prop_assert_eq!(&vec_log, &oracle_log, "changelog mismatch for {}", sql);
+        if oracle_err.is_none() {
+            prop_assert_eq!(vec_now, oracle_now, "clock mismatch for {}", sql);
+        }
+    }
+}

@@ -17,13 +17,14 @@ use std::collections::BTreeMap;
 
 use bytes::BufMut;
 
-use onesql_plan::{AggCall, AggFunc, ScalarExpr};
+use onesql_plan::{compile_kernel, eval_kernel, AggCall, AggFunc, Frame, Kernel, ScalarExpr};
 use onesql_state::{Checkpoint, Codec, Decoder, KeyedState, StateMetrics};
 use onesql_time::Watermark;
-use onesql_tvr::Element;
+use onesql_tvr::{BatchOut, ChangeBatch, Element};
 use onesql_types::{Duration, Error, Result, Row, Ts, Value};
 
 use crate::operator::Operator;
+use crate::vector::process_row_fallback;
 
 /// A retractable accumulator for one aggregate call within one group.
 ///
@@ -327,6 +328,9 @@ pub struct Aggregate {
     watermark: Watermark,
     /// Count of inputs dropped as too late (observability).
     late_dropped: u64,
+    /// Lazily compiled column kernels for the batch path: one per group
+    /// expression, one per aggregate argument (None for `COUNT(*)`).
+    kernels: Option<(Vec<Kernel>, Vec<Option<Kernel>>)>,
 }
 
 impl Aggregate {
@@ -345,6 +349,7 @@ impl Aggregate {
             state: KeyedState::new(),
             watermark: Watermark::MIN,
             late_dropped: 0,
+            kernels: None,
         }
     }
 
@@ -399,6 +404,79 @@ impl Aggregate {
     fn retirement_ts(&self, group_ts: Ts) -> Ts {
         group_ts.saturating_add(self.allowed_lateness)
     }
+
+    /// Extension 2: inputs for groups the watermark has closed (plus
+    /// lateness) are dropped. Returns `true` if the input was dropped.
+    fn check_late(&mut self, key: &Row) -> Result<bool> {
+        if let Some(ts) = self.group_ts(key)? {
+            if self.watermark.closes(self.retirement_ts(ts)) {
+                self.late_dropped += 1;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Fold one change (with pre-evaluated group key and aggregate
+    /// arguments) into group state, emitting the output delta. Shared by the
+    /// per-row and batch paths so their changelogs agree byte for byte.
+    fn apply_data(
+        &mut self,
+        key: Row,
+        args: Vec<Option<Value>>,
+        diff: i64,
+        out: &mut Vec<Element>,
+    ) -> Result<()> {
+        let is_global = self.group_exprs.is_empty();
+        let group_exists = self.state.get(&key).is_some();
+        let old_row = if group_exists {
+            let g = self.state.get(&key).expect("checked");
+            if g.live_rows > 0 || is_global {
+                Some(self.output_row(&key, g)?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        // Apply the change.
+        {
+            let fresh = self.fresh_group();
+            let group = if group_exists {
+                self.state.get_mut(&key).expect("checked")
+            } else {
+                self.state.put(key.clone(), fresh);
+                self.state.get_mut(&key).expect("just inserted")
+            };
+            group.live_rows += diff;
+            for (acc, arg) in group.accs.iter_mut().zip(&args) {
+                acc.add(arg.as_ref(), diff)?;
+            }
+        }
+
+        let group = self.state.get(&key).expect("present");
+        let new_row = if group.live_rows > 0 || is_global {
+            Some(self.output_row(&key, group)?)
+        } else {
+            None
+        };
+        if group.live_rows <= 0 && !is_global {
+            self.state.remove(&key);
+        }
+
+        // Emit the delta (retract before insert so downstream sees a
+        // consistent transition).
+        if old_row != new_row {
+            if let Some(old) = old_row {
+                out.push(Element::retract(old));
+            }
+            if let Some(new) = new_row {
+                out.push(Element::insert(new));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Operator for Aggregate {
@@ -425,67 +503,17 @@ impl Operator for Aggregate {
         match elem {
             Element::Data(change) => {
                 let key = self.key_of(&change.row)?;
-                let group_ts = self.group_ts(&key)?;
-                // Extension 2: inputs for groups the watermark has closed
-                // (plus lateness) are dropped.
-                if let Some(ts) = group_ts {
-                    if self.watermark.closes(self.retirement_ts(ts)) {
-                        self.late_dropped += 1;
-                        return Ok(());
-                    }
+                if self.check_late(&key)? {
+                    return Ok(());
                 }
-                let is_global = self.group_exprs.is_empty();
-                let group_exists = self.state.get(&key).is_some();
-                let old_row = if group_exists {
-                    let g = self.state.get(&key).expect("checked");
-                    if g.live_rows > 0 || is_global {
-                        Some(self.output_row(&key, g)?)
-                    } else {
-                        None
-                    }
-                } else {
-                    None
-                };
-
-                // Apply the change.
-                {
-                    let fresh = self.fresh_group();
-                    let group = if group_exists {
-                        self.state.get_mut(&key).expect("checked")
-                    } else {
-                        self.state.put(key.clone(), fresh);
-                        self.state.get_mut(&key).expect("just inserted")
-                    };
-                    group.live_rows += change.diff;
-                    for (acc, call) in group.accs.iter_mut().zip(&self.aggs) {
-                        let arg = match &call.arg {
-                            Some(e) => Some(e.eval(&change.row)?),
-                            None => None,
-                        };
-                        acc.add(arg.as_ref(), change.diff)?;
-                    }
+                let mut args = Vec::with_capacity(self.aggs.len());
+                for call in &self.aggs {
+                    args.push(match &call.arg {
+                        Some(e) => Some(e.eval(&change.row)?),
+                        None => None,
+                    });
                 }
-
-                let group = self.state.get(&key).expect("present");
-                let new_row = if group.live_rows > 0 || is_global {
-                    Some(self.output_row(&key, group)?)
-                } else {
-                    None
-                };
-                if group.live_rows <= 0 && !is_global {
-                    self.state.remove(&key);
-                }
-
-                // Emit the delta (retract before insert so downstream sees a
-                // consistent transition).
-                if old_row != new_row {
-                    if let Some(old) = old_row {
-                        out.push(Element::retract(old));
-                    }
-                    if let Some(new) = new_row {
-                        out.push(Element::insert(new));
-                    }
-                }
+                self.apply_data(key, args, change.diff, out)?;
             }
             Element::Watermark(wm) => {
                 if !self.watermark.advance_to(wm) {
@@ -504,6 +532,73 @@ impl Operator for Aggregate {
             }
         }
         Ok(())
+    }
+
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: &ChangeBatch,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.kernels.is_none() {
+            self.kernels = Some((
+                self.group_exprs.iter().map(compile_kernel).collect(),
+                self.aggs
+                    .iter()
+                    .map(|a| a.arg.as_ref().map(compile_kernel))
+                    .collect(),
+            ));
+        }
+        let n = batch.len();
+        // Phase 1: evaluate group keys and aggregate arguments columnar.
+        // (Evaluating arguments for rows the lateness check later drops is
+        // unobservable on the success path; a kernel error at such a row is
+        // repaired below by replaying that row through the per-row oracle,
+        // which drops it without error — exactly as the oracle would.)
+        let evald = {
+            let (gk, ak) = self.kernels.as_ref().expect("compiled above");
+            let frame = Frame::new(batch.columns(), batch.selection(), n);
+            gk.iter()
+                .map(|k| eval_kernel(k, &frame, None))
+                .collect::<std::result::Result<Vec<_>, _>>()
+                .and_then(|keys| {
+                    ak.iter()
+                        .map(|o| o.as_ref().map(|k| eval_kernel(k, &frame, None)).transpose())
+                        .collect::<std::result::Result<Vec<_>, _>>()
+                        .map(|args| (keys, args))
+                })
+        };
+        match evald {
+            Err(e) => {
+                let (prefix, rest) = batch.split_at(e.row);
+                self.process_batch(port, &prefix, out)?;
+                process_row_fallback(self, port, &rest, 0, out)?;
+                self.process_batch(port, &rest.slice(1, rest.len()), out)
+            }
+            Ok((keys, args)) => {
+                // Phase 2: fold row by row, preserving the per-change
+                // retract/insert emission the changelog encodes.
+                for i in 0..n {
+                    let ts = batch.ptime(i);
+                    let key = Row::new(keys.iter().map(|v| v.value_at(i)).collect());
+                    let mut tmp = Vec::new();
+                    if !self.check_late(&key)? {
+                        let argv: Vec<Option<Value>> = args
+                            .iter()
+                            .map(|o| o.as_ref().map(|v| v.value_at(i)))
+                            .collect();
+                        self.apply_data(key, argv, batch.diff(i), &mut tmp)?;
+                    }
+                    if !tmp.is_empty() {
+                        out.push(BatchOut::Rows(ts, tmp));
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     fn state_metrics(&self) -> StateMetrics {

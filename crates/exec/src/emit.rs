@@ -260,6 +260,12 @@ impl Operator for DelayCoalescer {
         self.earliest_deadline()
     }
 
+    fn uses_timers(&self) -> bool {
+        // Timers assume the clock pauses between individual events; batches
+        // carry many ptimes at once, so timer trees opt out of vectorization.
+        true
+    }
+
     fn state_metrics(&self) -> StateMetrics {
         StateMetrics {
             keys: self.buckets.len(),

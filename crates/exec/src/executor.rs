@@ -2,7 +2,7 @@
 
 use onesql_state::StateMetrics;
 use onesql_time::Watermark;
-use onesql_tvr::{Changelog, Element};
+use onesql_tvr::{BatchOut, ChangeBatch, Changelog, Element};
 use onesql_types::{Duration, Error, Result, SchemaRef, Ts};
 
 use crate::operator::Operator;
@@ -96,6 +96,76 @@ impl OpNode {
             child.feed(source_id, elem, now, &mut child_out)?;
             for e in child_out.drain(..) {
                 self.op.process(port, e, now, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn contains_source(&self, source_id: usize) -> bool {
+        if let Some(info) = &self.source {
+            return info.id == source_id;
+        }
+        self.children.iter().any(|c| c.contains_source(source_id))
+    }
+
+    fn uses_timers(&self) -> bool {
+        self.op.uses_timers() || self.children.iter().any(OpNode::uses_timers)
+    }
+
+    /// Batch analogue of [`OpNode::feed`]. Only the subtree containing the
+    /// source produces output (data batches carry no watermarks, so sibling
+    /// subtrees contribute nothing), which is what lets the batch skip the
+    /// per-element fan-in walk entirely.
+    fn feed_batch(
+        &mut self,
+        source_id: usize,
+        batch: &ChangeBatch,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        if let Some(info) = &self.source {
+            if info.id == source_id {
+                self.op.process_batch(0, batch, out)?;
+            }
+            return Ok(());
+        }
+        for port in 0..self.children.len() {
+            if !self.children[port].contains_source(source_id) {
+                continue;
+            }
+            let mut child_out = Vec::new();
+            let child_res = self.children[port].feed_batch(source_id, batch, &mut child_out);
+            // Forward whatever the child produced before any error (its
+            // contract: outputs of rows strictly before the failing row),
+            // then surface the earliest error — a forwarding failure belongs
+            // to an earlier row than the child's own failure.
+            let forward_res = self.forward(port, child_out, out);
+            forward_res?;
+            child_res?;
+        }
+        Ok(())
+    }
+
+    /// Push a child's batch outputs through this node's operator.
+    fn forward(
+        &mut self,
+        port: usize,
+        child_out: Vec<BatchOut>,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        for item in child_out {
+            match item {
+                BatchOut::Batch(b) => self.op.process_batch(port, &b, out)?,
+                BatchOut::Rows(ts, elems) => {
+                    let mut tmp = Vec::new();
+                    for e in elems {
+                        // On error, `tmp` is dropped: the per-row engine
+                        // discards a failing event's outputs wholesale.
+                        self.op.process(port, e, ts, &mut tmp)?;
+                    }
+                    if !tmp.is_empty() {
+                        out.push(BatchOut::Rows(ts, tmp));
+                    }
+                }
             }
         }
         Ok(())
@@ -314,6 +384,61 @@ impl Executor {
         Ok(())
     }
 
+    /// Whether [`Executor::feed_batch`] takes the vectorized path for
+    /// `table`: exactly one source leaf scans it (multi-leaf fan-out, e.g.
+    /// NEXMark Q7's double Bid scan, interleaves per *event* across leaves,
+    /// which a whole-batch feed cannot reproduce) and no operator in the
+    /// tree schedules processing-time timers.
+    pub fn supports_batches(&self, table: &str) -> bool {
+        if self.root.uses_timers() {
+            return false;
+        }
+        self.sources()
+            .iter()
+            .filter(|s| s.table.eq_ignore_ascii_case(table))
+            .count()
+            == 1
+    }
+
+    /// Feed a columnar batch of data changes for `table`, each row at its
+    /// own processing time (the batch's monotone ptime lane).
+    ///
+    /// The resulting changelog — including any error and the outputs
+    /// recorded before it — is byte-identical to feeding the rows one at a
+    /// time via [`Executor::feed`]. When the pipeline does not support
+    /// batches for this table, that is exactly what this method does.
+    pub fn feed_batch(&mut self, table: &str, batch: &ChangeBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if !self.supports_batches(table) {
+            for i in 0..batch.len() {
+                self.feed(table, batch.ptime(i), Element::Data(batch.change(i)))?;
+            }
+            return Ok(());
+        }
+        self.advance_to(batch.ptime(0))?;
+        let ids: Vec<usize> = self
+            .sources()
+            .iter()
+            .filter(|s| s.table.eq_ignore_ascii_case(table))
+            .map(|s| s.id)
+            .collect();
+        let Some(&id) = ids.first() else {
+            // The query does not read this table; ignore.
+            return Ok(());
+        };
+        let mut out = Vec::new();
+        let res = self.root.feed_batch(id, batch, &mut out);
+        // Record even on error: `out` holds the outputs of rows before the
+        // failing row, which per-row feeding would have recorded already.
+        self.record_batch(out);
+        if res.is_ok() {
+            self.now = self.now.max(batch.ptime(batch.len() - 1));
+        }
+        res
+    }
+
     /// Fire any remaining timers and deliver final watermarks to all
     /// sources: the input will never change again.
     pub fn finish(&mut self, at: Ts) -> Result<()> {
@@ -371,6 +496,41 @@ impl Executor {
         // checkpointed state.
         self.initialized = true;
         Ok(())
+    }
+
+    /// Stamp batch outputs into the changelog, each row at its own ptime
+    /// (the oracle stamps `self.now`, which per-row feeding would have
+    /// advanced to that row's ptime).
+    fn record_batch(&mut self, items: Vec<BatchOut>) {
+        for item in items {
+            match item {
+                BatchOut::Batch(b) => {
+                    self.output.reserve(b.len());
+                    for i in 0..b.len() {
+                        let ts = b.ptime(i);
+                        self.now = self.now.max(ts);
+                        if b.diff(i) != 0 {
+                            self.output.push(ts, b.change(i));
+                        }
+                    }
+                }
+                BatchOut::Rows(ts, elems) => {
+                    self.now = self.now.max(ts);
+                    for e in elems {
+                        match e {
+                            Element::Data(change) => {
+                                if change.diff != 0 {
+                                    self.output.push(ts, change);
+                                }
+                            }
+                            Element::Watermark(wm) => {
+                                self.watermark.advance_to(wm);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn record(&mut self, elements: Vec<Element>) {
@@ -464,6 +624,25 @@ mod tests {
         let sources = ex.sources();
         assert_eq!(sources.len(), 1);
         assert_eq!(sources[0].table, "bid");
+    }
+
+    #[test]
+    fn feed_batch_matches_per_row_feeding() {
+        let changes = vec![
+            (Ts::hm(8, 1), onesql_tvr::Change::insert(row!(3i64))),
+            (Ts::hm(8, 2), onesql_tvr::Change::insert(row!(1i64))),
+            (Ts::hm(8, 3), onesql_tvr::Change::retract(row!(3i64))),
+        ];
+        let mut vectorized = simple_executor();
+        assert!(vectorized.supports_batches("Bid"));
+        let batch = ChangeBatch::from_changes(&changes).unwrap();
+        vectorized.feed_batch("Bid", &batch).unwrap();
+        let mut oracle = simple_executor();
+        for (ts, c) in changes {
+            oracle.feed("Bid", ts, Element::Data(c)).unwrap();
+        }
+        assert_eq!(vectorized.changelog(), oracle.changelog());
+        assert_eq!(vectorized.now(), oracle.now());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod join;
 pub mod operator;
 pub mod session;
 pub mod simple;
+pub mod vector;
 pub mod window;
 
 pub use compile::compile;

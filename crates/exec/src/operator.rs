@@ -1,7 +1,7 @@
 //! The operator protocol.
 
 use onesql_state::{Checkpoint, StateMetrics};
-use onesql_tvr::Element;
+use onesql_tvr::{BatchOut, ChangeBatch, Element};
 use onesql_types::{Error, Result, Ts};
 
 /// A push-based incremental operator.
@@ -31,6 +31,36 @@ pub trait Operator: Send {
         now: Ts,
         out: &mut Vec<Element>,
     ) -> Result<()>;
+
+    /// Process a columnar batch of data changes arriving on `port`.
+    ///
+    /// The default implementation replays the batch through [`process`]
+    /// (row-wise oracle), so every operator is batch-capable; hot operators
+    /// override this with column-kernel implementations. Either way the
+    /// outputs (and any error) must be *byte-identical* to feeding the rows
+    /// one at a time, each at its own ptime.
+    ///
+    /// Error contract: on `Err`, `out` holds exactly the outputs of rows
+    /// strictly before the failing row (the failing row's outputs are
+    /// discarded, as the per-row engine does for a failing event).
+    ///
+    /// [`process`]: Operator::process
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: &ChangeBatch,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        crate::vector::process_batch_rowwise(self, port, batch, out)
+    }
+
+    /// Whether this operator schedules processing-time timers. Trees with
+    /// timer operators are excluded from the vectorized path: batches carry
+    /// one ptime per row, while timers assume the clock pauses between
+    /// events.
+    fn uses_timers(&self) -> bool {
+        false
+    }
 
     /// Processing-time hook, called whenever the engine's clock advances
     /// (after all elements at that instant are processed). Used by

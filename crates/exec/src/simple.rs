@@ -1,13 +1,14 @@
 //! Stateless and simple operators: source, values, filter, project, union,
 //! distinct.
 
-use onesql_plan::ScalarExpr;
+use onesql_plan::{compile_kernel, eval_kernel, Frame, Kernel, ScalarExpr, Vector};
 use onesql_state::{Checkpoint, Codec, StateMetrics};
 use onesql_time::WatermarkTracker;
-use onesql_tvr::{Bag, Change, Element};
-use onesql_types::{Result, Row, Ts, Value};
+use onesql_tvr::{Bag, BatchOut, Change, ChangeBatch, Element};
+use onesql_types::{ColumnData, Result, Row, Ts, Value};
 
 use crate::operator::Operator;
+use crate::vector::process_row_fallback;
 
 /// A stream/table source leaf. The executor routes externally fed elements
 /// for the source's table here; the operator forwards them verbatim.
@@ -22,6 +23,16 @@ impl Operator for Source {
         out: &mut Vec<Element>,
     ) -> Result<()> {
         out.push(elem);
+        Ok(())
+    }
+
+    fn process_batch(
+        &mut self,
+        _port: usize,
+        batch: &ChangeBatch,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        out.push(BatchOut::Batch(batch.clone()));
         Ok(())
     }
 
@@ -72,12 +83,14 @@ impl Operator for Values {
 /// retraction always agree, so filtering commutes with retraction.
 pub struct Filter {
     predicate: ScalarExpr,
+    kernel: Kernel,
 }
 
 impl Filter {
     /// Create with a boolean predicate.
     pub fn new(predicate: ScalarExpr) -> Filter {
-        Filter { predicate }
+        let kernel = compile_kernel(&predicate);
+        Filter { predicate, kernel }
     }
 }
 
@@ -100,6 +113,61 @@ impl Operator for Filter {
         Ok(())
     }
 
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: &ChangeBatch,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let verdict = {
+            let frame = Frame::new(batch.columns(), batch.selection(), batch.len());
+            eval_kernel(&self.kernel, &frame, None)
+        };
+        match verdict {
+            Ok(v) => {
+                let n = batch.len();
+                let keep: Vec<u32> = match &v {
+                    Vector::Col(c) => match c.data() {
+                        ColumnData::Bool { vals, nulls: None } => vals
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, &b)| b.then_some(i as u32))
+                            .collect(),
+                        _ => (0..n)
+                            .filter(|&i| v.value_at(i) == Value::Bool(true))
+                            .map(|i| i as u32)
+                            .collect(),
+                    },
+                    Vector::Scalar(s) => {
+                        if *s == Value::Bool(true) {
+                            (0..n as u32).collect()
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                };
+                if keep.len() == n {
+                    out.push(BatchOut::Batch(batch.clone()));
+                } else if !keep.is_empty() {
+                    out.push(BatchOut::Batch(batch.select_logical(&keep)));
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Split-and-repair: rows before the kernel error stay
+                // vectorized; the failing row goes through the row oracle for
+                // the exact per-row error; the suffix resumes vectorized.
+                let (prefix, rest) = batch.split_at(e.row);
+                self.process_batch(port, &prefix, out)?;
+                process_row_fallback(self, port, &rest, 0, out)?;
+                self.process_batch(port, &rest.slice(1, rest.len()), out)
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Filter"
     }
@@ -108,12 +176,14 @@ impl Operator for Filter {
 /// Projection: maps each row through the expression list, preserving diffs.
 pub struct Project {
     exprs: Vec<ScalarExpr>,
+    kernels: Vec<Kernel>,
 }
 
 impl Project {
     /// Create with one expression per output column.
     pub fn new(exprs: Vec<ScalarExpr>) -> Project {
-        Project { exprs }
+        let kernels = exprs.iter().map(compile_kernel).collect();
+        Project { exprs, kernels }
     }
 }
 
@@ -139,6 +209,36 @@ impl Operator for Project {
             wm @ Element::Watermark(_) => out.push(wm),
         }
         Ok(())
+    }
+
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: &ChangeBatch,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let evald = {
+            let frame = Frame::new(batch.columns(), batch.selection(), batch.len());
+            self.kernels
+                .iter()
+                .map(|k| eval_kernel(k, &frame, None).map(|v| v.into_column(batch.len())))
+                .collect::<std::result::Result<Vec<_>, _>>()
+        };
+        match evald {
+            Ok(cols) => {
+                out.push(BatchOut::Batch(batch.with_columns(cols)));
+                Ok(())
+            }
+            Err(e) => {
+                let (prefix, rest) = batch.split_at(e.row);
+                self.process_batch(port, &prefix, out)?;
+                process_row_fallback(self, port, &rest, 0, out)?;
+                self.process_batch(port, &rest.slice(1, rest.len()), out)
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -183,6 +283,16 @@ impl Operator for UnionAll {
                 }
             }
         }
+        Ok(())
+    }
+
+    fn process_batch(
+        &mut self,
+        _port: usize,
+        batch: &ChangeBatch,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        out.push(BatchOut::Batch(batch.clone()));
         Ok(())
     }
 

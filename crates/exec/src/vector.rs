@@ -1,0 +1,65 @@
+//! Shared helpers for the vectorized (batch-at-a-time) operator path.
+//!
+//! The batch path must be *byte-identical* to feeding the same changes one
+//! at a time (the row oracle). Two mechanisms make that hold:
+//!
+//! 1. **Row-wise fallback** ([`process_batch_rowwise`]): replays a batch
+//!    through [`Operator::process`] row by row, stamping each output with
+//!    that row's ptime lane. Since per-row processing in row order *is* the
+//!    oracle, any operator without a batch override stays exact for free.
+//!
+//! 2. **Split-and-repair** (used by the kernel-backed overrides in
+//!    `simple.rs`/`window.rs`/`aggregate.rs`): column kernels may discover a
+//!    row error in a different cross-row order than the oracle would. When a
+//!    kernel reports an error at row `k`, the operator re-runs rows `[0, k)`
+//!    vectorized (recursively), row `k` through the per-row oracle — which
+//!    either reproduces the oracle's exact error or, if the oracle actually
+//!    succeeds on that row (the kernel merely *found* a different failing
+//!    row first… impossible for row `k` itself, but cheap to handle), keeps
+//!    going with the suffix. This loop converges to the oracle's first
+//!    failing row and its exact error message.
+//!
+//! Error contract for `process_batch` (all implementations): when it returns
+//! `Err`, `out` contains exactly the outputs attributable to rows *before*
+//! the failing row — the failing row contributes nothing, matching the
+//! oracle, which drops a failing event's outputs entirely.
+
+use onesql_tvr::{BatchOut, ChangeBatch, Element};
+use onesql_types::Result;
+
+use crate::operator::Operator;
+
+/// Replay `batch` through `op.process` one row at a time (the oracle),
+/// wrapping each row's outputs as [`BatchOut::Rows`] stamped with that row's
+/// ptime lane.
+pub fn process_batch_rowwise<O: Operator + ?Sized>(
+    op: &mut O,
+    port: usize,
+    batch: &ChangeBatch,
+    out: &mut Vec<BatchOut>,
+) -> Result<()> {
+    for i in 0..batch.len() {
+        process_row_fallback(op, port, batch, i, out)?;
+    }
+    Ok(())
+}
+
+/// Process logical row `i` of `batch` through the per-row oracle.
+///
+/// On error the row's partial outputs are discarded (the oracle does not
+/// record a failing event's outputs) and the error propagates.
+pub fn process_row_fallback<O: Operator + ?Sized>(
+    op: &mut O,
+    port: usize,
+    batch: &ChangeBatch,
+    i: usize,
+    out: &mut Vec<BatchOut>,
+) -> Result<()> {
+    let ts = batch.ptime(i);
+    let mut tmp = Vec::new();
+    op.process(port, Element::Data(batch.change(i)), ts, &mut tmp)?;
+    if !tmp.is_empty() {
+        out.push(BatchOut::Rows(ts, tmp));
+    }
+    Ok(())
+}

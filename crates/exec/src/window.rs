@@ -8,10 +8,11 @@
 //! over TVRs.
 
 use onesql_plan::WindowKind;
-use onesql_tvr::{Change, Element};
-use onesql_types::{Duration, Error, Result, Ts, Value};
+use onesql_tvr::{BatchOut, Change, ChangeBatch, Element};
+use onesql_types::{Column, ColumnData, Duration, Error, Result, Ts, Value};
 
 use crate::operator::Operator;
+use crate::vector::{process_batch_rowwise, process_row_fallback};
 
 /// Assign the single tumbling window containing `ts`.
 ///
@@ -71,6 +72,36 @@ impl Window {
             WindowKind::Session { gap } => vec![(ts, ts + gap)],
         })
     }
+
+    /// Build the expanded output batch: source columns gathered per
+    /// assignment (`idx[j]` = source logical row of output row `j`) plus the
+    /// appended `wstart`/`wend` columns. Lanes are gathered the same way so
+    /// per-output-row diffs/ptimes match the row oracle exactly.
+    fn emit_expanded(
+        &self,
+        batch: &ChangeBatch,
+        idx: &[u32],
+        wstarts: Vec<Ts>,
+        wends: Vec<Ts>,
+        out: &mut Vec<BatchOut>,
+    ) {
+        if idx.is_empty() {
+            return;
+        }
+        let phys: Vec<u32> = idx.iter().map(|&i| batch.phys(i as usize) as u32).collect();
+        let mut cols: Vec<Column> = batch.columns().iter().map(|c| c.gather(&phys)).collect();
+        cols.push(Column::new(ColumnData::Ts {
+            vals: wstarts,
+            nulls: None,
+        }));
+        cols.push(Column::new(ColumnData::Ts {
+            vals: wends,
+            nulls: None,
+        }));
+        let diffs: Vec<i64> = idx.iter().map(|&i| batch.diff(i as usize)).collect();
+        let ptimes: Vec<Ts> = idx.iter().map(|&i| batch.ptime(i as usize)).collect();
+        out.push(BatchOut::Batch(ChangeBatch::new_dense(cols, diffs, ptimes)));
+    }
 }
 
 impl Operator for Window {
@@ -107,6 +138,48 @@ impl Operator for Window {
             // row ends strictly after its timestamp, so wend > wm too.
             wm @ Element::Watermark(_) => out.push(wm),
         }
+        Ok(())
+    }
+
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: &ChangeBatch,
+        out: &mut Vec<BatchOut>,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.time_col >= batch.arity() {
+            // Out-of-range time column: the row oracle reproduces the exact
+            // `Row::value` error at the first row.
+            return process_batch_rowwise(self, port, batch, out);
+        }
+        // Expand assignments with a sequential scan; `idx` maps each output
+        // row back to its source logical row.
+        let n = batch.len();
+        let mut idx: Vec<u32> = Vec::with_capacity(n);
+        let mut wstarts: Vec<Ts> = Vec::with_capacity(n);
+        let mut wends: Vec<Ts> = Vec::with_capacity(n);
+        for i in 0..n {
+            let ts = match batch.value(i, self.time_col) {
+                Value::Ts(t) => t,
+                _ => {
+                    // Flush the clean prefix, surface the exact per-row error
+                    // for row `i`, and (if it somehow succeeds) resume with
+                    // the suffix.
+                    self.emit_expanded(batch, &idx, wstarts, wends, out);
+                    process_row_fallback(self, port, batch, i, out)?;
+                    return self.process_batch(port, &batch.slice(i + 1, n), out);
+                }
+            };
+            for (ws, we) in self.assign(ts)? {
+                idx.push(i as u32);
+                wstarts.push(ws);
+                wends.push(we);
+            }
+        }
+        self.emit_expanded(batch, &idx, wstarts, wends, out);
         Ok(())
     }
 

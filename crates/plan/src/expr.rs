@@ -247,7 +247,11 @@ impl ScalarExpr {
         }
     }
 
-    fn eval_binary(left: Value, op: BinOp, right: impl FnOnce() -> Result<Value>) -> Result<Value> {
+    pub(crate) fn eval_binary(
+        left: Value,
+        op: BinOp,
+        right: impl FnOnce() -> Result<Value>,
+    ) -> Result<Value> {
         use BinOp::*;
         // Short-circuiting three-valued AND/OR.
         match op {
@@ -573,7 +577,7 @@ impl ScalarExpr {
     }
 }
 
-fn three_valued(b: Option<bool>) -> Value {
+pub(crate) fn three_valued(b: Option<bool>) -> Value {
     match b {
         Some(b) => Value::Bool(b),
         None => Value::Null,
@@ -581,7 +585,7 @@ fn three_valued(b: Option<bool>) -> Value {
 }
 
 /// SQL `LIKE` matching with `%` (any run) and `_` (any single char).
-fn like_match(text: &str, pattern: &str) -> bool {
+pub(crate) fn like_match(text: &str, pattern: &str) -> bool {
     fn inner(t: &[char], p: &[char]) -> bool {
         match p.first() {
             None => t.is_empty(),
@@ -595,7 +599,7 @@ fn like_match(text: &str, pattern: &str) -> bool {
     inner(&t, &p)
 }
 
-fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
+pub(crate) fn eval_scalar_fn(func: ScalarFunc, args: &[Value]) -> Result<Value> {
     let arity_err = |want: &str| {
         Err(Error::exec(format!(
             "{} expects {want} argument(s), got {}",

@@ -1,0 +1,838 @@
+//! Vectorized expression kernels.
+//!
+//! [`compile`] lowers a [`ScalarExpr`] to a [`Kernel`] tree that evaluates
+//! against whole columns ([`Frame`]) instead of one [`Row`] at a time. The
+//! evaluator is **exactly equivalent** to [`ScalarExpr::eval`] in the
+//! following sense, which the batch executor relies on for byte-identical
+//! changelogs:
+//!
+//! - It evaluates exactly the `(sub-expression, row)` pairs the row oracle
+//!   evaluates. Short-circuit semantics (`AND`/`OR` right operands, `CASE`
+//!   branches) are threaded through evaluation as *masks*: a sub-kernel only
+//!   runs — and may only error — on rows where the oracle would have run it.
+//! - Per-row combine steps reuse the oracle's own code
+//!   (`ScalarExpr::eval_binary`, `eval_scalar_fn`, `like_match`), so
+//!   result values and error messages are the oracle's verbatim.
+//! - When a kernel reports a [`KernelError`] at row `k`, the oracle is
+//!   guaranteed to error on row `k` too (though possibly on a *different*,
+//!   earlier row of the batch first). The executor repairs this by splitting
+//!   the batch at `k`, re-running the prefix vectorized and row `k` through
+//!   the oracle, which converges to the oracle's first failing row and its
+//!   exact error (see `crates/exec/src/vector.rs`).
+//!
+//! `IN` lists with non-literal candidates are the one construct whose
+//! per-row candidate short-circuiting cannot be masked column-wise (a match
+//! on candidate `i` must suppress an error in candidate `i+1`); those
+//! compile to [`Kernel::RowOracle`], which simply materializes each row and
+//! calls the oracle — exact by definition, at scalar speed.
+
+use onesql_types::{Column, ColumnData, DataType, Error, Row, Ts, Value};
+
+use crate::expr::{eval_scalar_fn, like_match, BinOp, ScalarExpr, ScalarFunc};
+
+/// A compiled column-at-a-time evaluator for one [`ScalarExpr`].
+#[derive(Clone, Debug)]
+pub enum Kernel {
+    /// Input column by index.
+    Col(usize),
+    /// A constant (broadcast scalar).
+    Lit(Value),
+    /// Three-valued `NOT`.
+    Not(Box<Kernel>),
+    /// Numeric negation.
+    Neg(Box<Kernel>),
+    /// Binary operation; `AND`/`OR` mask their right operand.
+    Binary {
+        /// Left operand.
+        left: Box<Kernel>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Kernel>,
+    },
+    /// `IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        input: Box<Kernel>,
+        /// Negated form?
+        negated: bool,
+    },
+    /// `e [NOT] IN (lit, ..)` — all candidates are literals.
+    InListLit {
+        /// Tested expression.
+        input: Box<Kernel>,
+        /// Literal candidates.
+        list: Vec<Value>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `e [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        input: Box<Kernel>,
+        /// Pattern expression.
+        pattern: Box<Kernel>,
+        /// `NOT LIKE`?
+        negated: bool,
+    },
+    /// Searched `CASE` with progressive branch masking.
+    Case {
+        /// `(condition, result)` branches.
+        branches: Vec<(Kernel, Kernel)>,
+        /// `ELSE` result.
+        else_expr: Option<Box<Kernel>>,
+    },
+    /// `CAST(e AS t)`.
+    Cast {
+        /// Operand.
+        input: Box<Kernel>,
+        /// Target type.
+        to: DataType,
+    },
+    /// Built-in scalar function.
+    Fn {
+        /// Which function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<Kernel>,
+    },
+    /// Exact per-row fallback: materialize the row, call the oracle.
+    RowOracle(ScalarExpr),
+}
+
+/// Compile an expression to a kernel tree.
+pub fn compile(expr: &ScalarExpr) -> Kernel {
+    match expr {
+        ScalarExpr::Column(i) => Kernel::Col(*i),
+        ScalarExpr::Literal(v) => Kernel::Lit(v.clone()),
+        ScalarExpr::Not(e) => Kernel::Not(Box::new(compile(e))),
+        ScalarExpr::Neg(e) => Kernel::Neg(Box::new(compile(e))),
+        ScalarExpr::Binary { left, op, right } => Kernel::Binary {
+            left: Box::new(compile(left)),
+            op: *op,
+            right: Box::new(compile(right)),
+        },
+        ScalarExpr::IsNull { expr, negated } => Kernel::IsNull {
+            input: Box::new(compile(expr)),
+            negated: *negated,
+        },
+        ScalarExpr::InList {
+            expr: inner,
+            list,
+            negated,
+        } => {
+            let lits: Option<Vec<Value>> = list
+                .iter()
+                .map(|c| match c {
+                    ScalarExpr::Literal(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            match lits {
+                Some(list) => Kernel::InListLit {
+                    input: Box::new(compile(inner)),
+                    list,
+                    negated: *negated,
+                },
+                // Candidate evaluation short-circuits per row; stay exact by
+                // deferring to the oracle.
+                None => Kernel::RowOracle(expr.clone()),
+            }
+        }
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Kernel::Like {
+            input: Box::new(compile(expr)),
+            pattern: Box::new(compile(pattern)),
+            negated: *negated,
+        },
+        ScalarExpr::Case {
+            branches,
+            else_expr,
+        } => Kernel::Case {
+            branches: branches
+                .iter()
+                .map(|(c, r)| (compile(c), compile(r)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(compile(e))),
+        },
+        ScalarExpr::Cast { expr, to } => Kernel::Cast {
+            input: Box::new(compile(expr)),
+            to: *to,
+        },
+        ScalarExpr::ScalarFn { func, args } => Kernel::Fn {
+            func: *func,
+            args: args.iter().map(compile).collect(),
+        },
+    }
+}
+
+/// A view over the columns of a batch for kernel evaluation.
+///
+/// `sel` maps logical row indices (`0..len`) to physical rows of `cols`;
+/// `None` means the identity.
+#[derive(Clone, Copy)]
+pub struct Frame<'a> {
+    /// Physical columns.
+    pub cols: &'a [Column],
+    /// Selection vector (logical → physical), if any.
+    pub sel: Option<&'a [u32]>,
+    /// Logical row count.
+    pub len: usize,
+}
+
+impl<'a> Frame<'a> {
+    /// Build a frame over `len` logical rows. `len` must be passed
+    /// explicitly because zero-arity frames (e.g. `SELECT 1` inputs) still
+    /// have rows.
+    pub fn new(cols: &'a [Column], sel: Option<&'a [u32]>, len: usize) -> Frame<'a> {
+        debug_assert!(sel.is_none_or(|s| s.len() == len));
+        Frame { cols, sel, len }
+    }
+
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        match self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Materialize logical row `i` (used by [`Kernel::RowOracle`] and error
+    /// repair).
+    pub fn row(&self, i: usize) -> Row {
+        let p = self.phys(i);
+        Row::new(self.cols.iter().map(|c| c.value(p)).collect())
+    }
+}
+
+/// A kernel evaluation error, pinned to the (logical) row that raised it.
+///
+/// The oracle is guaranteed to error at this row too; `error` is the
+/// oracle's message for the sub-expression that failed here (not necessarily
+/// the error the oracle reports first for the whole batch — the executor's
+/// split-and-repair loop recovers that).
+#[derive(Debug)]
+pub struct KernelError {
+    /// Logical row index the error occurred at.
+    pub row: usize,
+    /// The underlying evaluation error.
+    pub error: Error,
+}
+
+type KResult<T> = std::result::Result<T, KernelError>;
+
+/// The result of evaluating a kernel: a broadcast scalar or a dense column
+/// of `frame.len` values (logical order).
+#[derive(Clone, Debug)]
+pub enum Vector {
+    /// Same value for every row.
+    Scalar(Value),
+    /// One value per logical row.
+    Col(Column),
+}
+
+impl Vector {
+    /// The value at logical row `i`.
+    #[inline]
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            Vector::Scalar(v) => v.clone(),
+            Vector::Col(c) => c.value(i),
+        }
+    }
+
+    /// Materialize as a dense column of `len` rows.
+    pub fn into_column(self, len: usize) -> Column {
+        match self {
+            Vector::Scalar(v) => Column::repeat(&v, len),
+            Vector::Col(c) => c,
+        }
+    }
+}
+
+#[inline]
+fn live(mask: Option<&[bool]>, i: usize) -> bool {
+    mask.is_none_or(|m| m[i])
+}
+
+fn any_live(mask: Option<&[bool]>, len: usize) -> bool {
+    match mask {
+        None => len > 0,
+        Some(m) => m.iter().any(|&b| b),
+    }
+}
+
+/// Evaluate `kernel` over `frame`, restricted to rows where `mask` is true
+/// (`None` = all rows). Values at dead rows are unspecified and must not be
+/// observed.
+pub fn eval(kernel: &Kernel, frame: &Frame<'_>, mask: Option<&[bool]>) -> KResult<Vector> {
+    if !any_live(mask, frame.len) {
+        return Ok(Vector::Scalar(Value::Null));
+    }
+    match kernel {
+        Kernel::Lit(v) => Ok(Vector::Scalar(v.clone())),
+        Kernel::Col(idx) => {
+            if *idx >= frame.cols.len() {
+                // Arity is uniform across the batch: the oracle errors on
+                // the first live row. Reproduce its exact message.
+                let first = (0..frame.len).find(|&i| live(mask, i)).unwrap();
+                let error = frame.row(first).value(*idx).unwrap_err();
+                return Err(KernelError { row: first, error });
+            }
+            let col = &frame.cols[*idx];
+            Ok(Vector::Col(match frame.sel {
+                None => col.clone(),
+                Some(sel) => col.gather(sel),
+            }))
+        }
+        Kernel::Not(input) => {
+            let v = eval(input, frame, mask)?;
+            // Fast path: boolean column without nulls.
+            if mask.is_none() {
+                if let Vector::Col(c) = &v {
+                    if let ColumnData::Bool { vals, nulls: None } = c.data() {
+                        let flipped: Vec<bool> = vals.iter().map(|b| !b).collect();
+                        return Ok(Vector::Col(Column::new(ColumnData::Bool {
+                            vals: flipped,
+                            nulls: None,
+                        })));
+                    }
+                }
+            }
+            per_row(frame.len, mask, |i| match v.value_at(i) {
+                Value::Null => Ok(Value::Null),
+                x => Ok(Value::Bool(!x.as_bool()?)),
+            })
+        }
+        Kernel::Neg(input) => {
+            let v = eval(input, frame, mask)?;
+            per_row(frame.len, mask, |i| v.value_at(i).neg())
+        }
+        Kernel::Binary { left, op, right } => eval_binary_kernel(left, *op, right, frame, mask),
+        Kernel::IsNull { input, negated } => {
+            let v = eval(input, frame, mask)?;
+            per_row(frame.len, mask, |i| {
+                Ok(Value::Bool(v.value_at(i).is_null() != *negated))
+            })
+        }
+        Kernel::InListLit {
+            input,
+            list,
+            negated,
+        } => {
+            let v = eval(input, frame, mask)?;
+            per_row(frame.len, mask, |i| {
+                let x = v.value_at(i);
+                if x.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for c in list {
+                    match x.sql_eq(c) {
+                        Some(true) => return Ok(Value::Bool(!negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                })
+            })
+        }
+        Kernel::Like {
+            input,
+            pattern,
+            negated,
+        } => {
+            let v = eval(input, frame, mask)?;
+            let p = eval(pattern, frame, mask)?;
+            per_row(frame.len, mask, |i| {
+                let x = v.value_at(i);
+                let pat = p.value_at(i);
+                if x.is_null() || pat.is_null() {
+                    return Ok(Value::Null);
+                }
+                let matched = like_match(x.as_str()?, pat.as_str()?);
+                Ok(Value::Bool(matched != *negated))
+            })
+        }
+        Kernel::Case {
+            branches,
+            else_expr,
+        } => {
+            let len = frame.len;
+            let mut result: Vec<Value> = vec![Value::Null; len];
+            let mut cur: Vec<bool> = (0..len).map(|i| live(mask, i)).collect();
+            for (cond, res) in branches {
+                if !cur.iter().any(|&b| b) {
+                    break;
+                }
+                let c = eval(cond, frame, Some(&cur))?;
+                let mut hit = vec![false; len];
+                let mut any_hit = false;
+                for i in 0..len {
+                    if cur[i] && c.value_at(i) == Value::Bool(true) {
+                        hit[i] = true;
+                        any_hit = true;
+                    }
+                }
+                if any_hit {
+                    let r = eval(res, frame, Some(&hit))?;
+                    for i in 0..len {
+                        if hit[i] {
+                            result[i] = r.value_at(i);
+                            cur[i] = false;
+                        }
+                    }
+                }
+            }
+            if let Some(e) = else_expr {
+                if cur.iter().any(|&b| b) {
+                    let r = eval(e, frame, Some(&cur))?;
+                    for i in 0..len {
+                        if cur[i] {
+                            result[i] = r.value_at(i);
+                        }
+                    }
+                }
+            }
+            Ok(Vector::Col(Column::from_values(result)))
+        }
+        Kernel::Cast { input, to } => {
+            let v = eval(input, frame, mask)?;
+            per_row(frame.len, mask, |i| v.value_at(i).cast(*to))
+        }
+        Kernel::Fn { func, args } => {
+            let arg_vecs: Vec<Vector> = args
+                .iter()
+                .map(|a| eval(a, frame, mask))
+                .collect::<KResult<_>>()?;
+            per_row(frame.len, mask, |i| {
+                let vals: Vec<Value> = arg_vecs.iter().map(|v| v.value_at(i)).collect();
+                eval_scalar_fn(*func, &vals)
+            })
+        }
+        Kernel::RowOracle(expr) => per_row(frame.len, mask, |i| expr.eval(&frame.row(i))),
+    }
+}
+
+/// Generic per-row evaluation: run `f` on live rows, `Null` elsewhere.
+fn per_row(
+    len: usize,
+    mask: Option<&[bool]>,
+    mut f: impl FnMut(usize) -> onesql_types::Result<Value>,
+) -> KResult<Vector> {
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        if live(mask, i) {
+            out.push(f(i).map_err(|error| KernelError { row: i, error })?);
+        } else {
+            out.push(Value::Null);
+        }
+    }
+    Ok(Vector::Col(Column::from_values(out)))
+}
+
+/// Typed operand views for the comparison/arithmetic fast paths.
+enum Operand<'a> {
+    IntCol(&'a [i64]),
+    IntLit(i64),
+    FloatCol(&'a [f64]),
+    FloatLit(f64),
+    TsCol(&'a [Ts]),
+    TsLit(Ts),
+    StrCol(&'a [std::sync::Arc<str>]),
+    StrLit(&'a str),
+}
+
+impl Operand<'_> {
+    fn of(v: &Vector) -> Option<Operand<'_>> {
+        match v {
+            Vector::Scalar(Value::Int(x)) => Some(Operand::IntLit(*x)),
+            Vector::Scalar(Value::Float(x)) => Some(Operand::FloatLit(*x)),
+            Vector::Scalar(Value::Ts(x)) => Some(Operand::TsLit(*x)),
+            Vector::Scalar(Value::Str(s)) => Some(Operand::StrLit(s.as_ref())),
+            Vector::Scalar(_) => None,
+            Vector::Col(c) => match c.data() {
+                ColumnData::Int { vals, nulls: None } => Some(Operand::IntCol(vals)),
+                ColumnData::Float { vals, nulls: None } => Some(Operand::FloatCol(vals)),
+                ColumnData::Ts { vals, nulls: None } => Some(Operand::TsCol(vals)),
+                ColumnData::Str { vals, nulls: None } => Some(Operand::StrCol(vals)),
+                _ => None,
+            },
+        }
+    }
+
+    #[inline]
+    fn int_at(&self, i: usize) -> Option<i64> {
+        match self {
+            Operand::IntCol(v) => Some(v[i]),
+            Operand::IntLit(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn float_at(&self, i: usize) -> f64 {
+        match self {
+            Operand::IntCol(v) => v[i] as f64,
+            Operand::IntLit(x) => *x as f64,
+            Operand::FloatCol(v) => v[i],
+            Operand::FloatLit(x) => *x,
+            _ => unreachable!("numeric operand expected"),
+        }
+    }
+
+    fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            Operand::IntCol(_) | Operand::IntLit(_) | Operand::FloatCol(_) | Operand::FloatLit(_)
+        )
+    }
+
+    fn is_int(&self) -> bool {
+        matches!(self, Operand::IntCol(_) | Operand::IntLit(_))
+    }
+}
+
+fn eval_binary_kernel(
+    left: &Kernel,
+    op: BinOp,
+    right: &Kernel,
+    frame: &Frame<'_>,
+    mask: Option<&[bool]>,
+) -> KResult<Vector> {
+    let len = frame.len;
+    // AND/OR: the right operand only runs where the left has not already
+    // decided the result — identical to the oracle's short-circuit.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = eval(left, frame, mask)?;
+        let stop = Value::Bool(matches!(op, BinOp::Or));
+        let rmask: Vec<bool> = (0..len)
+            .map(|i| live(mask, i) && l.value_at(i) != stop)
+            .collect();
+        let r = eval(right, frame, Some(&rmask))?;
+        // Fast path: both sides boolean columns without nulls.
+        if mask.is_none() {
+            if let (Vector::Col(lc), Vector::Col(rc)) = (&l, &r) {
+                if let (
+                    ColumnData::Bool {
+                        vals: lv,
+                        nulls: None,
+                    },
+                    ColumnData::Bool {
+                        vals: rv,
+                        nulls: None,
+                    },
+                ) = (lc.data(), rc.data())
+                {
+                    let vals: Vec<bool> = match op {
+                        BinOp::And => lv.iter().zip(rv).map(|(a, b)| *a && *b).collect(),
+                        _ => lv.iter().zip(rv).map(|(a, b)| *a || *b).collect(),
+                    };
+                    return Ok(Vector::Col(Column::new(ColumnData::Bool {
+                        vals,
+                        nulls: None,
+                    })));
+                }
+            }
+        }
+        return per_row(len, mask, |i| {
+            ScalarExpr::eval_binary(l.value_at(i), op, || Ok(r.value_at(i)))
+        });
+    }
+
+    let l = eval(left, frame, mask)?;
+    let r = eval(right, frame, mask)?;
+
+    if let (Some(a), Some(b)) = (Operand::of(&l), Operand::of(&r)) {
+        use BinOp::*;
+        let comparable = (a.is_numeric() && b.is_numeric())
+            || matches!(
+                (&a, &b),
+                (
+                    Operand::TsCol(_) | Operand::TsLit(_),
+                    Operand::TsCol(_) | Operand::TsLit(_)
+                )
+            )
+            || matches!(
+                (&a, &b),
+                (
+                    Operand::StrCol(_) | Operand::StrLit(_),
+                    Operand::StrCol(_) | Operand::StrLit(_)
+                )
+            );
+        match op {
+            Eq | NotEq | Lt | LtEq | Gt | GtEq if comparable => {
+                let mut vals = vec![false; len];
+                for (i, slot) in vals.iter_mut().enumerate() {
+                    if !live(mask, i) {
+                        continue;
+                    }
+                    // Mirrors Value::coerced_cmp: int/int exact, any float
+                    // coerces to IEEE total order, ts and str use Ord.
+                    let ord = match (a.int_at(i), b.int_at(i)) {
+                        (Some(x), Some(y)) => x.cmp(&y),
+                        _ if a.is_numeric() => a.float_at(i).total_cmp(&b.float_at(i)),
+                        _ => match (&a, &b) {
+                            (Operand::TsCol(v), Operand::TsCol(w)) => v[i].cmp(&w[i]),
+                            (Operand::TsCol(v), Operand::TsLit(y)) => v[i].cmp(y),
+                            (Operand::TsLit(x), Operand::TsCol(w)) => x.cmp(&w[i]),
+                            (Operand::TsLit(x), Operand::TsLit(y)) => x.cmp(y),
+                            (Operand::StrCol(v), Operand::StrCol(w)) => {
+                                v[i].as_ref().cmp(w[i].as_ref())
+                            }
+                            (Operand::StrCol(v), Operand::StrLit(y)) => v[i].as_ref().cmp(y),
+                            (Operand::StrLit(x), Operand::StrCol(w)) => (*x).cmp(w[i].as_ref()),
+                            (Operand::StrLit(x), Operand::StrLit(y)) => (*x).cmp(y),
+                            _ => unreachable!(),
+                        },
+                    };
+                    *slot = match op {
+                        Eq => ord.is_eq(),
+                        NotEq => ord.is_ne(),
+                        Lt => ord.is_lt(),
+                        LtEq => ord.is_le(),
+                        Gt => ord.is_gt(),
+                        _ => ord.is_ge(),
+                    };
+                }
+                return Ok(Vector::Col(Column::new(ColumnData::Bool {
+                    vals,
+                    nulls: None,
+                })));
+            }
+            Plus | Minus | Mul | Div | Mod if a.is_int() && b.is_int() => {
+                let mut vals = vec![0i64; len];
+                for (i, slot) in vals.iter_mut().enumerate() {
+                    if !live(mask, i) {
+                        continue;
+                    }
+                    let (x, y) = (a.int_at(i).unwrap(), b.int_at(i).unwrap());
+                    let checked = match op {
+                        Plus => x.checked_add(y),
+                        Minus => x.checked_sub(y),
+                        Mul => x.checked_mul(y),
+                        Div if y != 0 => Some(x / y),
+                        Mod if y != 0 => Some(x % y),
+                        _ => None,
+                    };
+                    match checked {
+                        Some(v) => *slot = v,
+                        // Overflow or division by zero: the oracle's own
+                        // arithmetic produces the exact error.
+                        None => {
+                            let error =
+                                ScalarExpr::eval_binary(Value::Int(x), op, || Ok(Value::Int(y)))
+                                    .unwrap_err();
+                            return Err(KernelError { row: i, error });
+                        }
+                    }
+                }
+                return Ok(Vector::Col(Column::new(ColumnData::Int {
+                    vals,
+                    nulls: None,
+                })));
+            }
+            Plus | Minus | Mul | Div if a.is_numeric() && b.is_numeric() => {
+                // At least one float side: coerces to DOUBLE, never errors.
+                let mut vals = vec![0f64; len];
+                for (i, slot) in vals.iter_mut().enumerate() {
+                    if !live(mask, i) {
+                        continue;
+                    }
+                    let (x, y) = (a.float_at(i), b.float_at(i));
+                    *slot = match op {
+                        Plus => x + y,
+                        Minus => x - y,
+                        Mul => x * y,
+                        _ => x / y,
+                    };
+                }
+                return Ok(Vector::Col(Column::new(ColumnData::Float {
+                    vals,
+                    nulls: None,
+                })));
+            }
+            _ => {}
+        }
+    }
+
+    per_row(len, mask, |i| {
+        ScalarExpr::eval_binary(l.value_at(i), op, || Ok(r.value_at(i)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesql_types::row;
+
+    fn frame_cols(rows: &[Row]) -> Vec<Column> {
+        let arity = rows[0].arity();
+        (0..arity)
+            .map(|c| Column::from_values(rows.iter().map(|r| r.values()[c].clone()).collect()))
+            .collect()
+    }
+
+    /// Oracle-equivalence harness for clean (non-erroring) expressions.
+    fn check(expr: &ScalarExpr, rows: &[Row]) {
+        let cols = frame_cols(rows);
+        let frame = Frame::new(&cols, None, rows.len());
+        let kernel = compile(expr);
+        let v = eval(&kernel, &frame, None).expect("kernel eval");
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(v.value_at(i), expr.eval(r).unwrap(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn comparisons_match_oracle() {
+        let rows = vec![row!(1i64, 2.5f64), row!(-3i64, 0.0f64), row!(5i64, 5.0f64)];
+        for op in [
+            BinOp::Eq,
+            BinOp::NotEq,
+            BinOp::Lt,
+            BinOp::LtEq,
+            BinOp::Gt,
+            BinOp::GtEq,
+        ] {
+            check(
+                &ScalarExpr::binary(ScalarExpr::Column(0), op, ScalarExpr::Column(1)),
+                &rows,
+            );
+            check(
+                &ScalarExpr::binary(ScalarExpr::Column(0), op, ScalarExpr::lit(1i64)),
+                &rows,
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_oracle() {
+        let rows = vec![row!(6i64, 3i64), row!(-7i64, 2i64), row!(0i64, 5i64)];
+        for op in [
+            BinOp::Plus,
+            BinOp::Minus,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+        ] {
+            check(
+                &ScalarExpr::binary(ScalarExpr::Column(0), op, ScalarExpr::Column(1)),
+                &rows,
+            );
+        }
+    }
+
+    #[test]
+    fn short_circuit_suppresses_rhs_errors() {
+        // col0 > 0 AND (1 / col0) > 0 — division by zero on rows where the
+        // left side is false must not error, exactly like the oracle.
+        let rows = vec![row!(2i64), row!(0i64), row!(-1i64)];
+        let div = ScalarExpr::binary(ScalarExpr::lit(1i64), BinOp::Div, ScalarExpr::Column(0));
+        let expr = ScalarExpr::binary(
+            ScalarExpr::binary(ScalarExpr::Column(0), BinOp::Gt, ScalarExpr::lit(0i64)),
+            BinOp::And,
+            ScalarExpr::binary(div, BinOp::Gt, ScalarExpr::lit(0i64)),
+        );
+        check(&expr, &rows);
+    }
+
+    #[test]
+    fn kernel_error_is_oracle_error_at_that_row() {
+        let rows = vec![row!(4i64), row!(0i64), row!(1i64)];
+        let expr = ScalarExpr::binary(ScalarExpr::lit(8i64), BinOp::Div, ScalarExpr::Column(0));
+        let cols = frame_cols(&rows);
+        let frame = Frame::new(&cols, None, rows.len());
+        let err = eval(&compile(&expr), &frame, None).unwrap_err();
+        assert_eq!(err.row, 1);
+        let oracle = expr.eval(&rows[1]).unwrap_err();
+        assert_eq!(err.error.to_string(), oracle.to_string());
+    }
+
+    #[test]
+    fn case_masks_branches() {
+        // CASE WHEN col0 = 0 THEN -1 ELSE 10 / col0 END
+        let rows = vec![row!(0i64), row!(2i64), row!(0i64), row!(5i64)];
+        let expr = ScalarExpr::Case {
+            branches: vec![(
+                ScalarExpr::binary(ScalarExpr::Column(0), BinOp::Eq, ScalarExpr::lit(0i64)),
+                ScalarExpr::lit(-1i64),
+            )],
+            else_expr: Some(Box::new(ScalarExpr::binary(
+                ScalarExpr::lit(10i64),
+                BinOp::Div,
+                ScalarExpr::Column(0),
+            ))),
+        };
+        check(&expr, &rows);
+    }
+
+    #[test]
+    fn in_list_with_expr_candidates_falls_back() {
+        let expr = ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::Column(0)),
+            list: vec![ScalarExpr::Column(0)],
+            negated: false,
+        };
+        assert!(matches!(compile(&expr), Kernel::RowOracle(_)));
+        check(&expr, &[row!(1i64), row!(7i64)]);
+    }
+
+    #[test]
+    fn strings_like_and_functions() {
+        let rows = vec![row!("apple"), row!("banana"), row!("avocado")];
+        check(
+            &ScalarExpr::Like {
+                expr: Box::new(ScalarExpr::Column(0)),
+                pattern: Box::new(ScalarExpr::lit(Value::str("a%"))),
+                negated: false,
+            },
+            &rows,
+        );
+        check(
+            &ScalarExpr::ScalarFn {
+                func: ScalarFunc::Upper,
+                args: vec![ScalarExpr::Column(0)],
+            },
+            &rows,
+        );
+        check(
+            &ScalarExpr::binary(
+                ScalarExpr::Column(0),
+                BinOp::Eq,
+                ScalarExpr::lit(Value::str("banana")),
+            ),
+            &rows,
+        );
+    }
+
+    #[test]
+    fn nulls_propagate() {
+        let rows = vec![row!(1i64), Row::new(vec![Value::Null]), row!(3i64)];
+        check(
+            &ScalarExpr::binary(ScalarExpr::Column(0), BinOp::Gt, ScalarExpr::lit(2i64)),
+            &rows,
+        );
+        check(
+            &ScalarExpr::IsNull {
+                expr: Box::new(ScalarExpr::Column(0)),
+                negated: false,
+            },
+            &rows,
+        );
+        check(
+            &ScalarExpr::Not(Box::new(ScalarExpr::IsNull {
+                expr: Box::new(ScalarExpr::Column(0)),
+                negated: true,
+            })),
+            &rows,
+        );
+    }
+}

@@ -18,6 +18,7 @@
 pub mod binder;
 pub mod catalog;
 pub mod expr;
+pub mod kernel;
 pub mod optimizer;
 pub mod plan;
 pub mod statement;
@@ -25,6 +26,9 @@ pub mod statement;
 pub use binder::{bind, Binder};
 pub use catalog::{Catalog, MemoryCatalog, TableKind};
 pub use expr::{AggCall, AggFunc, ScalarExpr};
+pub use kernel::{
+    compile as compile_kernel, eval as eval_kernel, Frame, Kernel, KernelError, Vector,
+};
 pub use optimizer::optimize;
 pub use plan::{BoundQuery, EmitSpec, JoinKind, JoinTimeBound, LogicalPlan, SortKey, WindowKind};
 pub use statement::{bind_statement, BoundStatement, ConnectorOptions, SessionKnob};

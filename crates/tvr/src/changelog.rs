@@ -47,6 +47,12 @@ impl Changelog {
         self.entries.push(TimedChange { ptime, change });
     }
 
+    /// Reserve room for at least `additional` more entries (the batch emit
+    /// path knows how many rows it is about to append).
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
     /// Append all changes from a batch at the same processing time.
     pub fn push_batch(&mut self, ptime: Ts, changes: impl IntoIterator<Item = Change>) {
         for c in changes {

@@ -22,12 +22,14 @@
 //! carries data changes interleaved with watermark punctuation.
 
 pub mod bag;
+pub mod batch;
 pub mod change;
 pub mod changelog;
 pub mod element;
 pub mod upsert;
 
 pub use bag::Bag;
+pub use batch::{BatchOut, ChangeBatch};
 pub use change::Change;
 pub use changelog::{Changelog, TimedChange};
 pub use element::Element;

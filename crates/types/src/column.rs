@@ -1,0 +1,678 @@
+//! Typed columnar storage for vectorized execution.
+//!
+//! A [`Column`] is an immutable, reference-counted vector of SQL values that
+//! stores homogeneously-typed data unboxed (`Vec<i64>`, `Vec<f64>`, …) with an
+//! optional validity mask, falling back to a boxed [`Value`] vector
+//! ([`ColumnData::Mixed`]) when a column mixes types. Columns are the unit the
+//! vectorized expression kernels operate on; rows materialize only at the
+//! source and sink boundaries (see `docs/VECTORIZED.md`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::datatype::DataType;
+use crate::temporal::{Duration, Ts};
+use crate::value::Value;
+
+/// Physical storage for one column of a batch.
+///
+/// Typed variants hold unboxed values plus an optional null mask (`None`
+/// means "no nulls"); null slots hold an arbitrary placeholder that must
+/// never be read. [`ColumnData::Mixed`] is the escape hatch for columns whose
+/// values do not share a single runtime type.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    /// 64-bit signed integers (SQL `BIGINT`).
+    Int {
+        /// Unboxed values; placeholder at null slots.
+        vals: Vec<i64>,
+        /// `true` marks a NULL slot; `None` means no nulls at all.
+        nulls: Option<Vec<bool>>,
+    },
+    /// 64-bit floats (SQL `DOUBLE`).
+    Float {
+        /// Unboxed values; placeholder at null slots.
+        vals: Vec<f64>,
+        /// `true` marks a NULL slot; `None` means no nulls at all.
+        nulls: Option<Vec<bool>>,
+    },
+    /// Booleans.
+    Bool {
+        /// Unboxed values; placeholder at null slots.
+        vals: Vec<bool>,
+        /// `true` marks a NULL slot; `None` means no nulls at all.
+        nulls: Option<Vec<bool>>,
+    },
+    /// Event/processing timestamps (SQL `TIMESTAMP`).
+    Ts {
+        /// Unboxed values; placeholder at null slots.
+        vals: Vec<Ts>,
+        /// `true` marks a NULL slot; `None` means no nulls at all.
+        nulls: Option<Vec<bool>>,
+    },
+    /// Durations (SQL `INTERVAL`).
+    Interval {
+        /// Unboxed values; placeholder at null slots.
+        vals: Vec<Duration>,
+        /// `true` marks a NULL slot; `None` means no nulls at all.
+        nulls: Option<Vec<bool>>,
+    },
+    /// Reference-counted strings (SQL `VARCHAR`).
+    Str {
+        /// Shared string values; placeholder at null slots.
+        vals: Vec<Arc<str>>,
+        /// `true` marks a NULL slot; `None` means no nulls at all.
+        nulls: Option<Vec<bool>>,
+    },
+    /// Heterogeneous fallback: one boxed [`Value`] per row.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int { vals, .. } => vals.len(),
+            ColumnData::Float { vals, .. } => vals.len(),
+            ColumnData::Bool { vals, .. } => vals.len(),
+            ColumnData::Ts { vals, .. } => vals.len(),
+            ColumnData::Interval { vals, .. } => vals.len(),
+            ColumnData::Str { vals, .. } => vals.len(),
+            ColumnData::Mixed(vals) => vals.len(),
+        }
+    }
+}
+
+/// An immutable, cheaply-cloneable column of values.
+///
+/// Cloning a `Column` is a pointer copy, so kernels can pass input columns
+/// through unchanged (e.g. a projection of a bare column reference) without
+/// copying data.
+#[derive(Clone, Debug)]
+pub struct Column(Arc<ColumnData>);
+
+impl Column {
+    /// Wrap physical storage in a column.
+    pub fn new(data: ColumnData) -> Column {
+        Column(Arc::new(data))
+    }
+
+    /// Build a column from boxed values, detecting a homogeneous type.
+    ///
+    /// If every non-null value shares one runtime type the column is stored
+    /// unboxed with a null mask; otherwise it falls back to
+    /// [`ColumnData::Mixed`]. An all-null column is stored as `Mixed`.
+    pub fn from_values(values: Vec<Value>) -> Column {
+        let tag = values
+            .iter()
+            .find(|v| !matches!(v, Value::Null))
+            .map(Value::data_type);
+        let homogeneous = match tag {
+            Some(t) => values
+                .iter()
+                .all(|v| matches!(v, Value::Null) || v.data_type() == t),
+            None => false,
+        };
+        if !homogeneous {
+            return Column::new(ColumnData::Mixed(values));
+        }
+        let mut b = ColumnBuilder::with_capacity(values.len());
+        for v in values {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    /// A column of `len` copies of `value` (scalar broadcast).
+    pub fn repeat(value: &Value, len: usize) -> Column {
+        Column::from_values(vec![value.clone(); len])
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the physical storage (used by kernels for typed fast paths).
+    pub fn data(&self) -> &ColumnData {
+        &self.0
+    }
+
+    /// Whether the value at `i` is SQL NULL.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self.data() {
+            ColumnData::Int { nulls, vals } => {
+                assert!(i < vals.len());
+                nulls.as_ref().is_some_and(|n| n[i])
+            }
+            ColumnData::Float { nulls, vals } => {
+                assert!(i < vals.len());
+                nulls.as_ref().is_some_and(|n| n[i])
+            }
+            ColumnData::Bool { nulls, vals } => {
+                assert!(i < vals.len());
+                nulls.as_ref().is_some_and(|n| n[i])
+            }
+            ColumnData::Ts { nulls, vals } => {
+                assert!(i < vals.len());
+                nulls.as_ref().is_some_and(|n| n[i])
+            }
+            ColumnData::Interval { nulls, vals } => {
+                assert!(i < vals.len());
+                nulls.as_ref().is_some_and(|n| n[i])
+            }
+            ColumnData::Str { nulls, vals } => {
+                assert!(i < vals.len());
+                nulls.as_ref().is_some_and(|n| n[i])
+            }
+            ColumnData::Mixed(vals) => matches!(vals[i], Value::Null),
+        }
+    }
+
+    /// Materialize the value at `i` as a boxed [`Value`].
+    ///
+    /// Cheap for all variants (`Str` clones an `Arc`).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn value(&self, i: usize) -> Value {
+        match self.data() {
+            ColumnData::Int { vals, nulls } => {
+                if nulls.as_ref().is_some_and(|n| n[i]) {
+                    Value::Null
+                } else {
+                    Value::Int(vals[i])
+                }
+            }
+            ColumnData::Float { vals, nulls } => {
+                if nulls.as_ref().is_some_and(|n| n[i]) {
+                    Value::Null
+                } else {
+                    Value::Float(vals[i])
+                }
+            }
+            ColumnData::Bool { vals, nulls } => {
+                if nulls.as_ref().is_some_and(|n| n[i]) {
+                    Value::Null
+                } else {
+                    Value::Bool(vals[i])
+                }
+            }
+            ColumnData::Ts { vals, nulls } => {
+                if nulls.as_ref().is_some_and(|n| n[i]) {
+                    Value::Null
+                } else {
+                    Value::Ts(vals[i])
+                }
+            }
+            ColumnData::Interval { vals, nulls } => {
+                if nulls.as_ref().is_some_and(|n| n[i]) {
+                    Value::Null
+                } else {
+                    Value::Interval(vals[i])
+                }
+            }
+            ColumnData::Str { vals, nulls } => {
+                if nulls.as_ref().is_some_and(|n| n[i]) {
+                    Value::Null
+                } else {
+                    Value::Str(vals[i].clone())
+                }
+            }
+            ColumnData::Mixed(vals) => vals[i].clone(),
+        }
+    }
+
+    /// The runtime [`DataType`] of a typed column, or `None` for `Mixed`.
+    pub fn uniform_type(&self) -> Option<DataType> {
+        match self.data() {
+            ColumnData::Int { .. } => Some(DataType::Int),
+            ColumnData::Float { .. } => Some(DataType::Float),
+            ColumnData::Bool { .. } => Some(DataType::Bool),
+            ColumnData::Ts { .. } => Some(DataType::Timestamp),
+            ColumnData::Interval { .. } => Some(DataType::Interval),
+            ColumnData::Str { .. } => Some(DataType::String),
+            ColumnData::Mixed(_) => None,
+        }
+    }
+
+    /// Whether the column contains any NULL.
+    pub fn has_nulls(&self) -> bool {
+        match self.data() {
+            ColumnData::Int { nulls, .. }
+            | ColumnData::Float { nulls, .. }
+            | ColumnData::Bool { nulls, .. }
+            | ColumnData::Ts { nulls, .. }
+            | ColumnData::Interval { nulls, .. }
+            | ColumnData::Str { nulls, .. } => nulls.is_some(),
+            ColumnData::Mixed(vals) => vals.iter().any(|v| matches!(v, Value::Null)),
+        }
+    }
+
+    /// Gather rows at the given physical indices into a new dense column.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        fn pick<T: Clone>(
+            vals: &[T],
+            nulls: &Option<Vec<bool>>,
+            indices: &[u32],
+        ) -> (Vec<T>, Option<Vec<bool>>) {
+            let out: Vec<T> = indices.iter().map(|&i| vals[i as usize].clone()).collect();
+            let n = nulls.as_ref().map(|n| {
+                indices
+                    .iter()
+                    .map(|&i| n[i as usize])
+                    .collect::<Vec<bool>>()
+            });
+            let n = n.filter(|m| m.iter().any(|&b| b));
+            (out, n)
+        }
+        let data = match self.data() {
+            ColumnData::Int { vals, nulls } => {
+                let (vals, nulls) = pick(vals, nulls, indices);
+                ColumnData::Int { vals, nulls }
+            }
+            ColumnData::Float { vals, nulls } => {
+                let (vals, nulls) = pick(vals, nulls, indices);
+                ColumnData::Float { vals, nulls }
+            }
+            ColumnData::Bool { vals, nulls } => {
+                let (vals, nulls) = pick(vals, nulls, indices);
+                ColumnData::Bool { vals, nulls }
+            }
+            ColumnData::Ts { vals, nulls } => {
+                let (vals, nulls) = pick(vals, nulls, indices);
+                ColumnData::Ts { vals, nulls }
+            }
+            ColumnData::Interval { vals, nulls } => {
+                let (vals, nulls) = pick(vals, nulls, indices);
+                ColumnData::Interval { vals, nulls }
+            }
+            ColumnData::Str { vals, nulls } => {
+                let (vals, nulls) = pick(vals, nulls, indices);
+                ColumnData::Str { vals, nulls }
+            }
+            ColumnData::Mixed(vals) => {
+                ColumnData::Mixed(indices.iter().map(|&i| vals[i as usize].clone()).collect())
+            }
+        };
+        Column::new(data)
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for i in 0..self.len() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.value(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+enum BuilderData {
+    Empty,
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+    Ts(Vec<Ts>),
+    Interval(Vec<Duration>),
+    Str(Vec<Arc<str>>),
+    Mixed(Vec<Value>),
+}
+
+/// Incremental [`Column`] builder.
+///
+/// The first non-null value fixes the column's type; later values of a
+/// different type demote the whole column to [`ColumnData::Mixed`]. Connector
+/// code that knows the schema up front can use the typed `push_*` methods to
+/// skip boxing entirely.
+pub struct ColumnBuilder {
+    data: BuilderData,
+    nulls: Vec<bool>,
+    any_null: bool,
+    /// Number of leading nulls buffered before the type is known.
+    pending_nulls: usize,
+    capacity: usize,
+}
+
+impl ColumnBuilder {
+    /// New builder with a row-count hint.
+    pub fn with_capacity(capacity: usize) -> ColumnBuilder {
+        ColumnBuilder {
+            data: BuilderData::Empty,
+            nulls: Vec::new(),
+            any_null: false,
+            pending_nulls: 0,
+            capacity,
+        }
+    }
+
+    fn note(&mut self, is_null: bool) {
+        self.nulls.push(is_null);
+        self.any_null |= is_null;
+    }
+
+    fn demote(&mut self) -> &mut Vec<Value> {
+        let mut boxed: Vec<Value> = Vec::with_capacity(self.capacity.max(self.nulls.len() + 1));
+        match std::mem::replace(&mut self.data, BuilderData::Empty) {
+            BuilderData::Empty => {
+                boxed.extend(std::iter::repeat_n(Value::Null, self.pending_nulls));
+                self.pending_nulls = 0;
+            }
+            BuilderData::Int(vals) => {
+                for (i, v) in vals.into_iter().enumerate() {
+                    boxed.push(if self.nulls[i] {
+                        Value::Null
+                    } else {
+                        Value::Int(v)
+                    });
+                }
+            }
+            BuilderData::Float(vals) => {
+                for (i, v) in vals.into_iter().enumerate() {
+                    boxed.push(if self.nulls[i] {
+                        Value::Null
+                    } else {
+                        Value::Float(v)
+                    });
+                }
+            }
+            BuilderData::Bool(vals) => {
+                for (i, v) in vals.into_iter().enumerate() {
+                    boxed.push(if self.nulls[i] {
+                        Value::Null
+                    } else {
+                        Value::Bool(v)
+                    });
+                }
+            }
+            BuilderData::Ts(vals) => {
+                for (i, v) in vals.into_iter().enumerate() {
+                    boxed.push(if self.nulls[i] {
+                        Value::Null
+                    } else {
+                        Value::Ts(v)
+                    });
+                }
+            }
+            BuilderData::Interval(vals) => {
+                for (i, v) in vals.into_iter().enumerate() {
+                    boxed.push(if self.nulls[i] {
+                        Value::Null
+                    } else {
+                        Value::Interval(v)
+                    });
+                }
+            }
+            BuilderData::Str(vals) => {
+                for (i, v) in vals.into_iter().enumerate() {
+                    boxed.push(if self.nulls[i] {
+                        Value::Null
+                    } else {
+                        Value::Str(v)
+                    });
+                }
+            }
+            BuilderData::Mixed(vals) => boxed = vals,
+        }
+        self.data = BuilderData::Mixed(boxed);
+        match &mut self.data {
+            BuilderData::Mixed(vals) => vals,
+            _ => unreachable!(),
+        }
+    }
+
+    fn start<T>(&mut self, placeholder: T) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut vals = Vec::with_capacity(self.capacity.max(self.pending_nulls + 1));
+        vals.extend(std::iter::repeat_n(placeholder, self.pending_nulls));
+        self.pending_nulls = 0;
+        vals
+    }
+
+    /// Append a NULL.
+    pub fn push_null(&mut self) {
+        self.note(true);
+        match &mut self.data {
+            BuilderData::Empty => self.pending_nulls += 1,
+            BuilderData::Int(vals) => vals.push(0),
+            BuilderData::Float(vals) => vals.push(0.0),
+            BuilderData::Bool(vals) => vals.push(false),
+            BuilderData::Ts(vals) => vals.push(Ts::from_millis(0)),
+            BuilderData::Interval(vals) => vals.push(Duration::from_millis(0)),
+            BuilderData::Str(vals) => vals.push(Arc::from("")),
+            BuilderData::Mixed(vals) => vals.push(Value::Null),
+        }
+    }
+
+    /// Append an `i64` (BIGINT) value.
+    pub fn push_int(&mut self, v: i64) {
+        self.note(false);
+        match &mut self.data {
+            BuilderData::Empty => {
+                let vals = self.start(0i64);
+                self.data = BuilderData::Int(vals);
+                match &mut self.data {
+                    BuilderData::Int(vals) => vals.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            BuilderData::Int(vals) => vals.push(v),
+            _ => self.demote().push(Value::Int(v)),
+        }
+    }
+
+    /// Append an `f64` (DOUBLE) value.
+    pub fn push_float(&mut self, v: f64) {
+        self.note(false);
+        match &mut self.data {
+            BuilderData::Empty => {
+                let vals = self.start(0.0f64);
+                self.data = BuilderData::Float(vals);
+                match &mut self.data {
+                    BuilderData::Float(vals) => vals.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            BuilderData::Float(vals) => vals.push(v),
+            _ => self.demote().push(Value::Float(v)),
+        }
+    }
+
+    /// Append a boolean value.
+    pub fn push_bool(&mut self, v: bool) {
+        self.note(false);
+        match &mut self.data {
+            BuilderData::Empty => {
+                let vals = self.start(false);
+                self.data = BuilderData::Bool(vals);
+                match &mut self.data {
+                    BuilderData::Bool(vals) => vals.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            BuilderData::Bool(vals) => vals.push(v),
+            _ => self.demote().push(Value::Bool(v)),
+        }
+    }
+
+    /// Append a timestamp value.
+    pub fn push_ts(&mut self, v: Ts) {
+        self.note(false);
+        match &mut self.data {
+            BuilderData::Empty => {
+                let vals = self.start(Ts::from_millis(0));
+                self.data = BuilderData::Ts(vals);
+                match &mut self.data {
+                    BuilderData::Ts(vals) => vals.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            BuilderData::Ts(vals) => vals.push(v),
+            _ => self.demote().push(Value::Ts(v)),
+        }
+    }
+
+    /// Append an interval value.
+    pub fn push_interval(&mut self, v: Duration) {
+        self.note(false);
+        match &mut self.data {
+            BuilderData::Empty => {
+                let vals = self.start(Duration::from_millis(0));
+                self.data = BuilderData::Interval(vals);
+                match &mut self.data {
+                    BuilderData::Interval(vals) => vals.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            BuilderData::Interval(vals) => vals.push(v),
+            _ => self.demote().push(Value::Interval(v)),
+        }
+    }
+
+    /// Append a string value.
+    pub fn push_str(&mut self, v: Arc<str>) {
+        self.note(false);
+        match &mut self.data {
+            BuilderData::Empty => {
+                let vals = self.start(Arc::from(""));
+                self.data = BuilderData::Str(vals);
+                match &mut self.data {
+                    BuilderData::Str(vals) => vals.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            BuilderData::Str(vals) => vals.push(v),
+            _ => self.demote().push(Value::Str(v)),
+        }
+    }
+
+    /// Append a boxed [`Value`], dispatching to the typed paths.
+    pub fn push(&mut self, v: Value) {
+        match v {
+            Value::Null => self.push_null(),
+            Value::Int(i) => self.push_int(i),
+            Value::Float(f) => self.push_float(f),
+            Value::Bool(b) => self.push_bool(b),
+            Value::Ts(t) => self.push_ts(t),
+            Value::Interval(d) => self.push_interval(d),
+            Value::Str(s) => self.push_str(s),
+        }
+    }
+
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// Whether no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.nulls.is_empty()
+    }
+
+    /// Finish the column.
+    pub fn finish(self) -> Column {
+        let nulls = if self.any_null {
+            Some(self.nulls)
+        } else {
+            None
+        };
+        let data = match self.data {
+            BuilderData::Empty => {
+                // Either truly empty or all-null: box it.
+                BuilderData::Mixed(vec![Value::Null; self.pending_nulls])
+            }
+            other => other,
+        };
+        let data = match data {
+            BuilderData::Empty => unreachable!(),
+            BuilderData::Int(vals) => ColumnData::Int { vals, nulls },
+            BuilderData::Float(vals) => ColumnData::Float { vals, nulls },
+            BuilderData::Bool(vals) => ColumnData::Bool { vals, nulls },
+            BuilderData::Ts(vals) => ColumnData::Ts { vals, nulls },
+            BuilderData::Interval(vals) => ColumnData::Interval { vals, nulls },
+            BuilderData::Str(vals) => ColumnData::Str { vals, nulls },
+            BuilderData::Mixed(vals) => ColumnData::Mixed(vals),
+        };
+        Column::new(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip() {
+        let c = Column::from_values(vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        assert!(matches!(c.data(), ColumnData::Int { .. }));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert!(c.is_null(1));
+        assert!(!c.is_null(2));
+        assert_eq!(c.value(2), Value::Int(3));
+        assert!(c.has_nulls());
+        assert_eq!(c.uniform_type(), Some(DataType::Int));
+    }
+
+    #[test]
+    fn mixed_fallback() {
+        let c = Column::from_values(vec![Value::Int(1), Value::str("a")]);
+        assert!(matches!(c.data(), ColumnData::Mixed(_)));
+        assert_eq!(c.value(1), Value::str("a"));
+        assert_eq!(c.uniform_type(), None);
+    }
+
+    #[test]
+    fn all_null_is_mixed() {
+        let c = Column::from_values(vec![Value::Null, Value::Null]);
+        assert!(matches!(c.data(), ColumnData::Mixed(_)));
+        assert!(c.is_null(0) && c.is_null(1));
+    }
+
+    #[test]
+    fn builder_demotes_on_type_change() {
+        let mut b = ColumnBuilder::with_capacity(4);
+        b.push_null();
+        b.push_int(7);
+        b.push_str(Arc::from("x"));
+        let c = b.finish();
+        assert!(matches!(c.data(), ColumnData::Mixed(_)));
+        assert_eq!(c.value(0), Value::Null);
+        assert_eq!(c.value(1), Value::Int(7));
+        assert_eq!(c.value(2), Value::str("x"));
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let c = Column::from_values(vec![Value::Int(10), Value::Null, Value::Int(30)]);
+        let g = c.gather(&[2, 0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.value(0), Value::Int(30));
+        assert_eq!(g.value(1), Value::Int(10));
+        assert!(!g.has_nulls());
+    }
+
+    #[test]
+    fn repeat_broadcasts() {
+        let c = Column::repeat(&Value::Bool(true), 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(2), Value::Bool(true));
+    }
+}

@@ -14,6 +14,7 @@
 //! - [`Value`] has a total order (`Ord`) so values can serve as grouping and
 //!   state keys directly; floats use IEEE total ordering.
 
+pub mod column;
 pub mod datatype;
 pub mod error;
 pub mod format;
@@ -22,6 +23,7 @@ pub mod schema;
 pub mod temporal;
 pub mod value;
 
+pub use column::{Column, ColumnBuilder, ColumnData};
 pub use datatype::DataType;
 pub use error::{Error, Result};
 pub use format::{format_table, format_table_with_header};

@@ -26,6 +26,15 @@ impl Row {
         }
     }
 
+    /// Build a row by collecting values straight into the shared slice —
+    /// one allocation, no intermediate `Vec`. This is the emit-boundary
+    /// hot path: every output row of a columnar batch materializes here.
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Row {
+        Row {
+            values: values.into_iter().collect(),
+        }
+    }
+
     /// The empty row (used by constant relations such as `SELECT 1`).
     pub fn empty() -> Row {
         Row {
