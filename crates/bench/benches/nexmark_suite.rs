@@ -1,0 +1,86 @@
+//! B11 — full-stack NEXMark suite throughput.
+//!
+//! Every suite query (Q0–Q8) end to end through the SQL front door:
+//! `Session::execute_script` assembles `SET` knobs, a partitioned
+//! NEXMark source, a transactional CSV sink, and the `INSERT` — the
+//! exact script shape the consistency checker runs under its nemesis
+//! (`crates/checker`), minus the faults. This is the number the paper's
+//! "one SQL for streams and tables" claim cashes out to: whole-pipeline
+//! events/sec per query, parsing and planning included. Results are
+//! recorded in `BENCH_nexmark.json`.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use onesql_connect::session;
+use onesql_nexmark::queries::{self, FullStackSpec, ScriptConfig};
+
+const N: u64 = 20_000;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("onesql_bench_nexmark_suite")
+        .join(format!("{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("out.csv")
+}
+
+/// One full-stack run: script in, committed CSV out. Returns events
+/// ingested so the caller can assert the stream actually drained.
+fn run_full_stack(spec: &FullStackSpec, sink: &Path) -> u64 {
+    let config = ScriptConfig {
+        workers: if spec.shardable { 2 } else { 1 },
+        events: N,
+        ..ScriptConfig::default()
+    };
+    let script = queries::full_stack_script(spec.sql, sink, &config);
+    let mut s = session();
+    let mut pipeline = s.execute_script(&script).unwrap().into_pipeline().unwrap();
+    pipeline.run().unwrap();
+    pipeline.events_in()
+}
+
+/// Best-of-`rounds` wall clock: minimum is the noise-robust statistic
+/// on a shared host.
+fn min_time(rounds: usize, mut f: impl FnMut() -> u64) -> Duration {
+    (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            assert_eq!(f(), N);
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn bench_nexmark_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nexmark_suite");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N));
+    for spec in queries::full_stack() {
+        let sink = scratch(spec.name);
+        group.bench_function(spec.name, |b| {
+            b.iter(|| assert_eq!(run_full_stack(&spec, &sink), N))
+        });
+    }
+    group.finish();
+
+    // One summary line per query for the JSON record.
+    for spec in queries::full_stack() {
+        let sink = scratch(spec.name);
+        let best = min_time(5, || run_full_stack(&spec, &sink));
+        println!(
+            "nexmark_suite [{}] best-of-5: {:?} ({:.0} events/sec, workers = {})",
+            spec.name,
+            best,
+            N as f64 / best.as_secs_f64(),
+            if spec.shardable { 2 } else { 1 },
+        );
+    }
+}
+
+criterion_group!(benches, bench_nexmark_suite);
+criterion_main!(benches);

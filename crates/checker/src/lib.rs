@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! `onesql_checker`: black-box consistency checking for onesql pipelines.
+//!
+//! The checker treats a pipeline exactly as an external observer would —
+//! it sees only the *observable history* (emitted changelog rows, sink
+//! watermark deliveries, checkpoint/restore epochs, the finish marker,
+//! `AS OF` probe reads, and sink-file bytes) and verifies composable
+//! [`oracle`]s over it:
+//!
+//! - **watermark-monotone** — sinks never hear time run backwards;
+//! - **retraction-balanced** — every retraction matches a prior insert
+//!   and the changelog folds to the operator table;
+//! - **as-of-stable** — re-reading a past version after more input
+//!   returns identical rows;
+//! - **emit-gated** — under `EMIT AFTER WATERMARK`, no row escapes ahead
+//!   of the watermark that releases it;
+//! - **replay-identical** — a killed-and-restored run's effective
+//!   history (and its committed sink bytes) equal the uninterrupted
+//!   run's.
+//!
+//! A seeded [`nemesis`] drives arbitrary-but-reproducible interleavings
+//! — uneven scheduling chunks, mid-stream checkpoints, staged-then-
+//! discarded suffixes, kill/restore cycles, worker-count and batch-size
+//! variation — so one [`harness::check`] call replaces a hand-rolled
+//! kill-choreography test. See `docs/CHECKING.md` for the vocabulary and
+//! for how a new connector or operator opts in.
+
+pub mod harness;
+pub mod nemesis;
+pub mod oracle;
+pub mod scenarios;
+
+pub use harness::{
+    check, check_seeded, Probe, Report, RunKind, RunRecord, Scenario, ScenarioConfig,
+};
+pub use nemesis::{KillCycle, Nemesis, NemesisConfig, NemesisPlan};
+pub use oracle::{
+    as_of_stable, effective_history, emit_gated, emitted, fold_table, fold_table_at,
+    replay_identical, retraction_balanced, retraction_balanced_against, watermark_monotone,
+    watermarks, Violation,
+};
+pub use scenarios::NexmarkScenario;

@@ -1,0 +1,160 @@
+//! Ready-made scenarios: the NEXMark suite as full-stack SQL pipelines.
+//!
+//! [`NexmarkScenario`] runs one suite query end to end — `SET` knobs,
+//! `CREATE PARTITIONED SOURCE … connector = 'nexmark'`, a transactional
+//! CSV file sink, and the `INSERT` that assembles the pipeline — which
+//! is exactly what [`crate::harness::check`] needs to kill, restore, and
+//! re-run it under every oracle. Queries the sharded driver cannot split
+//! (join/grouping keys off the routing column) run with one worker but
+//! still under the sharded driver, so checkpoint/restore choreography
+//! applies to the whole suite.
+
+use std::path::PathBuf;
+
+use onesql_connect::{session, Session, SqlPipeline};
+use onesql_nexmark::queries::{self, FullStackSpec, ScriptConfig};
+use onesql_types::{Error, Result};
+
+use crate::harness::{RunKind, Scenario, ScenarioConfig};
+
+/// One NEXMark suite query as a checkable full-stack pipeline.
+#[derive(Debug)]
+pub struct NexmarkScenario {
+    spec: FullStackSpec,
+    config: ScriptConfig,
+    /// `(workers, batch)` per uninterrupted variation run.
+    alts: Vec<(usize, usize)>,
+    root: PathBuf,
+    run: usize,
+    run_dir: PathBuf,
+}
+
+impl NexmarkScenario {
+    /// A scenario for `spec` ingesting `events` events.
+    ///
+    /// Shardable queries run with 2 workers and verify variations at 1
+    /// and 3 workers (worker-count transparency); the rest pin 1 worker
+    /// and vary only the batch size.
+    pub fn new(spec: FullStackSpec, events: u64) -> NexmarkScenario {
+        let workers = if spec.shardable { 2 } else { 1 };
+        // Small batches keep step granularity fine enough for the
+        // nemesis to land checkpoints and kills mid-stream.
+        let alts = if spec.shardable {
+            vec![(1, 16), (3, 24)]
+        } else {
+            vec![(1, 24)]
+        };
+        let config = ScriptConfig {
+            workers,
+            batch: 16,
+            events,
+            ..ScriptConfig::default()
+        };
+        let root = std::env::temp_dir().join("onesql_checker").join(format!(
+            "{}-{}",
+            spec.name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let run_dir = root.join("unstarted");
+        NexmarkScenario {
+            spec,
+            config,
+            alts,
+            root,
+            run: 0,
+            run_dir,
+        }
+    }
+
+    /// A scenario by suite name (`"q7"`, …).
+    pub fn by_name(name: &str, events: u64) -> NexmarkScenario {
+        let spec = queries::full_stack()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no NEXMark suite query named '{name}'"));
+        NexmarkScenario::new(spec, events)
+    }
+
+    /// Run the query `EMIT STREAM AFTER WATERMARK`, arming the
+    /// emit-gated oracle (the spec must name a gate column).
+    pub fn gated(mut self) -> NexmarkScenario {
+        assert!(
+            self.spec.gate_col.is_some(),
+            "{}: gating needs a window-end column",
+            self.spec.name
+        );
+        self.config.gated = true;
+        self
+    }
+
+    fn sink_path(&self) -> PathBuf {
+        self.run_dir.join("out.csv")
+    }
+
+    fn run_config(&self, kind: RunKind) -> ScriptConfig {
+        let mut config = self.config.clone();
+        if let RunKind::Variation(i) = kind {
+            let (workers, batch) = self.alts[i];
+            config.workers = workers;
+            config.batch = batch;
+        }
+        config
+    }
+}
+
+impl Scenario for NexmarkScenario {
+    fn name(&self) -> String {
+        format!(
+            "nexmark/{}{}",
+            self.spec.name,
+            if self.config.gated { "+gated" } else { "" }
+        )
+    }
+
+    fn total_events(&self) -> u64 {
+        self.config.events
+    }
+
+    fn config(&self) -> ScenarioConfig {
+        ScenarioConfig {
+            gate_col: if self.config.gated {
+                self.spec.gate_col
+            } else {
+                None
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    fn variations(&self) -> usize {
+        self.alts.len()
+    }
+
+    fn begin_run(&mut self, kind: RunKind) -> Result<()> {
+        self.run += 1;
+        self.run_dir = self.root.join(format!("run{}", self.run));
+        std::fs::create_dir_all(&self.run_dir)
+            .map_err(|e| Error::exec(format!("scratch dir {}: {e}", self.run_dir.display())))?;
+        // Stash the effective config for this run so killed incarnations
+        // rebuild identically.
+        self.config = self.run_config(kind);
+        Ok(())
+    }
+
+    fn build(&mut self, _incarnation: usize) -> Result<(Session, SqlPipeline)> {
+        let script = queries::full_stack_script(self.spec.sql, &self.sink_path(), &self.config);
+        let mut s = session();
+        let pipeline = s.execute_script(&script)?.into_pipeline()?;
+        debug_assert!(pipeline.is_sharded(), "PARTITIONED source => sharded");
+        Ok((s, pipeline))
+    }
+
+    fn checkpoint_store(&self) -> PathBuf {
+        self.run_dir.join("store")
+    }
+
+    fn artifacts(&self) -> Vec<PathBuf> {
+        vec![self.sink_path()]
+    }
+}

@@ -1061,6 +1061,9 @@ pub struct PipelineDriver {
     /// When set, the driver publishes a metrics snapshot to the global
     /// [`observe::hub`] under this name after every round.
     label: Option<String>,
+    /// When set, every sink-observable event (rows, watermarks, finish)
+    /// is also appended here, in sink order.
+    tap: Option<crate::history::HistoryTap>,
     /// Per-stream vectorization verdicts, cached after the first run (the
     /// query's tree shape and generators cannot change under the driver).
     vector_ok: BTreeMap<String, bool>,
@@ -1088,9 +1091,18 @@ impl PipelineDriver {
             sink_watermark: Watermark::MIN,
             renderer: onesql_exec::StreamRenderer::new(ver_cols),
             label: None,
+            tap: None,
             vector_ok: BTreeMap::new(),
             finished: false,
         }
+    }
+
+    /// Install a [`crate::history::HistoryTap`]: every sink-observable
+    /// event — rendered rows, watermark deliveries, the finish marker —
+    /// is also appended to `tap`, in sink order. (The plain driver has no
+    /// checkpoint surface, so epoch events never appear here.)
+    pub fn set_history_tap(&mut self, tap: crate::history::HistoryTap) {
+        self.tap = Some(tap);
     }
 
     /// Whether `stream` takes the vectorized path, cached per stream.
@@ -1185,6 +1197,12 @@ impl PipelineDriver {
     /// The wrapped query (table views, state metrics, …).
     pub fn query(&self) -> &RunningQuery {
         &self.query
+    }
+
+    /// The driver's monotone processing-time clock: the max ptime of any
+    /// event fed so far. `AS OF` probes strictly below it are stable.
+    pub fn clock(&self) -> Ts {
+        self.clock
     }
 
     /// Current accounting. Watermark fields are refreshed on access.
@@ -1447,6 +1465,9 @@ impl PipelineDriver {
         for sink in &mut self.sinks {
             sink.write(&rows)?;
         }
+        if let Some(tap) = &self.tap {
+            tap.record_rows(&rows);
+        }
         self.notify_sink_watermark()?;
         self.metrics.emit_micros.record(emit.micros());
         Ok(())
@@ -1458,6 +1479,9 @@ impl PipelineDriver {
             self.sink_watermark = wm;
             for sink in &mut self.sinks {
                 sink.on_watermark(wm)?;
+            }
+            if let Some(tap) = &self.tap {
+                tap.record(crate::history::HistoryEvent::Watermark(wm));
             }
         }
         Ok(())
@@ -1477,6 +1501,9 @@ impl PipelineDriver {
         self.drain_output()?;
         for sink in &mut self.sinks {
             sink.flush()?;
+        }
+        if let Some(tap) = &self.tap {
+            tap.record(crate::history::HistoryEvent::Finished);
         }
         observe::sample("driver.finish_micros", span.micros());
         self.refresh_metrics();

@@ -35,6 +35,7 @@
 pub mod connect;
 pub mod durable;
 pub mod engine;
+pub mod history;
 pub mod observe;
 pub mod parallel;
 pub mod query;
@@ -49,6 +50,7 @@ pub use connect::{
 };
 pub use durable::{schema_fingerprint, CheckpointStore, DEFAULT_RETAIN};
 pub use engine::{Engine, StreamBuilder};
+pub use history::{HistoryEvent, HistoryTap};
 pub use observe::{Histogram, MetricKind, MetricRow, MetricsHub, PipelineSnapshot};
 pub use parallel::{PartitionedQuery, StableHasher};
 pub use query::RunningQuery;

@@ -141,13 +141,14 @@ use onesql_plan::{
 };
 use onesql_sql::ast::{DropKind, Statement};
 use onesql_state::TemporalTable;
-use onesql_types::{Error, Result, SchemaRef};
+use onesql_types::{Error, Result, Row, SchemaRef, Ts};
 
 use crate::connect::registry::{
     AnySource, ConnectorRegistry, Exports, OptionBag, SinkSpec, SourceSpec,
 };
 use crate::connect::{DriverConfig, PipelineDriver, PipelineMetrics};
 use crate::engine::Engine;
+use crate::history::HistoryTap;
 use crate::observe::{self, MetricRow};
 use crate::query::RunningQuery;
 use crate::shard::{ShardedConfig, ShardedPipelineDriver};
@@ -246,6 +247,65 @@ impl SqlPipeline {
         match &mut self.driver {
             SqlDriver::Plain(d) => d.metrics().clone(),
             SqlDriver::Sharded(d) => d.metrics().clone(),
+        }
+    }
+
+    /// Events ingested so far (cheap — no full metrics clone).
+    pub fn events_in(&mut self) -> u64 {
+        match &mut self.driver {
+            SqlDriver::Plain(d) => d.metrics().events_in,
+            SqlDriver::Sharded(d) => d.events_in(),
+        }
+    }
+
+    /// Install a [`HistoryTap`] on the underlying driver: every
+    /// sink-observable event (rendered rows, watermark deliveries, epoch
+    /// transitions, finish) is appended to `tap` in sink order. Install
+    /// the same (cloned) tap on successive incarnations of a
+    /// killed-and-restored pipeline to record one crash-spanning history;
+    /// install it *before* [`SqlPipeline::restore_from`] so the restore
+    /// marker lands in the record.
+    pub fn set_history_tap(&mut self, tap: HistoryTap) {
+        match &mut self.driver {
+            SqlDriver::Plain(d) => d.set_history_tap(tap),
+            SqlDriver::Sharded(d) => d.set_history_tap(tap),
+        }
+    }
+
+    /// The driver's monotone processing-time clock; `AS OF` probes
+    /// strictly below it are stable.
+    pub fn clock(&self) -> Ts {
+        match &self.driver {
+            SqlDriver::Plain(d) => d.clock(),
+            SqlDriver::Sharded(d) => d.clock(),
+        }
+    }
+
+    /// The result table, in sorted row order (sharded pipelines require
+    /// [`SqlPipeline::finish`] first; the plain driver answers any time).
+    pub fn table(&self) -> Result<Vec<Row>> {
+        match &self.driver {
+            SqlDriver::Plain(d) => {
+                let mut rows = d.query().table()?;
+                rows.sort();
+                Ok(rows)
+            }
+            SqlDriver::Sharded(d) => d.table(),
+        }
+    }
+
+    /// Temporal `AS OF` probe: the result table as of processing time
+    /// `at`, in sorted row order. Works mid-run on both drivers (the
+    /// sharded one barriers its workers). After a restore the probe only
+    /// covers changes since the restore point.
+    pub fn table_at(&self, at: Ts) -> Result<Vec<Row>> {
+        match &self.driver {
+            SqlDriver::Plain(d) => {
+                let mut rows = d.query().table_at(at)?;
+                rows.sort();
+                Ok(rows)
+            }
+            SqlDriver::Sharded(d) => d.table_at(at),
         }
     }
 

@@ -112,6 +112,7 @@ use crate::connect::{
     SinglePartition, Sink, Source, SourceMetrics, SourceStatus, WatermarkLedger,
 };
 use crate::engine::Engine;
+use crate::history::{HistoryEvent, HistoryTap};
 use crate::observe::{self, Stopwatch};
 use crate::parallel::PartitionedQuery;
 use crate::query::RunningQuery;
@@ -230,6 +231,9 @@ enum Cmd {
     Checkpoint(Sender<Result<onesql_state::Checkpoint>>),
     /// Load operator state (fresh workers only).
     Restore(onesql_state::Checkpoint, Sender<Result<()>>),
+    /// Barrier: report this worker's table view as of a past ptime
+    /// (`AS OF` probe — see [`ShardedPipelineDriver::table_at`]).
+    TableAt(Ts, Sender<Result<Vec<Row>>>),
 }
 
 fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>, vectorize: bool) -> RunningQuery {
@@ -322,6 +326,13 @@ fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>, vectorize: bool) -> R
                 drained = 0;
                 let _ = reply.send(result);
             }
+            Cmd::TableAt(at, reply) => {
+                let result = match &failure {
+                    Some(e) => Err(e.clone()),
+                    None => query.table_at(at),
+                };
+                let _ = reply.send(result);
+            }
         }
     }
     query
@@ -391,6 +402,9 @@ pub struct ShardedPipelineDriver {
     /// When set, the driver publishes a metrics snapshot to the global
     /// [`observe::hub`] under this name after every round.
     label: Option<String>,
+    /// When set, every sink-observable event (rows, watermarks, epoch
+    /// transitions, finish) is also appended here, in sink order.
+    tap: Option<HistoryTap>,
     /// The workers' final queries, populated by `finish`.
     final_queries: Vec<RunningQuery>,
 }
@@ -442,6 +456,7 @@ impl ShardedPipelineDriver {
             poisoned: false,
             restored: false,
             label: None,
+            tap: None,
             final_queries: Vec::new(),
         })
     }
@@ -457,6 +472,15 @@ impl ShardedPipelineDriver {
     /// The hub label, if one was set.
     pub fn label(&self) -> Option<&str> {
         self.label.as_deref()
+    }
+
+    /// Install a [`HistoryTap`]: every sink-observable event — rendered
+    /// rows, watermark deliveries, checkpoint/restore epoch transitions,
+    /// the finish marker — is also appended to `tap`, in sink order.
+    /// Installing the same (cloned) tap on successive incarnations of a
+    /// killed-and-restored pipeline yields one crash-spanning history.
+    pub fn set_history_tap(&mut self, tap: HistoryTap) {
+        self.tap = Some(tap);
     }
 
     fn publish_snapshot(&mut self) {
@@ -862,6 +886,9 @@ impl ShardedPipelineDriver {
             for sink in &mut self.sinks {
                 sink.write(&rows)?;
             }
+            if let Some(tap) = &self.tap {
+                tap.record_rows(&rows);
+            }
             self.metrics.emit_micros.record(emit.micros());
         }
         self.notify_sink_watermark()
@@ -878,6 +905,9 @@ impl ShardedPipelineDriver {
             self.sink_watermark = self.output_watermark;
             for sink in &mut self.sinks {
                 sink.on_watermark(self.sink_watermark)?;
+            }
+            if let Some(tap) = &self.tap {
+                tap.record(HistoryEvent::Watermark(self.sink_watermark));
             }
         }
         Ok(())
@@ -902,6 +932,9 @@ impl ShardedPipelineDriver {
             Ok(()) => {
                 self.finished = true;
                 self.metrics.pending_depth = 0;
+                if let Some(tap) = &self.tap {
+                    tap.record(HistoryEvent::Finished);
+                }
                 self.publish_snapshot();
                 Ok(())
             }
@@ -987,6 +1020,50 @@ impl ShardedPipelineDriver {
         Ok(rows)
     }
 
+    /// The merged table view **as of** processing time `at` (a temporal
+    /// `AS OF` probe): the union of the workers' `table_at` snapshots, in
+    /// sorted row order. Unlike [`ShardedPipelineDriver::table`] this
+    /// works mid-run — the probe barriers each worker, so it reflects
+    /// every event routed before the call. A probe at `at` strictly below
+    /// the current [`ShardedPipelineDriver::clock`] is *stable*: future
+    /// events are stamped at or above the clock, so re-reading the same
+    /// `at` later returns identical rows.
+    ///
+    /// After a restore the workers' changelogs restart, so the probe only
+    /// covers changes since the restore point — probes are meaningful
+    /// within one incarnation.
+    pub fn table_at(&self, at: Ts) -> Result<Vec<Row>> {
+        if self.finished {
+            let mut rows = Vec::new();
+            for query in &self.final_queries {
+                rows.extend(query.table_at(at)?);
+            }
+            rows.sort();
+            return Ok(rows);
+        }
+        if self.poisoned {
+            return Err(Error::exec(
+                "pipeline is poisoned by an earlier failure; \
+                 restore the last checkpoint into a fresh driver",
+            ));
+        }
+        let mut rows = Vec::new();
+        for part in self.gather(|_, tx| Cmd::TableAt(at, tx))? {
+            rows.extend(part);
+        }
+        rows.sort();
+        Ok(rows)
+    }
+
+    /// The driver's monotone processing-time clock: the max ptime stamped
+    /// onto any routed event so far. Changelog entries strictly below the
+    /// clock are final (see the module docs' determinism argument), which
+    /// is what makes [`ShardedPipelineDriver::table_at`] probes below it
+    /// stable.
+    pub fn clock(&self) -> Ts {
+        self.clock
+    }
+
     /// Take a consistent whole-pipeline snapshot: barrier the workers,
     /// capture their operator state, and record source offsets plus the
     /// driver's merge cursors. The pipeline keeps running afterwards.
@@ -1019,6 +1096,9 @@ impl ShardedPipelineDriver {
         self.epoch += 1;
         for sink in &mut self.sinks {
             sink.on_checkpoint(self.epoch)?;
+        }
+        if let Some(tap) = &self.tap {
+            tap.record(HistoryEvent::CheckpointTaken { epoch: self.epoch });
         }
         let checkpoint = PipelineCheckpoint {
             workers: worker_states,
@@ -1240,6 +1320,11 @@ impl ShardedPipelineDriver {
         self.metrics.checkpoint_epoch = checkpoint.epoch;
         self.metrics.restores += 1;
         observe::counter("driver.restores", 1);
+        if let Some(tap) = &self.tap {
+            tap.record(HistoryEvent::Restored {
+                epoch: checkpoint.epoch,
+            });
+        }
         Ok(())
     }
 }

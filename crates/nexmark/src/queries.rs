@@ -82,6 +82,112 @@ pub fn all() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
+/// How one suite query runs as a *full-stack* SQL script (DDL + INSERT
+/// through `Session::execute_script`, partitioned NEXMark source,
+/// transactional file sink).
+#[derive(Debug, Clone, Copy)]
+pub struct FullStackSpec {
+    /// Suite name (`q0` … `q8`).
+    pub name: &'static str,
+    /// The query text (no `EMIT` clause).
+    pub sql: &'static str,
+    /// Whether running with more than one worker leaves the final table
+    /// unchanged: the sharded driver hash-routes each stream on its
+    /// first column (`Bid.auction`, `Auction.id`, `Person.id`), so only
+    /// queries whose join/grouping keys align with that routing are
+    /// worker-count transparent.
+    pub shardable: bool,
+    /// Output column holding the window-end (or window-start) timestamp
+    /// for windowed queries; under `EMIT AFTER WATERMARK` no row may
+    /// surface before a watermark reaches it.
+    pub gate_col: Option<usize>,
+}
+
+/// The full suite with its sharding/gating classification.
+pub fn full_stack() -> Vec<FullStackSpec> {
+    let spec = |name, sql, shardable, gate_col| FullStackSpec {
+        name,
+        sql,
+        shardable,
+        gate_col,
+    };
+    vec![
+        // q0–q2 are stateless row-at-a-time transforms: any routing works.
+        spec("q0", Q0, true, None),
+        spec("q1", Q1, true, None),
+        spec("q2", Q2, true, None),
+        // q3 joins Auction.seller to Person.id, but Auction routes by id.
+        spec("q3", Q3, false, None),
+        // q4's join aligns (Bid.auction = Auction.id) but the category
+        // groups span workers.
+        spec(
+            "q4_avg_by_category",
+            Q4_AVG_PRICE_BY_CATEGORY,
+            false,
+            Some(1),
+        ),
+        // q5 groups by (auction, wend) and Bid routes by auction.
+        spec("q5_hot_items", Q5_HOT_ITEMS, true, Some(1)),
+        // q7's MAX is global per window.
+        spec("q7", Q7, false, Some(1)),
+        // q8 joins Auction.seller, routed by Auction.id; wstart (col 2)
+        // lower-bounds the window end, so it still gates soundly.
+        spec("q8", Q8, false, Some(2)),
+    ]
+}
+
+/// Knobs for [`full_stack_script`].
+#[derive(Debug, Clone)]
+pub struct ScriptConfig {
+    /// Sharded-driver worker count.
+    pub workers: usize,
+    /// Fixed driver batch size.
+    pub batch: usize,
+    /// NEXMark source partitions.
+    pub partitions: usize,
+    /// NEXMark generator seed.
+    pub seed: u64,
+    /// Events the source generates before completing.
+    pub events: u64,
+    /// Append `AFTER WATERMARK` to the `EMIT STREAM` clause.
+    pub gated: bool,
+}
+
+impl Default for ScriptConfig {
+    fn default() -> ScriptConfig {
+        ScriptConfig {
+            workers: 2,
+            batch: 64,
+            partitions: 4,
+            seed: 7,
+            events: 3_000,
+            gated: false,
+        }
+    }
+}
+
+/// Render one suite query as a complete SQL script: knobs, a partitioned
+/// NEXMark source, a transactional CSV file sink at `sink_path`, and the
+/// `INSERT` that assembles the pipeline.
+pub fn full_stack_script(sql: &str, sink_path: &std::path::Path, config: &ScriptConfig) -> String {
+    format!(
+        "SET workers = {};
+         SET batch_size = {};
+         CREATE PARTITIONED SOURCE nex
+           WITH (connector = 'nexmark', seed = {}, events = {}, partitions = {});
+         CREATE SINK out WITH (connector = 'file', path = '{}', transactional = TRUE);
+         INSERT INTO out {} EMIT STREAM{};",
+        config.workers,
+        config.batch,
+        config.seed,
+        config.events,
+        config.partitions,
+        sink_path.display(),
+        sql,
+        if config.gated { " AFTER WATERMARK" } else { "" },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,4 +19,6 @@ pub use onesql_connect::{
     ShardedChannelSource, ShardedConfig, ShardedPipelineDriver, SinglePartition, Sink, Source,
     SourceBatch, SourceEvent, SourceStatus, SqlPipeline, StatementResult, TxnFileSink,
 };
-pub use onesql_core::{CheckpointStore, Engine, RunningQuery, StreamBuilder};
+pub use onesql_core::{
+    CheckpointStore, Engine, HistoryEvent, HistoryTap, RunningQuery, StreamBuilder,
+};

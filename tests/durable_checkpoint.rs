@@ -3,10 +3,14 @@
 //! via `RESTORE PIPELINE ... FROM '<path>'` — must leave sink files
 //! byte-identical to an uninterrupted run (cf. black-box consistency
 //! checking: the only oracle is observable output, not internal state).
-//! And every way a checkpoint artifact can be damaged — truncation, bit
-//! flips, wrong magic, future versions, a missing manifest, restoring
-//! into the wrong pipeline or under changed schemas — must surface as a
-//! typed error, never a panic and never silent duplication.
+//! The kill/restore *choreography* itself lives in `onesql_checker`'s
+//! nemesis (see `docs/CHECKING.md`); this file keeps the SQL statement
+//! surface (`CHECKPOINT PIPELINE` / `RESTORE PIPELINE` results and
+//! on-disk artifacts) and every way a checkpoint artifact can be damaged
+//! — truncation, bit flips, wrong magic, future versions, a missing
+//! manifest, restoring into the wrong pipeline or under changed schemas
+//! — which must surface as a typed error, never a panic and never
+//! silent duplication.
 
 use std::path::{Path, PathBuf};
 
@@ -70,28 +74,47 @@ fn step_until(pipeline: &mut SqlPipeline, events: u64) {
 
 // ---------------------------------------------------------------------------
 // The acceptance bar: kill → RESTORE in a fresh session → byte-identical
-// sink files, twice over (double kill).
+// sink files. The interleavings (where the checkpoint lands, how much
+// uncommitted staging the kill discards, how many kills) come from the
+// checker's seeded nemesis; the oracles — replay-identical effective
+// history, byte-equal artifacts, stable AS OF probes, balanced
+// retractions, monotone watermarks — all must hold.
 // ---------------------------------------------------------------------------
 
 #[test]
-fn q7_kill_restore_across_sessions_is_byte_identical() {
-    let dir = scratch_dir("q7");
+fn q7_kill_restore_is_replay_identical_under_the_nemesis() {
+    for seed in [1, 2] {
+        let mut scenario = onesql_checker::NexmarkScenario::by_name("q7", EVENTS);
+        let report = onesql_checker::check_seeded(&mut scenario, seed);
+        assert!(
+            report.nemesis.incarnations >= 2,
+            "seed {seed}: the nemesis should have killed at least once"
+        );
+        assert!(
+            !report.reference.artifacts[0].1.is_empty(),
+            "Q7 produced no output"
+        );
+    }
+}
+
+/// The SQL statement surface the checker drives through the API:
+/// `CHECKPOINT PIPELINE` on an adopted pipeline, the on-disk store
+/// layout, and scripted `RESTORE PIPELINE` recovery in a fresh session.
+#[test]
+fn checkpoint_and_restore_ddl_round_trip() {
+    let dir = scratch_dir("ddl");
     let store = dir.join("store");
     let reference = dir.join("reference.csv");
     let recovered = dir.join("recovered.csv");
 
-    // The oracle: one uninterrupted run.
     let (_s, mut pipeline) = assemble(&reference);
     pipeline.run().unwrap();
     let expected = std::fs::read(&reference).unwrap();
-    assert!(!expected.is_empty(), "Q7 produced no output");
     assert!(
         !dir.join("reference.csv.txn").exists(),
         "a finished transactional sink removes its sidecar"
     );
 
-    // Incarnation 1: run mid-stream, checkpoint via SQL, keep running
-    // (staging rows past the checkpoint), then get killed.
     let (mut s1, mut victim) = assemble(&recovered);
     step_until(&mut victim, EVENTS / 3);
     s1.adopt_pipeline(victim).unwrap();
@@ -105,17 +128,11 @@ fn q7_kill_restore_across_sessions_is_byte_identical() {
     assert!(store.join("MANIFEST").exists());
     assert!(store.join("epoch-1.ckpt").exists());
     let mut victim = s1.take_pipeline("out").unwrap();
-    // Rows written after the checkpoint are uncommitted staging: the
-    // restore must discard them, the replay regenerate them — exactly
-    // once, never twice.
+    // Uncommitted staging past the checkpoint; the restore discards it.
     step_until(&mut victim, EVENTS / 2);
     drop(victim); // kill
     drop(s1); // the whole process is gone
 
-    // Incarnation 2: a fresh session, recovery scripted end-to-end. The
-    // INSERT assembles a fresh pipeline over the same definitions; the
-    // RESTORE in the same script rewinds it (and the sink file) to epoch
-    // 1. Kill it again mid-replay after a second checkpoint.
     let mut s2 = session();
     let script = format!(
         "{} RESTORE PIPELINE out FROM '{}';",
@@ -127,32 +144,13 @@ fn q7_kill_restore_across_sessions_is_byte_identical() {
         outcome.results.last(),
         Some(StatementResult::Restored { epoch: 1, .. })
     ));
-    let mut victim = outcome.into_pipeline().unwrap();
-    step_until(&mut victim, 2 * EVENTS / 3);
-    s2.adopt_pipeline(victim).unwrap();
-    let StatementResult::Checkpointed { epoch, .. } = s2
-        .execute(&format!("CHECKPOINT PIPELINE out TO '{}'", store.display()))
-        .unwrap()
-    else {
-        panic!("expected Checkpointed");
-    };
-    assert_eq!(epoch, 2, "epochs continue across incarnations");
-    drop(s2); // kill again (the adopted pipeline dies with the session)
-
-    // Incarnation 3: restore from epoch 2 and run to completion.
-    let mut s3 = session();
-    let script = format!(
-        "{} RESTORE PIPELINE out FROM '{}';",
-        q7_script(&recovered),
-        store.display()
-    );
-    let mut restored = s3.execute_script(&script).unwrap().into_pipeline().unwrap();
+    let mut restored = outcome.into_pipeline().unwrap();
     restored.run().unwrap();
 
-    let actual = std::fs::read(&recovered).unwrap();
     assert_eq!(
-        actual, expected,
-        "the twice-killed, twice-restored sink file differs from the \
+        std::fs::read(&recovered).unwrap(),
+        expected,
+        "the killed-and-restored sink file differs from the \
          uninterrupted run's"
     );
     assert!(

@@ -3,12 +3,14 @@
 //! killing the consumer mid-stream must be invisible in the changelog.
 //!
 //! The exactly-once test is the cross-process version of
-//! `tests/sharded_pipeline.rs`: run NEXMark Q7 sharded over a socket,
-//! checkpoint, kill the consumer (dropping its driver, its source, and
-//! its listener), restore a fresh consumer process-equivalent from the
-//! checkpoint, and require the concatenated sink changelog to be
-//! byte-identical to an uninterrupted run. The producer survives the
-//! crash: its bounded replay spool plus the resume handshake re-send
+//! `tests/sharded_pipeline.rs`: run NEXMark Q7 sharded over a socket and
+//! let `onesql_checker`'s seeded nemesis pick where checkpoints land and
+//! where the consumer dies (driver, source, and listener all dropped); a
+//! fresh consumer process-equivalent restores from the checkpoint each
+//! time, and the checker's oracles — replay-identical effective history,
+//! monotone watermarks, balanced retractions — replace hand-rolled
+//! changelog comparison (see `docs/CHECKING.md`). The producer survives
+//! the crash: its bounded replay spool plus the resume handshake re-send
 //! exactly the unacknowledged suffix.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -186,60 +188,93 @@ fn bind_consumer_with(
     (rows, driver)
 }
 
+/// One uninterrupted producer/consumer run; returns its observable
+/// history (the checker's reference).
+fn reference_history(tag: &str, config: NetConfig) -> Vec<onesql::HistoryEvent> {
+    let path = socket_path(tag);
+    let (_rows, mut driver) = bind_consumer_with(&path, config);
+    let tap = onesql::HistoryTap::new();
+    driver.set_history_tap(tap.clone());
+    let addr = NetAddr::unix(&path);
+    let producer = std::thread::spawn(move || run_producer(addr));
+    driver.run().unwrap();
+    producer.join().unwrap().unwrap();
+    let history = tap.events();
+    assert!(
+        history
+            .iter()
+            .any(|e| matches!(e, onesql::HistoryEvent::Emitted(_))),
+        "Q7 produced no output"
+    );
+    history
+}
+
 #[test]
-fn nexmark_q7_survives_consumer_kill_and_restore() {
-    // Reference: the same producer/consumer pair, never interrupted.
-    let reference = {
-        let path = socket_path("q7-reference");
-        let (rows, mut driver) = bind_consumer(&path);
-        let addr = NetAddr::unix(&path);
-        let producer = std::thread::spawn(move || run_producer(addr));
-        driver.run().unwrap();
-        producer.join().unwrap().unwrap();
-        let reference = rows.lock().unwrap().clone();
-        assert!(!reference.is_empty(), "Q7 produced no output");
-        reference
+fn nexmark_q7_survives_consumer_kills_under_the_nemesis() {
+    use onesql_checker::{
+        effective_history, replay_identical, retraction_balanced, watermark_monotone, Nemesis,
     };
 
-    // Victim: same workload, killed mid-stream after a checkpoint.
+    let reference = reference_history("q7-reference", net_config());
+
+    // Victim: same workload, but the seeded nemesis decides where the
+    // checkpoints land, how much uncommitted staging each wire kill
+    // discards, and how many kills there are.
+    let mut nemesis = Nemesis::seeded(31);
+    let plan = nemesis.plan(NEXMARK_EVENTS);
+    assert!(plan.cycles.len() >= 2, "want at least a double kill");
+
     let path = socket_path("q7-victim");
     let addr = NetAddr::unix(&path);
     let producer = {
         let addr = addr.clone();
         std::thread::spawn(move || run_producer(addr))
     };
-    let (rows, mut victim) = bind_consumer(&path);
-    while !victim.is_finished() && victim.events_in() < NEXMARK_EVENTS / 2 {
-        victim.step().unwrap();
+    let tap = onesql::HistoryTap::new();
+    let (_rows, mut victim) = bind_consumer(&path);
+    victim.set_history_tap(tap.clone());
+
+    for cycle in &plan.cycles {
+        while !victim.is_finished() && victim.events_in() < cycle.checkpoint_at {
+            victim.step().unwrap();
+        }
+        if victim.is_finished() {
+            break;
+        }
+        let checkpoint = victim.checkpoint().unwrap();
+        // The checkpoint is "persisted" (it lives in this test);
+        // acknowledge it so the producer trims its spool — resume must
+        // still work from exactly the acked offsets.
+        victim.ack_checkpoint(&checkpoint).unwrap();
+        while !victim.is_finished() && victim.events_in() < cycle.kill_at {
+            victim.step().unwrap();
+        }
+        // The crash: driver, workers, net source, and listener all die.
+        // The producer is connected to nothing and must hold its spool.
+        drop(victim);
+
+        // The restored consumer "process": a fresh listener on the same
+        // address, a fresh driver, state from the checkpoint. Its
+        // handshake tells the reconnecting producer where to resume.
+        let (rows, resumed) = bind_consumer(&path);
+        let _ = rows;
+        victim = resumed;
+        victim.set_history_tap(tap.clone());
+        victim.restore(&checkpoint).unwrap();
+        let restored_events: u64 = checkpoint.offsets.iter().flatten().sum();
+        assert_eq!(victim.metrics().events_in, restored_events);
     }
-    assert!(!victim.is_finished(), "kill point did not interrupt");
-    let checkpoint = victim.checkpoint().unwrap();
-    // The checkpoint is "persisted" (it lives in this test); acknowledge
-    // it so the producer trims its spool — resume must still work from
-    // exactly the acked offsets.
-    victim.ack_checkpoint(&checkpoint).unwrap();
-    let mut observed = rows.lock().unwrap().clone();
-    // The crash: driver, workers, net source, and listener all die. The
-    // producer is connected to nothing and must hold its spool.
-    drop(victim);
-
-    // The restored consumer "process": a fresh listener on the same
-    // address, a fresh driver, state from the checkpoint. Its handshake
-    // tells the reconnecting producer where to resume.
-    let (resumed_rows, mut resumed) = bind_consumer(&path);
-    resumed.restore(&checkpoint).unwrap();
-    let restored_events: u64 = checkpoint.offsets.iter().flatten().sum();
-    assert_eq!(resumed.metrics().events_in, restored_events);
-    resumed.run().unwrap();
+    victim.run().unwrap();
     producer.join().unwrap().unwrap();
-    observed.extend(resumed_rows.lock().unwrap().iter().cloned());
 
-    assert_eq!(
-        observed.len(),
-        reference.len(),
-        "resumed changelog length diverged"
-    );
-    assert_eq!(observed, reference, "resumed changelog diverged");
+    // The oracles replace hand-rolled changelog comparison: splice out
+    // each kill's discarded staging, then the effective history must be
+    // the uninterrupted run's.
+    let effective = effective_history(&tap.events());
+    let mut violations = replay_identical(&reference, &effective);
+    violations.extend(watermark_monotone(&effective));
+    violations.extend(retraction_balanced(&effective));
+    assert!(violations.is_empty(), "oracle violations: {violations:#?}");
 }
 
 // ---------------------------------------------------------------------------
@@ -248,6 +283,8 @@ fn nexmark_q7_survives_consumer_kill_and_restore() {
 
 #[test]
 fn nexmark_q7_survives_producer_kill_and_restart() {
+    use onesql_checker::{replay_identical, retraction_balanced, watermark_monotone};
+
     // Consumer-side restart tolerance: a dead connection releases its
     // partition for the producer's next incarnation instead of
     // poisoning the pipeline.
@@ -257,26 +294,19 @@ fn nexmark_q7_survives_producer_kill_and_restart() {
     };
 
     // Reference: same tolerant consumer, producer never killed.
-    let reference = {
-        let path = socket_path("q7-pref");
-        let (rows, mut driver) = bind_consumer_with(&path, restart_config);
-        let addr = NetAddr::unix(&path);
-        let producer = std::thread::spawn(move || run_producer(addr));
-        driver.run().unwrap();
-        producer.join().unwrap().unwrap();
-        let reference = rows.lock().unwrap().clone();
-        assert!(!reference.is_empty(), "Q7 produced no output");
-        reference
-    };
+    let reference = reference_history("q7-pref", restart_config);
 
     // Victim: the producer dies once each partition published ~half its
     // share, then a fresh producer process regenerates the same
     // deterministic workload from the start. The handshake floor drops
-    // everything the consumer already ingested, so the changelog must
-    // come out byte-identical — the consumer never even notices.
+    // everything the consumer already ingested, so the observable
+    // history must come out identical — the consumer never even
+    // notices, and there is nothing for `effective_history` to splice.
     let path = socket_path("q7-pkill");
     let addr = NetAddr::unix(&path);
-    let (rows, mut driver) = bind_consumer_with(&path, restart_config);
+    let (_rows, mut driver) = bind_consumer_with(&path, restart_config);
+    let tap = onesql::HistoryTap::new();
+    driver.set_history_tap(tap.clone());
     let kill_at = NEXMARK_EVENTS / PARTS as u64 / 2;
     let first = {
         let addr = addr.clone();
@@ -295,15 +325,13 @@ fn nexmark_q7_survives_producer_kill_and_restart() {
     driver.run().unwrap();
     second.join().unwrap().unwrap();
 
-    let observed = rows.lock().unwrap().clone();
-    assert_eq!(
-        observed.len(),
-        reference.len(),
-        "changelog length diverged after producer restart"
-    );
-    assert_eq!(
-        observed, reference,
-        "changelog diverged after producer restart"
+    let history = tap.events();
+    let mut violations = replay_identical(&reference, &history);
+    violations.extend(watermark_monotone(&history));
+    violations.extend(retraction_balanced(&history));
+    assert!(
+        violations.is_empty(),
+        "oracle violations after producer restart: {violations:#?}"
     );
 }
 
