@@ -1,4 +1,9 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Benchmark/experiment harness: the queries and workloads are
+// author-controlled fixtures, so panicking on a malformed one is the right
+// failure mode — there is no caller to bubble an error to.
+#![cfg_attr(not(test), allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! Shared harness code for the onesql benchmarks and the paper-experiment
 //! reproduction binary.

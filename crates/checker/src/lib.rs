@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! `onesql_checker`: black-box consistency checking for onesql pipelines.
 //!

@@ -84,7 +84,9 @@ impl ChangelogSink {
             Target::Writer(w) => writeln!(w, "{line}")
                 .map_err(|e| Error::exec(format!("{}: write error: {e}", self.name))),
             Target::Shared(buf) => {
-                let mut buf = buf.lock().expect("changelog buffer poisoned");
+                let mut buf = buf
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 buf.push_str(&line);
                 buf.push('\n');
                 Ok(())

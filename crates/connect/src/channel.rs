@@ -160,18 +160,18 @@ pub struct ShardedChannelSource(PartitionedVec<ChannelSource>);
 
 /// Create a channel-backed source with `shards` partitions, each holding
 /// at most `capacity` in-flight events. Returns one clonable publisher per
-/// shard, in partition order.
-///
-/// # Panics
-///
-/// Panics when `shards` is zero (a source with no partitions could never
-/// be attached anyway).
+/// shard, in partition order. `shards` is clamped to at least one (a
+/// source with no partitions could never be attached anyway).
+// `shards.max(1)` identically-named parts satisfy `PartitionedVec`'s
+// non-empty/uniform invariants, so the `expect` below cannot fire.
+#[allow(clippy::expect_used)]
 pub fn sharded_channel(
     stream: impl Into<String>,
     shards: usize,
     capacity: usize,
 ) -> (Vec<ChannelPublisher>, ShardedChannelSource) {
     let stream = stream.into();
+    let shards = shards.max(1);
     let mut publishers = Vec::with_capacity(shards);
     let mut sources = Vec::with_capacity(shards);
     for _ in 0..shards {

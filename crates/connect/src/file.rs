@@ -235,8 +235,13 @@ impl TextFileSource {
             let fields = text::split_csv_line(&line);
             if fields.len() != arity {
                 // parse_record's arity error, with the line context
-                // `parse_line` would attach.
-                let err = text::parse_record(&fields, &self.schema).expect_err("arity mismatch");
+                // `parse_line` would attach. The Ok branch cannot fire —
+                // the arity check above guarantees a mismatch — but a
+                // synthesized message beats panicking.
+                let err = match text::parse_record(&fields, &self.schema) {
+                    Err(e) => e,
+                    Ok(_) => Error::exec(format!("expected {arity} fields, got {}", fields.len())),
+                };
                 return Err(Error::exec(format!(
                     "{}: line {}: {err}",
                     self.name, self.line_no
@@ -260,10 +265,12 @@ impl TextFileSource {
                         // timestamp; re-parse it once for the exact value
                         // the row path's error would print.
                         let dt = self.schema.fields()[col].data_type;
-                        let other =
-                            text::parse_value(&fields[col], dt).expect("field parsed above");
+                        let held = match text::parse_value(&fields[col], dt) {
+                            Ok(other) => format!("{other:?}"),
+                            Err(_) => format!("unparseable '{}'", fields[col]),
+                        };
                         return Err(Error::exec(format!(
-                            "{}: line {}: event-time column holds {other:?}",
+                            "{}: line {}: event-time column holds {held}",
                             self.name, self.line_no
                         )));
                     }
@@ -815,7 +822,9 @@ impl TxnFileSink {
                     self.sidecar.display()
                 ))
             })?;
-            Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(bytes);
+            Ok(u64::from_le_bytes(arr))
         };
         let committed = word(0)?;
         let count = word(1)?;
@@ -857,7 +866,9 @@ impl TxnFileSink {
                 return Err(self.err("write after the pipeline finished"));
             }
         }
-        Ok(self.writer.as_mut().expect("active implies a writer"))
+        self.writer
+            .as_mut()
+            .ok_or_else(|| Error::exec("transactional sink is active without an open writer"))
     }
 
     /// Flush buffered lines and return the file's current byte length.
@@ -900,7 +911,10 @@ impl Sink for TxnFileSink {
         // sync the data, then atomically stage (epoch, length). Whichever
         // epochs the store ends up retaining, their boundaries exist.
         let len = self.flushed_len()?;
-        let writer = self.writer.as_mut().expect("flushed_len made active");
+        let writer = self
+            .writer
+            .as_mut()
+            .ok_or_else(|| Error::exec("transactional sink lost its writer after flush"))?;
         writer
             .get_ref()
             .sync_all()
@@ -993,7 +1007,10 @@ impl Sink for TxnFileSink {
         // restore attempt errors loudly on the missing sidecar rather
         // than duplicating rows into a finished file.
         self.flushed_len()?;
-        let writer = self.writer.as_mut().expect("flushed_len made active");
+        let writer = self
+            .writer
+            .as_mut()
+            .ok_or_else(|| Error::exec("transactional sink lost its writer after flush"))?;
         writer
             .get_ref()
             .sync_all()

@@ -121,7 +121,8 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scan above admits only ASCII bytes, so the slice is UTF-8.
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
         // Integer syntax parses exactly; everything else through f64.
         if let Ok(i) = text.parse::<i64>() {
             return Ok(Json::Int(i));
@@ -208,7 +209,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 character.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| Error::exec("invalid UTF-8 in JSON document"))?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err(Error::exec("unterminated JSON string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

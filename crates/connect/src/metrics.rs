@@ -118,13 +118,13 @@ impl Source for MetricsSource {
             .collect();
         for snapshot in &fresh {
             self.render(snapshot);
-            let cursor = self
-                .cursors
-                .get_mut(&snapshot.pipeline)
-                .expect("snapshot came from a watched cursor");
-            cursor.last_seq = snapshot.seq;
-            cursor.finished = snapshot.finished;
-            cursor.at = Some(snapshot.at);
+            // The snapshot came from iterating `cursors`, so the entry
+            // exists; skipping a vanished one only delays its metrics.
+            if let Some(cursor) = self.cursors.get_mut(&snapshot.pipeline) {
+                cursor.last_seq = snapshot.seq;
+                cursor.finished = snapshot.finished;
+                cursor.at = Some(snapshot.at);
+            }
         }
 
         let mut batch = SourceBatch::empty(SourceStatus::Idle);
@@ -143,7 +143,7 @@ impl Source for MetricsSource {
             .values()
             .map(|c| c.at)
             .collect::<Option<Vec<_>>>()
-            .map(|ats| ats.into_iter().min().expect("watched set is non-empty"))
+            .and_then(|ats| ats.into_iter().min())
         {
             let candidate = Ts(min_at.0.saturating_sub(1));
             if self.watermark.is_none_or(|w| candidate > w) {

@@ -351,20 +351,26 @@ impl<'a> FrameReader<'a> {
         Ok(slice)
     }
 
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     fn value(&mut self) -> Result<Value> {
@@ -479,7 +485,9 @@ fn read_frame_raw(conn: &mut NetConn, context: &str) -> FrameRead {
             io_err(context, e).to_string()
         });
     }
-    let crc_wire = u32::from_le_bytes(body[len as usize..].try_into().unwrap());
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&body[len as usize..]);
+    let crc_wire = u32::from_le_bytes(crc_bytes);
     body.truncate(len as usize);
     let crc_body = crc32(&body);
     if crc_wire != crc_body {
@@ -553,7 +561,9 @@ fn read_preamble(conn: &mut NetConn, context: &str) -> Result<Preamble> {
             &preamble[..4]
         )));
     }
-    let version = u16::from_le_bytes(preamble[4..6].try_into().unwrap());
+    let mut version_bytes = [0u8; 2];
+    version_bytes.copy_from_slice(&preamble[4..6]);
+    let version = u16::from_le_bytes(version_bytes);
     if version != WIRE_VERSION {
         return Err(Error::exec(format!(
             "{context}: wire version {version} (this build speaks {WIRE_VERSION})"
@@ -916,7 +926,11 @@ impl NetPublisher {
         let mut body = Vec::with_capacity(9);
         body.push(KIND_KEEPALIVE);
         put_u64(&mut body, self.send_cursor);
-        let mut conn = self.conn.take().expect("ensured above");
+        let Some(mut conn) = self.conn.take() else {
+            return Err(Error::exec(format!(
+                "{context}: connection vanished after ensure"
+            )));
+        };
         let result = write_frame(&mut conn, &context, &body);
         match result {
             Ok(()) => {
@@ -1152,7 +1166,11 @@ impl NetPublisher {
                 put_event(&mut body, event);
             }
             drop(events);
-            let mut conn = self.conn.take().expect("ensured above");
+            let Some(mut conn) = self.conn.take() else {
+                return Err(Error::exec(format!(
+                    "{context}: connection vanished after ensure"
+                )));
+            };
             let result = write_frame(&mut conn, &context, &body);
             self.conn = Some(conn);
             result?;
@@ -1172,7 +1190,11 @@ impl NetPublisher {
             let mut body = Vec::with_capacity(9);
             body.push(KIND_FINISH);
             put_u64(&mut body, self.next_offset);
-            let mut conn = self.conn.take().expect("ensured above");
+            let Some(mut conn) = self.conn.take() else {
+                return Err(Error::exec(format!(
+                    "{context}: connection vanished after ensure"
+                )));
+            };
             let result = write_frame(&mut conn, &context, &body);
             self.conn = Some(conn);
             result?;
@@ -1496,7 +1518,10 @@ struct ListenerShared {
 
 impl ListenerShared {
     fn fail(&self, msg: String) {
-        let mut slot = self.failure.lock().unwrap();
+        let mut slot = self
+            .failure
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if slot.is_none() {
             *slot = Some(msg);
         }
@@ -1533,7 +1558,13 @@ impl NetPartition {
         if let Some(msg) = &self.failed {
             return Err(Error::exec(msg.clone()));
         }
-        if let Some(msg) = self.shared.failure.lock().unwrap().clone() {
+        if let Some(msg) = self
+            .shared
+            .failure
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+        {
             self.failed = Some(msg.clone());
             return Err(Error::exec(msg));
         }
@@ -1583,7 +1614,9 @@ impl Source for NetPartition {
         // (seek) already happened — release the handshake replies.
         {
             let (lock, cvar) = &self.shared.ready;
-            let mut ready = lock.lock().unwrap();
+            let mut ready = lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if !*ready {
                 *ready = true;
                 cvar.notify_all();
@@ -1788,7 +1821,12 @@ impl PartitionedSource for PartitionedNetSource {
             // Fresh source, fresh start: the default resume of 0 stands.
             return Ok(());
         }
-        let started = *self.shared.ready.0.lock().unwrap();
+        let started = *self
+            .shared
+            .ready
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if started {
             if offset == self.inner.offset(partition) {
                 return Ok(());
@@ -1814,7 +1852,10 @@ impl PartitionedSource for PartitionedNetSource {
     /// so transport errors clear the stored writer and succeed.
     fn ack(&mut self, partition: usize, offset: u64) -> Result<()> {
         let slot = &self.shared.parts[partition];
-        let mut writer = slot.writer.lock().unwrap();
+        let mut writer = slot
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(conn) = writer.as_mut() {
             let mut body = Vec::with_capacity(9);
             body.push(KIND_ACK);
@@ -1834,7 +1875,12 @@ impl Drop for PartitionedNetSource {
         self.shared.ready.1.notify_all();
         // ...and unblock reader threads parked on their sockets.
         for slot in &self.shared.parts {
-            if let Some(conn) = slot.writer.lock().unwrap().take() {
+            if let Some(conn) = slot
+                .writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+            {
                 conn.shutdown();
             }
         }
@@ -2014,7 +2060,9 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
     // include it.
     {
         let (lock, cvar) = &shared.ready;
-        let mut ready = lock.lock().unwrap();
+        let mut ready = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while !*ready {
             if shared.shutdown.load(Ordering::Acquire) {
                 conn.shutdown();
@@ -2022,7 +2070,7 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
             }
             let (guard, _) = cvar
                 .wait_timeout(ready, StdDuration::from_millis(50))
-                .unwrap();
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             ready = guard;
         }
     }
@@ -2035,11 +2083,19 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
     // the instant the flag drops and must read the updated resume.
     let release_for_restart = |expected: u64| {
         slot.resume.store(expected, Ordering::Release);
-        *slot.writer.lock().unwrap() = None;
+        *slot
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
         slot.claimed.store(false, Ordering::Release);
     };
     match conn.try_clone() {
-        Ok(writer) => *slot.writer.lock().unwrap() = Some(writer),
+        Ok(writer) => {
+            *slot
+                .writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(writer)
+        }
         Err(e) => {
             if shared.allow_restart {
                 release_for_restart(resume);

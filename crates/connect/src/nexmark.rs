@@ -79,6 +79,10 @@ impl PartitionedNexmarkSource {
     /// `events + 1`), so the union of the partitions never produces two
     /// Persons or two Auctions sharing an ID — joins against `Person` /
     /// `Auction` behave like one workload, just partitioned.
+    // `partitions.max(1)` identically-named single-stream parts satisfy
+    // `PartitionedVec`'s non-empty/uniform invariants, so the `expect`
+    // below cannot fire.
+    #[allow(clippy::expect_used)]
     pub fn new(
         config: GeneratorConfig,
         events: u64,

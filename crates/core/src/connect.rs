@@ -1292,8 +1292,7 @@ impl PipelineDriver {
                 // clock clamping keeps the run's ptime lane monotone.
                 let mut run: Vec<(Ts, Change)> = vec![(self.clock, event.change)];
                 if self.config.vectorize && self.stream_vectorizes(&stream) {
-                    while events.peek().is_some_and(|next| next.stream == stream_idx) {
-                        let next = events.next().expect("peeked");
+                    while let Some(next) = events.next_if(|next| next.stream == stream_idx) {
                         self.clock = self.clock.max(next.ptime);
                         run.push((self.clock, next.change));
                     }
@@ -1318,8 +1317,9 @@ impl PipelineDriver {
                 } else {
                     self.metrics.fallback_rounds += u64::from(!fallback_round);
                     fallback_round = true;
-                    let (ts, change) = run.pop().expect("single-event run");
-                    self.query.change(&stream, ts, change)?;
+                    if let Some((ts, change)) = run.pop() {
+                        self.query.change(&stream, ts, change)?;
+                    }
                 }
                 self.sources[slot].events += run_events;
                 self.sources[slot].bytes += run_bytes;

@@ -142,7 +142,9 @@ pub fn read_verified(path: &Path, magic: [u8; 4]) -> Result<Vec<u8>> {
             "'{display}' is format version {version}, this build reads version {FORMAT_VERSION}"
         )));
     }
-    let len = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&bytes[6..14]);
+    let len = u64::from_le_bytes(len_bytes);
     let payload = &bytes[PREAMBLE_LEN..];
     if payload.len() as u64 != len {
         return Err(Error::exec(format!(
@@ -150,7 +152,9 @@ pub fn read_verified(path: &Path, magic: [u8; 4]) -> Result<Vec<u8>> {
             payload.len()
         )));
     }
-    let crc = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes"));
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&bytes[14..18]);
+    let crc = u32::from_le_bytes(crc_bytes);
     let actual = crc32(payload);
     if crc != actual {
         return Err(Error::exec(format!(

@@ -62,7 +62,10 @@ impl HistoryTap {
 
     /// Append one event.
     pub fn record(&self, event: HistoryEvent) {
-        self.events.lock().unwrap().push(event);
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(event);
     }
 
     /// Append a batch of emitted rows (one [`HistoryEvent::Emitted`] per
@@ -71,18 +74,27 @@ impl HistoryTap {
         if rows.is_empty() {
             return;
         }
-        let mut events = self.events.lock().unwrap();
+        let mut events = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         events.extend(rows.iter().cloned().map(HistoryEvent::Emitted));
     }
 
     /// A snapshot of everything recorded so far.
     pub fn events(&self) -> Vec<HistoryEvent> {
-        self.events.lock().unwrap().clone()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// How many events are recorded.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether nothing has been recorded.
@@ -92,7 +104,10 @@ impl HistoryTap {
 
     /// Discard everything recorded so far (the handle stays installed).
     pub fn clear(&self) {
-        self.events.lock().unwrap().clear();
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 

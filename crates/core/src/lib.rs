@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! `onesql-core`: the unified streaming/table SQL engine.
 //!
@@ -58,4 +60,4 @@ pub use session::{PipelineInfo, ScriptOutcome, Session, SqlPipeline, StatementRe
 pub use shard::{PipelineCheckpoint, ShardedConfig, ShardedPipelineDriver};
 
 pub use onesql_exec::{ExecConfig, StreamRow};
-pub use onesql_plan::{BoundQuery, EmitSpec};
+pub use onesql_plan::{render_report, BoundQuery, Diagnostic, EmitSpec, LintMode, Severity};

@@ -98,7 +98,9 @@ fn trace_slot() -> &'static Mutex<Option<Arc<dyn TraceSink>>> {
 /// Replaces any previously installed sink. Tracing stays enabled until
 /// [`uninstall`] is called.
 pub fn install(sink: Arc<dyn TraceSink>) {
-    *trace_slot().lock().unwrap() = Some(sink);
+    *trace_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(sink);
     TRACE_ON.store(true, Ordering::Release);
 }
 
@@ -106,7 +108,9 @@ pub fn install(sink: Arc<dyn TraceSink>) {
 /// single-atomic-load fast path.
 pub fn uninstall() {
     TRACE_ON.store(false, Ordering::Release);
-    *trace_slot().lock().unwrap() = None;
+    *trace_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
 }
 
 /// Whether a trace sink is currently installed.
@@ -131,7 +135,10 @@ pub fn emit(event: TraceEvent<'_>) {
 fn emit_slow(event: &TraceEvent<'_>) {
     // Clone the Arc out of the slot so the sink runs without the lock held
     // (a sink may itself emit, e.g. when wrapping another sink).
-    let sink = trace_slot().lock().unwrap().clone();
+    let sink = trace_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
     if let Some(sink) = sink {
         sink.event(event);
     }
@@ -466,7 +473,10 @@ impl MetricsHub {
         finished: bool,
         metrics: PipelineMetrics,
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.next_seq += 1;
         let seq = inner.next_seq;
         inner.pipelines.insert(
@@ -484,14 +494,19 @@ impl MetricsHub {
 
     /// The latest snapshot for `pipeline`, if it has ever published.
     pub fn latest(&self, pipeline: &str) -> Option<PipelineSnapshot> {
-        self.inner.lock().unwrap().pipelines.get(pipeline).cloned()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pipelines
+            .get(pipeline)
+            .cloned()
     }
 
     /// All current snapshots, ordered by pipeline name.
     pub fn snapshots(&self) -> Vec<PipelineSnapshot> {
         self.inner
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pipelines
             .values()
             .cloned()
@@ -500,7 +515,11 @@ impl MetricsHub {
 
     /// Remove the entry for `pipeline` (used when a pipeline is dropped).
     pub fn clear(&self, pipeline: &str) {
-        self.inner.lock().unwrap().pipelines.remove(pipeline);
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pipelines
+            .remove(pipeline);
     }
 }
 
@@ -526,7 +545,10 @@ mod tests {
                 TraceEvent::Gauge { name, value } => format!("gauge {name} {value}"),
                 TraceEvent::Sample { name, value } => format!("sample {name} {value}"),
             };
-            self.0.lock().unwrap().push(line);
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(line);
         }
     }
 
@@ -548,7 +570,11 @@ mod tests {
         uninstall();
         counter("quiet.again", 9);
 
-        let lines = sink.0.lock().unwrap().clone();
+        let lines = sink
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         assert_eq!(
             lines,
             vec![

@@ -333,10 +333,17 @@ impl RunningQuery {
 /// screen pays for the per-row scan.
 fn first_invalid_row(schema: &Schema, batch: &ChangeBatch) -> Option<(usize, Error)> {
     if batch.arity() != schema.arity() {
-        return Some((
-            0,
-            validate_row(schema, &batch.row(0)).expect_err("arity mismatch"),
-        ));
+        let error = match validate_row(schema, &batch.row(0)) {
+            Err(e) => e,
+            // Unreachable (the validator rejects arity mismatches), but a
+            // synthesized error beats panicking on a hot path.
+            Ok(()) => Error::exec(format!(
+                "row arity {} does not match schema arity {}",
+                batch.arity(),
+                schema.arity()
+            )),
+        };
+        return Some((0, error));
     }
     let clean =
         schema.fields().iter().zip(batch.columns()).all(|(f, c)| {

@@ -135,11 +135,15 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
+use onesql_plan::lint::{
+    analyze_script, Diagnostic, LintContext, LintMode, PipelineSeed, Severity, SinkSeed, SourceSeed,
+};
 use onesql_plan::statement::referenced_relations;
 use onesql_plan::{
     bind_statement, BoundStatement, Catalog, ConnectorOptions, SessionKnob, TableKind,
 };
-use onesql_sql::ast::{DropKind, Statement};
+use onesql_sql::ast::{DropKind, OptionValue, Statement};
+use onesql_sql::{Span, SpannedStatement};
 use onesql_state::TemporalTable;
 use onesql_types::{Error, Result, Row, SchemaRef, Ts};
 
@@ -475,6 +479,29 @@ pub enum StatementResult {
     Query(Box<RunningQuery>),
     /// An `INSERT INTO ... SELECT` pipeline, assembled and ready to run.
     Pipeline(SqlPipeline),
+    /// `EXPLAIN LINT` output: the analyzed script text plus the static
+    /// analyzer's findings (spans index into `script`).
+    Diagnostics {
+        /// The script text that was analyzed (for the single-statement
+        /// form, the statement's canonical SQL).
+        script: String,
+        /// The findings, in statement order; empty means a clean bill.
+        diagnostics: Vec<Diagnostic>,
+    },
+}
+
+impl StatementResult {
+    /// Render an `EXPLAIN LINT` result as one line per finding (or a
+    /// clean-bill line); `None` for other result kinds.
+    pub fn render_lint(&self) -> Option<String> {
+        match self {
+            StatementResult::Diagnostics {
+                script,
+                diagnostics,
+            } => Some(onesql_plan::render_report(diagnostics, script)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Debug for StatementResult {
@@ -502,6 +529,10 @@ impl std::fmt::Debug for StatementResult {
                 .finish(),
             StatementResult::Query(q) => f.debug_tuple("Query").field(q).finish(),
             StatementResult::Pipeline(p) => f.debug_tuple("Pipeline").field(p).finish(),
+            StatementResult::Diagnostics { diagnostics, .. } => f
+                .debug_struct("Diagnostics")
+                .field("count", &diagnostics.len())
+                .finish(),
         }
     }
 }
@@ -511,6 +542,10 @@ impl std::fmt::Debug for StatementResult {
 pub struct ScriptOutcome {
     /// Per-statement results.
     pub results: Vec<StatementResult>,
+    /// Static-analysis findings attached before execution (empty under
+    /// `SET lint = 'off'`, or when the script lints clean). Spans index
+    /// into the script text the outcome came from.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl ScriptOutcome {
@@ -577,6 +612,9 @@ pub struct Session {
     /// Epochs a `CHECKPOINT PIPELINE` store retains (`SET
     /// checkpoint_retain = K`).
     checkpoint_retain: usize,
+    /// How [`Session::execute_script`] treats lint findings (`SET lint =
+    /// 'strict'|'warn'|'off'`; default `warn`).
+    lint: LintMode,
 }
 
 impl Session {
@@ -596,6 +634,7 @@ impl Session {
             partition_col: 0,
             driver: DriverConfig::default(),
             checkpoint_retain: crate::durable::DEFAULT_RETAIN,
+            lint: LintMode::default(),
         }
     }
 
@@ -630,14 +669,129 @@ impl Session {
     /// assemble pipelines, `EXPLAIN`s render plans. Statements run in
     /// order; the first error stops the script (earlier statements stay
     /// applied — scripts are not transactions).
+    ///
+    /// Unless `SET lint = 'off'`, the script is first run through the
+    /// static analyzer ([`onesql_plan::lint`]); findings come back on
+    /// [`ScriptOutcome::diagnostics`]. Under `SET lint = 'strict'`, any
+    /// `Error`-severity finding refuses execution up front.
     pub fn execute_script(&mut self, sql: &str) -> Result<ScriptOutcome> {
-        let statements = onesql_sql::parse_script(sql)?;
+        let statements = onesql_sql::parse_script_spanned(sql)?;
+        let diagnostics = if self.lint == LintMode::Off {
+            Vec::new()
+        } else {
+            let report = self.lint_statements(&statements);
+            if self.lint == LintMode::Strict {
+                if let Some(err) = report.iter().find(|d| d.severity == Severity::Error) {
+                    return Err(Error::plan(format!(
+                        "lint (strict): {}; SET lint = 'warn' to execute anyway",
+                        err.render(sql)
+                    )));
+                }
+            }
+            report
+        };
         let mut results = Vec::with_capacity(statements.len());
-        for statement in &statements {
-            let result = self.run_statement(statement, &mut results)?;
+        for spanned in &statements {
+            let result = self.run_statement(&spanned.statement, &mut results)?;
             results.push(result);
         }
-        Ok(ScriptOutcome { results })
+        Ok(ScriptOutcome {
+            results,
+            diagnostics,
+        })
+    }
+
+    /// `EXPLAIN LINT` / pre-execution analysis: run the static analyzer
+    /// over `sql` against the session's current catalog, source/sink
+    /// definitions, and knobs, without executing anything.
+    pub fn lint_script(&self, sql: &str) -> Vec<Diagnostic> {
+        match onesql_sql::parse_script_spanned(sql) {
+            Ok(statements) => self.lint_statements(&statements),
+            Err(err) => vec![Diagnostic {
+                code: "OSQL000",
+                severity: Severity::Error,
+                message: err.to_string(),
+                span: Span::new(0, sql.len()),
+                statement: 0,
+            }],
+        }
+    }
+
+    fn lint_statements(&self, statements: &[SpannedStatement]) -> Vec<Diagnostic> {
+        let ctx = self.lint_context(statements);
+        analyze_script(statements, &ctx)
+    }
+
+    /// The analyzer's seed: a catalog snapshot, the session's current
+    /// definitions and knobs, and — by asking the connector registry —
+    /// the streams each schema-less in-script `CREATE SOURCE` would
+    /// declare (`nexmark` declares `Person`/`Auction`/`Bid`).
+    fn lint_context(&self, statements: &[SpannedStatement]) -> LintContext {
+        let mut ctx = LintContext {
+            catalog: self.engine.catalog().clone(),
+            workers: self.workers,
+            partition_col: self.partition_col,
+            ..LintContext::default()
+        };
+        for def in &self.sources {
+            ctx.sources.push(SourceSeed {
+                name: def.name.clone(),
+                connector: def.connector.clone(),
+                partitioned: def.partitioned,
+                streams: def.streams.clone(),
+                partitions: match def.options.get("partitions") {
+                    Some(OptionValue::Number(n)) => n.parse().ok(),
+                    _ => None,
+                },
+            });
+        }
+        for def in &self.sinks {
+            ctx.sinks.push(SinkSeed {
+                name: def.name.clone(),
+                connector: def.connector.clone(),
+                stream: match def.options.get("stream") {
+                    Some(OptionValue::String(s)) => Some(s.clone()),
+                    _ => None,
+                },
+            });
+        }
+        for (name, pipeline) in &self.pipelines {
+            ctx.pipelines.push(PipelineSeed {
+                name: name.clone(),
+                sharded: pipeline.is_sharded(),
+                // Adopted pipelines already hold live connectors; the
+                // analyzer has no definition to judge, so assume the best.
+                replayable: true,
+            });
+        }
+        for spanned in statements {
+            let Statement::CreateSource(c) = &spanned.statement else {
+                continue;
+            };
+            if !c.columns.is_empty() {
+                continue;
+            }
+            let Ok(options) = ConnectorOptions::new(&c.options) else {
+                continue; // the analyzer reports the bind error itself
+            };
+            let mut bag = OptionBag::new(format!("source '{}'", c.name), &options);
+            let Ok(connector) = bag.require_str("connector") else {
+                continue;
+            };
+            let Ok(factory) = self.registry.source(&connector) else {
+                continue;
+            };
+            let spec = SourceSpec {
+                name: &c.name,
+                partitioned: c.partitioned,
+                schema: None,
+                catalog: self.engine.catalog(),
+            };
+            if let Ok(declared) = factory.declare(&spec, &mut bag) {
+                ctx.declared.insert(c.name.to_ascii_lowercase(), declared);
+            }
+        }
+        ctx
     }
 
     /// Run a single statement (optionally `;`-terminated).
@@ -686,33 +840,36 @@ impl Session {
         prior: &'a mut [StatementResult],
     ) -> Result<&'a mut SqlPipeline> {
         let key = id.to_ascii_lowercase();
-        if self.pipelines.contains_key(&key) {
-            return Ok(self.pipelines.get_mut(&key).expect("checked"));
+        if !self.pipelines.contains_key(&key) {
+            let found = prior.iter().rposition(
+                |result| matches!(result, StatementResult::Pipeline(p) if p.name() == key),
+            );
+            if let Some(idx) = found {
+                let StatementResult::Pipeline(p) = &mut prior[idx] else {
+                    // Unreachable: `found` matched this exact shape.
+                    return Err(Error::plan(format!("{what} {id}: pipeline result moved")));
+                };
+                return Ok(p);
+            }
+            let mut known: Vec<&str> = self.pipelines.keys().map(String::as_str).collect();
+            let in_script: Vec<&str> = prior
+                .iter()
+                .filter_map(|r| match r {
+                    StatementResult::Pipeline(p) => Some(p.name()),
+                    _ => None,
+                })
+                .collect();
+            known.extend(in_script);
+            return Err(Error::plan(format!(
+                "{what} {id}: no such pipeline; a pipeline is named by its \
+                 INSERT INTO target and must be assembled earlier in the same \
+                 script or adopted into the session (known: [{}])",
+                known.join(", ")
+            )));
         }
-        let found = prior
-            .iter()
-            .rposition(|result| matches!(result, StatementResult::Pipeline(p) if p.name() == key));
-        if let Some(idx) = found {
-            let StatementResult::Pipeline(p) = &mut prior[idx] else {
-                unreachable!("matched above")
-            };
-            return Ok(p);
-        }
-        let mut known: Vec<&str> = self.pipelines.keys().map(String::as_str).collect();
-        let in_script: Vec<&str> = prior
-            .iter()
-            .filter_map(|r| match r {
-                StatementResult::Pipeline(p) => Some(p.name()),
-                _ => None,
-            })
-            .collect();
-        known.extend(in_script);
-        Err(Error::plan(format!(
-            "{what} {id}: no such pipeline; a pipeline is named by its \
-             INSERT INTO target and must be assembled earlier in the same \
-             script or adopted into the session (known: [{}])",
-            known.join(", ")
-        )))
+        self.pipelines
+            .get_mut(&key)
+            .ok_or_else(|| Error::plan(format!("{what} {id}: no such pipeline")))
     }
 
     /// Retrieve (and remove) a side handle exported by the most recent
@@ -730,7 +887,11 @@ impl Session {
                 continue;
             };
             let handle = slot.remove(idx);
-            return Some(*handle.downcast::<T>().expect("type checked above"));
+            match handle.downcast::<T>() {
+                Ok(h) => return Some(*h),
+                // Unreachable (`is::<T>` vetted the slot); restore it.
+                Err(h) => slot.insert(idx, h),
+            }
         }
         None
     }
@@ -752,6 +913,13 @@ impl Session {
                     self.engine.discard_pending_connectors();
                 }
                 result
+            }
+            BoundStatement::ExplainLint { script } => {
+                let diagnostics = self.lint_script(&script);
+                Ok(StatementResult::Diagnostics {
+                    script,
+                    diagnostics,
+                })
             }
             BoundStatement::ShowPipelines => {
                 let mut infos = Vec::new();
@@ -887,6 +1055,7 @@ impl Session {
                 self.driver.max_idle_rounds = if n == 0 { None } else { Some(n) };
             }
             SessionKnob::CheckpointRetain(k) => self.checkpoint_retain = k,
+            SessionKnob::Lint(mode) => self.lint = mode,
         }
         Ok(())
     }

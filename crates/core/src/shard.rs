@@ -258,11 +258,7 @@ fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>, vectorize: bool) -> R
                 while let Some((stream, ptime, change)) = events.next() {
                     let mut run = vec![(ptime, change)];
                     if vectorize && query.vectorizes(&streams[stream]) {
-                        while let Some((next, ..)) = events.peek() {
-                            if *next != stream {
-                                break;
-                            }
-                            let (_, p, c) = events.next().expect("peeked");
+                        while let Some((_, p, c)) = events.next_if(|(next, ..)| *next == stream) {
                             run.push((p, c));
                         }
                     }
@@ -275,8 +271,10 @@ fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>, vectorize: bool) -> R
                                 .try_for_each(|(p, c)| query.change(&streams[stream], p, c)),
                         }
                     } else {
-                        let (p, c) = run.pop().expect("one event");
-                        query.change(&streams[stream], p, c)
+                        match run.pop() {
+                            Some((p, c)) => query.change(&streams[stream], p, c),
+                            None => Ok(()),
+                        }
                     };
                     if let Err(e) = res {
                         failure = Some(e);
@@ -434,6 +432,9 @@ impl ShardedPipelineDriver {
             workers.push(Worker { tx, handle });
         }
         let worker_count = workers.len();
+        let Some(schema) = schema else {
+            return Err(Error::exec("a sharded pipeline needs at least one worker"));
+        };
         Ok(ShardedPipelineDriver {
             workers,
             sources: Vec::new(),
@@ -448,7 +449,7 @@ impl ShardedPipelineDriver {
             pending: (0..worker_count).map(|_| VecDeque::new()).collect(),
             next_seq: vec![0; worker_count],
             renderer: StreamRenderer::new(ver_cols),
-            schema: schema.expect("at least one worker"),
+            schema,
             output_watermark: Watermark::MIN,
             sink_watermark: Watermark::MIN,
             finished: false,
@@ -762,7 +763,9 @@ impl ShardedPipelineDriver {
                 .streams
                 .iter()
                 .position(|s| *s == stream)
-                .expect("registered at attach");
+                .ok_or_else(|| {
+                    Error::exec(format!("watermark for unregistered stream '{stream}'"))
+                })?;
             self.broadcast(|| Cmd::Watermark(stream_id, self.clock, combined.ts()))?;
             self.metrics.watermarks_in += 1;
         }
@@ -865,13 +868,14 @@ impl ShardedPipelineDriver {
     /// across all workers.
     fn flush(&mut self, everything: bool) -> Result<()> {
         let mut batch: Vec<(Ts, usize, u64, TimedChange)> = Vec::new();
+        let clock = self.clock;
         for (w, pending) in self.pending.iter_mut().enumerate() {
-            while let Some((_, entry)) = pending.front() {
-                if everything || entry.ptime < self.clock {
-                    let (seq, entry) = pending.pop_front().expect("front exists");
+            while pending
+                .front()
+                .is_some_and(|(_, entry)| everything || entry.ptime < clock)
+            {
+                if let Some((seq, entry)) = pending.pop_front() {
                     batch.push((entry.ptime, w, seq, entry));
-                } else {
-                    break;
                 }
             }
         }

@@ -50,12 +50,14 @@ impl InOrderBuffer {
         }
         self.last_heartbeat = Some(heartbeat);
         let mut out = Vec::new();
-        while let Some(Reverse((ts, _))) = self.heap.peek() {
-            if *ts > heartbeat {
-                break;
+        while self
+            .heap
+            .peek()
+            .is_some_and(|Reverse((ts, _))| *ts <= heartbeat)
+        {
+            if let Some(Reverse((ts, row))) = self.heap.pop() {
+                out.push((ts, row));
             }
-            let Reverse((ts, row)) = self.heap.pop().expect("peeked");
-            out.push((ts, row));
         }
         if let Some((ts, _)) = out.last() {
             self.released_up_to = Some(*ts);

@@ -149,7 +149,7 @@ impl Accumulator {
         match self.func {
             AggFunc::Count => {
                 if self.distinct {
-                    let n = self.values.as_ref().expect("distinct keeps values").len() as i64;
+                    let n = self.values.as_ref().map_or(0, |m| m.len()) as i64;
                     Ok(Value::Int(n))
                 } else if self.count_star {
                     Ok(Value::Int(self.rows))
@@ -160,12 +160,15 @@ impl Accumulator {
             AggFunc::Sum => self.sum_value(false),
             AggFunc::Avg => {
                 let (sum, count) = if self.distinct {
-                    let values = self.values.as_ref().expect("distinct keeps values");
                     let mut s = 0.0;
-                    for v in values.keys() {
-                        s += v.as_float()?;
+                    let mut n = 0i64;
+                    if let Some(values) = self.values.as_ref() {
+                        for v in values.keys() {
+                            s += v.as_float()?;
+                        }
+                        n = values.len() as i64;
                     }
-                    (s, values.len() as i64)
+                    (s, n)
                 } else {
                     (self.float_sum, self.nonnull)
                 };
@@ -190,7 +193,10 @@ impl Accumulator {
 
     fn sum_value(&self, _distinct: bool) -> Result<Value> {
         if self.distinct {
-            let values = self.values.as_ref().expect("distinct keeps values");
+            // `distinct` keeps `values`; an absent map means no input yet.
+            let Some(values) = self.values.as_ref() else {
+                return Ok(Value::Null);
+            };
             if values.is_empty() {
                 return Ok(Value::Null);
             }
@@ -428,26 +434,19 @@ impl Aggregate {
         out: &mut Vec<Element>,
     ) -> Result<()> {
         let is_global = self.group_exprs.is_empty();
-        let group_exists = self.state.get(&key).is_some();
-        let old_row = if group_exists {
-            let g = self.state.get(&key).expect("checked");
-            if g.live_rows > 0 || is_global {
-                Some(self.output_row(&key, g)?)
-            } else {
-                None
-            }
-        } else {
-            None
+        let old_row = match self.state.get(&key) {
+            Some(g) if g.live_rows > 0 || is_global => Some(self.output_row(&key, g)?),
+            _ => None,
         };
 
         // Apply the change.
         {
-            let fresh = self.fresh_group();
-            let group = if group_exists {
-                self.state.get_mut(&key).expect("checked")
-            } else {
+            if self.state.get(&key).is_none() {
+                let fresh = self.fresh_group();
                 self.state.put(key.clone(), fresh);
-                self.state.get_mut(&key).expect("just inserted")
+            }
+            let Some(group) = self.state.get_mut(&key) else {
+                return Err(Error::exec("aggregate group vanished mid-update"));
             };
             group.live_rows += diff;
             for (acc, arg) in group.accs.iter_mut().zip(&args) {
@@ -455,7 +454,9 @@ impl Aggregate {
             }
         }
 
-        let group = self.state.get(&key).expect("present");
+        let Some(group) = self.state.get(&key) else {
+            return Err(Error::exec("aggregate group vanished mid-update"));
+        };
         let new_row = if group.live_rows > 0 || is_global {
             Some(self.output_row(&key, group)?)
         } else {
@@ -559,7 +560,9 @@ impl Operator for Aggregate {
         // repaired below by replaying that row through the per-row oracle,
         // which drops it without error — exactly as the oracle would.)
         let evald = {
-            let (gk, ak) = self.kernels.as_ref().expect("compiled above");
+            let Some((gk, ak)) = self.kernels.as_ref() else {
+                return Err(Error::exec("aggregate kernels not compiled"));
+            };
             let frame = Frame::new(batch.columns(), batch.selection(), n);
             gk.iter()
                 .map(|k| eval_kernel(k, &frame, None))

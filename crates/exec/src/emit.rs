@@ -105,13 +105,15 @@ impl Operator for WatermarkGate {
                 // Release everything now complete, in (ts, row) order, data
                 // before the watermark.
                 let watermark = self.watermark;
-                while let Some(((ts, _), _)) = self.pending.first_key_value() {
-                    if !watermark.closes(*ts) {
-                        break;
-                    }
-                    let ((_, row), diff) = self.pending.pop_first().expect("non-empty");
-                    if diff != 0 {
-                        out.push(Element::Data(Change::with_diff(row, diff)));
+                while self
+                    .pending
+                    .first_key_value()
+                    .is_some_and(|((ts, _), _)| watermark.closes(*ts))
+                {
+                    if let Some(((_, row), diff)) = self.pending.pop_first() {
+                        if diff != 0 {
+                            out.push(Element::Data(Change::with_diff(row, diff)));
+                        }
                     }
                 }
                 out.push(Element::Watermark(watermark));

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Incremental dataflow execution of streaming SQL plans.
 //!

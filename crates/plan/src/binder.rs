@@ -541,9 +541,13 @@ impl<'a> Binder<'a> {
             }
         };
 
+        let required = |v: Option<Duration>, name: &str| {
+            v.ok_or_else(|| Error::plan(format!("parameter '{name}' of {} is required", call.name)))
+        };
+
         let kind = match name_upper.as_str() {
             "TUMBLE" => {
-                let dur = scalar_slot(2, "dur")?.expect("required");
+                let dur = required(scalar_slot(2, "dur")?, "dur")?;
                 let offset = scalar_slot(3, "offset")?.unwrap_or(Duration::ZERO);
                 if !dur.is_positive() {
                     return Err(Error::plan("Tumble dur must be positive"));
@@ -551,8 +555,8 @@ impl<'a> Binder<'a> {
                 WindowKind::Tumble { dur, offset }
             }
             "HOP" => {
-                let dur = scalar_slot(2, "dur")?.expect("required");
-                let hopsize = scalar_slot(3, "hopsize")?.expect("required");
+                let dur = required(scalar_slot(2, "dur")?, "dur")?;
+                let hopsize = required(scalar_slot(3, "hopsize")?, "hopsize")?;
                 let offset = scalar_slot(4, "offset")?.unwrap_or(Duration::ZERO);
                 if !dur.is_positive() || !hopsize.is_positive() {
                     return Err(Error::plan("Hop dur and hopsize must be positive"));
@@ -564,7 +568,7 @@ impl<'a> Binder<'a> {
                 }
             }
             "SESSION" => {
-                let gap = scalar_slot(2, "gap")?.expect("required");
+                let gap = required(scalar_slot(2, "gap")?, "gap")?;
                 if !gap.is_positive() {
                     return Err(Error::plan("Session gap must be positive"));
                 }
@@ -866,8 +870,10 @@ impl<'a> Binder<'a> {
                 },
             }),
             ast::Expr::Function { name, args, .. } if ScalarFunc::lookup(name).is_some() => {
+                let func = ScalarFunc::lookup(name)
+                    .ok_or_else(|| Error::plan(format!("unknown scalar function '{name}'")))?;
                 Ok(ScalarExpr::ScalarFn {
-                    func: ScalarFunc::lookup(name).expect("checked"),
+                    func,
                     args: args
                         .iter()
                         .map(|a| self.bind_over_aggregate(a, rewrite, agg_schema))

@@ -429,9 +429,10 @@ impl ScalarExpr {
             }
             Plus | Minus => match (lt, rt) {
                 (T::Null, o) | (o, T::Null) => Ok(o),
-                (a, b) if a.is_numeric() && b.is_numeric() => {
-                    Ok(T::common_super_type(a, b).expect("numeric"))
-                }
+                (a, b) if a.is_numeric() && b.is_numeric() => match T::common_super_type(a, b) {
+                    Some(t) => Ok(t),
+                    None => err(),
+                },
                 (T::Timestamp, T::Interval) => Ok(T::Timestamp),
                 (T::Interval, T::Timestamp) if op == Plus => Ok(T::Timestamp),
                 (T::Timestamp, T::Timestamp) if op == Minus => Ok(T::Interval),
@@ -440,17 +441,19 @@ impl ScalarExpr {
             },
             Mul => match (lt, rt) {
                 (T::Null, o) | (o, T::Null) => Ok(o),
-                (a, b) if a.is_numeric() && b.is_numeric() => {
-                    Ok(T::common_super_type(a, b).expect("numeric"))
-                }
+                (a, b) if a.is_numeric() && b.is_numeric() => match T::common_super_type(a, b) {
+                    Some(t) => Ok(t),
+                    None => err(),
+                },
                 (T::Interval, T::Int) | (T::Int, T::Interval) => Ok(T::Interval),
                 _ => err(),
             },
             Div | Mod => match (lt, rt) {
                 (T::Null, o) | (o, T::Null) => Ok(o),
-                (a, b) if a.is_numeric() && b.is_numeric() => {
-                    Ok(T::common_super_type(a, b).expect("numeric"))
-                }
+                (a, b) if a.is_numeric() && b.is_numeric() => match T::common_super_type(a, b) {
+                    Some(t) => Ok(t),
+                    None => err(),
+                },
                 _ => err(),
             },
             Concat => {

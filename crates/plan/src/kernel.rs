@@ -268,6 +268,10 @@ fn any_live(mask: Option<&[bool]>, len: usize) -> bool {
 /// Evaluate `kernel` over `frame`, restricted to rows where `mask` is true
 /// (`None` = all rows). Values at dead rows are unspecified and must not be
 /// observed.
+// Inner-loop unwraps re-assert invariants the compile step already
+// established (a live row exists after `any_live`; a too-large column
+// index errors on every live row, so the oracle's error is a Result::Err).
+#[allow(clippy::unwrap_used)]
 pub fn eval(kernel: &Kernel, frame: &Frame<'_>, mask: Option<&[bool]>) -> KResult<Vector> {
     if !any_live(mask, frame.len) {
         return Ok(Vector::Scalar(Value::Null));
@@ -500,6 +504,9 @@ impl Operand<'_> {
     }
 }
 
+// `is_int`-guarded operands make `int_at` infallible at live rows, and the
+// overflow path re-runs the oracle's own arithmetic, which is the error.
+#[allow(clippy::unwrap_used)]
 fn eval_binary_kernel(
     left: &Kernel,
     op: BinOp,

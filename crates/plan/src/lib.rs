@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Query planning: binding, logical plans, and optimization.
 //!
@@ -19,6 +21,7 @@ pub mod binder;
 pub mod catalog;
 pub mod expr;
 pub mod kernel;
+pub mod lint;
 pub mod optimizer;
 pub mod plan;
 pub mod statement;
@@ -28,6 +31,10 @@ pub use catalog::{Catalog, MemoryCatalog, TableKind};
 pub use expr::{AggCall, AggFunc, ScalarExpr};
 pub use kernel::{
     compile as compile_kernel, eval as eval_kernel, Frame, Kernel, KernelError, Vector,
+};
+pub use lint::{
+    analyze_script, lint_script_text, render_report, Diagnostic, LintContext, LintMode,
+    PipelineSeed, Severity, SinkSeed, SourceSeed,
 };
 pub use optimizer::optimize;
 pub use plan::{BoundQuery, EmitSpec, JoinKind, JoinTimeBound, LogicalPlan, SortKey, WindowKind};

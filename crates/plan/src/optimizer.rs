@@ -424,13 +424,12 @@ fn push_filter_through_window_rule(plan: &LogicalPlan) -> Option<LogicalPlan> {
     let (below, above): (Vec<_>, Vec<_>) = conjuncts
         .into_iter()
         .partition(|c| c.referenced_columns().iter().all(|&i| i < input_arity));
-    if below.is_empty() {
-        return None;
-    }
+    // `combine_conjuncts` yields None exactly when nothing pushes below.
+    let below = combine_conjuncts(below)?;
     let pushed = LogicalPlan::Window {
         input: Box::new(LogicalPlan::Filter {
             input: win_input.clone(),
-            predicate: combine_conjuncts(below).expect("non-empty"),
+            predicate: below,
         }),
         kind: *kind,
         time_col: *time_col,

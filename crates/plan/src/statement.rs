@@ -15,7 +15,10 @@ use std::collections::BTreeSet;
 use onesql_sql::ast::{ColumnDef, DropKind, OptionValue, Statement, WithOption};
 use onesql_types::{DataType, Error, Field, Result, Schema};
 
+use onesql_sql::ast::LintTarget;
+
 use crate::catalog::Catalog;
+use crate::lint::LintMode;
 use crate::optimizer::optimize;
 use crate::plan::{BoundQuery, LogicalPlan};
 use crate::TableKind;
@@ -119,6 +122,15 @@ pub enum BoundStatement {
         /// for engines that plan per worker from text.
         query_sql: String,
     },
+    /// `EXPLAIN LINT ...`: run the static analyzer over `script` (for the
+    /// single-statement form, the statement's canonical SQL text) and
+    /// report diagnostics. The script is *not* bound here — the session
+    /// lints it statement by statement against an evolving catalog
+    /// snapshot, exactly as execution would bind it.
+    ExplainLint {
+        /// The SQL script text to lint; diagnostics carry spans into it.
+        script: String,
+    },
     /// `SHOW PIPELINES`: render live metrics for the session's pipelines.
     ShowPipelines,
     /// `SET <knob> = <value>`, validated to a typed knob.
@@ -169,6 +181,9 @@ pub enum SessionKnob {
     MaxIdleRounds(u64),
     /// `SET checkpoint_retain = K` — epochs a checkpoint store keeps.
     CheckpointRetain(usize),
+    /// `SET lint = 'strict'|'warn'|'off'` — how `execute_script` treats
+    /// lint diagnostics.
+    Lint(LintMode),
 }
 
 impl SessionKnob {
@@ -182,12 +197,13 @@ impl SessionKnob {
             SessionKnob::MaxBatch(_) => "max_batch",
             SessionKnob::MaxIdleRounds(_) => "max_idle_rounds",
             SessionKnob::CheckpointRetain(_) => "checkpoint_retain",
+            SessionKnob::Lint(_) => "lint",
         }
     }
 }
 
 /// The knob names `SET` accepts, for error messages.
-const KNOBS: [&str; 7] = [
+const KNOBS: [&str; 8] = [
     "workers",
     "partition_col",
     "batch_size",
@@ -195,6 +211,7 @@ const KNOBS: [&str; 7] = [
     "max_batch",
     "max_idle_rounds",
     "checkpoint_retain",
+    "lint",
 ];
 
 /// Validate a `SET` statement's knob name and value type.
@@ -226,6 +243,14 @@ fn bind_set(name: &str, value: &OptionValue) -> Result<SessionKnob> {
         "max_batch" => Ok(SessionKnob::MaxBatch(positive("a batch size")?)),
         "max_idle_rounds" => Ok(SessionKnob::MaxIdleRounds(uint("a round count")?)),
         "checkpoint_retain" => Ok(SessionKnob::CheckpointRetain(positive("an epoch count")?)),
+        "lint" => {
+            let OptionValue::String(mode) = value else {
+                return Err(Error::plan(format!(
+                    "SET lint: expected 'strict', 'warn', or 'off', got {value}"
+                )));
+            };
+            Ok(SessionKnob::Lint(LintMode::parse(mode)?))
+        }
         _ => Err(Error::plan(format!(
             "SET {knob}: unknown session knob (known knobs: {})",
             KNOBS.join(", ")
@@ -241,6 +266,14 @@ pub fn bind_statement(stmt: &Statement, catalog: &dyn Catalog) -> Result<BoundSt
         Statement::ExplainAnalyze(q) => Ok(BoundStatement::ExplainAnalyze {
             query: optimize(crate::bind(q, catalog)?),
             query_sql: q.to_string(),
+        }),
+        Statement::ExplainLint(target) => Ok(BoundStatement::ExplainLint {
+            script: match target {
+                // Canonical text: spans in the diagnostics refer to it,
+                // and the session echoes it back alongside them.
+                LintTarget::Statement(inner) => inner.to_string(),
+                LintTarget::Script(script) => script.clone(),
+            },
         }),
         Statement::ShowPipelines => Ok(BoundStatement::ShowPipelines),
         Statement::Insert { sink, query } => {

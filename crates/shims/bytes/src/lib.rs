@@ -6,6 +6,11 @@
 //! `Arc<[u8]>` / `Vec<u8>` rather than the real crate's vtable machinery;
 //! semantics relevant to the checkpoint codec are identical.
 
+#![forbid(unsafe_code)]
+// Mirrors the real crate's contract: `get_*` panic on underflow, so the
+// unwraps below are the documented behaviour, not an oversight.
+#![allow(clippy::unwrap_used)]
+
 use std::ops::Deref;
 use std::sync::Arc;
 

@@ -12,6 +12,8 @@
 //! `cargo test` (the `--test` flag runs each benchmark once as a smoke
 //! test), and `--bench` runs the full measurement.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export point for `criterion::black_box`.

@@ -7,6 +7,12 @@
 //! receive) match what the workspace relies on; raw throughput is lower,
 //! which only matters to the bench numbers, not correctness.
 
+#![forbid(unsafe_code)]
+// A poisoned lock means a sender/receiver panicked mid-operation; the
+// real crate propagates such panics across the channel too, so these
+// unwraps are the intended semantics.
+#![allow(clippy::unwrap_used)]
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;

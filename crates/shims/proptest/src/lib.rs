@@ -14,6 +14,11 @@
 //! - **Regex strategies** support the literal-class subset actually used
 //!   (`[a-z0-9_]{m,n}`-style patterns and `\PC`).
 
+#![forbid(unsafe_code)]
+// Test infrastructure: a malformed strategy (e.g. a bad regex pattern
+// written in a test) should panic the test loudly, like real proptest.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod strategy;
 pub mod test_runner;
 

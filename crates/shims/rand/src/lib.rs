@@ -8,6 +8,8 @@
 //! regenerating fixtures after swapping in crates.io `rand` would change
 //! workloads (none of the tests depend on specific draws).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Construction of a PRNG from seed material.

@@ -7,6 +7,8 @@
 //! serialization is ever needed, replace these path dependencies with the
 //! crates.io versions — no source changes required.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait standing in for `serde::Serialize`.

@@ -6,6 +6,8 @@
 //! nothing: `#[derive(Serialize, Deserialize)]` stays valid on every type
 //! while producing no code.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive.

@@ -42,6 +42,9 @@ pub enum Statement {
     /// `EXPLAIN ANALYZE <query>`: run the query to completion over the
     /// session's sources and render its plan plus execution metrics.
     ExplainAnalyze(Query),
+    /// `EXPLAIN LINT <statement | '<script>'>`: run the static pipeline
+    /// analyzer and report diagnostics instead of executing anything.
+    ExplainLint(LintTarget),
     /// `SHOW PIPELINES`: render live metrics rows for every pipeline the
     /// session holds.
     ShowPipelines,
@@ -81,6 +84,15 @@ pub enum Statement {
         /// The object name.
         name: String,
     },
+}
+
+/// What `EXPLAIN LINT` analyzes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintTarget {
+    /// A single statement, analyzed in the current session context.
+    Statement(Box<Statement>),
+    /// A whole `'quoted'` SQL script, analyzed statement by statement.
+    Script(String),
 }
 
 /// One column of a DDL schema: `name TYPE`.
@@ -636,6 +648,10 @@ impl fmt::Display for Statement {
             Statement::Insert { sink, query } => write!(f, "INSERT INTO {sink} {query}"),
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
             Statement::ExplainAnalyze(q) => write!(f, "EXPLAIN ANALYZE {q}"),
+            Statement::ExplainLint(LintTarget::Statement(s)) => write!(f, "EXPLAIN LINT {s}"),
+            Statement::ExplainLint(LintTarget::Script(script)) => {
+                write!(f, "EXPLAIN LINT '{}'", script.replace('\'', "''"))
+            }
             Statement::ShowPipelines => write!(f, "SHOW PIPELINES"),
             Statement::Set { name, value } => write!(f, "SET {name} = {value}"),
             Statement::CheckpointPipeline { pipeline, path } => write!(

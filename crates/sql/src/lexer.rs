@@ -2,7 +2,7 @@
 
 use onesql_types::{Error, Result};
 
-use crate::token::{Keyword, Token, TokenKind};
+use crate::token::{line_col_at, Keyword, Span, Token, TokenKind};
 
 /// Tokenize `sql` into a vector ending with an [`TokenKind::Eof`] token.
 ///
@@ -41,7 +41,11 @@ impl<'a> Lexer<'a> {
     }
 
     fn error_at(&self, offset: usize, msg: impl std::fmt::Display) -> Error {
-        Error::parse(format!("{msg} at byte offset {offset}"))
+        let src = std::str::from_utf8(self.src).unwrap_or_default();
+        let (line, col) = line_col_at(src, offset);
+        Error::parse(format!(
+            "{msg} at line {line}, column {col} (byte offset {offset})"
+        ))
     }
 
     fn run(mut self) -> Result<Vec<Token>> {
@@ -52,7 +56,7 @@ impl<'a> Lexer<'a> {
             let Some(c) = self.peek() else {
                 tokens.push(Token {
                     kind: TokenKind::Eof,
-                    offset,
+                    span: Span::new(offset, offset),
                 });
                 return Ok(tokens);
             };
@@ -127,7 +131,10 @@ impl<'a> Lexer<'a> {
                     )
                 }
             };
-            tokens.push(Token { kind, offset });
+            tokens.push(Token {
+                kind,
+                span: Span::new(offset, self.pos),
+            });
         }
     }
 
@@ -219,9 +226,7 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("number bytes are ASCII")
-            .to_string();
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         TokenKind::Number(text)
     }
 
@@ -233,9 +238,7 @@ impl<'a> Lexer<'a> {
         {
             self.bump();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("word bytes are ASCII")
-            .to_string();
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         match Keyword::lookup(&text) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(text),
@@ -351,6 +354,7 @@ mod tests {
     fn errors_reported_with_offset() {
         let err = tokenize("SELECT @").unwrap_err();
         assert!(err.to_string().contains("offset 7"), "{err}");
+        assert!(err.to_string().contains("line 1, column 8"), "{err}");
         assert!(tokenize("'unterminated").is_err());
         assert!(tokenize("/* open").is_err());
         assert!(tokenize("a ! b").is_err());
@@ -358,10 +362,29 @@ mod tests {
     }
 
     #[test]
-    fn offsets_recorded() {
+    fn errors_reported_with_line_and_column() {
+        let err = tokenize("SELECT x\nFROM Bid\nWHERE @").unwrap_err();
+        assert!(err.to_string().contains("line 3, column 7"), "{err}");
+    }
+
+    #[test]
+    fn spans_recorded() {
         let toks = tokenize("SELECT x").unwrap();
-        assert_eq!(toks[0].offset, 0);
-        assert_eq!(toks[1].offset, 7);
+        assert_eq!(toks[0].span, Span::new(0, 6));
+        assert_eq!(toks[1].span, Span::new(7, 8));
+        assert_eq!(toks[0].offset(), 0);
+        assert_eq!(toks[1].offset(), 7);
+        // Eof is an empty span at the end of input.
+        assert_eq!(toks[2].span, Span::new(8, 8));
+    }
+
+    #[test]
+    fn spans_cover_full_literals() {
+        let toks = tokenize("  'it''s'  \"Quoted Id\" 3.14").unwrap();
+        let src = "  'it''s'  \"Quoted Id\" 3.14";
+        assert_eq!(toks[0].span.slice(src), "'it''s'");
+        assert_eq!(toks[1].span.slice(src), "\"Quoted Id\"");
+        assert_eq!(toks[2].span.slice(src), "3.14");
     }
 
     #[test]

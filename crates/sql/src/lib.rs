@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! SQL frontend for the `onesql` streaming dialect.
 //!
@@ -28,8 +30,11 @@ pub mod lexer;
 pub mod parser;
 pub mod token;
 
-pub use ast::{Query, Statement};
-pub use parser::{parse_query, parse_script, parse_statement, Parser};
+pub use ast::{LintTarget, Query, Statement};
+pub use parser::{
+    parse_query, parse_script, parse_script_spanned, parse_statement, Parser, SpannedStatement,
+};
+pub use token::{line_col_at, Span};
 
 /// Parse a single SQL query from `sql` text.
 pub fn parse(sql: &str) -> onesql_types::Result<Query> {

@@ -4,12 +4,22 @@ use onesql_types::{DataType, Error, Result};
 
 use crate::ast::*;
 use crate::lexer::tokenize;
-use crate::token::{Keyword, Token, TokenKind};
+use crate::token::{line_col_at, Keyword, Span, Token, TokenKind};
+
+/// A parsed statement together with the byte range of the source text it
+/// was parsed from (first token through last token, comments excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedStatement {
+    /// The statement.
+    pub statement: Statement,
+    /// Byte range of the statement in the original script.
+    pub span: Span,
+}
 
 /// Parse a single query (optionally `;`-terminated) from SQL text.
 pub fn parse_query(sql: &str) -> Result<Query> {
     let tokens = tokenize(sql)?;
-    let mut parser = Parser::new(tokens);
+    let mut parser = Parser::with_source(tokens, sql);
     let query = parser.parse_query()?;
     while parser.consume(&TokenKind::Semicolon) {}
     parser.expect(&TokenKind::Eof)?;
@@ -19,7 +29,7 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 /// Parse a single statement (optionally `;`-terminated) from SQL text.
 pub fn parse_statement(sql: &str) -> Result<Statement> {
     let tokens = tokenize(sql)?;
-    let mut parser = Parser::new(tokens);
+    let mut parser = Parser::with_source(tokens, sql);
     let statement = parser.parse_statement()?;
     while parser.consume(&TokenKind::Semicolon) {}
     parser.expect(&TokenKind::Eof)?;
@@ -30,31 +40,62 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 /// optional; empty statements (stray `;;`, trailing whitespace, comments)
 /// are skipped.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
+    Ok(parse_script_spanned(sql)?
+        .into_iter()
+        .map(|s| s.statement)
+        .collect())
+}
+
+/// Like [`parse_script`], but each statement keeps the byte span of the
+/// script text it was parsed from — the input to lint diagnostics.
+pub fn parse_script_spanned(sql: &str) -> Result<Vec<SpannedStatement>> {
     let tokens = tokenize(sql)?;
-    let mut parser = Parser::new(tokens);
+    let mut parser = Parser::with_source(tokens, sql);
     let mut statements = Vec::new();
     loop {
         while parser.consume(&TokenKind::Semicolon) {}
         if *parser.peek() == TokenKind::Eof {
             return Ok(statements);
         }
-        statements.push(parser.parse_statement()?);
+        let start = parser.current_span().start;
+        let statement = parser.parse_statement()?;
+        let span = Span::new(start, parser.prev_end());
+        statements.push(SpannedStatement { statement, span });
         if *parser.peek() != TokenKind::Eof && !parser.consume(&TokenKind::Semicolon) {
             return Err(parser.unexpected("expected ';' between statements"));
         }
     }
 }
 
-/// The parser state: a token cursor.
+/// The parser state: a token cursor plus the source text (for
+/// line:column error positions).
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    src: String,
 }
 
 impl Parser {
     /// Create a parser over a token stream (must end with `Eof`).
+    ///
+    /// Errors report byte offsets only; prefer [`Parser::with_source`]
+    /// so they carry line:column positions too.
     pub fn new(tokens: Vec<Token>) -> Parser {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            src: String::new(),
+        }
+    }
+
+    /// Create a parser over a token stream with the text it was lexed
+    /// from, so errors can report line:column positions.
+    pub fn with_source(tokens: Vec<Token>, src: &str) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            src: src.to_string(),
+        }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -65,8 +106,20 @@ impl Parser {
         &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
     }
 
+    fn current_span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    /// Byte offset one past the last consumed token (statement extent).
+    fn prev_end(&self) -> usize {
+        match self.pos.checked_sub(1) {
+            Some(prev) => self.tokens[prev.min(self.tokens.len() - 1)].span.end,
+            None => 0,
+        }
+    }
+
     fn offset(&self) -> usize {
-        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+        self.current_span().start
     }
 
     fn advance(&mut self) -> TokenKind {
@@ -109,10 +162,17 @@ impl Parser {
     }
 
     fn unexpected(&self, expected: &str) -> Error {
+        let offset = self.offset();
+        if self.src.is_empty() {
+            return Error::parse(format!(
+                "{expected}, found {} at byte offset {offset}",
+                self.peek()
+            ));
+        }
+        let (line, col) = line_col_at(&self.src, offset);
         Error::parse(format!(
-            "{expected}, found {} at byte offset {}",
-            self.peek(),
-            self.offset()
+            "{expected}, found {} at line {line}, column {col} (byte offset {offset})",
+            self.peek()
         ))
     }
 
@@ -141,6 +201,7 @@ impl Parser {
                 | Keyword::Pipelines
                 | Keyword::Show
                 | Keyword::Analyze
+                | Keyword::Lint
                 | Keyword::To),
             ) => Some(kw.as_str().to_ascii_lowercase()),
             _ => None,
@@ -184,6 +245,19 @@ impl Parser {
                 self.advance();
                 if self.consume_keyword(Keyword::Analyze) {
                     Ok(Statement::ExplainAnalyze(self.parse_query()?))
+                } else if self.consume_keyword(Keyword::Lint) {
+                    // EXPLAIN LINT '<script>' lints a quoted script;
+                    // EXPLAIN LINT <statement> lints one statement in
+                    // the current session context.
+                    if let TokenKind::String(script) = self.peek().clone() {
+                        self.advance();
+                        Ok(Statement::ExplainLint(LintTarget::Script(script)))
+                    } else {
+                        let inner = self.parse_statement()?;
+                        Ok(Statement::ExplainLint(LintTarget::Statement(Box::new(
+                            inner,
+                        ))))
+                    }
                 } else {
                     Ok(Statement::Explain(self.parse_query()?))
                 }
@@ -1311,6 +1385,39 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_pin_line_and_column() {
+        // `FROM` with no select list: the offending token is FROM at
+        // byte 7 on line 1.
+        let err = parse_query("SELECT FROM").unwrap_err().to_string();
+        assert!(err.contains("line 1, column 8"), "{err}");
+        assert!(err.contains("byte offset 7"), "{err}");
+        assert!(err.contains("FROM"), "{err}");
+
+        // Multi-line script: the error names the line the bad token is on.
+        let err = parse_script("SELECT 1;\nSELECT 2;\nSELECT FROM x;")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 3, column 8"), "{err}");
+
+        // Statement-level errors carry positions too.
+        let err = parse_statement("CREATE SOURCE s (x INT)\n  WITH (path = )")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn script_statements_carry_spans() {
+        let script = "SELECT 1;  -- comment\n  SELECT 22 FROM Bid ;";
+        let spanned = parse_script_spanned(script).unwrap();
+        assert_eq!(spanned.len(), 2);
+        assert_eq!(spanned[0].span.slice(script), "SELECT 1");
+        assert_eq!(spanned[1].span.slice(script), "SELECT 22 FROM Bid");
+        // Spans exclude the statement separator and surrounding trivia.
+        assert_eq!(spanned[0].span, Span::new(0, 8));
+    }
+
+    #[test]
     fn unary_ops() {
         round_trip("SELECT -x, NOT y, -(x + 1) FROM T");
         let q = round_trip("SELECT 3 - -2 FROM T");
@@ -1507,6 +1614,27 @@ mod tests {
         // Plain EXPLAIN still parses as before.
         let s = round_trip_stmt("EXPLAIN SELECT price FROM Bid");
         assert!(matches!(s, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn explain_lint_parses_and_round_trips() {
+        // Statement form.
+        let s = round_trip_stmt("EXPLAIN LINT INSERT INTO out SELECT price FROM Bid EMIT STREAM");
+        let Statement::ExplainLint(LintTarget::Statement(inner)) = s else {
+            panic!("expected ExplainLint(Statement)");
+        };
+        assert!(matches!(*inner, Statement::Insert { .. }));
+
+        // Script form: a quoted script (with '' escapes round-tripping).
+        let s = round_trip_stmt("EXPLAIN LINT 'CREATE SINK out WITH (connector = ''file'')'");
+        let Statement::ExplainLint(LintTarget::Script(script)) = s else {
+            panic!("expected ExplainLint(Script)");
+        };
+        assert!(script.contains("connector = 'file'"), "{script}");
+
+        // LINT stays usable as an identifier.
+        round_trip("SELECT lint FROM T");
+        round_trip_stmt("DROP STREAM lint");
     }
 
     #[test]

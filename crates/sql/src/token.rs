@@ -2,13 +2,76 @@
 
 use std::fmt;
 
-/// A lexical token with its byte offset in the source (for error messages).
+/// A half-open byte range `[start, end)` into the original SQL text.
+///
+/// Spans flow from the lexer through the parser into diagnostics: every
+/// token records the bytes it was lexed from, statements record the union
+/// of their tokens, and lint findings point back into the script the user
+/// actually wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    pub fn cover(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The source text this span points at (clamped to `src`).
+    pub fn slice(self, src: &str) -> &str {
+        let start = self.start.min(src.len());
+        let end = self.end.clamp(start, src.len());
+        &src[start..end]
+    }
+
+    /// 1-based `(line, column)` of the span start within `src`.
+    ///
+    /// Columns count bytes since the last newline, which matches columns
+    /// exactly for the ASCII SQL this dialect accepts.
+    pub fn line_col(self, src: &str) -> (usize, usize) {
+        line_col_at(src, self.start)
+    }
+}
+
+/// 1-based `(line, column)` of byte `offset` within `src`.
+pub fn line_col_at(src: &str, offset: usize) -> (usize, usize) {
+    let upto = &src.as_bytes()[..offset.min(src.len())];
+    let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + upto
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(upto.len(), |nl| upto.len() - nl - 1);
+    (line, col)
+}
+
+/// A lexical token with the byte span it was lexed from (for error
+/// messages and lint diagnostics).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
+    /// Byte range of the token in the original SQL text.
+    pub span: Span,
+}
+
+impl Token {
     /// Byte offset of the first character in the original SQL text.
-    pub offset: usize,
+    pub fn offset(&self) -> usize {
+        self.span.start
+    }
 }
 
 /// The kinds of tokens the lexer produces.
@@ -169,6 +232,7 @@ keywords! {
     Left => "LEFT",
     Like => "LIKE",
     Limit => "LIMIT",
+    Lint => "LINT",
     Millisecond => "MILLISECOND",
     Milliseconds => "MILLISECONDS",
     Minute => "MINUTE",

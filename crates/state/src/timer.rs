@@ -54,12 +54,9 @@ impl TimerService {
             return Vec::new();
         }
         let mut expired = Vec::new();
-        while let Some(first) = self.timers.first() {
-            if wm.closes(first.0) {
-                let t = self.timers.pop_first().expect("non-empty");
+        while self.timers.first().is_some_and(|first| wm.closes(first.0)) {
+            if let Some(t) = self.timers.pop_first() {
                 expired.push(t);
-            } else {
-                break;
             }
         }
         expired

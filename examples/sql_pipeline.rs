@@ -17,6 +17,10 @@ use onesql_types::Result;
 
 const EVENTS: u64 = 6_000;
 const PARTS: usize = 4;
+// Q7's per-window MAX is global, so its grouping key cannot align with
+// the per-stream hash routing — `EXPLAIN LINT` flags OSQL002 for any
+// worker count above one. One worker still drains all four partitions.
+const WORKERS: usize = 1;
 const BATCH: usize = 256;
 const STREAMS: [&str; 3] = ["Person", "Auction", "Bid"];
 
@@ -103,7 +107,15 @@ fn main() -> Result<()> {
     );
 
     let mut session = session();
-    session.set_workers(2);
+    session.set_workers(WORKERS);
+
+    // Lint before running: the only finding should be the deliberately
+    // ungated EMIT (this example exists to show the raw changelog).
+    let report = onesql::core::render_report(&session.lint_script(&script), &script);
+    println!("== EXPLAIN LINT ==\n{report}");
+    assert!(report.contains("OSQL003"), "expected only the EMIT finding");
+    assert!(!report.contains("OSQL002"), "shard routing must be aligned");
+
     let outcome = session.execute_script(&script)?;
     println!("== Q7 plan ==\n{}", outcome.explains()[0]);
     let mut pipeline = outcome.into_pipeline()?;
@@ -130,7 +142,7 @@ fn main() -> Result<()> {
     }
     println!(
         "== done: {} events in, {} changelog rows out, {} workers ==",
-        metrics.events_in, metrics.events_out, 2
+        metrics.events_in, metrics.events_out, WORKERS
     );
     assert_eq!(metrics.events_in, EVENTS);
     assert!(metrics.events_out > 0, "Q7 produced no output");
