@@ -63,6 +63,7 @@ pub mod net;
 pub mod nexmark;
 pub mod registry;
 pub mod text;
+pub mod trace;
 
 pub use changelog::ChangelogSink;
 pub use channel::{
@@ -80,6 +81,7 @@ pub use net::{
 };
 pub use nexmark::{register_nexmark_streams, NexmarkSource, PartitionedNexmarkSource};
 pub use registry::{default_registry, session};
+pub use trace::{trace_schema, TraceSource};
 
 pub use onesql_core::connect::{
     AdaptiveBatch, AnySource, BatchController, ConnectorRegistry, DriverConfig, Exports, OptionBag,

@@ -72,8 +72,21 @@ use onesql_types::{Error, Result, Row, Ts, Value};
 /// First bytes of every connection: `b"OSQW"` (onesql wire).
 pub const WIRE_MAGIC: [u8; 4] = *b"OSQW";
 /// Protocol version carried right after the magic; bumped on any change
-/// to the frame layout.
-pub const WIRE_VERSION: u16 = 1;
+/// to the frame layout. Version 2 appends two optional trailing sections
+/// to version-1 bodies: `BATCH` gains a trace-context field (`u8` flag +
+/// `u64` producer span id) so consumer-side spans can stitch into the
+/// producer's trace, and `KEEPALIVE` gains the producer's current
+/// watermark (`u8` flag + `i64` millis) so lag attribution survives idle
+/// stretches. Producers always write [`WIRE_VERSION`]; consumers accept
+/// any version in [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] and parse
+/// each connection at the version its preamble announced — so upgrade
+/// consumers first: a new consumer reads old producers, but an old
+/// consumer rejects a new producer's preamble.
+pub const WIRE_VERSION: u16 = 2;
+/// Oldest protocol version a consumer still accepts. Version-1 bodies
+/// are parsed exactly as a version-1 build would: the version-2 trailing
+/// sections are simply absent.
+pub const MIN_WIRE_VERSION: u16 = 1;
 /// Upper bound on a frame body; larger length prefixes are rejected as
 /// corruption before any allocation happens.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
@@ -516,8 +529,9 @@ fn read_frame(conn: &mut NetConn, context: &str) -> Result<Option<Vec<u8>>> {
 /// How a connection preamble read ended. Protocol violations (bad
 /// magic, wrong version) stay `Err`: the peer *spoke* and got it wrong.
 enum Preamble {
-    /// Magic and version matched.
-    Valid,
+    /// Magic matched and the version is one this build speaks; carries
+    /// the peer's announced version so frames parse at the right layout.
+    Valid(u16),
     /// The peer never sent a byte — it closed cleanly or sat silent
     /// past the handshake read timeout. That is a port scan, a
     /// load-balancer health check, or a stray `nc`, not a producer;
@@ -564,12 +578,13 @@ fn read_preamble(conn: &mut NetConn, context: &str) -> Result<Preamble> {
     let mut version_bytes = [0u8; 2];
     version_bytes.copy_from_slice(&preamble[4..6]);
     let version = u16::from_le_bytes(version_bytes);
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(Error::exec(format!(
-            "{context}: wire version {version} (this build speaks {WIRE_VERSION})"
+            "{context}: wire version {version} (this build speaks \
+             {MIN_WIRE_VERSION}..={WIRE_VERSION})"
         )));
     }
-    Ok(Preamble::Valid)
+    Ok(Preamble::Valid(version))
 }
 
 // ---------------------------------------------------------------------------
@@ -711,6 +726,10 @@ pub struct NetPublisher {
     finish_sent: bool,
     /// When the last KEEPALIVE frame went out.
     last_keepalive: Option<Instant>,
+    /// Highest watermark published so far; carried on KEEPALIVE frames
+    /// (wire v2) so consumer-side lag attribution survives idle
+    /// stretches.
+    last_wm: Option<Ts>,
     /// Telemetry; see [`NetPublisherStats`].
     stats: NetPublisherStats,
 }
@@ -756,6 +775,7 @@ impl NetPublisher {
             finished: false,
             finish_sent: false,
             last_keepalive: None,
+            last_wm: None,
             stats: NetPublisherStats::default(),
         }
     }
@@ -863,6 +883,7 @@ impl NetPublisher {
         // watermark at this position (see the same check in `send`); at
         // or above it, send — a duplicate watermark is absorbed by the
         // consumer's monotone ledger, a missing one would stall gates.
+        self.last_wm = Some(self.last_wm.map_or(wm, |prev| prev.max(wm)));
         if self.next_offset < self.acked() {
             return Ok(());
         }
@@ -923,9 +944,21 @@ impl NetPublisher {
             return self.pump(true);
         }
         let context = format!("net publisher {}#{}", self.addr, self.partition);
-        let mut body = Vec::with_capacity(9);
+        let mut body = Vec::with_capacity(18);
         body.push(KIND_KEEPALIVE);
         put_u64(&mut body, self.send_cursor);
+        // Wire v2: carry the current watermark so the consumer's
+        // watermark-lag attribution keeps working while we idle.
+        match self.last_wm {
+            Some(wm) => {
+                body.push(1);
+                put_i64(&mut body, wm.millis());
+            }
+            None => {
+                body.push(0);
+                put_i64(&mut body, 0);
+            }
+        }
         let Some(mut conn) = self.conn.take() else {
             return Err(Error::exec(format!(
                 "{context}: connection vanished after ensure"
@@ -1166,6 +1199,20 @@ impl NetPublisher {
                 put_event(&mut body, event);
             }
             drop(events);
+            // Wire v2: trace context. The span current on this thread is
+            // the producer-side span responsible for putting the frame on
+            // the wire (the driver's emit span when pumped inline from a
+            // sink write); 0 when tracing is off or the root was
+            // unsampled, shipped as "absent" so the consumer never
+            // parents onto a span nobody recorded.
+            let trace_span = observe::current_span();
+            if trace_span != 0 {
+                body.push(1);
+                put_u64(&mut body, trace_span);
+            } else {
+                body.push(0);
+                put_u64(&mut body, 0);
+            }
             let Some(mut conn) = self.conn.take() else {
                 return Err(Error::exec(format!(
                     "{context}: connection vanished after ensure"
@@ -1450,11 +1497,19 @@ enum Decoded {
     Batch {
         events: Vec<SourceEvent>,
         watermark: Option<Ts>,
+        /// Producer-side span id carried in the frame (wire v2); the
+        /// ingesting driver parents its ingest span on it so both sides
+        /// stitch into one trace.
+        trace: Option<u64>,
     },
     /// A `KEEPALIVE` frame: the producer is alive but has nothing to
-    /// say. Carries no events and moves no offsets; it only refreshes
-    /// the partition's silence clock.
-    Keepalive,
+    /// say. Carries no events and moves no offsets; it refreshes the
+    /// partition's silence clock, and (wire v2) may restate the
+    /// producer's current watermark — a duplicate is absorbed by the
+    /// consumer's monotone ledger.
+    Keepalive {
+        watermark: Option<Ts>,
+    },
     Finished,
     Failed(String),
 }
@@ -1543,6 +1598,9 @@ struct NetPartition {
     pending: VecDeque<SourceEvent>,
     /// The frame's watermark, emitted with its last events.
     pending_wm: Option<Ts>,
+    /// The frame's producer-side trace span (wire v2), attached to every
+    /// batch that drains the frame's events.
+    pending_trace: Option<u64>,
     finished: bool,
     failed: Option<String>,
     poll_wait: StdDuration,
@@ -1629,16 +1687,25 @@ impl Source for NetPartition {
         let mut received = false;
         if self.pending.is_empty() {
             match self.rx.recv_timeout(self.poll_wait) {
-                Ok(Decoded::Batch { events, watermark }) => {
+                Ok(Decoded::Batch {
+                    events,
+                    watermark,
+                    trace,
+                }) => {
                     self.pending.extend(events);
                     self.pending_wm = watermark;
+                    self.pending_trace = trace;
                     self.last_heard = Some(Instant::now());
                     received = true;
                 }
-                Ok(Decoded::Keepalive) => {
-                    // Proof of life, nothing to deliver.
+                Ok(Decoded::Keepalive { watermark }) => {
+                    // Proof of life; a v2 keepalive may also restate the
+                    // producer's watermark (duplicates are absorbed by
+                    // the driver's monotone ledger).
                     self.last_heard = Some(Instant::now());
-                    return Ok(SourceBatch::empty(SourceStatus::Idle));
+                    let mut batch = SourceBatch::empty(SourceStatus::Idle);
+                    batch.watermark = watermark;
+                    return Ok(batch);
                 }
                 Ok(Decoded::Finished) => {
                     self.finished = true;
@@ -1662,8 +1729,12 @@ impl Source for NetPartition {
         let take = max_events.min(self.pending.len());
         let mut batch = SourceBatch::empty(SourceStatus::Ready);
         batch.events.extend(self.pending.drain(..take));
+        if !batch.events.is_empty() {
+            batch.trace_parent = self.pending_trace;
+        }
         if self.pending.is_empty() {
             batch.watermark = self.pending_wm.take();
+            self.pending_trace = None;
             if self.finished {
                 batch.status = SourceStatus::Finished;
             }
@@ -1756,6 +1827,7 @@ impl PartitionedNetSource {
                 shared: shared.clone(),
                 pending: VecDeque::new(),
                 pending_wm: None,
+                pending_trace: None,
                 finished: false,
                 failed: None,
                 poll_wait: config.poll_wait,
@@ -1943,8 +2015,8 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
     // dropped while a connection dangles does not leak this thread
     // forever.
     let _ = conn.set_read_timeout(Some(StdDuration::from_secs(30)));
-    match read_preamble(&mut conn, &context) {
-        Ok(Preamble::Valid) => {}
+    let version = match read_preamble(&mut conn, &context) {
+        Ok(Preamble::Valid(version)) => version,
         Ok(Preamble::Silent) => {
             conn.shutdown();
             return;
@@ -1964,7 +2036,7 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
             conn.shutdown();
             return;
         }
-    }
+    };
     let hello = match read_frame_raw(&mut conn, &context) {
         FrameRead::Frame(body) => body,
         // Same classification as the preamble: dying between preamble
@@ -2138,7 +2210,7 @@ fn serve_connection(mut conn: NetConn, shared: Arc<ListenerShared>) {
                     observe::counter(&format!("{context}.frames"), 1);
                     observe::counter(&format!("{context}.bytes"), body.len() as u64);
                 }
-                match parse_data_frame(&body, &context, &mut expected, &shared) {
+                match parse_data_frame(&body, &context, &mut expected, &shared, version) {
                     Ok(Some(decoded)) => {
                         let finished = matches!(decoded, Decoded::Finished);
                         if tx.send(decoded).is_err() {
@@ -2225,12 +2297,16 @@ fn parse_hello(body: &[u8]) -> Result<(usize, Vec<String>)> {
 }
 
 /// Decode a post-handshake frame into a channel message, enforcing offset
-/// continuity. `Ok(None)` means "nothing to forward".
+/// continuity. `Ok(None)` means "nothing to forward". `version` is the
+/// wire version this connection's preamble announced: version-2 bodies
+/// carry trailing sections (trace context on `BATCH`, watermark on
+/// `KEEPALIVE`) that version-1 bodies lack.
 fn parse_data_frame(
     body: &[u8],
     context: &str,
     expected: &mut u64,
     shared: &ListenerShared,
+    version: u16,
 ) -> Result<Option<Decoded>> {
     let mut reader = FrameReader::new(body);
     match reader.u8()? {
@@ -2262,11 +2338,19 @@ fn parse_data_frame(
                     change: Change::with_diff(event.row, event.diff),
                 });
             }
+            let trace = if version >= 2 {
+                let has_trace = reader.u8()? != 0;
+                let span = reader.u64()?;
+                (has_trace && span != 0).then_some(span)
+            } else {
+                None
+            };
             reader.done()?;
             *expected += count as u64;
             Ok(Some(Decoded::Batch {
                 events,
                 watermark: has_wm.then_some(Ts(wm_millis)),
+                trace,
             }))
         }
         KIND_FINISH => {
@@ -2281,11 +2365,19 @@ fn parse_data_frame(
             Ok(Some(Decoded::Finished))
         }
         KIND_KEEPALIVE => {
-            // Proof of life only: the payload (the producer's send
-            // cursor) is informational and the frame moves no offsets.
+            // Proof of life: the payload (the producer's send cursor) is
+            // informational and the frame moves no offsets. Wire v2 may
+            // restate the producer's current watermark.
             let _cursor = reader.u64()?;
+            let watermark = if version >= 2 {
+                let has_wm = reader.u8()? != 0;
+                let wm_millis = reader.i64()?;
+                has_wm.then_some(Ts(wm_millis))
+            } else {
+                None
+            };
             reader.done()?;
-            Ok(Some(Decoded::Keepalive))
+            Ok(Some(Decoded::Keepalive { watermark }))
         }
         kind => Err(Error::exec(format!(
             "{context}: unexpected frame kind {kind} after handshake"
@@ -2380,9 +2472,15 @@ mod tests {
     /// Raw client: preamble + HELLO for partition 0, then read HELLO_ACK.
     /// Blocks until the source side is polled (which releases the reply).
     fn raw_handshake(addr: &NetAddr, streams: &[&str]) -> NetConn {
+        raw_handshake_versioned(addr, streams, WIRE_VERSION)
+    }
+
+    /// Like [`raw_handshake`], but announcing an explicit wire version —
+    /// the interop tests speak old dialects on purpose.
+    fn raw_handshake_versioned(addr: &NetAddr, streams: &[&str], version: u16) -> NetConn {
         let mut conn = addr.connect().unwrap();
         conn.write_all(&WIRE_MAGIC).unwrap();
-        conn.write_all(&WIRE_VERSION.to_le_bytes()).unwrap();
+        conn.write_all(&version.to_le_bytes()).unwrap();
         let mut body = vec![KIND_HELLO];
         put_u32(&mut body, 0);
         put_u16(&mut body, streams.len() as u16);
@@ -2476,6 +2574,214 @@ mod tests {
         assert_eq!(source.offset(0), 10);
         assert_eq!(events[3].change.row, row!(3i64, 6i64));
         assert_eq!(watermark, Some(Ts(9)));
+    }
+
+    #[test]
+    fn v1_producer_interops_with_v2_consumer() {
+        // An old producer announces version 1 and writes version-1
+        // bodies (no trailing trace context, bare keepalives); a current
+        // consumer must parse the connection at that dialect.
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake_versioned(&addr, &["S"], 1);
+            // v1 BATCH: base, wm flag + millis, count, events — nothing
+            // after the events.
+            let mut body = vec![KIND_BATCH];
+            put_u64(&mut body, 0);
+            body.push(1);
+            put_i64(&mut body, 41);
+            put_u32(&mut body, 2);
+            for i in 0..2i64 {
+                put_event(
+                    &mut body,
+                    &WireEvent {
+                        stream: 0,
+                        ptime: Ts(i),
+                        diff: 1,
+                        row: row!(i),
+                    },
+                );
+            }
+            write_frame(&mut conn, "v1 client", &body).unwrap();
+            // v1 KEEPALIVE: kind + cursor only.
+            let mut body = vec![KIND_KEEPALIVE];
+            put_u64(&mut body, 2);
+            write_frame(&mut conn, "v1 client", &body).unwrap();
+            let mut body = vec![KIND_FINISH];
+            put_u64(&mut body, 2);
+            write_frame(&mut conn, "v1 client", &body).unwrap();
+        });
+        let mut events = Vec::new();
+        let mut watermark = None;
+        let mut traces = Vec::new();
+        for _ in 0..200 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            if !batch.events.is_empty() {
+                traces.push(batch.trace_parent);
+            }
+            events.extend(batch.events);
+            if let Some(wm) = batch.watermark {
+                watermark = Some(wm);
+            }
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        client.join().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(watermark, Some(Ts(41)));
+        assert_eq!(traces, vec![None], "v1 frames carry no trace context");
+        assert_eq!(source.offset(0), 2);
+    }
+
+    #[test]
+    fn wire_version_zero_is_rejected() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = addr.connect().unwrap();
+            conn.write_all(&WIRE_MAGIC).unwrap();
+            conn.write_all(&0u16.to_le_bytes()).unwrap();
+        });
+        let err = poll_until_err(&mut source);
+        client.join().unwrap();
+        assert!(err.contains("wire version 0"), "{err}");
+    }
+
+    #[test]
+    fn v2_batch_trace_context_reaches_source_batch() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake(&addr, &["S"]);
+            // Frame 1: trace context present.
+            let mut body = vec![KIND_BATCH];
+            put_u64(&mut body, 0);
+            body.push(0);
+            put_i64(&mut body, 0);
+            put_u32(&mut body, 1);
+            put_event(
+                &mut body,
+                &WireEvent {
+                    stream: 0,
+                    ptime: Ts(1),
+                    diff: 1,
+                    row: row!(1i64),
+                },
+            );
+            body.push(1);
+            put_u64(&mut body, 0xABC0_0001);
+            write_frame(&mut conn, "v2 client", &body).unwrap();
+            // Frame 2: trace context absent (flag 0).
+            let mut body = vec![KIND_BATCH];
+            put_u64(&mut body, 1);
+            body.push(0);
+            put_i64(&mut body, 0);
+            put_u32(&mut body, 1);
+            put_event(
+                &mut body,
+                &WireEvent {
+                    stream: 0,
+                    ptime: Ts(2),
+                    diff: 1,
+                    row: row!(2i64),
+                },
+            );
+            body.push(0);
+            put_u64(&mut body, 0);
+            write_frame(&mut conn, "v2 client", &body).unwrap();
+            let mut body = vec![KIND_FINISH];
+            put_u64(&mut body, 2);
+            write_frame(&mut conn, "v2 client", &body).unwrap();
+        });
+        let mut traces = Vec::new();
+        for _ in 0..200 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            if !batch.events.is_empty() {
+                traces.push(batch.trace_parent);
+            }
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        client.join().unwrap();
+        assert_eq!(traces, vec![Some(0xABC0_0001), None]);
+    }
+
+    #[test]
+    fn v2_keepalive_carries_watermark() {
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut conn = raw_handshake(&addr, &["S"]);
+            let mut body = vec![KIND_KEEPALIVE];
+            put_u64(&mut body, 0);
+            body.push(1);
+            put_i64(&mut body, 777);
+            write_frame(&mut conn, "v2 client", &body).unwrap();
+            let mut body = vec![KIND_FINISH];
+            put_u64(&mut body, 0);
+            write_frame(&mut conn, "v2 client", &body).unwrap();
+        });
+        let mut watermark = None;
+        for _ in 0..200 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            if let Some(wm) = batch.watermark {
+                watermark = Some(wm);
+            }
+            if batch.status == SourceStatus::Finished {
+                break;
+            }
+        }
+        client.join().unwrap();
+        assert_eq!(watermark, Some(Ts(777)));
+    }
+
+    #[test]
+    fn publisher_keepalive_restates_watermark() {
+        // A real publisher's keepalive (wire v2) carries the highest
+        // watermark published so far, so an idle producer keeps the
+        // consumer's lag attribution alive.
+        let mut source = tcp_source(&["S"], 1);
+        let addr = source.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_producer = stop.clone();
+        let producer = std::thread::spawn(move || {
+            let mut publisher = NetPublisher::new(
+                addr,
+                0,
+                vec!["S".to_string()],
+                NetConfig {
+                    keepalive: Some(StdDuration::from_millis(10)),
+                    ..test_config()
+                },
+            );
+            publisher.insert(0, Ts(5), row!(5i64)).unwrap();
+            publisher.watermark(Ts(5)).unwrap();
+            publisher.flush().unwrap();
+            while !stop_producer.load(Ordering::Acquire) {
+                publisher.keepalive().unwrap();
+                std::thread::sleep(StdDuration::from_millis(5));
+            }
+            publisher.finish().unwrap();
+        });
+        // Drain the data frame, then look for a keepalive-borne
+        // watermark on an otherwise idle poll.
+        let mut keepalive_wm = None;
+        let mut saw_events = 0usize;
+        for _ in 0..400 {
+            let batch = source.poll_partition(0, 16).unwrap();
+            saw_events += batch.events.len();
+            if batch.events.is_empty() && batch.watermark == Some(Ts(5)) && saw_events > 0 {
+                keepalive_wm = batch.watermark;
+                break;
+            }
+        }
+        stop.store(true, Ordering::Release);
+        producer.join().unwrap();
+        assert_eq!(saw_events, 1);
+        assert_eq!(keepalive_wm, Some(Ts(5)));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `nexmark` | source | `events` | `seed`, `partitions` |
 //! | `net` | source | `addr` | `partitions`, `streams`, consumer-side net tuning |
 //! | `metrics` | source | `pipelines` | — |
+//! | `trace` | source | — | `pipelines` |
 //! | `file` | sink | `path` | `format`, `mode`, `header`, `transactional` |
 //! | `changelog` | sink | — | `path`, `watermarks` |
 //! | `channel` | sink | — | `capacity` |
@@ -53,6 +54,7 @@ pub fn default_registry() -> ConnectorRegistry {
     registry.register_source("nexmark", NexmarkConnector);
     registry.register_source("net", NetSourceConnector);
     registry.register_source("metrics", crate::metrics::MetricsConnector);
+    registry.register_source("trace", crate::trace::TraceConnector);
     registry.register_sink("file", FileSinkConnector);
     registry.register_sink("changelog", ChangelogConnector);
     registry.register_sink("channel", ChannelSinkConnector);

@@ -139,6 +139,11 @@ pub struct SourceBatch {
     pub watermark: Option<Ts>,
     /// Scheduling hint for the driver.
     pub status: SourceStatus,
+    /// Causal trace context: the producer-side span ID these events were
+    /// emitted under (carried across the OSQW wire by the `net` source),
+    /// or `None` for local sources. The driver parents its ingest span
+    /// here, stitching producer and consumer pipelines into one trace.
+    pub trace_parent: Option<u64>,
 }
 
 impl SourceBatch {
@@ -148,6 +153,7 @@ impl SourceBatch {
             events: Vec::new(),
             watermark: None,
             status,
+            trace_parent: None,
         }
     }
 }
@@ -800,6 +806,10 @@ pub struct PipelineMetrics {
     pub input_watermark: Watermark,
     /// The query's output watermark.
     pub output_watermark: Watermark,
+    /// Per-stream watermark provenance: which feeder holds each stream's
+    /// minimum watermark and when it last produced (why the watermark is
+    /// where it is). Refreshed with the watermark fields.
+    pub watermark_provenance: Vec<WatermarkProvenance>,
 }
 
 impl Default for PipelineMetrics {
@@ -827,6 +837,7 @@ impl Default for PipelineMetrics {
             sources: Vec::new(),
             input_watermark: Watermark::MIN,
             output_watermark: Watermark::MIN,
+            watermark_provenance: Vec::new(),
         }
     }
 }
@@ -938,8 +949,37 @@ impl PipelineMetrics {
                 i64::from(src.finished),
             ));
         }
+        for p in &self.watermark_provenance {
+            rows.push(MetricRow::gauge(
+                format!("wm.{}.holder.{}.watermark_ms", p.stream, p.holder),
+                wm_millis(p.holder_watermark),
+            ));
+            rows.push(MetricRow::gauge(
+                format!("wm.{}.holder.{}.last_event_ms", p.stream, p.holder),
+                p.holder_last_event.map_or(i64::MIN, |t| t.millis()),
+            ));
+        }
         rows
     }
+}
+
+/// Why a stream's watermark is where it is: the feeder (a source, or one
+/// source partition) currently holding the minimum, and when it last
+/// produced an event — the answer to "why is my watermark stuck".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatermarkProvenance {
+    /// Lowercased stream name.
+    pub stream: String,
+    /// The stream's combined (min over feeders) watermark.
+    pub watermark: Watermark,
+    /// Label of the feeder holding the minimum, e.g. `bids` or `bids[2]`
+    /// (source name, with the partition index for partitioned sources).
+    pub holder: String,
+    /// The holding feeder's current watermark.
+    pub holder_watermark: Watermark,
+    /// Processing time of the last event the holder produced, or `None`
+    /// if it has produced nothing yet.
+    pub holder_last_event: Option<Ts>,
 }
 
 /// Combines per-feeder watermarks into per-stream deliveries, the way
@@ -947,9 +987,17 @@ impl PipelineMetrics {
 /// the min over all feeders (sources, or source partitions) feeding it,
 /// delivered only when it advances. Shared by [`PipelineDriver`] (one
 /// feeder per source) and the sharded driver (one feeder per partition).
+///
+/// Beyond combining, the ledger keeps *provenance*: which feeder holds
+/// each stream's minimum and when that feeder last produced an event
+/// ([`WatermarkLedger::provenance`]).
 pub(crate) struct WatermarkLedger {
     /// Current watermark per feeder; a finished feeder sits at MAX.
     feeders: Vec<Watermark>,
+    /// Human-readable feeder labels, parallel to `feeders`.
+    labels: Vec<String>,
+    /// Processing time of each feeder's most recent event, if any.
+    last_events: Vec<Option<Ts>>,
     /// Per (lowercased) stream: the min-combining tracker and the feeder
     /// index behind each of its ports.
     streams: BTreeMap<String, (WatermarkTracker, Vec<usize>)>,
@@ -959,15 +1007,19 @@ impl WatermarkLedger {
     pub(crate) fn new() -> WatermarkLedger {
         WatermarkLedger {
             feeders: Vec::new(),
+            labels: Vec::new(),
+            last_events: Vec::new(),
             streams: BTreeMap::new(),
         }
     }
 
-    /// Register a feeder for the given (lowercased) streams; returns its
-    /// index. Must be called before any `observe`.
-    pub(crate) fn add_feeder(&mut self, streams: &[String]) -> usize {
+    /// Register a feeder labelled `label` for the given (lowercased)
+    /// streams; returns its index. Must be called before any `observe`.
+    pub(crate) fn add_feeder(&mut self, label: impl Into<String>, streams: &[String]) -> usize {
         let idx = self.feeders.len();
         self.feeders.push(Watermark::MIN);
+        self.labels.push(label.into());
+        self.last_events.push(None);
         for stream in streams {
             let (tracker, ports) = self
                 .streams
@@ -1018,6 +1070,37 @@ impl WatermarkLedger {
     /// feeders sit at MAX and stop constraining.
     pub(crate) fn input_watermark(&self) -> Watermark {
         self.feeders.iter().copied().min().unwrap_or(Watermark::MIN)
+    }
+
+    /// Record that `feeder` produced an event at processing time `ts`
+    /// (kept as a running max).
+    pub(crate) fn note_event(&mut self, feeder: usize, ts: Ts) {
+        let last = &mut self.last_events[feeder];
+        *last = Some(last.map_or(ts, |prev| prev.max(ts)));
+    }
+
+    /// Per-stream watermark provenance: for each stream, which feeder
+    /// currently holds the minimum (first on ties, so the answer is
+    /// deterministic) and when it last produced an event.
+    pub(crate) fn provenance(&self) -> Vec<WatermarkProvenance> {
+        self.streams
+            .iter()
+            .filter_map(|(stream, (_, ports))| {
+                let holder = *ports.iter().min_by_key(|&&feeder| self.feeders[feeder])?;
+                let watermark = ports
+                    .iter()
+                    .map(|&feeder| self.feeders[feeder])
+                    .min()
+                    .unwrap_or(Watermark::MIN);
+                Some(WatermarkProvenance {
+                    stream: stream.clone(),
+                    watermark,
+                    holder: self.labels[holder].clone(),
+                    holder_watermark: self.feeders[holder],
+                    holder_last_event: self.last_events[holder],
+                })
+            })
+            .collect()
     }
 }
 
@@ -1174,7 +1257,7 @@ impl PipelineDriver {
                 source.name()
             )));
         }
-        self.ledger.add_feeder(&streams);
+        self.ledger.add_feeder(source.name(), &streams);
         self.sources.push(SourceSlot {
             source,
             streams,
@@ -1232,6 +1315,13 @@ impl PipelineDriver {
             .collect();
         self.metrics.input_watermark = self.ledger.input_watermark();
         self.metrics.output_watermark = self.query.output_watermark();
+        self.metrics.watermark_provenance = self.ledger.provenance();
+    }
+
+    /// Per-stream watermark provenance: which source holds each stream's
+    /// minimum watermark and when it last produced an event.
+    pub fn watermark_provenance(&self) -> Vec<WatermarkProvenance> {
+        self.ledger.provenance()
     }
 
     /// One scheduling round: poll every unfinished source once (up to
@@ -1242,6 +1332,10 @@ impl PipelineDriver {
         if self.finished {
             return Ok(0);
         }
+        if observe::enabled() {
+            observe::set_thread_pipeline(self.label.as_deref().unwrap_or(""));
+        }
+        let _round = observe::TraceSpan::root("driver.round");
         let round = Stopwatch::start();
         let batch_size = self.controller.size();
         let mut ingested = 0usize;
@@ -1266,9 +1360,16 @@ impl PipelineDriver {
             }
             let batch = self.sources[slot].source.poll_batch(batch_size)?;
             poll_micros = poll_micros.saturating_add(poll.micros());
-            if !batch.events.is_empty() {
+            let had_events = !batch.events.is_empty();
+            if had_events {
                 self.sources[slot].non_empty_polls += 1;
             }
+            // The ingest span parents under the wire-carried producer span
+            // when the source supplied one, else under this round.
+            let _ingest = (had_events || batch.watermark.is_some()).then(|| {
+                observe::TraceSpan::with_parent("driver.ingest", batch.trace_parent.unwrap_or(0))
+                    .partition(slot.min(i32::MAX as usize) as i32)
+            });
             let mut events = batch.events.into_iter().peekable();
             while let Some(event) = events.next() {
                 let stream_idx = event.stream;
@@ -1331,6 +1432,9 @@ impl PipelineDriver {
                 if self.query.changelog().len() - self.emitted >= self.config.max_inflight {
                     self.drain_output()?;
                 }
+            }
+            if had_events {
+                self.ledger.note_event(slot, self.clock);
             }
             if let Some(wm) = batch.watermark {
                 self.ledger.observe(slot, Watermark(wm), &mut self.advances);
@@ -1412,6 +1516,7 @@ impl PipelineDriver {
             self.sources[slot].bytes += bytes;
             self.metrics.events_in += n as u64;
             self.metrics.bytes_in += bytes;
+            self.ledger.note_event(slot, self.clock);
             if self.query.changelog().len() - self.emitted >= self.config.max_inflight {
                 self.drain_output()?;
             }
@@ -1455,6 +1560,10 @@ impl PipelineDriver {
             self.notify_sink_watermark()?;
             return Ok(());
         }
+        // The emit span is the thread's current span while sinks write,
+        // so a `NetSink` can attach it to outgoing BATCH frames as the
+        // consumer side's trace parent.
+        let _emit_span = observe::TraceSpan::child("driver.emit");
         let emit = Stopwatch::start();
         let mut rows = Vec::with_capacity(entries.len() - self.emitted);
         for entry in &entries[self.emitted..] {
@@ -1496,6 +1605,10 @@ impl PipelineDriver {
             return Ok(());
         }
         self.finished = true;
+        if observe::enabled() {
+            observe::set_thread_pipeline(self.label.as_deref().unwrap_or(""));
+        }
+        let _finish_span = observe::TraceSpan::root("driver.finish");
         let span = Stopwatch::start();
         self.query.finish(self.clock)?;
         self.drain_output()?;
@@ -1746,8 +1859,8 @@ mod tests {
     #[test]
     fn ledger_combines_per_stream_minimum() {
         let mut ledger = WatermarkLedger::new();
-        let a = ledger.add_feeder(&["s".to_string()]);
-        let b = ledger.add_feeder(&["s".to_string(), "t".to_string()]);
+        let a = ledger.add_feeder("a", &["s".to_string()]);
+        let b = ledger.add_feeder("b", &["s".to_string(), "t".to_string()]);
         let mut advances = Vec::new();
 
         // Only one feeder of "s" advanced: nothing delivered on "s", but
@@ -1770,8 +1883,8 @@ mod tests {
     #[test]
     fn ledger_finished_feeder_stops_constraining() {
         let mut ledger = WatermarkLedger::new();
-        let a = ledger.add_feeder(&["s".to_string()]);
-        let b = ledger.add_feeder(&["s".to_string()]);
+        let a = ledger.add_feeder("a", &["s".to_string()]);
+        let b = ledger.add_feeder("b", &["s".to_string()]);
         let mut advances = Vec::new();
         ledger.observe(a, Watermark(Ts(10)), &mut advances);
         advances.clear();

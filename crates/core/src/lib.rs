@@ -48,12 +48,15 @@ pub use connect::{
     AdaptiveBatch, AnySource, BatchController, ConnectorRegistry, DriverConfig, Exports, OptionBag,
     PartitionedSource, PipelineDriver, PipelineMetrics, SinglePartition, Sink, SinkConnector,
     SinkSpec, Source, SourceBatch, SourceConnector, SourceEvent, SourceMetrics, SourceSpec,
-    SourceStatus,
+    SourceStatus, WatermarkProvenance,
 };
 pub use durable::{schema_fingerprint, CheckpointStore, DEFAULT_RETAIN};
 pub use engine::{Engine, StreamBuilder};
 pub use history::{HistoryEvent, HistoryTap};
-pub use observe::{Histogram, MetricKind, MetricRow, MetricsHub, PipelineSnapshot};
+pub use observe::{
+    FlightRecorder, Histogram, MetricKind, MetricRow, MetricsHub, PipelineSnapshot, TraceRecord,
+    TraceSpan,
+};
 pub use parallel::{PartitionedQuery, StableHasher};
 pub use query::RunningQuery;
 pub use session::{PipelineInfo, ScriptOutcome, Session, SqlPipeline, StatementResult};

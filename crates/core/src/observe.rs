@@ -20,11 +20,12 @@
 //!
 //! See `docs/OBSERVABILITY.md` for the span/counter vocabulary.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use onesql_types::Ts;
@@ -74,6 +75,14 @@ pub enum TraceEvent<'a> {
         name: &'a str,
         /// Observed value.
         value: u64,
+    },
+    /// A completed causal span (see [`TraceSpan`]). Unlike the
+    /// fire-and-forget `SpanEnter`/`SpanExit` pair, the record carries
+    /// span/parent IDs and scope, so a [`FlightRecorder`] can stitch
+    /// records into one causal trace across threads and processes.
+    Span {
+        /// The closed span. `record.seq` is 0 until a recorder assigns one.
+        record: &'a TraceRecord,
     },
 }
 
@@ -210,6 +219,531 @@ impl Stopwatch {
     pub fn micros(&self) -> u64 {
         self.0.elapsed().as_micros().min(u64::MAX as u128) as u64
     }
+}
+
+// ---------------------------------------------------------------------------
+// Causal spans and the flight recorder
+// ---------------------------------------------------------------------------
+
+/// A completed causal span: the flight recorder's unit of storage and the
+/// payload of [`TraceEvent::Span`].
+///
+/// Span IDs are process-unique and never 0; `parent == 0` marks a root.
+/// IDs embed a per-process epoch in their high 32 bits, so records from a
+/// producer process and a consumer process never collide and a parent ID
+/// carried across the OSQW wire stays meaningful on the other side.
+/// Timestamps are microseconds since the UNIX epoch (anchored once per
+/// process, then monotone), so traces from cooperating processes line up
+/// on one Chrome-trace timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Recorder-assigned insertion sequence (strictly increasing per
+    /// recorder; 0 on a record that has not been recorded yet).
+    pub seq: u64,
+    /// This span's process-unique ID (never 0).
+    pub span: u64,
+    /// Parent span ID, or 0 for a root span. The parent may live in
+    /// another thread or another process (wire-carried context).
+    pub parent: u64,
+    /// Stable dot-separated span name, e.g. `driver.round`.
+    pub name: &'static str,
+    /// Pipeline label in effect when the span opened ("" when unlabelled).
+    pub pipeline: String,
+    /// Worker index, or -1 outside any sharded worker.
+    pub worker: i32,
+    /// Source partition, or -1 when the span is not partition-scoped.
+    pub partition: i32,
+    /// Microseconds since the UNIX epoch when the span opened.
+    pub start_micros: u64,
+    /// Microseconds since the UNIX epoch when the span closed.
+    pub end_micros: u64,
+}
+
+/// Wall-anchored monotone clock: micros since the UNIX epoch, anchored at
+/// first use and advanced by `Instant` so it never regresses.
+struct TraceClock {
+    base_micros: u64,
+    started: Instant,
+}
+
+fn trace_clock() -> &'static TraceClock {
+    static CLOCK: OnceLock<TraceClock> = OnceLock::new();
+    CLOCK.get_or_init(|| TraceClock {
+        base_micros: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0),
+        started: Instant::now(),
+    })
+}
+
+/// Microseconds since the UNIX epoch on the process trace clock.
+pub fn trace_now_micros() -> u64 {
+    let clock = trace_clock();
+    clock
+        .base_micros
+        .saturating_add(clock.started.elapsed().as_micros().min(u64::MAX as u128) as u64)
+}
+
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// The per-process span-ID epoch: a 32-bit value derived from wall time
+/// and the PID, shifted into the high half. Never 0, so no span ID is 0.
+fn span_epoch() -> u64 {
+    static EPOCH: OnceLock<u64> = OnceLock::new();
+    *EPOCH.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let pid = u64::from(std::process::id());
+        let mixed = (nanos ^ pid.wrapping_mul(0x9e37_79b9_7f4a_7c15)) & 0xffff_ffff;
+        mixed.max(1) << 32
+    })
+}
+
+fn next_span_id() -> u64 {
+    span_epoch() | (NEXT_SPAN.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff)
+}
+
+/// Sampling divisor for root spans: 1 records every trace, N records one
+/// root (and its whole tree) out of every N. Children inherit the root's
+/// decision, so sampled traces are always complete.
+static TRACE_SAMPLE: AtomicU64 = AtomicU64::new(1);
+static ROOT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Set the root-span sampling divisor (`SET trace = 'sample=N'`); 0 is
+/// treated as 1 (record everything).
+pub fn set_sample(divisor: u64) {
+    TRACE_SAMPLE.store(divisor.max(1), Ordering::Relaxed);
+}
+
+/// The current root-span sampling divisor.
+pub fn sample_divisor() -> u64 {
+    TRACE_SAMPLE.load(Ordering::Relaxed).max(1)
+}
+
+fn sample_this_root() -> bool {
+    let n = TRACE_SAMPLE.load(Ordering::Relaxed);
+    n <= 1 || ROOT_SEQ.fetch_add(1, Ordering::Relaxed).is_multiple_of(n)
+}
+
+struct ThreadCtx {
+    /// Innermost open span on this thread (0 = none).
+    current: u64,
+    /// Whether the current trace tree is being recorded.
+    sampled: bool,
+    /// Pipeline label stamped onto records opened on this thread.
+    pipeline: Arc<str>,
+    /// Worker index stamped onto records opened on this thread.
+    worker: i32,
+}
+
+thread_local! {
+    static CTX: RefCell<ThreadCtx> = RefCell::new(ThreadCtx {
+        current: 0,
+        sampled: false,
+        pipeline: Arc::from(""),
+        worker: -1,
+    });
+}
+
+/// Stamp `label` onto spans subsequently opened on this thread.
+pub fn set_thread_pipeline(label: &str) {
+    CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        if &*ctx.pipeline != label {
+            ctx.pipeline = Arc::from(label);
+        }
+    });
+}
+
+/// Stamp `worker` onto spans subsequently opened on this thread (-1 =
+/// not a worker thread).
+pub fn set_thread_worker(worker: i32) {
+    CTX.with(|ctx| ctx.borrow_mut().worker = worker);
+}
+
+/// The ID of this thread's innermost open *sampled* span, or 0. This is
+/// the value to propagate to another thread or across the wire as a
+/// parent: 0 means "don't stitch" (tracing off, or this tree unsampled).
+pub fn current_span() -> u64 {
+    CTX.with(|ctx| {
+        let ctx = ctx.borrow();
+        if ctx.sampled {
+            ctx.current
+        } else {
+            0
+        }
+    })
+}
+
+/// RAII causal span: allocates a process-unique ID at open, becomes the
+/// thread's current span, and on drop emits a [`TraceEvent::Span`] record
+/// (when tracing is enabled and the tree is sampled). When tracing is
+/// disabled at open the span is inert: one relaxed atomic load, nothing
+/// else.
+pub struct TraceSpan {
+    span: u64,
+    parent: u64,
+    sampled: bool,
+    name: &'static str,
+    pipeline: Option<Arc<str>>,
+    worker: i32,
+    partition: i32,
+    start_micros: u64,
+    prev_current: u64,
+    prev_sampled: bool,
+}
+
+impl TraceSpan {
+    fn inert(name: &'static str) -> TraceSpan {
+        TraceSpan {
+            span: 0,
+            parent: 0,
+            sampled: false,
+            name,
+            pipeline: None,
+            worker: -1,
+            partition: -1,
+            start_micros: 0,
+            prev_current: 0,
+            prev_sampled: false,
+        }
+    }
+
+    fn open(name: &'static str, explicit_parent: Option<u64>) -> TraceSpan {
+        if !enabled() {
+            return TraceSpan::inert(name);
+        }
+        CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            let (parent, sampled) = match explicit_parent {
+                Some(p) if p != 0 => (p, true),
+                _ if ctx.current != 0 => (ctx.current, ctx.sampled),
+                _ => (0, sample_this_root()),
+            };
+            let span = next_span_id();
+            let prev_current = ctx.current;
+            let prev_sampled = ctx.sampled;
+            ctx.current = span;
+            ctx.sampled = sampled;
+            TraceSpan {
+                span,
+                parent,
+                sampled,
+                name,
+                pipeline: Some(ctx.pipeline.clone()),
+                worker: ctx.worker,
+                partition: -1,
+                start_micros: trace_now_micros(),
+                prev_current,
+                prev_sampled,
+            }
+        })
+    }
+
+    /// Open a root span: a fresh trace tree (subject to the sampling
+    /// divisor) unless a span is already open on this thread, in which
+    /// case it nests like [`TraceSpan::child`].
+    pub fn root(name: &'static str) -> TraceSpan {
+        TraceSpan::open(name, None)
+    }
+
+    /// Open a child of this thread's current span (root if none).
+    pub fn child(name: &'static str) -> TraceSpan {
+        TraceSpan::open(name, None)
+    }
+
+    /// Open a span under an explicit parent ID — typically one carried
+    /// from another thread ([`current_span`]) or across the wire. A
+    /// parent of 0 falls back to [`TraceSpan::child`] semantics.
+    pub fn with_parent(name: &'static str, parent: u64) -> TraceSpan {
+        TraceSpan::open(name, Some(parent))
+    }
+
+    /// Stamp a source partition onto the record (builder style).
+    pub fn partition(mut self, partition: i32) -> TraceSpan {
+        self.partition = partition;
+        self
+    }
+
+    /// This span's ID if it will be recorded, else 0. Propagate this —
+    /// not the raw ID — so unsampled trees don't create orphan children.
+    pub fn id(&self) -> u64 {
+        if self.sampled {
+            self.span
+        } else {
+            0
+        }
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if self.span == 0 {
+            return;
+        }
+        CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            ctx.current = self.prev_current;
+            ctx.sampled = self.prev_sampled;
+        });
+        if self.sampled && enabled() {
+            let record = TraceRecord {
+                seq: 0,
+                span: self.span,
+                parent: self.parent,
+                name: self.name,
+                pipeline: self
+                    .pipeline
+                    .take()
+                    .map(|p| p.to_string())
+                    .unwrap_or_default(),
+                worker: self.worker,
+                partition: self.partition,
+                start_micros: self.start_micros,
+                end_micros: trace_now_micros(),
+            };
+            emit(TraceEvent::Span { record: &record });
+        }
+    }
+}
+
+/// Default ring capacity of the process-wide [`recorder`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+#[derive(Default)]
+struct RecorderInner {
+    next_seq: u64,
+    ring: VecDeque<TraceRecord>,
+}
+
+/// A bounded, lock-light ring buffer of [`TraceRecord`]s.
+///
+/// "Lock-light" means one brief O(1) critical section per record: assign
+/// a sequence number, evict the oldest record if full, push. Eviction is
+/// strictly oldest-first, and because spans are recorded at *close* (a
+/// child closes before its parent on any one thread), a retained child's
+/// recorded parent is either still in the ring or was evicted as older —
+/// never silently missing while newer records survive. That invariant is
+/// what makes partial rings stitchable.
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RecorderInner::default()),
+        }
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append `record`, assigning and returning its sequence number.
+    /// Evicts the oldest record when full.
+    pub fn push(&self, mut record: TraceRecord) -> u64 {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        record.seq = seq;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(record);
+        seq
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained records with a sequence number strictly greater than
+    /// `seq`, oldest first (the `trace` connector's cursor read).
+    pub fn since(&self, seq: u64) -> Vec<TraceRecord> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .ring
+            .iter()
+            .filter(|r| r.seq > seq)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .ring
+            .len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all retained records (sequence numbers keep counting).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .ring
+            .clear();
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn event(&self, event: &TraceEvent<'_>) {
+        if let TraceEvent::Span { record } = event {
+            self.push((*record).clone());
+        }
+    }
+}
+
+/// The process-wide flight recorder. `SET trace = 'on'` installs it as
+/// the trace sink; `SHOW TRACE`, the `trace` connector, and
+/// `TRACE PIPELINE ... TO` all read it.
+pub fn recorder() -> &'static Arc<FlightRecorder> {
+    static REC: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
+    REC.get_or_init(|| Arc::new(FlightRecorder::new(DEFAULT_TRACE_CAPACITY)))
+}
+
+/// The stitching closure for one pipeline: records whose pipeline label
+/// matches (case-insensitively), plus — transitively — every record
+/// linked to those through span/parent IDs. Wire-carried parents pull a
+/// producer process's spans into a consumer pipeline's trace and vice
+/// versa; that closure is what `TRACE PIPELINE ... TO` exports.
+pub fn stitched(records: &[TraceRecord], pipeline: &str) -> Vec<TraceRecord> {
+    let mut ids: BTreeSet<u64> = records
+        .iter()
+        .filter(|r| r.pipeline.eq_ignore_ascii_case(pipeline))
+        .flat_map(|r| [r.span, r.parent])
+        .filter(|&id| id != 0)
+        .collect();
+    loop {
+        let before = ids.len();
+        for r in records {
+            if ids.contains(&r.span) || (r.parent != 0 && ids.contains(&r.parent)) {
+                ids.insert(r.span);
+                if r.parent != 0 {
+                    ids.insert(r.parent);
+                }
+            }
+        }
+        if ids.len() == before {
+            break;
+        }
+    }
+    records
+        .iter()
+        .filter(|r| r.pipeline.eq_ignore_ascii_case(pipeline) || ids.contains(&r.span))
+        .cloned()
+        .collect()
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render records as Chrome trace-event JSON (the array form), loadable
+/// in `chrome://tracing` or Perfetto.
+///
+/// Each record becomes one complete (`"ph":"X"`) event: `ts` is the span
+/// start, `dur` its length, both in microseconds. Processes on the
+/// timeline are pipeline labels (`pid` by order of first appearance, with
+/// `process_name` metadata); `tid` is worker + 1 (so non-worker spans are
+/// thread 0). Span and parent IDs render as hex strings in `args` — JSON
+/// numbers cannot carry 64-bit IDs exactly. Concatenating the record
+/// arrays of two processes before rendering yields one merged trace.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut pipelines: Vec<&str> = Vec::new();
+    for r in records {
+        if !pipelines.contains(&r.pipeline.as_str()) {
+            pipelines.push(&r.pipeline);
+        }
+    }
+    let mut out = String::from("[");
+    let mut first = true;
+    for (idx, label) in pipelines.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"",
+            idx + 1
+        ));
+        json_escape(
+            if label.is_empty() {
+                "(unlabelled)"
+            } else {
+                label
+            },
+            &mut out,
+        );
+        out.push_str("\"}}");
+    }
+    for r in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let pid = pipelines
+            .iter()
+            .position(|p| *p == r.pipeline.as_str())
+            .unwrap_or(0)
+            + 1;
+        let tid = i64::from(r.worker) + 1;
+        out.push_str("\n{\"name\":\"");
+        json_escape(r.name, &mut out);
+        out.push_str(&format!(
+            "\",\"cat\":\"onesql\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"span\":\"{:#x}\",\"parent\":\"{:#x}\",\"pipeline\":\"",
+            r.start_micros,
+            r.end_micros.saturating_sub(r.start_micros),
+            r.span,
+            r.parent,
+        ));
+        json_escape(&r.pipeline, &mut out);
+        out.push_str(&format!(
+            "\",\"partition\":{},\"seq\":{}}}}}",
+            r.partition, r.seq
+        ));
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -544,6 +1078,9 @@ mod tests {
                 TraceEvent::Counter { name, delta } => format!("counter {name} {delta}"),
                 TraceEvent::Gauge { name, value } => format!("gauge {name} {value}"),
                 TraceEvent::Sample { name, value } => format!("sample {name} {value}"),
+                TraceEvent::Span { record } => {
+                    format!("span {} parent={}", record.name, record.parent)
+                }
             };
             self.0
                 .lock()
@@ -552,8 +1089,18 @@ mod tests {
         }
     }
 
+    /// Tests that install a global sink serialize on this lock so they
+    /// don't clobber each other's sink mid-flight.
+    fn install_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
     #[test]
     fn facade_is_silent_without_sink_and_captures_with_one() {
+        let _guard = install_lock()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // No sink: nothing observable, nothing panics.
         counter("quiet.counter", 1);
         assert!(!enabled());
@@ -689,5 +1236,198 @@ mod tests {
         let g = MetricRow::gauge("lag", -1);
         assert_eq!(g.kind.as_str(), "gauge");
         assert_eq!(g.value, -1);
+    }
+
+    #[test]
+    fn trace_spans_record_causality_and_scope() {
+        let _guard = install_lock()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let rec = Arc::new(FlightRecorder::new(1024));
+        install(rec.clone());
+        set_sample(1);
+        set_thread_pipeline("unit_p");
+        set_thread_worker(3);
+
+        // Disabled-span path: an inert span neither records nor leaks ctx.
+        let wire_parent;
+        {
+            let round = TraceSpan::root("driver.round");
+            assert_ne!(round.id(), 0);
+            assert_eq!(current_span(), round.id());
+            {
+                let ingest = TraceSpan::child("driver.ingest").partition(2);
+                assert_eq!(current_span(), ingest.id());
+                assert_ne!(ingest.id(), round.id());
+            }
+            wire_parent = current_span();
+        }
+        assert_eq!(current_span(), 0);
+        // A consumer-side span stitched under a wire-carried parent.
+        {
+            let _remote = TraceSpan::with_parent("consumer.ingest", wire_parent);
+        }
+        uninstall();
+        set_thread_pipeline("");
+        set_thread_worker(-1);
+
+        let records = rec.records();
+        assert_eq!(records.len(), 3);
+        // Children close before parents: ingest precedes round.
+        assert_eq!(records[0].name, "driver.ingest");
+        assert_eq!(records[1].name, "driver.round");
+        assert_eq!(records[2].name, "consumer.ingest");
+        assert_eq!(records[0].parent, records[1].span);
+        assert_eq!(records[2].parent, records[1].span);
+        assert_eq!(records[0].partition, 2);
+        assert_eq!(records[1].partition, -1);
+        for r in &records {
+            assert_eq!(r.pipeline, "unit_p");
+            assert_eq!(r.worker, 3);
+            assert_ne!(r.span, 0);
+            assert!(r.span >> 32 >= 1, "epoch in high bits");
+            assert!(r.end_micros >= r.start_micros);
+        }
+        assert!(records[0].seq < records[1].seq && records[1].seq < records[2].seq);
+        // IDs are unique.
+        let mut ids: Vec<u64> = records.iter().map(|r| r.span).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn sampling_keeps_trees_complete() {
+        let _guard = install_lock()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let rec = Arc::new(FlightRecorder::new(1024));
+        install(rec.clone());
+        set_sample(5);
+        for _ in 0..10 {
+            let _root = TraceSpan::root("sampled.root");
+            let _child = TraceSpan::child("sampled.child");
+        }
+        set_sample(1);
+        uninstall();
+        let records = rec.records();
+        // Exactly 2 of 10 roots sampled, each with its child.
+        assert_eq!(records.len(), 4);
+        for r in records.iter().filter(|r| r.parent != 0) {
+            assert!(
+                records.iter().any(|p| p.span == r.parent),
+                "child's parent must be recorded with it"
+            );
+        }
+    }
+
+    #[test]
+    fn flight_recorder_evicts_oldest_first() {
+        let rec = FlightRecorder::new(3);
+        assert_eq!(rec.capacity(), 3);
+        let mk = |span: u64| TraceRecord {
+            seq: 0,
+            span,
+            parent: 0,
+            name: "evict.test",
+            pipeline: String::new(),
+            worker: -1,
+            partition: -1,
+            start_micros: 0,
+            end_micros: 0,
+        };
+        for span in 1..=5 {
+            rec.push(mk(span));
+        }
+        let records = rec.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.span).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(rec.since(4).len(), 1);
+        assert_eq!(rec.len(), 3);
+        rec.clear();
+        assert!(rec.is_empty());
+        // Sequence numbers keep counting after a clear.
+        assert_eq!(rec.push(mk(6)), 6);
+    }
+
+    #[test]
+    fn stitching_follows_wire_links_across_pipelines() {
+        let mk = |span: u64, parent: u64, pipeline: &str| TraceRecord {
+            seq: 0,
+            span,
+            parent,
+            name: "stitch.test",
+            pipeline: pipeline.to_string(),
+            worker: -1,
+            partition: -1,
+            start_micros: 0,
+            end_micros: 0,
+        };
+        let records = vec![
+            mk(1, 0, "producer"),  // producer round
+            mk(2, 1, "producer"),  // producer emit (id carried on the wire)
+            mk(3, 2, "consumer"),  // consumer ingest under the wire parent
+            mk(4, 0, "consumer"),  // consumer round
+            mk(9, 0, "bystander"), // unrelated pipeline
+        ];
+        let consumer = stitched(&records, "consumer");
+        let spans: Vec<u64> = consumer.iter().map(|r| r.span).collect();
+        assert_eq!(spans, vec![1, 2, 3, 4]);
+        // And from the producer side the closure pulls the consumer in too.
+        let producer = stitched(&records, "PRODUCER");
+        let spans: Vec<u64> = producer.iter().map(|r| r.span).collect();
+        assert_eq!(spans, vec![1, 2, 3]);
+        assert!(stitched(&records, "bystander").iter().all(|r| r.span == 9));
+    }
+
+    /// Golden test: the Chrome trace-event JSON for a small fixed trace is
+    /// pinned byte-for-byte. Changing it breaks recorded artifacts and
+    /// external tooling that parses exports — don't.
+    #[test]
+    fn chrome_trace_json_is_pinned() {
+        let records = vec![
+            TraceRecord {
+                seq: 1,
+                span: 0x1_0000_0002,
+                parent: 0x1_0000_0001,
+                name: "driver.ingest",
+                pipeline: "q7_out".to_string(),
+                worker: 0,
+                partition: 1,
+                start_micros: 1_000_010,
+                end_micros: 1_000_050,
+            },
+            TraceRecord {
+                seq: 2,
+                span: 0x1_0000_0001,
+                parent: 0,
+                name: "driver.round",
+                pipeline: "q7_out".to_string(),
+                worker: -1,
+                partition: -1,
+                start_micros: 1_000_000,
+                end_micros: 1_000_100,
+            },
+        ];
+        let json = chrome_trace_json(&records);
+        let expected = concat!(
+            "[\n",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"q7_out\"}},\n",
+            "{\"name\":\"driver.ingest\",\"cat\":\"onesql\",\"ph\":\"X\",\"ts\":1000010,\"dur\":40,\"pid\":1,\"tid\":1,",
+            "\"args\":{\"span\":\"0x100000002\",\"parent\":\"0x100000001\",\"pipeline\":\"q7_out\",\"partition\":1,\"seq\":1}},\n",
+            "{\"name\":\"driver.round\",\"cat\":\"onesql\",\"ph\":\"X\",\"ts\":1000000,\"dur\":100,\"pid\":1,\"tid\":0,",
+            "\"args\":{\"span\":\"0x100000001\",\"parent\":\"0x0\",\"pipeline\":\"q7_out\",\"partition\":-1,\"seq\":2}}\n",
+            "]\n",
+        );
+        assert_eq!(json, expected);
+        // Empty input is a valid (empty) trace.
+        assert_eq!(chrome_trace_json(&[]), "[\n]\n");
     }
 }

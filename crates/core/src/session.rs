@@ -140,7 +140,7 @@ use onesql_plan::lint::{
 };
 use onesql_plan::statement::referenced_relations;
 use onesql_plan::{
-    bind_statement, BoundStatement, Catalog, ConnectorOptions, SessionKnob, TableKind,
+    bind_statement, BoundStatement, Catalog, ConnectorOptions, SessionKnob, TableKind, TraceMode,
 };
 use onesql_sql::ast::{DropKind, OptionValue, Statement};
 use onesql_sql::{Span, SpannedStatement};
@@ -488,6 +488,17 @@ pub enum StatementResult {
         /// The findings, in statement order; empty means a clean bill.
         diagnostics: Vec<Diagnostic>,
     },
+    /// `SHOW TRACE` output: flight-recorder spans, oldest first.
+    Trace(Vec<observe::TraceRecord>),
+    /// `TRACE PIPELINE ... TO` wrote a Chrome trace-event JSON file.
+    TraceExported {
+        /// The pipeline label whose trace was exported.
+        pipeline: String,
+        /// Where the JSON landed.
+        path: String,
+        /// How many spans the export contains.
+        spans: usize,
+    },
 }
 
 impl StatementResult {
@@ -532,6 +543,19 @@ impl std::fmt::Debug for StatementResult {
             StatementResult::Diagnostics { diagnostics, .. } => f
                 .debug_struct("Diagnostics")
                 .field("count", &diagnostics.len())
+                .finish(),
+            StatementResult::Trace(records) => {
+                f.debug_tuple("Trace").field(&records.len()).finish()
+            }
+            StatementResult::TraceExported {
+                pipeline,
+                path,
+                spans,
+            } => f
+                .debug_struct("TraceExported")
+                .field("pipeline", pipeline)
+                .field("path", path)
+                .field("spans", spans)
                 .finish(),
         }
     }
@@ -943,6 +967,33 @@ impl Session {
                 }
                 Ok(StatementResult::Pipelines(infos))
             }
+            BoundStatement::ShowTrace { pipeline, limit } => {
+                let records = observe::recorder().records();
+                let mut records = match pipeline {
+                    Some(label) => observe::stitched(&records, &label),
+                    None => records,
+                };
+                if let Some(n) = limit {
+                    let n = n.min(records.len() as u64) as usize;
+                    records.drain(..records.len() - n);
+                }
+                Ok(StatementResult::Trace(records))
+            }
+            BoundStatement::TracePipeline { pipeline, path } => {
+                let records = observe::recorder().records();
+                let stitched = observe::stitched(&records, &pipeline);
+                let json = observe::chrome_trace_json(&stitched);
+                std::fs::write(&path, json).map_err(|e| {
+                    Error::exec(format!(
+                        "TRACE PIPELINE {pipeline}: cannot write {path}: {e}"
+                    ))
+                })?;
+                Ok(StatementResult::TraceExported {
+                    pipeline,
+                    path,
+                    spans: stitched.len(),
+                })
+            }
             BoundStatement::Set(knob) => {
                 self.apply_knob(knob)?;
                 Ok(StatementResult::Set(knob.name().to_string()))
@@ -1056,6 +1107,17 @@ impl Session {
             }
             SessionKnob::CheckpointRetain(k) => self.checkpoint_retain = k,
             SessionKnob::Lint(mode) => self.lint = mode,
+            SessionKnob::Trace(mode) => match mode {
+                TraceMode::Off => observe::uninstall(),
+                TraceMode::On => {
+                    observe::set_sample(1);
+                    observe::install(observe::recorder().clone());
+                }
+                TraceMode::Sample(n) => {
+                    observe::set_sample(n);
+                    observe::install(observe::recorder().clone());
+                }
+            },
         }
         Ok(())
     }

@@ -110,6 +110,7 @@ use onesql_types::{Error, Result, Row, SchemaRef, Ts};
 use crate::connect::{
     change_bytes, BatchController, DriverConfig, PartitionedSource, PipelineMetrics,
     SinglePartition, Sink, Source, SourceMetrics, SourceStatus, WatermarkLedger,
+    WatermarkProvenance,
 };
 use crate::engine::Engine;
 use crate::history::{HistoryEvent, HistoryTap};
@@ -219,8 +220,10 @@ struct DrainReply {
 enum Cmd {
     /// Declare a stream name; subsequent commands reference it by index.
     Declare(String),
-    /// A routed batch of `(stream index, ptime, change)` events.
-    Batch(Vec<(usize, Ts, Change)>),
+    /// A routed batch of `(stream index, ptime, change)` events, plus the
+    /// control thread's current trace span (0 = tracing off/unsampled) so
+    /// worker-side processing spans stitch under the driver round.
+    Batch(Vec<(usize, Ts, Change)>, u64),
     /// Deliver a stream watermark.
     Watermark(usize, Ts, Ts),
     /// All inputs complete: flush pending materialization.
@@ -236,7 +239,13 @@ enum Cmd {
     TableAt(Ts, Sender<Result<Vec<Row>>>),
 }
 
-fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>, vectorize: bool) -> RunningQuery {
+fn worker_loop(
+    worker: usize,
+    mut query: RunningQuery,
+    rx: Receiver<Cmd>,
+    vectorize: bool,
+) -> RunningQuery {
+    observe::set_thread_worker(worker.min(i32::MAX as usize) as i32);
     let mut streams: Vec<String> = Vec::new();
     let mut drained = 0usize;
     // The first failure wins; later data commands are skipped and every
@@ -246,10 +255,14 @@ fn worker_loop(mut query: RunningQuery, rx: Receiver<Cmd>, vectorize: bool) -> R
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Declare(name) => streams.push(name),
-            Cmd::Batch(events) => {
+            Cmd::Batch(events, trace_parent) => {
                 if failure.is_some() {
                     continue;
                 }
+                // Span only when the driver round is being recorded, so
+                // an unsampled round doesn't spawn orphan worker trees.
+                let _span = (trace_parent != 0)
+                    .then(|| observe::TraceSpan::with_parent("worker.process", trace_parent));
                 // Group consecutive same-stream events into columnar runs,
                 // mirroring `PipelineDriver::step`. Ptimes within a routed
                 // batch are monotone (the control thread stamps its clamped
@@ -419,7 +432,7 @@ impl ShardedPipelineDriver {
         let mut schema = None;
         let mut ver_cols = Vec::new();
         let mut clock = Ts::MIN;
-        for _ in 0..config.workers {
+        for w in 0..config.workers {
             let query = engine.execute(sql)?;
             if schema.is_none() {
                 schema = Some(query.schema());
@@ -428,7 +441,7 @@ impl ShardedPipelineDriver {
             }
             let (tx, rx) = bounded::<Cmd>(64);
             let vectorize = config.driver.vectorize;
-            let handle = std::thread::spawn(move || worker_loop(query, rx, vectorize));
+            let handle = std::thread::spawn(move || worker_loop(w, query, rx, vectorize));
             workers.push(Worker { tx, handle });
         }
         let worker_count = workers.len();
@@ -544,8 +557,10 @@ impl ShardedPipelineDriver {
             .map(|&i| self.streams[i].clone())
             .collect();
         let parts = (0..source.partitions())
-            .map(|_| PartState {
-                feeder: self.ledger.add_feeder(&streams_lc),
+            .map(|part| PartState {
+                feeder: self
+                    .ledger
+                    .add_feeder(format!("{}[{part}]", source.name()), &streams_lc),
                 finished: false,
                 events: 0,
                 bytes: 0,
@@ -621,6 +636,13 @@ impl ShardedPipelineDriver {
             .collect();
         self.metrics.input_watermark = self.ledger.input_watermark();
         self.metrics.output_watermark = self.output_watermark;
+        self.metrics.watermark_provenance = self.ledger.provenance();
+    }
+
+    /// Per-stream watermark provenance: which source partition holds each
+    /// stream's minimum watermark and when it last produced an event.
+    pub fn watermark_provenance(&self) -> Vec<WatermarkProvenance> {
+        self.ledger.provenance()
     }
 
     fn broadcast(&self, mut cmd: impl FnMut() -> Cmd) -> Result<()> {
@@ -666,6 +688,10 @@ impl ShardedPipelineDriver {
         if self.finished {
             return Ok(0);
         }
+        if observe::enabled() {
+            observe::set_thread_pipeline(self.label.as_deref().unwrap_or(""));
+        }
+        let _round = observe::TraceSpan::root("driver.round");
         let round = Stopwatch::start();
         let round_clock = self.clock;
         let batch_size = self.controller.size();
@@ -681,9 +707,19 @@ impl ShardedPipelineDriver {
                 let poll = Stopwatch::start();
                 let batch = self.sources[slot].source.poll_partition(part, batch_size)?;
                 poll_micros = poll_micros.saturating_add(poll.micros());
-                if !batch.events.is_empty() {
+                let had_events = !batch.events.is_empty();
+                if had_events {
                     self.sources[slot].non_empty_polls += 1;
                 }
+                // The ingest span parents under the wire-carried producer
+                // span when the partition supplied one, else this round.
+                let _ingest = (had_events || batch.watermark.is_some()).then(|| {
+                    observe::TraceSpan::with_parent(
+                        "driver.ingest",
+                        batch.trace_parent.unwrap_or(0),
+                    )
+                    .partition(part.min(i32::MAX as usize) as i32)
+                });
                 for event in batch.events {
                     let &stream_id =
                         self.sources[slot]
@@ -721,6 +757,9 @@ impl ShardedPipelineDriver {
                     ingested += 1;
                 }
                 let feeder = self.sources[slot].parts[part].feeder;
+                if had_events {
+                    self.ledger.note_event(feeder, self.clock);
+                }
                 if let Some(wm) = batch.watermark {
                     self.ledger
                         .observe(feeder, Watermark(wm), &mut self.advances);
@@ -747,7 +786,7 @@ impl ShardedPipelineDriver {
             self.metrics.batch_rows.record(batch.len() as u64);
             self.workers[worker]
                 .tx
-                .send(Cmd::Batch(batch))
+                .send(Cmd::Batch(batch, observe::current_span()))
                 .map_err(|_| Error::exec("pipeline worker terminated"))?;
         }
         if ingested > 0 {
@@ -772,7 +811,10 @@ impl ShardedPipelineDriver {
         self.advances = advances;
 
         let merge = Stopwatch::start();
-        self.drain_workers()?;
+        {
+            let _gather = observe::TraceSpan::child("driver.gather");
+            self.drain_workers()?;
+        }
         self.flush(false)?;
         self.metrics.merge_micros.record(merge.micros());
         self.metrics.rounds += 1;
@@ -880,6 +922,9 @@ impl ShardedPipelineDriver {
             }
         }
         if !batch.is_empty() {
+            // Current span while sinks write: a `NetSink` attaches it to
+            // outgoing BATCH frames as the consumer side's trace parent.
+            let _emit_span = observe::TraceSpan::child("driver.emit");
             let emit = Stopwatch::start();
             batch.sort_by_key(|&(ptime, worker, seq, _)| (ptime, worker, seq));
             let mut rows: Vec<StreamRow> = Vec::with_capacity(batch.len());
@@ -950,6 +995,10 @@ impl ShardedPipelineDriver {
     }
 
     fn finish_inner(&mut self) -> Result<()> {
+        if observe::enabled() {
+            observe::set_thread_pipeline(self.label.as_deref().unwrap_or(""));
+        }
+        let _finish_span = observe::TraceSpan::root("driver.finish");
         self.broadcast(|| Cmd::Finish(self.clock))?;
         self.drain_workers()?;
         self.flush(true)?;

@@ -38,7 +38,7 @@ pub use lint::{
 };
 pub use optimizer::optimize;
 pub use plan::{BoundQuery, EmitSpec, JoinKind, JoinTimeBound, LogicalPlan, SortKey, WindowKind};
-pub use statement::{bind_statement, BoundStatement, ConnectorOptions, SessionKnob};
+pub use statement::{bind_statement, BoundStatement, ConnectorOptions, SessionKnob, TraceMode};
 
 use onesql_types::Result;
 

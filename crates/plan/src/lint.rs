@@ -396,7 +396,12 @@ impl Linter {
                 self.check_shard_alignment(query, span, idx);
                 self.check_no_event_time(query, span, idx);
             }
-            BoundStatement::ExplainLint { .. } | BoundStatement::ShowPipelines => {}
+            BoundStatement::ExplainLint { .. }
+            | BoundStatement::ShowPipelines
+            | BoundStatement::ShowTrace { .. } => {}
+            BoundStatement::TracePipeline { pipeline, .. } => {
+                self.referenced.insert(pipeline.to_ascii_lowercase());
+            }
             BoundStatement::CreateStream { name, schema } => {
                 self.catalog.register(
                     name.clone(),
@@ -565,7 +570,8 @@ impl Linter {
             }
             SessionKnob::MaxIdleRounds(_)
             | SessionKnob::CheckpointRetain(_)
-            | SessionKnob::Lint(_) => {}
+            | SessionKnob::Lint(_)
+            | SessionKnob::Trace(_) => {}
         }
     }
 

@@ -133,6 +133,21 @@ pub enum BoundStatement {
     },
     /// `SHOW PIPELINES`: render live metrics for the session's pipelines.
     ShowPipelines,
+    /// `SHOW TRACE [FOR '<pipeline>'] [LIMIT n]`: render captured spans.
+    ShowTrace {
+        /// Restrict to the named pipeline's stitched trace.
+        pipeline: Option<String>,
+        /// Keep only the most recent `n` records.
+        limit: Option<u64>,
+    },
+    /// `TRACE PIPELINE <id> TO '<path>'`: export a pipeline's stitched
+    /// trace as Chrome trace-event JSON.
+    TracePipeline {
+        /// Pipeline label whose trace to export.
+        pipeline: String,
+        /// Output file path.
+        path: String,
+    },
     /// `SET <knob> = <value>`, validated to a typed knob.
     Set(SessionKnob),
     /// `CHECKPOINT PIPELINE <id> TO '<path>'`.
@@ -184,6 +199,51 @@ pub enum SessionKnob {
     /// `SET lint = 'strict'|'warn'|'off'` — how `execute_script` treats
     /// lint diagnostics.
     Lint(LintMode),
+    /// `SET trace = 'on'|'off'|'sample=N'` — flight-recorder tracing.
+    Trace(TraceMode),
+}
+
+/// The tracing states `SET trace = ...` accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Tracing disabled (the default): one atomic load per call site.
+    Off,
+    /// Record every root span.
+    On,
+    /// Record one in every `N` root spans (children follow their root's
+    /// decision, so sampled trees stay complete).
+    Sample(u64),
+}
+
+impl TraceMode {
+    /// Parse the `SET trace` value: `on`, `off`, or `sample=N`.
+    pub fn parse(mode: &str) -> Result<TraceMode> {
+        let mode = mode.trim().to_ascii_lowercase();
+        match mode.as_str() {
+            "on" => Ok(TraceMode::On),
+            "off" => Ok(TraceMode::Off),
+            _ => {
+                if let Some(n) = mode.strip_prefix("sample=") {
+                    let n = n
+                        .trim()
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            Error::plan(format!(
+                                "SET trace: sample divisor must be a positive \
+                                 integer, got '{n}'"
+                            ))
+                        })?;
+                    Ok(TraceMode::Sample(n))
+                } else {
+                    Err(Error::plan(format!(
+                        "SET trace: expected 'on', 'off', or 'sample=N', got '{mode}'"
+                    )))
+                }
+            }
+        }
+    }
 }
 
 impl SessionKnob {
@@ -198,12 +258,13 @@ impl SessionKnob {
             SessionKnob::MaxIdleRounds(_) => "max_idle_rounds",
             SessionKnob::CheckpointRetain(_) => "checkpoint_retain",
             SessionKnob::Lint(_) => "lint",
+            SessionKnob::Trace(_) => "trace",
         }
     }
 }
 
 /// The knob names `SET` accepts, for error messages.
-const KNOBS: [&str; 8] = [
+const KNOBS: [&str; 9] = [
     "workers",
     "partition_col",
     "batch_size",
@@ -212,6 +273,7 @@ const KNOBS: [&str; 8] = [
     "max_idle_rounds",
     "checkpoint_retain",
     "lint",
+    "trace",
 ];
 
 /// Validate a `SET` statement's knob name and value type.
@@ -251,6 +313,14 @@ fn bind_set(name: &str, value: &OptionValue) -> Result<SessionKnob> {
             };
             Ok(SessionKnob::Lint(LintMode::parse(mode)?))
         }
+        "trace" => {
+            let OptionValue::String(mode) = value else {
+                return Err(Error::plan(format!(
+                    "SET trace: expected 'on', 'off', or 'sample=N', got {value}"
+                )));
+            };
+            Ok(SessionKnob::Trace(TraceMode::parse(mode)?))
+        }
         _ => Err(Error::plan(format!(
             "SET {knob}: unknown session knob (known knobs: {})",
             KNOBS.join(", ")
@@ -276,6 +346,14 @@ pub fn bind_statement(stmt: &Statement, catalog: &dyn Catalog) -> Result<BoundSt
             },
         }),
         Statement::ShowPipelines => Ok(BoundStatement::ShowPipelines),
+        Statement::ShowTrace { pipeline, limit } => Ok(BoundStatement::ShowTrace {
+            pipeline: pipeline.clone(),
+            limit: *limit,
+        }),
+        Statement::TracePipeline { pipeline, path } => Ok(BoundStatement::TracePipeline {
+            pipeline: pipeline.clone(),
+            path: path.clone(),
+        }),
         Statement::Insert { sink, query } => {
             let bound = optimize(crate::bind(query, catalog)?);
             Ok(BoundStatement::Insert {

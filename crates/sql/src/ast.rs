@@ -48,6 +48,25 @@ pub enum Statement {
     /// `SHOW PIPELINES`: render live metrics rows for every pipeline the
     /// session holds.
     ShowPipelines,
+    /// `SHOW TRACE [FOR '<pipeline>'] [LIMIT n]`: render the flight
+    /// recorder's captured spans, optionally stitched to one pipeline's
+    /// trace and capped to the most recent `n`.
+    ShowTrace {
+        /// Restrict to spans reachable from this pipeline's trace
+        /// (case-insensitive label match plus wire-carried parent links).
+        pipeline: Option<String>,
+        /// Keep only the most recent `n` records.
+        limit: Option<u64>,
+    },
+    /// `TRACE PIPELINE <id> TO '<path>'`: export the named pipeline's
+    /// stitched trace as Chrome trace-event JSON (loadable in
+    /// `chrome://tracing` / Perfetto).
+    TracePipeline {
+        /// The pipeline label whose trace to export.
+        pipeline: String,
+        /// Output file path for the JSON.
+        path: String,
+    },
     /// `SET <knob> = <value>`: a session knob assignment (worker count,
     /// partition column, batch bounds, ...), so scripts are fully
     /// self-contained instead of leaning on imperative setters.
@@ -653,6 +672,21 @@ impl fmt::Display for Statement {
                 write!(f, "EXPLAIN LINT '{}'", script.replace('\'', "''"))
             }
             Statement::ShowPipelines => write!(f, "SHOW PIPELINES"),
+            Statement::ShowTrace { pipeline, limit } => {
+                write!(f, "SHOW TRACE")?;
+                if let Some(p) = pipeline {
+                    write!(f, " FOR '{}'", p.replace('\'', "''"))?;
+                }
+                if let Some(n) = limit {
+                    write!(f, " LIMIT {n}")?;
+                }
+                Ok(())
+            }
+            Statement::TracePipeline { pipeline, path } => write!(
+                f,
+                "TRACE PIPELINE {pipeline} TO '{}'",
+                path.replace('\'', "''")
+            ),
             Statement::Set { name, value } => write!(f, "SET {name} = {value}"),
             Statement::CheckpointPipeline { pipeline, path } => write!(
                 f,

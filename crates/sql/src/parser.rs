@@ -202,6 +202,7 @@ impl Parser {
                 | Keyword::Show
                 | Keyword::Analyze
                 | Keyword::Lint
+                | Keyword::Trace
                 | Keyword::To),
             ) => Some(kw.as_str().to_ascii_lowercase()),
             _ => None,
@@ -264,6 +265,25 @@ impl Parser {
             }
             TokenKind::Keyword(Keyword::Show) => {
                 self.advance();
+                if self.consume_keyword(Keyword::Trace) {
+                    let pipeline = if self.consume_keyword(Keyword::For) {
+                        Some(self.parse_string("a pipeline label after FOR")?)
+                    } else {
+                        None
+                    };
+                    let limit =
+                        if self.consume_keyword(Keyword::Limit) {
+                            match self.advance() {
+                                TokenKind::Number(n) => Some(n.parse::<u64>().map_err(|_| {
+                                    Error::parse(format!("invalid LIMIT value '{n}'"))
+                                })?),
+                                _ => return Err(self.unexpected("expected integer after LIMIT")),
+                            }
+                        } else {
+                            None
+                        };
+                    return Ok(Statement::ShowTrace { pipeline, limit });
+                }
                 self.expect_keyword(Keyword::Pipelines)?;
                 Ok(Statement::ShowPipelines)
             }
@@ -281,6 +301,14 @@ impl Parser {
                 self.expect_keyword(Keyword::To)?;
                 let path = self.parse_string("a checkpoint directory path after TO")?;
                 Ok(Statement::CheckpointPipeline { pipeline, path })
+            }
+            TokenKind::Keyword(Keyword::Trace) => {
+                self.advance();
+                self.expect_keyword(Keyword::Pipeline)?;
+                let pipeline = self.parse_identifier()?;
+                self.expect_keyword(Keyword::To)?;
+                let path = self.parse_string("an export file path after TO")?;
+                Ok(Statement::TracePipeline { pipeline, path })
             }
             TokenKind::Keyword(Keyword::Restore) => {
                 self.advance();

@@ -263,6 +263,7 @@ keywords! {
     Time => "TIME",
     Timestamp => "TIMESTAMP",
     To => "TO",
+    Trace => "TRACE",
     True => "TRUE",
     Union => "UNION",
     Watermark => "WATERMARK",

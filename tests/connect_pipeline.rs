@@ -425,11 +425,13 @@ fn input_watermark_is_min_over_sources() {
         events: vec![],
         watermark: Some(Ts(500)),
         status: SourceStatus::Ready,
+        ..SourceBatch::default()
     }];
     let slow = vec![SourceBatch {
         events: vec![],
         watermark: Some(Ts(100)),
         status: SourceStatus::Ready,
+        ..SourceBatch::default()
     }];
     engine
         .attach_source(Box::new(ScriptedSource::new("fast", "S", fast)))

@@ -372,6 +372,43 @@ fn metrics_survive_kill_and_restore() {
 }
 
 // ---------------------------------------------------------------------------
+// Hub ordering is pinned: snapshots (and so SHOW PIPELINES, the metrics
+// connector, and every renderer above them) list pipelines in label
+// order, regardless of publication order.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hub_snapshots_are_ordered_by_label_not_publication() {
+    use onesql::connect::PipelineMetrics;
+    use onesql::core::observe::hub;
+
+    let labels = ["zz_ordering_pin", "aa_ordering_pin", "mm_ordering_pin"];
+    for label in labels {
+        hub().publish(label, Ts(1), false, true, PipelineMetrics::default());
+    }
+    let seen: Vec<String> = hub()
+        .snapshots()
+        .into_iter()
+        .map(|s| s.pipeline)
+        .filter(|p| p.ends_with("_ordering_pin"))
+        .collect();
+    assert_eq!(
+        seen,
+        ["aa_ordering_pin", "mm_ordering_pin", "zz_ordering_pin"],
+        "snapshot order is the sorted label order, not publication order"
+    );
+    // The full listing is sorted too — the invariant SHOW PIPELINES and
+    // the `metrics` connector lean on for deterministic output.
+    let all: Vec<String> = hub().snapshots().into_iter().map(|s| s.pipeline).collect();
+    let mut sorted = all.clone();
+    sorted.sort();
+    assert_eq!(all, sorted);
+    for label in labels {
+        hub().clear(label);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The histogram under the whole layer: property tests.
 // ---------------------------------------------------------------------------
 
